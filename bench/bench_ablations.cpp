@@ -1,0 +1,136 @@
+// Ablations of the design choices DESIGN.md calls out (paper §4.1):
+//
+//  A. Fence elision — "in the common case of data parallel operations, we
+//     can prove that all dependences are shard-local and therefore the
+//     cross-shard fences can be elided, which avoids unnecessary
+//     synchronization."  We re-run the stencil with every coarse dependence
+//     promoted to a fence and measure the slowdown and fence-count blowup.
+//
+//  B. Sharding-function choice (Figures 10/11) — "A good sharding function
+//     assigns tasks near where they will execute, while a poor choice may
+//     require significant movement of meta-data."  Blocked vs cyclic
+//     sharding on the circuit app: cyclic destroys locality, so halo bytes
+//     and makespan rise.
+//
+//  C. Group launches (paper §2) — "consecutive independent tasks ... can be
+//     aggregated into group tasks that can be launched and analyzed more
+//     efficiently as a single operation."  One index launch per step vs one
+//     single-task launch per tile: coarse-stage cost goes from O(1) to O(N)
+//     per step and fences multiply.
+#include <cstdio>
+
+#include "apps/circuit.hpp"
+#include "apps/stencil.hpp"
+#include "bench/bench_common.hpp"
+#include "dcr/runtime.hpp"
+
+namespace {
+
+using namespace dcr;
+
+// -------------------------------------------------------- A: fence elision
+
+void ablation_fence_elision() {
+  bench::header("Ablation A", "fence elision on/off (1-D stencil, 16 nodes)",
+                "without elision every coarse dependence becomes an O(log N) collective");
+  for (bool disable : {false, true}) {
+    sim::Machine machine(bench::cluster(16));
+    core::FunctionRegistry functions;
+    const auto fns = apps::register_stencil_functions(functions, 1.0);
+    core::DcrConfig cfg;
+    cfg.disable_fence_elision = disable;
+    core::DcrRuntime rt(machine, functions, cfg);
+    const auto stats = rt.execute(apps::make_stencil_app(
+        {.cells_per_tile = 2000, .tiles = 16, .steps = 30}, fns));
+    std::printf("  elision %-3s: makespan %10.3f us, fences %4llu, elided %4llu\n",
+                disable ? "off" : "on", static_cast<double>(stats.makespan) / 1e3,
+                static_cast<unsigned long long>(stats.fences_inserted),
+                static_cast<unsigned long long>(stats.fences_elided));
+  }
+}
+
+// ---------------------------------------------------- B: sharding function
+
+void ablation_sharding() {
+  bench::header("Ablation B", "blocked vs cyclic sharding (circuit, 16 nodes)",
+                "cyclic sharding scatters neighbouring pieces across nodes: more bytes moved");
+  for (ShardingId sharding :
+       {core::ShardingRegistry::blocked(), core::ShardingRegistry::cyclic()}) {
+    sim::Machine machine(bench::cluster(16));
+    core::FunctionRegistry functions;
+    const auto fns = apps::register_circuit_functions(functions, 2.0);
+    core::DcrRuntime rt(machine, functions);
+    // 4x overdecomposition: with one piece per shard the two shardings
+    // coincide; with four, blocked keeps neighbours on one node while cyclic
+    // scatters them.
+    apps::CircuitConfig cfg{.nodes_per_piece = 5000, .wires_per_piece = 20000,
+                            .pieces = 64, .steps = 10};
+    cfg.sharding = sharding;
+    const auto stats = rt.execute(apps::make_circuit_app(cfg, fns));
+    std::printf("  %-8s: makespan %10.3f us, halo bytes %8.1f KB, messages %llu\n",
+                sharding == core::ShardingRegistry::blocked() ? "blocked" : "cyclic",
+                static_cast<double>(stats.makespan) / 1e3,
+                static_cast<double>(stats.bytes_moved) / 1024.0,
+                static_cast<unsigned long long>(stats.messages));
+  }
+}
+
+// ------------------------------------------------------- C: group launches
+
+void ablation_group_launches() {
+  bench::header("Ablation C", "group launch vs per-tile single launches (16 nodes)",
+                "single launches make the coarse stage O(N) per step and fence per task");
+  const std::size_t tiles = 16, steps = 20;
+  // Group-launch version: the normal stencil app.
+  {
+    sim::Machine machine(bench::cluster(16));
+    core::FunctionRegistry functions;
+    const auto fns = apps::register_stencil_functions(functions, 1.0);
+    core::DcrRuntime rt(machine, functions);
+    const auto stats = rt.execute(apps::make_stencil_app(
+        {.cells_per_tile = 2000, .tiles = tiles, .steps = steps}, fns));
+    std::printf("  group launches : makespan %10.3f us, ops %4llu, analysis busy %8.3f us\n",
+                static_cast<double>(stats.makespan) / 1e3,
+                static_cast<unsigned long long>(stats.ops_issued),
+                static_cast<double>(stats.analysis_busy) / 1e3);
+  }
+  // Ungrouped version: one single-task launch per tile per phase.
+  {
+    sim::Machine machine(bench::cluster(16));
+    core::FunctionRegistry functions;
+    const auto fns = apps::register_stencil_functions(functions, 1.0);
+    core::DcrRuntime rt(machine, functions);
+    const auto stats = rt.execute([&](core::Context& ctx) {
+      using namespace rt;
+      FieldSpaceId fs = ctx.create_field_space();
+      const FieldId state = ctx.allocate_field(fs, 8, "state");
+      const RegionTreeId tree =
+          ctx.create_region(Rect::r1(0, 2000 * static_cast<std::int64_t>(tiles) - 1), fs);
+      const PartitionId owned = ctx.partition_equal(ctx.root(tree), tiles);
+      ctx.fill(ctx.root(tree), {state});
+      for (std::size_t t = 0; t < steps; ++t) {
+        for (std::size_t i = 0; i < tiles; ++i) {
+          core::TaskLaunch launch;
+          launch.fn = fns.add_one;
+          launch.requirements.push_back(rt::Requirement{
+              ctx.forest().subregion(owned, i), {state}, Privilege::ReadWrite, 0});
+          ctx.launch(launch);
+        }
+      }
+      ctx.execution_fence();
+    });
+    std::printf("  single launches: makespan %10.3f us, ops %4llu, analysis busy %8.3f us\n",
+                static_cast<double>(stats.makespan) / 1e3,
+                static_cast<unsigned long long>(stats.ops_issued),
+                static_cast<double>(stats.analysis_busy) / 1e3);
+  }
+}
+
+}  // namespace
+
+int main() {
+  ablation_fence_elision();
+  ablation_sharding();
+  ablation_group_launches();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+//
+// Every binary regenerates one figure of the paper's evaluation (§5): it
+// sweeps the same x-axis (nodes/GPUs), runs each system configuration on the
+// simulated machine, and prints the series as an aligned table.  Absolute
+// numbers live in virtual time and are not expected to match the authors'
+// testbeds; EXPERIMENTS.md records the shape comparison.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace dcr::bench {
+
+// The cluster model used by all figures: 1 us wire latency, 10 GB/s NIC
+// bandwidth (Infiniband EDR-class), 50 ns intra-node hops.
+inline sim::MachineConfig cluster(std::size_t nodes, std::size_t procs_per_node = 1) {
+  return {.num_nodes = nodes,
+          .compute_procs_per_node = procs_per_node,
+          .network = {.alpha = us(1), .ns_per_byte = 0.1, .local_latency = ns(50)}};
+}
+
+class Table {
+ public:
+  explicit Table(std::string x_label) { columns_.push_back(std::move(x_label)); }
+
+  void add_series(std::string name) { columns_.push_back(std::move(name)); }
+
+  void add_row(double x, const std::vector<double>& values) {
+    rows_.push_back({x, values});
+  }
+
+  void print(const char* value_format = "%14.4g") const {
+    std::printf("%-12s", columns_[0].c_str());
+    for (std::size_t c = 1; c < columns_.size(); ++c) {
+      std::printf("%14s", columns_[c].c_str());
+    }
+    std::printf("\n");
+    for (const auto& [x, values] : rows_) {
+      std::printf("%-12.0f", x);
+      for (double v : values) std::printf(value_format, v);
+      std::printf("\n");
+    }
+  }
+
+ private:
+  struct Row {
+    double x;
+    std::vector<double> values;
+  };
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+};
+
+inline void header(const char* figure, const char* title, const char* expectation) {
+  std::printf("\n=== %s: %s ===\n", figure, title);
+  std::printf("--- expected shape: %s\n", expectation);
+}
+
+// iterations (or other work units) per second of virtual time.
+inline double per_second(double units, SimTime makespan) {
+  return units / (static_cast<double>(makespan) * 1e-9);
+}
+
+}  // namespace dcr::bench

@@ -1,0 +1,96 @@
+// Figure 12: scaling of the 2-D stencil benchmark (paper §5.1).
+//
+//   (a) weak scaling — throughput per node, cells/s: No-CR collapses once
+//       the centralized analysis cost eclipses per-node task time; SCR and
+//       DCR stay flat, DCR within a few percent of SCR.
+//   (b) strong scaling — total throughput: all systems rise, then roll over
+//       as per-task granularity shrinks below runtime overhead; No-CR first,
+//       DCR next (~64 nodes in the paper), SCR last (~128).
+#include <cstdio>
+
+#include "apps/stencil.hpp"
+#include "baselines/central.hpp"
+#include "baselines/scr.hpp"
+#include "bench/bench_common.hpp"
+#include "dcr/runtime.hpp"
+
+namespace {
+
+using namespace dcr;
+using apps::StencilConfig;
+
+constexpr double kNsPerCell = 10.0;  // GPU kernel cost per cell
+constexpr std::size_t kSteps = 10;
+
+SimTime run_dcr(std::size_t nodes, const StencilConfig& cfg, bool scr) {
+  sim::Machine machine(bench::cluster(nodes));
+  core::FunctionRegistry functions;
+  const auto fns = apps::register_stencil_functions(functions, kNsPerCell);
+  core::DcrRuntime rt(machine, functions,
+                      scr ? baselines::scr_config() : core::DcrConfig{});
+  const auto stats = rt.execute(apps::make_stencil_app(cfg, fns));
+  DCR_CHECK(stats.completed && !stats.determinism_violation);
+  return stats.makespan;
+}
+
+SimTime run_central(std::size_t nodes, const StencilConfig& cfg) {
+  sim::Machine machine(bench::cluster(nodes));
+  core::FunctionRegistry functions;
+  const auto fns = apps::register_stencil_functions(functions, kNsPerCell);
+  baselines::CentralConfig ccfg;
+  ccfg.analysis_cost_per_task = us(20);  // centralized per-task analysis + dispatch
+  baselines::CentralRuntime rt(machine, functions, ccfg);
+  return rt.execute(apps::make_stencil_app(cfg, fns)).makespan;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t kScales[] = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512};
+
+  bench::header("Figure 12a", "2-D stencil weak scaling (throughput per node, cells/s)",
+                "No-CR decays with node count; SCR and DCR flat, DCR within ~2x of SCR");
+  {
+    bench::Table table("nodes");
+    table.add_series("no_cr");
+    table.add_series("scr");
+    table.add_series("dcr");
+    for (std::size_t n : kScales) {
+      // One 316x316 (~100k cell) tile per node, near-square node grid.
+      const auto [tx, ty] = apps::square_factors(n);
+      StencilConfig cfg{.cells_per_tile = 316, .tiles = tx, .steps = kSteps, .dims = 2,
+                        .width = 316, .tiles_y = ty};
+      const double cells = 316.0 * 316.0 * static_cast<double>(n) *
+                           static_cast<double>(kSteps);
+      table.add_row(static_cast<double>(n),
+                    {bench::per_second(cells, run_central(n, cfg)) / static_cast<double>(n),
+                     bench::per_second(cells, run_dcr(n, cfg, true)) / static_cast<double>(n),
+                     bench::per_second(cells, run_dcr(n, cfg, false)) / static_cast<double>(n)});
+    }
+    table.print();
+  }
+
+  bench::header("Figure 12b", "2-D stencil strong scaling (total throughput, cells/s)",
+                "all rise then roll over: No-CR first, then DCR (~64), SCR last (~128)");
+  {
+    bench::Table table("nodes");
+    table.add_series("no_cr");
+    table.add_series("scr");
+    table.add_series("dcr");
+    // Fixed 500x500 global grid divided over a near-square node grid.
+    const std::int64_t total_cells = 250'000;
+    for (std::size_t n : kScales) {
+      const auto [tx, ty] = apps::square_factors(n);
+      StencilConfig cfg{.cells_per_tile = 500 / static_cast<std::int64_t>(tx),
+                        .tiles = tx, .steps = kSteps, .dims = 2,
+                        .width = 500 / static_cast<std::int64_t>(ty), .tiles_y = ty};
+      const double cells = static_cast<double>(total_cells) * static_cast<double>(kSteps);
+      table.add_row(static_cast<double>(n),
+                    {bench::per_second(cells, run_central(n, cfg)),
+                     bench::per_second(cells, run_dcr(n, cfg, true)),
+                     bench::per_second(cells, run_dcr(n, cfg, false))});
+    }
+    table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figure 15: ResNet-50 training, FlexFlow-on-Legion vs TensorFlow (paper
+// §5.1).  Data parallelism, batch 64/GPU, Summit-style nodes (6 GPUs each).
+//
+// Expected shape: per-epoch time drops ~linearly with GPUs for TensorFlow
+// and for FlexFlow with DCR (near-identical curves out to 768 GPUs);
+// FlexFlow *without* control replication stops scaling around 48 GPUs as
+// the centralized analysis of per-layer launches saturates.
+#include "apps/nn.hpp"
+#include "baselines/central.hpp"
+#include "baselines/tf.hpp"
+#include "bench/bench_common.hpp"
+#include "dcr/runtime.hpp"
+
+namespace {
+
+using namespace dcr;
+
+constexpr std::size_t kGpusPerNode = 6;
+constexpr std::size_t kImagenet = 1'281'167;  // images per epoch
+constexpr std::size_t kBatchPerGpu = 64;
+constexpr std::size_t kSimIters = 3;  // measured slice, extrapolated to an epoch
+
+double epoch_minutes(SimTime per_iter, std::size_t gpus) {
+  const double iters_per_epoch =
+      static_cast<double>(kImagenet) / static_cast<double>(kBatchPerGpu * gpus);
+  return static_cast<double>(per_iter) * 1e-9 * iters_per_epoch / 60.0;
+}
+
+SimTime flexflow_iter(std::size_t gpus, bool no_cr) {
+  const std::size_t nodes = (gpus + kGpusPerNode - 1) / kGpusPerNode;
+  const std::size_t procs = std::min(gpus, kGpusPerNode);
+  apps::TrainConfig cfg;
+  cfg.gpus = gpus;
+  cfg.iterations = kSimIters;
+  cfg.net = bench::cluster(1).network;
+  core::FunctionRegistry functions;
+  const auto fns = apps::register_train_functions(functions);
+  const auto spec = apps::NetworkSpec::resnet50();
+  sim::Machine machine(bench::cluster(nodes, procs));
+  SimTime makespan;
+  if (no_cr) {
+    baselines::CentralConfig ccfg;
+    ccfg.analysis_cost_per_task = us(60);
+    baselines::CentralRuntime rt(machine, functions, ccfg);
+    makespan = rt.execute(apps::make_train_app(spec, cfg, fns)).makespan;
+  } else {
+    core::DcrConfig dcfg;
+    dcfg.shards_per_node = procs;  // one shard per GPU
+    core::DcrRuntime rt(machine, functions, dcfg);
+    const auto stats = rt.execute(apps::make_train_app(spec, cfg, fns));
+    DCR_CHECK(stats.completed && !stats.determinism_violation);
+    makespan = stats.makespan;
+  }
+  return makespan / kSimIters;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 15", "ResNet-50 per-epoch training time (minutes)",
+                "TF and FlexFlow+DCR nearly identical, scaling to 768 GPUs; "
+                "FlexFlow without CR stops scaling around 48 GPUs");
+  bench::Table table("gpus");
+  table.add_series("tensorflow");
+  table.add_series("ff_no_cr");
+  table.add_series("ff_dcr");
+  const auto spec = apps::NetworkSpec::resnet50();
+  baselines::TfConfig tf;
+  tf.net = bench::cluster(1).network;
+  for (std::size_t gpus : {1u, 3u, 6u, 12u, 24u, 48u, 96u, 192u, 384u, 768u}) {
+    const SimTime tf_iter = baselines::tf_training_time(spec, gpus, 1, tf);
+    table.add_row(static_cast<double>(gpus),
+                  {epoch_minutes(tf_iter, gpus),
+                   epoch_minutes(flexflow_iter(gpus, /*no_cr=*/true), gpus),
+                   epoch_minutes(flexflow_iter(gpus, /*no_cr=*/false), gpus)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 16: Soleil-X multi-physics throughput on Sierra-style nodes (paper
+// §5.2).  All three physics modules (fluid, particles, radiation) run
+// coupled; the radiation wavefront partition count is decided at run time,
+// which rules out static control replication entirely — only a DCR series
+// exists, as in the paper.
+//
+// Expected shape: throughput grows with GPU count at high (80-95%) weak
+// scaling efficiency, with a visible dip once the communication pattern
+// stops fitting in a node neighborhood (32 nodes in the paper).
+#include "apps/soleil.hpp"
+#include "bench/bench_common.hpp"
+#include "dcr/runtime.hpp"
+
+namespace {
+
+using namespace dcr;
+constexpr std::size_t kGpusPerNode = 4;  // Sierra
+constexpr std::size_t kSteps = 8;
+constexpr std::int64_t kCellsPerGpu = 15000;
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 16", "Soleil-X weak scaling (10^6 cells/s)",
+                "throughput grows with GPUs at 80-95% efficiency; no SCR series exists "
+                "(dynamic partition count)");
+  bench::Table table("gpus");
+  table.add_series("dcr_throughput");
+  table.add_series("efficiency");
+  double base_per_gpu = 0.0;
+  for (std::size_t gpus : {4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u, 1024u}) {
+    const std::size_t nodes = gpus / kGpusPerNode;
+    apps::SoleilConfig cfg{.cells_per_piece = kCellsPerGpu,
+                           .particles_per_piece = kCellsPerGpu / 10,
+                           .pieces = gpus,
+                           .steps = kSteps};
+    core::FunctionRegistry functions;
+    const auto fns = apps::register_soleil_functions(functions, 1.0);
+    sim::Machine machine(bench::cluster(nodes, kGpusPerNode));
+    core::DcrRuntime rt(machine, functions);
+    const auto stats = rt.execute(apps::make_soleil_app(cfg, fns));
+    DCR_CHECK(stats.completed && !stats.determinism_violation);
+    const double cells = static_cast<double>(kCellsPerGpu) * static_cast<double>(gpus) *
+                         static_cast<double>(kSteps);
+    const double throughput = bench::per_second(cells, stats.makespan) / 1e6;
+    const double per_gpu = throughput / static_cast<double>(gpus);
+    if (base_per_gpu == 0.0) base_per_gpu = per_gpu;
+    table.add_row(static_cast<double>(gpus), {throughput, per_gpu / base_per_gpu});
+  }
+  table.print();
+  return 0;
+}

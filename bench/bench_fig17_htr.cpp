@@ -1,0 +1,64 @@
+// Figure 17: weak scaling parallel efficiency of the HTR solver (paper
+// §5.2), on (a) a CPU machine (Quartz: 36 cores/node) and (b) a GPU machine
+// (Lassen: 4 GPUs/node).  HTR's data-dependent sub-cycling defeats SCR's
+// conservative static analysis, so only the DCR series exists.
+//
+// Expected shape: parallel efficiency stays in the 0.85-1.0 band out to
+// thousands of cores / hundreds of GPUs.
+#include "apps/htr.hpp"
+#include "bench/bench_common.hpp"
+#include "dcr/runtime.hpp"
+
+namespace {
+
+using namespace dcr;
+
+double efficiency_at(std::size_t nodes, std::size_t procs_per_node,
+                     std::int64_t cells_per_piece, double ns_per_cell, double* base) {
+  const std::size_t pieces = nodes * procs_per_node;
+  apps::HtrConfig cfg{.cells_per_piece = cells_per_piece, .pieces = pieces, .steps = 6,
+                      .subcycle_every = 3};
+  core::FunctionRegistry functions;
+  const auto fns = apps::register_htr_functions(functions, ns_per_cell);
+  sim::Machine machine(bench::cluster(nodes, procs_per_node));
+  core::DcrRuntime rt(machine, functions);
+  const auto stats = rt.execute(apps::make_htr_app(cfg, fns));
+  DCR_CHECK(stats.completed && !stats.determinism_violation);
+  const double cells = static_cast<double>(cells_per_piece) * static_cast<double>(pieces) *
+                       static_cast<double>(cfg.steps);
+  const double per_piece = bench::per_second(cells, stats.makespan) / static_cast<double>(pieces);
+  if (*base == 0.0) *base = per_piece;
+  return per_piece / *base;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 17a", "HTR weak scaling parallel efficiency (CPU, 36 cores/node)",
+                "efficiency stays ~0.85-1.0 out to 9216 cores");
+  {
+    bench::Table table("cores");
+    table.add_series("efficiency");
+    double base = 0.0;
+    for (std::size_t nodes : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+      // CPU pieces are smaller and slower per cell than GPU pieces.
+      table.add_row(static_cast<double>(nodes * 36),
+                    {efficiency_at(nodes, 36, 4000, 20.0, &base)});
+    }
+    table.print();
+  }
+
+  bench::header("Figure 17b", "HTR weak scaling parallel efficiency (GPU, 4 GPUs/node)",
+                "efficiency stays ~0.9-1.0 out to 512 GPUs");
+  {
+    bench::Table table("gpus");
+    table.add_series("efficiency");
+    double base = 0.0;
+    for (std::size_t nodes : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+      table.add_row(static_cast<double>(nodes * 4),
+                    {efficiency_at(nodes, 4, 100000, 2.0, &base)});
+    }
+    table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Quickstart: the smallest complete DCR program.
+//
+// Builds a 4-node simulated cluster, writes an implicitly parallel control
+// program against the Context API (create a region, partition it, launch
+// task groups in a loop), and runs it control-replicated across the nodes.
+// The same `main_task` would run unchanged on the centralized baseline —
+// that executor-portability is the productivity story of the paper.
+//
+// Build & run:   cmake -B build -G Ninja && cmake --build build
+//                ./build/examples/quickstart
+#include <cstdio>
+
+#include "dcr/runtime.hpp"
+#include "sim/machine.hpp"
+
+using namespace dcr;
+
+int main() {
+  // A 4-node machine: 1 analysis processor + 1 compute processor per node,
+  // 1 us network latency, 10 GB/s links.
+  sim::Machine machine({.num_nodes = 4,
+                        .compute_procs_per_node = 1,
+                        .network = {.alpha = us(1), .ns_per_byte = 0.1}});
+
+  // Task functions carry a cost model (here: 2 us fixed + 10 ns per cell)
+  // instead of real kernels; the runtime behaviour is what is simulated.
+  core::FunctionRegistry functions;
+  const FunctionId saxpy = functions.register_simple("saxpy", us(2), 10.0);
+  const FunctionId norm = functions.register_simple(
+      "norm", us(2), 10.0,
+      [](const core::PointTaskInfo& info) { return 1.0 / (1.0 + info.args.at(0)); });
+
+  core::DcrRuntime runtime(machine, functions);
+
+  // The implicitly parallel control program: looks sequential, runs
+  // replicated on every node, each shard analyzing only its slice.
+  auto main_task = [&](core::Context& ctx) {
+    FieldSpaceId fs = ctx.create_field_space();
+    const FieldId x = ctx.allocate_field(fs, 8, "x");
+    const FieldId y = ctx.allocate_field(fs, 8, "y");
+    const RegionTreeId tree = ctx.create_region(rt::Rect::r1(0, 1 << 20), fs);
+    const IndexSpaceId region = ctx.root(tree);
+    const PartitionId chunks = ctx.partition_equal(region, ctx.num_shards());
+    ctx.fill(region, {x, y});
+
+    const rt::Rect domain = rt::Rect::r1(0, static_cast<std::int64_t>(ctx.num_shards()) - 1);
+    double residual = 1.0;
+    int iterations = 0;
+    while (residual > 0.25) {  // data-dependent control flow, fine under DCR
+      core::IndexLaunch update;
+      update.fn = saxpy;
+      update.domain = domain;
+      update.requirements.push_back(
+          rt::GroupRequirement::on_partition(chunks, {y}, rt::Privilege::ReadWrite));
+      update.requirements.push_back(
+          rt::GroupRequirement::on_partition(chunks, {x}, rt::Privilege::ReadOnly));
+      ctx.index_launch(update);
+
+      core::IndexLaunch check;
+      check.fn = norm;
+      check.domain = domain;
+      check.args = {iterations};
+      check.wants_futures = true;
+      check.requirements.push_back(
+          rt::GroupRequirement::on_partition(chunks, {y}, rt::Privilege::ReadOnly));
+      const core::FutureMap fm = ctx.index_launch(check);
+      residual = ctx.get_future(ctx.reduce_future_map(fm, core::ReduceOp::Max));
+      ++iterations;
+    }
+    std::printf("[shard %u] converged after %d iterations (residual %.3f)\n",
+                ctx.shard_id().value, iterations, residual);
+  };
+
+  const core::DcrStats stats = runtime.execute(main_task);
+  std::printf("\ncompleted=%s  virtual makespan=%.3f ms  tasks=%llu  "
+              "fences inserted=%llu elided=%llu  determinism checks=%llu\n",
+              stats.completed ? "yes" : "no", static_cast<double>(stats.makespan) / 1e6,
+              static_cast<unsigned long long>(stats.point_tasks_launched),
+              static_cast<unsigned long long>(stats.fences_inserted),
+              static_cast<unsigned long long>(stats.fences_elided),
+              static_cast<unsigned long long>(stats.determinism_checks));
+  return stats.completed && !stats.determinism_violation ? 0 : 1;
+}

@@ -1,0 +1,92 @@
+// Random abstract-program generator for property-testing Theorem 1.
+//
+// Generated programs mimic the structure the paper's applications exhibit:
+// group launches over disjoint tiles (with per-task privileges on random
+// field sets) interleaved with occasional whole-domain single-task
+// operations (fills, I/O).  The dependence oracle is derived from interval
+// overlap + field intersection + writer rules — the same three-step check
+// Legion uses — so intra-group independence holds by construction (disjoint
+// tiles) and cross-group dependences are nontrivial.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "analysis/semantics.hpp"
+#include "common/philox.hpp"
+
+namespace dcr::an {
+
+struct RandomProgramConfig {
+  std::size_t num_groups = 12;
+  std::size_t max_group_width = 8;   // tiles per group launch
+  std::size_t num_fields = 3;
+  std::size_t domain = 64;           // abstract 1-D domain size
+  double whole_domain_op_prob = 0.2; // chance a group is a single fill-like op
+  double write_prob = 0.6;
+};
+
+struct RandomProgram {
+  AProgram program;  // owners unset (ShardId default); shard before analyzing
+  Oracle oracle;
+};
+
+inline RandomProgram generate_random_program(const RandomProgramConfig& cfg,
+                                             Philox4x32& rng) {
+  struct Access {
+    std::int64_t lo, hi;
+    std::uint64_t field_mask;
+    bool writes;
+  };
+  auto accesses = std::make_shared<std::map<TaskId, std::vector<Access>>>();
+
+  AProgram program;
+  std::uint64_t next_task = 0;
+  for (std::size_t g = 0; g < cfg.num_groups; ++g) {
+    ATaskGroup tg;
+    if (rng.next_double() < cfg.whole_domain_op_prob) {
+      // Whole-domain op: one task touching everything (like a fill).
+      const TaskId t(next_task++);
+      const std::uint64_t mask = 1 + rng.next_below((1ull << cfg.num_fields) - 1);
+      (*accesses)[t].push_back(Access{0, static_cast<std::int64_t>(cfg.domain) - 1,
+                                      mask, rng.next_double() < cfg.write_prob});
+      tg.push_back(ATask{t, ShardId(0)});
+    } else {
+      // Group launch over disjoint tiles; same field/privilege per point
+      // (like an index launch), tile width chosen randomly.
+      const std::size_t width = 1 + rng.next_below(cfg.max_group_width);
+      const std::uint64_t mask = 1 + rng.next_below((1ull << cfg.num_fields) - 1);
+      const bool writes = rng.next_double() < cfg.write_prob;
+      const std::size_t tile = cfg.domain / width;
+      for (std::size_t i = 0; i < width; ++i) {
+        const TaskId t(next_task++);
+        (*accesses)[t].push_back(
+            Access{static_cast<std::int64_t>(i * tile),
+                   static_cast<std::int64_t>(i == width - 1 ? cfg.domain - 1
+                                                            : (i + 1) * tile - 1),
+                   mask, writes});
+        tg.push_back(ATask{t, ShardId(0)});
+      }
+    }
+    program.push_back(std::move(tg));
+  }
+
+  Oracle oracle = [accesses](TaskId t1, TaskId t2) {
+    auto i1 = accesses->find(t1);
+    auto i2 = accesses->find(t2);
+    if (i1 == accesses->end() || i2 == accesses->end()) return false;
+    for (const auto& a : i1->second) {
+      for (const auto& b : i2->second) {
+        if (a.lo > b.hi || b.lo > a.hi) continue;       // disjoint points
+        if ((a.field_mask & b.field_mask) == 0) continue;  // disjoint fields
+        if (a.writes || b.writes) return true;          // writer involved
+      }
+    }
+    return false;
+  };
+  return RandomProgram{std::move(program), std::move(oracle)};
+}
+
+}  // namespace dcr::an

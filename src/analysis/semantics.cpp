@@ -1,0 +1,311 @@
+#include "analysis/semantics.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.hpp"
+
+namespace dcr::an {
+
+rt::TaskGraph analyze_sequential(const AProgram& program, const Oracle& oracle) {
+  rt::TaskGraph graph;
+  std::vector<TaskId> analyzed;  // T, in program order
+  for (const ATaskGroup& tg : program) {
+    // T' = T ∪ tg ; D' = D ∪ T =x=> tg
+    for (const ATask& t : tg) graph.add_task(t.id);
+    for (const ATask& t : tg) {
+      for (TaskId prev : analyzed) {
+        if (oracle(prev, t.id)) graph.add_edge(prev, t.id);
+      }
+    }
+    for (const ATask& t : tg) analyzed.push_back(t.id);
+  }
+  return graph;
+}
+
+namespace {
+
+// One shard's state s_i = (p_i, c_i, d_i).  p_i is represented as a cursor
+// into the (replicated) program; c_i as the ordered prefix of analyzed tasks
+// (all tasks of completed groups, not just owned ones — rule Tb/Tc add the
+// whole group to c_i).
+struct ShardState {
+  std::size_t next_group = 0;              // p_i
+  std::vector<TaskId> completed;           // c_i, in program order
+  std::size_t completed_groups = 0;        // |c_i| in groups (for the c_k check)
+  std::vector<std::pair<TaskId, TaskId>> outstanding;  // d_i
+  bool has_outstanding = false;  // distinguishes d_i = ∅ from "computed empty"
+};
+
+}  // namespace
+
+rt::TaskGraph analyze_replicated(const AProgram& program, std::size_t num_shards,
+                                 const Oracle& oracle, Philox4x32& rng,
+                                 ReplicatedStats* stats) {
+  DCR_CHECK(num_shards >= 1);
+  ReplicatedStats local_stats;
+  ReplicatedStats& st = stats ? *stats : local_stats;
+
+  // Owner shard per task and group index per task, for the Tb gating check
+  // (t^k ∈ c_k means shard k has completed the group containing t^k).
+  std::map<TaskId, ShardId> owner;
+  std::map<TaskId, std::size_t> group_of;
+  for (std::size_t g = 0; g < program.size(); ++g) {
+    for (const ATask& t : program[g]) {
+      DCR_CHECK(t.owner.value < num_shards) << "task owned by nonexistent shard";
+      owner[t.id] = t.owner;
+      group_of[t.id] = g;
+    }
+  }
+
+  std::vector<ShardState> shards(num_shards);
+  rt::TaskGraph graph;
+
+  auto owned_subset = [&](std::size_t g, std::size_t shard) {
+    std::vector<TaskId> out;
+    for (const ATask& t : program[g]) {
+      if (t.owner.value == shard) out.push_back(t.id);
+    }
+    return out;
+  };
+
+  // Which rules are enabled for shard i?
+  enum class Rule { None, Ta, Tb, Tc };
+  auto enabled = [&](std::size_t i) -> Rule {
+    ShardState& s = shards[i];
+    if (s.has_outstanding) {
+      // Tb: all dependent predecessors analyzed by their owner shards.
+      for (const auto& [pred, succ] : s.outstanding) {
+        const std::size_t k = owner.at(pred).value;
+        if (group_of.at(pred) >= shards[k].completed_groups) {
+          ++st.stalls;
+          return Rule::None;
+        }
+      }
+      return Rule::Tb;
+    }
+    if (s.next_group >= program.size()) return Rule::None;  // done
+    // d'_i = c_i =x=> tg(i): Ta if nonempty, Tc if empty.
+    for (TaskId mine : owned_subset(s.next_group, i)) {
+      for (TaskId prev : s.completed) {
+        if (oracle(prev, mine)) return Rule::Ta;
+      }
+    }
+    return Rule::Tc;
+  };
+
+  auto step = [&](std::size_t i, Rule rule) {
+    ShardState& s = shards[i];
+    const std::size_t g = s.next_group;
+    switch (rule) {
+      case Rule::Ta: {
+        DCR_CHECK(!s.has_outstanding);
+        for (TaskId mine : owned_subset(g, i)) {
+          for (TaskId prev : s.completed) {
+            if (oracle(prev, mine)) s.outstanding.emplace_back(prev, mine);
+          }
+        }
+        DCR_CHECK(!s.outstanding.empty());
+        s.has_outstanding = true;
+        ++st.ta_steps;
+        break;
+      }
+      case Rule::Tb: {
+        DCR_CHECK(s.has_outstanding);
+        for (TaskId mine : owned_subset(g, i)) {
+          if (!graph.has_task(mine)) graph.add_task(mine);
+        }
+        for (const auto& [pred, succ] : s.outstanding) graph.add_edge(pred, succ);
+        s.outstanding.clear();
+        s.has_outstanding = false;
+        for (const ATask& t : program[g]) s.completed.push_back(t.id);
+        s.completed_groups++;
+        s.next_group++;
+        ++st.tb_steps;
+        break;
+      }
+      case Rule::Tc: {
+        for (TaskId mine : owned_subset(g, i)) {
+          if (!graph.has_task(mine)) graph.add_task(mine);
+        }
+        for (const ATask& t : program[g]) s.completed.push_back(t.id);
+        s.completed_groups++;
+        s.next_group++;
+        ++st.tc_steps;
+        break;
+      }
+      case Rule::None:
+        DCR_CHECK(false) << "stepping a disabled shard";
+    }
+  };
+
+  // Drive to quiescence with a random enabled transition each step.
+  for (;;) {
+    std::vector<std::pair<std::size_t, Rule>> choices;
+    bool all_done = true;
+    for (std::size_t i = 0; i < num_shards; ++i) {
+      const Rule r = enabled(i);
+      if (r != Rule::None) choices.emplace_back(i, r);
+      if (shards[i].next_group < program.size() || shards[i].has_outstanding) {
+        all_done = false;
+      }
+    }
+    if (choices.empty()) {
+      DCR_CHECK(all_done) << "DEPrep deadlocked with work remaining";
+      break;
+    }
+    const auto& [i, rule] = choices[rng.next_below(choices.size())];
+    step(i, rule);
+  }
+
+  // Every task must have been registered by its owner.
+  for (const auto& [t, k] : owner) {
+    DCR_CHECK(graph.has_task(t)) << "task " << t.value << " never registered";
+  }
+  return graph;
+}
+
+std::vector<rt::TaskGraph> analyze_replicated_exhaustive(const AProgram& program,
+                                                         std::size_t num_shards,
+                                                         const Oracle& oracle,
+                                                         std::size_t max_states) {
+  DCR_CHECK(num_shards >= 1);
+  const std::size_t groups = program.size();
+
+  // Owned subsets and their rule-Ta dependence sets are pure functions of
+  // (shard, group); precompute both.
+  auto owned = [&](std::size_t g, std::size_t i) {
+    std::vector<TaskId> out;
+    for (const ATask& t : program[g]) {
+      if (t.owner.value == i) out.push_back(t.id);
+    }
+    return out;
+  };
+  std::map<TaskId, std::size_t> group_of;
+  std::map<TaskId, std::size_t> owner_of;
+  for (std::size_t g = 0; g < groups; ++g) {
+    for (const ATask& t : program[g]) {
+      group_of[t.id] = g;
+      owner_of[t.id] = t.owner.value;
+    }
+  }
+  // deps[g][i]: edges (pred, succ in tg(i)) discovered by rule Ta.
+  std::vector<std::vector<std::vector<std::pair<TaskId, TaskId>>>> deps(
+      groups, std::vector<std::vector<std::pair<TaskId, TaskId>>>(num_shards));
+  for (std::size_t g = 0; g < groups; ++g) {
+    for (std::size_t i = 0; i < num_shards; ++i) {
+      for (TaskId mine : owned(g, i)) {
+        for (std::size_t p = 0; p < g; ++p) {
+          for (const ATask& prev : program[p]) {
+            if (oracle(prev.id, mine)) deps[g][i].emplace_back(prev.id, mine);
+          }
+        }
+      }
+    }
+  }
+
+  // A state is (g_i, outstanding_i) per shard; c_i is the prefix of full
+  // groups below g_i.  BFS/DFS over all reachable states.
+  using State = std::vector<std::uint32_t>;  // 2*g_i + outstanding_i
+  const auto encode = [&](const std::vector<std::uint32_t>& g,
+                          const std::vector<bool>& out) {
+    State s(num_shards);
+    for (std::size_t i = 0; i < num_shards; ++i) {
+      s[i] = 2 * g[i] + (out[i] ? 1 : 0);
+    }
+    return s;
+  };
+
+  std::set<State> visited;
+  std::vector<State> stack{encode(std::vector<std::uint32_t>(num_shards, 0),
+                                  std::vector<bool>(num_shards, false))};
+  visited.insert(stack.back());
+  bool reached_terminal = false;
+
+  while (!stack.empty()) {
+    DCR_CHECK(visited.size() <= max_states)
+        << "exhaustive interleaving search exceeded the state budget";
+    const State s = stack.back();
+    stack.pop_back();
+
+    bool all_done = true;
+    bool any_enabled = false;
+    for (std::size_t i = 0; i < num_shards; ++i) {
+      const std::uint32_t gi = s[i] / 2;
+      const bool outi = (s[i] % 2) != 0;
+      if (gi < groups || outi) all_done = false;
+
+      State next = s;
+      if (outi) {
+        // Rule Tb: every dependent predecessor analyzed by its owner shard.
+        bool gated = true;
+        for (const auto& [pred, succ] : deps[gi][i]) {
+          const std::size_t k = owner_of.at(pred);
+          if (group_of.at(pred) >= s[k] / 2) {
+            gated = false;
+            break;
+          }
+        }
+        if (!gated) continue;
+        next[i] = 2 * (gi + 1);  // register, complete the group
+      } else if (gi < groups) {
+        if (deps[gi][i].empty()) {
+          next[i] = 2 * (gi + 1);  // rule Tc
+        } else {
+          next[i] = 2 * gi + 1;  // rule Ta
+        }
+      } else {
+        continue;  // shard finished
+      }
+      any_enabled = true;
+      if (visited.insert(next).second) stack.push_back(next);
+    }
+    if (all_done) {
+      reached_terminal = true;
+    } else {
+      DCR_CHECK(any_enabled) << "DEPrep deadlocked in exhaustive exploration";
+    }
+  }
+  DCR_CHECK(reached_terminal) << "no terminal state reached";
+
+  // Registrations are deterministic per (shard, group), so every terminal
+  // interleaving yields the same graph; build it once.
+  rt::TaskGraph graph;
+  for (std::size_t g = 0; g < groups; ++g) {
+    for (const ATask& t : program[g]) graph.add_task(t.id);
+  }
+  for (std::size_t g = 0; g < groups; ++g) {
+    for (std::size_t i = 0; i < num_shards; ++i) {
+      for (const auto& [pred, succ] : deps[g][i]) graph.add_edge(pred, succ);
+    }
+  }
+  return {graph};
+}
+
+bool is_valid_program(const AProgram& program, const Oracle& oracle) {
+  std::set<TaskId> seen;
+  for (const ATaskGroup& tg : program) {
+    for (const ATask& t : tg) {
+      if (!seen.insert(t.id).second) return false;
+    }
+    for (std::size_t i = 0; i < tg.size(); ++i) {
+      for (std::size_t j = i + 1; j < tg.size(); ++j) {
+        // Pairwise independence within a group, in both orders.
+        if (oracle(tg[i].id, tg[j].id) || oracle(tg[j].id, tg[i].id)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+AProgram apply_cyclic_sharding(const AProgram& program, std::size_t num_shards) {
+  AProgram out = program;
+  for (ATaskGroup& tg : out) {
+    for (std::size_t i = 0; i < tg.size(); ++i) {
+      tg[i].owner = ShardId(static_cast<std::uint32_t>(i % num_shards));
+    }
+  }
+  return out;
+}
+
+}  // namespace dcr::an

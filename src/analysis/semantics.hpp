@@ -1,0 +1,77 @@
+// Executable form of the paper's §2 formal semantics.
+//
+// A program is a sequence of task groups; tasks in a group are pairwise
+// independent; a sharding function has already assigned every task an owner
+// shard (the paper's t^k notation).  Two analyzers are provided:
+//
+//   * analyze_sequential — DEPseq (Figure 3): one transition per task group,
+//     adding all dependences T =x=> tg.
+//   * analyze_replicated — DEPrep (Figure 2): per-shard states
+//     s_i = (p_i, c_i, d_i) stepped under rules Ta/Tb/Tc in an arbitrary
+//     interleaving chosen by the caller-supplied RNG.
+//
+// Theorem 1 states both produce the same task graph; the property tests in
+// tests/test_semantics.cpp exercise that equivalence over random programs,
+// oracles, shard counts, and interleavings.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/philox.hpp"
+#include "common/types.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace dcr::an {
+
+struct ATask {
+  TaskId id;
+  ShardId owner;  // the sharding function's choice, fixed before analysis
+
+  friend bool operator==(const ATask&, const ATask&) = default;
+};
+
+using ATaskGroup = std::vector<ATask>;
+using AProgram = std::vector<ATaskGroup>;
+
+// Oracle: does t2 depend on t1, given t1 precedes t2 in program order?
+// (The paper's t1 => t2, restricted to queries where t1 precedes t2.)
+using Oracle = std::function<bool(TaskId t1, TaskId t2)>;
+
+// DEPseq, Figure 3.
+rt::TaskGraph analyze_sequential(const AProgram& program, const Oracle& oracle);
+
+// DEPrep, Figure 2, with `num_shards` shard states.  The interleaving of
+// shard transitions is chosen uniformly at random among enabled transitions
+// using `rng`; any interleaving must yield the DEPseq graph (Theorem 1).
+// Returns the resulting global task graph.
+struct ReplicatedStats {
+  std::uint64_t ta_steps = 0;  // rule Ta applications (dependence discovery)
+  std::uint64_t tb_steps = 0;  // rule Tb applications (gated registration)
+  std::uint64_t tc_steps = 0;  // rule Tc applications (independent fast path)
+  std::uint64_t stalls = 0;    // Tb attempts blocked on a cross-shard predecessor
+};
+
+rt::TaskGraph analyze_replicated(const AProgram& program, std::size_t num_shards,
+                                 const Oracle& oracle, Philox4x32& rng,
+                                 ReplicatedStats* stats = nullptr);
+
+// Exhaustive model checking: explore EVERY reachable interleaving of DEPrep
+// transitions for `program` (feasible for small programs) and return the set
+// of distinct final task graphs.  Theorem 1 says this set is a singleton
+// containing the DEPseq graph.  `max_states` bounds the search.
+std::vector<rt::TaskGraph> analyze_replicated_exhaustive(const AProgram& program,
+                                                         std::size_t num_shards,
+                                                         const Oracle& oracle,
+                                                         std::size_t max_states = 200000);
+
+// Validity checks on inputs (paper §2 definitions).
+// Every task appears exactly once, and tasks within each group are pairwise
+// independent under the oracle.
+bool is_valid_program(const AProgram& program, const Oracle& oracle);
+
+// Round-robin sharding of a program's tasks over `num_shards` shards.
+AProgram apply_cyclic_sharding(const AProgram& program, std::size_t num_shards);
+
+}  // namespace dcr::an

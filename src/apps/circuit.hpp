@@ -1,0 +1,140 @@
+// Circuit simulation benchmark (paper §5.1, Figure 13).
+//
+// "a circuit simulation that iteratively updates currents on wires and
+// voltages on nodes in a graph of circuit components.  The partitioning of
+// the graph is done dynamically, so the communication pattern must also be
+// established at runtime."
+//
+// Model: a graph of circuit nodes distributed in pieces; wires connect nodes
+// mostly within a piece, but a fraction are cross-piece and reach up to
+// `neighbor_span` pieces away.  Per iteration (the classic Legion circuit
+// phases):
+//   calc_new_currents  : RW wires.current, RO nodes.voltage over ghost nodes
+//   distribute_charge  : RED(sum) nodes.charge over ghost nodes
+//   update_voltages    : RW nodes.voltage over owned nodes
+//
+// The dynamic partition (ghost span derived from a seeded random graph) is
+// computed at run time, which is exactly what defeats static control
+// replication for this app.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/philox.hpp"
+#include "dcr/api.hpp"
+#include "dcr/sharding.hpp"
+
+namespace dcr::apps {
+
+struct CircuitConfig {
+  std::int64_t nodes_per_piece = 1000;
+  std::int64_t wires_per_piece = 4000;
+  std::size_t pieces = 4;
+  std::size_t steps = 10;
+  double cross_piece_fraction = 0.1;  // wires leaving their piece
+  std::uint64_t seed = 42;            // graph randomness (replicated)
+  ShardingId sharding = core::ShardingRegistry::blocked();
+  bool use_trace = false;
+};
+
+struct CircuitFunctions {
+  FunctionId calc_new_currents;
+  FunctionId distribute_charge;
+  FunctionId update_voltages;
+};
+
+inline CircuitFunctions register_circuit_functions(core::FunctionRegistry& reg,
+                                                   double ns_per_elem) {
+  CircuitFunctions fns;
+  fns.calc_new_currents = reg.register_simple("calc_new_currents", us(3), ns_per_elem);
+  fns.distribute_charge = reg.register_simple("distribute_charge", us(3), ns_per_elem);
+  fns.update_voltages = reg.register_simple("update_voltages", us(3), ns_per_elem);
+  return fns;
+}
+
+inline core::ApplicationMain make_circuit_app(const CircuitConfig& cfg,
+                                              const CircuitFunctions& fns) {
+  return [cfg, fns](core::Context& ctx) {
+    using namespace rt;
+    const auto pieces = static_cast<std::int64_t>(cfg.pieces);
+    const std::int64_t nnodes = cfg.nodes_per_piece * pieces;
+    const std::int64_t nwires = cfg.wires_per_piece * pieces;
+
+    FieldSpaceId nfs = ctx.create_field_space();
+    const FieldId voltage = ctx.allocate_field(nfs, 8, "voltage");
+    const FieldId charge = ctx.allocate_field(nfs, 8, "charge");
+    FieldSpaceId wfs = ctx.create_field_space();
+    const FieldId current = ctx.allocate_field(wfs, 8, "current");
+
+    const RegionTreeId node_tree = ctx.create_region(Rect::r1(0, nnodes - 1), nfs);
+    const RegionTreeId wire_tree = ctx.create_region(Rect::r1(0, nwires - 1), wfs);
+    const IndexSpaceId all_nodes = ctx.root(node_tree);
+    const IndexSpaceId all_wires = ctx.root(wire_tree);
+
+    // Dynamic partitioning: the ghost span of each piece depends on the
+    // random wiring, discovered at run time.  Every shard draws the same
+    // spans from the replicated counter-based RNG (paper §3).
+    const PartitionId owned_nodes = ctx.partition_equal(all_nodes, cfg.pieces);
+    const PartitionId owned_wires = ctx.partition_equal(all_wires, cfg.pieces);
+
+    std::vector<Rect> ghost_rects;
+    for (std::int64_t p = 0; p < pieces; ++p) {
+      // Span grows with the fraction of cross-piece wires; randomized per
+      // piece to make the communication pattern irregular.
+      const std::int64_t base_span = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(cfg.cross_piece_fraction *
+                                       static_cast<double>(cfg.nodes_per_piece)));
+      const std::int64_t jitter =
+          static_cast<std::int64_t>(ctx.rng().next_below(static_cast<std::uint64_t>(base_span) + 1));
+      const std::int64_t span = base_span + jitter;
+      ghost_rects.push_back(Rect::r1(std::max<std::int64_t>(0, p * cfg.nodes_per_piece - span),
+                                     std::min<std::int64_t>(nnodes - 1,
+                                                            (p + 1) * cfg.nodes_per_piece - 1 + span)));
+    }
+    const PartitionId ghost_nodes = ctx.create_partition(all_nodes, ghost_rects, false);
+
+    ctx.fill(all_nodes, {voltage, charge});
+    ctx.fill(all_wires, {current});
+
+    const Rect domain = Rect::r1(0, pieces - 1);
+    const TraceId trace(2);
+    for (std::size_t t = 0; t < cfg.steps; ++t) {
+      if (cfg.use_trace) ctx.begin_trace(trace);
+
+      core::IndexLaunch cnc;
+      cnc.fn = fns.calc_new_currents;
+      cnc.domain = domain;
+      cnc.sharding = cfg.sharding;
+      cnc.requirements.push_back(
+          GroupRequirement::on_partition(owned_wires, {current}, Privilege::ReadWrite));
+      cnc.requirements.push_back(
+          GroupRequirement::on_partition(ghost_nodes, {voltage}, Privilege::ReadOnly));
+      ctx.index_launch(cnc);
+
+      core::IndexLaunch dsc;
+      dsc.fn = fns.distribute_charge;
+      dsc.domain = domain;
+      dsc.sharding = cfg.sharding;
+      dsc.requirements.push_back(
+          GroupRequirement::on_partition(owned_wires, {current}, Privilege::ReadOnly));
+      dsc.requirements.push_back(GroupRequirement::on_partition(
+          ghost_nodes, {charge}, Privilege::Reduce, /*redop=*/1));
+      ctx.index_launch(dsc);
+
+      core::IndexLaunch upv;
+      upv.fn = fns.update_voltages;
+      upv.domain = domain;
+      upv.sharding = cfg.sharding;
+      upv.requirements.push_back(
+          GroupRequirement::on_partition(owned_nodes, {voltage, charge}, Privilege::ReadWrite));
+      ctx.index_launch(upv);
+
+      if (cfg.use_trace) ctx.end_trace(trace);
+    }
+    ctx.execution_fence();
+  };
+}
+
+}  // namespace dcr::apps

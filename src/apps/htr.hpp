@@ -1,0 +1,108 @@
+// HTR solver proxy (paper §5.2, Figure 17): hypersonic aerothermodynamics
+// with "complex control flow for which SCR's analysis is too conservative".
+//
+// The data-dependent behaviour we reproduce: each timestep evaluates a CFL
+// stability condition (a future-valued reduction); when it trips, the step
+// re-runs with sub-cycling — a branch on a runtime value that static
+// analysis cannot resolve, but which control replication handles because
+// every shard observes the same future value.
+#pragma once
+
+#include <cstdint>
+
+#include "dcr/api.hpp"
+#include "dcr/sharding.hpp"
+
+namespace dcr::apps {
+
+struct HtrConfig {
+  std::int64_t cells_per_piece = 65536;
+  std::size_t pieces = 4;
+  std::size_t steps = 8;
+  std::size_t subcycle_every = 3;  // CFL trips every k-th step (synthetic)
+  ShardingId sharding = core::ShardingRegistry::blocked();
+};
+
+struct HtrFunctions {
+  FunctionId flux;       // halo stencil, high-order -> wide halo
+  FunctionId chemistry;  // local, expensive
+  FunctionId cfl;        // per-piece CFL candidate (future)
+};
+
+inline HtrFunctions register_htr_functions(core::FunctionRegistry& reg, double ns_per_cell) {
+  HtrFunctions fns;
+  fns.flux = reg.register_simple("htr.flux", us(5), ns_per_cell);
+  fns.chemistry = reg.register_simple("htr.chemistry", us(5), 2 * ns_per_cell);
+  fns.cfl = reg.register_simple(
+      "htr.cfl", us(5), 0.05 * ns_per_cell, [](const core::PointTaskInfo& info) {
+        // CFL number > 1 means the step must sub-cycle.  Synthetic model:
+        // trips when args[0] (step % subcycle_every) == 0.
+        return info.args.at(0) == 0 ? 1.5 : 0.7;
+      });
+  return fns;
+}
+
+inline core::ApplicationMain make_htr_app(const HtrConfig& cfg, const HtrFunctions& fns) {
+  return [cfg, fns](core::Context& ctx) {
+    using namespace rt;
+    const auto pieces = static_cast<std::int64_t>(cfg.pieces);
+    const std::int64_t ncells = cfg.cells_per_piece * pieces;
+
+    FieldSpaceId fs = ctx.create_field_space();
+    const FieldId cons = ctx.allocate_field(fs, 8, "conserved");
+    const FieldId prim = ctx.allocate_field(fs, 8, "primitive");
+    const RegionTreeId tree = ctx.create_region(Rect::r1(0, ncells - 1), fs);
+    const IndexSpaceId cells = ctx.root(tree);
+
+    const PartitionId owned = ctx.partition_equal(cells, cfg.pieces);
+    const PartitionId wide_halo = ctx.partition_with_halo(cells, cfg.pieces, 3);
+
+    ctx.fill(cells, {cons, prim});
+
+    const Rect domain = Rect::r1(0, pieces - 1);
+    auto do_substep = [&]() {
+      core::IndexLaunch flux;
+      flux.fn = fns.flux;
+      flux.domain = domain;
+      flux.sharding = cfg.sharding;
+      flux.requirements.push_back(
+          GroupRequirement::on_partition(owned, {cons}, Privilege::ReadWrite));
+      flux.requirements.push_back(
+          GroupRequirement::on_partition(wide_halo, {prim}, Privilege::ReadOnly));
+      ctx.index_launch(flux);
+
+      core::IndexLaunch chem;
+      chem.fn = fns.chemistry;
+      chem.domain = domain;
+      chem.sharding = cfg.sharding;
+      chem.requirements.push_back(
+          GroupRequirement::on_partition(owned, {prim, cons}, Privilege::ReadWrite));
+      ctx.index_launch(chem);
+    };
+
+    for (std::size_t t = 0; t < cfg.steps; ++t) {
+      do_substep();
+
+      // CFL check: a future-valued reduction every step.
+      core::IndexLaunch cfl;
+      cfl.fn = fns.cfl;
+      cfl.domain = domain;
+      cfl.sharding = cfg.sharding;
+      cfl.args = {static_cast<std::int64_t>(t % cfg.subcycle_every)};
+      cfl.wants_futures = true;
+      cfl.requirements.push_back(
+          GroupRequirement::on_partition(owned, {prim}, Privilege::ReadOnly));
+      const core::FutureMap fm = ctx.index_launch(cfl);
+      const double cfl_max = ctx.get_future(ctx.reduce_future_map(fm, core::ReduceOp::Max));
+
+      // Data-dependent control flow: sub-cycle when the CFL condition trips.
+      if (cfl_max > 1.0) {
+        do_substep();
+        do_substep();
+      }
+    }
+    ctx.execution_fence();
+  };
+}
+
+}  // namespace dcr::apps

@@ -1,0 +1,243 @@
+// Legate-NumPy-style ndarray library (paper §5.4, Bauer & Garland SC'19).
+//
+// "Legate NumPy performs a dynamic translation of NumPy programs to the
+// Legion programming model: NumPy ndarray types are backed by individual
+// fields in Legion regions, and NumPy API calls are performed by launching
+// one or more tasks ... Legate NumPy also decides on-the-fly how to
+// partition arrays and when to convert NumPy API calls into group task
+// launches."
+//
+// This header implements that translation against the executor-agnostic
+// Context API: every ndarray is a field of a region tree, chunked
+// automatically over the machine (no user tuning, unlike Dask); every array
+// operation becomes a group task launch over the chunk partition; scalar
+// results (dot products, norms) become future-map reductions.  The same
+// ndarray program therefore runs on DCR *and* on the centralized (Dask-like)
+// executor, which is how the Figure 19/20 comparison is made.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dcr/api.hpp"
+#include "dcr/sharding.hpp"
+
+namespace dcr::apps::legate {
+
+struct LegateFunctions {
+  FunctionId elementwise;  // unary/binary map over chunks
+  FunctionId matvec;       // row-chunked X @ w
+  FunctionId matmul;       // row-chunked C = A @ B (B broadcast)
+  FunctionId stencil_spmv; // implicit tridiagonal/Laplacian SpMV (halo read)
+  FunctionId dot_partial;  // per-chunk partial dot product
+  FunctionId norm_partial; // per-chunk partial 2-norm
+  FunctionId reduce_cols;  // X^T @ v partial reduction into the output
+};
+
+// ns_per_element scales every compute kernel.
+inline LegateFunctions register_legate_functions(core::FunctionRegistry& reg,
+                                                 double ns_per_element,
+                                                 SimTime task_overhead = us(2)) {
+  LegateFunctions fns;
+  fns.elementwise = reg.register_simple("legate.map", task_overhead, ns_per_element);
+  fns.matvec = reg.register_simple("legate.matvec", task_overhead, ns_per_element);
+  fns.stencil_spmv = reg.register_simple("legate.spmv", task_overhead, 3 * ns_per_element);
+  fns.dot_partial = reg.register_simple(
+      "legate.dot", task_overhead, ns_per_element, [](const core::PointTaskInfo& info) {
+        // Synthetic scalar model: the value is driven by the caller-supplied
+        // args (e.g. iteration number) so convergence loops are deterministic
+        // and identical across shards; see DESIGN.md on synthetic numerics.
+        const double k = info.args.empty() ? 0.0 : static_cast<double>(info.args[0]);
+        return 1.0 / (1.0 + k) / static_cast<double>(info.domain.volume());
+      });
+  fns.matmul = reg.register_simple("legate.matmul", task_overhead, 4 * ns_per_element);
+  fns.norm_partial = reg.register_simple(
+      "legate.norm", task_overhead, ns_per_element, [](const core::PointTaskInfo& info) {
+        // Synthetic norm: geometric decay in the caller-supplied iteration
+        // argument, split evenly over the launch domain so the reduced sum
+        // is independent of the chunking.
+        const double k = info.args.empty() ? 0.0 : static_cast<double>(info.args[0]);
+        return std::pow(0.5, k) / static_cast<double>(info.domain.volume());
+      });
+  fns.reduce_cols = reg.register_simple("legate.reduce_cols", task_overhead, ns_per_element);
+  return fns;
+}
+
+// A distributed ndarray: one field of a region tree + its chunk partition.
+struct NDArray {
+  RegionTreeId tree;
+  IndexSpaceId region;
+  FieldId field;
+  PartitionId chunks;        // disjoint row chunks
+  PartitionId halo_chunks;   // aliased +-1 halo (created on demand)
+  std::uint64_t rows = 0;    // logical length (1-D) or row count (2-D)
+  std::uint64_t cols = 1;    // 1 for vectors
+};
+
+class LegateRuntime {
+ public:
+  LegateRuntime(core::Context& ctx, const LegateFunctions& fns,
+                std::size_t pieces = 0)
+      : ctx_(ctx),
+        fns_(fns),
+        // Automatic chunk selection (the paper's "Legate needs no such
+        // tuning"): one chunk per shard by default.
+        pieces_(pieces ? pieces : ctx.num_shards()) {}
+
+  std::size_t pieces() const { return pieces_; }
+
+  // ---- array creation ----
+  NDArray zeros(std::uint64_t n) { return make_array(n, 1, "v"); }
+  NDArray zeros2d(std::uint64_t rows, std::uint64_t cols) {
+    return make_array(rows, cols, "m");
+  }
+
+  // ---- elementwise: out = op(a[, b]) over aligned chunks ----
+  void map(const NDArray& out, const NDArray& a) { map_impl(out, &a, nullptr); }
+  void map(const NDArray& out, const NDArray& a, const NDArray& b) {
+    map_impl(out, &a, &b);
+  }
+  // In-place update: out = op(out, a)   (e.g. axpy)
+  void update(const NDArray& out, const NDArray& a) { map_impl(out, &a, nullptr); }
+
+  // ---- matvec: out[rows] = X[rows x cols] @ w[cols] ----
+  // Each row-chunk task reads its block of X and the *whole* w (broadcast
+  // read), writing its chunk of out.
+  void matvec(const NDArray& out, const NDArray& X, const NDArray& w) {
+    core::IndexLaunch l = base_launch(fns_.matvec);
+    l.requirements.push_back(rt::GroupRequirement::on_partition(
+        out.chunks, {out.field}, rt::Privilege::WriteDiscard));
+    l.requirements.push_back(
+        rt::GroupRequirement::on_partition(X.chunks, {X.field}, rt::Privilege::ReadOnly));
+    l.requirements.push_back(
+        rt::GroupRequirement::on_region(w.region, {w.field}, rt::Privilege::ReadOnly));
+    ctx_.index_launch(l);
+  }
+
+  // ---- X^T @ v: column reduction.  Every chunk task reduces its partial
+  // contribution into the whole output (commutative sum reduction). ----
+  void matvec_transpose(const NDArray& out, const NDArray& X, const NDArray& v) {
+    core::IndexLaunch l = base_launch(fns_.reduce_cols);
+    l.requirements.push_back(rt::GroupRequirement::on_region(
+        out.region, {out.field}, rt::Privilege::Reduce, /*redop=*/1));
+    l.requirements.push_back(
+        rt::GroupRequirement::on_partition(X.chunks, {X.field}, rt::Privilege::ReadOnly));
+    l.requirements.push_back(
+        rt::GroupRequirement::on_partition(v.chunks, {v.field}, rt::Privilege::ReadOnly));
+    ctx_.index_launch(l);
+  }
+
+  // ---- implicit Laplacian SpMV: out = A p, read with +-1 halo ----
+  void stencil_spmv(const NDArray& out, NDArray& p) {
+    ensure_halo(p);
+    core::IndexLaunch l = base_launch(fns_.stencil_spmv);
+    l.requirements.push_back(rt::GroupRequirement::on_partition(
+        out.chunks, {out.field}, rt::Privilege::WriteDiscard));
+    l.requirements.push_back(rt::GroupRequirement::on_partition(
+        p.halo_chunks, {p.field}, rt::Privilege::ReadOnly));
+    ctx_.index_launch(l);
+  }
+
+  // ---- matmul: C[rows x k] = A[rows x m] @ B[m x k], row-chunked with B
+  // broadcast to every chunk task ----
+  void matmul(const NDArray& C, const NDArray& A, const NDArray& B) {
+    core::IndexLaunch l = base_launch(fns_.matmul);
+    l.requirements.push_back(rt::GroupRequirement::on_partition(
+        C.chunks, {C.field}, rt::Privilege::WriteDiscard));
+    l.requirements.push_back(
+        rt::GroupRequirement::on_partition(A.chunks, {A.field}, rt::Privilege::ReadOnly));
+    l.requirements.push_back(
+        rt::GroupRequirement::on_region(B.region, {B.field}, rt::Privilege::ReadOnly));
+    ctx_.index_launch(l);
+  }
+
+  // Copy: dst = src (aligned chunks).
+  void copy(const NDArray& dst, const NDArray& src) { map(dst, src); }
+
+  // ---- scalar reductions (block on the future like np.dot would) ----
+  core::Future dot_async(const NDArray& a, const NDArray& b, std::int64_t scalar_arg = 0) {
+    core::IndexLaunch l = base_launch(fns_.dot_partial);
+    l.args = {scalar_arg};
+    l.wants_futures = true;
+    l.requirements.push_back(
+        rt::GroupRequirement::on_partition(a.chunks, {a.field}, rt::Privilege::ReadOnly));
+    l.requirements.push_back(
+        rt::GroupRequirement::on_partition(b.chunks, {b.field}, rt::Privilege::ReadOnly));
+    const core::FutureMap fm = ctx_.index_launch(l);
+    return ctx_.reduce_future_map(fm, core::ReduceOp::Sum);
+  }
+  double dot(const NDArray& a, const NDArray& b, std::int64_t scalar_arg = 0) {
+    return ctx_.get_future(dot_async(a, b, scalar_arg));
+  }
+
+  // ||a||^2 via per-chunk partials; the synthetic value model decays
+  // geometrically in `scalar_arg` so convergence loops terminate.
+  core::Future norm_async(const NDArray& a, std::int64_t scalar_arg = 0) {
+    core::IndexLaunch l = base_launch(fns_.norm_partial);
+    l.args = {scalar_arg};
+    l.wants_futures = true;
+    l.requirements.push_back(
+        rt::GroupRequirement::on_partition(a.chunks, {a.field}, rt::Privilege::ReadOnly));
+    return ctx_.reduce_future_map(ctx_.index_launch(l), core::ReduceOp::Sum);
+  }
+  double norm(const NDArray& a, std::int64_t scalar_arg = 0) {
+    return ctx_.get_future(norm_async(a, scalar_arg));
+  }
+
+  void fill(const NDArray& a) { ctx_.fill(a.region, {a.field}); }
+
+ private:
+  NDArray make_array(std::uint64_t rows, std::uint64_t cols, const char* name) {
+    NDArray arr;
+    arr.rows = rows;
+    arr.cols = cols;
+    FieldSpaceId fs = ctx_.create_field_space();
+    arr.field = ctx_.allocate_field(fs, 8, name);
+    const rt::Rect bounds =
+        cols == 1 ? rt::Rect::r1(0, static_cast<std::int64_t>(rows) - 1)
+                  : rt::Rect::r2(0, static_cast<std::int64_t>(rows) - 1, 0,
+                                 static_cast<std::int64_t>(cols) - 1);
+    arr.tree = ctx_.create_region(bounds, fs);
+    arr.region = ctx_.root(arr.tree);
+    arr.chunks = ctx_.partition_equal(arr.region, pieces_, /*axis=*/0);
+    ctx_.fill(arr.region, {arr.field});
+    return arr;
+  }
+
+  void ensure_halo(NDArray& a) {
+    if (!a.halo_chunks.valid()) {
+      a.halo_chunks = ctx_.partition_with_halo(a.region, pieces_, /*halo=*/1, /*axis=*/0);
+    }
+  }
+
+  core::IndexLaunch base_launch(FunctionId fn) const {
+    core::IndexLaunch l;
+    l.fn = fn;
+    l.domain = rt::Rect::r1(0, static_cast<std::int64_t>(pieces_) - 1);
+    l.sharding = core::ShardingRegistry::blocked();
+    return l;
+  }
+
+  void map_impl(const NDArray& out, const NDArray* a, const NDArray* b) {
+    core::IndexLaunch l = base_launch(fns_.elementwise);
+    l.requirements.push_back(rt::GroupRequirement::on_partition(
+        out.chunks, {out.field}, rt::Privilege::ReadWrite));
+    if (a && !(a->tree == out.tree && a->field == out.field)) {
+      l.requirements.push_back(
+          rt::GroupRequirement::on_partition(a->chunks, {a->field}, rt::Privilege::ReadOnly));
+    }
+    if (b && !(b->tree == out.tree && b->field == out.field)) {
+      l.requirements.push_back(
+          rt::GroupRequirement::on_partition(b->chunks, {b->field}, rt::Privilege::ReadOnly));
+    }
+    ctx_.index_launch(l);
+  }
+
+  core::Context& ctx_;
+  LegateFunctions fns_;
+  std::size_t pieces_;
+};
+
+}  // namespace dcr::apps::legate

@@ -1,0 +1,234 @@
+// Pennant proxy (paper §5.1, Figure 14): Lagrangian staggered-grid
+// hydrodynamics on an unstructured mesh.
+//
+// The mesh is modeled as zones (cells) and points (vertices); points on
+// piece boundaries are shared between pieces (halo partition).  Each cycle
+// runs the characteristic Pennant phases and ends with the global dt
+// reduction the paper calls out: "The drop in parallel efficiency for the
+// two fastest implementations is due to a global collective for computing
+// the next iteration's time step; this collective blocks all downstream work
+// and incurs additional latency with increased processor counts."  We
+// reproduce that with a future-map Min reduction whose value the control
+// program consumes before launching the next cycle.
+#pragma once
+
+#include <cstdint>
+
+#include "dcr/api.hpp"
+#include "dcr/sharding.hpp"
+
+namespace dcr::apps {
+
+struct PennantConfig {
+  std::int64_t zones_per_piece = 10000;
+  std::size_t pieces = 4;
+  std::size_t cycles = 10;
+  // false: 4-phase proxy (forces/apply/advance/dt).  true: the full Pennant
+  // cycle — geometry, state, pgas+tts+qcs forces, corner-force reduction,
+  // acceleration, advection, work/energy, dt — ~12 launches per cycle with
+  // the mini-app's relative costs.
+  bool full_physics = false;
+  // Bytes per boundary point: halo exchanges move point_field_bytes per
+  // shared point per cycle (the unstructured mesh packs many physical
+  // quantities per boundary point).
+  std::size_t point_field_bytes = 128 * 1024;
+  ShardingId sharding = core::ShardingRegistry::blocked();
+  bool use_trace = false;
+  bool blocking_dt = true;  // consume the dt future each cycle (the paper's collective)
+};
+
+struct PennantFunctions {
+  FunctionId calc_forces;      // gather from points, RW zones
+  FunctionId apply_forces;     // RED to shared points
+  FunctionId adv_positions;    // RW owned points
+  FunctionId calc_dt;          // per-piece dt candidate (future)
+  // Full-physics phases (see make_pennant_app with full_physics = true).
+  FunctionId calc_ctrs;        // zone/edge centers from point positions
+  FunctionId calc_vols;        // zone volumes
+  FunctionId calc_rho;         // densities
+  FunctionId calc_state_half;  // EOS at half step
+  FunctionId qcs_force;        // artificial viscosity (needs neighbor zones)
+  FunctionId sum_crnr_force;   // corner-force reduction to shared points
+  FunctionId calc_accel;       // point accelerations
+  FunctionId calc_work;        // work + energy update
+};
+
+inline PennantFunctions register_pennant_functions(core::FunctionRegistry& reg,
+                                                   double ns_per_zone) {
+  PennantFunctions fns;
+  fns.calc_forces = reg.register_simple("calc_forces", us(4), ns_per_zone);
+  fns.apply_forces = reg.register_simple("apply_forces", us(4), ns_per_zone * 0.5);
+  fns.adv_positions = reg.register_simple("adv_positions", us(4), ns_per_zone * 0.5);
+  fns.calc_dt = reg.register_simple(
+      "calc_dt", us(4), ns_per_zone * 0.1,
+      [](const core::PointTaskInfo& info) {
+        // Deterministic per-piece dt candidate; min over pieces drives the
+        // next cycle.  Derived from the cycle index passed in args.
+        return 1e-3 / (1.0 + 0.01 * static_cast<double>(info.args.at(0)));
+      });
+  // Relative costs follow the mini-app's phase weights (geometry and QCS
+  // dominate; scalar updates are cheap).
+  fns.calc_ctrs = reg.register_simple("calc_ctrs", us(4), ns_per_zone * 0.3);
+  fns.calc_vols = reg.register_simple("calc_vols", us(4), ns_per_zone * 0.3);
+  fns.calc_rho = reg.register_simple("calc_rho", us(4), ns_per_zone * 0.1);
+  fns.calc_state_half = reg.register_simple("calc_state_half", us(4), ns_per_zone * 0.2);
+  fns.qcs_force = reg.register_simple("qcs_force", us(4), ns_per_zone * 0.6);
+  fns.sum_crnr_force = reg.register_simple("sum_crnr_force", us(4), ns_per_zone * 0.2);
+  fns.calc_accel = reg.register_simple("calc_accel", us(4), ns_per_zone * 0.1);
+  fns.calc_work = reg.register_simple("calc_work", us(4), ns_per_zone * 0.2);
+  return fns;
+}
+
+inline core::ApplicationMain make_pennant_app(const PennantConfig& cfg,
+                                              const PennantFunctions& fns) {
+  return [cfg, fns](core::Context& ctx) {
+    using namespace rt;
+    const auto pieces = static_cast<std::int64_t>(cfg.pieces);
+    const std::int64_t nzones = cfg.zones_per_piece * pieces;
+    const std::int64_t npoints = nzones + pieces;  // roughly one extra point layer per piece
+
+    FieldSpaceId zfs = ctx.create_field_space();
+    const FieldId zvol = ctx.allocate_field(zfs, 8, "zone_vol");
+    const FieldId zforce = ctx.allocate_field(zfs, 8, "zone_force");
+    FieldSpaceId pfs = ctx.create_field_space();
+    const FieldId pforce = ctx.allocate_field(pfs, cfg.point_field_bytes, "pt_force");
+    const FieldId ppos = ctx.allocate_field(pfs, cfg.point_field_bytes, "pt_pos");
+
+    const RegionTreeId zone_tree = ctx.create_region(Rect::r1(0, nzones - 1), zfs);
+    const RegionTreeId point_tree = ctx.create_region(Rect::r1(0, npoints - 1), pfs);
+    const IndexSpaceId zones = ctx.root(zone_tree);
+    const IndexSpaceId points = ctx.root(point_tree);
+
+    const PartitionId owned_zones = ctx.partition_equal(zones, cfg.pieces);
+    const PartitionId owned_points = ctx.partition_equal(points, cfg.pieces);
+    // Shared points on piece boundaries: a one-element halo.
+    const PartitionId shared_points = ctx.partition_with_halo(points, cfg.pieces, 1);
+
+    ctx.fill(zones, {zvol, zforce});
+    ctx.fill(points, {pforce, ppos});
+
+    const Rect domain = Rect::r1(0, pieces - 1);
+    const TraceId trace(3);
+    double dt = 1e-3;
+
+    // Helper for one group launch over the pieces.
+    auto il = [&](FunctionId fn, std::int64_t arg,
+                  std::vector<GroupRequirement> reqs) {
+      core::IndexLaunch l;
+      l.fn = fn;
+      l.domain = domain;
+      l.sharding = cfg.sharding;
+      l.args = {arg};
+      l.requirements = std::move(reqs);
+      ctx.index_launch(l);
+    };
+
+    for (std::size_t c = 0; c < cfg.cycles; ++c) {
+      if (cfg.use_trace) ctx.begin_trace(trace);
+      const auto cycle_arg = static_cast<std::int64_t>(c);
+
+      if (cfg.full_physics) {
+        // --- geometry from current point positions (reads shared halo) ---
+        il(fns.calc_ctrs, cycle_arg,
+           {GroupRequirement::on_partition(owned_zones, {zvol}, Privilege::ReadWrite),
+            GroupRequirement::on_partition(shared_points, {ppos}, Privilege::ReadOnly)});
+        il(fns.calc_vols, cycle_arg,
+           {GroupRequirement::on_partition(owned_zones, {zvol}, Privilege::ReadWrite)});
+        // --- state: density and EOS at the half step ---
+        il(fns.calc_rho, cycle_arg,
+           {GroupRequirement::on_partition(owned_zones, {zvol}, Privilege::ReadOnly),
+            GroupRequirement::on_partition(owned_zones, {zforce}, Privilege::ReadWrite)});
+        il(fns.calc_state_half, cycle_arg,
+           {GroupRequirement::on_partition(owned_zones, {zforce}, Privilege::ReadWrite)});
+        // --- forces: pgas/tts on zones, then QCS needing neighbor data ---
+        il(fns.calc_forces, cycle_arg,
+           {GroupRequirement::on_partition(owned_zones, {zvol, zforce}, Privilege::ReadWrite),
+            GroupRequirement::on_partition(shared_points, {ppos}, Privilege::ReadOnly)});
+        il(fns.qcs_force, cycle_arg,
+           {GroupRequirement::on_partition(owned_zones, {zforce}, Privilege::ReadWrite),
+            GroupRequirement::on_partition(shared_points, {ppos}, Privilege::ReadOnly)});
+        // --- corner-force reduction into the shared points ---
+        il(fns.sum_crnr_force, cycle_arg,
+           {GroupRequirement::on_partition(owned_zones, {zforce}, Privilege::ReadOnly),
+            GroupRequirement::on_partition(shared_points, {pforce}, Privilege::Reduce, 1)});
+        // --- point acceleration + advection (owned points only) ---
+        il(fns.calc_accel, cycle_arg,
+           {GroupRequirement::on_partition(owned_points, {pforce}, Privilege::ReadWrite)});
+        il(fns.adv_positions, cycle_arg,
+           {GroupRequirement::on_partition(owned_points, {ppos, pforce},
+                                           Privilege::ReadWrite)});
+        // --- work/energy bookkeeping ---
+        il(fns.calc_work, cycle_arg,
+           {GroupRequirement::on_partition(owned_zones, {zforce}, Privilege::ReadWrite)});
+        // --- dt reduction gates the next cycle ---
+        core::IndexLaunch dtl;
+        dtl.fn = fns.calc_dt;
+        dtl.domain = domain;
+        dtl.sharding = cfg.sharding;
+        dtl.args = {cycle_arg};
+        dtl.wants_futures = true;
+        dtl.requirements.push_back(
+            GroupRequirement::on_partition(owned_zones, {zvol}, Privilege::ReadOnly));
+        core::FutureMap fm = ctx.index_launch(dtl);
+        if (cfg.use_trace) ctx.end_trace(trace);
+        if (cfg.blocking_dt) {
+          dt = ctx.get_future(ctx.reduce_future_map(fm, core::ReduceOp::Min));
+          DCR_CHECK(dt > 0.0);
+        }
+        continue;
+      }
+
+      core::IndexLaunch forces;
+      forces.fn = fns.calc_forces;
+      forces.domain = domain;
+      forces.sharding = cfg.sharding;
+      forces.args = {cycle_arg};
+      forces.requirements.push_back(
+          GroupRequirement::on_partition(owned_zones, {zvol, zforce}, Privilege::ReadWrite));
+      forces.requirements.push_back(
+          GroupRequirement::on_partition(shared_points, {ppos}, Privilege::ReadOnly));
+      ctx.index_launch(forces);
+
+      core::IndexLaunch apply;
+      apply.fn = fns.apply_forces;
+      apply.domain = domain;
+      apply.sharding = cfg.sharding;
+      apply.args = {cycle_arg};
+      apply.requirements.push_back(
+          GroupRequirement::on_partition(owned_zones, {zforce}, Privilege::ReadOnly));
+      apply.requirements.push_back(GroupRequirement::on_partition(
+          shared_points, {pforce}, Privilege::Reduce, /*redop=*/1));
+      ctx.index_launch(apply);
+
+      core::IndexLaunch adv;
+      adv.fn = fns.adv_positions;
+      adv.domain = domain;
+      adv.sharding = cfg.sharding;
+      adv.args = {cycle_arg};
+      adv.requirements.push_back(
+          GroupRequirement::on_partition(owned_points, {ppos, pforce}, Privilege::ReadWrite));
+      ctx.index_launch(adv);
+
+      core::IndexLaunch dtl;
+      dtl.fn = fns.calc_dt;
+      dtl.domain = domain;
+      dtl.sharding = cfg.sharding;
+      dtl.args = {cycle_arg};
+      dtl.wants_futures = true;
+      dtl.requirements.push_back(
+          GroupRequirement::on_partition(owned_zones, {zvol}, Privilege::ReadOnly));
+      core::FutureMap fm = ctx.index_launch(dtl);
+      if (cfg.use_trace) ctx.end_trace(trace);
+
+      if (cfg.blocking_dt) {
+        // The global dt collective the paper blames for the efficiency drop:
+        // the control program consumes the min before the next cycle.
+        dt = ctx.get_future(ctx.reduce_future_map(fm, core::ReduceOp::Min));
+        DCR_CHECK(dt > 0.0);
+      }
+    }
+    ctx.execution_fence();
+  };
+}
+
+}  // namespace dcr::apps

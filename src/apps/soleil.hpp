@@ -1,0 +1,161 @@
+// Soleil-X proxy (paper §5.2, Figure 16): a coupled multi-physics solver
+// with three modules — fluid flow, Lagrangian particles, and thermal
+// radiation (DOM) — each with its own partitions, exchanging data every
+// timestep.
+//
+// Why it needs DCR rather than SCR (paper): the radiation sweep uses a
+// number of wavefront partitions "that cannot be fixed statically", chosen
+// here at run time from the (replicated) RNG, and the cross-module coupling
+// creates dependence patterns across different partitions of shared regions.
+#pragma once
+
+#include <cstdint>
+
+#include "dcr/api.hpp"
+#include "dcr/sharding.hpp"
+
+namespace dcr::apps {
+
+struct SoleilConfig {
+  std::int64_t cells_per_piece = 32768;
+  std::int64_t particles_per_piece = 10000;
+  std::size_t pieces = 4;
+  std::size_t steps = 8;
+  ShardingId sharding = core::ShardingRegistry::blocked();
+};
+
+struct SoleilFunctions {
+  FunctionId fluid_step;       // halo stencil on fluid cells
+  FunctionId particle_advect;  // particles read fluid, RW particles
+  FunctionId particle_feedback;  // RED momentum back to fluid
+  FunctionId radiation_sweep;  // wavefront over dynamic partitions
+  FunctionId couple_radiation; // radiation -> fluid energy
+};
+
+inline SoleilFunctions register_soleil_functions(core::FunctionRegistry& reg,
+                                                 double ns_per_cell) {
+  SoleilFunctions fns;
+  fns.fluid_step = reg.register_simple("fluid_step", us(5), ns_per_cell);
+  fns.particle_advect = reg.register_simple("particle_advect", us(5), ns_per_cell * 0.5);
+  fns.particle_feedback = reg.register_simple("particle_feedback", us(5), ns_per_cell * 0.2);
+  fns.radiation_sweep = reg.register_simple("radiation_sweep", us(5), ns_per_cell * 0.4);
+  fns.couple_radiation = reg.register_simple("couple_radiation", us(5), ns_per_cell * 0.2);
+  return fns;
+}
+
+inline core::ApplicationMain make_soleil_app(const SoleilConfig& cfg,
+                                             const SoleilFunctions& fns) {
+  return [cfg, fns](core::Context& ctx) {
+    using namespace rt;
+    const auto pieces = static_cast<std::int64_t>(cfg.pieces);
+    const std::int64_t ncells = cfg.cells_per_piece * pieces;
+    const std::int64_t nparts = cfg.particles_per_piece * pieces;
+
+    FieldSpaceId cfs = ctx.create_field_space();
+    const FieldId rho = ctx.allocate_field(cfs, 8, "rho");
+    const FieldId momentum = ctx.allocate_field(cfs, 8, "momentum");
+    const FieldId energy = ctx.allocate_field(cfs, 8, "energy");
+    const FieldId radiation = ctx.allocate_field(cfs, 8, "radiation");
+    FieldSpaceId pfs = ctx.create_field_space();
+    const FieldId ppos = ctx.allocate_field(pfs, 8, "ppos");
+
+    const RegionTreeId cell_tree = ctx.create_region(Rect::r1(0, ncells - 1), cfs);
+    const RegionTreeId part_tree = ctx.create_region(Rect::r1(0, nparts - 1), pfs);
+    const IndexSpaceId cells = ctx.root(cell_tree);
+    const IndexSpaceId particles = ctx.root(part_tree);
+
+    const PartitionId owned_cells = ctx.partition_equal(cells, cfg.pieces);
+    const PartitionId ghost_cells = ctx.partition_with_halo(cells, cfg.pieces, 2);
+    const PartitionId owned_parts = ctx.partition_equal(particles, cfg.pieces);
+
+    // Radiation wavefronts: the partition *count* is data-dependent (here:
+    // drawn from the replicated RNG) — this is what rules out SCR.
+    const std::size_t wavefronts = 2 + ctx.rng().next_below(3);  // 2..4
+    std::vector<PartitionId> sweep_parts;
+    for (std::size_t w = 0; w < wavefronts; ++w) {
+      sweep_parts.push_back(ctx.partition_with_halo(cells, cfg.pieces,
+                                                    static_cast<std::int64_t>(w + 1)));
+    }
+
+    ctx.fill(cells, {rho, momentum, energy, radiation});
+    ctx.fill(particles, {ppos});
+
+    const Rect domain = Rect::r1(0, pieces - 1);
+    for (std::size_t t = 0; t < cfg.steps; ++t) {
+      // Fluid step: halo stencil — writes momentum/energy, reads the halo of
+      // rho (distinct fields, so point tasks are pairwise independent, as
+      // required of a task group).
+      core::IndexLaunch fluid;
+      fluid.fn = fns.fluid_step;
+      fluid.domain = domain;
+      fluid.sharding = cfg.sharding;
+      fluid.requirements.push_back(GroupRequirement::on_partition(
+          owned_cells, {momentum, energy}, Privilege::ReadWrite));
+      fluid.requirements.push_back(
+          GroupRequirement::on_partition(ghost_cells, {rho}, Privilege::ReadOnly));
+      ctx.index_launch(fluid);
+
+      // Density update from the new momentum (owned-only, disjoint).
+      core::IndexLaunch dens;
+      dens.fn = fns.fluid_step;
+      dens.domain = domain;
+      dens.sharding = cfg.sharding;
+      dens.requirements.push_back(
+          GroupRequirement::on_partition(owned_cells, {rho}, Privilege::ReadWrite));
+      dens.requirements.push_back(
+          GroupRequirement::on_partition(owned_cells, {momentum}, Privilege::ReadOnly));
+      ctx.index_launch(dens);
+
+      // Particles advect through the fluid.
+      core::IndexLaunch advect;
+      advect.fn = fns.particle_advect;
+      advect.domain = domain;
+      advect.sharding = cfg.sharding;
+      advect.requirements.push_back(
+          GroupRequirement::on_partition(owned_parts, {ppos}, Privilege::ReadWrite));
+      advect.requirements.push_back(
+          GroupRequirement::on_partition(ghost_cells, {momentum}, Privilege::ReadOnly));
+      ctx.index_launch(advect);
+
+      // Particle feedback: reduction onto fluid momentum.
+      core::IndexLaunch feedback;
+      feedback.fn = fns.particle_feedback;
+      feedback.domain = domain;
+      feedback.sharding = cfg.sharding;
+      feedback.requirements.push_back(
+          GroupRequirement::on_partition(owned_parts, {ppos}, Privilege::ReadOnly));
+      feedback.requirements.push_back(GroupRequirement::on_partition(
+          ghost_cells, {momentum}, Privilege::Reduce, /*redop=*/1));
+      ctx.index_launch(feedback);
+
+      // Radiation: a sweep per wavefront partition (dynamic count).  Each
+      // sweep writes owned radiation reading an increasingly wide halo of
+      // energy; the widening upper bounds defeat SCR's static analysis.
+      for (std::size_t w = 0; w < wavefronts; ++w) {
+        core::IndexLaunch sweep;
+        sweep.fn = fns.radiation_sweep;
+        sweep.domain = domain;
+        sweep.sharding = cfg.sharding;
+        sweep.requirements.push_back(GroupRequirement::on_partition(
+            owned_cells, {radiation}, Privilege::ReadWrite));
+        sweep.requirements.push_back(GroupRequirement::on_partition(
+            sweep_parts[w], {energy}, Privilege::ReadOnly));
+        ctx.index_launch(sweep);
+      }
+
+      // Couple radiation back into the fluid energy.
+      core::IndexLaunch couple;
+      couple.fn = fns.couple_radiation;
+      couple.domain = domain;
+      couple.sharding = cfg.sharding;
+      couple.requirements.push_back(
+          GroupRequirement::on_partition(owned_cells, {energy}, Privilege::ReadWrite));
+      couple.requirements.push_back(
+          GroupRequirement::on_partition(owned_cells, {radiation}, Privilege::ReadOnly));
+      ctx.index_launch(couple);
+    }
+    ctx.execution_fence();
+  };
+}
+
+}  // namespace dcr::apps

@@ -1,0 +1,148 @@
+// The paper's running example: the implicitly parallel stencil code of
+// Figure 7 (1-D) and the 2-D variant benchmarked in Figure 12.
+//
+// Structure per timestep (Figure 7 lines 39-49):
+//   add_one(owned[i])            RW state   over the owned partition
+//   mul_two(interior[i])         RW flux    over the interior partition
+//   stencil(interior[i],ghost[i]) RW flux / RO state over interior + ghost
+//
+// The ghost partition aliases neighbouring owned blocks, so the add_one ->
+// stencil dependence crosses partitions and needs a cross-shard fence, while
+// mul_two -> stencil stays on the same (interior) partition and is elided —
+// exactly the Figure 10 analysis.
+#pragma once
+
+#include <cstdint>
+
+#include "dcr/api.hpp"
+#include "dcr/sharding.hpp"
+
+namespace dcr::apps {
+
+struct StencilConfig {
+  std::int64_t cells_per_tile = 1000;  // per tile along the partitioned axis
+  std::size_t tiles = 4;               // tiles along axis 0 (= launch width)
+  std::size_t steps = 10;              // timesteps
+  int dims = 1;                        // 1 or 2
+  std::int64_t width = 64;             // extent of axis 1 per tile row (2-D)
+  std::size_t tiles_y = 1;             // >1: true 2-D grid tiling (Figure 12)
+  ShardingId sharding = core::ShardingRegistry::blocked();
+  bool use_trace = false;              // wrap the time loop in a trace
+};
+
+// Near-square 2-D factorization of n (for n-node grid tilings).
+inline std::pair<std::size_t, std::size_t> square_factors(std::size_t n) {
+  std::size_t a = 1;
+  for (std::size_t d = 1; d * d <= n; ++d) {
+    if (n % d == 0) a = d;
+  }
+  return {n / a, a};
+}
+
+struct StencilFunctions {
+  FunctionId add_one;
+  FunctionId mul_two;
+  FunctionId stencil;
+};
+
+// Register the three task functions with a cost of `ns_per_cell` per cell of
+// the tasks' region arguments.
+inline StencilFunctions register_stencil_functions(core::FunctionRegistry& reg,
+                                                   double ns_per_cell) {
+  StencilFunctions fns;
+  fns.add_one = reg.register_simple("add_one", us(2), ns_per_cell);
+  fns.mul_two = reg.register_simple("mul_two", us(2), ns_per_cell);
+  fns.stencil = reg.register_simple("stencil", us(2), ns_per_cell);
+  return fns;
+}
+
+inline core::ApplicationMain make_stencil_app(const StencilConfig& cfg,
+                                              const StencilFunctions& fns) {
+  return [cfg, fns](core::Context& ctx) {
+    using namespace rt;
+    const bool grid2d = cfg.dims == 2 && cfg.tiles_y > 1;
+    const std::int64_t ncells = cfg.cells_per_tile * static_cast<std::int64_t>(cfg.tiles);
+    const std::int64_t nrows =
+        grid2d ? cfg.width * static_cast<std::int64_t>(cfg.tiles_y) : cfg.width;
+    const Rect grid =
+        cfg.dims == 1 ? Rect::r1(0, ncells - 1) : Rect::r2(0, ncells - 1, 0, nrows - 1);
+
+    FieldSpaceId fs = ctx.create_field_space();
+    const FieldId state = ctx.allocate_field(fs, 8, "state");
+    const FieldId flux = ctx.allocate_field(fs, 8, "flux");
+    const RegionTreeId tree = ctx.create_region(grid, fs);
+    const IndexSpaceId cells = ctx.root(tree);
+
+    PartitionId owned, interior, ghost;
+    const std::size_t total_tiles = cfg.tiles * (grid2d ? cfg.tiles_y : 1);
+    if (grid2d) {
+      owned = ctx.partition_grid(cells, cfg.tiles, cfg.tiles_y);
+      // interior: owned shrunk by one at the global domain boundary.
+      std::vector<Rect> interior_rects;
+      for (std::size_t c = 0; c < total_tiles; ++c) {
+        Rect r = ctx.forest().bounds(ctx.forest().subregion(owned, c));
+        for (int d = 0; d < 2; ++d) {
+          const auto di = static_cast<std::size_t>(d);
+          if (r.lo[di] == grid.lo[di]) r.lo[di] += 1;
+          if (r.hi[di] == grid.hi[di]) r.hi[di] -= 1;
+        }
+        interior_rects.push_back(r);
+      }
+      interior = ctx.create_partition(cells, interior_rects, true);
+      ghost = ctx.partition_grid(cells, cfg.tiles, cfg.tiles_y, /*halo=*/1);
+    } else {
+      owned = ctx.partition_equal(cells, cfg.tiles, /*axis=*/0);
+      std::vector<Rect> interior_rects;
+      for (std::size_t c = 0; c < cfg.tiles; ++c) {
+        Rect r = ctx.forest().bounds(ctx.forest().subregion(owned, c));
+        if (c == 0) r.lo[0] += 1;
+        if (c == cfg.tiles - 1) r.hi[0] -= 1;
+        interior_rects.push_back(r);
+      }
+      interior = ctx.create_partition(cells, interior_rects, true);
+      ghost = ctx.partition_with_halo(cells, cfg.tiles, /*halo=*/1, 0);
+    }
+
+    ctx.fill(cells, {state, flux});
+
+    const Rect launch_domain =
+        grid2d ? Rect::r2(0, static_cast<std::int64_t>(cfg.tiles) - 1, 0,
+                          static_cast<std::int64_t>(cfg.tiles_y) - 1)
+               : Rect::r1(0, static_cast<std::int64_t>(cfg.tiles) - 1);
+    const TraceId trace(1);
+    for (std::size_t t = 0; t < cfg.steps; ++t) {
+      if (cfg.use_trace) ctx.begin_trace(trace);
+
+      core::IndexLaunch add;
+      add.fn = fns.add_one;
+      add.domain = launch_domain;
+      add.sharding = cfg.sharding;
+      add.requirements.push_back(
+          GroupRequirement::on_partition(owned, {state}, Privilege::ReadWrite));
+      ctx.index_launch(add);
+
+      core::IndexLaunch mul;
+      mul.fn = fns.mul_two;
+      mul.domain = launch_domain;
+      mul.sharding = cfg.sharding;
+      mul.requirements.push_back(
+          GroupRequirement::on_partition(interior, {flux}, Privilege::ReadWrite));
+      ctx.index_launch(mul);
+
+      core::IndexLaunch st;
+      st.fn = fns.stencil;
+      st.domain = launch_domain;
+      st.sharding = cfg.sharding;
+      st.requirements.push_back(
+          GroupRequirement::on_partition(interior, {flux}, Privilege::ReadWrite));
+      st.requirements.push_back(
+          GroupRequirement::on_partition(ghost, {state}, Privilege::ReadOnly));
+      ctx.index_launch(st);
+
+      if (cfg.use_trace) ctx.end_trace(trace);
+    }
+    ctx.execution_fence();
+  };
+}
+
+}  // namespace dcr::apps

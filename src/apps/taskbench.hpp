@@ -1,0 +1,129 @@
+// Task Bench (paper §5.5, Slaughter et al. ICS'20) and the METG(50%)
+// methodology used for Figure 21.
+//
+// The benchmark is a parameterized task graph: a stencil dependence pattern
+// of `width` tasks per timestep for `steps` timesteps, with uniform task
+// granularity.  "By itself, the stencil benchmark has no task parallelism to
+// hide overhead, but by running four independent copies simultaneously, we
+// can simulate an application with a modicum of task parallelism."
+//
+// METG(50%): the minimum effective task granularity at which the system
+// achieves >= 50% efficiency versus perfect scaling (total useful task time
+// / (processors * elapsed)).  Lower is better; it isolates runtime overhead
+// from application characteristics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "dcr/api.hpp"
+#include "dcr/sharding.hpp"
+
+namespace dcr::apps {
+
+struct TaskBenchConfig {
+  std::size_t width = 4;        // tasks per timestep (usually = processors)
+  std::size_t steps = 16;
+  std::size_t copies = 4;       // independent graph copies (task parallelism)
+  SimTime task_granularity = us(100);
+  bool use_trace = false;
+  ShardingId sharding = core::ShardingRegistry::blocked();
+};
+
+inline FunctionId register_taskbench_function(core::FunctionRegistry& reg) {
+  return reg.register_function(core::TaskFunction{
+      "taskbench.stencil",
+      [](const core::PointTaskInfo& info) {
+        return static_cast<SimTime>(info.args.at(0));
+      },
+      nullptr});
+}
+
+inline core::ApplicationMain make_taskbench_app(const TaskBenchConfig& cfg, FunctionId fn) {
+  return [cfg, fn](core::Context& ctx) {
+    using namespace rt;
+    const auto width = static_cast<std::int64_t>(cfg.width);
+
+    // Double-buffered stencil (as in Task Bench proper): step t writes
+    // buffer[t%2] reading the halo of buffer[(t+1)%2], so point tasks within
+    // one timestep are pairwise independent.
+    struct Copy {
+      PartitionId owned;
+      PartitionId halo;
+      FieldId data[2];
+      IndexSpaceId region;
+    };
+    std::vector<Copy> copies;
+    for (std::size_t c = 0; c < cfg.copies; ++c) {
+      FieldSpaceId fs = ctx.create_field_space();
+      Copy cp;
+      cp.data[0] = ctx.allocate_field(fs, 8, "data0");
+      cp.data[1] = ctx.allocate_field(fs, 8, "data1");
+      const RegionTreeId tree = ctx.create_region(Rect::r1(0, width * 16 - 1), fs);
+      cp.region = ctx.root(tree);
+      cp.owned = ctx.partition_equal(cp.region, cfg.width);
+      cp.halo = ctx.partition_with_halo(cp.region, cfg.width, 1);
+      copies.push_back(cp);
+      ctx.fill(cp.region, {cp.data[0], cp.data[1]});
+    }
+
+    const Rect domain = Rect::r1(0, width - 1);
+    const TraceId trace(5);
+    for (std::size_t t = 0; t < cfg.steps; ++t) {
+      // Each trace spans two steps so the double-buffer parity lines up on
+      // replay.
+      if (cfg.use_trace && t % 2 == 0) ctx.begin_trace(trace);
+      for (const Copy& cp : copies) {
+        core::IndexLaunch l;
+        l.fn = fn;
+        l.domain = domain;
+        l.sharding = cfg.sharding;
+        l.args = {static_cast<std::int64_t>(cfg.task_granularity)};
+        l.requirements.push_back(GroupRequirement::on_partition(
+            cp.owned, {cp.data[t % 2]}, Privilege::ReadWrite));
+        l.requirements.push_back(GroupRequirement::on_partition(
+            cp.halo, {cp.data[(t + 1) % 2]}, Privilege::ReadOnly));
+        ctx.index_launch(l);
+      }
+      if (cfg.use_trace && (t % 2 == 1 || t + 1 == cfg.steps)) ctx.end_trace(trace);
+    }
+    ctx.execution_fence();
+  };
+}
+
+// Efficiency of a run: useful task time / (compute processors * makespan).
+inline double taskbench_efficiency(const TaskBenchConfig& cfg, std::size_t processors,
+                                   SimTime makespan) {
+  const double useful = static_cast<double>(cfg.width * cfg.steps * cfg.copies) *
+                        static_cast<double>(cfg.task_granularity);
+  return useful / (static_cast<double>(processors) * static_cast<double>(makespan));
+}
+
+// METG(50%): binary-search the smallest task granularity with >= 50%
+// efficiency.  `run` executes the benchmark and returns the makespan.
+inline SimTime find_metg(
+    TaskBenchConfig cfg, std::size_t processors,
+    const std::function<SimTime(const TaskBenchConfig&)>& run,
+    double target_efficiency = 0.5) {
+  SimTime lo = us(1), hi = us(1);
+  // Grow until efficient.
+  for (int i = 0; i < 24; ++i) {
+    cfg.task_granularity = hi;
+    if (taskbench_efficiency(cfg, processors, run(cfg)) >= target_efficiency) break;
+    hi *= 2;
+  }
+  if (hi == us(1)) return hi;  // efficient even at the smallest granularity
+  lo = hi / 2;
+  for (int i = 0; i < 8; ++i) {
+    const SimTime mid = (lo + hi) / 2;
+    cfg.task_granularity = mid;
+    if (taskbench_efficiency(cfg, processors, run(cfg)) >= target_efficiency) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace dcr::apps

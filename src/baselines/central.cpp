@@ -1,0 +1,394 @@
+#include "baselines/central.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace dcr::baselines {
+
+using core::Context;
+using core::Future;
+using core::FutureMap;
+using core::IndexLaunch;
+using core::PointTaskInfo;
+using core::ReduceOp;
+using core::TaskLaunch;
+
+namespace {
+constexpr NodeId kController{0};
+}
+
+// ===========================================================================
+// CentralContext
+// ===========================================================================
+class CentralContext final : public Context {
+ public:
+  CentralContext(CentralRuntime& rt, sim::ProcessContext& pctx) : rt_(rt), pctx_(pctx) {}
+
+  void api_call() { pctx_.delay(rt_.config_.issue_cost); }
+
+  // ---- data model: direct, single control program ----
+  FieldSpaceId create_field_space() override {
+    api_call();
+    return rt_.forest_.create_field_space();
+  }
+  FieldId allocate_field(FieldSpaceId fs, std::size_t bytes, std::string name) override {
+    api_call();
+    return rt_.forest_.allocate_field(fs, bytes, std::move(name));
+  }
+  RegionTreeId create_region(const rt::Rect& bounds, FieldSpaceId fs) override {
+    api_call();
+    return rt_.forest_.create_tree(bounds, fs);
+  }
+  IndexSpaceId root(RegionTreeId tree) override { return rt_.forest_.root(tree); }
+  PartitionId partition_equal(IndexSpaceId parent, std::size_t pieces, int axis) override {
+    api_call();
+    return rt_.forest_.partition_equal(parent, pieces, axis);
+  }
+  PartitionId partition_with_halo(IndexSpaceId parent, std::size_t pieces, std::int64_t halo,
+                                  int axis) override {
+    api_call();
+    return rt_.forest_.partition_with_halo(parent, pieces, halo, axis);
+  }
+  PartitionId create_partition(IndexSpaceId parent, std::vector<rt::Rect> pieces,
+                               bool disjoint) override {
+    api_call();
+    return rt_.forest_.create_partition(parent, std::move(pieces), disjoint);
+  }
+  PartitionId partition_grid(IndexSpaceId parent, std::size_t tiles_x, std::size_t tiles_y,
+                             std::int64_t halo) override {
+    api_call();
+    return rt_.forest_.partition_grid(parent, tiles_x, tiles_y, halo);
+  }
+  void destroy_region(RegionTreeId tree) override {
+    api_call();
+    // Single controller: deletion is ordered by construction; apply when all
+    // outstanding work completes (conservatively: at once, metadata only).
+    if (!rt_.forest_.tree_destroyed(tree)) rt_.forest_.destroy_tree(tree);
+  }
+  void destroy_region_deferred(RegionTreeId tree) override {
+    // No replication -> no consensus needed (paper §4.3 applies to DCR only).
+    if (!rt_.forest_.tree_destroyed(tree)) rt_.forest_.destroy_tree(tree);
+  }
+  const rt::RegionForest& forest() const override { return rt_.forest_; }
+
+  // ---- operations ----
+  void fill(IndexSpaceId region, std::vector<FieldId> fields) override {
+    api_call();
+    rt_.next_op_++;
+    rt_.stats_.ops_issued++;
+    const rt::Rect rect = rt_.forest_.bounds(region);
+    const RegionTreeId tree = rt_.forest_.tree_of(region);
+    const TaskId tid(rt_.next_op_ << 20);
+    const sim::Event analyzed = rt_.controller_work(rt_.config_.analysis_cost_per_op);
+    sim::UserEvent done;
+    std::vector<sim::Event> pre{analyzed};
+    for (FieldId f : fields) {
+      auto conflicts = rt_.tracker_.record_use(tree, f, rect, rt::Privilege::WriteDiscard,
+                                               rt::kNoRedop, tid, done);
+      if (!conflicts.precondition.has_triggered()) pre.push_back(conflicts.precondition);
+      rt_.physical_->record_fill(tree, f, rect);
+    }
+    rt_.machine_.analysis_proc(kController)
+        .enqueue(us(1), sim::merge_events(std::span<const sim::Event>(pre)),
+                 [this, done] { done.trigger(rt_.machine_.sim().now()); });
+    rt_.all_completions_.push_back(done);
+  }
+
+  Future launch(const TaskLaunch& launch) override {
+    api_call();
+    Future f;
+    if (launch.wants_future) f.id = next_future_++;
+    run_tasks(launch.fn, rt::Rect::r1(0, 0), /*single=*/true, {}, launch.requirements,
+              launch.args, f.id, ~0ull);
+    return f;
+  }
+
+  FutureMap index_launch(const IndexLaunch& launch) override {
+    api_call();
+    FutureMap fm;
+    if (launch.wants_futures) fm.id = next_future_map_++;
+    run_tasks(launch.fn, launch.domain, /*single=*/false, launch.requirements, {},
+              launch.args, ~0ull, fm.id);
+    return fm;
+  }
+
+  Future reduce_future_map(const FutureMap& fm, ReduceOp op) override {
+    api_call();
+    DCR_CHECK(fm.valid());
+    auto& fms = rt_.future_maps_.at(fm.id);
+    Future f;
+    f.id = next_future_++;
+    auto& fut = rt_.futures_[f.id];
+    sim::UserEvent gate;
+    fut.ready = gate;
+    // All per-point values must have arrived at the controller.
+    auto* fmsp = &fms;
+    auto* futp = &fut;
+    std::vector<sim::Event> arrivals(fms.ready.begin(), fms.ready.end());
+    sim::merge_events(std::span<const sim::Event>(arrivals))
+        .on_trigger([this, fmsp, futp, op, gate] {
+          double acc = op == ReduceOp::Min ? std::numeric_limits<double>::infinity()
+                       : op == ReduceOp::Max ? -std::numeric_limits<double>::infinity()
+                                             : 0.0;
+          for (double v : fmsp->values) acc = core::apply_reduce(op, acc, v);
+          futp->value = acc;
+          gate.trigger(rt_.machine_.sim().now());
+        });
+    return f;
+  }
+
+  double get_future(const Future& f) override {
+    api_call();
+    DCR_CHECK(f.valid());
+    auto it = rt_.futures_.find(f.id);
+    DCR_CHECK(it != rt_.futures_.end());
+    pctx_.wait(it->second.ready);
+    return it->second.value;
+  }
+
+  bool future_is_ready(const Future& f) override {
+    api_call();
+    auto it = rt_.futures_.find(f.id);
+    return it != rt_.futures_.end() && it->second.ready.has_triggered();
+  }
+
+  void execution_fence() override {
+    api_call();
+    for (;;) {
+      std::vector<sim::Event> pending;
+      for (const sim::Event& e : rt_.all_completions_) {
+        if (!e.has_triggered()) pending.push_back(e);
+      }
+      if (pending.empty()) break;
+      pctx_.wait(sim::merge_events(std::span<const sim::Event>(pending)));
+    }
+  }
+
+  void attach_file(IndexSpaceId region, std::vector<FieldId> fields,
+                   std::string /*file*/) override {
+    api_call();
+    attach_impl(region, fields, /*detach=*/false);
+  }
+  void detach_file(IndexSpaceId region, std::vector<FieldId> fields) override {
+    api_call();
+    attach_impl(region, fields, /*detach=*/true);
+  }
+
+  void attach_file_group(PartitionId partition, std::vector<FieldId> fields,
+                         std::string /*basename*/) override {
+    api_call();
+    // A centralized runtime still performs group I/O, but schedules it all
+    // from the controller, piece by piece.
+    for (std::uint64_t c = 0; c < rt_.forest_.num_subregions(partition); ++c) {
+      attach_impl(rt_.forest_.subregion(partition, c), fields, /*detach=*/false);
+    }
+  }
+  void detach_file_group(PartitionId partition, std::vector<FieldId> fields) override {
+    api_call();
+    for (std::uint64_t c = 0; c < rt_.forest_.num_subregions(partition); ++c) {
+      attach_impl(rt_.forest_.subregion(partition, c), fields, /*detach=*/true);
+    }
+  }
+
+  void begin_trace(TraceId id) override {
+    api_call();
+    active_trace_ = id;
+  }
+  void end_trace(TraceId id) override {
+    api_call();
+    DCR_CHECK(active_trace_ && *active_trace_ == id);
+    traces_seen_.insert(id);
+    active_trace_.reset();
+  }
+
+  std::size_t num_shards() const override { return 1; }
+  ShardId shard_id() const override { return ShardId(0); }
+  Philox4x32& rng() override { return rng_; }
+  SimTime now() const override { return pctx_.now(); }
+
+ private:
+  void attach_impl(IndexSpaceId region, const std::vector<FieldId>& fields, bool detach) {
+    rt_.next_op_++;
+    rt_.stats_.ops_issued++;
+    const rt::Rect rect = rt_.forest_.bounds(region);
+    const RegionTreeId tree = rt_.forest_.tree_of(region);
+    std::uint64_t bytes = 0;
+    for (FieldId f : fields) bytes += rect.volume() * rt_.forest_.field_size(f);
+    const TaskId tid(rt_.next_op_ << 20);
+    sim::UserEvent done;
+    std::vector<sim::Event> pre{rt_.controller_work(rt_.config_.analysis_cost_per_op)};
+    for (FieldId f : fields) {
+      const auto priv = detach ? rt::Privilege::ReadOnly : rt::Privilege::WriteDiscard;
+      auto conflicts = rt_.tracker_.record_use(tree, f, rect, priv, rt::kNoRedop, tid, done);
+      if (!conflicts.precondition.has_triggered()) pre.push_back(conflicts.precondition);
+      if (detach) {
+        pre.push_back(rt_.physical_->acquire(tree, f, rect, kController));
+      } else {
+        rt_.physical_->record_write(tree, f, rect, kController, done);
+      }
+    }
+    const auto io = static_cast<SimTime>(static_cast<double>(bytes) * rt_.config_.file_ns_per_byte);
+    rt_.machine_.analysis_proc(kController)
+        .enqueue(io, sim::merge_events(std::span<const sim::Event>(pre)),
+                 [this, done] { done.trigger(rt_.machine_.sim().now()); });
+    rt_.all_completions_.push_back(done);
+  }
+
+  // Shared path for single and index launches: the controller analyzes and
+  // dispatches every point.
+  void run_tasks(FunctionId fn, const rt::Rect& domain, bool single,
+                 const std::vector<rt::GroupRequirement>& group_reqs,
+                 const std::vector<rt::Requirement>& single_reqs,
+                 const std::vector<std::int64_t>& args, std::uint64_t future_id,
+                 std::uint64_t future_map_id) {
+    rt_.next_op_++;
+    rt_.stats_.ops_issued++;
+    const std::uint64_t npoints = single ? 1 : domain.volume();
+    const bool cached =
+        rt_.config_.schedule_caching && active_trace_ && traces_seen_.count(*active_trace_);
+    const SimTime per_task =
+        cached ? rt_.config_.cached_cost_per_task : rt_.config_.analysis_cost_per_task;
+    const sim::Event analyzed =
+        rt_.controller_work(rt_.config_.analysis_cost_per_op + per_task * npoints);
+
+    CentralRuntime::FutureMapState* fms = nullptr;
+    if (future_map_id != ~0ull) {
+      fms = &rt_.future_maps_[future_map_id];
+      fms->values.assign(npoints, 0.0);
+      fms->ready.assign(npoints, sim::UserEvent());
+      for (auto& e : fms->ready) e = sim::UserEvent();
+    }
+    CentralRuntime::FutureState* fut = nullptr;
+    sim::UserEvent fut_gate;
+    if (future_id != ~0ull) {
+      fut = &rt_.futures_[future_id];
+      fut->ready = fut_gate;
+    }
+
+    const std::uint64_t op = rt_.next_op_;
+    for (std::uint64_t i = 0; i < npoints; ++i) {
+      const rt::Point p = single ? rt::Point::p1(0) : rt::delinearize(domain, i);
+      PointTaskInfo info;
+      info.fn = fn;
+      info.point = p;
+      info.domain = domain;
+      info.args = args;
+      if (single) {
+        info.requirements = single_reqs;
+      } else {
+        info.requirements.reserve(group_reqs.size());
+        for (const auto& gr : group_reqs) {
+          info.requirements.push_back(gr.concretize(rt_.forest_, rt_.projections_, p, domain));
+        }
+      }
+      for (const auto& r : info.requirements) {
+        info.volume += rt_.forest_.bounds(r.region).volume();
+      }
+
+      const NodeId target = rt_.target_node(i, npoints);
+      const TaskId tid((op << 20) + i);
+      sim::UserEvent done;
+      std::vector<sim::Event> pre;
+      // The dispatch message leaves the controller once analysis finishes.
+      pre.push_back(rt_.machine_.network().copy(kController, target,
+                                                rt_.config_.dispatch_bytes, analyzed));
+      for (const auto& r : info.requirements) {
+        const rt::Rect rect = rt_.forest_.bounds(r.region);
+        const RegionTreeId tree = rt_.forest_.tree_of(r.region);
+        for (FieldId f : r.fields) {
+          if (rt::is_reader(r.privilege)) {
+            const sim::Event copied = rt_.physical_->acquire(tree, f, rect, target);
+            if (!copied.has_triggered()) pre.push_back(copied);
+          }
+          auto conflicts =
+              rt_.tracker_.record_use(tree, f, rect, r.privilege, r.redop, tid, done);
+          if (!conflicts.precondition.has_triggered()) pre.push_back(conflicts.precondition);
+          if (rt::is_writer(r.privilege)) {
+            rt_.physical_->record_write(tree, f, rect, target, done);
+          }
+        }
+      }
+
+      const SimTime duration = rt_.functions_.at(fn).duration(info);
+      sim::Processor& proc = rt_.machine_.compute_proc(
+          target, i % rt_.machine_.config().compute_procs_per_node);
+      const bool wants_value = fms != nullptr || fut != nullptr;
+      proc.enqueue(
+          duration, sim::merge_events(std::span<const sim::Event>(pre)),
+          [this, done, info = std::move(info), target, wants_value, fms, fut, fut_gate, i] {
+            done.trigger(rt_.machine_.sim().now());
+            if (!wants_value) return;
+            const auto& f = rt_.functions_.at(info.fn);
+            DCR_CHECK(f.future_value != nullptr);
+            const double v = f.future_value(info);
+            // Result message back to the controller.
+            sim::Event arrived = rt_.machine_.network().send(
+                target, kController, rt_.config_.completion_bytes);
+            if (fms) {
+              const sim::UserEvent gate = fms->ready[i];
+              arrived.on_trigger([this, fms, v, gate, i] {
+                fms->values[i] = v;
+                gate.trigger(rt_.machine_.sim().now());
+              });
+            }
+            if (fut) {
+              arrived.on_trigger([this, fut, v, fut_gate] {
+                fut->value = v;
+                fut_gate.trigger(rt_.machine_.sim().now());
+              });
+            }
+          });
+      rt_.all_completions_.push_back(done);
+      rt_.stats_.point_tasks_launched++;
+    }
+  }
+
+  CentralRuntime& rt_;
+  sim::ProcessContext& pctx_;
+  Philox4x32 rng_{0x5eed, 0};
+  std::uint64_t next_future_ = 0;
+  std::uint64_t next_future_map_ = 0;
+  std::optional<TraceId> active_trace_;
+  std::set<TraceId> traces_seen_;
+};
+
+// ===========================================================================
+// CentralRuntime
+// ===========================================================================
+
+CentralRuntime::CentralRuntime(sim::Machine& machine, core::FunctionRegistry& functions,
+                               CentralConfig config)
+    : machine_(machine),
+      functions_(functions),
+      config_(config),
+      physical_(std::make_unique<rt::PhysicalState>(forest_, machine.network())) {}
+
+sim::Event CentralRuntime::controller_work(SimTime duration) {
+  analysis_tail_ =
+      machine_.analysis_proc(kController).enqueue(duration, analysis_tail_);
+  return analysis_tail_;
+}
+
+NodeId CentralRuntime::target_node(std::uint64_t point_index, std::uint64_t total) const {
+  // Blocked placement across nodes, matching the blocked sharding DCR uses.
+  const std::uint64_t n = machine_.num_nodes();
+  const std::uint64_t block = (total + n - 1) / n;
+  return NodeId(static_cast<std::uint32_t>(std::min(point_index / block, n - 1)));
+}
+
+CentralStats CentralRuntime::execute(const core::ApplicationMain& main) {
+  machine_.sim().spawn("controller", [this, &main](sim::ProcessContext& pctx) {
+    CentralContext ctx(*this, pctx);
+    main(ctx);
+    ctx.execution_fence();
+    stats_.completed = true;
+  });
+  stats_.makespan = machine_.sim().run();
+  stats_.bytes_moved = physical_->bytes_moved();
+  stats_.messages = machine_.network().stats().messages;
+  stats_.controller_busy = machine_.analysis_proc(kController).busy_time();
+  stats_.compute_busy = machine_.total_compute_busy();
+  return stats_;
+}
+
+}  // namespace dcr::baselines

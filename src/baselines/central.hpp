@@ -1,0 +1,100 @@
+// Centralized lazy-evaluation executor — the paper's "No Control Replication"
+// configuration and, with different cost parameters, the Dask/Spark-style
+// comparators of Figures 19 and 20.
+//
+// One control program runs on node 0.  Every operation's dependence analysis
+// is performed there, *enumerating every point task* (this is exactly what
+// makes it a sequential bottleneck: analysis cost grows with machine size
+// while per-node work stays constant in weak scaling).  Point tasks are then
+// dispatched to worker nodes with one message each, and completion/future
+// values flow back to node 0 — reproducing both the analysis-throughput and
+// the message-ingress bottlenecks of a centralized controller.
+//
+// With `schedule_caching` (TensorFlow/Spark-style memoization of repeated
+// loops, §1/§6), repeated traced loops charge a reduced per-task cost.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dcr/api.hpp"
+#include "dcr/sharding.hpp"
+#include "dcr/user_tracker.hpp"
+#include "runtime/physical.hpp"
+#include "runtime/region.hpp"
+#include "sim/machine.hpp"
+
+namespace dcr::baselines {
+
+struct CentralConfig {
+  SimTime issue_cost = ns(200);         // control program, per API call
+  SimTime analysis_cost_per_task = us(1);  // node-0 dependence analysis, per point
+  SimTime analysis_cost_per_op = ns(500);
+  std::uint64_t dispatch_bytes = 256;   // task-launch message size
+  std::uint64_t completion_bytes = 64;  // completion/future-value message size
+  bool schedule_caching = false;        // TF/Spark-style repeated-loop caching
+  SimTime cached_cost_per_task = ns(50);
+  double file_ns_per_byte = 0.25;
+};
+
+struct CentralStats {
+  SimTime makespan = 0;
+  std::uint64_t ops_issued = 0;
+  std::uint64_t point_tasks_launched = 0;
+  std::uint64_t bytes_moved = 0;
+  std::uint64_t messages = 0;
+  SimTime controller_busy = 0;  // node-0 analysis processor busy time
+  SimTime compute_busy = 0;
+  bool completed = false;
+};
+
+class CentralRuntime {
+ public:
+  CentralRuntime(sim::Machine& machine, core::FunctionRegistry& functions,
+                 CentralConfig config = {});
+
+  CentralStats execute(const core::ApplicationMain& main);
+
+  rt::RegionForest& forest() { return forest_; }
+  rt::ProjectionRegistry& projections() { return projections_; }
+
+ private:
+  friend class CentralContext;
+
+  struct FutureState {
+    sim::Event ready;   // value arrived back at node 0
+    double value = 0.0;
+  };
+  struct FutureMapState {
+    std::vector<double> values;         // per point, filled at completion
+    std::vector<sim::UserEvent> ready;  // per point arrival at node 0
+  };
+
+  NodeId target_node(std::uint64_t point_index, std::uint64_t total) const;
+  // Serialize `duration` of analysis work on the controller's processor.
+  sim::Event controller_work(SimTime duration);
+
+  sim::Machine& machine_;
+  core::FunctionRegistry& functions_;
+  CentralConfig config_;
+
+  rt::RegionForest forest_;
+  rt::ProjectionRegistry projections_;
+  std::unique_ptr<rt::PhysicalState> physical_;
+  core::UserTracker tracker_;
+
+  sim::Event analysis_tail_;  // serializes controller-side analysis
+  std::vector<sim::Event> all_completions_;
+  std::map<std::uint64_t, FutureState> futures_;
+  std::map<std::uint64_t, FutureMapState> future_maps_;
+
+  CentralStats stats_;
+  std::uint64_t next_op_ = 0;
+};
+
+}  // namespace dcr::baselines

@@ -1,0 +1,35 @@
+// Static control replication (SCR) baseline — Regent's compile-time
+// transformation (paper §5.1, Slaughter et al. SC'17).
+//
+// SCR compiles the implicitly parallel program into explicitly parallel SPMD
+// code: the dependence analysis happens entirely at compile time, so at run
+// time each node just executes its slice with point-to-point synchronization.
+// We model this as the DCR executor with all *analysis* costs zeroed — the
+// sharded execution structure, data movement, and synchronization events are
+// identical to what Regent's generated code performs; what disappears is the
+// runtime analysis work ("static control replication, when it applies, has
+// no runtime overhead").  Control-determinism checks do not exist in compiled
+// code and are disabled.
+//
+// SCR's *applicability* limits (statically known partition counts, no
+// data-dependent control flow, §5.2) are a property of the compiler, not of
+// the execution model; benches that exercise those features simply do not
+// offer an SCR series, as in the paper.
+#pragma once
+
+#include "dcr/runtime.hpp"
+
+namespace dcr::baselines {
+
+inline core::DcrConfig scr_config(core::DcrConfig base = {}) {
+  base.issue_cost = ns(20);  // compiled loop bookkeeping, not runtime calls
+  base.coarse_cost_per_req = 0;
+  base.fine_cost_per_point = 0;
+  base.fine_cost_per_op = 0;
+  base.hash_cost = 0;
+  base.determinism_checks = false;
+  base.tracing_enabled = false;
+  return base;
+}
+
+}  // namespace dcr::baselines

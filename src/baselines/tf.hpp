@@ -1,0 +1,46 @@
+// TensorFlow (+ Horovod) comparator model for Figures 15 and 18.
+//
+// TensorFlow's lazy-evaluation architecture compiles the dataflow graph once
+// and replays it every iteration, so there is no per-iteration dependence
+// analysis: iteration time is compute overlapped with the gradient ring
+// all-reduce ("TensorFlow uses data parallelism, keeping a replica of the
+// model weights on each GPU, and performs collective reductions across GPUs
+// using Horovod", §5.3).  Horovod overlaps communication with the backward
+// pass — communication hides behind all but the first layer's backward — so
+//
+//   t_iter = fwd_total + max(bwd_total, allreduce_total) + session_overhead
+//
+// This is the standard analytic model for synchronous data-parallel SGD; the
+// same ring-all-reduce term feeds the FlexFlow app (apps/nn.hpp), so the two
+// systems differ exactly where the paper says they do: the execution model,
+// not the collective algorithm.
+#pragma once
+
+#include <algorithm>
+
+#include "apps/nn.hpp"
+
+namespace dcr::baselines {
+
+struct TfConfig {
+  sim::NetworkParams net;
+  SimTime session_overhead_per_iter = us(50);  // graph dispatch, feed/fetch
+};
+
+// Virtual time for `iterations` data-parallel training iterations.
+// compute_scale = 1.0 models a fixed per-GPU batch; 1/gpus models a fixed
+// global batch (per-GPU compute shrinks, gradient volume does not).
+inline SimTime tf_training_time(const apps::NetworkSpec& spec, std::size_t gpus,
+                                std::size_t iterations, const TfConfig& cfg = {},
+                                double compute_scale = 1.0) {
+  SimTime fwd = 0, bwd = 0, comm = 0;
+  for (const auto& l : spec.layers) {
+    fwd += static_cast<SimTime>(static_cast<double>(l.fwd_time) * compute_scale);
+    bwd += static_cast<SimTime>(static_cast<double>(l.bwd_time) * compute_scale);
+    comm += apps::ring_allreduce_time(l.param_bytes, gpus, cfg.net);
+  }
+  const SimTime iter = fwd + std::max(bwd, comm) + cfg.session_overhead_per_iter;
+  return iter * iterations;
+}
+
+}  // namespace dcr::baselines

@@ -1,0 +1,60 @@
+// Internal assertion macros.
+//
+// DCR_CHECK is always on (release builds included): this is a runtime whose
+// invariants guard a distributed dependence analysis — a silent violation
+// would corrupt task graphs, which is strictly worse than an abort.
+// DCR_DCHECK compiles out in NDEBUG builds for hot inner loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace dcr::detail {
+
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* expr, const std::string& msg) {
+  std::fprintf(stderr, "DCR_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg.empty() ? "" : " — ", msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Stream-collector so call sites can write DCR_CHECK(x) << "context " << v;
+class CheckStream {
+ public:
+  CheckStream(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckStream() { check_failed(file_, line_, expr_, os_.str()); }
+  template <typename T>
+  CheckStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream os_;
+};
+
+struct CheckVoidify {
+  // Lowest precedence that still binds tighter than ?: — lets the macro
+  // discard the stream expression on the success path.
+  void operator&(const CheckStream&) {}
+};
+
+}  // namespace dcr::detail
+
+#define DCR_CHECK(cond)                    \
+  (cond) ? (void)0                         \
+         : ::dcr::detail::CheckVoidify{} & \
+               ::dcr::detail::CheckStream(__FILE__, __LINE__, #cond)
+
+#ifdef NDEBUG
+#define DCR_DCHECK(cond) DCR_CHECK(true)
+#else
+#define DCR_DCHECK(cond) DCR_CHECK(cond)
+#endif

@@ -1,0 +1,84 @@
+// 128-bit incremental hash used by the control-determinism checker (paper §3:
+// "we compute a 128-bit hash that captures the API call and all its actual
+// arguments").
+//
+// The construction is two independent 64-bit FNV-1a-style lanes with distinct
+// offset bases and a strong 128->128 finalizer (two rounds of the
+// splitmix64/murmur avalanche applied cross-lane).  It is not cryptographic;
+// the paper only needs collision probabilities low enough that divergent call
+// streams are detected with overwhelming probability, which 128 bits of
+// well-mixed state provides.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <type_traits>
+
+namespace dcr {
+
+struct Hash128 {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend constexpr bool operator==(const Hash128&, const Hash128&) = default;
+};
+
+class Hasher128 {
+ public:
+  Hasher128() = default;
+
+  Hasher128& bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      a_ = (a_ ^ p[i]) * kPrimeA;
+      b_ = (b_ ^ p[i]) * kPrimeB;
+      b_ = rotl(b_, 29);
+    }
+    return *this;
+  }
+
+  // Any trivially copyable value is hashed by object representation.  Padding
+  // bytes would make this non-deterministic, so we require types without
+  // padding in practice (ints, enums, ids); structs should be hashed
+  // field-by-field.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T> && (!std::is_pointer_v<T>)
+  Hasher128& value(const T& v) {
+    return bytes(&v, sizeof(v));
+  }
+
+  Hasher128& string(std::string_view s) {
+    value(s.size());
+    return bytes(s.data(), s.size());
+  }
+
+  Hash128 finish() const {
+    std::uint64_t x = a_, y = b_;
+    // Cross-lane avalanche so every input bit affects both output words.
+    x += 0x9e3779b97f4a7c15ull + y;
+    x = mix(x);
+    y += 0xbf58476d1ce4e5b9ull + x;
+    y = mix(y);
+    x ^= y >> 32;
+    return Hash128{mix(x), mix(y ^ rotl(x, 17))};
+  }
+
+ private:
+  static constexpr std::uint64_t kPrimeA = 0x100000001b3ull;      // FNV prime
+  static constexpr std::uint64_t kPrimeB = 0x9ddfea08eb382d69ull; // murmur-ish
+
+  static constexpr std::uint64_t rotl(std::uint64_t v, int s) {
+    return (v << s) | (v >> (64 - s));
+  }
+  static constexpr std::uint64_t mix(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t a_ = 0xcbf29ce484222325ull;  // FNV offset basis
+  std::uint64_t b_ = 0x6c62272e07bb0142ull;  // FNV-128 high word basis
+};
+
+}  // namespace dcr

@@ -1,0 +1,91 @@
+// Fundamental identifier and time types shared by every subsystem.
+//
+// All ids are strong typedefs so that, e.g., a ShardId cannot be passed where
+// a NodeId is expected.  Ids are value types: trivially copyable, hashable,
+// and totally ordered so they can key std::map / std::unordered_map.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace dcr {
+
+// Virtual time in nanoseconds.  The simulation clock never wraps in practice
+// (2^64 ns ~ 584 years of virtual time).
+using SimTime = std::uint64_t;
+
+inline constexpr SimTime kTimeNever = std::numeric_limits<SimTime>::max();
+
+// Convenience literals for building cost models.
+constexpr SimTime ns(std::uint64_t v) { return v; }
+constexpr SimTime us(std::uint64_t v) { return v * 1000ull; }
+constexpr SimTime ms(std::uint64_t v) { return v * 1000000ull; }
+constexpr SimTime sec(std::uint64_t v) { return v * 1000000000ull; }
+
+namespace detail {
+
+// CRTP strong-id base: a wrapped integer with explicit construction.
+template <typename Tag, typename Rep = std::uint32_t>
+struct StrongId {
+  using rep_type = Rep;
+
+  Rep value = invalid_value();
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep v) : value(v) {}
+
+  static constexpr Rep invalid_value() { return std::numeric_limits<Rep>::max(); }
+  static constexpr StrongId invalid() { return StrongId(); }
+  constexpr bool valid() const { return value != invalid_value(); }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+};
+
+}  // namespace detail
+
+struct NodeTag {};
+struct ProcTag {};
+struct ShardTag {};
+struct TaskTag {};
+struct OpTag {};
+struct RegionTreeTag {};
+struct IndexSpaceTag {};
+struct FieldSpaceTag {};
+struct FieldTag {};
+struct PartitionTag {};
+struct FunctionTag {};
+struct ShardingTag {};
+struct ProjectionTag {};
+struct TraceTag {};
+struct CollectiveTag {};
+
+using NodeId = detail::StrongId<NodeTag>;
+using ProcId = detail::StrongId<ProcTag>;           // globally unique processor id
+using ShardId = detail::StrongId<ShardTag>;
+using OpId = detail::StrongId<OpTag, std::uint64_t>;  // program-order op index
+using TaskId = detail::StrongId<TaskTag, std::uint64_t>;
+using RegionTreeId = detail::StrongId<RegionTreeTag>;
+using IndexSpaceId = detail::StrongId<IndexSpaceTag>;
+using FieldSpaceId = detail::StrongId<FieldSpaceTag>;
+using FieldId = detail::StrongId<FieldTag>;
+using PartitionId = detail::StrongId<PartitionTag>;
+using FunctionId = detail::StrongId<FunctionTag>;     // task function id
+using ShardingId = detail::StrongId<ShardingTag>;     // sharding function id
+using ProjectionId = detail::StrongId<ProjectionTag>; // projection function id
+using TraceId = detail::StrongId<TraceTag>;
+using CollectiveId = detail::StrongId<CollectiveTag, std::uint64_t>;
+
+}  // namespace dcr
+
+// Hash support for all strong ids.
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<dcr::detail::StrongId<Tag, Rep>> {
+  size_t operator()(dcr::detail::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value);
+  }
+};
+}  // namespace std

@@ -1,0 +1,184 @@
+// Application-facing API shared by every executor (DCR, central controller,
+// static replication, ...).
+//
+// Applications are written once against `Context` — the implicitly parallel
+// programming model of the paper: a sequential control program that creates
+// regions/partitions and launches tasks or task groups; all parallelism and
+// data movement are discovered by the executor's dependence analysis.  The
+// same application callable runs unchanged on every executor, which is what
+// makes the paper's productivity claim concrete and the benchmark comparison
+// apples-to-apples.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/philox.hpp"
+#include "common/types.hpp"
+#include "runtime/geometry.hpp"
+#include "runtime/region.hpp"
+#include "runtime/requirement.hpp"
+
+namespace dcr::core {
+
+// Opaque handles to asynchronous values produced by tasks.
+struct Future {
+  std::uint64_t id = ~0ull;
+  bool valid() const { return id != ~0ull; }
+};
+
+struct FutureMap {
+  std::uint64_t id = ~0ull;
+  bool valid() const { return id != ~0ull; }
+};
+
+enum class ReduceOp : std::uint8_t { Sum, Min, Max };
+
+inline double apply_reduce(ReduceOp op, double a, double b) {
+  switch (op) {
+    case ReduceOp::Sum: return a + b;
+    case ReduceOp::Min: return a < b ? a : b;
+    case ReduceOp::Max: return a > b ? a : b;
+  }
+  return a;
+}
+
+// Everything a cost/value model may depend on for one point task.
+struct PointTaskInfo {
+  FunctionId fn;
+  rt::Point point;          // point in the launch domain (0-D for single tasks)
+  rt::Rect domain;          // launch domain
+  std::vector<rt::Requirement> requirements;  // concretized
+  std::uint64_t volume = 0;                   // total points across requirements
+  std::vector<std::int64_t> args;             // application scalar arguments
+};
+
+// Task function registration: name + execution cost model + optional future
+// value model.  The value model makes data-dependent control flow (futures
+// driving loops) deterministic and reproducible without executing numerics.
+struct TaskFunction {
+  std::string name;
+  std::function<SimTime(const PointTaskInfo&)> duration;
+  std::function<double(const PointTaskInfo&)> future_value;  // may be null
+};
+
+class FunctionRegistry {
+ public:
+  FunctionId register_function(TaskFunction fn) {
+    DCR_CHECK(fn.duration != nullptr) << "task function needs a duration model";
+    fns_.push_back(std::move(fn));
+    return FunctionId(static_cast<std::uint32_t>(fns_.size() - 1));
+  }
+
+  // Convenience: fixed cost + per-point cost over the requirement volume.
+  FunctionId register_simple(std::string name, SimTime fixed, double ns_per_point,
+                             std::function<double(const PointTaskInfo&)> value = nullptr) {
+    return register_function(TaskFunction{
+        std::move(name),
+        [fixed, ns_per_point](const PointTaskInfo& info) {
+          return fixed + static_cast<SimTime>(ns_per_point * static_cast<double>(info.volume));
+        },
+        std::move(value)});
+  }
+
+  const TaskFunction& at(FunctionId id) const {
+    DCR_CHECK(id.value < fns_.size()) << "unregistered task function";
+    return fns_[id.value];
+  }
+  std::size_t size() const { return fns_.size(); }
+
+ private:
+  std::vector<TaskFunction> fns_;
+};
+
+// A single task launch.
+struct TaskLaunch {
+  FunctionId fn;
+  std::vector<rt::Requirement> requirements;
+  std::vector<std::int64_t> args;
+  bool wants_future = false;
+};
+
+// A group (index) task launch: one point task per point of `domain`.
+struct IndexLaunch {
+  FunctionId fn;
+  rt::Rect domain;
+  std::vector<rt::GroupRequirement> requirements;
+  ShardingId sharding = ShardingId(0);  // cyclic by default
+  std::vector<std::int64_t> args;
+  bool wants_futures = false;
+};
+
+// The implicitly parallel programming interface.  All methods that affect
+// analysis are *API calls* in the paper's §3 sense: under DCR each shard's
+// call stream is hashed and cross-checked for control determinism.
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  // ---- data model (replication-safe: the k-th creation call returns the
+  //      same handle on every shard) ----
+  virtual FieldSpaceId create_field_space() = 0;
+  virtual FieldId allocate_field(FieldSpaceId fs, std::size_t bytes, std::string name) = 0;
+  virtual RegionTreeId create_region(const rt::Rect& bounds, FieldSpaceId fs) = 0;
+  virtual IndexSpaceId root(RegionTreeId tree) = 0;
+  virtual PartitionId partition_equal(IndexSpaceId parent, std::size_t pieces,
+                                      int axis = 0) = 0;
+  virtual PartitionId partition_with_halo(IndexSpaceId parent, std::size_t pieces,
+                                          std::int64_t halo, int axis = 0) = 0;
+  virtual PartitionId create_partition(IndexSpaceId parent, std::vector<rt::Rect> pieces,
+                                       bool disjoint) = 0;
+  virtual PartitionId partition_grid(IndexSpaceId parent, std::size_t tiles_x,
+                                     std::size_t tiles_y, std::int64_t halo = 0) = 0;
+  virtual void destroy_region(RegionTreeId tree) = 0;
+  // GC-finalizer path (paper §4.3): may be called at a different control
+  // point on each shard; the runtime reaches consensus before inserting it.
+  virtual void destroy_region_deferred(RegionTreeId tree) = 0;
+
+  // ---- read-only forest access for convenience (not an API call) ----
+  virtual const rt::RegionForest& forest() const = 0;
+
+  // ---- operations ----
+  virtual void fill(IndexSpaceId region, std::vector<FieldId> fields) = 0;
+  virtual Future launch(const TaskLaunch& launch) = 0;
+  virtual FutureMap index_launch(const IndexLaunch& launch) = 0;
+  virtual Future reduce_future_map(const FutureMap& fm, ReduceOp op) = 0;
+  // Blocks the control program (in virtual time) until the value is ready.
+  virtual double get_future(const Future& f) = 0;
+  // Returns true iff the future's value is already available (paper Figure 5
+  // shows why branching on this violates control determinism — provided so
+  // tests can reproduce that violation).
+  virtual bool future_is_ready(const Future& f) = 0;
+  // Blocks until every operation issued so far has completed execution.
+  virtual void execution_fence() = 0;
+
+  // ---- side effects (paper §4.3) ----
+  // "Normal files are read and written by a single owner shard; group
+  // variants of attach and detach provide support for parallel file I/O."
+  virtual void attach_file(IndexSpaceId region, std::vector<FieldId> fields,
+                           std::string file) = 0;
+  virtual void detach_file(IndexSpaceId region, std::vector<FieldId> fields) = 0;
+  // Group variants: one file shard per subregion of `partition`, read or
+  // flushed in parallel across the shards that own each piece.
+  virtual void attach_file_group(PartitionId partition, std::vector<FieldId> fields,
+                                 std::string file_basename) = 0;
+  virtual void detach_file_group(PartitionId partition, std::vector<FieldId> fields) = 0;
+
+  // ---- tracing (paper §5.5) ----
+  virtual void begin_trace(TraceId id) = 0;
+  virtual void end_trace(TraceId id) = 0;
+
+  // ---- environment ----
+  virtual std::size_t num_shards() const = 0;
+  virtual ShardId shard_id() const = 0;  // for tests; apps must not branch on it
+  // Replicated counter-based RNG (paper §3): same sequence on every shard.
+  virtual Philox4x32& rng() = 0;
+  virtual SimTime now() const = 0;
+};
+
+using ApplicationMain = std::function<void(Context&)>;
+
+}  // namespace dcr::core

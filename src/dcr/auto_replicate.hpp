@@ -1,0 +1,117 @@
+// Automatic control-replication decision — the future-work knob the paper
+// leaves open (§4): "there is nothing that prevents the use of DCR from
+// being automated by heuristics in the runtime system to decide when to use
+// it; we have simply chosen to expose it through an API."
+//
+// The heuristic compares, per iteration of the (profiled or estimated)
+// steady-state loop:
+//
+//   centralized analysis time  ~ ops * (c_op + c_task * points_per_op)
+//   per-node compute time      ~ task_time_per_node
+//   DCR analysis time per node ~ ops * (c_coarse + c_fine * points/node)
+//                                 + fences * 2 log2(N) * alpha
+//
+// and recommends replication when the centralized controller would stop
+// hiding behind compute — with hysteresis so marginal cases do not flap.
+// The inputs can come from a measured profile (OpStreamProfile::from_stats)
+// or be estimated up front from the application structure.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "dcr/runtime.hpp"
+
+namespace dcr::core {
+
+struct OpStreamProfile {
+  double ops_per_iteration = 0;        // group launches + other ops
+  double points_per_op = 0;            // average launch width
+  SimTime compute_per_node_per_iter = 0;
+  double fences_per_iteration = 0;     // cross-shard fences (DCR only)
+
+  // Derive a profile from a completed (small-scale) run.
+  static OpStreamProfile from_stats(const DcrStats& stats, std::size_t nodes,
+                                    std::size_t iterations) {
+    OpStreamProfile p;
+    const double iters = std::max<double>(1, static_cast<double>(iterations));
+    p.ops_per_iteration = static_cast<double>(stats.ops_issued) / iters;
+    p.points_per_op =
+        stats.ops_issued
+            ? static_cast<double>(stats.point_tasks_launched) /
+                  static_cast<double>(stats.ops_issued)
+            : 0;
+    p.compute_per_node_per_iter = static_cast<SimTime>(
+        static_cast<double>(stats.compute_busy) / (iters * static_cast<double>(nodes)));
+    p.fences_per_iteration = static_cast<double>(stats.fences_inserted) / iters;
+    return p;
+  }
+};
+
+struct AutoReplicateCosts {
+  SimTime central_cost_per_op = ns(500);
+  SimTime central_cost_per_task = us(20);
+  SimTime dcr_coarse_cost_per_op = us(1);
+  SimTime dcr_fine_cost_per_point = us(1);
+  SimTime fence_alpha = us(1);
+  // Replicate only when the controller would exceed this fraction of the
+  // compute time (hysteresis against flapping near the break-even point).
+  double utilization_threshold = 0.5;
+};
+
+struct AutoReplicateDecision {
+  bool replicate = false;
+  SimTime central_analysis_per_iter = 0;
+  SimTime dcr_analysis_per_node_per_iter = 0;
+  SimTime compute_per_node_per_iter = 0;
+  // Smallest node count at which the heuristic starts recommending DCR.
+  std::size_t crossover_nodes = 0;
+};
+
+inline SimTime central_analysis_estimate(const OpStreamProfile& p, std::size_t nodes,
+                                         const AutoReplicateCosts& c) {
+  // Points scale with the machine in the weak-scaling regime the paper
+  // targets: launch width ~ nodes * (width at 1 node).
+  const double points = p.points_per_op * static_cast<double>(nodes);
+  return static_cast<SimTime>(
+      p.ops_per_iteration *
+      (static_cast<double>(c.central_cost_per_op) +
+       static_cast<double>(c.central_cost_per_task) * points));
+}
+
+inline SimTime dcr_analysis_estimate(const OpStreamProfile& p, std::size_t nodes,
+                                     const AutoReplicateCosts& c) {
+  const double log2n =
+      nodes > 1 ? std::log2(static_cast<double>(nodes)) : 0.0;
+  return static_cast<SimTime>(
+      p.ops_per_iteration * (static_cast<double>(c.dcr_coarse_cost_per_op) +
+                             static_cast<double>(c.dcr_fine_cost_per_point) *
+                                 p.points_per_op) +
+      p.fences_per_iteration * 2.0 * log2n * static_cast<double>(c.fence_alpha));
+}
+
+// Decide whether to control-replicate a program with profile `p` on `nodes`
+// nodes.  `p.points_per_op` and `p.compute_per_node_per_iter` are the
+// 1-node-equivalent values (weak scaling multiplies points by `nodes`).
+inline AutoReplicateDecision decide_replication(const OpStreamProfile& p,
+                                                std::size_t nodes,
+                                                const AutoReplicateCosts& costs = {}) {
+  AutoReplicateDecision d;
+  d.compute_per_node_per_iter = p.compute_per_node_per_iter;
+  d.central_analysis_per_iter = central_analysis_estimate(p, nodes, costs);
+  d.dcr_analysis_per_node_per_iter = dcr_analysis_estimate(p, nodes, costs);
+  const auto budget = static_cast<SimTime>(costs.utilization_threshold *
+                                           static_cast<double>(p.compute_per_node_per_iter));
+  d.replicate = d.central_analysis_per_iter > budget;
+  // Find the crossover by scanning doublings (bounded; used for reporting).
+  for (std::size_t n = 1; n <= (1u << 20); n *= 2) {
+    if (central_analysis_estimate(p, n, costs) > budget) {
+      d.crossover_nodes = n;
+      break;
+    }
+  }
+  return d;
+}
+
+}  // namespace dcr::core

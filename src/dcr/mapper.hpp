@@ -1,0 +1,48 @@
+// The mapping interface (paper §4).
+//
+// "In our Legion implementation we do not attempt to decide automatically
+// when to use DCR; instead we expose this decision in the Legion mapping
+// interface, an API for application- and machine-specific policies that
+// affect performance. ... Our mapping interface extensions enable mappers to
+// specify which task(s) to dynamically control replicate, the number of
+// shards, and on which processors shards should execute.  ...  When a DCR
+// task executes, Legion queries mappers to select a sharding function for
+// each subtask launch."
+//
+// A Mapper customizes per-launch policy without touching application code:
+// the sharding function used for a group launch, and the compute-processor
+// slot each point task runs on within its owner shard's node.  Mapper
+// methods MUST be deterministic pure functions of their arguments — they are
+// invoked identically on every shard and feed the replicated analysis, so a
+// non-deterministic mapper is a control-determinism bug like any other.
+#pragma once
+
+#include <cstdint>
+
+#include "dcr/api.hpp"
+
+namespace dcr::core {
+
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+
+  // Sharding function for a group launch (default: whatever the launch
+  // asked for).  Queried once per launch on each shard.
+  virtual ShardingId select_sharding(const IndexLaunch& launch,
+                                     std::size_t /*num_shards*/) {
+    return launch.sharding;
+  }
+
+  // Compute-processor slot (0..slots-1) for a point task on its shard's
+  // node.  Default: round-robin by point index.
+  virtual std::size_t select_processor(FunctionId /*fn*/, std::uint64_t point_index,
+                                       std::size_t slots) {
+    return point_index % slots;
+  }
+};
+
+// The default policies, usable as a base for partial overrides.
+class DefaultMapper : public Mapper {};
+
+}  // namespace dcr::core

@@ -1,0 +1,1100 @@
+#include "dcr/runtime.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "common/hash128.hpp"
+
+namespace dcr::core {
+
+namespace {
+
+constexpr std::uint64_t kPointsPerOp = 1ull << 20;  // canonical TaskId packing
+
+Hash128 hash_fields(Hasher128& h, const std::vector<FieldId>& fields) {
+  h.value(fields.size());
+  for (FieldId f : fields) h.value(f.value);
+  return h.finish();
+}
+
+}  // namespace
+
+// ===========================================================================
+// ShardContext: the per-shard implementation of the application API.
+// ===========================================================================
+class ShardContext final : public Context {
+ public:
+  ShardContext(DcrRuntime& rt, ShardId shard, sim::ProcessContext& pctx)
+      : rt_(rt), shard_(shard), pctx_(pctx), st_(rt.shard(shard)) {}
+
+  // Each API call charges control-program time, hashes its identity and
+  // arguments, and feeds the determinism checker (paper §3).
+  void api_call(const char* name, const Hash128& h) {
+    SimTime cost = rt_.config_.issue_cost;
+    if (rt_.checker_.enabled()) cost += rt_.config_.hash_cost;
+    pctx_.delay(cost);
+    rt_.checker_.record(shard_, st_.api_calls++, h, name);
+    if (rt_.checker_.enabled()) stats().determinism_checks++;
+  }
+
+  DcrStats& stats() { return rt_.stats_; }
+
+  // ---- replication-safe creations ----
+  template <typename T, typename MakeFn>
+  T replicated_create(MakeFn&& make) {
+    if (st_.next_creation == rt_.creations_.size()) {
+      rt_.creations_.push_back({make()});
+    }
+    DCR_CHECK(st_.next_creation < rt_.creations_.size())
+        << "shard " << shard_.value << " creation stream ran ahead";
+    auto& entry = rt_.creations_[st_.next_creation++];
+    DCR_CHECK(std::holds_alternative<T>(entry.handle))
+        << "creation kind diverged across shards (control determinism violation)";
+    return std::get<T>(entry.handle);
+  }
+
+  FieldSpaceId create_field_space() override {
+    Hasher128 h;
+    h.string("create_field_space");
+    api_call("create_field_space", h.finish());
+    return replicated_create<FieldSpaceId>([&] { return rt_.forest_.create_field_space(); });
+  }
+
+  FieldId allocate_field(FieldSpaceId fs, std::size_t bytes, std::string name) override {
+    Hasher128 h;
+    h.string("allocate_field").value(fs.value).value(bytes).string(name);
+    api_call("allocate_field", h.finish());
+    return replicated_create<FieldId>(
+        [&] { return rt_.forest_.allocate_field(fs, bytes, std::move(name)); });
+  }
+
+  RegionTreeId create_region(const rt::Rect& bounds, FieldSpaceId fs) override {
+    Hasher128 h;
+    h.string("create_region").value(bounds.dim).value(bounds.lo).value(bounds.hi).value(fs.value);
+    api_call("create_region", h.finish());
+    return replicated_create<RegionTreeId>([&] { return rt_.forest_.create_tree(bounds, fs); });
+  }
+
+  IndexSpaceId root(RegionTreeId tree) override { return rt_.forest_.root(tree); }
+
+  PartitionId partition_equal(IndexSpaceId parent, std::size_t pieces, int axis) override {
+    Hasher128 h;
+    h.string("partition_equal").value(parent.value).value(pieces).value(axis);
+    api_call("partition_equal", h.finish());
+    return replicated_create<PartitionId>(
+        [&] { return rt_.forest_.partition_equal(parent, pieces, axis); });
+  }
+
+  PartitionId partition_with_halo(IndexSpaceId parent, std::size_t pieces,
+                                  std::int64_t halo, int axis) override {
+    Hasher128 h;
+    h.string("partition_with_halo").value(parent.value).value(pieces).value(halo).value(axis);
+    api_call("partition_with_halo", h.finish());
+    return replicated_create<PartitionId>(
+        [&] { return rt_.forest_.partition_with_halo(parent, pieces, halo, axis); });
+  }
+
+  PartitionId create_partition(IndexSpaceId parent, std::vector<rt::Rect> pieces,
+                               bool disjoint) override {
+    Hasher128 h;
+    h.string("create_partition").value(parent.value).value(pieces.size()).value(disjoint);
+    for (const rt::Rect& r : pieces) h.value(r.lo).value(r.hi);
+    api_call("create_partition", h.finish());
+    return replicated_create<PartitionId>(
+        [&] { return rt_.forest_.create_partition(parent, std::move(pieces), disjoint); });
+  }
+
+  PartitionId partition_grid(IndexSpaceId parent, std::size_t tiles_x, std::size_t tiles_y,
+                             std::int64_t halo) override {
+    Hasher128 h;
+    h.string("partition_grid").value(parent.value).value(tiles_x).value(tiles_y).value(halo);
+    api_call("partition_grid", h.finish());
+    return replicated_create<PartitionId>(
+        [&] { return rt_.forest_.partition_grid(parent, tiles_x, tiles_y, halo); });
+  }
+
+  void destroy_region(RegionTreeId tree) override {
+    Hasher128 h;
+    h.string("destroy_region").value(tree.value);
+    api_call("destroy_region", h.finish());
+    rt_.issue(*this, DcrRuntime::DeletePayload{tree});
+  }
+
+  void destroy_region_deferred(RegionTreeId tree) override {
+    // GC-finalizer path: deliberately NOT hashed/checked — shards may call it
+    // at different control points; the runtime reaches consensus by polling
+    // (paper §4.3) before inserting the deletion into the analysis stream.
+    st_.deferred_requests.push_back(tree);
+    rt_.start_deferred_poller();
+  }
+
+  const rt::RegionForest& forest() const override { return rt_.forest_; }
+
+  // ---- operations ----
+  void fill(IndexSpaceId region, std::vector<FieldId> fields) override {
+    Hasher128 h;
+    h.string("fill").value(region.value);
+    api_call("fill", hash_fields(h, fields));
+    rt_.issue(*this, DcrRuntime::FillPayload{region, std::move(fields)});
+  }
+
+  Future launch(const TaskLaunch& launch) override {
+    Hasher128 h;
+    h.string("launch").value(launch.fn.value).value(launch.requirements.size());
+    for (const auto& r : launch.requirements) {
+      h.value(r.region.value).value(static_cast<std::uint8_t>(r.privilege)).value(r.redop);
+      hash_fields(h, r.fields);
+    }
+    for (auto a : launch.args) h.value(a);
+    api_call("launch", h.finish());
+    DcrRuntime::TaskPayload p{launch, ~0ull};
+    Future f;
+    if (launch.wants_future) {
+      f.id = st_.next_future++;
+      p.future_id = f.id;
+    }
+    rt_.issue(*this, std::move(p));
+    return f;
+  }
+
+  FutureMap index_launch(const IndexLaunch& launch) override {
+    Hasher128 h;
+    h.string("index_launch").value(launch.fn.value).value(launch.domain.dim);
+    h.value(launch.domain.lo).value(launch.domain.hi).value(launch.sharding.value);
+    for (const auto& r : launch.requirements) {
+      h.value(r.partition.value).value(r.region.value).value(r.projection.value);
+      h.value(static_cast<std::uint8_t>(r.privilege)).value(r.redop);
+      hash_fields(h, r.fields);
+    }
+    for (auto a : launch.args) h.value(a);
+    api_call("index_launch", h.finish());
+    DcrRuntime::IndexPayload p{launch, ~0ull};
+    FutureMap fm;
+    if (launch.wants_futures) {
+      fm.id = st_.next_future_map++;
+      p.future_map_id = fm.id;
+    }
+    rt_.issue(*this, std::move(p));
+    return fm;
+  }
+
+  Future reduce_future_map(const FutureMap& fm, ReduceOp op) override {
+    Hasher128 h;
+    h.string("reduce_future_map").value(fm.id).value(static_cast<std::uint8_t>(op));
+    api_call("reduce_future_map", h.finish());
+    DCR_CHECK(fm.valid()) << "reducing an invalid future map";
+    Future f;
+    f.id = st_.next_future++;
+    rt_.issue(*this, DcrRuntime::ReducePayload{fm.id, op, f.id});
+    return f;
+  }
+
+  double get_future(const Future& f) override {
+    Hasher128 h;
+    h.string("get_future").value(f.id);
+    api_call("get_future", h.finish());
+    DCR_CHECK(f.valid()) << "waiting on an invalid future";
+    auto it = rt_.futures_.find(f.id);
+    DCR_CHECK(it != rt_.futures_.end()) << "future " << f.id << " has no producer";
+    pctx_.wait(it->second.per_shard_event[shard_.value]);
+    return it->second.coll->result();
+  }
+
+  bool future_is_ready(const Future& f) override {
+    // Timing-dependent by design (Figure 5): the *call* is still hashed, but
+    // the returned value may differ across shards — branching on it is the
+    // control-determinism violation the checker exists to catch.
+    Hasher128 h;
+    h.string("future_is_ready").value(f.id);
+    api_call("future_is_ready", h.finish());
+    auto it = rt_.futures_.find(f.id);
+    if (it == rt_.futures_.end()) return false;
+    return it->second.per_shard_event[shard_.value].has_triggered();
+  }
+
+  void execution_fence() override {
+    Hasher128 h;
+    h.string("execution_fence");
+    api_call("execution_fence", h.finish());
+    // A fence op forces a cross-shard pipeline barrier (its coarse decision
+    // fences on the previous op), so once our fine tail drains, every
+    // shard's launches for prior ops are registered with the quiescence
+    // tracker; then wait for all of them to complete.
+    rt_.issue(*this, DcrRuntime::FencePayload{});
+    pctx_.wait(st_.fine_tail);
+    while (!rt_.quiescence_.idle()) pctx_.wait(rt_.quiescence_.idle_event());
+  }
+
+  void attach_file(IndexSpaceId region, std::vector<FieldId> fields,
+                   std::string file) override {
+    Hasher128 h;
+    h.string("attach_file").value(region.value).string(file);
+    api_call("attach_file", hash_fields(h, fields));
+    DcrRuntime::AttachPayload p;
+    p.region = region;
+    p.fields = std::move(fields);
+    p.file = std::move(file);
+    rt_.issue(*this, std::move(p));
+  }
+
+  void detach_file(IndexSpaceId region, std::vector<FieldId> fields) override {
+    Hasher128 h;
+    h.string("detach_file").value(region.value);
+    api_call("detach_file", hash_fields(h, fields));
+    DcrRuntime::AttachPayload p;
+    p.region = region;
+    p.fields = std::move(fields);
+    p.detach = true;
+    rt_.issue(*this, std::move(p));
+  }
+
+  void attach_file_group(PartitionId partition, std::vector<FieldId> fields,
+                         std::string file_basename) override {
+    Hasher128 h;
+    h.string("attach_file_group").value(partition.value).string(file_basename);
+    api_call("attach_file_group", hash_fields(h, fields));
+    DcrRuntime::AttachPayload p;
+    p.partition = partition;
+    p.fields = std::move(fields);
+    p.file = std::move(file_basename);
+    rt_.issue(*this, std::move(p));
+  }
+
+  void detach_file_group(PartitionId partition, std::vector<FieldId> fields) override {
+    Hasher128 h;
+    h.string("detach_file_group").value(partition.value);
+    api_call("detach_file_group", hash_fields(h, fields));
+    DcrRuntime::AttachPayload p;
+    p.partition = partition;
+    p.fields = std::move(fields);
+    p.detach = true;
+    rt_.issue(*this, std::move(p));
+  }
+
+  // ---- tracing ----
+  void begin_trace(TraceId id) override {
+    Hasher128 h;
+    h.string("begin_trace").value(id.value);
+    api_call("begin_trace", h.finish());
+    if (!rt_.config_.tracing_enabled) return;
+    DCR_CHECK(!st_.active_trace) << "nested traces are not supported";
+    st_.active_trace = id;
+    st_.trace_pos = 0;
+  }
+
+  void end_trace(TraceId id) override {
+    Hasher128 h;
+    h.string("end_trace").value(id.value);
+    api_call("end_trace", h.finish());
+    if (!rt_.config_.tracing_enabled) return;
+    DCR_CHECK(st_.active_trace && *st_.active_trace == id) << "mismatched end_trace";
+    auto& rec = st_.traces[id];
+    if (!rec.recorded) {
+      rec.recorded = true;
+    } else if (st_.trace_pos != rec.op_signatures.size()) {
+      // Replay ended short of the recording: the behaviour changed shape.
+      // Invalidate so the next occurrence re-records (Legion falls back to a
+      // fresh analysis in this case).
+      rec.recorded = false;
+      rec.op_signatures.resize(st_.trace_pos);
+    }
+    st_.active_trace.reset();
+  }
+
+  // ---- environment ----
+  std::size_t num_shards() const override { return rt_.num_shards(); }
+  ShardId shard_id() const override { return shard_; }
+  Philox4x32& rng() override { return *st_.rng; }
+  SimTime now() const override { return pctx_.now(); }
+
+  sim::ProcessContext& process() { return pctx_; }
+  ShardId shard() const { return shard_; }
+
+ private:
+  DcrRuntime& rt_;
+  ShardId shard_;
+  sim::ProcessContext& pctx_;
+  DcrRuntime::ShardState& st_;
+};
+
+// ===========================================================================
+// DcrRuntime
+// ===========================================================================
+
+namespace {
+std::vector<NodeId> make_placement(const sim::Machine& machine, const DcrConfig& config) {
+  DCR_CHECK(config.shards_per_node >= 1);
+  const std::size_t shards = machine.num_nodes() * config.shards_per_node;
+  std::vector<NodeId> placement;
+  placement.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    placement.push_back(NodeId(static_cast<std::uint32_t>(s / config.shards_per_node)));
+  }
+  return placement;
+}
+}  // namespace
+
+DcrRuntime::DcrRuntime(sim::Machine& machine, FunctionRegistry& functions, DcrConfig config)
+    : machine_(machine),
+      functions_(functions),
+      config_(config),
+      placement_(make_placement(machine, config)),
+      physical_(forest_, machine.network()),
+      tracker_(/*keep_completed=*/config.record_task_graph),
+      checker_(machine.sim(), machine.network(), placement_, config.determinism_checks),
+      quiescence_(machine.sim()) {
+  const std::size_t shards = placement_.size();
+  for (std::size_t s = 0; s < shards; ++s) {
+    auto st = std::make_unique<ShardState>();
+    st->id = ShardId(static_cast<std::uint32_t>(s));
+    st->node = placement_[s];
+    st->rng = std::make_unique<Philox4x32>(/*seed=*/0x5eed, /*stream=*/0);  // same on all shards
+    shards_.push_back(std::move(st));
+  }
+}
+
+DcrRuntime::~DcrRuntime() = default;
+
+// --------------------------------------------------------------- summaries
+
+std::vector<DcrRuntime::ReqSummary> DcrRuntime::summarize(const OpRecord& op) const {
+  std::vector<ReqSummary> out;
+  const ShardId owner = single_op_owner(op.id);
+  auto single = [&](IndexSpaceId region, const std::vector<FieldId>& fields,
+                    rt::Privilege priv, rt::ReductionOpId redop) {
+    ReqSummary r;
+    r.tree = forest_.tree_of(region);
+    r.upper_bound = region;
+    r.fields = fields;
+    r.privilege = priv;
+    r.redop = redop;
+    r.is_index = false;
+    r.single_owner = owner;
+    out.push_back(std::move(r));
+  };
+
+  if (const auto* fill = std::get_if<FillPayload>(&op.payload)) {
+    single(fill->region, fill->fields, rt::Privilege::WriteDiscard, rt::kNoRedop);
+  } else if (const auto* task = std::get_if<TaskPayload>(&op.payload)) {
+    for (const auto& req : task->launch.requirements) {
+      single(req.region, req.fields, req.privilege, req.redop);
+    }
+  } else if (const auto* attach = std::get_if<AttachPayload>(&op.payload)) {
+    if (attach->partition.valid()) {
+      // Group variant: an index-launch-shaped upper-bound view so the fence
+      // elision proof applies to back-to-back group I/O.
+      ReqSummary r;
+      r.upper_bound = forest_.parent_region(attach->partition);
+      r.tree = forest_.tree_of(r.upper_bound);
+      r.fields = attach->fields;
+      r.privilege = attach->detach ? rt::Privilege::ReadOnly : rt::Privilege::WriteDiscard;
+      r.redop = rt::kNoRedop;
+      r.is_index = true;
+      r.sharding = ShardingRegistry::blocked();
+      r.domain = rt::Rect::r1(
+          0, static_cast<std::int64_t>(forest_.num_subregions(attach->partition)) - 1);
+      r.partition = attach->partition;
+      r.projection = rt::ProjectionRegistry::identity();
+      out.push_back(std::move(r));
+    } else {
+      single(attach->region, attach->fields,
+             attach->detach ? rt::Privilege::ReadOnly : rt::Privilege::WriteDiscard,
+             rt::kNoRedop);
+    }
+  } else if (const auto* index = std::get_if<IndexPayload>(&op.payload)) {
+    for (const auto& req : index->launch.requirements) {
+      ReqSummary r;
+      r.upper_bound = req.upper_bound(forest_);
+      r.tree = forest_.tree_of(r.upper_bound);
+      r.fields = req.fields;
+      r.privilege = req.privilege;
+      r.redop = req.redop;
+      r.is_index = true;
+      r.sharding = index->launch.sharding;
+      r.domain = index->launch.domain;
+      r.partition = req.partition;
+      r.projection = req.projection;
+      out.push_back(std::move(r));
+    }
+  }
+  // ReducePayload and DeletePayload carry no region requirements here;
+  // deletions are handled as pipeline barriers in coarse_decision().
+  return out;
+}
+
+bool DcrRuntime::dependence_is_shard_local(const ReqSummary& prev,
+                                           const ReqSummary& next) const {
+  if (prev.is_index && next.is_index) {
+    // Paper §4.1, observation 2 (Figures 10/11): same sharding function, same
+    // launch domain, same *disjoint* partition, same projection => every
+    // point-level dependence stays on one shard.
+    return prev.sharding == next.sharding && prev.domain == next.domain &&
+           prev.partition.valid() && prev.partition == next.partition &&
+           prev.projection == next.projection && forest_.is_disjoint(prev.partition);
+  }
+  if (!prev.is_index && !next.is_index) {
+    // Two single operations analyzed by the same owner shard.
+    return prev.single_owner == next.single_owner;
+  }
+  return false;  // single <-> group: conservatively cross-shard (Figure 10 fill)
+}
+
+const DcrRuntime::CoarseDecision& DcrRuntime::coarse_decision(const OpRecord& op) {
+  auto it = coarse_decisions_.find(op.id);
+  if (it != coarse_decisions_.end()) return it->second;
+  // The first shard to reach this op computes the (shared, deterministic)
+  // decision; shards process ops in program order, so the shared coarse
+  // state has folded in exactly the ops before this one.
+  DCR_CHECK(coarse_state_next_op_ == op.id.value)
+      << "coarse analysis out of order: expected op " << coarse_state_next_op_
+      << " got " << op.id.value;
+  coarse_state_next_op_++;
+
+  CoarseDecision dec;
+  std::set<OpId> sources;
+
+  if (std::holds_alternative<DeletePayload>(op.payload) ||
+      std::holds_alternative<FencePayload>(op.payload)) {
+    // Deletions and execution fences order against everything before them:
+    // full pipeline barrier.
+    if (op.id.value > 0) sources.insert(OpId(op.id.value - 1));
+    dec.num_reqs = 1;
+  } else {
+    const std::vector<ReqSummary> reqs = summarize(op);
+    dec.num_reqs = reqs.size();
+    for (const ReqSummary& r : reqs) {
+      for (FieldId f : r.fields) {
+        CoarseFieldState& fs = coarse_state_[{r.tree, f}];
+        auto consider = [&](const GroupUse& prev) {
+          if (!rt::privileges_conflict(prev.req.privilege, prev.req.redop, r.privilege,
+                                       r.redop)) {
+            return;
+          }
+          if (forest_.structurally_disjoint(prev.req.upper_bound, r.upper_bound)) return;
+          if (!forest_.regions_overlap(prev.req.upper_bound, r.upper_bound)) return;
+          dec.deps++;
+          if (!config_.disable_fence_elision && dependence_is_shard_local(prev.req, r)) {
+            dec.elided++;
+          } else {
+            sources.insert(prev.op);
+          }
+        };
+        if (fs.last_writer) consider(*fs.last_writer);
+        for (const GroupUse& rd : fs.readers_since) consider(rd);
+        for (const GroupUse& rx : fs.reducers_since) consider(rx);
+        // Epoch update.
+        switch (r.privilege) {
+          case rt::Privilege::ReadWrite:
+          case rt::Privilege::WriteDiscard:
+            fs.last_writer = GroupUse{op.id, r};
+            fs.readers_since.clear();
+            fs.reducers_since.clear();
+            break;
+          case rt::Privilege::Reduce:
+            fs.reducers_since.push_back(GroupUse{op.id, r});
+            break;
+          case rt::Privilege::ReadOnly:
+            fs.readers_since.push_back(GroupUse{op.id, r});
+            break;
+          case rt::Privilege::None:
+            break;
+        }
+      }
+    }
+  }
+  dec.fence_sources.assign(sources.begin(), sources.end());
+  stats_.coarse_deps += dec.deps;
+  stats_.fences_elided += dec.elided;
+  if (!dec.fence_sources.empty()) stats_.fences_inserted++;
+  return coarse_decisions_.emplace(op.id, std::move(dec)).first->second;
+}
+
+DcrRuntime::FutureRecord& DcrRuntime::ensure_future(std::uint64_t id, OpId producer,
+                                                    bool /*broadcast*/) {
+  auto [it, inserted] = futures_.try_emplace(id);
+  FutureRecord& fut = it->second;
+  if (!inserted) return fut;
+  // Single-task futures broadcast from the owner shard to all shards (§4.2):
+  // the placement is rotated so the owner is the broadcast root.
+  const ShardId owner = single_op_owner(producer);
+  std::vector<NodeId> rotated(num_shards());
+  for (std::size_t r = 0; r < num_shards(); ++r) {
+    rotated[r] = placement_[(owner.value + r) % num_shards()];
+  }
+  fut.coll = std::make_shared<sim::Collective<double>>(
+      machine_.sim(), machine_.network(), std::move(rotated), sim::CollectiveKind::Broadcast,
+      sizeof(double), [](double a, double) { return a; });
+  fut.per_shard_event.resize(num_shards());
+  for (std::size_t sh = 0; sh < num_shards(); ++sh) {
+    // Non-root ranks arrive immediately; the root (owner) arrives with the
+    // value when its task completes (see finish_point_task).
+    const std::size_t rank = (sh + num_shards() - owner.value) % num_shards();
+    if (rank != 0) {
+      const sim::UserEvent gate = fut.per_shard_event[sh];
+      fut.coll->arrive(rank, 0.0).on_trigger(
+          [this, gate] { gate.trigger(machine_.sim().now()); });
+    }
+  }
+  return fut;
+}
+
+DcrRuntime::FutureRecord& DcrRuntime::ensure_reduce_future(std::uint64_t id, ReduceOp rop) {
+  auto [it, inserted] = futures_.try_emplace(id);
+  FutureRecord& fut = it->second;
+  if (!inserted) return fut;
+  fut.coll = std::make_shared<sim::Collective<double>>(
+      machine_.sim(), machine_.network(), placement_, sim::CollectiveKind::AllReduce,
+      sizeof(double), [rop](double a, double b) { return apply_reduce(rop, a, b); });
+  fut.per_shard_event.resize(num_shards());
+  return fut;
+}
+
+DcrRuntime::FenceRecord& DcrRuntime::fence_for(OpId dependent) {
+  auto it = fences_.find(dependent);
+  if (it == fences_.end()) {
+    FenceRecord rec;
+    rec.coll = std::make_unique<sim::FenceCollective>(machine_.sim(), machine_.network(),
+                                                      placement_);
+    it = fences_.emplace(dependent, std::move(rec)).first;
+  }
+  return it->second;
+}
+
+// ----------------------------------------------------------------- issuing
+
+void DcrRuntime::issue(ShardContext& ctx, OpPayload payload) {
+  ShardState& st = shard(ctx.shard());
+  // Consensus-agreed deferred deletions scheduled at this op index run first.
+  while (true) {
+    auto it = agreed_insertions_.find(st.next_op);
+    if (it == agreed_insertions_.end()) break;
+    OpRecord del{OpId(st.next_op), OpPayload(it->second), false};
+    st.next_op++;
+    st.deletions_processed++;
+    process_op(ctx.shard(), del);
+  }
+
+  OpRecord op{OpId(st.next_op++), std::move(payload), false};
+  stats_.ops_issued = std::max(stats_.ops_issued, st.next_op);
+
+  // Mapper query: "Legion queries mappers to select a sharding function for
+  // each subtask launch" (§4).  Deterministic, so every shard rewrites the
+  // launch identically.
+  if (config_.mapper) {
+    if (auto* index = std::get_if<IndexPayload>(&op.payload)) {
+      index->launch.sharding =
+          config_.mapper->select_sharding(index->launch, num_shards());
+    }
+  }
+
+  // Futures are created eagerly at issue so the control program can wait on
+  // them before any shard's fine stage has reached the producing op.
+  if (const auto* task = std::get_if<TaskPayload>(&op.payload)) {
+    if (task->future_id != ~0ull) ensure_future(task->future_id, op.id, /*broadcast=*/true);
+  } else if (const auto* red = std::get_if<ReducePayload>(&op.payload)) {
+    ensure_reduce_future(red->future_id, red->op);
+  }
+
+  // Tracing: signature-match replays charge reduced analysis costs.
+  if (st.active_trace) {
+    auto& rec = st.traces[*st.active_trace];
+    Hasher128 h;
+    h.value(op.payload.index());
+    if (const auto* task = std::get_if<TaskPayload>(&op.payload)) {
+      h.value(task->launch.fn.value);
+    } else if (const auto* index = std::get_if<IndexPayload>(&op.payload)) {
+      h.value(index->launch.fn.value).value(index->launch.domain.lo).value(
+          index->launch.domain.hi);
+    }
+    for (const ReqSummary& r : summarize(op)) {
+      h.value(r.upper_bound.value).value(static_cast<std::uint8_t>(r.privilege));
+      h.value(r.is_index).value(r.sharding.value).value(r.partition.value);
+      hash_fields(h, r.fields);
+    }
+    const Hash128 sig = h.finish();
+    if (!rec.recorded) {
+      rec.op_signatures.push_back(sig);
+    } else if (st.trace_pos < rec.op_signatures.size() &&
+               rec.op_signatures[st.trace_pos] == sig) {
+      op.traced = true;
+      stats_.traced_ops++;
+    } else {
+      // Behaviour changed: invalidate and re-record (Legion would abort the
+      // replay and fall back to a fresh analysis).
+      rec.recorded = false;
+      rec.op_signatures.resize(st.trace_pos);
+      rec.op_signatures.push_back(sig);
+    }
+    st.trace_pos++;
+  }
+
+  process_op(ctx.shard(), op);
+}
+
+void DcrRuntime::process_op(ShardId s, const OpRecord& op) {
+  ShardState& st = shard(s);
+  const CoarseDecision& dec = coarse_decision(op);
+
+  // ---- coarse stage cost (Figure 9 top): independent of group size ----
+  const SimTime coarse_cost =
+      (op.traced ? config_.traced_coarse_cost_per_req : config_.coarse_cost_per_req) *
+      std::max<std::size_t>(1, dec.num_reqs);
+  const sim::Event coarse_done = analysis_proc(s).enqueue(coarse_cost);
+
+  // ---- fence gating: arrive once our fine pipeline reaches this op ----
+  std::vector<sim::Event> pre{coarse_done, st.fine_tail};
+  if (!dec.fence_sources.empty()) {
+    FenceRecord* fence = &fence_for(op.id);
+    sim::UserEvent gate;
+    auto arrive = [this, fence, s, gate] {
+      fence->coll->arrive(s.value).on_trigger(
+          [this, gate] { gate.trigger(machine_.sim().now()); });
+    };
+    if (st.fine_tail.has_triggered()) {
+      arrive();
+    } else {
+      st.fine_tail.on_trigger(arrive);
+    }
+    pre.push_back(gate);
+  }
+
+  // ---- fine stage cost (Figure 9 bottom): proportional to owned points ----
+  std::uint64_t owned = 0;
+  if (const auto* index = std::get_if<IndexPayload>(&op.payload)) {
+    owned = shardings_
+                .owned_points(index->launch.sharding, index->launch.domain, num_shards(), s)
+                .size();
+  } else if (const auto* attach = std::get_if<AttachPayload>(&op.payload);
+             attach && attach->partition.valid()) {
+    const rt::Rect dom = rt::Rect::r1(
+        0, static_cast<std::int64_t>(forest_.num_subregions(attach->partition)) - 1);
+    owned = shardings_.owned_points(ShardingRegistry::blocked(), dom, num_shards(), s).size();
+  } else if (!std::holds_alternative<ReducePayload>(op.payload) &&
+             !std::holds_alternative<FencePayload>(op.payload)) {
+    owned = (single_op_owner(op.id) == s) ? 1 : 0;
+  }
+  const SimTime fine_cost =
+      (op.traced ? config_.traced_fine_cost_per_op : config_.fine_cost_per_op) +
+      (op.traced ? config_.traced_fine_cost_per_point : config_.fine_cost_per_point) * owned;
+
+  OpRecord op_copy = op;
+  const sim::Event fine_done =
+      analysis_proc(s).enqueue(fine_cost, sim::merge_events(std::span<const sim::Event>(pre)),
+                               [this, s, op_copy = std::move(op_copy)] {
+                                 execute_points(s, op_copy);
+                               });
+  st.fine_tail = fine_done;
+}
+
+// --------------------------------------------------------------- execution
+
+void DcrRuntime::execute_points(ShardId s, const OpRecord& op) {
+  ShardState& st = shard(s);
+  const NodeId node = st.node;
+
+  if (const auto* index = std::get_if<IndexPayload>(&op.payload)) {
+    const IndexLaunch& launch = index->launch;
+    const auto& points =
+        shardings_.owned_points(launch.sharding, launch.domain, num_shards(), s);
+    // Future-map bookkeeping for this shard.
+    FutureMapRecord* fm = nullptr;
+    if (index->future_map_id != ~0ull) {
+      auto [it, inserted] = future_maps_.try_emplace(index->future_map_id);
+      fm = &it->second;
+      if (inserted) {
+        fm->op = op.id;
+        fm->domain = launch.domain;
+        fm->shard_values_ready.assign(num_shards(), sim::Event::no_event());
+        fm->shard_partial_sum.assign(num_shards(), 0.0);
+        fm->shard_partial_min.assign(num_shards(),
+                                     std::numeric_limits<double>::infinity());
+        fm->shard_partial_max.assign(num_shards(),
+                                     -std::numeric_limits<double>::infinity());
+      }
+    }
+    std::vector<sim::Event> completions;
+    for (const rt::Point& p : points) {
+      std::vector<rt::Requirement> reqs;
+      reqs.reserve(launch.requirements.size());
+      for (const rt::GroupRequirement& gr : launch.requirements) {
+        reqs.push_back(gr.concretize(forest_, projections_, p, launch.domain));
+      }
+      const std::uint64_t point_index = rt::linearize(launch.domain, p);
+      completions.push_back(launch_point_task(s, op, p, point_index, reqs, launch.args,
+                                              launch.fn, index->future_map_id));
+    }
+    if (fm) {
+      fm->shard_values_ready[s.value] = completions.empty()
+                                            ? sim::Event::no_event()
+                                            : sim::merge_events(std::span<const sim::Event>(
+                                                  completions));
+    }
+    return;
+  }
+
+  if (const auto* task = std::get_if<TaskPayload>(&op.payload)) {
+    const ShardId owner = single_op_owner(op.id);
+    if (owner == s) {
+      rt::Point p;
+      p.dim = 1;
+      const sim::Event done = launch_point_task(s, op, p, 0, task->launch.requirements,
+                                                task->launch.args, task->launch.fn, ~0ull,
+                                                task->future_id);
+      (void)done;
+    }
+    return;
+  }
+
+  if (const auto* fill = std::get_if<FillPayload>(&op.payload)) {
+    if (single_op_owner(op.id) != s) return;
+    const rt::Rect rect = forest_.bounds(fill->region);
+    const RegionTreeId tree = forest_.tree_of(fill->region);
+    const TaskId tid(op.id.value * kPointsPerOp);
+    sim::UserEvent done;
+    std::vector<sim::Event> pre;
+    for (FieldId f : fill->fields) {
+      auto conflicts = tracker_.record_use(tree, f, rect, rt::Privilege::WriteDiscard,
+                                           rt::kNoRedop, tid, done);
+      if (!conflicts.precondition.has_triggered()) pre.push_back(conflicts.precondition);
+      record_realized(tid, op.id, 0, conflicts.tasks);
+      physical_.record_fill(tree, f, rect);
+    }
+    // Fills are cheap metadata operations materialized lazily.
+    const sim::Event fin = analysis_proc(s).enqueue(
+        us(1), sim::merge_events(std::span<const sim::Event>(pre)),
+        [this, done] { done.trigger(machine_.sim().now()); });
+    (void)fin;
+    quiescence_.add(done);
+    return;
+  }
+
+  if (const auto* attach = std::get_if<AttachPayload>(&op.payload)) {
+    if (attach->partition.valid()) {
+      // Parallel file I/O: every shard attaches/flushes the pieces it owns.
+      const RegionTreeId tree = forest_.tree_of_partition(attach->partition);
+      const rt::Rect dom = rt::Rect::r1(
+          0, static_cast<std::int64_t>(forest_.num_subregions(attach->partition)) - 1);
+      const auto& points =
+          shardings_.owned_points(ShardingRegistry::blocked(), dom, num_shards(), s);
+      for (const rt::Point& p : points) {
+        const std::uint64_t color = rt::linearize(dom, p);
+        const rt::Rect rect = forest_.bounds(forest_.subregion(attach->partition, color));
+        std::uint64_t piece_bytes = 0;
+        for (FieldId f : attach->fields) piece_bytes += rect.volume() * forest_.field_size(f);
+        const auto io = static_cast<SimTime>(static_cast<double>(piece_bytes) *
+                                             config_.file_ns_per_byte);
+        const TaskId tid(op.id.value * kPointsPerOp + color);
+        sim::UserEvent done;
+        std::vector<sim::Event> pre;
+        std::vector<TaskId> preds;
+        for (FieldId f : attach->fields) {
+          const auto priv =
+              attach->detach ? rt::Privilege::ReadOnly : rt::Privilege::WriteDiscard;
+          auto conflicts = tracker_.record_use(tree, f, rect, priv, rt::kNoRedop, tid, done);
+          if (!conflicts.precondition.has_triggered()) pre.push_back(conflicts.precondition);
+          preds.insert(preds.end(), conflicts.tasks.begin(), conflicts.tasks.end());
+          if (attach->detach) {
+            pre.push_back(physical_.acquire(tree, f, rect, st.node));
+          } else {
+            physical_.record_write(tree, f, rect, st.node, done);
+          }
+        }
+        record_realized(tid, op.id, color, preds);
+        analysis_proc(s).enqueue(io, sim::merge_events(std::span<const sim::Event>(pre)),
+                                 [this, done] { done.trigger(machine_.sim().now()); });
+        quiescence_.add(done);
+      }
+      return;
+    }
+    if (single_op_owner(op.id) != s) return;
+    const rt::Rect rect = forest_.bounds(attach->region);
+    const RegionTreeId tree = forest_.tree_of(attach->region);
+    std::uint64_t bytes = 0;
+    for (FieldId f : attach->fields) bytes += rect.volume() * forest_.field_size(f);
+    const SimTime io_time =
+        static_cast<SimTime>(static_cast<double>(bytes) * config_.file_ns_per_byte);
+    const TaskId tid(op.id.value * kPointsPerOp);
+    sim::UserEvent done;
+    std::vector<sim::Event> pre;
+    for (FieldId f : attach->fields) {
+      const auto priv =
+          attach->detach ? rt::Privilege::ReadOnly : rt::Privilege::WriteDiscard;
+      auto conflicts = tracker_.record_use(tree, f, rect, priv, rt::kNoRedop, tid, done);
+      if (!conflicts.precondition.has_triggered()) pre.push_back(conflicts.precondition);
+      record_realized(tid, op.id, 0, conflicts.tasks);
+      if (attach->detach) {
+        // Flush: gather valid data to the owner node before writing back.
+        pre.push_back(physical_.acquire(tree, f, rect, node));
+      } else {
+        physical_.record_write(tree, f, rect, node, done);
+      }
+    }
+    analysis_proc(s).enqueue(io_time, sim::merge_events(std::span<const sim::Event>(pre)),
+                             [this, done] { done.trigger(machine_.sim().now()); });
+    quiescence_.add(done);
+    return;
+  }
+
+  if (const auto* red = std::get_if<ReducePayload>(&op.payload)) {
+    auto fmit = future_maps_.find(red->fm_id);
+    DCR_CHECK(fmit != future_maps_.end()) << "reduce of unknown future map";
+    FutureMapRecord& fm = fmit->second;
+    FutureRecord& fut = futures_.at(red->future_id);  // created at issue
+    // Arrive with this shard's partial once its point values are known.
+    const sim::UserEvent gate = fut.per_shard_event[s.value];
+    const sim::Event ready = fm.shard_values_ready[s.value];
+    auto arrive = [this, fmp = &fm, futp = &fut, s, gate, rop = red->op] {
+      double partial = 0.0;
+      switch (rop) {
+        case ReduceOp::Sum: partial = fmp->shard_partial_sum[s.value]; break;
+        case ReduceOp::Min: partial = fmp->shard_partial_min[s.value]; break;
+        case ReduceOp::Max: partial = fmp->shard_partial_max[s.value]; break;
+      }
+      futp->coll->arrive(s.value, partial).on_trigger([this, gate] {
+        gate.trigger(machine_.sim().now());
+      });
+    };
+    if (ready.has_triggered()) {
+      arrive();
+    } else {
+      ready.on_trigger(arrive);
+    }
+    quiescence_.add(gate);
+    return;
+  }
+
+  if (const auto* del = std::get_if<DeletePayload>(&op.payload)) {
+    if (!forest_.tree_destroyed(del->tree)) forest_.destroy_tree(del->tree);
+    return;
+  }
+}
+
+sim::Event DcrRuntime::launch_point_task(ShardId s, const OpRecord& op, const rt::Point& point,
+                                         std::uint64_t point_index,
+                                         const std::vector<rt::Requirement>& reqs,
+                                         const std::vector<std::int64_t>& args, FunctionId fn,
+                                         std::uint64_t future_map_id,
+                                         std::uint64_t future_id) {
+  ShardState& st = shard(s);
+  const NodeId node = st.node;
+  const TaskId tid(op.id.value * kPointsPerOp + point_index);
+
+  PointTaskInfo info;
+  info.fn = fn;
+  info.point = point;
+  if (const auto* index = std::get_if<IndexPayload>(&op.payload)) {
+    info.domain = index->launch.domain;
+  }
+  info.requirements = reqs;
+  info.args = args;
+  for (const rt::Requirement& r : reqs) {
+    info.volume += forest_.bounds(r.region).volume();
+  }
+
+  sim::UserEvent done;
+  std::vector<sim::Event> pre;
+  std::vector<TaskId> conflict_tasks;
+  for (const rt::Requirement& r : reqs) {
+    const rt::Rect rect = forest_.bounds(r.region);
+    const RegionTreeId tree = forest_.tree_of(r.region);
+    for (FieldId f : r.fields) {
+      if (rt::is_reader(r.privilege)) {
+        const sim::Event copied = physical_.acquire(tree, f, rect, node);
+        if (!copied.has_triggered()) pre.push_back(copied);
+      }
+      auto conflicts = tracker_.record_use(tree, f, rect, r.privilege, r.redop, tid, done);
+      if (!conflicts.precondition.has_triggered()) pre.push_back(conflicts.precondition);
+      conflict_tasks.insert(conflict_tasks.end(), conflicts.tasks.begin(),
+                            conflicts.tasks.end());
+      if (rt::is_writer(r.privilege)) {
+        physical_.record_write(tree, f, rect, node, done);
+      }
+    }
+  }
+  record_realized(tid, op.id, point_index, conflict_tasks);
+
+  const SimTime duration = functions_.at(fn).duration(info);
+  FunctionProfile& prof = profile_[fn];
+  prof.tasks++;
+  prof.total_time += duration;
+  sim::Processor& proc = compute_proc_for(s, point_index);
+  proc.enqueue(duration, sim::merge_events(std::span<const sim::Event>(pre)),
+               [this, s, done, info = std::move(info), future_map_id, future_id] {
+                 finish_point_task(s, info, future_map_id, future_id);
+                 done.trigger(machine_.sim().now());
+               },
+               functions_.at(fn).name);
+  quiescence_.add(done);
+  stats_.point_tasks_launched++;
+  return done;
+}
+
+void DcrRuntime::finish_point_task(ShardId s, const PointTaskInfo& info,
+                                   std::uint64_t future_map_id, std::uint64_t future_id) {
+  const TaskFunction& fn = functions_.at(info.fn);
+  if (future_map_id != ~0ull || future_id != ~0ull) {
+    DCR_CHECK(fn.future_value != nullptr)
+        << "task '" << fn.name << "' launched for a future but has no value model";
+  }
+  if (future_map_id != ~0ull) {
+    const double v = fn.future_value(info);
+    FutureMapRecord& fm = future_maps_.at(future_map_id);
+    fm.shard_partial_sum[s.value] += v;
+    fm.shard_partial_min[s.value] = std::min(fm.shard_partial_min[s.value], v);
+    fm.shard_partial_max[s.value] = std::max(fm.shard_partial_max[s.value], v);
+  }
+  if (future_id != ~0ull) {
+    const double v = fn.future_value(info);
+    FutureRecord& fut = futures_.at(future_id);
+    // Only the owner shard executes a single task; it is the broadcast root.
+    const sim::UserEvent gate = fut.per_shard_event[s.value];
+    fut.coll->arrive(/*rank=*/0, v).on_trigger(
+        [this, gate] { gate.trigger(machine_.sim().now()); });
+  }
+}
+
+sim::Processor& DcrRuntime::compute_proc_for(ShardId s, std::uint64_t point_index) {
+  const NodeId node = placement_[s.value];
+  const std::size_t per_node = machine_.config().compute_procs_per_node;
+  std::size_t slot;
+  if (config_.mapper) {
+    slot = config_.mapper->select_processor(FunctionId::invalid(), point_index, per_node) %
+           per_node;
+  } else if (config_.shards_per_node == per_node) {
+    slot = s.value % config_.shards_per_node;  // one shard drives one processor
+  } else {
+    slot = point_index % per_node;
+  }
+  return machine_.compute_proc(node, slot);
+}
+
+void DcrRuntime::record_realized(TaskId tid, OpId op, std::uint64_t point_index,
+                                 const std::vector<TaskId>& preds) {
+  if (!config_.record_task_graph) return;
+  if (!realized_graph_.has_task(tid)) {
+    realized_graph_.add_task(tid);
+    realized_tasks_.push_back(RealizedTask{tid, op, point_index});
+  }
+  for (TaskId p : preds) {
+    if (!realized_graph_.has_edge(p, tid)) realized_graph_.add_edge(p, tid);
+  }
+}
+
+// ------------------------------------------------------ deferred deletions
+
+void DcrRuntime::start_deferred_poller() {
+  if (poller_active_) return;
+  poller_active_ = true;
+  deferred_poll_interval_ = config_.deferred_poll_initial;
+  machine_.sim().spawn("deferred-poller", [this](sim::ProcessContext& pctx) {
+    for (;;) {
+      pctx.delay(deferred_poll_interval_);
+      const bool progressed = check_deferred_consensus();
+      // One consensus poll costs a small collective among the shards.
+      auto poll = std::make_shared<sim::Collective<int>>(
+          machine_.sim(), machine_.network(), placement_, sim::CollectiveKind::AllReduce,
+          sizeof(std::uint64_t), [](int a, int) { return a; });
+      sim::Event done;
+      for (std::size_t sh = 0; sh < num_shards(); ++sh) {
+        done = poll->arrive(sh, 0);
+      }
+      pctx.wait(done);
+      if (progressed) {
+        deferred_poll_interval_ = config_.deferred_poll_initial;  // GC active: poll fast
+      } else {
+        deferred_poll_interval_ =
+            std::min(deferred_poll_interval_ * 2, config_.deferred_poll_max);
+      }
+      bool all_done = true;
+      for (const auto& st : shards_) all_done = all_done && st->main_returned;
+      if (all_done) {
+        check_deferred_consensus();
+        deferred_drained_ = true;
+        poller_active_ = false;
+        return;
+      }
+    }
+  });
+}
+
+bool DcrRuntime::check_deferred_consensus() {
+  std::size_t min_count = std::numeric_limits<std::size_t>::max();
+  std::uint64_t max_next_op = 0;
+  for (const auto& st : shards_) {
+    min_count = std::min(min_count, st->deferred_requests.size());
+    max_next_op = std::max(max_next_op, st->next_op);
+  }
+  bool progressed = false;
+  while (deferred_consensus_ < min_count) {
+    const RegionTreeId tree = shards_[0]->deferred_requests[deferred_consensus_];
+    for (const auto& st : shards_) {
+      if (st->deferred_requests[deferred_consensus_] != tree) {
+        stats_.determinism_violation = true;
+        stats_.violation_message = "deferred deletions diverged across shards";
+        return progressed;
+      }
+    }
+    // Insert at an index no shard has passed yet, after prior insertions.
+    std::uint64_t idx = max_next_op;
+    if (!agreed_insertions_.empty()) {
+      idx = std::max(idx, agreed_insertions_.rbegin()->first + 1);
+    }
+    agreed_insertions_.emplace(idx, DeletePayload{tree});
+    deferred_consensus_++;
+    progressed = true;
+  }
+  return progressed;
+}
+
+void DcrRuntime::finalize_shard(ShardContext& ctx) {
+  ShardState& st = shard(ctx.shard());
+  st.main_returned = true;
+  // Drain: wait until deferred consensus settles (poller observes all shards
+  // done), then process any agreed insertions this shard has not reached.
+  while (poller_active_ && !deferred_drained_) {
+    ctx.process().delay(config_.deferred_poll_initial);
+  }
+  for (auto& [idx, payload] : agreed_insertions_) {
+    if (idx >= st.next_op) {
+      OpRecord del{OpId(idx), OpPayload(payload), false};
+      st.next_op = idx + 1;
+      st.deletions_processed++;
+      process_op(ctx.shard(), del);
+    }
+  }
+  ctx.execution_fence();
+  st.done = true;
+}
+
+// ----------------------------------------------------------------- execute
+
+DcrStats DcrRuntime::execute(const ApplicationMain& main) {
+  for (std::size_t s = 0; s < num_shards(); ++s) {
+    machine_.sim().spawn(
+        "shard-" + std::to_string(s),
+        [this, s, &main](sim::ProcessContext& pctx) {
+          ShardContext ctx(*this, ShardId(static_cast<std::uint32_t>(s)), pctx);
+          main(ctx);
+          finalize_shard(ctx);
+        });
+  }
+  stats_.makespan = machine_.sim().run();
+
+  stats_.completed = true;
+  for (const auto& st : shards_) stats_.completed = stats_.completed && st->done;
+  if (checker_.has_violation()) {
+    stats_.determinism_violation = true;
+    stats_.violation_message = checker_.violation_message();
+  }
+  if (checker_.checks_unresolved() > 0) stats_.completed = false;
+  stats_.bytes_moved = physical_.bytes_moved();
+  stats_.messages = machine_.network().stats().messages;
+  for (std::size_t n = 0; n < machine_.num_nodes(); ++n) {
+    stats_.analysis_busy += machine_.analysis_proc(NodeId(static_cast<std::uint32_t>(n))).busy_time();
+  }
+  stats_.compute_busy = machine_.total_compute_busy();
+  return stats_;
+}
+
+}  // namespace dcr::core

@@ -1,0 +1,348 @@
+// The dynamic-control-replication executor (paper §4).
+//
+// DcrRuntime runs an application's control program replicated across N
+// shards (one SimProcess per shard).  Each shard:
+//
+//  * re-executes the full control program (creations are replication-safe:
+//    the k-th creation call returns the same handle on every shard),
+//  * runs the two-stage dependence analysis of Figure 9 on its node's
+//    analysis processor: a coarse stage at task-group granularity whose cost
+//    is independent of machine size, and a fine stage that analyzes and
+//    launches only the points its sharding function assigns to it,
+//  * coordinates cross-shard dependences with fences implemented as
+//    zero-payload all-gather collectives (§4.1/§4.2), eliding them when the
+//    symbolic same-(sharding, domain, partition, projection) proof shows all
+//    point-level dependences are shard-local,
+//  * hashes every API call and cross-checks shards for control determinism
+//    (§3), and handles deferred deletions from GC finalizers by consensus
+//    polling with exponential back-off (§4.3).
+//
+// Analysis executes *for real* (actual region-tree queries, actual fence
+// decisions, actual point enumeration); the simulator only accounts time and
+// message traffic, per the substitution argument in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/philox.hpp"
+#include "common/types.hpp"
+#include "dcr/api.hpp"
+#include "dcr/determinism.hpp"
+#include "dcr/mapper.hpp"
+#include "dcr/sharding.hpp"
+#include "dcr/user_tracker.hpp"
+#include "runtime/physical.hpp"
+#include "runtime/region.hpp"
+#include "runtime/task_graph.hpp"
+#include "sim/collective.hpp"
+#include "sim/machine.hpp"
+#include "sim/quiescence.hpp"
+
+namespace dcr::core {
+
+struct DcrConfig {
+  // Shards: one per node by default.  With shards_per_node > 1, shard s runs
+  // on node s / shards_per_node (the paper's "one shard per GPU" setups).
+  std::size_t shards_per_node = 1;
+
+  // Control-program and analysis cost model (virtual time).
+  SimTime issue_cost = ns(200);            // per API call in the control program
+  SimTime coarse_cost_per_req = us(1);     // coarse stage, per requirement
+  SimTime fine_cost_per_point = us(1);     // fine stage, per owned point
+  SimTime fine_cost_per_op = ns(500);      // fine stage, fixed per op
+  SimTime hash_cost = ns(100);             // determinism hash per API call
+
+  // Tracing (paper §5.5): replayed ops charge these reduced costs instead.
+  SimTime traced_coarse_cost_per_req = ns(100);
+  SimTime traced_fine_cost_per_point = ns(60);
+  SimTime traced_fine_cost_per_op = ns(100);
+
+  bool determinism_checks = true;
+  bool tracing_enabled = true;
+  // Ablation: insert a cross-shard fence for every coarse dependence instead
+  // of eliding provably shard-local ones (paper §4.1, observation 2).
+  bool disable_fence_elision = false;
+
+  // Deferred-deletion consensus polling (paper §4.3).
+  SimTime deferred_poll_initial = us(10);
+  SimTime deferred_poll_max = ms(1);
+
+  double file_ns_per_byte = 0.25;  // attach/detach I/O bandwidth (4 GB/s)
+
+  // Record the realized point-task dependence graph (tests/validation only;
+  // adds host-side cost, no virtual-time cost).
+  bool record_task_graph = false;
+
+  // Mapping policy (paper §4): per-launch sharding selection and point-task
+  // processor placement.  Must be deterministic; not owned.  nullptr = the
+  // default policies.
+  Mapper* mapper = nullptr;
+};
+
+struct DcrStats {
+  SimTime makespan = 0;
+  std::uint64_t ops_issued = 0;          // per shard (identical across shards)
+  std::uint64_t point_tasks_launched = 0;
+  std::uint64_t fences_inserted = 0;     // cross-shard fences
+  std::uint64_t fences_elided = 0;       // coarse deps proven shard-local
+  std::uint64_t coarse_deps = 0;
+  std::uint64_t determinism_checks = 0;
+  std::uint64_t traced_ops = 0;
+  std::uint64_t bytes_moved = 0;
+  std::uint64_t messages = 0;
+  SimTime analysis_busy = 0;
+  SimTime compute_busy = 0;
+  bool completed = false;                // every shard ran to completion
+  bool determinism_violation = false;
+  std::string violation_message;
+};
+
+class DcrRuntime {
+ public:
+  DcrRuntime(sim::Machine& machine, FunctionRegistry& functions, DcrConfig config = {});
+  ~DcrRuntime();
+
+  DcrRuntime(const DcrRuntime&) = delete;
+  DcrRuntime& operator=(const DcrRuntime&) = delete;
+
+  // Run `main` control-replicated; returns once the simulation quiesces.
+  DcrStats execute(const ApplicationMain& main);
+
+  std::size_t num_shards() const { return placement_.size(); }
+  const rt::PhysicalState& physical_state() const { return physical_; }
+  rt::RegionForest& forest() { return forest_; }
+  ShardingRegistry& shardings() { return shardings_; }
+  rt::ProjectionRegistry& projections() { return projections_; }
+
+  // Per-function execution profile: task count and total virtual busy time.
+  struct FunctionProfile {
+    std::uint64_t tasks = 0;
+    SimTime total_time = 0;
+  };
+  const std::map<FunctionId, FunctionProfile>& profile() const { return profile_; }
+
+  // Realized point-task graph (only populated with config.record_task_graph).
+  const rt::TaskGraph& realized_graph() const { return realized_graph_; }
+  // (op id, point index within op) for every realized task, program order.
+  struct RealizedTask {
+    TaskId id;
+    OpId op;
+    std::uint64_t point_index;
+  };
+  const std::vector<RealizedTask>& realized_tasks() const { return realized_tasks_; }
+
+ private:
+  friend class ShardContext;
+
+  // ------------------------------------------------------------- op model
+  struct FillPayload {
+    IndexSpaceId region;
+    std::vector<FieldId> fields;
+  };
+  struct TaskPayload {
+    TaskLaunch launch;
+    std::uint64_t future_id = ~0ull;
+  };
+  struct IndexPayload {
+    IndexLaunch launch;
+    std::uint64_t future_map_id = ~0ull;
+  };
+  struct ReducePayload {  // reduce_future_map
+    std::uint64_t fm_id;
+    ReduceOp op;
+    std::uint64_t future_id;
+  };
+  struct AttachPayload {
+    IndexSpaceId region;                         // single variant
+    PartitionId partition = PartitionId::invalid();  // group variant
+    std::vector<FieldId> fields;
+    std::string file;
+    bool detach = false;
+  };
+  struct DeletePayload {
+    RegionTreeId tree;
+  };
+  struct FencePayload {};  // execution fence: full pipeline barrier
+  using OpPayload =
+      std::variant<FillPayload, TaskPayload, IndexPayload, ReducePayload, AttachPayload,
+                   DeletePayload, FencePayload>;
+
+  struct OpRecord {
+    OpId id;
+    OpPayload payload;
+    bool traced = false;  // inside a trace replay: charge reduced costs
+  };
+
+  // Coarse-stage requirement summary: the upper-bound view plus the launch
+  // identity needed for the fence-elision proof.
+  struct ReqSummary {
+    RegionTreeId tree;
+    IndexSpaceId upper_bound;
+    std::vector<FieldId> fields;
+    rt::Privilege privilege;
+    rt::ReductionOpId redop;
+    // Launch identity (index launches only; single ops leave these invalid).
+    bool is_index = false;
+    ShardingId sharding;
+    rt::Rect domain;
+    PartitionId partition;       // invalid when the requirement names a region
+    ProjectionId projection;
+    ShardId single_owner;        // owner shard for single (non-index) ops
+  };
+
+  struct CoarseDecision {
+    std::vector<OpId> fence_sources;  // cross-shard fences to wait for
+    std::uint64_t deps = 0;           // coarse dependences found (stats)
+    std::uint64_t elided = 0;         // deps proven shard-local (stats)
+    std::size_t num_reqs = 0;         // for cost accounting
+  };
+
+  // Per-(tree,field) coarse users, shared by all shards (identical streams).
+  struct GroupUse {
+    OpId op;
+    ReqSummary req;
+  };
+  struct CoarseFieldState {
+    std::optional<GroupUse> last_writer;
+    std::vector<GroupUse> readers_since;
+    std::vector<GroupUse> reducers_since;
+  };
+
+  struct TraceRecord {
+    std::vector<Hash128> op_signatures;
+    bool recorded = false;
+  };
+
+  // ------------------------------------------------------------ shard state
+  struct ShardState {
+    ShardId id;
+    NodeId node;
+    std::uint64_t next_creation = 0;   // replicated-heap cursor
+    std::uint64_t next_future = 0;     // future / future-map id cursors
+    std::uint64_t next_future_map = 0;
+    std::uint64_t next_op = 0;         // program-order op counter
+    std::uint64_t api_calls = 0;       // determinism-check call index
+    sim::Event fine_tail;              // previous fine analysis on this shard
+    std::unique_ptr<Philox4x32> rng;
+    // Per-shard trace capture/replay state (paper §5.5).
+    std::optional<TraceId> active_trace;
+    std::uint64_t trace_pos = 0;
+    std::map<TraceId, TraceRecord> traces;
+    // Deferred deletions this shard has requested (in request order).
+    std::vector<RegionTreeId> deferred_requests;
+    std::uint64_t deletions_processed = 0;
+    bool main_returned = false;
+    bool done = false;
+  };
+
+  // Futures: broadcast/all-reduce collectives of doubles among shards.  The
+  // per-shard gate triggers once the combined value is available at that
+  // shard's node.
+  struct FutureRecord {
+    std::shared_ptr<sim::Collective<double>> coll;
+    std::vector<sim::UserEvent> per_shard_event;
+  };
+  struct FutureMapRecord {
+    OpId op;
+    rt::Rect domain;
+    // Per-shard partial values become available when the shard's owned point
+    // tasks complete (shard_values_ready[s]).
+    std::vector<sim::Event> shard_values_ready;
+    std::vector<double> shard_partial_sum;
+    std::vector<double> shard_partial_min;
+    std::vector<double> shard_partial_max;
+  };
+
+  // Cross-shard fences keyed by the *dependent* op: each shard arrives once
+  // its fine pipeline reaches that op (fine stages are serialized per shard,
+  // so arrival implies every earlier op's fine analysis completed locally).
+  struct FenceRecord {
+    std::unique_ptr<sim::FenceCollective> coll;
+  };
+
+  // ---------------------------------------------------------------- helpers
+  ShardState& shard(ShardId s) { return *shards_[s.value]; }
+  sim::Processor& analysis_proc(ShardId s) {
+    return machine_.analysis_proc(placement_[s.value]);
+  }
+  ShardId single_op_owner(OpId op) const {
+    return ShardId(static_cast<std::uint32_t>(op.value % placement_.size()));
+  }
+
+  std::vector<ReqSummary> summarize(const OpRecord& op) const;
+  const CoarseDecision& coarse_decision(const OpRecord& op);
+  bool dependence_is_shard_local(const ReqSummary& prev, const ReqSummary& next) const;
+  FenceRecord& fence_for(OpId dependent);
+  FutureRecord& ensure_future(std::uint64_t id, OpId producer, bool broadcast);
+  FutureRecord& ensure_reduce_future(std::uint64_t id, ReduceOp rop);
+
+  // Issue path: called from the shard's control process.
+  void issue(class ShardContext& ctx, OpPayload payload);
+  void process_op(ShardId s, const OpRecord& op);
+  void execute_points(ShardId s, const OpRecord& op);
+  sim::Event launch_point_task(ShardId s, const OpRecord& op, const rt::Point& point,
+                               std::uint64_t point_index,
+                               const std::vector<rt::Requirement>& reqs,
+                               const std::vector<std::int64_t>& args, FunctionId fn,
+                               std::uint64_t future_map_id,
+                               std::uint64_t future_id = ~0ull);
+  void finish_point_task(ShardId s, const PointTaskInfo& info, std::uint64_t future_map_id,
+                         std::uint64_t future_id);
+  sim::Processor& compute_proc_for(ShardId s, std::uint64_t point_index);
+  void record_realized(TaskId tid, OpId op, std::uint64_t point_index,
+                       const std::vector<TaskId>& preds);
+  void finalize_shard(class ShardContext& ctx);
+
+  void start_deferred_poller();
+  bool check_deferred_consensus();
+
+  sim::Machine& machine_;
+  FunctionRegistry& functions_;
+  DcrConfig config_;
+  std::vector<NodeId> placement_;  // shard -> node
+
+  rt::RegionForest forest_;
+  rt::ProjectionRegistry projections_;
+  ShardingRegistry shardings_;
+  rt::PhysicalState physical_;
+  UserTracker tracker_;
+  DeterminismChecker checker_;
+
+  // Replicated heap: creation results in call order, shared by shards.
+  struct Creation {
+    std::variant<FieldSpaceId, FieldId, RegionTreeId, PartitionId> handle;
+  };
+  std::vector<Creation> creations_;
+
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  std::map<OpId, CoarseDecision> coarse_decisions_;
+  std::map<std::pair<RegionTreeId, FieldId>, CoarseFieldState> coarse_state_;
+  std::uint64_t coarse_state_next_op_ = 0;  // ops folded into coarse_state_
+
+  std::map<std::uint64_t, FutureRecord> futures_;
+  std::map<std::uint64_t, FutureMapRecord> future_maps_;
+  std::map<OpId, FenceRecord> fences_;
+
+  sim::QuiescenceTracker quiescence_;  // every op/task completion
+  // Deferred-deletion consensus: number of requests agreed + insertion index.
+  std::uint64_t deferred_consensus_ = 0;
+  std::map<std::uint64_t, DeletePayload> agreed_insertions_;  // op index -> op
+  SimTime deferred_poll_interval_ = 0;
+  bool poller_active_ = false;
+  bool deferred_drained_ = false;
+
+  DcrStats stats_;
+  std::map<FunctionId, FunctionProfile> profile_;
+  rt::TaskGraph realized_graph_;
+  std::vector<RealizedTask> realized_tasks_;
+  std::uint64_t next_task_id_ = 0;
+};
+
+}  // namespace dcr::core

@@ -1,0 +1,98 @@
+// Sharding functions (paper §4): pure, total functions mapping each point of
+// a launch domain to the shard that owns its dependence analysis.
+//
+// "The only requirements of f are that it be a function (each subtask is
+// assigned to one shard) and total (every subtask is assigned to some
+// shard)."  Purity allows memoization: we cache the full point->shard map
+// per (function, domain, num_shards) so repeated launches over the same
+// domain pay a hash lookup, mirroring the implementation note in §4.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "runtime/geometry.hpp"
+
+namespace dcr::core {
+
+class ShardingRegistry {
+ public:
+  using ShardingFn =
+      std::function<ShardId(const rt::Point&, const rt::Rect& domain, std::size_t shards)>;
+
+  ShardingRegistry() {
+    // ID 0: cyclic — round-robins linearized points over shards (the paper's
+    // example sharding function for Figure 10).
+    register_sharding([](const rt::Point& p, const rt::Rect& domain, std::size_t shards) {
+      return ShardId(static_cast<std::uint32_t>(rt::linearize(domain, p) % shards));
+    });
+    // ID 1: blocked/tiled — contiguous chunks of the domain per shard, the
+    // locality-preserving choice used by the evaluation applications.
+    register_sharding([](const rt::Point& p, const rt::Rect& domain, std::size_t shards) {
+      const std::uint64_t idx = rt::linearize(domain, p);
+      const std::uint64_t n = domain.volume();
+      // ceil-divided blocks so every shard gets at most ceil(n/shards).
+      const std::uint64_t block = (n + shards - 1) / shards;
+      return ShardId(static_cast<std::uint32_t>(idx / block));
+    });
+  }
+
+  static ShardingId cyclic() { return ShardingId(0); }
+  static ShardingId blocked() { return ShardingId(1); }
+
+  ShardingId register_sharding(ShardingFn fn) {
+    fns_.push_back(std::move(fn));
+    return ShardingId(static_cast<std::uint32_t>(fns_.size() - 1));
+  }
+
+  ShardId shard_of(ShardingId id, const rt::Point& p, const rt::Rect& domain,
+                   std::size_t shards) const {
+    DCR_CHECK(id.value < fns_.size()) << "unknown sharding function";
+    const ShardId s = fns_[id.value](p, domain, shards);
+    DCR_CHECK(s.value < shards) << "sharding function returned out-of-range shard";
+    return s;
+  }
+
+  // Memoized owned-point list for one shard: the points of `domain` this
+  // shard analyzes (fine stage, Figure 9 line 3).
+  const std::vector<rt::Point>& owned_points(ShardingId id, const rt::Rect& domain,
+                                             std::size_t shards, ShardId shard) {
+    const Key key{id, domain, shards};
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+      std::vector<std::vector<rt::Point>> per_shard(shards);
+      rt::for_each_point(domain, [&](const rt::Point& p) {
+        per_shard[shard_of(id, p, domain, shards).value].push_back(p);
+      });
+      it = cache_.emplace(key, std::move(per_shard)).first;
+    }
+    DCR_CHECK(shard.value < it->second.size());
+    return it->second[shard.value];
+  }
+
+  std::size_t cache_entries() const { return cache_.size(); }
+
+ private:
+  struct Key {
+    ShardingId id;
+    rt::Rect domain;
+    std::size_t shards;
+
+    friend bool operator<(const Key& a, const Key& b) {
+      auto tup = [](const Key& k) {
+        return std::make_tuple(k.id, k.domain.dim, k.domain.lo, k.domain.hi, k.shards);
+      };
+      return tup(a) < tup(b);
+    }
+  };
+
+  std::vector<ShardingFn> fns_;
+  std::map<Key, std::vector<std::vector<rt::Point>>> cache_;
+};
+
+}  // namespace dcr::core

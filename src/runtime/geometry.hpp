@@ -1,0 +1,216 @@
+// Dense rectangular index-space geometry (1-D to 3-D).
+//
+// Legion index spaces in the applications the paper evaluates are dense
+// N-dimensional rectangles ("ispace(int1d, {x = ncells})" in Figure 7), so
+// the forest supports dense Rects: exact intersection/containment/volume and
+// rectangle subtraction (used by the physical-state tracker to compute which
+// pieces of a subregion need copying between nodes).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace dcr::rt {
+
+inline constexpr int kMaxDim = 3;
+
+struct Point {
+  int dim = 1;
+  std::array<std::int64_t, kMaxDim> c{0, 0, 0};
+
+  static Point p1(std::int64_t x) { return Point{1, {x, 0, 0}}; }
+  static Point p2(std::int64_t x, std::int64_t y) { return Point{2, {x, y, 0}}; }
+  static Point p3(std::int64_t x, std::int64_t y, std::int64_t z) {
+    return Point{3, {x, y, z}};
+  }
+
+  std::int64_t operator[](int i) const { return c[static_cast<std::size_t>(i)]; }
+  std::int64_t& operator[](int i) { return c[static_cast<std::size_t>(i)]; }
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+struct Rect {
+  int dim = 1;
+  std::array<std::int64_t, kMaxDim> lo{0, 0, 0};
+  std::array<std::int64_t, kMaxDim> hi{-1, -1, -1};  // inclusive; lo>hi = empty
+
+  static Rect r1(std::int64_t lo, std::int64_t hi) { return Rect{1, {lo, 0, 0}, {hi, 0, 0}}; }
+  static Rect r2(std::int64_t xlo, std::int64_t xhi, std::int64_t ylo, std::int64_t yhi) {
+    return Rect{2, {xlo, ylo, 0}, {xhi, yhi, 0}};
+  }
+  static Rect r3(std::int64_t xlo, std::int64_t xhi, std::int64_t ylo, std::int64_t yhi,
+                 std::int64_t zlo, std::int64_t zhi) {
+    return Rect{3, {xlo, ylo, zlo}, {xhi, yhi, zhi}};
+  }
+  static Rect empty(int dim = 1) {
+    Rect r;
+    r.dim = dim;
+    return r;
+  }
+
+  bool is_empty() const {
+    for (int d = 0; d < dim; ++d) {
+      if (lo[static_cast<std::size_t>(d)] > hi[static_cast<std::size_t>(d)]) return true;
+    }
+    return false;
+  }
+
+  std::int64_t extent(int d) const {
+    return hi[static_cast<std::size_t>(d)] - lo[static_cast<std::size_t>(d)] + 1;
+  }
+
+  std::uint64_t volume() const {
+    if (is_empty()) return 0;
+    std::uint64_t v = 1;
+    for (int d = 0; d < dim; ++d) v *= static_cast<std::uint64_t>(extent(d));
+    return v;
+  }
+
+  bool contains(const Point& p) const {
+    DCR_DCHECK(p.dim == dim);
+    for (int d = 0; d < dim; ++d) {
+      const auto i = static_cast<std::size_t>(d);
+      if (p.c[i] < lo[i] || p.c[i] > hi[i]) return false;
+    }
+    return true;
+  }
+
+  bool contains(const Rect& r) const {
+    DCR_DCHECK(r.dim == dim);
+    if (r.is_empty()) return true;
+    for (int d = 0; d < dim; ++d) {
+      const auto i = static_cast<std::size_t>(d);
+      if (r.lo[i] < lo[i] || r.hi[i] > hi[i]) return false;
+    }
+    return true;
+  }
+
+  // Compare only the used dimensions (helpers leave trailing dims at their
+  // defaults, which must not affect equality).
+  friend bool operator==(const Rect& a, const Rect& b) {
+    if (a.dim != b.dim) return false;
+    if (a.is_empty() && b.is_empty()) return true;
+    for (int d = 0; d < a.dim; ++d) {
+      const auto i = static_cast<std::size_t>(d);
+      if (a.lo[i] != b.lo[i] || a.hi[i] != b.hi[i]) return false;
+    }
+    return true;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  os << "[";
+  for (int d = 0; d < r.dim; ++d) {
+    const auto i = static_cast<std::size_t>(d);
+    os << (d ? "," : "") << r.lo[i] << ".." << r.hi[i];
+  }
+  return os << "]";
+}
+
+inline Rect intersect(const Rect& a, const Rect& b) {
+  DCR_DCHECK(a.dim == b.dim);
+  Rect r;
+  r.dim = a.dim;
+  for (int d = 0; d < a.dim; ++d) {
+    const auto i = static_cast<std::size_t>(d);
+    r.lo[i] = std::max(a.lo[i], b.lo[i]);
+    r.hi[i] = std::min(a.hi[i], b.hi[i]);
+  }
+  return r;
+}
+
+inline bool overlaps(const Rect& a, const Rect& b) { return !intersect(a, b).is_empty(); }
+
+// Tightest rectangle covering both inputs.
+inline Rect bounding_union(const Rect& a, const Rect& b) {
+  if (a.is_empty()) return b;
+  if (b.is_empty()) return a;
+  DCR_DCHECK(a.dim == b.dim);
+  Rect r;
+  r.dim = a.dim;
+  for (int d = 0; d < a.dim; ++d) {
+    const auto i = static_cast<std::size_t>(d);
+    r.lo[i] = std::min(a.lo[i], b.lo[i]);
+    r.hi[i] = std::max(a.hi[i], b.hi[i]);
+  }
+  return r;
+}
+
+// a \ b as a set of disjoint rectangles (at most 2*dim pieces).
+inline std::vector<Rect> subtract(const Rect& a, const Rect& b) {
+  if (a.is_empty()) return {};
+  const Rect ov = intersect(a, b);
+  if (ov.is_empty()) return {a};
+  std::vector<Rect> out;
+  Rect rest = a;  // shrinks toward the overlap, axis by axis
+  for (int d = 0; d < a.dim; ++d) {
+    const auto i = static_cast<std::size_t>(d);
+    if (rest.lo[i] < ov.lo[i]) {
+      Rect below = rest;
+      below.hi[i] = ov.lo[i] - 1;
+      out.push_back(below);
+      rest.lo[i] = ov.lo[i];
+    }
+    if (rest.hi[i] > ov.hi[i]) {
+      Rect above = rest;
+      above.lo[i] = ov.hi[i] + 1;
+      out.push_back(above);
+      rest.hi[i] = ov.hi[i];
+    }
+  }
+  return out;
+}
+
+// Row-major iteration order over the points of a rect (used for deterministic
+// enumeration in tests and fills).
+template <typename Fn>
+void for_each_point(const Rect& r, Fn&& fn) {
+  if (r.is_empty()) return;
+  Point p;
+  p.dim = r.dim;
+  std::array<std::int64_t, kMaxDim> lo = r.lo, hi = r.hi;
+  for (int d = r.dim; d < kMaxDim; ++d) {
+    lo[static_cast<std::size_t>(d)] = hi[static_cast<std::size_t>(d)] = 0;
+  }
+  for (std::int64_t z = lo[2]; z <= hi[2]; ++z) {
+    for (std::int64_t y = lo[1]; y <= hi[1]; ++y) {
+      for (std::int64_t x = lo[0]; x <= hi[0]; ++x) {
+        p.c = {x, y, z};
+        fn(p);
+      }
+    }
+  }
+}
+
+// Linearize a point within a rect (row-major); inverse of delinearize.
+inline std::uint64_t linearize(const Rect& r, const Point& p) {
+  DCR_DCHECK(r.contains(p));
+  std::uint64_t idx = 0;
+  for (int d = r.dim - 1; d >= 0; --d) {
+    const auto i = static_cast<std::size_t>(d);
+    idx = idx * static_cast<std::uint64_t>(r.extent(d)) +
+          static_cast<std::uint64_t>(p.c[i] - r.lo[i]);
+  }
+  return idx;
+}
+
+inline Point delinearize(const Rect& r, std::uint64_t idx) {
+  Point p;
+  p.dim = r.dim;
+  for (int d = 0; d < r.dim; ++d) {
+    const auto i = static_cast<std::size_t>(d);
+    const auto ext = static_cast<std::uint64_t>(r.extent(d));
+    p.c[i] = r.lo[i] + static_cast<std::int64_t>(idx % ext);
+    idx /= ext;
+  }
+  DCR_DCHECK(idx == 0);
+  return p;
+}
+
+}  // namespace dcr::rt

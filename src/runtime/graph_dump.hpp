@@ -1,0 +1,42 @@
+// Task-graph visualization: Graphviz DOT export of realized task graphs,
+// in the spirit of Legion Spy.  Used for debugging dependence analyses and
+// in documentation; tests verify structural fidelity of the output.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "runtime/task_graph.hpp"
+
+namespace dcr::rt {
+
+// Write `graph` as a DOT digraph.  `label` (optional) maps a TaskId to the
+// node label; defaults to "t<id>".
+inline void write_dot(std::ostream& os, const TaskGraph& graph,
+                      const std::function<std::string(TaskId)>& label = nullptr,
+                      const std::string& name = "task_graph") {
+  os << "digraph " << name << " {\n";
+  os << "  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n";
+  for (TaskId t : graph.tasks()) {
+    os << "  t" << t.value << " [label=\""
+       << (label ? label(t) : "t" + std::to_string(t.value)) << "\"];\n";
+  }
+  for (TaskId t : graph.tasks()) {
+    for (TaskId s : graph.successors(t)) {
+      os << "  t" << t.value << " -> t" << s.value << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+inline std::string to_dot(const TaskGraph& graph,
+                          const std::function<std::string(TaskId)>& label = nullptr,
+                          const std::string& name = "task_graph") {
+  std::ostringstream os;
+  write_dot(os, graph, label, name);
+  return os.str();
+}
+
+}  // namespace dcr::rt

@@ -1,0 +1,175 @@
+// Physical-state tracker: which node holds valid data for each piece of each
+// (region tree, field), and what copies a task's region requirements imply.
+//
+// This models the "make_valid_region" step of the fine-stage analysis (paper
+// Figure 9, line 7): before a point task runs on a node, every piece of its
+// subregion that was last written elsewhere must be copied in.  Copies are
+// issued over the simulated network gated on producer completion events, so
+// halo exchanges, gradient movement, etc. emerge from the dataflow rather
+// than being scripted per application.
+//
+// The tracker is shared machine-wide: each op's updates are applied by the
+// one shard that owns it during its fine stage, and cross-shard fences order
+// conflicting updates (paper §4.1), so a single ground-truth view is
+// consistent with the distributed execution it models.  Entries are kept in
+// an axis-0 interval index so lookups touch only overlapping pieces.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "runtime/geometry.hpp"
+#include "runtime/interval_index.hpp"
+#include "runtime/region.hpp"
+#include "sim/event.hpp"
+#include "sim/network.hpp"
+
+namespace dcr::rt {
+
+class PhysicalState {
+ public:
+  PhysicalState(const RegionForest& forest, sim::Network& net)
+      : forest_(&forest), net_(&net) {}
+
+  // Ensure `rect` of (tree, field) is valid at `node`.  Issues network copies
+  // for the pieces last written on other nodes; the returned event triggers
+  // when every needed piece has arrived (no_event if nothing to move).
+  // Replica entries are recorded immediately so later readers on the same
+  // node do not duplicate in-flight transfers.
+  sim::Event acquire(RegionTreeId tree, FieldId field, const Rect& rect, NodeId node) {
+    auto& entries = state_[{tree, field}];
+    const std::size_t fsize = forest_->field_size(field);
+
+    // Pieces of `rect` not already valid locally.
+    std::vector<Rect> missing{rect};
+    entries.for_each_overlapping(rect, [&](const auto& item) {
+      if (item.value.node != node || missing.empty()) return;
+      std::vector<Rect> next;
+      for (const Rect& m : missing) {
+        auto pieces = subtract(m, item.rect);
+        next.insert(next.end(), pieces.begin(), pieces.end());
+      }
+      missing = std::move(next);
+    });
+    if (missing.empty()) return sim::Event::no_event();
+
+    std::vector<sim::Event> arrivals;
+    std::vector<std::pair<Rect, Holder>> replicas;
+    for (const Rect& m : missing) {
+      // Cover `m` with *disjoint* pieces: several entries (the producer plus
+      // replicas on other nodes) may hold the same data, and each piece must
+      // be fetched exactly once.
+      std::vector<Rect> remaining{m};
+      entries.for_each_overlapping(m, [&](const auto& item) {
+        if (item.value.node == node || remaining.empty()) return;
+        std::vector<Rect> next;
+        for (const Rect& r : remaining) {
+          const Rect ov = intersect(r, item.rect);
+          if (ov.is_empty()) {
+            next.push_back(r);
+            continue;
+          }
+          const std::uint64_t bytes = ov.volume() * fsize;
+          sim::Event arrived = net_->copy(item.value.node, node, bytes, item.value.ready);
+          bytes_moved_ += bytes;
+          ++copies_issued_;
+          arrivals.push_back(arrived);
+          replicas.emplace_back(ov, Holder{node, arrived});
+          for (const Rect& piece : subtract(r, item.rect)) next.push_back(piece);
+        }
+        remaining = std::move(next);
+      });
+      // Pieces overlapping no entry were never written: valid everywhere.
+    }
+    for (auto& [r, h] : replicas) entries.insert(r, std::move(h));
+    if (arrivals.empty()) return sim::Event::no_event();
+    return sim::merge_events(std::span<const sim::Event>(arrivals));
+  }
+
+  // Record that `node` produces `rect` of (tree, field), valid once `ready`
+  // triggers.  Overlapping pieces of all other entries are invalidated.
+  void record_write(RegionTreeId tree, FieldId field, const Rect& rect, NodeId node,
+                    sim::Event ready) {
+    auto& entries = state_[{tree, field}];
+    auto removed = entries.extract_overlapping_if(
+        rect, [&](const auto& item) { return overlaps(item.rect, rect); });
+    for (auto& item : removed) {
+      for (const Rect& piece : subtract(item.rect, rect)) {
+        entries.insert(piece, item.value);
+      }
+    }
+    entries.insert(rect, Holder{node, std::move(ready)});
+  }
+
+  // Record a fill of `rect`: fills are lazy (materialized in place at first
+  // use on every node), so the filled pieces become valid *everywhere* —
+  // overlapping entries are simply invalidated and no owner is recorded.
+  void record_fill(RegionTreeId tree, FieldId field, const Rect& rect) {
+    auto& entries = state_[{tree, field}];
+    auto removed = entries.extract_overlapping_if(
+        rect, [&](const auto& item) { return overlaps(item.rect, rect); });
+    for (auto& item : removed) {
+      for (const Rect& piece : subtract(item.rect, rect)) {
+        entries.insert(piece, item.value);
+      }
+    }
+  }
+
+  // Validity event for reading `rect`: merged readiness of every overlapping
+  // entry (used when a consumer runs on the same node as the producer and no
+  // copy is needed, but the data still is not ready until the producer ran).
+  sim::Event ready_event(RegionTreeId tree, FieldId field, const Rect& rect) const {
+    auto it = state_.find({tree, field});
+    if (it == state_.end()) return sim::Event::no_event();
+    std::vector<sim::Event> events;
+    it->second.for_each_overlapping(rect, [&](const auto& item) {
+      if (overlaps(item.rect, rect) && !item.value.ready.has_triggered()) {
+        events.push_back(item.value.ready);
+      }
+    });
+    if (events.empty()) return sim::Event::no_event();
+    return sim::merge_events(std::span<const sim::Event>(events));
+  }
+
+  // Where is `rect` currently valid?  For tests.
+  std::vector<std::pair<Rect, NodeId>> holders(RegionTreeId tree, FieldId field,
+                                               const Rect& rect) const {
+    std::vector<std::pair<Rect, NodeId>> out;
+    auto it = state_.find({tree, field});
+    if (it == state_.end()) return out;
+    it->second.for_each_overlapping(rect, [&](const auto& item) {
+      const Rect ov = intersect(item.rect, rect);
+      if (!ov.is_empty()) out.emplace_back(ov, item.value.node);
+    });
+    return out;
+  }
+
+  // Entry counts per (tree, field) — diagnostics for fragmentation.
+  std::vector<std::pair<std::pair<RegionTreeId, FieldId>, std::size_t>> entry_counts() const {
+    std::vector<std::pair<std::pair<RegionTreeId, FieldId>, std::size_t>> out;
+    for (const auto& [key, idx] : state_) out.emplace_back(key, idx.size());
+    return out;
+  }
+
+  std::uint64_t bytes_moved() const { return bytes_moved_; }
+  std::uint64_t copies_issued() const { return copies_issued_; }
+  void reset_stats() { bytes_moved_ = 0; copies_issued_ = 0; }
+
+ private:
+  struct Holder {
+    NodeId node;
+    sim::Event ready;
+  };
+
+  const RegionForest* forest_;
+  sim::Network* net_;
+  std::map<std::pair<RegionTreeId, FieldId>, IntervalIndex<Holder>> state_;
+  std::uint64_t bytes_moved_ = 0;
+  std::uint64_t copies_issued_ = 0;
+};
+
+}  // namespace dcr::rt

@@ -1,0 +1,54 @@
+// Privileges on region requirements and the privilege-level conflict rules.
+//
+// Paper §4.1 (dependence oracle): "we lastly check to see if either task
+// writes its region argument; if at least one is writing then a dependence is
+// required."  As in Legion, concurrent reductions with the *same* reduction
+// operator commute and are not ordered against each other.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace dcr::rt {
+
+enum class Privilege : std::uint8_t {
+  None,
+  ReadOnly,
+  ReadWrite,
+  WriteDiscard,  // write-only: contents overwritten, no flow-in dependence on data
+  Reduce,        // accumulate with a reduction operator
+};
+
+using ReductionOpId = std::uint16_t;
+inline constexpr ReductionOpId kNoRedop = 0;
+
+constexpr bool is_writer(Privilege p) {
+  return p == Privilege::ReadWrite || p == Privilege::WriteDiscard ||
+         p == Privilege::Reduce;
+}
+
+constexpr bool is_reader(Privilege p) {
+  return p == Privilege::ReadOnly || p == Privilege::ReadWrite;
+}
+
+// Do two accesses to the same data require ordering?
+constexpr bool privileges_conflict(Privilege a, ReductionOpId a_op, Privilege b,
+                                   ReductionOpId b_op) {
+  if (a == Privilege::None || b == Privilege::None) return false;
+  if (a == Privilege::ReadOnly && b == Privilege::ReadOnly) return false;
+  if (a == Privilege::Reduce && b == Privilege::Reduce) return a_op != b_op;
+  return true;  // at least one non-commuting writer
+}
+
+constexpr std::string_view to_string(Privilege p) {
+  switch (p) {
+    case Privilege::None: return "NONE";
+    case Privilege::ReadOnly: return "RO";
+    case Privilege::ReadWrite: return "RW";
+    case Privilege::WriteDiscard: return "WD";
+    case Privilege::Reduce: return "RED";
+  }
+  return "?";
+}
+
+}  // namespace dcr::rt

@@ -1,0 +1,292 @@
+#include "runtime/region.hpp"
+
+#include <algorithm>
+
+namespace dcr::rt {
+
+// ----------------------------------------------------------- field spaces
+
+FieldSpaceId RegionForest::create_field_space() {
+  field_spaces_.emplace_back();
+  return FieldSpaceId(static_cast<std::uint32_t>(field_spaces_.size() - 1));
+}
+
+FieldId RegionForest::allocate_field(FieldSpaceId fs, std::size_t size_bytes,
+                                     std::string name) {
+  DCR_CHECK(fs.value < field_spaces_.size());
+  const FieldId f(static_cast<std::uint32_t>(fields_.size()));
+  fields_.push_back(FieldRec{size_bytes, std::move(name), false});
+  field_spaces_[fs.value].fields.push_back(f);
+  return f;
+}
+
+void RegionForest::free_field(FieldSpaceId fs, FieldId f) {
+  DCR_CHECK(fs.value < field_spaces_.size() && f.value < fields_.size());
+  auto& list = field_spaces_[fs.value].fields;
+  auto it = std::find(list.begin(), list.end(), f);
+  DCR_CHECK(it != list.end()) << "field not in field space";
+  list.erase(it);
+  fields_[f.value].freed = true;
+}
+
+std::size_t RegionForest::field_size(FieldId f) const {
+  DCR_CHECK(f.value < fields_.size());
+  return fields_[f.value].size;
+}
+
+const std::string& RegionForest::field_name(FieldId f) const {
+  DCR_CHECK(f.value < fields_.size());
+  return fields_[f.value].name;
+}
+
+std::vector<FieldId> RegionForest::fields(FieldSpaceId fs) const {
+  DCR_CHECK(fs.value < field_spaces_.size());
+  return field_spaces_[fs.value].fields;
+}
+
+// ------------------------------------------------------------ region trees
+
+IndexSpaceId RegionForest::new_region(RegionTreeId tree, const Rect& bounds,
+                                      PartitionId parent, std::uint64_t color,
+                                      int depth) {
+  const IndexSpaceId id(static_cast<std::uint32_t>(regions_.size()));
+  RegionNode node;
+  node.id = id;
+  node.tree = tree;
+  node.bounds = bounds;
+  node.parent = parent;
+  node.color_in_parent = color;
+  node.depth = depth;
+  regions_.push_back(std::move(node));
+  return id;
+}
+
+RegionTreeId RegionForest::create_tree(const Rect& bounds, FieldSpaceId fs) {
+  DCR_CHECK(fs.value < field_spaces_.size());
+  const RegionTreeId tree(static_cast<std::uint32_t>(trees_.size()));
+  const IndexSpaceId root =
+      new_region(tree, bounds, PartitionId::invalid(), 0, /*depth=*/0);
+  trees_.push_back(TreeRec{root, fs, false});
+  return tree;
+}
+
+void RegionForest::destroy_tree(RegionTreeId tree) {
+  DCR_CHECK(tree.value < trees_.size());
+  DCR_CHECK(!trees_[tree.value].destroyed) << "double destroy of region tree";
+  trees_[tree.value].destroyed = true;
+}
+
+bool RegionForest::tree_destroyed(RegionTreeId tree) const {
+  DCR_CHECK(tree.value < trees_.size());
+  return trees_[tree.value].destroyed;
+}
+
+IndexSpaceId RegionForest::root(RegionTreeId tree) const {
+  DCR_CHECK(tree.value < trees_.size());
+  return trees_[tree.value].root;
+}
+
+FieldSpaceId RegionForest::field_space(RegionTreeId tree) const {
+  DCR_CHECK(tree.value < trees_.size());
+  return trees_[tree.value].fs;
+}
+
+// -------------------------------------------------------------- partitions
+
+PartitionId RegionForest::create_partition(IndexSpaceId parent, std::vector<Rect> pieces,
+                                           bool disjoint) {
+  const RegionNode& pr = region(parent);
+  for (const Rect& piece : pieces) {
+    DCR_CHECK(pr.bounds.contains(piece))
+        << "partition piece " << piece << " escapes parent " << pr.bounds;
+  }
+#ifndef NDEBUG
+  if (disjoint) {
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+      for (std::size_t j = i + 1; j < pieces.size(); ++j) {
+        DCR_CHECK(!overlaps(pieces[i], pieces[j]))
+            << "disjoint partition has overlapping pieces " << i << "," << j;
+      }
+    }
+  }
+#endif
+  const PartitionId pid(static_cast<std::uint32_t>(partitions_.size()));
+  PartitionNode node;
+  node.id = pid;
+  node.parent = parent;
+  node.disjoint = disjoint;
+  node.children.reserve(pieces.size());
+  // Copy out of `pr` before new_region() — child insertion may reallocate
+  // regions_ and invalidate the reference.
+  const RegionTreeId tree = pr.tree;
+  const int child_depth = pr.depth + 1;
+  for (std::size_t c = 0; c < pieces.size(); ++c) {
+    node.children.push_back(new_region(tree, pieces[c], pid, c, child_depth));
+  }
+  partitions_.push_back(std::move(node));
+  regions_[parent.value].child_partitions.push_back(pid);
+  return pid;
+}
+
+PartitionId RegionForest::partition_equal(IndexSpaceId parent, std::size_t pieces,
+                                          int axis) {
+  const Rect& b = bounds(parent);
+  DCR_CHECK(axis >= 0 && axis < b.dim);
+  DCR_CHECK(pieces >= 1);
+  const auto ai = static_cast<std::size_t>(axis);
+  const std::int64_t extent = b.extent(axis);
+  std::vector<Rect> rects;
+  rects.reserve(pieces);
+  for (std::size_t c = 0; c < pieces; ++c) {
+    Rect piece = b;
+    piece.lo[ai] = b.lo[ai] + static_cast<std::int64_t>(c) * extent / static_cast<std::int64_t>(pieces);
+    piece.hi[ai] = b.lo[ai] + static_cast<std::int64_t>(c + 1) * extent / static_cast<std::int64_t>(pieces) - 1;
+    rects.push_back(piece);
+  }
+  return create_partition(parent, std::move(rects), /*disjoint=*/true);
+}
+
+PartitionId RegionForest::partition_with_halo(IndexSpaceId parent, std::size_t pieces,
+                                              std::int64_t halo, int axis) {
+  const Rect& b = bounds(parent);
+  DCR_CHECK(axis >= 0 && axis < b.dim);
+  const auto ai = static_cast<std::size_t>(axis);
+  const std::int64_t extent = b.extent(axis);
+  std::vector<Rect> rects;
+  rects.reserve(pieces);
+  for (std::size_t c = 0; c < pieces; ++c) {
+    Rect piece = b;
+    piece.lo[ai] = std::max(
+        b.lo[ai],
+        b.lo[ai] + static_cast<std::int64_t>(c) * extent / static_cast<std::int64_t>(pieces) - halo);
+    piece.hi[ai] = std::min(
+        b.hi[ai],
+        b.lo[ai] + static_cast<std::int64_t>(c + 1) * extent / static_cast<std::int64_t>(pieces) - 1 + halo);
+    rects.push_back(piece);
+  }
+  return create_partition(parent, std::move(rects), /*disjoint=*/false);
+}
+
+PartitionId RegionForest::partition_grid(IndexSpaceId parent, std::size_t tiles_x,
+                                         std::size_t tiles_y, std::int64_t halo) {
+  const Rect& b = bounds(parent);
+  DCR_CHECK(b.dim >= 2) << "grid partition needs a 2-D (or higher) region";
+  DCR_CHECK(tiles_x >= 1 && tiles_y >= 1);
+  const std::int64_t ex = b.extent(0);
+  const std::int64_t ey = b.extent(1);
+  std::vector<Rect> rects;
+  rects.reserve(tiles_x * tiles_y);
+  for (std::size_t ty = 0; ty < tiles_y; ++ty) {
+    for (std::size_t tx = 0; tx < tiles_x; ++tx) {
+      Rect piece = b;
+      piece.lo[0] = b.lo[0] + static_cast<std::int64_t>(tx) * ex / static_cast<std::int64_t>(tiles_x);
+      piece.hi[0] = b.lo[0] + static_cast<std::int64_t>(tx + 1) * ex / static_cast<std::int64_t>(tiles_x) - 1;
+      piece.lo[1] = b.lo[1] + static_cast<std::int64_t>(ty) * ey / static_cast<std::int64_t>(tiles_y);
+      piece.hi[1] = b.lo[1] + static_cast<std::int64_t>(ty + 1) * ey / static_cast<std::int64_t>(tiles_y) - 1;
+      if (halo > 0) {
+        piece.lo[0] = std::max(b.lo[0], piece.lo[0] - halo);
+        piece.hi[0] = std::min(b.hi[0], piece.hi[0] + halo);
+        piece.lo[1] = std::max(b.lo[1], piece.lo[1] - halo);
+        piece.hi[1] = std::min(b.hi[1], piece.hi[1] + halo);
+      }
+      rects.push_back(piece);
+    }
+  }
+  return create_partition(parent, std::move(rects), /*disjoint=*/halo == 0);
+}
+
+std::size_t RegionForest::num_subregions(PartitionId p) const {
+  return partition(p).children.size();
+}
+
+IndexSpaceId RegionForest::subregion(PartitionId p, std::uint64_t color) const {
+  const PartitionNode& node = partition(p);
+  DCR_CHECK(color < node.children.size())
+      << "color " << color << " out of range for partition with "
+      << node.children.size() << " pieces";
+  return node.children[color];
+}
+
+bool RegionForest::is_disjoint(PartitionId p) const { return partition(p).disjoint; }
+
+IndexSpaceId RegionForest::parent_region(PartitionId p) const { return partition(p).parent; }
+
+RegionTreeId RegionForest::tree_of_partition(PartitionId p) const {
+  return region(partition(p).parent).tree;
+}
+
+// ------------------------------------------------------------ region nodes
+
+const Rect& RegionForest::bounds(IndexSpaceId r) const { return region(r).bounds; }
+
+RegionTreeId RegionForest::tree_of(IndexSpaceId r) const { return region(r).tree; }
+
+std::optional<PartitionId> RegionForest::parent_partition(IndexSpaceId r) const {
+  const RegionNode& node = region(r);
+  if (!node.parent.valid()) return std::nullopt;
+  return node.parent;
+}
+
+std::uint64_t RegionForest::color(IndexSpaceId r) const { return region(r).color_in_parent; }
+
+int RegionForest::depth(IndexSpaceId r) const { return region(r).depth; }
+
+// ------------------------------------------------------------------ queries
+
+bool RegionForest::is_region_ancestor(IndexSpaceId anc, IndexSpaceId desc) const {
+  if (tree_of(anc) != tree_of(desc)) return false;
+  IndexSpaceId cur = desc;
+  while (true) {
+    if (cur == anc) return true;
+    const RegionNode& node = region(cur);
+    if (!node.parent.valid()) return false;
+    cur = partition(node.parent).parent;
+  }
+}
+
+IndexSpaceId RegionForest::lowest_common_region(IndexSpaceId a, IndexSpaceId b) const {
+  DCR_CHECK(tree_of(a) == tree_of(b)) << "LCA requires same tree";
+  IndexSpaceId x = a, y = b;
+  while (region(x).depth > region(y).depth) x = partition(region(x).parent).parent;
+  while (region(y).depth > region(x).depth) y = partition(region(y).parent).parent;
+  while (x != y) {
+    x = partition(region(x).parent).parent;
+    y = partition(region(y).parent).parent;
+  }
+  return x;
+}
+
+bool RegionForest::regions_overlap(IndexSpaceId a, IndexSpaceId b) const {
+  if (tree_of(a) != tree_of(b)) return false;
+  return overlaps(bounds(a), bounds(b));
+}
+
+bool RegionForest::structurally_disjoint(IndexSpaceId a, IndexSpaceId b) const {
+  if (tree_of(a) != tree_of(b)) return true;  // different trees: different data
+  if (a == b) return false;
+  // Walk both up to the depth of the LCA's children and compare the
+  // partitions/colors through which they descend from the LCA.
+  IndexSpaceId x = a, y = b;
+  while (region(x).depth > region(y).depth) x = partition(region(x).parent).parent;
+  while (region(y).depth > region(x).depth) y = partition(region(y).parent).parent;
+  if (x == y) return false;  // one is an ancestor of the other
+  while (true) {
+    const RegionNode& nx = region(x);
+    const RegionNode& ny = region(y);
+    const IndexSpaceId px = partition(nx.parent).parent;
+    const IndexSpaceId py = partition(ny.parent).parent;
+    if (px == py) {
+      // Diverge below the common region px: structurally disjoint iff they
+      // descend through the *same disjoint partition* via different colors.
+      if (nx.parent == ny.parent) {
+        DCR_DCHECK(nx.color_in_parent != ny.color_in_parent);
+        return partition(nx.parent).disjoint;
+      }
+      return false;  // different partitions of the same region: may alias
+    }
+    x = px;
+    y = py;
+  }
+}
+
+}  // namespace dcr::rt

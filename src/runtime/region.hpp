@@ -1,0 +1,148 @@
+// Logical region forest: index spaces, field spaces, regions, partitions.
+//
+// Mirrors Legion's data model (paper §4): a region is a table over an index
+// space (rows) and a field space (columns); partitions split a region into
+// subregions, which can be recursively partitioned, forming a *region tree*.
+// "An important property of region trees is that any region in the tree is a
+// superset of all the regions in its subtree" — the coarse analysis stage
+// exploits exactly this to reason about task groups without enumerating
+// points.
+//
+// Partitions may be disjoint (e.g. `owned` in Figure 8) or aliased (e.g.
+// `ghost`); disjointness is what lets the forest *prove* two subregions
+// independent structurally, without geometry.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "runtime/geometry.hpp"
+
+namespace dcr::rt {
+
+struct FieldDesc {
+  FieldId id;
+  std::size_t size_bytes = 8;
+  std::string name;
+};
+
+class RegionForest {
+ public:
+  RegionForest() = default;
+
+  // ---- field spaces ----
+  FieldSpaceId create_field_space();
+  FieldId allocate_field(FieldSpaceId fs, std::size_t size_bytes, std::string name = {});
+  void free_field(FieldSpaceId fs, FieldId f);
+  std::size_t field_size(FieldId f) const;
+  const std::string& field_name(FieldId f) const;
+  std::vector<FieldId> fields(FieldSpaceId fs) const;
+
+  // ---- region trees ----
+  // Creates a new tree whose root region covers `bounds` with fields from fs.
+  RegionTreeId create_tree(const Rect& bounds, FieldSpaceId fs);
+  void destroy_tree(RegionTreeId tree);
+  bool tree_destroyed(RegionTreeId tree) const;
+  IndexSpaceId root(RegionTreeId tree) const;
+  FieldSpaceId field_space(RegionTreeId tree) const;
+  std::size_t num_trees() const { return trees_.size(); }
+
+  // ---- partitions ----
+  // General form: one subregion per color, arbitrary rects (may alias parent
+  // boundaries for ghost regions).  `disjoint` is asserted by the caller and
+  // verified in debug builds.
+  PartitionId create_partition(IndexSpaceId parent, std::vector<Rect> pieces, bool disjoint);
+  // Blocked equal partition along `axis` into `pieces` subregions (disjoint).
+  PartitionId partition_equal(IndexSpaceId parent, std::size_t pieces, int axis = 0);
+  // Ghost partition: blocked pieces extended by `halo` on each side of
+  // `axis`, clamped to the parent bounds (aliased).
+  PartitionId partition_with_halo(IndexSpaceId parent, std::size_t pieces, std::int64_t halo,
+                                  int axis = 0);
+  // 2-D grid tiling: tiles_x * tiles_y disjoint tiles over axes 0 and 1,
+  // colored row-major (x fastest).  `halo` > 0 produces the aliased ghost
+  // variant extended on all four sides (clamped to the parent).
+  PartitionId partition_grid(IndexSpaceId parent, std::size_t tiles_x, std::size_t tiles_y,
+                             std::int64_t halo = 0);
+
+  std::size_t num_subregions(PartitionId p) const;
+  IndexSpaceId subregion(PartitionId p, std::uint64_t color) const;
+  bool is_disjoint(PartitionId p) const;
+  IndexSpaceId parent_region(PartitionId p) const;
+  RegionTreeId tree_of_partition(PartitionId p) const;
+
+  // ---- region nodes ----
+  const Rect& bounds(IndexSpaceId r) const;
+  RegionTreeId tree_of(IndexSpaceId r) const;
+  std::optional<PartitionId> parent_partition(IndexSpaceId r) const;
+  std::uint64_t color(IndexSpaceId r) const;  // color within parent partition
+  int depth(IndexSpaceId r) const;            // root = 0
+  std::size_t num_regions() const { return regions_.size(); }
+
+  // ---- queries ----
+  bool is_region_ancestor(IndexSpaceId anc, IndexSpaceId desc) const;
+  IndexSpaceId lowest_common_region(IndexSpaceId a, IndexSpaceId b) const;
+
+  // Exact geometric overlap (dense rects, same tree required).
+  bool regions_overlap(IndexSpaceId a, IndexSpaceId b) const;
+
+  // True only if the *tree structure* proves a and b disjoint: they diverge
+  // below a common disjoint partition.  Conservative: returns false for
+  // aliased/cross-partition pairs even when the geometry happens to be
+  // disjoint.  This models what Legion's coarse analysis can conclude
+  // symbolically (paper §4.1, Figure 10 discussion).
+  bool structurally_disjoint(IndexSpaceId a, IndexSpaceId b) const;
+
+ private:
+  struct RegionNode {
+    IndexSpaceId id;
+    RegionTreeId tree;
+    Rect bounds;
+    PartitionId parent = PartitionId::invalid();
+    std::uint64_t color_in_parent = 0;
+    int depth = 0;
+    std::vector<PartitionId> child_partitions;
+  };
+  struct PartitionNode {
+    PartitionId id;
+    IndexSpaceId parent;
+    bool disjoint = false;
+    std::vector<IndexSpaceId> children;  // indexed by color
+  };
+  struct TreeRec {
+    IndexSpaceId root;
+    FieldSpaceId fs;
+    bool destroyed = false;
+  };
+  struct FieldSpaceRec {
+    std::vector<FieldId> fields;
+  };
+  struct FieldRec {
+    std::size_t size = 0;
+    std::string name;
+    bool freed = false;
+  };
+
+  const RegionNode& region(IndexSpaceId r) const {
+    DCR_CHECK(r.value < regions_.size()) << "bad region id";
+    return regions_[r.value];
+  }
+  const PartitionNode& partition(PartitionId p) const {
+    DCR_CHECK(p.value < partitions_.size()) << "bad partition id";
+    return partitions_[p.value];
+  }
+
+  IndexSpaceId new_region(RegionTreeId tree, const Rect& bounds, PartitionId parent,
+                          std::uint64_t color, int depth);
+
+  std::vector<RegionNode> regions_;
+  std::vector<PartitionNode> partitions_;
+  std::vector<TreeRec> trees_;
+  std::vector<FieldSpaceRec> field_spaces_;
+  std::vector<FieldRec> fields_;
+};
+
+}  // namespace dcr::rt

@@ -1,0 +1,151 @@
+// Region requirements, projection functions, and the pairwise dependence
+// oracle.
+//
+// A *concrete* Requirement names one region + fields + privilege, as used by
+// a single task.  A GroupRequirement is the upper-bound form used by a group
+// (index) task launch: a partition (or a single region shared by all points)
+// plus a projection function that maps each point of the launch domain to its
+// subregion — the `t(p[f(i_j)])` form of paper §4.
+//
+// The oracle implements exactly the three-step check of paper §4.1: shared
+// index points -> common field -> at least one writer.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "runtime/geometry.hpp"
+#include "runtime/privilege.hpp"
+#include "runtime/region.hpp"
+
+namespace dcr::rt {
+
+struct Requirement {
+  IndexSpaceId region;
+  std::vector<FieldId> fields;
+  Privilege privilege = Privilege::ReadOnly;
+  ReductionOpId redop = kNoRedop;
+};
+
+// Projection functions are pure: (partition, point, launch domain) -> region.
+// Purity is what allows memoization and the symbolic fence-elision proof
+// (paper §4: "Because sharding functions are pure, we can memoize their
+// results" — the same holds for projections).
+class ProjectionRegistry {
+ public:
+  using ProjectionFn =
+      std::function<IndexSpaceId(const RegionForest&, PartitionId, const Point&, const Rect&)>;
+
+  ProjectionRegistry() {
+    // Projection 0: identity — point i maps to the subregion colored by the
+    // linearization of i in the launch domain (the `owned[id(.)]` form).
+    register_projection([](const RegionForest& forest, PartitionId part, const Point& p,
+                           const Rect& domain) {
+      return forest.subregion(part, linearize(domain, p));
+    });
+  }
+
+  ProjectionId register_projection(ProjectionFn fn) {
+    fns_.push_back(std::move(fn));
+    return ProjectionId(static_cast<std::uint32_t>(fns_.size() - 1));
+  }
+
+  IndexSpaceId apply(ProjectionId id, const RegionForest& forest, PartitionId part,
+                     const Point& p, const Rect& domain) const {
+    DCR_CHECK(id.value < fns_.size()) << "unknown projection function";
+    return fns_[id.value](forest, part, p, domain);
+  }
+
+  static ProjectionId identity() { return ProjectionId(0); }
+
+ private:
+  std::vector<ProjectionFn> fns_;
+};
+
+struct GroupRequirement {
+  // Exactly one of partition/region is valid.  The partition (or region) is
+  // the coarse-stage upper bound for every point's concrete requirement.
+  PartitionId partition = PartitionId::invalid();
+  IndexSpaceId region = IndexSpaceId::invalid();
+  ProjectionId projection = ProjectionRegistry::identity();
+  std::vector<FieldId> fields;
+  Privilege privilege = Privilege::ReadOnly;
+  ReductionOpId redop = kNoRedop;
+
+  bool uses_partition() const { return partition.valid(); }
+
+  static GroupRequirement on_partition(PartitionId p, std::vector<FieldId> fields,
+                                       Privilege priv, ReductionOpId redop = kNoRedop,
+                                       ProjectionId proj = ProjectionRegistry::identity()) {
+    GroupRequirement r;
+    r.partition = p;
+    r.projection = proj;
+    r.fields = std::move(fields);
+    r.privilege = priv;
+    r.redop = redop;
+    return r;
+  }
+  static GroupRequirement on_region(IndexSpaceId reg, std::vector<FieldId> fields,
+                                    Privilege priv, ReductionOpId redop = kNoRedop) {
+    GroupRequirement r;
+    r.region = reg;
+    r.fields = std::move(fields);
+    r.privilege = priv;
+    r.redop = redop;
+    return r;
+  }
+
+  // Concrete requirement for one point of the launch domain.
+  Requirement concretize(const RegionForest& forest, const ProjectionRegistry& projs,
+                         const Point& p, const Rect& domain) const {
+    Requirement req;
+    req.region = uses_partition() ? projs.apply(projection, forest, partition, p, domain)
+                                  : region;
+    req.fields = fields;
+    req.privilege = privilege;
+    req.redop = redop;
+    return req;
+  }
+
+  // Upper-bound region covering every point's concrete requirement.
+  IndexSpaceId upper_bound(const RegionForest& forest) const {
+    return uses_partition() ? forest.parent_region(partition) : region;
+  }
+};
+
+inline bool fields_intersect(const std::vector<FieldId>& a, const std::vector<FieldId>& b) {
+  for (FieldId fa : a) {
+    if (std::find(b.begin(), b.end(), fa) != b.end()) return true;
+  }
+  return false;
+}
+
+// The dependence oracle on concrete requirements (paper §4.1, final ¶).
+inline bool requirements_conflict(const RegionForest& forest, const Requirement& a,
+                                  const Requirement& b) {
+  if (forest.tree_of(a.region) != forest.tree_of(b.region)) return false;
+  if (!forest.regions_overlap(a.region, b.region)) return false;
+  if (!fields_intersect(a.fields, b.fields)) return false;
+  return privileges_conflict(a.privilege, a.redop, b.privilege, b.redop);
+}
+
+// Conservative (symbolic) oracle on group-launch upper bounds: used by the
+// coarse stage, which must not enumerate points.  Compares the upper-bound
+// region nodes using structural disjointness first, then geometry of the
+// bounds.
+inline bool group_bounds_may_conflict(const RegionForest& forest, IndexSpaceId ub_a,
+                                      const std::vector<FieldId>& fields_a, Privilege priv_a,
+                                      ReductionOpId redop_a, IndexSpaceId ub_b,
+                                      const std::vector<FieldId>& fields_b, Privilege priv_b,
+                                      ReductionOpId redop_b) {
+  if (forest.tree_of(ub_a) != forest.tree_of(ub_b)) return false;
+  if (!fields_intersect(fields_a, fields_b)) return false;
+  if (!privileges_conflict(priv_a, redop_a, priv_b, redop_b)) return false;
+  if (forest.structurally_disjoint(ub_a, ub_b)) return false;
+  return forest.regions_overlap(ub_a, ub_b);
+}
+
+}  // namespace dcr::rt

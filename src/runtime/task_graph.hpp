@@ -1,0 +1,179 @@
+// The task graph G = <T, D>: output of dependence analysis (paper §2).
+//
+// Used three ways: (1) the formal-semantics systems DEPseq/DEPrep build task
+// graphs that Theorem 1 tests compare for equality, (2) executors record the
+// realized dependence structure for validation, (3) utilities (topological
+// order, reachability, transitive reduction) support tests and the tracing
+// optimization.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace dcr::rt {
+
+class TaskGraph {
+ public:
+  void add_task(TaskId t) {
+    DCR_CHECK(!preds_.count(t)) << "task " << t.value << " added twice";
+    preds_[t];
+    succs_[t];
+  }
+
+  bool has_task(TaskId t) const { return preds_.count(t) != 0; }
+
+  void add_edge(TaskId from, TaskId to) {
+    DCR_CHECK(has_task(from) && has_task(to));
+    DCR_CHECK(from != to) << "self edge on task " << from.value;
+    succs_[from].insert(to);
+    preds_[to].insert(from);
+  }
+
+  bool has_edge(TaskId from, TaskId to) const {
+    auto it = succs_.find(from);
+    return it != succs_.end() && it->second.count(to) != 0;
+  }
+
+  std::size_t num_tasks() const { return preds_.size(); }
+
+  std::size_t num_edges() const {
+    std::size_t n = 0;
+    for (const auto& [t, s] : succs_) n += s.size();
+    return n;
+  }
+
+  const std::set<TaskId>& predecessors(TaskId t) const {
+    auto it = preds_.find(t);
+    DCR_CHECK(it != preds_.end());
+    return it->second;
+  }
+  const std::set<TaskId>& successors(TaskId t) const {
+    auto it = succs_.find(t);
+    DCR_CHECK(it != succs_.end());
+    return it->second;
+  }
+
+  std::vector<TaskId> tasks() const {
+    std::vector<TaskId> out;
+    out.reserve(preds_.size());
+    for (const auto& [t, p] : preds_) out.push_back(t);
+    return out;
+  }
+
+  friend bool operator==(const TaskGraph& a, const TaskGraph& b) {
+    return a.succs_ == b.succs_;  // preds_ is the mirror image
+  }
+
+  // Kahn topological order (deterministic: ready set ordered by TaskId).
+  std::vector<TaskId> topological_order() const {
+    std::map<TaskId, std::size_t> indeg;
+    for (const auto& [t, p] : preds_) indeg[t] = p.size();
+    std::set<TaskId> ready;
+    for (const auto& [t, d] : indeg) {
+      if (d == 0) ready.insert(t);
+    }
+    std::vector<TaskId> order;
+    order.reserve(preds_.size());
+    while (!ready.empty()) {
+      const TaskId t = *ready.begin();
+      ready.erase(ready.begin());
+      order.push_back(t);
+      for (TaskId s : succs_.at(t)) {
+        if (--indeg[s] == 0) ready.insert(s);
+      }
+    }
+    DCR_CHECK(order.size() == preds_.size()) << "task graph has a cycle";
+    return order;
+  }
+
+  bool is_acyclic() const {
+    std::map<TaskId, std::size_t> indeg;
+    for (const auto& [t, p] : preds_) indeg[t] = p.size();
+    std::set<TaskId> ready;
+    for (const auto& [t, d] : indeg) {
+      if (d == 0) ready.insert(t);
+    }
+    std::size_t emitted = 0;
+    while (!ready.empty()) {
+      const TaskId t = *ready.begin();
+      ready.erase(ready.begin());
+      ++emitted;
+      for (TaskId s : succs_.at(t)) {
+        if (--indeg[s] == 0) ready.insert(s);
+      }
+    }
+    return emitted == preds_.size();
+  }
+
+  bool reaches(TaskId from, TaskId to) const {
+    if (from == to) return true;
+    std::set<TaskId> seen{from};
+    std::vector<TaskId> stack{from};
+    while (!stack.empty()) {
+      const TaskId t = stack.back();
+      stack.pop_back();
+      for (TaskId s : succs_.at(t)) {
+        if (s == to) return true;
+        if (seen.insert(s).second) stack.push_back(s);
+      }
+    }
+    return false;
+  }
+
+  // Two graphs describe the same partial order if their transitive closures
+  // agree.  (Paper §2, final ¶: "transitive dependences are redundant".)
+  bool same_partial_order(const TaskGraph& other) const {
+    if (tasks() != other.tasks()) return false;
+    return transitive_closure().succs_ == other.transitive_closure().succs_;
+  }
+
+  TaskGraph transitive_closure() const {
+    TaskGraph out;
+    for (const auto& [t, p] : preds_) out.add_task(t);
+    // Process in reverse topological order, unioning successor reach sets.
+    const std::vector<TaskId> order = topological_order();
+    std::map<TaskId, std::set<TaskId>> reach;
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      std::set<TaskId>& r = reach[*it];
+      for (TaskId s : succs_.at(*it)) {
+        r.insert(s);
+        r.insert(reach[s].begin(), reach[s].end());
+      }
+      for (TaskId s : r) out.add_edge(*it, s);
+    }
+    return out;
+  }
+
+  // Minimal graph with the same partial order.
+  TaskGraph transitive_reduction() const {
+    TaskGraph out;
+    for (const auto& [t, p] : preds_) out.add_task(t);
+    const TaskGraph closure = transitive_closure();
+    for (const auto& [t, succ] : succs_) {
+      for (TaskId s : succ) {
+        bool redundant = false;
+        for (TaskId mid : succ) {
+          if (mid != s && closure.has_edge(mid, s)) {
+            redundant = true;
+            break;
+          }
+        }
+        if (!redundant) out.add_edge(t, s);
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::map<TaskId, std::set<TaskId>> preds_;
+  std::map<TaskId, std::set<TaskId>> succs_;
+};
+
+}  // namespace dcr::rt

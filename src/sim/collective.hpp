@@ -1,0 +1,200 @@
+// Tree-based collectives over the point-to-point network.
+//
+// Paper §4.2: "Our DCR implementation uses a set of collective primitives for
+// performing cooperative work between shards: broadcast ... reduce ...
+// all-gather ... and all-reduce ... implemented using standard tree or
+// butterfly communication networks with O(log N) latency."
+//
+// We implement all four on a binomial tree rooted at rank 0: values reduce up
+// the tree as participants arrive, then the combined result broadcasts back
+// down.  Each participant gets a completion event that fires when the result
+// reaches its node.  Payload sizes are modeled per phase:
+//   Reduce/AllReduce : every hop carries `payload_bytes` (element-wise merge)
+//   Gather/AllGather : an up-hop carries payload_bytes * subtree_size
+// A zero-payload AllReduce is exactly the paper's cross-shard fence
+// ("an all-gather collective with no data payload", §4.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "sim/network.hpp"
+
+namespace dcr::sim {
+
+enum class CollectiveKind { Reduce, Broadcast, AllReduce, AllGather };
+
+// One collective operation among a fixed set of participants (one per rank;
+// rank r lives on placement[r]).  T is the value type; `combine` must be
+// associative.  For AllGather use T = std::vector<U> with concatenation.
+template <typename T>
+class Collective {
+ public:
+  using CombineFn = std::function<T(T, T)>;
+
+  Collective(Simulator& sim, Network& net, std::vector<NodeId> placement,
+             CollectiveKind kind, std::uint64_t payload_bytes, CombineFn combine)
+      : sim_(sim),
+        net_(net),
+        placement_(std::move(placement)),
+        kind_(kind),
+        payload_bytes_(payload_bytes),
+        combine_(std::move(combine)),
+        ranks_(placement_.size()) {
+    DCR_CHECK(!placement_.empty());
+    for (std::size_t r = 0; r < ranks_.size(); ++r) {
+      ranks_[r].subtree_size = 1;
+    }
+    // Binomial-tree shape: parent(r) = r with its lowest set bit cleared.
+    for (std::size_t r = ranks_.size(); r-- > 1;) {
+      const std::size_t parent = r & (r - 1);
+      ranks_[parent].num_children++;
+      ranks_[parent].subtree_size += ranks_[r].subtree_size;
+    }
+  }
+
+  std::size_t num_ranks() const { return ranks_.size(); }
+
+  // Rank `r` contributes its value; the returned event triggers when the
+  // combined result is available at rank r's node.  Each rank must arrive
+  // exactly once.  (Broadcast: only rank 0's value matters; other ranks
+  // still arrive to model their participation.)
+  Event arrive(std::size_t rank, T value) {
+    DCR_CHECK(rank < ranks_.size());
+    RankState& rs = ranks_[rank];
+    DCR_CHECK(!rs.arrived) << "collective rank " << rank << " arrived twice";
+    rs.arrived = true;
+    if (kind_ == CollectiveKind::Broadcast) {
+      // A broadcast does not wait for non-root participants: the root's value
+      // flows down the tree as soon as the root arrives.
+      if (rank == 0) {
+        result_ = std::move(value);
+        broadcast_down(0);
+      }
+      return rs.done;
+    }
+    accumulate(rank, std::move(value));
+    return rs.done;
+  }
+
+  // The combined value; valid once this rank's completion event triggered.
+  const T& result() const {
+    DCR_CHECK(result_.has_value());
+    return *result_;
+  }
+
+  // Total bytes this collective put on the network (for stats / ablations).
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  struct RankState {
+    bool arrived = false;
+    int num_children = 0;
+    int children_received = 0;
+    std::size_t subtree_size = 0;
+    std::optional<T> partial;
+    UserEvent done;
+  };
+
+  std::uint64_t up_bytes(std::size_t rank) const {
+    switch (kind_) {
+      case CollectiveKind::AllGather:
+        return payload_bytes_ * ranks_[rank].subtree_size;
+      case CollectiveKind::Broadcast:
+        return 0;  // no data flows up for a broadcast
+      default:
+        return payload_bytes_;
+    }
+  }
+
+  std::uint64_t down_bytes() const {
+    switch (kind_) {
+      case CollectiveKind::Reduce:
+        return 0;  // result stays at the root
+      case CollectiveKind::AllGather:
+        return payload_bytes_ * ranks_.size();
+      default:
+        return payload_bytes_;
+    }
+  }
+
+  void accumulate(std::size_t rank, T value) {
+    RankState& rs = ranks_[rank];
+    rs.partial = rs.partial ? combine_(std::move(*rs.partial), std::move(value))
+                            : std::move(value);
+    maybe_send_up(rank);
+  }
+
+  void maybe_send_up(std::size_t rank) {
+    RankState& rs = ranks_[rank];
+    if (!rs.arrived || rs.children_received != rs.num_children) return;
+    if (rank == 0) {
+      result_ = std::move(rs.partial);
+      broadcast_down(0);
+      return;
+    }
+    const std::size_t parent = rank & (rank - 1);
+    const std::uint64_t nbytes = up_bytes(rank);
+    bytes_sent_ += nbytes;
+    net_.send(placement_[rank], placement_[parent], nbytes,
+              [this, parent, v = std::move(*rs.partial)]() mutable {
+                ranks_[parent].children_received++;
+                accumulate_from_child(parent, std::move(v));
+              });
+    rs.partial.reset();
+  }
+
+  void accumulate_from_child(std::size_t rank, T value) {
+    RankState& rs = ranks_[rank];
+    rs.partial = rs.partial ? combine_(std::move(*rs.partial), std::move(value))
+                            : std::move(value);
+    maybe_send_up(rank);
+  }
+
+  void broadcast_down(std::size_t rank) {
+    ranks_[rank].done.trigger(sim_.now());
+    // Children of r in a binomial tree: r | (1<<k) for k above r's low bit.
+    for (std::size_t bit = 1; rank + bit < ranks_.size(); bit <<= 1) {
+      if (rank & bit) break;  // bits at/below r's lowest set bit are not children
+      const std::size_t child = rank | bit;
+      const std::uint64_t nbytes = down_bytes();
+      bytes_sent_ += nbytes;
+      net_.send(placement_[rank], placement_[child], nbytes,
+                [this, child] { broadcast_down(child); });
+    }
+  }
+
+  Simulator& sim_;
+  Network& net_;
+  std::vector<NodeId> placement_;
+  CollectiveKind kind_;
+  std::uint64_t payload_bytes_;
+  CombineFn combine_;
+  std::vector<RankState> ranks_;
+  std::optional<T> result_;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+// A data-less barrier among the given node placement: the paper's cross-shard
+// fence primitive.
+class FenceCollective {
+ public:
+  FenceCollective(Simulator& sim, Network& net, std::vector<NodeId> placement)
+      : impl_(sim, net, std::move(placement), CollectiveKind::AllReduce,
+              /*payload_bytes=*/0,
+              [](Unit, Unit) { return Unit{}; }) {}
+
+  Event arrive(std::size_t rank) { return impl_.arrive(rank, Unit{}); }
+  std::size_t num_ranks() const { return impl_.num_ranks(); }
+
+ private:
+  struct Unit {};
+  Collective<Unit> impl_;
+};
+
+}  // namespace dcr::sim

@@ -1,0 +1,102 @@
+// Point-to-point network model.
+//
+// Messages between simulated nodes follow a postal (alpha-beta) model with
+// per-node NIC occupancy:
+//
+//   tx_start  = max(send_time, egress_free[src])
+//   tx_end    = tx_start + bytes * ns_per_byte          (serialization)
+//   arrival   = tx_end + alpha                          (wire latency)
+//   delivery  = max(arrival, ingress_free[dst] + bytes * ns_per_byte)
+//
+// Occupying both endpoints' NICs is what makes bandwidth-bound patterns (the
+// 768M-parameter gradient all-reduce of Figure 18, halo exchanges of the
+// stencil codes) contend realistically, while small control messages (fences,
+// determinism-check hashes) are latency-bound.  Intra-node messages bypass
+// the NIC and cost a fixed local latency.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace dcr::sim {
+
+struct NetworkParams {
+  SimTime alpha = us(1);          // per-message wire latency
+  double ns_per_byte = 0.1;       // 1/bandwidth: 0.1 ns/B = 10 GB/s
+  SimTime local_latency = ns(50); // same-node delivery
+};
+
+struct NetworkStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t local_messages = 0;
+};
+
+class Network {
+ public:
+  Network(Simulator& sim, std::size_t num_nodes, NetworkParams params = {})
+      : sim_(sim),
+        params_(params),
+        egress_free_(num_nodes, 0),
+        ingress_free_(num_nodes, 0) {}
+
+  const NetworkParams& params() const { return params_; }
+  std::size_t num_nodes() const { return egress_free_.size(); }
+
+  // Send `bytes` from src to dst; the returned event triggers at delivery.
+  Event send(NodeId src, NodeId dst, std::uint64_t bytes) {
+    DCR_CHECK(src.value < egress_free_.size() && dst.value < ingress_free_.size());
+    const SimTime now = sim_.now();
+    if (src == dst) {
+      ++stats_.local_messages;
+      return sim_.timer(params_.local_latency);
+    }
+    const auto ser = static_cast<SimTime>(static_cast<double>(bytes) * params_.ns_per_byte);
+    const SimTime tx_start = std::max(now, egress_free_[src.value]);
+    const SimTime tx_end = tx_start + ser;
+    egress_free_[src.value] = tx_end;
+    const SimTime arrival = tx_end + params_.alpha;
+    const SimTime delivery = std::max(arrival, ingress_free_[dst.value] + ser);
+    ingress_free_[dst.value] = delivery;
+
+    ++stats_.messages;
+    stats_.bytes += bytes;
+
+    UserEvent delivered;
+    sim_.schedule_at(delivery, [this, delivered] { delivered.trigger(sim_.now()); });
+    return delivered;
+  }
+
+  // Convenience: run `fn` at the destination when the message arrives.
+  void send(NodeId src, NodeId dst, std::uint64_t bytes, std::function<void()> fn) {
+    send(src, dst, bytes).on_trigger(std::move(fn));
+  }
+
+  // A pure data transfer of `bytes` from src to dst gated on `pre`; used to
+  // model region-instance copies issued by the fine analysis stage.
+  Event copy(NodeId src, NodeId dst, std::uint64_t bytes, const Event& pre) {
+    if (pre.has_triggered()) return send(src, dst, bytes);
+    UserEvent done;
+    pre.on_trigger([this, src, dst, bytes, done] {
+      send(src, dst, bytes).on_trigger([this, done] { done.trigger(sim_.now()); });
+    });
+    return done;
+  }
+
+  const NetworkStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = NetworkStats{}; }
+
+ private:
+  Simulator& sim_;
+  NetworkParams params_;
+  std::vector<SimTime> egress_free_;
+  std::vector<SimTime> ingress_free_;
+  NetworkStats stats_;
+};
+
+}  // namespace dcr::sim

@@ -1,0 +1,50 @@
+// Quiescence tracking: a counter of outstanding completion events plus a
+// shared "idle" event, so an execution fence costs O(1) per waiter instead
+// of every waiter merging the full completion list.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event.hpp"
+#include "sim/simulator.hpp"
+
+namespace dcr::sim {
+
+class QuiescenceTracker {
+ public:
+  explicit QuiescenceTracker(Simulator& sim) : sim_(sim) {}
+
+  // Track `e`; the tracker is idle when every tracked event has triggered.
+  void add(const Event& e) {
+    if (e.has_triggered()) return;
+    ++outstanding_;
+    e.on_trigger([this] {
+      if (--outstanding_ == 0 && idle_valid_) {
+        const UserEvent idle = idle_;
+        idle_valid_ = false;
+        idle.trigger(sim_.now());
+      }
+    });
+  }
+
+  bool idle() const { return outstanding_ == 0; }
+  std::uint64_t outstanding() const { return outstanding_; }
+
+  // Event that triggers the next time the tracker becomes idle.  Callers
+  // must re-check idle() afterwards (more work may have been added).
+  Event idle_event() {
+    if (!idle_valid_) {
+      idle_ = UserEvent();
+      idle_valid_ = true;
+    }
+    return idle_;
+  }
+
+ private:
+  Simulator& sim_;
+  std::uint64_t outstanding_ = 0;
+  UserEvent idle_;
+  bool idle_valid_ = false;
+};
+
+}  // namespace dcr::sim

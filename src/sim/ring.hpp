@@ -1,0 +1,118 @@
+// Message-level ring all-reduce.
+//
+// The binomial-tree collectives (collective.hpp) are the latency-optimized
+// primitives DCR uses for fences and futures; gradient synchronization in
+// the training workloads instead uses the bandwidth-optimal ring algorithm
+// (reduce-scatter + all-gather: 2(n-1) steps moving bytes/n each).  This is
+// the real message-level implementation; apps/nn.hpp's analytic
+// ring_allreduce_time() is its closed form, and the tests check they agree.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/check.hpp"
+#include "sim/network.hpp"
+
+namespace dcr::sim {
+
+template <typename T>
+class RingAllReduce {
+ public:
+  using CombineFn = std::function<T(T, T)>;
+
+  RingAllReduce(Simulator& sim, Network& net, std::vector<NodeId> placement,
+                std::uint64_t payload_bytes, CombineFn combine)
+      : sim_(sim),
+        net_(net),
+        placement_(std::move(placement)),
+        payload_bytes_(payload_bytes),
+        combine_(std::move(combine)),
+        ranks_(placement_.size()) {
+    DCR_CHECK(!placement_.empty());
+  }
+
+  std::size_t num_ranks() const { return ranks_.size(); }
+
+  // Rank r contributes its value; the returned event triggers once the
+  // combined result is available at rank r (after 2(n-1) ring steps).
+  Event arrive(std::size_t rank, T value) {
+    DCR_CHECK(rank < ranks_.size());
+    RankState& rs = ranks_[rank];
+    DCR_CHECK(!rs.arrived) << "ring rank " << rank << " arrived twice";
+    rs.arrived = true;
+    rs.partial = std::move(value);
+    advance(rank);
+    return rs.done;
+  }
+
+  const T& result() const {
+    DCR_CHECK(result_.has_value());
+    return *result_;
+  }
+
+ private:
+  struct RankState {
+    bool arrived = false;
+    std::size_t step = 0;        // completed ring steps
+    std::size_t received = 0;    // messages received (gates each step)
+    std::optional<T> partial;
+    UserEvent done;
+  };
+
+  std::size_t total_steps() const { return 2 * (ranks_.size() - 1); }
+
+  // A rank advances one step when it has arrived and has received the
+  // message for every prior step.
+  void advance(std::size_t rank) {
+    RankState& rs = ranks_[rank];
+    if (!rs.arrived) return;
+    if (ranks_.size() == 1) {
+      if (!rs.done.has_triggered()) {
+        result_ = rs.partial;
+        rs.done.trigger(sim_.now());
+      }
+      return;
+    }
+    while (rs.step < total_steps() && rs.received >= rs.step && rs.step == sent_[rank]) {
+      // Send this step's chunk (bytes/n) to the ring successor.
+      const std::size_t next = (rank + 1) % ranks_.size();
+      const std::uint64_t chunk =
+          std::max<std::uint64_t>(1, payload_bytes_ / ranks_.size());
+      sent_[rank]++;
+      net_.send(placement_[rank], placement_[next], chunk, [this, next] {
+        RankState& ns = ranks_[next];
+        ns.received++;
+        // Combine during the reduce-scatter half.
+        advance(next);
+      });
+      rs.step++;
+    }
+    // Complete once every chunk has been sent AND the final incoming chunk
+    // (which carries the last piece of the result) has arrived.
+    if (rs.step == total_steps() && rs.received >= total_steps() &&
+        !rs.done.has_triggered()) {
+      if (!result_) {
+        // Deterministic result: combine all contributions once.
+        T acc = *ranks_[0].partial;
+        for (std::size_t r = 1; r < ranks_.size(); ++r) {
+          acc = combine_(std::move(acc), *ranks_[r].partial);
+        }
+        result_ = std::move(acc);
+      }
+      rs.done.trigger(sim_.now());
+    }
+  }
+
+  Simulator& sim_;
+  Network& net_;
+  std::vector<NodeId> placement_;
+  std::uint64_t payload_bytes_;
+  CombineFn combine_;
+  std::vector<RankState> ranks_;
+  std::map<std::size_t, std::size_t> sent_;  // steps whose send was issued
+  std::optional<T> result_;
+};
+
+}  // namespace dcr::sim

@@ -1,0 +1,274 @@
+// Deterministic discrete-event simulator with process-oriented extensions.
+//
+// The simulator owns a virtual clock and an event calendar ordered by
+// (time, insertion sequence).  Determinism: ties in time break by insertion
+// order, no wall-clock anywhere, and at most one activity (the simulator loop
+// or exactly one SimProcess) executes at any instant.
+//
+// SimProcess gives straight-line C++ code the ability to *block* in virtual
+// time (delay, wait on an Event).  This is what lets application control
+// programs — the replicated shard mains of DCR — be written as ordinary
+// sequential C++ with arbitrary control flow, exactly the programming model
+// the paper targets.  Each process is backed by an OS thread, but threads
+// run strictly one-at-a-time via a handoff protocol, so the simulation stays
+// deterministic and race-free without any atomics in user code.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "sim/event.hpp"
+
+namespace dcr::sim {
+
+class Simulator;
+
+// Thrown inside a process thread when the simulator is torn down while the
+// process is still blocked; unwinds the user stack so destructors run.
+struct ProcessKilled {};
+
+// Handle passed to process bodies for interacting with virtual time.
+class ProcessContext {
+ public:
+  ProcessContext(Simulator& sim, class SimProcess& proc) : sim_(sim), proc_(proc) {}
+
+  Simulator& simulator() { return sim_; }
+  SimTime now() const;
+
+  // Advance this process's virtual time by `d`.
+  void delay(SimTime d);
+
+  // Block until `e` triggers (returns immediately if it already has).
+  void wait(const Event& e);
+
+  // Block until `e` triggers, but charge at least `min_delay` of virtual
+  // time (models a blocking call with fixed overhead).
+  void wait_at_least(const Event& e, SimTime min_delay) {
+    const SimTime start = now();
+    wait(e);
+    if (now() < start + min_delay) delay(start + min_delay - now());
+  }
+
+ private:
+  Simulator& sim_;
+  SimProcess& proc_;
+};
+
+class SimProcess {
+ public:
+  SimProcess(Simulator& sim, std::string name, std::function<void(ProcessContext&)> body);
+  ~SimProcess();
+
+  SimProcess(const SimProcess&) = delete;
+  SimProcess& operator=(const SimProcess&) = delete;
+
+  const std::string& name() const { return name_; }
+  bool finished() const { return state_ == State::Finished; }
+
+  // Event that triggers when the process body returns.
+  Event completion() const { return done_; }
+
+ private:
+  friend class Simulator;
+  friend class ProcessContext;
+
+  enum class State { NotStarted, Running, Blocked, Finished };
+
+  // Called on the simulator thread: run the process until it blocks again.
+  void resume();
+  // Called on the process thread: hand control back to the simulator.
+  void yield_to_sim();
+
+  Simulator& sim_;
+  std::string name_;
+  std::function<void(ProcessContext&)> body_;
+  UserEvent done_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  State state_ = State::NotStarted;
+  bool kill_ = false;
+  std::thread thread_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedule `fn` to run at now()+delay (ties run in scheduling order).
+  void schedule(SimTime delay, std::function<void()> fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  void schedule_at(SimTime t, std::function<void()> fn) {
+    DCR_CHECK(t >= now_) << "scheduling into the past: " << t << " < " << now_;
+    calendar_.push(Item{t, next_seq_++, std::move(fn)});
+  }
+
+  // Create an event that triggers at now()+delay.
+  Event timer(SimTime delay) {
+    UserEvent e;
+    schedule(delay, [this, e] { e.trigger(now_); });
+    return e;
+  }
+
+  // Spawn a process; it starts executing at now()+start_delay.
+  SimProcess& spawn(std::string name, std::function<void(ProcessContext&)> body,
+                    SimTime start_delay = 0);
+
+  // Run until the calendar is empty.  Returns the final virtual time.
+  SimTime run();
+
+  // Number of processes spawned that have not yet finished.
+  std::size_t live_processes() const;
+
+  std::uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  friend class SimProcess;
+  friend class ProcessContext;
+
+  struct Item {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct ItemOrder {
+    bool operator()(const Item& a, const Item& b) const {
+      // priority_queue is a max-heap; invert for earliest-first.
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Item, std::vector<Item>, ItemOrder> calendar_;
+  std::vector<std::unique_ptr<SimProcess>> processes_;
+};
+
+// ---- inline implementations ------------------------------------------------
+
+inline SimTime ProcessContext::now() const { return sim_.now(); }
+
+inline void ProcessContext::delay(SimTime d) {
+  if (d == 0) return;
+  sim_.schedule(d, [p = &proc_] { p->resume(); });
+  proc_.yield_to_sim();
+}
+
+inline void ProcessContext::wait(const Event& e) {
+  if (e.has_triggered()) return;
+  e.on_trigger([p = &proc_, &sim = sim_] {
+    // Defer the resume to a fresh calendar item so the triggering activity
+    // finishes first; keeps trigger cascades deterministic.
+    sim.schedule(0, [p] { p->resume(); });
+  });
+  proc_.yield_to_sim();
+}
+
+inline SimProcess::SimProcess(Simulator& sim, std::string name,
+                              std::function<void(ProcessContext&)> body)
+    : sim_(sim), name_(std::move(name)), body_(std::move(body)) {
+  thread_ = std::thread([this] {
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return state_ == State::Running || kill_; });
+      if (kill_) {
+        state_ = State::Finished;
+        cv_.notify_all();
+        return;
+      }
+    }
+    try {
+      ProcessContext ctx(sim_, *this);
+      body_(ctx);
+      done_.trigger(sim_.now());
+    } catch (const ProcessKilled&) {
+      // Torn down mid-flight; just unwind.
+    }
+    std::unique_lock lock(mutex_);
+    state_ = State::Finished;
+    cv_.notify_all();
+  });
+}
+
+inline SimProcess::~SimProcess() {
+  {
+    std::unique_lock lock(mutex_);
+    if (state_ != State::Finished) {
+      kill_ = true;
+      cv_.notify_all();
+    }
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+inline void SimProcess::resume() {
+  std::unique_lock lock(mutex_);
+  if (state_ == State::Finished) return;
+  DCR_CHECK(state_ != State::Running) << "process " << name_ << " resumed while running";
+  state_ = State::Running;
+  cv_.notify_all();
+  cv_.wait(lock, [this] { return state_ != State::Running; });
+}
+
+inline void SimProcess::yield_to_sim() {
+  std::unique_lock lock(mutex_);
+  state_ = State::Blocked;
+  cv_.notify_all();
+  cv_.wait(lock, [this] { return state_ == State::Running || kill_; });
+  if (kill_) throw ProcessKilled{};
+}
+
+inline SimProcess& Simulator::spawn(std::string name,
+                                    std::function<void(ProcessContext&)> body,
+                                    SimTime start_delay) {
+  processes_.push_back(std::make_unique<SimProcess>(*this, std::move(name), std::move(body)));
+  SimProcess* p = processes_.back().get();
+  schedule(start_delay, [p] { p->resume(); });
+  return *p;
+}
+
+inline SimTime Simulator::run() {
+  while (!calendar_.empty()) {
+    // priority_queue::top is const; move out via const_cast-free copy of fn.
+    Item item = std::move(const_cast<Item&>(calendar_.top()));
+    calendar_.pop();
+    DCR_CHECK(item.time >= now_);
+    now_ = item.time;
+    ++events_processed_;
+    item.fn();
+  }
+  return now_;
+}
+
+inline std::size_t Simulator::live_processes() const {
+  std::size_t n = 0;
+  for (const auto& p : processes_) {
+    if (!p->finished()) ++n;
+  }
+  return n;
+}
+
+inline Simulator::~Simulator() {
+  // Kill blocked processes before members are destroyed.
+  processes_.clear();
+}
+
+}  // namespace dcr::sim

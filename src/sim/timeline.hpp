@@ -1,0 +1,84 @@
+// Execution timeline recording and rendering, in the spirit of Legion Prof:
+// opt-in per-machine interval capture of what ran where and when, plus a
+// monospace Gantt renderer for quick visual inspection of pipelining,
+// fence stalls, and load imbalance.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dcr::sim {
+
+class Timeline {
+ public:
+  struct Interval {
+    ProcId proc;
+    SimTime start;
+    SimTime end;
+    std::string label;
+  };
+
+  void record(ProcId proc, SimTime start, SimTime end, std::string label) {
+    intervals_.push_back(Interval{proc, start, end, std::move(label)});
+  }
+
+  const std::vector<Interval>& intervals() const { return intervals_; }
+  bool empty() const { return intervals_.empty(); }
+
+  SimTime span_end() const {
+    SimTime end = 0;
+    for (const Interval& iv : intervals_) end = std::max(end, iv.end);
+    return end;
+  }
+
+  // Fraction of [0, span_end] each processor spent busy.
+  std::map<ProcId, double> utilization() const {
+    std::map<ProcId, double> out;
+    const double span = static_cast<double>(span_end());
+    if (span == 0) return out;
+    for (const Interval& iv : intervals_) {
+      out[iv.proc] += static_cast<double>(iv.end - iv.start) / span;
+    }
+    return out;
+  }
+
+  // Monospace Gantt chart: one row per processor, `width` columns covering
+  // [0, span_end].  Cells show the first letter of the occupying interval's
+  // label ('#' when several intervals share a cell).
+  std::string render(std::size_t width = 80) const {
+    const SimTime end = span_end();
+    if (end == 0 || width == 0) return "";
+    std::map<ProcId, std::string> rows;
+    std::map<ProcId, std::vector<int>> counts;
+    for (const Interval& iv : intervals_) {
+      auto& row = rows[iv.proc];
+      auto& cnt = counts[iv.proc];
+      if (row.empty()) {
+        row.assign(width, '.');
+        cnt.assign(width, 0);
+      }
+      const auto c0 = static_cast<std::size_t>(iv.start * (width - 1) / end);
+      const auto c1 = static_cast<std::size_t>(iv.end * (width - 1) / end);
+      for (std::size_t c = c0; c <= c1 && c < width; ++c) {
+        row[c] = ++cnt[c] > 1 ? '#' : (iv.label.empty() ? '*' : iv.label[0]);
+      }
+    }
+    std::ostringstream os;
+    os << "timeline 0.." << end << " ns (" << intervals_.size() << " intervals)\n";
+    for (const auto& [proc, row] : rows) {
+      os << "p" << proc.value << " |" << row << "|\n";
+    }
+    return os.str();
+  }
+
+ private:
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace dcr::sim

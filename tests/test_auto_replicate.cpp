@@ -1,0 +1,173 @@
+// Tests for the automatic replication heuristic (the paper's §4 future-work
+// knob), the full-physics Pennant cycle, and 2-D grid partitioning.
+#include <gtest/gtest.h>
+
+#include "apps/pennant.hpp"
+#include "apps/stencil.hpp"
+#include "dcr/auto_replicate.hpp"
+#include "dcr/runtime.hpp"
+
+namespace dcr {
+namespace {
+
+// ------------------------------------------------------- auto-replication
+
+core::OpStreamProfile stencil_like_profile() {
+  core::OpStreamProfile p;
+  p.ops_per_iteration = 3;                  // three group launches per step
+  p.points_per_op = 1;                      // one tile per node (weak scaling)
+  p.compute_per_node_per_iter = ms(3);      // three 1 ms tasks
+  p.fences_per_iteration = 2;
+  return p;
+}
+
+TEST(AutoReplicate, SmallMachinesStayCentralized) {
+  const auto d = core::decide_replication(stencil_like_profile(), 2);
+  EXPECT_FALSE(d.replicate);
+  EXPECT_LT(d.central_analysis_per_iter, ms(1));
+}
+
+TEST(AutoReplicate, LargeMachinesReplicate) {
+  const auto d = core::decide_replication(stencil_like_profile(), 512);
+  EXPECT_TRUE(d.replicate);
+  EXPECT_GT(d.central_analysis_per_iter, d.dcr_analysis_per_node_per_iter);
+}
+
+TEST(AutoReplicate, CrossoverIsMonotonic) {
+  const auto profile = stencil_like_profile();
+  bool replicated = false;
+  for (std::size_t n : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
+    const auto d = core::decide_replication(profile, n);
+    // Once the heuristic flips to replication it must stay there.
+    EXPECT_TRUE(!replicated || d.replicate) << n;
+    replicated = replicated || d.replicate;
+  }
+  EXPECT_TRUE(replicated);
+  const auto d = core::decide_replication(profile, 1);
+  EXPECT_GT(d.crossover_nodes, 1u);
+  EXPECT_LT(d.crossover_nodes, 1u << 12);
+}
+
+TEST(AutoReplicate, FasterTasksReplicateEarlier) {
+  auto crossover = [](SimTime compute) {
+    core::OpStreamProfile p = stencil_like_profile();
+    p.compute_per_node_per_iter = compute;
+    return core::decide_replication(p, 1).crossover_nodes;
+  };
+  EXPECT_LT(crossover(us(100)), crossover(ms(10)));
+}
+
+TEST(AutoReplicate, ProfileFromMeasuredRun) {
+  // Profile a small run, then ask the heuristic about scale-out.
+  sim::Machine machine({.num_nodes = 2,
+                        .compute_procs_per_node = 1,
+                        .network = {.alpha = us(1), .ns_per_byte = 0.1}});
+  core::FunctionRegistry functions;
+  const auto fns = apps::register_stencil_functions(functions, 50.0);
+  core::DcrRuntime rt(machine, functions);
+  const std::size_t steps = 10;
+  const auto stats = rt.execute(
+      apps::make_stencil_app({.cells_per_tile = 20000, .tiles = 2, .steps = steps}, fns));
+  ASSERT_TRUE(stats.completed);
+  const auto profile = core::OpStreamProfile::from_stats(stats, 2, steps);
+  EXPECT_GT(profile.ops_per_iteration, 0.0);
+  EXPECT_GT(profile.compute_per_node_per_iter, 0u);
+  // At some machine size the measured workload wants replication.
+  const auto d = core::decide_replication(profile, 4096);
+  EXPECT_TRUE(d.replicate);
+}
+
+// ------------------------------------------------- full-physics Pennant
+
+TEST(PennantFull, TwelveLaunchCycleRuns) {
+  sim::Machine machine({.num_nodes = 4,
+                        .compute_procs_per_node = 1,
+                        .network = {.alpha = us(1), .ns_per_byte = 0.1}});
+  core::FunctionRegistry functions;
+  const auto fns = apps::register_pennant_functions(functions, 1.0);
+  core::DcrRuntime rt(machine, functions);
+  apps::PennantConfig cfg{.zones_per_piece = 1000, .pieces = 8, .cycles = 4};
+  cfg.full_physics = true;
+  const auto stats = rt.execute(apps::make_pennant_app(cfg, fns));
+  EXPECT_TRUE(stats.completed);
+  EXPECT_FALSE(stats.determinism_violation);
+  // 11 launches/cycle (10 physics + dt) x 8 pieces x 4 cycles.
+  EXPECT_EQ(stats.point_tasks_launched, 11u * 8u * 4u);
+  // QCS + geometry read shared halos; corner forces reduce across pieces.
+  EXPECT_GT(stats.fences_inserted, 0u);
+}
+
+TEST(PennantFull, FullPhysicsCostsMoreThanProxy) {
+  auto makespan = [](bool full) {
+    sim::Machine machine({.num_nodes = 4,
+                          .compute_procs_per_node = 1,
+                          .network = {.alpha = us(1), .ns_per_byte = 0.1}});
+    core::FunctionRegistry functions;
+    const auto fns = apps::register_pennant_functions(functions, 1.0);
+    core::DcrRuntime rt(machine, functions);
+    apps::PennantConfig cfg{.zones_per_piece = 5000, .pieces = 4, .cycles = 4};
+    cfg.full_physics = full;
+    return rt.execute(apps::make_pennant_app(cfg, fns)).makespan;
+  };
+  EXPECT_GT(makespan(true), makespan(false));
+}
+
+// -------------------------------------------------- 2-D grid partitioning
+
+TEST(GridPartition, TilesCoverDomainDisjointly) {
+  rt::RegionForest forest;
+  FieldSpaceId fs = forest.create_field_space();
+  RegionTreeId tree = forest.create_tree(rt::Rect::r2(0, 99, 0, 59), fs);
+  const PartitionId grid = forest.partition_grid(forest.root(tree), 4, 3);
+  ASSERT_EQ(forest.num_subregions(grid), 12u);
+  EXPECT_TRUE(forest.is_disjoint(grid));
+  std::uint64_t vol = 0;
+  for (std::uint64_t c = 0; c < 12; ++c) {
+    vol += forest.bounds(forest.subregion(grid, c)).volume();
+  }
+  EXPECT_EQ(vol, 100u * 60u);
+  // Row-major coloring: color 1 is the second tile along x.
+  EXPECT_EQ(forest.bounds(forest.subregion(grid, 0)), rt::Rect::r2(0, 24, 0, 19));
+  EXPECT_EQ(forest.bounds(forest.subregion(grid, 1)), rt::Rect::r2(25, 49, 0, 19));
+  EXPECT_EQ(forest.bounds(forest.subregion(grid, 4)), rt::Rect::r2(0, 24, 20, 39));
+}
+
+TEST(GridPartition, HaloVariantAliasesAllFourSides) {
+  rt::RegionForest forest;
+  FieldSpaceId fs = forest.create_field_space();
+  RegionTreeId tree = forest.create_tree(rt::Rect::r2(0, 99, 0, 99), fs);
+  const PartitionId ghost = forest.partition_grid(forest.root(tree), 2, 2, /*halo=*/2);
+  EXPECT_FALSE(forest.is_disjoint(ghost));
+  // Interior tile (color 3 = x-hi, y-hi) extends into both neighbours.
+  EXPECT_EQ(forest.bounds(forest.subregion(ghost, 3)), rt::Rect::r2(48, 99, 48, 99));
+  // Corner tile is clamped to the domain.
+  EXPECT_EQ(forest.bounds(forest.subregion(ghost, 0)), rt::Rect::r2(0, 51, 0, 51));
+}
+
+TEST(GridPartition, TwoDStencilRunsOnGridTiles) {
+  sim::Machine machine({.num_nodes = 4,
+                        .compute_procs_per_node = 1,
+                        .network = {.alpha = us(1), .ns_per_byte = 0.1}});
+  core::FunctionRegistry functions;
+  const auto fns = apps::register_stencil_functions(functions, 1.0);
+  core::DcrRuntime rt(machine, functions);
+  apps::StencilConfig cfg{.cells_per_tile = 50, .tiles = 2, .steps = 3, .dims = 2,
+                          .width = 50, .tiles_y = 2};
+  const auto stats = rt.execute(apps::make_stencil_app(cfg, fns));
+  EXPECT_TRUE(stats.completed);
+  EXPECT_FALSE(stats.determinism_violation);
+  EXPECT_EQ(stats.point_tasks_launched, 4u * 3u * 3u);  // 2x2 tiles, 3 launches, 3 steps
+  EXPECT_GT(stats.bytes_moved, 0u);  // 2-D halos actually move
+}
+
+TEST(GridPartition, SquareFactorsAreNearSquare) {
+  for (std::size_t n : {1u, 2u, 4u, 6u, 12u, 64u, 100u, 512u}) {
+    const auto [a, b] = apps::square_factors(n);
+    EXPECT_EQ(a * b, n);
+    EXPECT_LE(b, a);
+    EXPECT_LE(a / b, n == 2 ? 2u : 4u) << n;  // reasonably square
+  }
+}
+
+}  // namespace
+}  // namespace dcr

@@ -1,0 +1,176 @@
+// Tests for the baseline executors: the centralized lazy-evaluation
+// controller (No-CR / Dask-like) and the static-control-replication preset.
+// The same application callable runs on every executor — the core of the
+// paper's comparison methodology.
+#include <gtest/gtest.h>
+
+#include "apps/stencil.hpp"
+#include "baselines/central.hpp"
+#include "baselines/scr.hpp"
+#include "dcr/runtime.hpp"
+
+namespace dcr::baselines {
+namespace {
+
+using apps::make_stencil_app;
+using apps::register_stencil_functions;
+
+sim::MachineConfig machine_config(std::size_t nodes) {
+  return {.num_nodes = nodes,
+          .compute_procs_per_node = 1,
+          .network = {.alpha = us(1), .ns_per_byte = 0.1, .local_latency = ns(50)}};
+}
+
+TEST(Central, StencilRunsToCompletion) {
+  sim::Machine machine(machine_config(4));
+  core::FunctionRegistry functions;
+  CentralRuntime rt(machine, functions);
+  const auto fns = register_stencil_functions(functions, 1.0);
+  const CentralStats stats =
+      rt.execute(make_stencil_app({.cells_per_tile = 100, .tiles = 8, .steps = 3}, fns));
+  EXPECT_TRUE(stats.completed);
+  EXPECT_EQ(stats.point_tasks_launched, 8u * 3u * 3u);
+  EXPECT_GT(stats.controller_busy, 0u);
+}
+
+TEST(Central, SameAppRunsOnBothExecutors) {
+  // Identical task counts on DCR and the central baseline for the same app.
+  core::FunctionRegistry f1, f2;
+  const auto fns1 = register_stencil_functions(f1, 1.0);
+  const auto fns2 = register_stencil_functions(f2, 1.0);
+  apps::StencilConfig cfg{.cells_per_tile = 64, .tiles = 8, .steps = 4};
+
+  sim::Machine m1(machine_config(4));
+  core::DcrRuntime dcr(m1, f1);
+  const auto dstats = dcr.execute(make_stencil_app(cfg, fns1));
+
+  sim::Machine m2(machine_config(4));
+  CentralRuntime central(m2, f2);
+  const auto cstats = central.execute(make_stencil_app(cfg, fns2));
+
+  EXPECT_TRUE(dstats.completed);
+  EXPECT_TRUE(cstats.completed);
+  EXPECT_EQ(dstats.point_tasks_launched, cstats.point_tasks_launched);
+  // DCR issues two extra internal fence ops (app fence + finalize fence).
+  EXPECT_EQ(dstats.ops_issued, cstats.ops_issued + 2);
+}
+
+TEST(Central, ControllerBusyGrowsWithMachineSizeDcrDoesNot) {
+  // Weak scaling: tiles proportional to nodes.  Per-node analysis work under
+  // DCR stays ~constant; the central controller's grows linearly.
+  auto central_busy = [](std::size_t nodes) {
+    sim::Machine machine(machine_config(nodes));
+    core::FunctionRegistry functions;
+    CentralRuntime rt(machine, functions);
+    const auto fns = register_stencil_functions(functions, 1.0);
+    rt.execute(make_stencil_app({.cells_per_tile = 64, .tiles = nodes, .steps = 4}, fns));
+    return machine.analysis_proc(NodeId(0)).busy_time();
+  };
+  auto dcr_busy = [](std::size_t nodes) {
+    sim::Machine machine(machine_config(nodes));
+    core::FunctionRegistry functions;
+    core::DcrRuntime rt(machine, functions);
+    const auto fns = register_stencil_functions(functions, 1.0);
+    rt.execute(make_stencil_app({.cells_per_tile = 64, .tiles = nodes, .steps = 4}, fns));
+    return machine.analysis_proc(NodeId(0)).busy_time();
+  };
+  const double central_growth =
+      static_cast<double>(central_busy(16)) / static_cast<double>(central_busy(2));
+  const double dcr_growth =
+      static_cast<double>(dcr_busy(16)) / static_cast<double>(dcr_busy(2));
+  EXPECT_GT(central_growth, 4.0);  // ~8x in the limit
+  EXPECT_LT(dcr_growth, 2.0);      // per-node analysis ~flat
+}
+
+TEST(Central, FuturesFlowBackToController) {
+  sim::Machine machine(machine_config(2));
+  core::FunctionRegistry functions;
+  CentralRuntime rt(machine, functions);
+  const FunctionId fn = functions.register_simple(
+      "v", us(1), 0.0, [](const core::PointTaskInfo& i) {
+        return static_cast<double>(i.point[0]) + 1.0;
+      });
+  double sum = -1, single = -1;
+  rt.execute([&](core::Context& ctx) {
+    core::IndexLaunch launch;
+    launch.fn = fn;
+    launch.domain = rt::Rect::r1(0, 3);
+    launch.wants_futures = true;
+    auto fm = ctx.index_launch(launch);
+    sum = ctx.get_future(ctx.reduce_future_map(fm, core::ReduceOp::Sum));
+    core::TaskLaunch one;
+    one.fn = fn;
+    one.wants_future = true;
+    single = ctx.get_future(ctx.launch(one));
+  });
+  EXPECT_EQ(sum, 1.0 + 2.0 + 3.0 + 4.0);
+  EXPECT_EQ(single, 1.0);
+}
+
+TEST(Central, ScheduleCachingReducesControllerTime) {
+  auto busy = [](bool caching) {
+    sim::Machine machine(machine_config(4));
+    core::FunctionRegistry functions;
+    CentralConfig cfg;
+    cfg.schedule_caching = caching;
+    CentralRuntime runtime(machine, functions, cfg);
+    const auto fns = register_stencil_functions(functions, 1.0);
+    apps::StencilConfig scfg{.cells_per_tile = 64, .tiles = 16, .steps = 10};
+    scfg.use_trace = true;
+    runtime.execute(make_stencil_app(scfg, fns));
+    return machine.analysis_proc(NodeId(0)).busy_time();
+  };
+  EXPECT_LT(busy(true), busy(false));
+}
+
+TEST(Scr, FasterThanDcrButSameStructure) {
+  auto run = [](bool scr) {
+    sim::Machine machine(machine_config(4));
+    core::FunctionRegistry functions;
+    core::DcrConfig cfg = scr ? scr_config() : core::DcrConfig{};
+    core::DcrRuntime rt(machine, functions, cfg);
+    const auto fns = register_stencil_functions(functions, 1.0);
+    return rt.execute(make_stencil_app({.cells_per_tile = 64, .tiles = 8, .steps = 5}, fns));
+  };
+  const auto scr = run(true);
+  const auto dcr = run(false);
+  EXPECT_TRUE(scr.completed);
+  EXPECT_EQ(scr.point_tasks_launched, dcr.point_tasks_launched);
+  EXPECT_LT(scr.makespan, dcr.makespan);
+  EXPECT_EQ(scr.determinism_checks, 0u);
+}
+
+TEST(Central, FutureIsReadyReflectsCompletion) {
+  sim::Machine machine(machine_config(2));
+  core::FunctionRegistry functions;
+  CentralRuntime rt(machine, functions);
+  const FunctionId fn = functions.register_simple(
+      "slow", ms(1), 0.0, [](const core::PointTaskInfo&) { return 3.0; });
+  bool ready_before = true, ready_after = false;
+  rt.execute([&](core::Context& ctx) {
+    core::TaskLaunch launch;
+    launch.fn = fn;
+    launch.wants_future = true;
+    const core::Future f = ctx.launch(launch);
+    ready_before = ctx.future_is_ready(f);
+    EXPECT_EQ(ctx.get_future(f), 3.0);
+    ready_after = ctx.future_is_ready(f);
+  });
+  EXPECT_FALSE(ready_before);  // 1 ms task cannot be done at issue time
+  EXPECT_TRUE(ready_after);
+}
+
+TEST(Central, DispatchMessagesFlowThroughTheNetwork) {
+  sim::Machine machine(machine_config(4));
+  core::FunctionRegistry functions;
+  CentralRuntime rt(machine, functions);
+  const auto fns = register_stencil_functions(functions, 1.0);
+  const auto stats =
+      rt.execute(make_stencil_app({.cells_per_tile = 64, .tiles = 8, .steps = 2}, fns));
+  EXPECT_TRUE(stats.completed);
+  // Every point task dispatched to a non-controller node costs one message.
+  EXPECT_GT(stats.messages, stats.point_tasks_launched / 2);
+}
+
+}  // namespace
+}  // namespace dcr::baselines

@@ -1,0 +1,114 @@
+// Unit tests for dense rectangle geometry.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "runtime/geometry.hpp"
+
+namespace dcr::rt {
+namespace {
+
+TEST(Rect, VolumeAndEmpty) {
+  EXPECT_EQ(Rect::r1(0, 9).volume(), 10u);
+  EXPECT_EQ(Rect::r2(0, 3, 0, 4).volume(), 20u);
+  EXPECT_EQ(Rect::r3(0, 1, 0, 1, 0, 1).volume(), 8u);
+  EXPECT_TRUE(Rect::r1(5, 4).is_empty());
+  EXPECT_EQ(Rect::r1(5, 4).volume(), 0u);
+  EXPECT_TRUE(Rect::empty(2).is_empty());
+}
+
+TEST(Rect, Contains) {
+  const Rect r = Rect::r2(0, 9, 0, 9);
+  EXPECT_TRUE(r.contains(Point::p2(0, 0)));
+  EXPECT_TRUE(r.contains(Point::p2(9, 9)));
+  EXPECT_FALSE(r.contains(Point::p2(10, 0)));
+  EXPECT_TRUE(r.contains(Rect::r2(2, 5, 3, 7)));
+  EXPECT_FALSE(r.contains(Rect::r2(2, 12, 3, 7)));
+  EXPECT_TRUE(r.contains(Rect::empty(2)));
+}
+
+TEST(Rect, Intersection) {
+  const Rect a = Rect::r1(0, 9), b = Rect::r1(5, 14);
+  EXPECT_EQ(intersect(a, b), Rect::r1(5, 9));
+  EXPECT_TRUE(overlaps(a, b));
+  EXPECT_FALSE(overlaps(Rect::r1(0, 4), Rect::r1(5, 9)));
+  EXPECT_TRUE(intersect(Rect::r2(0, 3, 0, 3), Rect::r2(5, 8, 0, 3)).is_empty());
+}
+
+TEST(Rect, BoundingUnion) {
+  EXPECT_EQ(bounding_union(Rect::r1(0, 3), Rect::r1(8, 9)), Rect::r1(0, 9));
+  EXPECT_EQ(bounding_union(Rect::empty(1), Rect::r1(2, 4)), Rect::r1(2, 4));
+}
+
+TEST(Rect, Subtract1D) {
+  // Middle cut -> two pieces.
+  auto pieces = subtract(Rect::r1(0, 9), Rect::r1(3, 6));
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(pieces[0], Rect::r1(0, 2));
+  EXPECT_EQ(pieces[1], Rect::r1(7, 9));
+  // No overlap -> original back.
+  pieces = subtract(Rect::r1(0, 4), Rect::r1(10, 12));
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], Rect::r1(0, 4));
+  // Full cover -> nothing.
+  EXPECT_TRUE(subtract(Rect::r1(3, 6), Rect::r1(0, 9)).empty());
+}
+
+TEST(Rect, Subtract2DVolumeConserved) {
+  const Rect a = Rect::r2(0, 9, 0, 9);
+  const Rect b = Rect::r2(3, 12, 4, 6);
+  const auto pieces = subtract(a, b);
+  std::uint64_t vol = 0;
+  for (const Rect& p : pieces) {
+    vol += p.volume();
+    EXPECT_TRUE(a.contains(p));
+    EXPECT_FALSE(overlaps(p, b));
+  }
+  // Pieces are pairwise disjoint.
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    for (std::size_t j = i + 1; j < pieces.size(); ++j) {
+      EXPECT_FALSE(overlaps(pieces[i], pieces[j]));
+    }
+  }
+  EXPECT_EQ(vol, a.volume() - intersect(a, b).volume());
+}
+
+TEST(Rect, Subtract3DProperty) {
+  // Randomized-ish sweep of cuts; volume conservation + disjointness.
+  const Rect a = Rect::r3(0, 5, 0, 5, 0, 5);
+  for (std::int64_t lo = -2; lo <= 6; lo += 2) {
+    for (std::int64_t hi = lo; hi <= 7; hi += 3) {
+      const Rect b = Rect::r3(lo, hi, lo + 1, hi + 1, lo, hi + 2);
+      std::uint64_t vol = 0;
+      for (const Rect& p : subtract(a, b)) {
+        vol += p.volume();
+        EXPECT_FALSE(overlaps(p, b));
+      }
+      EXPECT_EQ(vol, a.volume() - intersect(a, b).volume());
+    }
+  }
+}
+
+TEST(Point, IterationOrderAndCount) {
+  std::vector<Point> pts;
+  for_each_point(Rect::r2(0, 1, 0, 2), [&](const Point& p) { pts.push_back(p); });
+  ASSERT_EQ(pts.size(), 6u);
+  EXPECT_EQ(pts[0], Point::p2(0, 0));
+  EXPECT_EQ(pts[1], Point::p2(1, 0));  // x fastest
+  EXPECT_EQ(pts[5], Point::p2(1, 2));
+}
+
+TEST(Point, LinearizeRoundTrip) {
+  const Rect r = Rect::r3(2, 4, -1, 1, 0, 2);
+  std::set<std::uint64_t> seen;
+  for_each_point(r, [&](const Point& p) {
+    const std::uint64_t idx = linearize(r, p);
+    EXPECT_LT(idx, r.volume());
+    EXPECT_TRUE(seen.insert(idx).second);
+    EXPECT_EQ(delinearize(r, idx), p);
+  });
+  EXPECT_EQ(seen.size(), r.volume());
+}
+
+}  // namespace
+}  // namespace dcr::rt

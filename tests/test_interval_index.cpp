@@ -1,0 +1,99 @@
+// Unit and property tests for the axis-0 interval index that backs the
+// physical-state tracker and the fine-stage user tracker.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/philox.hpp"
+#include "runtime/interval_index.hpp"
+
+namespace dcr::rt {
+namespace {
+
+TEST(IntervalIndex, EmptyIndexFindsNothing) {
+  IntervalIndex<int> idx;
+  int hits = 0;
+  idx.for_each_overlapping(Rect::r1(0, 100), [&](const auto&) { ++hits; });
+  EXPECT_EQ(hits, 0);
+  EXPECT_TRUE(idx.empty());
+}
+
+TEST(IntervalIndex, FindsExactAndPartialOverlaps) {
+  IntervalIndex<int> idx;
+  idx.insert(Rect::r1(0, 9), 1);
+  idx.insert(Rect::r1(10, 19), 2);
+  idx.insert(Rect::r1(20, 29), 3);
+  std::set<int> hits;
+  idx.for_each_overlapping(Rect::r1(5, 14), [&](const auto& item) {
+    hits.insert(item.value);
+  });
+  EXPECT_EQ(hits, (std::set<int>{1, 2}));
+}
+
+TEST(IntervalIndex, WideEntryFoundFromFarQuery) {
+  // A whole-domain entry must be found even by queries whose lo is far past
+  // the entry's lo (the max-width widening).
+  IntervalIndex<int> idx;
+  idx.insert(Rect::r1(0, 1'000'000), 7);
+  idx.insert(Rect::r1(500, 510), 8);
+  std::set<int> hits;
+  idx.for_each_overlapping(Rect::r1(999'000, 999'100), [&](const auto& item) {
+    hits.insert(item.value);
+  });
+  EXPECT_EQ(hits, (std::set<int>{7}));
+}
+
+TEST(IntervalIndex, ExtractRemovesOnlyMatching) {
+  IntervalIndex<int> idx;
+  idx.insert(Rect::r1(0, 9), 1);
+  idx.insert(Rect::r1(5, 14), 2);
+  idx.insert(Rect::r1(20, 29), 3);
+  auto removed = idx.extract_overlapping_if(
+      Rect::r1(0, 30), [](const auto& item) { return item.value != 2; });
+  EXPECT_EQ(removed.size(), 2u);
+  EXPECT_EQ(idx.size(), 1u);
+  int remaining = 0;
+  idx.for_each([&](const auto& item) { remaining = item.value; });
+  EXPECT_EQ(remaining, 2);
+}
+
+TEST(IntervalIndex, TwoDimensionalRectsUseAxisZeroConservatively) {
+  // Axis-0 overlap is a prefilter: rects overlapping on x but not y are
+  // still visited (callers do the exact test).
+  IntervalIndex<int> idx;
+  idx.insert(Rect::r2(0, 9, 0, 9), 1);
+  int hits = 0;
+  idx.for_each_overlapping(Rect::r2(5, 14, 100, 110), [&](const auto&) { ++hits; });
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(IntervalIndex, PropertyMatchesLinearScan) {
+  // Randomized: results of the index must equal a brute-force scan.
+  Philox4x32 rng(2024);
+  IntervalIndex<int> idx;
+  std::vector<Rect> all;
+  for (int i = 0; i < 300; ++i) {
+    const auto lo = static_cast<std::int64_t>(rng.next_below(10000));
+    const auto len = static_cast<std::int64_t>(rng.next_below(500));
+    const Rect r = Rect::r1(lo, lo + len);
+    idx.insert(r, i);
+    all.push_back(r);
+  }
+  for (int q = 0; q < 200; ++q) {
+    const auto lo = static_cast<std::int64_t>(rng.next_below(11000));
+    const auto len = static_cast<std::int64_t>(rng.next_below(800));
+    const Rect query = Rect::r1(lo, lo + len);
+    std::set<int> got;
+    idx.for_each_overlapping(query, [&](const auto& item) {
+      if (overlaps(item.rect, query)) got.insert(item.value);
+    });
+    std::set<int> expected;
+    for (int i = 0; i < 300; ++i) {
+      if (overlaps(all[static_cast<std::size_t>(i)], query)) expected.insert(i);
+    }
+    ASSERT_EQ(got, expected) << "query " << query;
+  }
+}
+
+}  // namespace
+}  // namespace dcr::rt

@@ -1,0 +1,199 @@
+// Tests for the Legate-NumPy-like ndarray library: op-to-launch translation,
+// auto-chunking, the broadcast-read and reduction patterns, and the solver
+// programs (logistic regression, CG, Jacobi, power iteration) on DCR and on
+// the centralized executor.
+#include <gtest/gtest.h>
+
+#include "apps/legate/solvers.hpp"
+#include "baselines/central.hpp"
+#include "dcr/runtime.hpp"
+
+namespace dcr::apps::legate {
+namespace {
+
+struct Harness {
+  sim::Machine machine;
+  core::FunctionRegistry functions;
+  core::DcrRuntime runtime;
+  LegateFunctions fns;
+  explicit Harness(std::size_t nodes, core::DcrConfig cfg = {})
+      : machine({.num_nodes = nodes,
+                 .compute_procs_per_node = 1,
+                 .network = {.alpha = us(1), .ns_per_byte = 0.1}}),
+        runtime(machine, functions, cfg),
+        fns(register_legate_functions(functions, 1.0)) {}
+};
+
+TEST(Ndarray, AutoChunkingMatchesShardCount) {
+  Harness h(4);
+  std::size_t pieces = 0;
+  h.runtime.execute([&](core::Context& ctx) {
+    LegateRuntime np(ctx, h.fns);
+    pieces = np.pieces();
+    NDArray a = np.zeros(1000);
+    EXPECT_EQ(ctx.forest().num_subregions(a.chunks), 4u);
+    ctx.execution_fence();
+  });
+  EXPECT_EQ(pieces, 4u);
+}
+
+TEST(Ndarray, ElementwiseOpsLaunchOneTaskPerChunk) {
+  Harness h(2);
+  const auto stats = h.runtime.execute([&](core::Context& ctx) {
+    LegateRuntime np(ctx, h.fns, 6);
+    NDArray a = np.zeros(600), b = np.zeros(600), c = np.zeros(600);
+    np.map(c, a, b);   // c = a + b
+    np.update(c, a);   // c += a
+    ctx.execution_fence();
+  });
+  EXPECT_TRUE(stats.completed);
+  EXPECT_EQ(stats.point_tasks_launched, 2u * 6u);
+}
+
+TEST(Ndarray, MatvecBroadcastReadMovesVectorToEveryNode) {
+  Harness h(4);
+  const auto stats = h.runtime.execute([&](core::Context& ctx) {
+    LegateRuntime np(ctx, h.fns);
+    NDArray X = np.zeros2d(4000, 16);
+    NDArray w = np.zeros(16);
+    NDArray out = np.zeros(4000);
+    // Write w once so the broadcast read has a producer to fetch from.
+    np.map(w, w);
+    np.matvec(out, X, w);
+    ctx.execution_fence();
+  });
+  EXPECT_TRUE(stats.completed);
+  // The single-node writer's chunk of w is fetched by the 3 other nodes.
+  EXPECT_GT(stats.bytes_moved, 0u);
+}
+
+TEST(Ndarray, MatmulAndNorm) {
+  Harness h(3);
+  double nrm = -1.0;
+  const auto stats = h.runtime.execute([&](core::Context& ctx) {
+    LegateRuntime np(ctx, h.fns);
+    NDArray A = np.zeros2d(300, 8);
+    NDArray B = np.zeros2d(8, 8);
+    NDArray C = np.zeros2d(300, 8);
+    np.matmul(C, A, B);
+    nrm = np.norm(np.zeros(300), /*scalar_arg=*/2);
+    ctx.execution_fence();
+  });
+  EXPECT_TRUE(stats.completed);
+  EXPECT_DOUBLE_EQ(nrm, 0.25);  // 0.5^2, chunking-independent
+}
+
+TEST(Ndarray, NormIsChunkingIndependent) {
+  for (std::size_t pieces : {1u, 2u, 5u}) {
+    Harness h(2);
+    double nrm = -1.0;
+    h.runtime.execute([&](core::Context& ctx) {
+      LegateRuntime np(ctx, h.fns, pieces);
+      NDArray a = np.zeros(500);
+      nrm = np.norm(a, 3);
+      ctx.execution_fence();
+    });
+    EXPECT_DOUBLE_EQ(nrm, 0.125) << pieces << " pieces";
+  }
+}
+
+// ---------------------------------------------------------------- solvers
+
+TEST(Solvers, JacobiConvergesIdenticallyOnAllShards) {
+  Harness h(4);
+  const auto stats = h.runtime.execute(
+      make_jacobi({.unknowns_per_piece = 1000, .tolerance = 0.05}, h.fns));
+  EXPECT_TRUE(stats.completed);
+  EXPECT_FALSE(stats.determinism_violation);
+  // norm decays 0.5^k: residuals 1, .5, .25, .125, .0625, .03125 — the loop
+  // exits after 6 iterations of (3 maps/spmv + 1 norm launch) x 4 pieces.
+  EXPECT_EQ(stats.point_tasks_launched, 6u * 4u * 4u);
+}
+
+TEST(Solvers, PowerIterationRunsTraced) {
+  Harness h(4);
+  const auto stats = h.runtime.execute(
+      make_power_iteration({.dim_per_piece = 500, .iterations = 6}, h.fns));
+  EXPECT_TRUE(stats.completed);
+  EXPECT_FALSE(stats.determinism_violation);
+  EXPECT_GT(stats.traced_ops, 0u);  // the matvec trace replays after iter 1
+}
+
+TEST(Solvers, EverySolverRunsOnTheCentralExecutorToo) {
+  sim::Machine machine({.num_nodes = 2,
+                        .compute_procs_per_node = 1,
+                        .network = {.alpha = us(1), .ns_per_byte = 0.1}});
+  core::FunctionRegistry functions;
+  const auto fns = register_legate_functions(functions, 1.0);
+  baselines::CentralRuntime rt(machine, functions);
+  std::size_t completed = 0;
+  for (int which = 0; which < 2; ++which) {
+    sim::Machine m({.num_nodes = 2,
+                    .compute_procs_per_node = 1,
+                    .network = {.alpha = us(1), .ns_per_byte = 0.1}});
+    core::FunctionRegistry f;
+    const auto lfns = register_legate_functions(f, 1.0);
+    baselines::CentralRuntime central(m, f);
+    const core::ApplicationMain app =
+        which == 0
+            ? make_jacobi({.unknowns_per_piece = 200, .tolerance = 0.05, .pieces = 2}, lfns)
+            : make_power_iteration({.dim_per_piece = 200, .iterations = 3, .pieces = 2},
+                                   lfns);
+    const auto stats = central.execute(app);
+    EXPECT_TRUE(stats.completed);
+    ++completed;
+  }
+  EXPECT_EQ(completed, 2u);
+  (void)fns;
+  (void)rt;
+}
+
+TEST(Solvers, CgTraceReplayCutsAnalysisTime) {
+  auto busy = [](bool tracing) {
+    core::DcrConfig cfg;
+    cfg.tracing_enabled = tracing;
+    Harness h(4, cfg);
+    h.runtime.execute(
+        make_preconditioned_cg({.unknowns_per_piece = 2000, .iterations = 12}, h.fns));
+    SimTime total = 0;
+    for (std::uint32_t n = 0; n < 4; ++n) {
+      total += h.machine.analysis_proc(NodeId(n)).busy_time();
+    }
+    return total;
+  };
+  EXPECT_LT(busy(true), busy(false));
+}
+
+TEST(Solvers, KMeansAssignReduceUpdate) {
+  Harness h(4);
+  const auto stats = h.runtime.execute(make_kmeans(
+      {.points_per_piece = 1000, .clusters = 8, .features = 4, .iterations = 5}, h.fns));
+  EXPECT_TRUE(stats.completed);
+  EXPECT_FALSE(stats.determinism_violation);
+  // 3 launches x 4 pieces x 5 iterations.
+  EXPECT_EQ(stats.point_tasks_launched, 3u * 4u * 5u);
+  // The reduction into the shared centroid table is cross-partition: fences.
+  EXPECT_GT(stats.fences_inserted, 0u);
+}
+
+TEST(Profile, PerFunctionCountsAndTimes) {
+  Harness h(2);
+  const auto stats = h.runtime.execute([&](core::Context& ctx) {
+    LegateRuntime np(ctx, h.fns, 4);
+    NDArray a = np.zeros(400), b = np.zeros(400);
+    np.map(b, a);
+    np.map(b, a);
+    np.dot(a, b, 1);
+    ctx.execution_fence();
+  });
+  EXPECT_TRUE(stats.completed);
+  const auto& prof = h.runtime.profile();
+  ASSERT_TRUE(prof.count(h.fns.elementwise));
+  EXPECT_EQ(prof.at(h.fns.elementwise).tasks, 8u);  // 2 maps x 4 chunks
+  EXPECT_GT(prof.at(h.fns.elementwise).total_time, 0u);
+  ASSERT_TRUE(prof.count(h.fns.dot_partial));
+  EXPECT_EQ(prof.at(h.fns.dot_partial).tasks, 4u);
+}
+
+}  // namespace
+}  // namespace dcr::apps::legate

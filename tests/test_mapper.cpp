@@ -1,0 +1,116 @@
+// Tests for the mapping interface (paper §4): mapper-selected sharding
+// functions and processor placement, and the determinism requirement on
+// mapper decisions.
+#include <gtest/gtest.h>
+
+#include "apps/stencil.hpp"
+#include "dcr/mapper.hpp"
+#include "dcr/runtime.hpp"
+
+namespace dcr::core {
+namespace {
+
+sim::MachineConfig cluster(std::size_t nodes, std::size_t procs = 1) {
+  return {.num_nodes = nodes,
+          .compute_procs_per_node = procs,
+          .network = {.alpha = us(1), .ns_per_byte = 0.1}};
+}
+
+TEST(Mapper, DefaultMapperMatchesNoMapper) {
+  auto run = [](Mapper* mapper) {
+    sim::Machine machine(cluster(4));
+    FunctionRegistry functions;
+    const auto fns = apps::register_stencil_functions(functions, 1.0);
+    DcrConfig cfg;
+    cfg.mapper = mapper;
+    DcrRuntime rt(machine, functions, cfg);
+    return rt.execute(
+        apps::make_stencil_app({.cells_per_tile = 64, .tiles = 8, .steps = 4}, fns));
+  };
+  DefaultMapper def;
+  const auto with = run(&def);
+  const auto without = run(nullptr);
+  EXPECT_TRUE(with.completed);
+  EXPECT_EQ(with.makespan, without.makespan);
+  EXPECT_EQ(with.fences_inserted, without.fences_inserted);
+}
+
+TEST(Mapper, ShardingOverrideChangesFenceStructure) {
+  // A mapper forcing cyclic sharding on alternating task functions recreates
+  // the Figure 11 scenario without touching the application.  Mapper
+  // decisions must be pure functions of the launch: the mapper is queried
+  // independently on every shard, so mutable state would diverge.
+  struct AlternatingMapper : Mapper {
+    ShardingId select_sharding(const IndexLaunch& l, std::size_t) override {
+      return (l.fn.value % 2 == 0) ? ShardingRegistry::blocked()
+                                   : ShardingRegistry::cyclic();
+    }
+  };
+  auto fences = [](Mapper* mapper) {
+    sim::Machine machine(cluster(4));
+    FunctionRegistry functions;
+    const auto fns = apps::register_stencil_functions(functions, 1.0);
+    DcrConfig cfg;
+    cfg.mapper = mapper;
+    DcrRuntime rt(machine, functions, cfg);
+    const auto stats = rt.execute(
+        apps::make_stencil_app({.cells_per_tile = 64, .tiles = 8, .steps = 6}, fns));
+    EXPECT_TRUE(stats.completed);
+    EXPECT_FALSE(stats.determinism_violation);
+    return stats.fences_inserted;
+  };
+  AlternatingMapper alternating;
+  EXPECT_GT(fences(&alternating), fences(nullptr));
+}
+
+TEST(Mapper, ProcessorPlacementIsHonored) {
+  // Pin every point task to slot 0: only one compute processor per node
+  // does work even though four exist.
+  struct PinningMapper : Mapper {
+    std::size_t select_processor(FunctionId, std::uint64_t, std::size_t) override {
+      return 0;
+    }
+  };
+  PinningMapper pin;
+  sim::Machine machine(cluster(2, /*procs=*/4));
+  FunctionRegistry functions;
+  const auto fns = apps::register_stencil_functions(functions, 1.0);
+  DcrConfig cfg;
+  cfg.mapper = &pin;
+  DcrRuntime rt(machine, functions, cfg);
+  const auto stats = rt.execute(
+      apps::make_stencil_app({.cells_per_tile = 64, .tiles = 8, .steps = 3}, fns));
+  EXPECT_TRUE(stats.completed);
+  for (std::uint32_t n = 0; n < 2; ++n) {
+    EXPECT_GT(machine.compute_proc(NodeId(n), 0).tasks_run(), 0u);
+    for (std::size_t p = 1; p < 4; ++p) {
+      EXPECT_EQ(machine.compute_proc(NodeId(n), p).tasks_run(), 0u) << n << "," << p;
+    }
+  }
+}
+
+TEST(Mapper, SpreadingMapperBeatsPinningOnMakespan) {
+  struct PinningMapper : Mapper {
+    std::size_t select_processor(FunctionId, std::uint64_t, std::size_t) override {
+      return 0;
+    }
+  };
+  auto makespan = [](Mapper* mapper) {
+    sim::Machine machine(cluster(2, /*procs=*/4));
+    FunctionRegistry functions;
+    const auto fns = apps::register_stencil_functions(functions, 100.0);
+    DcrConfig cfg;
+    cfg.mapper = mapper;
+    DcrRuntime rt(machine, functions, cfg);
+    return rt.execute(
+                 apps::make_stencil_app({.cells_per_tile = 5000, .tiles = 16, .steps = 4},
+                                        fns))
+        .makespan;
+  };
+  PinningMapper pin;
+  DefaultMapper spread;
+  EXPECT_GT(makespan(&pin), makespan(&spread) * 2);
+}
+
+}  // namespace
+}  // namespace dcr::core

@@ -1,0 +1,139 @@
+// Unit tests for the physical-state tracker: valid-instance accounting and
+// copy planning over the simulated network.
+#include <gtest/gtest.h>
+
+#include "runtime/physical.hpp"
+
+namespace dcr::rt {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim;
+  sim::Network net{sim, 4, {.alpha = us(1), .ns_per_byte = 1.0, .local_latency = ns(50)}};
+  RegionForest forest;
+  FieldSpaceId fs = forest.create_field_space();
+  FieldId f = forest.allocate_field(fs, 8, "f");
+  RegionTreeId tree = forest.create_tree(Rect::r1(0, 399), fs);
+  PhysicalState phys{forest, net};
+};
+
+TEST(PhysicalState, ReadOfUnwrittenDataIsFree) {
+  Fixture fx;
+  sim::Event e = fx.phys.acquire(fx.tree, fx.f, Rect::r1(0, 99), NodeId(1));
+  EXPECT_TRUE(e.has_triggered());
+  EXPECT_EQ(fx.phys.bytes_moved(), 0u);
+}
+
+TEST(PhysicalState, LocalReadAfterLocalWriteIsFree) {
+  Fixture fx;
+  fx.phys.record_write(fx.tree, fx.f, Rect::r1(0, 99), NodeId(0), sim::Event::no_event());
+  sim::Event e = fx.phys.acquire(fx.tree, fx.f, Rect::r1(10, 20), NodeId(0));
+  EXPECT_TRUE(e.has_triggered());
+  EXPECT_EQ(fx.phys.bytes_moved(), 0u);
+}
+
+TEST(PhysicalState, RemoteReadCopiesExactOverlap) {
+  Fixture fx;
+  fx.phys.record_write(fx.tree, fx.f, Rect::r1(0, 99), NodeId(0), sim::Event::no_event());
+  // Node 1 reads [90..109]; only [90..99] was written (by node 0).
+  sim::Event e = fx.phys.acquire(fx.tree, fx.f, Rect::r1(90, 109), NodeId(1));
+  EXPECT_FALSE(e.has_triggered());
+  fx.sim.run();
+  EXPECT_TRUE(e.has_triggered());
+  EXPECT_EQ(fx.phys.bytes_moved(), 10u * 8u);
+  EXPECT_EQ(fx.phys.copies_issued(), 1u);
+}
+
+TEST(PhysicalState, ReplicaPreventsDuplicateCopies) {
+  Fixture fx;
+  fx.phys.record_write(fx.tree, fx.f, Rect::r1(0, 99), NodeId(0), sim::Event::no_event());
+  fx.phys.acquire(fx.tree, fx.f, Rect::r1(0, 99), NodeId(1));
+  const std::uint64_t after_first = fx.phys.bytes_moved();
+  fx.phys.acquire(fx.tree, fx.f, Rect::r1(0, 99), NodeId(1));
+  EXPECT_EQ(fx.phys.bytes_moved(), after_first);
+  EXPECT_EQ(fx.phys.copies_issued(), 1u);
+}
+
+TEST(PhysicalState, WriteInvalidatesReplicas) {
+  Fixture fx;
+  fx.phys.record_write(fx.tree, fx.f, Rect::r1(0, 99), NodeId(0), sim::Event::no_event());
+  fx.phys.acquire(fx.tree, fx.f, Rect::r1(0, 99), NodeId(1));
+  // Node 0 overwrites; node 1's replica must be invalidated.
+  fx.phys.record_write(fx.tree, fx.f, Rect::r1(0, 99), NodeId(0), sim::Event::no_event());
+  fx.phys.acquire(fx.tree, fx.f, Rect::r1(0, 99), NodeId(1));
+  EXPECT_EQ(fx.phys.copies_issued(), 2u);
+  EXPECT_EQ(fx.phys.bytes_moved(), 2u * 100u * 8u);
+}
+
+TEST(PhysicalState, PartialInvalidationKeepsRest) {
+  Fixture fx;
+  fx.phys.record_write(fx.tree, fx.f, Rect::r1(0, 99), NodeId(0), sim::Event::no_event());
+  // Node 1 takes over the middle.
+  fx.phys.record_write(fx.tree, fx.f, Rect::r1(40, 59), NodeId(1), sim::Event::no_event());
+  auto holders = fx.phys.holders(fx.tree, fx.f, Rect::r1(0, 99));
+  std::uint64_t node0_vol = 0, node1_vol = 0;
+  for (const auto& [rect, node] : holders) {
+    if (node == NodeId(0)) node0_vol += rect.volume();
+    if (node == NodeId(1)) node1_vol += rect.volume();
+  }
+  EXPECT_EQ(node0_vol, 80u);
+  EXPECT_EQ(node1_vol, 20u);
+  // A read on node 2 copies from both.
+  fx.phys.acquire(fx.tree, fx.f, Rect::r1(0, 99), NodeId(2));
+  EXPECT_EQ(fx.phys.bytes_moved(), 100u * 8u);
+  EXPECT_EQ(fx.phys.copies_issued(), 3u);  // [0,39],[60,99] from n0 + [40,59] from n1
+}
+
+TEST(PhysicalState, CopyWaitsForProducer) {
+  Fixture fx;
+  sim::UserEvent producer_done;
+  fx.phys.record_write(fx.tree, fx.f, Rect::r1(0, 99), NodeId(0), producer_done);
+  sim::Event e = fx.phys.acquire(fx.tree, fx.f, Rect::r1(0, 99), NodeId(1));
+  fx.sim.schedule(ms(3), [&] { producer_done.trigger(fx.sim.now()); });
+  fx.sim.run();
+  ASSERT_TRUE(e.has_triggered());
+  EXPECT_GE(e.trigger_time(), ms(3));
+}
+
+TEST(PhysicalState, ReadyEventTracksPendingWrites) {
+  Fixture fx;
+  sim::UserEvent w;
+  fx.phys.record_write(fx.tree, fx.f, Rect::r1(0, 99), NodeId(0), w);
+  sim::Event r = fx.phys.ready_event(fx.tree, fx.f, Rect::r1(50, 60));
+  EXPECT_FALSE(r.has_triggered());
+  w.trigger(7);
+  EXPECT_TRUE(r.has_triggered());
+  // Non-overlapping read is immediately ready.
+  EXPECT_TRUE(fx.phys.ready_event(fx.tree, fx.f, Rect::r1(200, 300)).has_triggered());
+}
+
+TEST(PhysicalState, HaloExchangePattern) {
+  // Classic 4-tile halo exchange: each tile writes its block on its node,
+  // then each node reads its block +/- 1: exactly 2 boundary elements per
+  // interior neighbor pair move.
+  Fixture fx;
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    fx.phys.record_write(fx.tree, fx.f,
+                         Rect::r1(n * 100, n * 100 + 99), NodeId(n),
+                         sim::Event::no_event());
+  }
+  for (std::int64_t n = 0; n < 4; ++n) {
+    const std::int64_t lo = std::max<std::int64_t>(0, n * 100 - 1);
+    const std::int64_t hi = std::min<std::int64_t>(399, n * 100 + 100);
+    fx.phys.acquire(fx.tree, fx.f, Rect::r1(lo, hi), NodeId(static_cast<std::uint32_t>(n)));
+  }
+  // 3 interior boundaries, 2 elements each (one in each direction), 8B each.
+  EXPECT_EQ(fx.phys.bytes_moved(), 3u * 2u * 8u);
+  EXPECT_EQ(fx.phys.copies_issued(), 6u);
+}
+
+TEST(PhysicalState, DistinctFieldsTrackedIndependently) {
+  Fixture fx;
+  FieldId g = fx.forest.allocate_field(fx.fs, 8, "g");
+  fx.phys.record_write(fx.tree, fx.f, Rect::r1(0, 99), NodeId(0), sim::Event::no_event());
+  fx.phys.acquire(fx.tree, g, Rect::r1(0, 99), NodeId(1));
+  EXPECT_EQ(fx.phys.bytes_moved(), 0u);  // field g never written
+}
+
+}  // namespace
+}  // namespace dcr::rt

@@ -1,0 +1,253 @@
+// Unit tests for the region forest, requirements/projections, and the
+// dependence oracle — built around the paper's Figure 7/8 stencil layout.
+#include <gtest/gtest.h>
+
+#include "runtime/region.hpp"
+#include "runtime/requirement.hpp"
+
+namespace dcr::rt {
+namespace {
+
+// Build the paper's Figure 8 region tree: a 1-D `cells` region with three
+// partitions — owned (disjoint blocks), interior (disjoint, shrunk), and
+// ghost (aliased halos).
+struct StencilForest {
+  RegionForest forest;
+  FieldSpaceId fs;
+  FieldId state, flux;
+  RegionTreeId tree;
+  IndexSpaceId cells;
+  PartitionId owned, interior, ghost;
+  static constexpr std::int64_t kCells = 400;
+  static constexpr std::size_t kTiles = 4;
+
+  StencilForest() {
+    fs = forest.create_field_space();
+    state = forest.allocate_field(fs, 8, "state");
+    flux = forest.allocate_field(fs, 8, "flux");
+    tree = forest.create_tree(Rect::r1(0, kCells - 1), fs);
+    cells = forest.root(tree);
+    owned = forest.partition_equal(cells, kTiles);
+    // interior: owned blocks shrunk by one on each side of the global domain.
+    std::vector<Rect> interior_rects;
+    for (std::size_t c = 0; c < kTiles; ++c) {
+      Rect r = forest.bounds(forest.subregion(owned, c));
+      if (c == 0) r.lo[0] += 1;
+      if (c == kTiles - 1) r.hi[0] -= 1;
+      interior_rects.push_back(r);
+    }
+    interior = forest.create_partition(cells, interior_rects, /*disjoint=*/true);
+    ghost = forest.partition_with_halo(cells, kTiles, /*halo=*/1);
+  }
+};
+
+TEST(RegionForest, FieldSpaces) {
+  RegionForest f;
+  FieldSpaceId fs = f.create_field_space();
+  FieldId a = f.allocate_field(fs, 8, "a");
+  FieldId b = f.allocate_field(fs, 4, "b");
+  EXPECT_EQ(f.field_size(a), 8u);
+  EXPECT_EQ(f.field_size(b), 4u);
+  EXPECT_EQ(f.field_name(b), "b");
+  EXPECT_EQ(f.fields(fs).size(), 2u);
+  f.free_field(fs, a);
+  EXPECT_EQ(f.fields(fs).size(), 1u);
+}
+
+TEST(RegionForest, TreeCreation) {
+  StencilForest s;
+  EXPECT_EQ(s.forest.bounds(s.cells), Rect::r1(0, 399));
+  EXPECT_EQ(s.forest.tree_of(s.cells), s.tree);
+  EXPECT_EQ(s.forest.depth(s.cells), 0);
+  EXPECT_FALSE(s.forest.parent_partition(s.cells).has_value());
+  EXPECT_FALSE(s.forest.tree_destroyed(s.tree));
+  s.forest.destroy_tree(s.tree);
+  EXPECT_TRUE(s.forest.tree_destroyed(s.tree));
+}
+
+TEST(RegionForest, EqualPartitionTilesTheDomain) {
+  StencilForest s;
+  EXPECT_EQ(s.forest.num_subregions(s.owned), 4u);
+  EXPECT_TRUE(s.forest.is_disjoint(s.owned));
+  std::uint64_t vol = 0;
+  for (std::size_t c = 0; c < 4; ++c) {
+    const IndexSpaceId sub = s.forest.subregion(s.owned, c);
+    vol += s.forest.bounds(sub).volume();
+    EXPECT_EQ(s.forest.color(sub), c);
+    EXPECT_EQ(s.forest.depth(sub), 1);
+    EXPECT_EQ(*s.forest.parent_partition(sub), s.owned);
+  }
+  EXPECT_EQ(vol, 400u);
+  EXPECT_EQ(s.forest.bounds(s.forest.subregion(s.owned, 0)), Rect::r1(0, 99));
+  EXPECT_EQ(s.forest.bounds(s.forest.subregion(s.owned, 3)), Rect::r1(300, 399));
+}
+
+TEST(RegionForest, HaloPartitionAliases) {
+  StencilForest s;
+  EXPECT_FALSE(s.forest.is_disjoint(s.ghost));
+  EXPECT_EQ(s.forest.bounds(s.forest.subregion(s.ghost, 0)), Rect::r1(0, 100));
+  EXPECT_EQ(s.forest.bounds(s.forest.subregion(s.ghost, 1)), Rect::r1(99, 200));
+  EXPECT_EQ(s.forest.bounds(s.forest.subregion(s.ghost, 3)), Rect::r1(299, 399));
+}
+
+TEST(RegionForest, AncestryAndLca) {
+  StencilForest s;
+  const IndexSpaceId o0 = s.forest.subregion(s.owned, 0);
+  const IndexSpaceId o1 = s.forest.subregion(s.owned, 1);
+  const IndexSpaceId g0 = s.forest.subregion(s.ghost, 0);
+  EXPECT_TRUE(s.forest.is_region_ancestor(s.cells, o0));
+  EXPECT_FALSE(s.forest.is_region_ancestor(o0, s.cells));
+  EXPECT_FALSE(s.forest.is_region_ancestor(o0, o1));
+  EXPECT_EQ(s.forest.lowest_common_region(o0, o1), s.cells);
+  EXPECT_EQ(s.forest.lowest_common_region(o0, g0), s.cells);
+  EXPECT_EQ(s.forest.lowest_common_region(o0, o0), o0);
+}
+
+TEST(RegionForest, StructuralDisjointness) {
+  StencilForest s;
+  const IndexSpaceId o0 = s.forest.subregion(s.owned, 0);
+  const IndexSpaceId o1 = s.forest.subregion(s.owned, 1);
+  const IndexSpaceId g0 = s.forest.subregion(s.ghost, 0);
+  const IndexSpaceId g2 = s.forest.subregion(s.ghost, 2);
+  const IndexSpaceId i1 = s.forest.subregion(s.interior, 1);
+
+  // Same disjoint partition, different colors: provable.
+  EXPECT_TRUE(s.forest.structurally_disjoint(o0, o1));
+  // Same aliased partition: not provable.
+  EXPECT_FALSE(s.forest.structurally_disjoint(g0, g2));
+  // Different partitions of the same region: never provable, even when the
+  // geometry is disjoint (o0=[0,99] vs i1=[100,199]) — this conservatism is
+  // exactly why the paper's Figure 10 inserts a fence between owned and ghost.
+  EXPECT_FALSE(s.forest.structurally_disjoint(o0, i1));
+  EXPECT_FALSE(overlaps(s.forest.bounds(o0), s.forest.bounds(i1)));
+  // Ancestor/descendant: overlap.
+  EXPECT_FALSE(s.forest.structurally_disjoint(s.cells, o0));
+  // Different trees: always disjoint.
+  RegionTreeId other = s.forest.create_tree(Rect::r1(0, 399), s.fs);
+  EXPECT_TRUE(s.forest.structurally_disjoint(o0, s.forest.root(other)));
+}
+
+TEST(RegionForest, NestedPartitions) {
+  StencilForest s;
+  const IndexSpaceId o0 = s.forest.subregion(s.owned, 0);
+  const PartitionId sub = s.forest.partition_equal(o0, 2);
+  const IndexSpaceId s0 = s.forest.subregion(sub, 0);
+  const IndexSpaceId s1 = s.forest.subregion(sub, 1);
+  EXPECT_EQ(s.forest.depth(s0), 2);
+  EXPECT_TRUE(s.forest.structurally_disjoint(s0, s1));
+  // Sub-pieces of o0 vs sibling o1: diverge at the owned partition.
+  const IndexSpaceId o1 = s.forest.subregion(s.owned, 1);
+  EXPECT_TRUE(s.forest.structurally_disjoint(s0, o1));
+  const PartitionId sub1 = s.forest.partition_equal(o1, 2);
+  EXPECT_TRUE(s.forest.structurally_disjoint(s0, s.forest.subregion(sub1, 0)));
+  EXPECT_EQ(s.forest.lowest_common_region(s0, s1), o0);
+}
+
+TEST(RegionForest, GeometricOverlap) {
+  StencilForest s;
+  const IndexSpaceId o0 = s.forest.subregion(s.owned, 0);
+  const IndexSpaceId g1 = s.forest.subregion(s.ghost, 1);
+  EXPECT_TRUE(s.forest.regions_overlap(o0, g1));  // halo reaches into o0
+  const IndexSpaceId g3 = s.forest.subregion(s.ghost, 3);
+  EXPECT_FALSE(s.forest.regions_overlap(o0, g3));
+}
+
+// ---------------------------------------------------------------- projection
+
+TEST(Projection, IdentityMapsDomainPointsToColors) {
+  StencilForest s;
+  ProjectionRegistry projs;
+  const Rect domain = Rect::r1(0, 3);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    const IndexSpaceId r = projs.apply(ProjectionRegistry::identity(), s.forest, s.owned,
+                                       Point::p1(i), domain);
+    EXPECT_EQ(r, s.forest.subregion(s.owned, static_cast<std::uint64_t>(i)));
+  }
+}
+
+TEST(Projection, CustomFunctionalProjection) {
+  StencilForest s;
+  ProjectionRegistry projs;
+  // Neighbor projection: point i -> subregion i+1 mod pieces.
+  const ProjectionId shifted = projs.register_projection(
+      [](const RegionForest& f, PartitionId p, const Point& pt, const Rect& dom) {
+        const std::uint64_t n = f.num_subregions(p);
+        return f.subregion(p, (linearize(dom, pt) + 1) % n);
+      });
+  const IndexSpaceId r = projs.apply(shifted, s.forest, s.owned, Point::p1(3), Rect::r1(0, 3));
+  EXPECT_EQ(r, s.forest.subregion(s.owned, 0));
+}
+
+TEST(GroupRequirement, ConcretizeAndUpperBound) {
+  StencilForest s;
+  ProjectionRegistry projs;
+  const auto req = GroupRequirement::on_partition(s.owned, {s.state}, Privilege::ReadWrite);
+  EXPECT_EQ(req.upper_bound(s.forest), s.cells);
+  const Requirement c = req.concretize(s.forest, projs, Point::p1(2), Rect::r1(0, 3));
+  EXPECT_EQ(c.region, s.forest.subregion(s.owned, 2));
+  EXPECT_EQ(c.privilege, Privilege::ReadWrite);
+
+  const auto single = GroupRequirement::on_region(s.cells, {s.flux}, Privilege::ReadOnly);
+  EXPECT_EQ(single.upper_bound(s.forest), s.cells);
+  EXPECT_EQ(single.concretize(s.forest, projs, Point::p1(0), Rect::r1(0, 3)).region, s.cells);
+}
+
+// -------------------------------------------------------------------- oracle
+
+TEST(Privileges, ConflictMatrix) {
+  using enum Privilege;
+  EXPECT_FALSE(privileges_conflict(ReadOnly, 0, ReadOnly, 0));
+  EXPECT_TRUE(privileges_conflict(ReadOnly, 0, ReadWrite, 0));
+  EXPECT_TRUE(privileges_conflict(ReadWrite, 0, ReadWrite, 0));
+  EXPECT_TRUE(privileges_conflict(WriteDiscard, 0, ReadOnly, 0));
+  EXPECT_FALSE(privileges_conflict(Reduce, 7, Reduce, 7));  // same redop commutes
+  EXPECT_TRUE(privileges_conflict(Reduce, 7, Reduce, 8));
+  EXPECT_TRUE(privileges_conflict(Reduce, 7, ReadOnly, 0));
+  EXPECT_FALSE(privileges_conflict(None, 0, ReadWrite, 0));
+}
+
+TEST(Oracle, ThreeStepCheck) {
+  StencilForest s;
+  const IndexSpaceId o0 = s.forest.subregion(s.owned, 0);
+  const IndexSpaceId o1 = s.forest.subregion(s.owned, 1);
+  const IndexSpaceId g1 = s.forest.subregion(s.ghost, 1);
+
+  const Requirement w_state_o0{o0, {s.state}, Privilege::ReadWrite, 0};
+  const Requirement w_state_o1{o1, {s.state}, Privilege::ReadWrite, 0};
+  const Requirement r_state_g1{g1, {s.state}, Privilege::ReadOnly, 0};
+  const Requirement w_flux_o0{o0, {s.flux}, Privilege::ReadWrite, 0};
+  const Requirement r_state_o0{o0, {s.state}, Privilege::ReadOnly, 0};
+
+  // Disjoint index points: independent.
+  EXPECT_FALSE(requirements_conflict(s.forest, w_state_o0, w_state_o1));
+  // Overlapping points, common field, writer involved: dependence.
+  EXPECT_TRUE(requirements_conflict(s.forest, w_state_o0, r_state_g1));
+  // Overlapping points, different fields: independent.
+  EXPECT_FALSE(requirements_conflict(s.forest, w_state_o0, w_flux_o0));
+  // Overlapping points, common field, both readers: independent.
+  EXPECT_FALSE(requirements_conflict(s.forest, r_state_o0, r_state_g1));
+  // Symmetry.
+  EXPECT_TRUE(requirements_conflict(s.forest, r_state_g1, w_state_o0));
+}
+
+TEST(Oracle, MultiFieldRequirements) {
+  StencilForest s;
+  const IndexSpaceId o0 = s.forest.subregion(s.owned, 0);
+  const Requirement both{o0, {s.state, s.flux}, Privilege::ReadWrite, 0};
+  const Requirement flux_only{o0, {s.flux}, Privilege::ReadOnly, 0};
+  EXPECT_TRUE(requirements_conflict(s.forest, both, flux_only));
+}
+
+TEST(Oracle, GroupBoundsConservative) {
+  StencilForest s;
+  // owned (RW state) vs ghost (RO state): upper bounds are both `cells`,
+  // fields and privileges conflict -> may conflict.
+  EXPECT_TRUE(group_bounds_may_conflict(s.forest, s.cells, {s.state}, Privilege::ReadWrite, 0,
+                                        s.cells, {s.state}, Privilege::ReadOnly, 0));
+  // Different fields -> no conflict even on identical bounds.
+  EXPECT_FALSE(group_bounds_may_conflict(s.forest, s.cells, {s.state}, Privilege::ReadWrite, 0,
+                                         s.cells, {s.flux}, Privilege::ReadWrite, 0));
+}
+
+}  // namespace
+}  // namespace dcr::rt

@@ -1,0 +1,110 @@
+// Tests for the message-level ring all-reduce and its agreement with the
+// analytic model used by the training workloads.
+#include <gtest/gtest.h>
+
+#include "apps/nn.hpp"
+#include "sim/collective.hpp"
+#include "sim/ring.hpp"
+
+namespace dcr::sim {
+namespace {
+
+std::vector<NodeId> nodes_for(std::size_t n) {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < n; ++i) out.push_back(NodeId(static_cast<std::uint32_t>(i)));
+  return out;
+}
+
+TEST(RingAllReduce, SingleRankIsImmediate) {
+  Simulator sim;
+  Network net(sim, 1, {});
+  RingAllReduce<int> ring(sim, net, nodes_for(1), 64, [](int a, int b) { return a + b; });
+  Event e = ring.arrive(0, 7);
+  sim.run();
+  EXPECT_TRUE(e.has_triggered());
+  EXPECT_EQ(ring.result(), 7);
+}
+
+TEST(RingAllReduce, CombinesAllContributions) {
+  for (std::size_t n : {2u, 3u, 5u, 8u}) {
+    Simulator sim;
+    Network net(sim, n, {.alpha = us(1), .ns_per_byte = 0.1, .local_latency = ns(50)});
+    RingAllReduce<int> ring(sim, net, nodes_for(n), 1024,
+                            [](int a, int b) { return a + b; });
+    std::vector<Event> done;
+    for (std::size_t r = 0; r < n; ++r) {
+      done.push_back(ring.arrive(r, static_cast<int>(1u << r)));
+    }
+    sim.run();
+    for (std::size_t r = 0; r < n; ++r) {
+      EXPECT_TRUE(done[r].has_triggered()) << "n=" << n << " rank " << r;
+    }
+    EXPECT_EQ(ring.result(), static_cast<int>((1u << n) - 1)) << n;
+  }
+}
+
+TEST(RingAllReduce, StragglerGatesEveryone) {
+  Simulator sim;
+  Network net(sim, 4, {.alpha = us(1), .ns_per_byte = 0.1, .local_latency = ns(50)});
+  RingAllReduce<int> ring(sim, net, nodes_for(4), 4096, [](int a, int b) { return a + b; });
+  std::vector<Event> done(4);
+  done[0] = ring.arrive(0, 1);
+  done[1] = ring.arrive(1, 1);
+  done[3] = ring.arrive(3, 1);
+  sim.schedule(ms(2), [&] { done[2] = ring.arrive(2, 1); });
+  sim.run();
+  for (const Event& e : done) {
+    ASSERT_TRUE(e.has_triggered());
+    EXPECT_GE(e.trigger_time(), ms(2));
+  }
+}
+
+TEST(RingAllReduce, MatchesAnalyticModelWithinTolerance) {
+  // The simulated ring must land near the closed form the NN benches use:
+  //   2 * bytes * (n-1)/n / bandwidth + 2(n-1) * alpha.
+  const NetworkParams params{.alpha = us(1), .ns_per_byte = 0.1, .local_latency = ns(50)};
+  for (std::size_t n : {2u, 4u, 8u, 16u}) {
+    for (std::uint64_t bytes : {std::uint64_t{64} << 10, std::uint64_t{8} << 20}) {
+      Simulator sim;
+      Network net(sim, n, params);
+      RingAllReduce<int> ring(sim, net, nodes_for(n), bytes,
+                              [](int a, int b) { return a + b; });
+      for (std::size_t r = 0; r < n; ++r) ring.arrive(r, 1);
+      const double simulated = static_cast<double>(sim.run());
+      const double analytic =
+          static_cast<double>(apps::ring_allreduce_time(bytes, n, params));
+      EXPECT_GT(simulated, 0.5 * analytic) << "n=" << n << " bytes=" << bytes;
+      EXPECT_LT(simulated, 2.5 * analytic) << "n=" << n << " bytes=" << bytes;
+    }
+  }
+}
+
+TEST(RingAllReduce, BandwidthScalesBetterThanTree) {
+  // For large payloads the ring moves ~2*bytes total per rank while the
+  // binomial tree serializes full payloads along the critical path: the
+  // ring must win as n grows.
+  const NetworkParams params{.alpha = us(1), .ns_per_byte = 0.1, .local_latency = ns(50)};
+  const std::uint64_t bytes = 32 << 20;
+  const std::size_t n = 16;
+  SimTime ring_time, tree_time;
+  {
+    Simulator sim;
+    Network net(sim, n, params);
+    RingAllReduce<int> ring(sim, net, nodes_for(n), bytes,
+                            [](int a, int b) { return a + b; });
+    for (std::size_t r = 0; r < n; ++r) ring.arrive(r, 1);
+    ring_time = sim.run();
+  }
+  {
+    Simulator sim;
+    Network net(sim, n, params);
+    Collective<int> tree(sim, net, nodes_for(n), CollectiveKind::AllReduce, bytes,
+                         [](int a, int b) { return a + b; });
+    for (std::size_t r = 0; r < n; ++r) tree.arrive(r, 1);
+    tree_time = sim.run();
+  }
+  EXPECT_LT(ring_time, tree_time);
+}
+
+}  // namespace
+}  // namespace dcr::sim

@@ -1,0 +1,183 @@
+// Shape-regression tests: miniature versions of each figure's qualitative
+// claim, so a change that silently breaks a bench's story fails CI rather
+// than only being visible in bench output.
+#include <gtest/gtest.h>
+
+#include "apps/legate/solvers.hpp"
+#include "apps/nn.hpp"
+#include "apps/pennant.hpp"
+#include "apps/stencil.hpp"
+#include "apps/taskbench.hpp"
+#include "baselines/central.hpp"
+#include "baselines/mpi.hpp"
+#include "baselines/scr.hpp"
+#include "baselines/tf.hpp"
+#include "dcr/runtime.hpp"
+
+namespace dcr {
+namespace {
+
+sim::MachineConfig cluster(std::size_t nodes, std::size_t procs = 1) {
+  return {.num_nodes = nodes,
+          .compute_procs_per_node = procs,
+          .network = {.alpha = us(1), .ns_per_byte = 0.1}};
+}
+
+// Figure 12/13 claim: per-node DCR throughput is ~flat under weak scaling
+// while the centralized controller's degrades.
+TEST(Shape, WeakScalingDcrFlatCentralDegrades) {
+  auto throughput_per_node = [](std::size_t nodes, bool central) {
+    core::FunctionRegistry functions;
+    const auto fns = apps::register_stencil_functions(functions, 10.0);
+    apps::StencilConfig cfg{.cells_per_tile = 20000, .tiles = nodes, .steps = 10};
+    sim::Machine machine(cluster(nodes));
+    SimTime makespan;
+    if (central) {
+      baselines::CentralConfig ccfg;
+      ccfg.analysis_cost_per_task = us(40);
+      baselines::CentralRuntime rt(machine, functions, ccfg);
+      makespan = rt.execute(apps::make_stencil_app(cfg, fns)).makespan;
+    } else {
+      core::DcrRuntime rt(machine, functions);
+      makespan = rt.execute(apps::make_stencil_app(cfg, fns)).makespan;
+    }
+    // Weak scaling: work per node is constant, so per-node throughput is
+    // inversely proportional to makespan alone.
+    return 1.0 / static_cast<double>(makespan);
+  };
+  const double dcr_drop = throughput_per_node(2, false) / throughput_per_node(16, false);
+  const double central_drop = throughput_per_node(2, true) / throughput_per_node(16, true);
+  EXPECT_LT(dcr_drop, 1.3);      // near-flat
+  EXPECT_GT(central_drop, 1.5);  // visible degradation
+}
+
+// Figure 12 claim: SCR is never slower than DCR but within 2x.
+TEST(Shape, ScrLeadsDcrByLessThanTwoX) {
+  auto makespan = [](bool scr) {
+    core::FunctionRegistry functions;
+    const auto fns = apps::register_stencil_functions(functions, 1.0);
+    sim::Machine machine(cluster(8));
+    core::DcrRuntime rt(machine, functions,
+                        scr ? baselines::scr_config() : core::DcrConfig{});
+    return rt.execute(
+        apps::make_stencil_app({.cells_per_tile = 2000, .tiles = 8, .steps = 10}, fns))
+        .makespan;
+  };
+  const double ratio = static_cast<double>(makespan(false)) /
+                       static_cast<double>(makespan(true));
+  EXPECT_GE(ratio, 1.0);
+  EXPECT_LT(ratio, 2.0);
+}
+
+// Figure 14 claim ordering: CPU-only << staged CUDA < {GPUDirect, DCR}.
+TEST(Shape, PennantVariantOrdering) {
+  const std::size_t nodes = 4, gpus = 32;
+  auto mpi = [&](const baselines::MpiPennantConfig& variant) {
+    sim::Machine machine(cluster(nodes, 8));
+    baselines::MpiPennantConfig cfg = variant;
+    cfg.zones_per_rank = 50000;
+    cfg.cycles = 5;
+    cfg.compute_ns_per_zone = 7.2;
+    return baselines::run_mpi_pennant(machine, gpus, cfg).makespan;
+  };
+  core::FunctionRegistry functions;
+  const auto fns = apps::register_pennant_functions(functions, 2.0);
+  sim::Machine machine(cluster(nodes, 8));
+  core::DcrRuntime rt(machine, functions);
+  const SimTime dcr =
+      rt.execute(apps::make_pennant_app({.zones_per_piece = 50000, .pieces = gpus,
+                                         .cycles = 5},
+                                        fns))
+          .makespan;
+  const SimTime cpu = mpi(baselines::mpi_pennant_cpu());
+  const SimTime cuda = mpi(baselines::mpi_pennant_cuda());
+  const SimTime gpudirect = mpi(baselines::mpi_pennant_gpudirect());
+  EXPECT_GT(cpu, 5 * cuda);
+  EXPECT_GT(cuda, gpudirect);
+  EXPECT_LT(static_cast<double>(dcr), static_cast<double>(cuda));
+}
+
+// Figure 18 claim: with a fixed global batch, hybrid parallelism keeps
+// improving with GPU count while data parallelism saturates.
+TEST(Shape, CandleHybridScalesDataParallelSaturates) {
+  auto iter_time = [](std::size_t gpus, apps::TrainConfig::Strategy strategy) {
+    core::FunctionRegistry functions;
+    const auto fns = apps::register_train_functions(functions);
+    apps::TrainConfig cfg;
+    cfg.gpus = gpus;
+    cfg.iterations = 2;
+    cfg.strategy = strategy;
+    cfg.compute_scale = 1.0 / static_cast<double>(gpus);
+    cfg.net = cluster(1).network;
+    const std::size_t nodes = (gpus + 3) / 4;
+    sim::Machine machine(cluster(nodes, 4));
+    core::DcrConfig dcfg;
+    dcfg.shards_per_node = 4;
+    core::DcrRuntime rt(machine, functions, dcfg);
+    return rt.execute(apps::make_train_app(apps::NetworkSpec::candle_uno(), cfg, fns))
+        .makespan;
+  };
+  using Strategy = apps::TrainConfig::Strategy;
+  // Hybrid: 4 -> 32 GPUs still improves meaningfully.
+  EXPECT_LT(static_cast<double>(iter_time(32, Strategy::Hybrid)),
+            0.7 * static_cast<double>(iter_time(4, Strategy::Hybrid)));
+  // Data parallel: comm-bound, improvement stalls.
+  EXPECT_GT(static_cast<double>(iter_time(32, Strategy::DataParallel)),
+            0.7 * static_cast<double>(iter_time(4, Strategy::DataParallel)));
+}
+
+// Figure 19/20 claim: Dask-style centralized execution of the same ndarray
+// program decays with socket count; Legate/DCR does not.
+TEST(Shape, DaskDecaysLegateFlat) {
+  auto iterations_per_sec = [](std::size_t sockets, bool dask) {
+    core::FunctionRegistry functions;
+    const auto fns = apps::legate::register_legate_functions(functions, 1.0);
+    apps::legate::LogisticRegressionConfig cfg{.samples_per_piece = 50000,
+                                               .features = 16, .iterations = 5};
+    sim::Machine machine(cluster(sockets));
+    SimTime makespan;
+    if (dask) {
+      cfg.pieces = sockets;
+      baselines::CentralConfig ccfg;
+      ccfg.analysis_cost_per_task = ms(1);
+      baselines::CentralRuntime rt(machine, functions, ccfg);
+      makespan = rt.execute(apps::legate::make_logistic_regression(cfg, fns)).makespan;
+    } else {
+      core::DcrRuntime rt(machine, functions);
+      makespan = rt.execute(apps::legate::make_logistic_regression(cfg, fns)).makespan;
+    }
+    return 5.0 / static_cast<double>(makespan);
+  };
+  const double legate_drop = iterations_per_sec(2, false) / iterations_per_sec(16, false);
+  const double dask_drop = iterations_per_sec(2, true) / iterations_per_sec(16, true);
+  EXPECT_LT(legate_drop, 1.2);
+  EXPECT_GT(dask_drop, 2.0);
+}
+
+// Figure 21 claim: determinism checks cost almost nothing; tracing lowers
+// the minimum effective task granularity.
+TEST(Shape, MetgTracingHelpsChecksFree) {
+  auto metg = [](bool trace, bool safe) {
+    apps::TaskBenchConfig cfg{.width = 8, .steps = 12, .copies = 4};
+    cfg.use_trace = trace;
+    return apps::find_metg(cfg, 8, [&](const apps::TaskBenchConfig& c) {
+      core::FunctionRegistry functions;
+      const FunctionId fn = apps::register_taskbench_function(functions);
+      sim::Machine machine(cluster(8));
+      core::DcrConfig dcfg;
+      dcfg.determinism_checks = safe;
+      core::DcrRuntime rt(machine, functions, dcfg);
+      return rt.execute(apps::make_taskbench_app(c, fn)).makespan;
+    });
+  };
+  const SimTime base = metg(false, false);
+  const SimTime safe = metg(false, true);
+  const SimTime traced = metg(true, false);
+  EXPECT_LT(traced, base);  // tracing lowers METG
+  // Checks change METG by well under 2x (paper: negligible).
+  EXPECT_LT(static_cast<double>(std::max(safe, base)),
+            1.5 * static_cast<double>(std::min(safe, base)));
+}
+
+}  // namespace
+}  // namespace dcr

@@ -1,0 +1,192 @@
+// Tests for the §2 formal semantics: DEPseq, DEPrep, and the Theorem 1
+// equivalence property over random programs, shardings, and interleavings.
+#include <gtest/gtest.h>
+
+#include "analysis/random_program.hpp"
+#include "analysis/semantics.hpp"
+
+namespace dcr::an {
+namespace {
+
+// The paper's Figure 1 running example: a loop launching A..F per iteration,
+// with dependences B=>C and C=>F within an iteration and serial dependences
+// between iterations on the same letter.
+struct Fig1Program {
+  AProgram program;
+  Oracle oracle;
+
+  explicit Fig1Program(std::size_t iters = 2) {
+    // Tasks are numbered iter*6 + letter (A=0..F=5).  Grouping per iteration:
+    // {A,B}, {C,D}, {E,F} — each group pairwise independent.
+    for (std::size_t it = 0; it < iters; ++it) {
+      const std::uint64_t base = it * 6;
+      program.push_back({ATask{TaskId(base + 0), ShardId(0)}, ATask{TaskId(base + 1), ShardId(0)}});
+      program.push_back({ATask{TaskId(base + 2), ShardId(0)}, ATask{TaskId(base + 3), ShardId(0)}});
+      program.push_back({ATask{TaskId(base + 4), ShardId(0)}, ATask{TaskId(base + 5), ShardId(0)}});
+    }
+    oracle = [](TaskId a, TaskId b) {
+      const std::uint64_t la = a.value % 6, lb = b.value % 6;
+      const std::uint64_t ia = a.value / 6, ib = b.value / 6;
+      if (la == lb && ia != ib) return true;        // serial per letter
+      if (ia == ib && la == 1 && lb == 2) return true;  // B => C
+      if (ia == ib && la == 2 && lb == 5) return true;  // C => F
+      return false;
+    };
+  }
+};
+
+TEST(Sequential, Fig1GraphShape) {
+  Fig1Program fig(2);
+  const auto g = analyze_sequential(fig.program, fig.oracle);
+  EXPECT_EQ(g.num_tasks(), 12u);
+  EXPECT_TRUE(g.has_edge(TaskId(1), TaskId(2)));   // B1 => C1
+  EXPECT_TRUE(g.has_edge(TaskId(2), TaskId(5)));   // C1 => F1
+  EXPECT_TRUE(g.has_edge(TaskId(0), TaskId(6)));   // A1 => A2
+  EXPECT_FALSE(g.has_edge(TaskId(0), TaskId(1)));  // A1 * B1
+  EXPECT_TRUE(g.is_acyclic());
+}
+
+TEST(Sequential, EmptyProgram) {
+  const auto g = analyze_sequential({}, [](TaskId, TaskId) { return true; });
+  EXPECT_EQ(g.num_tasks(), 0u);
+}
+
+TEST(Sequential, IndependentGroupsProduceNoEdges) {
+  AProgram p{{ATask{TaskId(0), ShardId(0)}}, {ATask{TaskId(1), ShardId(0)}}};
+  const auto g = analyze_sequential(p, [](TaskId, TaskId) { return false; });
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Sequential, TotalOrderChain) {
+  AProgram p;
+  for (std::uint64_t i = 0; i < 5; ++i) p.push_back({ATask{TaskId(i), ShardId(0)}});
+  const auto g = analyze_sequential(p, [](TaskId, TaskId) { return true; });
+  // DEPseq registers all (redundant) dependences: n*(n-1)/2 edges.
+  EXPECT_EQ(g.num_edges(), 10u);
+}
+
+TEST(ValidProgram, DetectsDuplicateTask) {
+  AProgram p{{ATask{TaskId(0), ShardId(0)}}, {ATask{TaskId(0), ShardId(0)}}};
+  EXPECT_FALSE(is_valid_program(p, [](TaskId, TaskId) { return false; }));
+}
+
+TEST(ValidProgram, DetectsIntraGroupDependence) {
+  AProgram p{{ATask{TaskId(0), ShardId(0)}, ATask{TaskId(1), ShardId(0)}}};
+  EXPECT_FALSE(is_valid_program(p, [](TaskId, TaskId) { return true; }));
+  EXPECT_TRUE(is_valid_program(p, [](TaskId, TaskId) { return false; }));
+}
+
+TEST(CyclicSharding, RoundRobinsWithinGroups) {
+  Fig1Program fig(1);
+  const AProgram sharded = apply_cyclic_sharding(fig.program, 2);
+  for (const auto& tg : sharded) {
+    EXPECT_EQ(tg[0].owner, ShardId(0));
+    EXPECT_EQ(tg[1].owner, ShardId(1));
+  }
+}
+
+TEST(Replicated, SingleShardMatchesSequential) {
+  Fig1Program fig(3);
+  const AProgram sharded = apply_cyclic_sharding(fig.program, 1);
+  Philox4x32 rng(1);
+  EXPECT_EQ(analyze_replicated(sharded, 1, fig.oracle, rng),
+            analyze_sequential(fig.program, fig.oracle));
+}
+
+TEST(Replicated, Fig1TwoShardsMatchesSequential) {
+  Fig1Program fig(2);
+  const AProgram sharded = apply_cyclic_sharding(fig.program, 2);
+  const auto expected = analyze_sequential(fig.program, fig.oracle);
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Philox4x32 rng(seed);
+    EXPECT_EQ(analyze_replicated(sharded, 2, fig.oracle, rng), expected)
+        << "interleaving seed " << seed;
+  }
+}
+
+TEST(Replicated, UsesFastPathForIndependentGroups) {
+  AProgram p;
+  for (std::uint64_t i = 0; i < 8; ++i) p.push_back({ATask{TaskId(i), ShardId(0)}});
+  Philox4x32 rng(3);
+  ReplicatedStats stats;
+  analyze_replicated(apply_cyclic_sharding(p, 2), 2, [](TaskId, TaskId) { return false; },
+                     rng, &stats);
+  EXPECT_EQ(stats.ta_steps, 0u);  // no dependences => Tc only
+  EXPECT_EQ(stats.tb_steps, 0u);
+  EXPECT_EQ(stats.tc_steps, 16u);  // 8 groups x 2 shards
+}
+
+TEST(Replicated, CrossShardDependenceGatesRegistration) {
+  // Group 0 task on shard 0; group 1 task on shard 1 depends on it.
+  AProgram p{{ATask{TaskId(0), ShardId(0)}}, {ATask{TaskId(1), ShardId(1)}}};
+  const Oracle dep = [](TaskId a, TaskId b) { return a == TaskId(0) && b == TaskId(1); };
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Philox4x32 rng(seed);
+    ReplicatedStats stats;
+    const auto g = analyze_replicated(p, 2, dep, rng, &stats);
+    EXPECT_TRUE(g.has_edge(TaskId(0), TaskId(1)));
+    EXPECT_EQ(stats.ta_steps, 1u);
+    EXPECT_EQ(stats.tb_steps, 1u);
+  }
+}
+
+// ------------------------- Theorem 1 property test -------------------------
+
+TEST(Theorem1, RandomProgramsAllInterleavingsMatchSequential) {
+  RandomProgramConfig cfg;
+  for (std::uint64_t prog_seed = 0; prog_seed < 25; ++prog_seed) {
+    Philox4x32 gen_rng(prog_seed, /*stream=*/1);
+    RandomProgram rp = generate_random_program(cfg, gen_rng);
+    ASSERT_TRUE(is_valid_program(rp.program, rp.oracle)) << "seed " << prog_seed;
+    const auto expected = analyze_sequential(rp.program, rp.oracle);
+    EXPECT_TRUE(expected.is_acyclic());
+    for (std::size_t shards : {1u, 2u, 3u, 5u, 8u}) {
+      const AProgram sharded = apply_cyclic_sharding(rp.program, shards);
+      for (std::uint64_t il_seed = 0; il_seed < 4; ++il_seed) {
+        Philox4x32 rng(prog_seed * 100 + il_seed, /*stream=*/2);
+        const auto got = analyze_replicated(sharded, shards, rp.oracle, rng);
+        ASSERT_EQ(got, expected)
+            << "prog_seed=" << prog_seed << " shards=" << shards
+            << " il_seed=" << il_seed;
+      }
+    }
+  }
+}
+
+TEST(Theorem1, BlockShardingAlsoMatches) {
+  // Ownership need not be cyclic: Theorem 1 only requires a total function.
+  RandomProgramConfig cfg;
+  cfg.num_groups = 10;
+  Philox4x32 gen_rng(77, 1);
+  RandomProgram rp = generate_random_program(cfg, gen_rng);
+  // Block sharding: first half of each group to shard 0, rest to shard 1.
+  AProgram sharded = rp.program;
+  for (auto& tg : sharded) {
+    for (std::size_t i = 0; i < tg.size(); ++i) {
+      tg[i].owner = ShardId(i < (tg.size() + 1) / 2 ? 0 : 1);
+    }
+  }
+  const auto expected = analyze_sequential(rp.program, rp.oracle);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Philox4x32 rng(seed);
+    EXPECT_EQ(analyze_replicated(sharded, 2, rp.oracle, rng), expected);
+  }
+}
+
+TEST(Theorem1, AdversarialShardingAllTasksOnOneShardOfMany) {
+  // Degenerate but legal sharding: shard 3 owns everything, others idle.
+  RandomProgramConfig cfg;
+  cfg.num_groups = 8;
+  Philox4x32 gen_rng(5, 1);
+  RandomProgram rp = generate_random_program(cfg, gen_rng);
+  AProgram sharded = rp.program;
+  for (auto& tg : sharded) {
+    for (auto& t : tg) t.owner = ShardId(3);
+  }
+  Philox4x32 rng(9);
+  EXPECT_EQ(analyze_replicated(sharded, 4, rp.oracle, rng),
+            analyze_sequential(rp.program, rp.oracle));
+}
+
+}  // namespace
+}  // namespace dcr::an

@@ -1,0 +1,230 @@
+// Tests for the §4.3 side-effect machinery: parallel (group) file I/O,
+// single-owner file I/O ordering, deferred deletions under varied GC
+// timings, and API-misuse death tests (the runtime must fail loudly, never
+// corrupt the analysis).
+#include <gtest/gtest.h>
+
+#include "apps/stencil.hpp"
+#include "baselines/central.hpp"
+#include "dcr/runtime.hpp"
+
+namespace dcr::core {
+namespace {
+
+struct Harness {
+  sim::Machine machine;
+  FunctionRegistry functions;
+  DcrRuntime runtime;
+  explicit Harness(std::size_t nodes, DcrConfig cfg = {})
+      : machine({.num_nodes = nodes,
+                 .compute_procs_per_node = 1,
+                 .network = {.alpha = us(1), .ns_per_byte = 0.1}}),
+        runtime(machine, functions, cfg) {}
+};
+
+// ------------------------------------------------------- group file I/O
+
+TEST(GroupAttach, ParallelReadFeedsShardedCompute) {
+  Harness h(4);
+  const FunctionId fn = h.functions.register_simple("consume", us(2), 1.0);
+  const auto stats = h.runtime.execute([&](Context& ctx) {
+    FieldSpaceId fs = ctx.create_field_space();
+    const FieldId f = ctx.allocate_field(fs, 8, "f");
+    const RegionTreeId tree = ctx.create_region(rt::Rect::r1(0, 4095), fs);
+    const PartitionId part = ctx.partition_equal(ctx.root(tree), 8);
+    ctx.attach_file_group(part, {f}, "checkpoint");
+    IndexLaunch l;
+    l.fn = fn;
+    l.domain = rt::Rect::r1(0, 7);
+    l.requirements.push_back(
+        rt::GroupRequirement::on_partition(part, {f}, rt::Privilege::ReadWrite));
+    ctx.index_launch(l);
+    ctx.detach_file_group(part, {f});
+    ctx.execution_fence();
+  });
+  EXPECT_TRUE(stats.completed);
+  EXPECT_FALSE(stats.determinism_violation);
+  EXPECT_EQ(stats.point_tasks_launched, 8u);
+}
+
+TEST(GroupAttach, ParallelIoIsFasterThanSingleOwner) {
+  // The reason the paper provides group variants: N file pieces read by N
+  // shards concurrently beat one owner shard reading everything.
+  auto makespan = [](bool grouped) {
+    Harness h(8);
+    const auto stats = h.runtime.execute([&](Context& ctx) {
+      FieldSpaceId fs = ctx.create_field_space();
+      const FieldId f = ctx.allocate_field(fs, 8, "f");
+      const RegionTreeId tree = ctx.create_region(rt::Rect::r1(0, (1 << 20) - 1), fs);
+      const PartitionId part = ctx.partition_equal(ctx.root(tree), 8);
+      if (grouped) {
+        ctx.attach_file_group(part, {f}, "data");
+      } else {
+        ctx.attach_file(ctx.root(tree), {f}, "data");
+      }
+      ctx.execution_fence();
+    });
+    EXPECT_TRUE(stats.completed);
+    return stats.makespan;
+  };
+  const SimTime grouped = makespan(true);
+  const SimTime single = makespan(false);
+  EXPECT_LT(grouped * 4, single);  // ~8x I/O parallelism
+}
+
+TEST(GroupAttach, DetachFlushesAfterCompute) {
+  // Writes must complete before the flush reads them: the detach's fine
+  // stage orders behind the compute launch via the coarse analysis.
+  Harness h(2);
+  const FunctionId fn = h.functions.register_simple("produce", ms(1), 0.0);
+  const auto stats = h.runtime.execute([&](Context& ctx) {
+    FieldSpaceId fs = ctx.create_field_space();
+    const FieldId f = ctx.allocate_field(fs, 8, "f");
+    const RegionTreeId tree = ctx.create_region(rt::Rect::r1(0, 1023), fs);
+    const PartitionId part = ctx.partition_equal(ctx.root(tree), 4);
+    IndexLaunch l;
+    l.fn = fn;
+    l.domain = rt::Rect::r1(0, 3);
+    l.requirements.push_back(
+        rt::GroupRequirement::on_partition(part, {f}, rt::Privilege::WriteDiscard));
+    ctx.index_launch(l);
+    ctx.detach_file_group(part, {f});
+    ctx.execution_fence();
+  });
+  EXPECT_TRUE(stats.completed);
+  // The flush could not have finished before the 1 ms producers.
+  EXPECT_GT(stats.makespan, ms(1));
+}
+
+TEST(GroupAttach, WorksOnCentralBaselineToo) {
+  sim::Machine machine({.num_nodes = 4,
+                        .compute_procs_per_node = 1,
+                        .network = {.alpha = us(1), .ns_per_byte = 0.1}});
+  FunctionRegistry functions;
+  baselines::CentralRuntime rt(machine, functions);
+  const auto stats = rt.execute([&](Context& ctx) {
+    FieldSpaceId fs = ctx.create_field_space();
+    const FieldId f = ctx.allocate_field(fs, 8, "f");
+    const RegionTreeId tree = ctx.create_region(rt::Rect::r1(0, 1023), fs);
+    const PartitionId part = ctx.partition_equal(ctx.root(tree), 4);
+    ctx.attach_file_group(part, {f}, "in");
+    ctx.detach_file_group(part, {f});
+    ctx.execution_fence();
+  });
+  EXPECT_TRUE(stats.completed);
+  EXPECT_EQ(stats.ops_issued, 8u);  // 4 attaches + 4 detaches, serialized
+}
+
+// ------------------------------------------- deferred deletions, stressed
+
+TEST(DeferredDeletion, ManyTreesManyTimings) {
+  Harness h(4);
+  const FunctionId fn = h.functions.register_simple("t", us(5), 0.0);
+  std::vector<RegionTreeId> victims;
+  Harness* hp = &h;
+  const auto stats = h.runtime.execute([&](Context& ctx) {
+    FieldSpaceId fs = ctx.create_field_space();
+    ctx.allocate_field(fs, 8, "f");
+    std::vector<RegionTreeId> local;
+    for (int i = 0; i < 3; ++i) local.push_back(ctx.create_region(rt::Rect::r1(0, 9), fs));
+    if (ctx.shard_id() == ShardId(0)) victims = local;
+    for (int step = 0; step < 12; ++step) {
+      TaskLaunch launch;
+      launch.fn = fn;
+      ctx.launch(launch);
+      // Each tree's "finalizer" fires at a different, shard-dependent step —
+      // but in the same order on every shard, as real GC order would be for
+      // objects that died in the same program order.
+      for (int v = 0; v < 3; ++v) {
+        if (step == 2 + v * 3 + static_cast<int>(ctx.shard_id().value)) {
+          ctx.destroy_region_deferred(local[static_cast<std::size_t>(v)]);
+        }
+      }
+    }
+    ctx.execution_fence();
+  });
+  EXPECT_TRUE(stats.completed);
+  EXPECT_FALSE(stats.determinism_violation);
+  for (RegionTreeId v : victims) {
+    EXPECT_TRUE(hp->runtime.forest().tree_destroyed(v));
+  }
+}
+
+TEST(DeferredDeletion, NoRequestsMeansNoPollerCost) {
+  Harness h(2);
+  const FunctionId fn = h.functions.register_simple("t", us(1), 0.0);
+  const auto stats = h.runtime.execute([&](Context& ctx) {
+    TaskLaunch launch;
+    launch.fn = fn;
+    ctx.launch(launch);
+    ctx.execution_fence();
+  });
+  EXPECT_TRUE(stats.completed);
+}
+
+// ------------------------------------------------------------ death tests
+
+using SideEffectsDeathTest = ::testing::Test;
+
+TEST(SideEffectsDeathTest, ReducingInvalidFutureMapAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Harness h(1);
+        h.runtime.execute([&](Context& ctx) {
+          ctx.reduce_future_map(FutureMap{}, ReduceOp::Sum);
+        });
+      },
+      "invalid future map");
+}
+
+TEST(SideEffectsDeathTest, MismatchedEndTraceAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Harness h(1);
+        h.runtime.execute([&](Context& ctx) {
+          ctx.begin_trace(TraceId(1));
+          ctx.end_trace(TraceId(2));
+        });
+      },
+      "mismatched end_trace");
+}
+
+TEST(SideEffectsDeathTest, PartitionEscapingParentAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        rt::RegionForest forest;
+        FieldSpaceId fs = forest.create_field_space();
+        RegionTreeId tree = forest.create_tree(rt::Rect::r1(0, 9), fs);
+        forest.create_partition(forest.root(tree), {rt::Rect::r1(5, 15)}, true);
+      },
+      "escapes parent");
+}
+
+TEST(SideEffectsDeathTest, DoubleDestroyAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        rt::RegionForest forest;
+        FieldSpaceId fs = forest.create_field_space();
+        RegionTreeId tree = forest.create_tree(rt::Rect::r1(0, 9), fs);
+        forest.destroy_tree(tree);
+        forest.destroy_tree(tree);
+      },
+      "double destroy");
+}
+
+TEST(SideEffectsDeathTest, WaitingOnInvalidFutureAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Harness h(1);
+        h.runtime.execute([&](Context& ctx) { ctx.get_future(Future{}); });
+      },
+      "invalid future");
+}
+
+}  // namespace
+}  // namespace dcr::core

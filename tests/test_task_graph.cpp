@@ -1,0 +1,112 @@
+// Unit tests for the task graph structure and its partial-order utilities.
+#include <gtest/gtest.h>
+
+#include "runtime/task_graph.hpp"
+
+namespace dcr::rt {
+namespace {
+
+TaskGraph diamond() {
+  TaskGraph g;
+  for (std::uint64_t i = 0; i < 4; ++i) g.add_task(TaskId(i));
+  g.add_edge(TaskId(0), TaskId(1));
+  g.add_edge(TaskId(0), TaskId(2));
+  g.add_edge(TaskId(1), TaskId(3));
+  g.add_edge(TaskId(2), TaskId(3));
+  return g;
+}
+
+TEST(TaskGraph, BasicStructure) {
+  TaskGraph g = diamond();
+  EXPECT_EQ(g.num_tasks(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(g.has_edge(TaskId(0), TaskId(1)));
+  EXPECT_FALSE(g.has_edge(TaskId(1), TaskId(0)));
+  EXPECT_EQ(g.predecessors(TaskId(3)).size(), 2u);
+  EXPECT_EQ(g.successors(TaskId(0)).size(), 2u);
+}
+
+TEST(TaskGraph, Equality) {
+  EXPECT_EQ(diamond(), diamond());
+  TaskGraph g = diamond();
+  g.add_edge(TaskId(0), TaskId(3));
+  EXPECT_FALSE(g == diamond());
+}
+
+TEST(TaskGraph, TopologicalOrderRespectsEdges) {
+  const TaskGraph g = diamond();
+  const auto order = g.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  auto pos = [&](TaskId t) {
+    return std::find(order.begin(), order.end(), t) - order.begin();
+  };
+  EXPECT_LT(pos(TaskId(0)), pos(TaskId(1)));
+  EXPECT_LT(pos(TaskId(0)), pos(TaskId(2)));
+  EXPECT_LT(pos(TaskId(1)), pos(TaskId(3)));
+  EXPECT_LT(pos(TaskId(2)), pos(TaskId(3)));
+}
+
+TEST(TaskGraph, AcyclicityDetection) {
+  EXPECT_TRUE(diamond().is_acyclic());
+  TaskGraph g;
+  g.add_task(TaskId(0));
+  g.add_task(TaskId(1));
+  g.add_edge(TaskId(0), TaskId(1));
+  g.add_edge(TaskId(1), TaskId(0));
+  EXPECT_FALSE(g.is_acyclic());
+}
+
+TEST(TaskGraph, Reachability) {
+  const TaskGraph g = diamond();
+  EXPECT_TRUE(g.reaches(TaskId(0), TaskId(3)));
+  EXPECT_TRUE(g.reaches(TaskId(2), TaskId(3)));
+  EXPECT_FALSE(g.reaches(TaskId(1), TaskId(2)));
+  EXPECT_TRUE(g.reaches(TaskId(1), TaskId(1)));
+}
+
+TEST(TaskGraph, TransitiveClosure) {
+  const TaskGraph c = diamond().transitive_closure();
+  EXPECT_TRUE(c.has_edge(TaskId(0), TaskId(3)));
+  EXPECT_EQ(c.num_edges(), 5u);
+}
+
+TEST(TaskGraph, TransitiveReductionRemovesRedundantEdges) {
+  TaskGraph g = diamond();
+  g.add_edge(TaskId(0), TaskId(3));  // redundant through 1 and 2
+  const TaskGraph r = g.transitive_reduction();
+  EXPECT_FALSE(r.has_edge(TaskId(0), TaskId(3)));
+  EXPECT_EQ(r, diamond());
+  EXPECT_TRUE(r.same_partial_order(g));
+}
+
+TEST(TaskGraph, SamePartialOrderModuloTransitivity) {
+  TaskGraph g = diamond();
+  g.add_edge(TaskId(0), TaskId(3));
+  EXPECT_TRUE(g.same_partial_order(diamond()));
+  TaskGraph h = diamond();
+  h.add_edge(TaskId(1), TaskId(2));  // genuinely new constraint
+  EXPECT_FALSE(h.same_partial_order(diamond()));
+}
+
+TEST(TaskGraph, ChainReduction) {
+  TaskGraph g;
+  for (std::uint64_t i = 0; i < 10; ++i) g.add_task(TaskId(i));
+  // Complete order: all i->j edges for i<j.
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    for (std::uint64_t j = i + 1; j < 10; ++j) g.add_edge(TaskId(i), TaskId(j));
+  }
+  const TaskGraph r = g.transitive_reduction();
+  EXPECT_EQ(r.num_edges(), 9u);  // a simple chain
+  EXPECT_TRUE(r.same_partial_order(g));
+}
+
+TEST(TaskGraph, EmptyGraph) {
+  TaskGraph g;
+  EXPECT_EQ(g.num_tasks(), 0u);
+  EXPECT_TRUE(g.is_acyclic());
+  EXPECT_TRUE(g.topological_order().empty());
+  EXPECT_EQ(g.transitive_reduction(), g);
+}
+
+}  // namespace
+}  // namespace dcr::rt

@@ -1,0 +1,82 @@
+// Tests for the execution-timeline profiler (Legion-Prof-style interval
+// capture and Gantt rendering).
+#include <gtest/gtest.h>
+
+#include "apps/stencil.hpp"
+#include "dcr/runtime.hpp"
+#include "sim/timeline.hpp"
+
+namespace dcr::sim {
+namespace {
+
+TEST(Timeline, RecordsIntervalsAndUtilization) {
+  Timeline tl;
+  tl.record(ProcId(0), 0, 50, "a");
+  tl.record(ProcId(0), 50, 100, "b");
+  tl.record(ProcId(1), 25, 75, "c");
+  EXPECT_EQ(tl.intervals().size(), 3u);
+  EXPECT_EQ(tl.span_end(), 100u);
+  const auto util = tl.utilization();
+  EXPECT_DOUBLE_EQ(util.at(ProcId(0)), 1.0);
+  EXPECT_DOUBLE_EQ(util.at(ProcId(1)), 0.5);
+}
+
+TEST(Timeline, RenderShowsOneRowPerProcessor) {
+  Timeline tl;
+  tl.record(ProcId(0), 0, 100, "add_one");
+  tl.record(ProcId(1), 50, 100, "mul_two");
+  const std::string gantt = tl.render(20);
+  EXPECT_NE(gantt.find("p0 |"), std::string::npos);
+  EXPECT_NE(gantt.find("p1 |"), std::string::npos);
+  EXPECT_NE(gantt.find('a'), std::string::npos);  // add_one's first letter
+  EXPECT_NE(gantt.find('m'), std::string::npos);
+  EXPECT_NE(gantt.find('.'), std::string::npos);  // p1's idle first half
+}
+
+TEST(Timeline, EmptyRendersEmpty) {
+  Timeline tl;
+  EXPECT_TRUE(tl.render().empty());
+  EXPECT_TRUE(tl.utilization().empty());
+}
+
+TEST(Timeline, ProcessorRecordsWhenAttached) {
+  Simulator sim;
+  Timeline tl;
+  Processor proc(sim, ProcId(3), NodeId(0), ProcKind::Compute);
+  proc.attach_timeline(&tl);
+  proc.enqueue(100, Event::no_event(), nullptr, "work");
+  proc.enqueue(50, Event::no_event(), nullptr, "more");
+  sim.run();
+  ASSERT_EQ(tl.intervals().size(), 2u);
+  EXPECT_EQ(tl.intervals()[0].start, 0u);
+  EXPECT_EQ(tl.intervals()[0].end, 100u);
+  EXPECT_EQ(tl.intervals()[0].label, "work");
+  EXPECT_EQ(tl.intervals()[1].start, 100u);  // FIFO
+  EXPECT_EQ(tl.intervals()[1].end, 150u);
+}
+
+TEST(Timeline, DcrRunProducesLabeledIntervals) {
+  Machine machine({.num_nodes = 2,
+                   .compute_procs_per_node = 1,
+                   .network = {.alpha = us(1), .ns_per_byte = 0.1}});
+  Timeline tl;
+  machine.attach_timeline(&tl);
+  core::FunctionRegistry functions;
+  const auto fns = apps::register_stencil_functions(functions, 10.0);
+  core::DcrRuntime rt(machine, functions);
+  const auto stats = rt.execute(
+      apps::make_stencil_app({.cells_per_tile = 1000, .tiles = 4, .steps = 3}, fns));
+  ASSERT_TRUE(stats.completed);
+  // Every point task (12 non-fill) shows up with its function name.
+  std::size_t named = 0;
+  for (const auto& iv : tl.intervals()) {
+    if (iv.label == "add_one" || iv.label == "mul_two" || iv.label == "stencil") ++named;
+  }
+  EXPECT_EQ(named, 4u * 3u * 3u);
+  // The Gantt renders without incident and mentions both compute processors.
+  const std::string gantt = tl.render(64);
+  EXPECT_FALSE(gantt.empty());
+}
+
+}  // namespace
+}  // namespace dcr::sim
