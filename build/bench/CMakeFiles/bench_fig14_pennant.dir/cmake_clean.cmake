@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_pennant.dir/bench_fig14_pennant.cpp.o"
+  "CMakeFiles/bench_fig14_pennant.dir/bench_fig14_pennant.cpp.o.d"
+  "bench_fig14_pennant"
+  "bench_fig14_pennant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_pennant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_soleil.dir/bench_fig16_soleil.cpp.o"
+  "CMakeFiles/bench_fig16_soleil.dir/bench_fig16_soleil.cpp.o.d"
+  "bench_fig16_soleil"
+  "bench_fig16_soleil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_soleil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_htr.dir/bench_fig17_htr.cpp.o"
+  "CMakeFiles/bench_fig17_htr.dir/bench_fig17_htr.cpp.o.d"
+  "bench_fig17_htr"
+  "bench_fig17_htr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_htr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_candle.dir/bench_fig18_candle.cpp.o"
+  "CMakeFiles/bench_fig18_candle.dir/bench_fig18_candle.cpp.o.d"
+  "bench_fig18_candle"
+  "bench_fig18_candle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_candle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_logreg.dir/bench_fig19_logreg.cpp.o"
+  "CMakeFiles/bench_fig19_logreg.dir/bench_fig19_logreg.cpp.o.d"
+  "bench_fig19_logreg"
+  "bench_fig19_logreg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_logreg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

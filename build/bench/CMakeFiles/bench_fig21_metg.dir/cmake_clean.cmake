@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_metg.dir/bench_fig21_metg.cpp.o"
+  "CMakeFiles/bench_fig21_metg.dir/bench_fig21_metg.cpp.o.d"
+  "bench_fig21_metg"
+  "bench_fig21_metg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_metg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

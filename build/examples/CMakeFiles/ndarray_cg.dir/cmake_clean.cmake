@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndarray_cg.dir/ndarray_cg.cpp.o"
+  "CMakeFiles/ndarray_cg.dir/ndarray_cg.cpp.o.d"
+  "ndarray_cg"
+  "ndarray_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndarray_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcr_analysis.dir/semantics.cpp.o"
+  "CMakeFiles/dcr_analysis.dir/semantics.cpp.o.d"
+  "libdcr_analysis.a"
+  "libdcr_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcr_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcr_baselines.dir/central.cpp.o"
+  "CMakeFiles/dcr_baselines.dir/central.cpp.o.d"
+  "libdcr_baselines.a"
+  "libdcr_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcr_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcr_core.dir/runtime.cpp.o"
+  "CMakeFiles/dcr_core.dir/runtime.cpp.o.d"
+  "libdcr_core.a"
+  "libdcr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

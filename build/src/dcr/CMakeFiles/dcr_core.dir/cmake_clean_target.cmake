@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdcr_core.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcr_runtime.dir/region.cpp.o"
+  "CMakeFiles/dcr_runtime.dir/region.cpp.o.d"
+  "libdcr_runtime.a"
+  "libdcr_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcr_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

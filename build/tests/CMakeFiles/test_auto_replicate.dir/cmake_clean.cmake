@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_auto_replicate.dir/test_auto_replicate.cpp.o"
+  "CMakeFiles/test_auto_replicate.dir/test_auto_replicate.cpp.o.d"
+  "test_auto_replicate"
+  "test_auto_replicate.pdb"
+  "test_auto_replicate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_auto_replicate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dcr_runtime.dir/test_dcr_runtime.cpp.o"
+  "CMakeFiles/test_dcr_runtime.dir/test_dcr_runtime.cpp.o.d"
+  "test_dcr_runtime"
+  "test_dcr_runtime.pdb"
+  "test_dcr_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dcr_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_dcr.dir/test_fuzz_dcr.cpp.o"
+  "CMakeFiles/test_fuzz_dcr.dir/test_fuzz_dcr.cpp.o.d"
+  "test_fuzz_dcr"
+  "test_fuzz_dcr.pdb"
+  "test_fuzz_dcr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_dcr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

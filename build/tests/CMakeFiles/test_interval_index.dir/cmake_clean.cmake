@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interval_index.dir/test_interval_index.cpp.o"
+  "CMakeFiles/test_interval_index.dir/test_interval_index.cpp.o.d"
+  "test_interval_index"
+  "test_interval_index.pdb"
+  "test_interval_index[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interval_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_legate.dir/test_legate.cpp.o"
+  "CMakeFiles/test_legate.dir/test_legate.cpp.o.d"
+  "test_legate"
+  "test_legate.pdb"
+  "test_legate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_legate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_physical.dir/test_physical.cpp.o"
+  "CMakeFiles/test_physical.dir/test_physical.cpp.o.d"
+  "test_physical"
+  "test_physical.pdb"
+  "test_physical[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_physical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

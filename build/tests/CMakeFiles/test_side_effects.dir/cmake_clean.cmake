@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_side_effects.dir/test_side_effects.cpp.o"
+  "CMakeFiles/test_side_effects.dir/test_side_effects.cpp.o.d"
+  "test_side_effects"
+  "test_side_effects.pdb"
+  "test_side_effects[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_side_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

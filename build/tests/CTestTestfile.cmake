@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_geometry[1]_include.cmake")
+include("/root/repo/build/tests/test_region[1]_include.cmake")
+include("/root/repo/build/tests/test_task_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_physical[1]_include.cmake")
+include("/root/repo/build/tests/test_semantics[1]_include.cmake")
+include("/root/repo/build/tests/test_dcr_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_interval_index[1]_include.cmake")
+include("/root/repo/build/tests/test_quiescence[1]_include.cmake")
+include("/root/repo/build/tests/test_param_sweeps[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_figures[1]_include.cmake")
+include("/root/repo/build/tests/test_side_effects[1]_include.cmake")
+include("/root/repo/build/tests/test_legate[1]_include.cmake")
+include("/root/repo/build/tests/test_auto_replicate[1]_include.cmake")
+include("/root/repo/build/tests/test_scaling_shapes[1]_include.cmake")
+include("/root/repo/build/tests/test_mapper[1]_include.cmake")
+include("/root/repo/build/tests/test_ring[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz_dcr[1]_include.cmake")
+include("/root/repo/build/tests/test_timeline[1]_include.cmake")
