@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -61,9 +62,13 @@ class DeterminismChecker {
       sim::merge_events(std::span<const sim::Event>(p.rank_done))
           .on_trigger([this, coll, what_copy, call_index] {
             ++checks_completed_;
-            if (!coll->result().ok && !violation_) {
-              violation_ = "control determinism violation at API call " +
-                           std::to_string(call_index) + ": " + what_copy;
+            if (!coll->result().ok) {
+              ++violations_;
+              if (!violation_) {
+                violation_ = "control determinism violation at API call " +
+                             std::to_string(call_index) + ": " + what_copy;
+                if (violation_handler_) violation_handler_(*violation_);
+              }
             }
             // Defer the erase out of the trigger cascade.
             sim_.schedule(0, [this, coll, call_index] { pending_.erase(call_index); });
@@ -79,8 +84,17 @@ class DeterminismChecker {
 
   std::uint64_t checks_issued() const { return checks_issued_; }
   std::uint64_t checks_completed() const { return checks_completed_; }
+  std::uint64_t violations() const { return violations_; }
   // Calls whose collectives never completed (shards diverged in call counts).
   std::size_t checks_unresolved() const { return pending_.size(); }
+
+  // Invoked once, when the *first* failed check resolves, with the violation
+  // message.  The runtime uses this to upgrade the violation flag into a
+  // graceful abort naming the first divergent API call (paper §3: "aborts
+  // with an error listing the operation that failed").
+  void set_violation_handler(std::function<void(const std::string&)> fn) {
+    violation_handler_ = std::move(fn);
+  }
 
  private:
   struct CheckVal {
@@ -102,6 +116,8 @@ class DeterminismChecker {
   std::optional<std::string> violation_;
   std::uint64_t checks_issued_ = 0;
   std::uint64_t checks_completed_ = 0;
+  std::uint64_t violations_ = 0;
+  std::function<void(const std::string&)> violation_handler_;
 };
 
 }  // namespace dcr::core

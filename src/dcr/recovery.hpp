@@ -1,0 +1,84 @@
+// Shard failure reporting and control-deterministic recovery bookkeeping.
+//
+// The paper's control programs are *replicated*: every shard runs the same
+// program and the replicated-creation heap plus the shared Philox RNG make
+// every decision a pure function of (program, shard id).  That is what makes
+// recovery cheap: a replacement shard does not need a memory image of its
+// predecessor — it re-executes the control program from the top and fast-
+// forwards through the prefix the dead shard had already committed, because
+// that prefix is fully determined.  The commit log below records exactly how
+// far the dead shard got (which operations it issued and which API-call
+// determinism checks it contributed to), so the replacement can skip the
+// side effects that already happened (agreed insertions, fence arrivals,
+// check contributions) and rejoin live collectives at the failure frontier.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dcr::core {
+
+// Per-shard record of externally visible progress.  Appended between process
+// block points, so a kill (which can only land while the shard process is
+// blocked) always observes a consistent snapshot: an operation is either
+// fully committed — inserted into the agreed schedule, its fence arrivals
+// registered — or not started.
+class CommitLog {
+ public:
+  // Max semantics: a replacement shard re-commits nothing, but a second crash
+  // of the same shard must never shrink the committed frontier.
+  void record_op(std::uint64_t op_index) { ops_ = std::max(ops_, op_index + 1); }
+  void record_call(std::uint64_t call_index) { calls_ = std::max(calls_, call_index + 1); }
+
+  // Epoch boundaries (mapping fences) let reports speak the application's
+  // language: "crashed in epoch 12" rather than "after op 3041".
+  void record_epoch(std::uint64_t op_index) { epoch_ops_.push_back(op_index); }
+
+  std::uint64_t committed_ops() const { return ops_; }
+  std::uint64_t committed_calls() const { return calls_; }
+  std::uint64_t epochs() const { return epoch_ops_.size(); }
+  const std::vector<std::uint64_t>& epoch_ops() const { return epoch_ops_; }
+
+ private:
+  std::uint64_t ops_ = 0;
+  std::uint64_t calls_ = 0;
+  std::vector<std::uint64_t> epoch_ops_;
+};
+
+// Structured description of one detected shard failure, surfaced through
+// DcrStats instead of a hang: which shard died, when we noticed, and how far
+// its control program had progressed.
+struct FailureReport {
+  ShardId shard;
+  NodeId node;
+  SimTime crashed_at = 0;    // when the fault plan killed the node
+  SimTime detected_at = 0;   // when the lease monitor declared it dead
+  std::uint64_t committed_ops = 0;       // operations the shard had issued
+  std::uint64_t committed_api_calls = 0; // determinism checks contributed
+  std::uint64_t committed_epochs = 0;    // epoch fences passed
+  std::uint64_t outstanding_ops = 0;     // machine-wide in-flight tasks at detection
+  bool recovered = false;
+  SimTime recovered_at = 0;  // replacement caught up to the failure frontier
+
+  std::string describe() const {
+    std::ostringstream os;
+    os << "shard " << shard.value << " on node " << node.value << " failed at t="
+       << crashed_at << "ns (detected t=" << detected_at << "ns) after "
+       << committed_ops << " ops, " << committed_api_calls << " api calls, "
+       << committed_epochs << " epochs; " << outstanding_ops
+       << " tasks in flight";
+    if (recovered) {
+      os << "; recovered at t=" << recovered_at << "ns";
+    } else {
+      os << "; not recovered";
+    }
+    return os.str();
+  }
+};
+
+}  // namespace dcr::core

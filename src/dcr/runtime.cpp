@@ -30,12 +30,35 @@ class ShardContext final : public Context {
 
   // Each API call charges control-program time, hashes its identity and
   // arguments, and feeds the determinism checker (paper §3).
+  //
+  // A replacement shard re-executes the control program from the top; calls
+  // below replay_calls_end were already contributed by the dead incarnation
+  // (they are in its commit log), so the replay charges only a fast-forward
+  // cost and does NOT re-arrive at the determinism collectives.  The call
+  // index sequence stays aligned with the live shards either way.
   void api_call(const char* name, const Hash128& h) {
+    const bool replaying = st_.api_calls < st_.replay_calls_end;
+    if (replaying) {
+      pctx_.delay(rt_.config_.replay_call_cost);
+      st_.api_calls++;
+      return;
+    }
     SimTime cost = rt_.config_.issue_cost;
     if (rt_.checker_.enabled()) cost += rt_.config_.hash_cost;
     pctx_.delay(cost);
-    rt_.checker_.record(shard_, st_.api_calls++, h, name);
+    rt_.checker_.record(shard_, st_.api_calls, h, name);
     if (rt_.checker_.enabled()) stats().determinism_checks++;
+    st_.commit.record_call(st_.api_calls);
+    st_.api_calls++;
+    st_.last_heard = pctx_.now();  // lease refresh, piggybacked on API traffic
+    if (st_.pending_report >= 0) {
+      // First live (non-replayed) call: the replacement has caught up to the
+      // failure frontier.
+      FailureReport& rep = rt_.failures_[static_cast<std::size_t>(st_.pending_report)];
+      rep.recovered = true;
+      rep.recovered_at = pctx_.now();
+      st_.pending_report = -1;
+    }
   }
 
   DcrStats& stats() { return rt_.stats_; }
@@ -572,7 +595,7 @@ void DcrRuntime::issue(ShardContext& ctx, OpPayload payload) {
     OpRecord del{OpId(st.next_op), OpPayload(it->second), false};
     st.next_op++;
     st.deletions_processed++;
-    process_op(ctx.shard(), del);
+    commit_op(ctx.shard(), del);
   }
 
   OpRecord op{OpId(st.next_op++), std::move(payload), false};
@@ -618,7 +641,8 @@ void DcrRuntime::issue(ShardContext& ctx, OpPayload payload) {
     } else if (st.trace_pos < rec.op_signatures.size() &&
                rec.op_signatures[st.trace_pos] == sig) {
       op.traced = true;
-      stats_.traced_ops++;
+      // A replayed (recovery) op re-derives the trace state without re-counting.
+      if (op.id.value >= st.replay_ops_end) stats_.traced_ops++;
     } else {
       // Behaviour changed: invalidate and re-record (Legion would abort the
       // replay and fall back to a fresh analysis).
@@ -629,7 +653,23 @@ void DcrRuntime::issue(ShardContext& ctx, OpPayload payload) {
     st.trace_pos++;
   }
 
-  process_op(ctx.shard(), op);
+  commit_op(ctx.shard(), op);
+}
+
+// Replay-aware dispatch: the dead incarnation's committed ops already did
+// their externally visible work (coarse analysis folded in, fence arrivals
+// registered, fine stage enqueued — all of which survive the process kill),
+// so a replacement skips them entirely; fresh ops process normally and are
+// appended to the commit log.  Commit happens in the same non-blocking region
+// as the op's api_call hash, so a crash never splits a call from its op.
+void DcrRuntime::commit_op(ShardId s, const OpRecord& op) {
+  ShardState& st = shard(s);
+  if (op.id.value < st.replay_ops_end) return;
+  process_op(s, op);
+  st.commit.record_op(op.id.value);
+  if (std::holds_alternative<FencePayload>(op.payload)) {
+    st.commit.record_epoch(op.id.value);
+  }
 }
 
 void DcrRuntime::process_op(ShardId s, const OpRecord& op) {
@@ -990,6 +1030,10 @@ void DcrRuntime::start_deferred_poller() {
   machine_.sim().spawn("deferred-poller", [this](sim::ProcessContext& pctx) {
     for (;;) {
       pctx.delay(deferred_poll_interval_);
+      if (aborted_) {
+        poller_active_ = false;
+        return;
+      }
       const bool progressed = check_deferred_consensus();
       // One consensus poll costs a small collective among the shards.
       auto poll = std::make_shared<sim::Collective<int>>(
@@ -1070,14 +1114,17 @@ void DcrRuntime::finalize_shard(ShardContext& ctx) {
 // ----------------------------------------------------------------- execute
 
 DcrStats DcrRuntime::execute(const ApplicationMain& main) {
-  for (std::size_t s = 0; s < num_shards(); ++s) {
-    machine_.sim().spawn(
-        "shard-" + std::to_string(s),
-        [this, s, &main](sim::ProcessContext& pctx) {
-          ShardContext ctx(*this, ShardId(static_cast<std::uint32_t>(s)), pctx);
-          main(ctx);
-          finalize_shard(ctx);
-        });
+  main_ = main;  // kept so replacement shards can re-execute the program
+  for (auto& st : shards_) spawn_shard(*st);
+  if (sim::FaultPlan* plan = machine_.faults()) {
+    DCR_CHECK(machine_.reliable() != nullptr)
+        << "fault plan attached without Machine::install_faults";
+    plan->on_crash([this](NodeId n, SimTime t) { on_node_crash(n, t); });
+    start_monitor();
+  }
+  if (config_.halt_on_violation && checker_.enabled()) {
+    checker_.set_violation_handler(
+        [this](const std::string& msg) { abort_execution(msg); });
   }
   stats_.makespan = machine_.sim().run();
 
@@ -1094,7 +1141,192 @@ DcrStats DcrRuntime::execute(const ApplicationMain& main) {
     stats_.analysis_busy += machine_.analysis_proc(NodeId(static_cast<std::uint32_t>(n))).busy_time();
   }
   stats_.compute_busy = machine_.total_compute_busy();
+
+  stats_.aborted = aborted_;
+  stats_.abort_message = abort_message_;
+  if (aborted_) stats_.completed = false;
+  stats_.failures = failures_;
+  stats_.failures_detected = failures_.size();
+  if (const sim::FaultPlan* plan = machine_.faults()) {
+    stats_.messages_dropped = plan->stats().drops + plan->stats().blackouts;
+  }
+  if (const sim::ReliableDelivery* rel = machine_.reliable()) {
+    stats_.retransmits = rel->stats().retransmits;
+  }
   return stats_;
+}
+
+// ------------------------------------------------ failure detection/recovery
+
+void DcrRuntime::spawn_shard(ShardState& st) {
+  std::string name = "shard-" + std::to_string(st.id.value);
+  if (st.incarnation > 0) name += "#" + std::to_string(st.incarnation);
+  st.process = &machine_.sim().spawn(
+      std::move(name), [this, sp = &st](sim::ProcessContext& pctx) {
+        ShardContext ctx(*this, sp->id, pctx);
+        main_(ctx);
+        finalize_shard(ctx);
+      });
+}
+
+// Fired by the fault plan at crash time: the node is fail-stop, so every
+// control process hosted there dies mid-flight.  Detection is NOT free here —
+// peers only learn of the death through the lease monitor below.
+void DcrRuntime::on_node_crash(NodeId node, SimTime t) {
+  for (auto& stp : shards_) {
+    ShardState& st = *stp;
+    if (st.node != node || st.crashed) continue;
+    st.crashed = true;
+    st.crashed_at = t;
+    if (st.process && !st.process->finished()) st.process->kill();
+  }
+}
+
+void DcrRuntime::start_monitor() {
+  machine_.sim().spawn("failure-monitor", [this](sim::ProcessContext& pctx) {
+    for (;;) {
+      pctx.delay(config_.lease_interval);
+      if (aborted_) return;
+      bool all_done = true;
+      for (const auto& st : shards_) all_done = all_done && st->done && !st->crashed;
+      if (all_done) return;
+      const SimTime now = pctx.now();
+      for (auto& stp : shards_) {
+        ShardState& st = *stp;
+        if (st.dead || st.probe_inflight) continue;
+        // A finished shard stops refreshing its lease by construction; only
+        // chase it if its node actually died (it may still owe collective
+        // relay hops to its peers).
+        if (st.done && !st.crashed) continue;
+        if (now - st.last_heard < config_.lease_timeout) continue;
+        probe_shard(st);
+      }
+    }
+  });
+}
+
+std::optional<NodeId> DcrRuntime::probe_source(NodeId target) const {
+  for (const auto& st : shards_) {
+    if (st->dead || st->crashed || st->node == target) continue;
+    if (machine_.faults()->node_dark(st->node, machine_.sim().now())) continue;
+    return st->node;
+  }
+  return std::nullopt;
+}
+
+// A stale lease alone is not proof of death — the shard may simply be blocked
+// waiting on a future.  The monitor pings the suspect's node over the
+// reliable transport (with a tight retry budget); an ack refreshes the lease,
+// exhaustion of the budget is the declaration of death.
+void DcrRuntime::probe_shard(ShardState& st) {
+  const std::optional<NodeId> src = probe_source(st.node);
+  if (!src) return;  // no live peer to probe from; try again next scan
+  st.probe_inflight = true;
+  sim::ReliableParams probe_params = machine_.reliable()->params();
+  probe_params.max_attempts = config_.probe_attempts;
+  auto t = machine_.reliable()->transfer(*src, st.node, /*bytes=*/64, &probe_params);
+  t.acked.on_trigger([this, sp = &st] {
+    sp->probe_inflight = false;
+    sp->last_heard = machine_.sim().now();
+  });
+  t.failed.on_trigger([this, sp = &st] {
+    sp->probe_inflight = false;
+    if (!sp->dead) declare_dead(*sp);
+  });
+}
+
+void DcrRuntime::declare_dead(ShardState& st) {
+  if (st.dead) return;
+  st.dead = true;
+  // Fence the old incarnation even if the node is merely unreachable (a long
+  // outage, not a crash): a zombie control program issuing ops concurrently
+  // with its replacement would corrupt the replicated state.
+  if (st.process && !st.process->finished()) st.process->kill();
+
+  FailureReport rep;
+  rep.shard = st.id;
+  rep.node = st.node;
+  rep.crashed_at = st.crashed ? st.crashed_at : machine_.sim().now();
+  rep.detected_at = machine_.sim().now();
+  rep.committed_ops = st.commit.committed_ops();
+  rep.committed_api_calls = st.commit.committed_calls();
+  rep.committed_epochs = st.commit.epochs();
+  rep.outstanding_ops = quiescence_.outstanding();
+  failures_.push_back(rep);
+
+  if (!config_.auto_recover) {
+    abort_execution("shard failure detected: " + rep.describe());
+    return;
+  }
+  start_recovery(st);
+}
+
+// Control-deterministic recovery: bring the node back, reset the replayable
+// cursors, and re-run the control program from the top.  The replicated-
+// creation heap, futures map, shared coarse state, and fence collectives all
+// survive in the runtime, so the replay is pure fast-forwarding: it re-derives
+// shard-local state (cursors, trace signatures, RNG position) and skips every
+// externally visible side effect below the committed frontier.
+void DcrRuntime::start_recovery(ShardState& st) {
+  const std::size_t report_idx = failures_.size() - 1;
+  machine_.sim().schedule(config_.restart_delay, [this, sp = &st, report_idx] {
+    if (aborted_) return;
+    ShardState& st = *sp;
+    machine_.faults()->restart_node(st.node, machine_.sim().now());
+    st.crashed = false;
+    st.dead = false;
+    st.last_heard = machine_.sim().now();
+    stats_.recoveries++;
+    if (st.done) {
+      // The shard had already finished; restarting the node just restores its
+      // relay duties in still-pending collectives.  Nothing to replay.
+      failures_[report_idx].recovered = true;
+      failures_[report_idx].recovered_at = machine_.sim().now();
+      return;
+    }
+    st.incarnation++;
+    st.replay_ops_end = st.commit.committed_ops();
+    st.replay_calls_end = st.commit.committed_calls();
+    // Reset everything the control program re-derives.  fine_tail and the
+    // commit log survive: the fine pipeline keeps draining under the
+    // replacement, and the committed frontier must never move backwards.
+    st.next_creation = 0;
+    st.next_future = 0;
+    st.next_future_map = 0;
+    st.next_op = 0;
+    st.api_calls = 0;
+    st.rng = std::make_unique<Philox4x32>(/*seed=*/0x5eed, /*stream=*/0);
+    st.active_trace.reset();
+    st.trace_pos = 0;
+    st.traces.clear();
+    st.deferred_requests.clear();
+    st.deletions_processed = 0;
+    st.main_returned = false;
+    st.pending_report = static_cast<std::int64_t>(report_idx);
+    if (st.replay_calls_end == 0) {
+      // Crashed before the first API call: nothing to fast-forward through.
+      failures_[report_idx].recovered = true;
+      failures_[report_idx].recovered_at = machine_.sim().now();
+      st.pending_report = -1;
+    }
+    spawn_shard(st);
+  });
+}
+
+// Graceful abort: record the reason, then kill every shard's control process
+// so the simulation drains instead of hanging on collectives that can never
+// complete.  The kill is deferred to a fresh calendar item because an abort
+// can be requested from inside a trigger cascade while a process is running
+// (e.g. a determinism check resolving during another shard's API call).
+void DcrRuntime::abort_execution(std::string reason) {
+  if (aborted_) return;
+  aborted_ = true;
+  abort_message_ = std::move(reason);
+  machine_.sim().schedule(0, [this] {
+    for (auto& st : shards_) {
+      if (st->process && !st->process->finished()) st->process->kill();
+    }
+  });
 }
 
 }  // namespace dcr::core

@@ -36,6 +36,7 @@
 #include "dcr/api.hpp"
 #include "dcr/determinism.hpp"
 #include "dcr/mapper.hpp"
+#include "dcr/recovery.hpp"
 #include "dcr/sharding.hpp"
 #include "dcr/user_tracker.hpp"
 #include "runtime/physical.hpp"
@@ -84,6 +85,19 @@ struct DcrConfig {
   // processor placement.  Must be deterministic; not owned.  nullptr = the
   // default policies.
   Mapper* mapper = nullptr;
+
+  // ---- fault tolerance (active when Machine::install_faults was called) ----
+  bool auto_recover = true;          // respawn dead shards vs graceful abort
+  SimTime lease_interval = us(100);  // failure-monitor scan period
+  SimTime lease_timeout = us(500);   // stale lease age that triggers a probe
+  SimTime restart_delay = us(200);   // node reboot / failover latency
+  SimTime replay_call_cost = ns(20); // fast-forward cost per replayed API call
+  // Monitor probes use a tight retry budget so detection outruns the
+  // (much larger) give-up budget of ordinary data transfers.
+  std::uint32_t probe_attempts = 4;
+  // Upgrade a failed determinism check from a flag to a graceful abort that
+  // names the first divergent API call (paper §3 semantics).
+  bool halt_on_violation = true;
 };
 
 struct DcrStats {
@@ -102,6 +116,15 @@ struct DcrStats {
   bool completed = false;                // every shard ran to completion
   bool determinism_violation = false;
   std::string violation_message;
+
+  // Fault tolerance.
+  std::uint64_t failures_detected = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t messages_dropped = 0;  // fault-plan drops + blackouts
+  std::uint64_t retransmits = 0;       // reliable-transport resends
+  bool aborted = false;                // graceful abort (violation / detection)
+  std::string abort_message;
+  std::vector<FailureReport> failures;
 };
 
 class DcrRuntime {
@@ -240,6 +263,18 @@ class DcrRuntime {
     std::uint64_t deletions_processed = 0;
     bool main_returned = false;
     bool done = false;
+    // ---- fault tolerance (dcr/recovery.hpp) ----
+    sim::SimProcess* process = nullptr;  // current incarnation's control process
+    bool crashed = false;                // node died while hosting this shard
+    bool dead = false;                   // declared dead by the lease monitor
+    bool probe_inflight = false;         // monitor ping outstanding
+    std::uint32_t incarnation = 0;       // bumped per replacement
+    std::uint64_t replay_ops_end = 0;    // replay skips ops below this index
+    std::uint64_t replay_calls_end = 0;  // replay skips API calls below this
+    SimTime last_heard = 0;              // lease, refreshed on every API call
+    SimTime crashed_at = 0;
+    std::int64_t pending_report = -1;    // failures_ index awaiting recovery
+    CommitLog commit;
   };
 
   // Futures: broadcast/all-reduce collectives of doubles among shards.  The
@@ -303,6 +338,19 @@ class DcrRuntime {
   void start_deferred_poller();
   bool check_deferred_consensus();
 
+  // ---- fault tolerance: detection and control-deterministic recovery ----
+  void spawn_shard(ShardState& st);
+  // Replay-aware process_op: skips ops the dead incarnation already committed
+  // and appends fresh ops to the commit log.
+  void commit_op(ShardId s, const OpRecord& op);
+  void on_node_crash(NodeId node, SimTime t);
+  void start_monitor();
+  void probe_shard(ShardState& st);
+  std::optional<NodeId> probe_source(NodeId target) const;
+  void declare_dead(ShardState& st);
+  void start_recovery(ShardState& st);
+  void abort_execution(std::string reason);
+
   sim::Machine& machine_;
   FunctionRegistry& functions_;
   DcrConfig config_;
@@ -337,6 +385,11 @@ class DcrRuntime {
   SimTime deferred_poll_interval_ = 0;
   bool poller_active_ = false;
   bool deferred_drained_ = false;
+
+  ApplicationMain main_;  // kept for respawning replacement shards
+  std::vector<FailureReport> failures_;
+  bool aborted_ = false;
+  std::string abort_message_;
 
   DcrStats stats_;
   std::map<FunctionId, FunctionProfile> profile_;

@@ -60,6 +60,13 @@ class Collective {
 
   std::size_t num_ranks() const { return ranks_.size(); }
 
+  // Whether rank `r` has already contributed (recovery uses this to rejoin a
+  // replacement shard into pending collectives without double-arriving).
+  bool has_arrived(std::size_t rank) const {
+    DCR_CHECK(rank < ranks_.size());
+    return ranks_[rank].arrived;
+  }
+
   // Rank `r` contributes its value; the returned event triggers when the
   // combined result is available at rank r's node.  Each rank must arrive
   // exactly once.  (Broadcast: only rank 0's value matters; other ranks
@@ -191,6 +198,7 @@ class FenceCollective {
 
   Event arrive(std::size_t rank) { return impl_.arrive(rank, Unit{}); }
   std::size_t num_ranks() const { return impl_.num_ranks(); }
+  bool has_arrived(std::size_t rank) const { return impl_.has_arrived(rank); }
 
  private:
   struct Unit {};

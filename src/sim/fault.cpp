@@ -1,0 +1,109 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dcr::sim {
+
+namespace {
+
+// Map a 32-bit Philox word to a uniform double in [0, 1).
+double to_unit(std::uint32_t w) {
+  return static_cast<double>(w) * 0x1.0p-32;
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(FaultConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed, /*stream=*/0xFA17u) {
+  DCR_CHECK(config_.drop_rate >= 0.0 && config_.drop_rate < 1.0)
+      << "drop_rate must be in [0, 1)";
+  DCR_CHECK(config_.jitter_rate >= 0.0 && config_.jitter_rate <= 1.0);
+  for (const NodeSlowdown& s : config_.slowdowns) {
+    DCR_CHECK(s.factor >= 1.0) << "slowdown factor must be >= 1";
+  }
+}
+
+void FaultPlan::on_crash(std::function<void(NodeId, SimTime)> fn) {
+  crash_listeners_.push_back(std::move(fn));
+}
+
+void FaultPlan::arm(Simulator& sim) {
+  DCR_CHECK(!armed_) << "fault plan armed twice";
+  armed_ = true;
+  for (const NodeCrash& c : config_.crashes) {
+    sim.schedule_at(c.at, [this, c, &sim] {
+      if (c.node.value >= crashed_.size()) crashed_.resize(c.node.value + 1, false);
+      if (crashed_[c.node.value]) return;  // already down (duplicate schedule)
+      crashed_[c.node.value] = true;
+      ++stats_.crashes_injected;
+      for (const auto& fn : crash_listeners_) fn(c.node, sim.now());
+    });
+  }
+}
+
+FaultPlan::MessageFate FaultPlan::classify(std::uint64_t seq, NodeId src, NodeId dst,
+                                           SimTime t) {
+  MessageFate fate;
+  if (node_dark(src, t) || node_dark(dst, t)) {
+    ++stats_.blackouts;
+    fate.drop = true;
+    return fate;
+  }
+  if (config_.drop_rate == 0.0 && config_.jitter_rate == 0.0) return fate;
+  // One Philox block per message: word 0 decides drop, word 1 decides jitter,
+  // words 2..3 size the jitter.  Random access by sequence number keeps the
+  // fate independent of the order in which faults are queried.
+  const Philox4x32::Counter block = rng_.block_at(seq);
+  if (to_unit(block[0]) < config_.drop_rate) {
+    ++stats_.drops;
+    fate.drop = true;
+    return fate;
+  }
+  if (config_.jitter_rate > 0.0 && to_unit(block[1]) < config_.jitter_rate &&
+      config_.max_jitter > 0) {
+    const std::uint64_t wide =
+        (static_cast<std::uint64_t>(block[2]) << 32) | block[3];
+    fate.extra_delay = wide % (config_.max_jitter + 1);
+    ++stats_.jittered;
+    stats_.jitter_added += fate.extra_delay;
+  }
+  return fate;
+}
+
+bool FaultPlan::node_dark(NodeId n, SimTime t) const {
+  if (n.value < crashed_.size() && crashed_[n.value]) return true;
+  for (const NodeOutage& o : config_.outages) {
+    if (o.node == n && t >= o.start && t < o.end) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::node_crashed(NodeId n) const {
+  return n.value < crashed_.size() && crashed_[n.value];
+}
+
+double FaultPlan::slowdown(NodeId n, SimTime t) const {
+  double factor = 1.0;
+  for (const NodeSlowdown& s : config_.slowdowns) {
+    if (s.node == n && t >= s.start && t < s.end) factor = std::max(factor, s.factor);
+  }
+  return factor;
+}
+
+SimTime FaultPlan::scaled_duration(NodeId n, SimTime t, SimTime duration) const {
+  const double factor = slowdown(n, t);
+  if (factor == 1.0) return duration;
+  return static_cast<SimTime>(static_cast<double>(duration) * factor);
+}
+
+void FaultPlan::restart_node(NodeId n, SimTime) {
+  if (n.value < crashed_.size() && crashed_[n.value]) {
+    crashed_[n.value] = false;
+    ++stats_.restarts;
+  }
+}
+
+}  // namespace dcr::sim

@@ -1,0 +1,124 @@
+// Deterministic fault injection for the simulated cluster.
+//
+// A FaultPlan is the adversarial half of the simulation: it decides, as a
+// pure function of a seed and a per-message sequence number, which
+// point-to-point messages are dropped or delayed, which nodes run slow
+// (stragglers), which NICs go dark for a window (transient outages), and
+// which nodes crash outright at scheduled virtual times.  Decisions are
+// driven by the same Philox counter-based RNG the replicated control
+// programs use (common/philox.hpp), so an entire faulty execution —
+// including every retry, lease expiry, and recovery — replays bit-identically
+// from (plan seed, schedule).
+//
+// The plan is passive until attached: `Network::send` consults it per message
+// (network.hpp), `Processor::enqueue` consults it per work item
+// (processor.hpp), and `arm()` schedules the crash/outage calendar events.
+// With no plan attached every hook is a null-pointer branch: the happy path
+// stays bit-identical to a fault-free build (zero messages, zero virtual
+// time, zero RNG draws).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/philox.hpp"
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace dcr::sim {
+
+// A transient NIC outage: node `node` neither sends nor receives during
+// [start, end).  Reliable transports ride it out with retries.
+struct NodeOutage {
+  NodeId node;
+  SimTime start = 0;
+  SimTime end = 0;
+};
+
+// A straggler window: work enqueued on `node`'s processors during
+// [start, end) takes `factor`x as long (factor >= 1).
+struct NodeSlowdown {
+  NodeId node;
+  SimTime start = 0;
+  SimTime end = 0;
+  double factor = 1.0;
+};
+
+// A fail-stop crash: at time `at` the node's NIC goes dark permanently (until
+// a recovery layer calls restart_node) and crash listeners fire so the
+// runtime can kill the control processes hosted there.
+struct NodeCrash {
+  NodeId node;
+  SimTime at = 0;
+};
+
+struct FaultConfig {
+  std::uint64_t seed = 0;
+  double drop_rate = 0.0;       // iid per-message drop probability
+  double jitter_rate = 0.0;     // iid probability of extra delivery delay
+  SimTime max_jitter = us(20);  // extra delay drawn uniform from [0, max_jitter]
+  std::vector<NodeOutage> outages;
+  std::vector<NodeSlowdown> slowdowns;
+  std::vector<NodeCrash> crashes;
+};
+
+struct FaultStats {
+  std::uint64_t drops = 0;            // messages lost to the drop probability
+  std::uint64_t blackouts = 0;        // messages lost to dark NICs
+  std::uint64_t jittered = 0;         // messages delivered late
+  SimTime jitter_added = 0;           // total extra delay injected
+  std::uint64_t crashes_injected = 0; // scheduled crashes that fired
+  std::uint64_t restarts = 0;         // nodes brought back by recovery
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(FaultConfig config = {});
+
+  const FaultConfig& config() const { return config_; }
+
+  // Listener invoked (on the simulation thread) when a scheduled crash fires.
+  void on_crash(std::function<void(NodeId, SimTime)> fn);
+
+  // Schedule the crash calendar into `sim`.  Called once, by whoever attaches
+  // the plan to a machine (Machine::install_faults).
+  void arm(Simulator& sim);
+  bool armed() const { return armed_; }
+
+  // ---- per-message fate (pure function of seq + config + liveness) ----
+  struct MessageFate {
+    bool drop = false;
+    SimTime extra_delay = 0;
+  };
+  // `seq` is the network's monotone message sequence number; distinct
+  // messages get independent Philox blocks, so fates are deterministic and
+  // independent of calendar interleaving.
+  MessageFate classify(std::uint64_t seq, NodeId src, NodeId dst, SimTime t);
+
+  // A node is dark when crashed (and not restarted) or inside an outage
+  // window: its NIC neither sends nor receives.
+  bool node_dark(NodeId n, SimTime t) const;
+  bool node_crashed(NodeId n) const;
+
+  // Straggler factor (>= 1) for work starting on node n at time t.
+  double slowdown(NodeId n, SimTime t) const;
+  SimTime scaled_duration(NodeId n, SimTime t, SimTime duration) const;
+
+  // Recovery support: bring a crashed node's NIC back up (idempotent).
+  void restart_node(NodeId n, SimTime t);
+
+  const FaultStats& stats() const { return stats_; }
+  // Called by the network when a dark-NIC message is swallowed.
+  void count_blackout() { ++stats_.blackouts; }
+
+ private:
+  FaultConfig config_;
+  Philox4x32 rng_;  // counter-based: classify() uses random access, no state
+  std::vector<bool> crashed_;  // indexed by node id, grown on demand
+  std::vector<std::function<void(NodeId, SimTime)>> crash_listeners_;
+  FaultStats stats_;
+  bool armed_ = false;
+};
+
+}  // namespace dcr::sim

@@ -10,8 +10,10 @@
 
 #include "common/check.hpp"
 #include "common/types.hpp"
+#include "sim/fault.hpp"
 #include "sim/network.hpp"
 #include "sim/processor.hpp"
+#include "sim/reliable.hpp"
 #include "sim/simulator.hpp"
 
 namespace dcr::sim {
@@ -84,6 +86,25 @@ class Machine {
     }
   }
 
+  // Enable fault injection for this machine: attach `plan` to the network and
+  // every processor, arm its crash calendar, and install a reliable transport
+  // so remote traffic survives drops.  `plan` must outlive the machine.
+  void install_faults(FaultPlan& plan, ReliableParams reliable_params = {}) {
+    DCR_CHECK(faults_ == nullptr) << "faults installed twice";
+    faults_ = &plan;
+    network_.attach_faults(&plan);
+    for (auto& n : nodes_) {
+      n.analysis->attach_faults(&plan);
+      for (auto& p : n.compute) p->attach_faults(&plan);
+    }
+    reliable_ = std::make_unique<ReliableDelivery>(sim_, network_, reliable_params);
+    reliable_->install();
+    plan.arm(sim_);
+  }
+
+  FaultPlan* faults() { return faults_; }
+  ReliableDelivery* reliable() { return reliable_.get(); }
+
   // Aggregate compute busy-time across the machine (for efficiency metrics).
   SimTime total_compute_busy() const {
     SimTime total = 0;
@@ -98,6 +119,8 @@ class Machine {
   Simulator sim_;
   Network network_;
   std::vector<MachineNode> nodes_;
+  FaultPlan* faults_ = nullptr;            // not owned
+  std::unique_ptr<ReliableDelivery> reliable_;
 };
 
 }  // namespace dcr::sim

@@ -13,6 +13,15 @@
 // stencil codes) contend realistically, while small control messages (fences,
 // determinism-check hashes) are latency-bound.  Intra-node messages bypass
 // the NIC and cost a fixed local latency.
+//
+// Fault injection: when a FaultPlan is attached (fault.hpp), `raw_send`
+// consults it per message — drops, delay jitter, and dark-NIC windows — and a
+// lost message's delivery event simply never triggers, exactly what a sender
+// observes on a real lossy fabric.  A reliable transport (reliable.hpp) can
+// install itself as the send override so that all remote traffic — including
+// collectives and fences — gets ack/timeout/retransmit semantics on top of
+// the faulty raw channel.  With no plan and no override both hooks are a
+// single null check: the fault-free path is bit-identical to the seed model.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +30,7 @@
 
 #include "common/check.hpp"
 #include "common/types.hpp"
+#include "sim/fault.hpp"
 #include "sim/simulator.hpp"
 
 namespace dcr::sim {
@@ -35,6 +45,7 @@ struct NetworkStats {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
   std::uint64_t local_messages = 0;
+  std::uint64_t lost_messages = 0;  // swallowed by fault injection
 };
 
 class Network {
@@ -48,19 +59,47 @@ class Network {
   const NetworkParams& params() const { return params_; }
   std::size_t num_nodes() const { return egress_free_.size(); }
 
+  // ---- fault hooks -------------------------------------------------------
+  // Attach a fault plan: raw sends consult it per message.  nullptr detaches.
+  void attach_faults(FaultPlan* plan) { faults_ = plan; }
+  FaultPlan* faults() { return faults_; }
+
+  // Route remote `send` calls through a reliable transport (reliable.hpp).
+  // The override receives (src, dst, bytes) and returns the delivery event.
+  using SendOverride = std::function<Event(NodeId, NodeId, std::uint64_t)>;
+  void set_send_override(SendOverride fn) { override_ = std::move(fn); }
+
   // Send `bytes` from src to dst; the returned event triggers at delivery.
+  // With a reliable override installed, remote messages are retransmitted
+  // until acknowledged; otherwise delivery is best-effort under faults.
   Event send(NodeId src, NodeId dst, std::uint64_t bytes) {
+    if (override_ && src != dst) return override_(src, dst, bytes);
+    return raw_send(src, dst, bytes);
+  }
+
+  // The physical channel: one transmission attempt, subject to fault
+  // injection, no retransmission.  A dropped message's event never triggers.
+  Event raw_send(NodeId src, NodeId dst, std::uint64_t bytes) {
     DCR_CHECK(src.value < egress_free_.size() && dst.value < ingress_free_.size());
     const SimTime now = sim_.now();
     if (src == dst) {
       ++stats_.local_messages;
       return sim_.timer(params_.local_latency);
     }
+    SimTime jitter = 0;
+    if (faults_) {
+      const FaultPlan::MessageFate fate = faults_->classify(msg_seq_++, src, dst, now);
+      if (fate.drop) {
+        ++stats_.lost_messages;
+        return UserEvent();  // never triggers: the sender observes nothing
+      }
+      jitter = fate.extra_delay;
+    }
     const auto ser = static_cast<SimTime>(static_cast<double>(bytes) * params_.ns_per_byte);
     const SimTime tx_start = std::max(now, egress_free_[src.value]);
     const SimTime tx_end = tx_start + ser;
     egress_free_[src.value] = tx_end;
-    const SimTime arrival = tx_end + params_.alpha;
+    const SimTime arrival = tx_end + params_.alpha + jitter;
     const SimTime delivery = std::max(arrival, ingress_free_[dst.value] + ser);
     ingress_free_[dst.value] = delivery;
 
@@ -68,7 +107,15 @@ class Network {
     stats_.bytes += bytes;
 
     UserEvent delivered;
-    sim_.schedule_at(delivery, [this, delivered] { delivered.trigger(sim_.now()); });
+    sim_.schedule_at(delivery, [this, dst, delivered] {
+      // A message in flight when the destination goes dark is lost.
+      if (faults_ && faults_->node_dark(dst, sim_.now())) {
+        ++stats_.lost_messages;
+        faults_->count_blackout();
+        return;
+      }
+      delivered.trigger(sim_.now());
+    });
     return delivered;
   }
 
@@ -97,6 +144,9 @@ class Network {
   std::vector<SimTime> egress_free_;
   std::vector<SimTime> ingress_free_;
   NetworkStats stats_;
+  FaultPlan* faults_ = nullptr;
+  SendOverride override_;
+  std::uint64_t msg_seq_ = 0;
 };
 
 }  // namespace dcr::sim

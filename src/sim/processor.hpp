@@ -14,6 +14,7 @@
 
 #include "common/check.hpp"
 #include "common/types.hpp"
+#include "sim/fault.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timeline.hpp"
 
@@ -40,6 +41,8 @@ class Processor {
     auto start_fn = [this, duration, done, body = std::move(body),
                      label = std::move(label)]() mutable {
       const SimTime start = std::max(sim_.now(), busy_until_);
+      // Straggler injection: work starting inside a slowdown window stretches.
+      if (faults_) duration = faults_->scaled_duration(node_, start, duration);
       const SimTime end = start + duration;
       busy_until_ = end;
       busy_time_ += duration;
@@ -62,6 +65,10 @@ class Processor {
   // detaches).
   void attach_timeline(Timeline* timeline) { timeline_ = timeline; }
 
+  // Consult `plan` for straggler windows when starting work (not owned;
+  // nullptr detaches).
+  void attach_faults(const FaultPlan* plan) { faults_ = plan; }
+
   // Earliest time a new item enqueued now would start.
   SimTime busy_until() const { return busy_until_; }
 
@@ -75,6 +82,7 @@ class Processor {
   NodeId node_;
   ProcKind kind_;
   Timeline* timeline_ = nullptr;
+  const FaultPlan* faults_ = nullptr;
   SimTime busy_until_ = 0;
   SimTime busy_time_ = 0;
   std::uint64_t tasks_run_ = 0;

@@ -16,6 +16,7 @@ class QuiescenceTracker {
 
   // Track `e`; the tracker is idle when every tracked event has triggered.
   void add(const Event& e) {
+    ++total_tracked_;
     if (e.has_triggered()) return;
     ++outstanding_;
     e.on_trigger([this] {
@@ -29,6 +30,7 @@ class QuiescenceTracker {
 
   bool idle() const { return outstanding_ == 0; }
   std::uint64_t outstanding() const { return outstanding_; }
+  std::uint64_t total_tracked() const { return total_tracked_; }
 
   // Event that triggers the next time the tracker becomes idle.  Callers
   // must re-check idle() afterwards (more work may have been added).
@@ -43,6 +45,7 @@ class QuiescenceTracker {
  private:
   Simulator& sim_;
   std::uint64_t outstanding_ = 0;
+  std::uint64_t total_tracked_ = 0;
   UserEvent idle_;
   bool idle_valid_ = false;
 };

@@ -1,0 +1,171 @@
+// Reliable delivery on top of the faulty raw channel.
+//
+// The fault plan (fault.hpp) makes `Network::raw_send` lossy; this layer puts
+// ack/timeout/retransmit semantics back on top so that collectives, fences,
+// and determinism-check traffic survive message drops and transient NIC
+// outages.  Installed via `Network::set_send_override`, it transparently
+// covers every remote message in the system without any call-site changes.
+//
+// Per transfer: the sender transmits the payload, arms a retransmission timer
+// with exponential backoff plus deterministic (Philox) jitter, and the
+// receiver acks each copy it sees — acking duplicates too, since the original
+// ack may itself have been dropped.  The receiver delivers only the first
+// copy.  After `max_attempts` unacknowledged transmissions the transfer gives
+// up: its `failed` event triggers and give-up listeners fire, which is the
+// signal the runtime's failure detector consumes — a peer that cannot be
+// reached within a full retry budget is presumed dead, exactly the lease
+// logic of dcr/runtime.cpp.
+//
+// Everything is deterministic: backoff jitter comes from a counter-based RNG
+// indexed by (transfer id, attempt), so a faulty run replays bit-identically.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/philox.hpp"
+#include "common/types.hpp"
+#include "sim/fault.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace dcr::sim {
+
+struct ReliableParams {
+  SimTime rto_initial = us(30);   // first retransmission timeout
+  double rto_backoff = 2.0;       // multiplier per failed attempt
+  SimTime rto_max = ms(2);        // backoff ceiling
+  double rto_jitter = 0.25;       // +/- uniform fraction added to each RTO
+  std::uint32_t max_attempts = 10;// transmissions before giving up
+  std::uint64_t ack_bytes = 16;   // size of an acknowledgement message
+  std::uint64_t seed = 0x5e11ab1e;// jitter RNG seed
+};
+
+struct ReliableStats {
+  std::uint64_t transfers = 0;
+  std::uint64_t retransmits = 0;    // transmissions beyond the first
+  std::uint64_t acks = 0;           // acks sent by receivers
+  std::uint64_t duplicates = 0;     // redundant copies suppressed at receivers
+  std::uint64_t give_ups = 0;       // transfers that exhausted the budget
+};
+
+class ReliableDelivery {
+ public:
+  // A transfer's observable outcomes.  `delivered` triggers when the first
+  // copy reaches the receiver (this is what Network::send returns to
+  // callers); `acked` when the sender learns of it; `failed` if the retry
+  // budget is exhausted first.  Exactly one of acked/failed triggers.
+  struct Transfer {
+    Event delivered;
+    Event acked;
+    Event failed;
+  };
+
+  ReliableDelivery(Simulator& sim, Network& net, ReliableParams params = {})
+      : sim_(sim), net_(net), params_(params),
+        rng_(params_.seed, /*stream=*/0xAC4Du) {}
+
+  // Route all remote Network::send traffic through this transport.
+  void install() {
+    net_.set_send_override([this](NodeId src, NodeId dst, std::uint64_t bytes) {
+      return transfer(src, dst, bytes).delivered;
+    });
+  }
+
+  // Listener invoked when a transfer exhausts its retry budget.
+  void on_give_up(std::function<void(NodeId src, NodeId dst, SimTime)> fn) {
+    give_up_listeners_.push_back(std::move(fn));
+  }
+
+  // Start a transfer.  `params` overrides the transport defaults for this
+  // transfer only (the failure detector probes with a tighter retry budget
+  // than bulk data, so detection outruns data-transfer give-up).
+  Transfer transfer(NodeId src, NodeId dst, std::uint64_t bytes,
+                    const ReliableParams* params = nullptr) {
+    ++stats_.transfers;
+    auto st = std::make_shared<State>();
+    st->id = next_id_++;
+    st->src = src;
+    st->dst = dst;
+    st->bytes = bytes;
+    st->params = params ? *params : params_;
+    attempt(st, 0);
+    return Transfer{st->delivered, st->acked, st->failed};
+  }
+
+  const ReliableStats& stats() const { return stats_; }
+  const ReliableParams& params() const { return params_; }
+
+ private:
+  struct State {
+    std::uint64_t id = 0;
+    NodeId src;
+    NodeId dst;
+    std::uint64_t bytes = 0;
+    ReliableParams params;
+    UserEvent delivered;
+    UserEvent acked;
+    UserEvent failed;
+    bool done = false;  // acked or failed: stop the timer chain
+  };
+
+  void attempt(const std::shared_ptr<State>& st, std::uint32_t n) {
+    if (st->done) return;
+    if (n > 0) ++stats_.retransmits;
+    // One transmission on the raw (lossy) channel.  If it lands, the receiver
+    // delivers the first copy and acks every copy.
+    net_.raw_send(st->src, st->dst, st->bytes).on_trigger([this, st] {
+      if (!st->delivered.has_triggered()) {
+        st->delivered.trigger(sim_.now());
+      } else {
+        ++stats_.duplicates;
+      }
+      ++stats_.acks;
+      net_.raw_send(st->dst, st->src, st->params.ack_bytes).on_trigger([this, st] {
+        if (st->done) return;
+        st->done = true;
+        st->acked.trigger(sim_.now());
+      });
+    });
+    // Arm the retransmission timer for this attempt.
+    const SimTime rto = rto_for(st->params, st->id, n);
+    sim_.schedule_at(sim_.now() + rto, [this, st, n] {
+      if (st->done) return;
+      if (n + 1 >= st->params.max_attempts) {
+        st->done = true;
+        ++stats_.give_ups;
+        st->failed.trigger(sim_.now());
+        for (const auto& fn : give_up_listeners_) fn(st->src, st->dst, sim_.now());
+        return;
+      }
+      attempt(st, n + 1);
+    });
+  }
+
+  SimTime rto_for(const ReliableParams& p, std::uint64_t id, std::uint32_t n) {
+    double rto = static_cast<double>(p.rto_initial);
+    for (std::uint32_t i = 0; i < n; ++i) rto *= p.rto_backoff;
+    rto = std::min(rto, static_cast<double>(p.rto_max));
+    if (p.rto_jitter > 0.0) {
+      // Counter-based jitter: indexed by (transfer, attempt), not draw order.
+      const Philox4x32::Counter block = rng_.block_at(id * 64 + n);
+      const double unit = static_cast<double>(block[0]) * 0x1.0p-32;  // [0,1)
+      rto *= 1.0 + p.rto_jitter * (2.0 * unit - 1.0);
+    }
+    return std::max<SimTime>(1, static_cast<SimTime>(rto));
+  }
+
+  Simulator& sim_;
+  Network& net_;
+  ReliableParams params_;
+  Philox4x32 rng_;
+  ReliableStats stats_;
+  std::vector<std::function<void(NodeId, NodeId, SimTime)>> give_up_listeners_;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace dcr::sim

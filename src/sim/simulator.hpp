@@ -77,6 +77,21 @@ class SimProcess {
   // Event that triggers when the process body returns.
   Event completion() const { return done_; }
 
+  // Kill this process from the simulator thread (fault injection).  Legal
+  // only while the process is not actively running — i.e. it is blocked in
+  // virtual time or has not started yet, which is always the case when a
+  // calendar callback (such as a scheduled crash) executes.  The body unwinds
+  // via ProcessKilled so destructors run; returns once the thread is done.
+  // The completion event never triggers for a killed process.
+  void kill() {
+    std::unique_lock lock(mutex_);
+    if (state_ == State::Finished) return;
+    DCR_CHECK(state_ != State::Running) << "cannot kill running process " << name_;
+    kill_ = true;
+    cv_.notify_all();
+    cv_.wait(lock, [this] { return state_ == State::Finished; });
+  }
+
  private:
   friend class Simulator;
   friend class ProcessContext;

@@ -1,0 +1,484 @@
+// Fault injection, failure detection, and control-deterministic recovery.
+//
+// Covers the full robustness stack: deterministic message fates and crash
+// calendars (sim/fault.hpp), ack/timeout/retransmit delivery (sim/reliable.hpp),
+// lease-based failure detection and replacement-shard replay
+// (dcr/runtime.cpp), and graceful aborts on determinism violations.  The
+// headline property, mirroring the paper's determinism guarantees: a run with
+// drops and a mid-flight shard crash realizes the *same task graph* as a
+// fault-free run.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apps/circuit.hpp"
+#include "apps/stencil.hpp"
+#include "common/philox.hpp"
+#include "dcr/runtime.hpp"
+#include "sim/fault.hpp"
+#include "sim/machine.hpp"
+#include "sim/reliable.hpp"
+
+namespace dcr::core {
+namespace {
+
+using apps::CircuitConfig;
+using apps::StencilConfig;
+using apps::make_circuit_app;
+using apps::make_stencil_app;
+using apps::register_circuit_functions;
+using apps::register_stencil_functions;
+
+sim::MachineConfig cluster(std::size_t nodes) {
+  return {.num_nodes = nodes,
+          .compute_procs_per_node = 1,
+          .network = {.alpha = us(1), .ns_per_byte = 0.1, .local_latency = ns(50)}};
+}
+
+// ---------------------------------------------------------------- sim layer
+
+TEST(FaultPlan, MessageFatesAreDeterministic) {
+  sim::FaultConfig cfg;
+  cfg.seed = 7;
+  cfg.drop_rate = 0.2;
+  cfg.jitter_rate = 0.5;
+  sim::FaultPlan a(cfg), b(cfg);
+  bool any_drop = false, any_jitter = false;
+  for (std::uint64_t seq = 0; seq < 1000; ++seq) {
+    const auto fa = a.classify(seq, NodeId(0), NodeId(1), 0);
+    const auto fb = b.classify(seq, NodeId(0), NodeId(1), 0);
+    EXPECT_EQ(fa.drop, fb.drop);
+    EXPECT_EQ(fa.extra_delay, fb.extra_delay);
+    any_drop = any_drop || fa.drop;
+    any_jitter = any_jitter || fa.extra_delay > 0;
+  }
+  EXPECT_TRUE(any_drop);
+  EXPECT_TRUE(any_jitter);
+  // Fates are random-access: querying out of order gives the same answers.
+  const auto f42 = a.classify(42, NodeId(0), NodeId(1), 0);
+  const auto g42 = b.classify(42, NodeId(0), NodeId(1), 0);
+  EXPECT_EQ(f42.drop, g42.drop);
+  EXPECT_EQ(f42.extra_delay, g42.extra_delay);
+}
+
+TEST(FaultPlan, OutageWindowsMakeNodesDark) {
+  sim::FaultConfig cfg;
+  cfg.outages.push_back({NodeId(1), us(10), us(20)});
+  sim::FaultPlan plan(cfg);
+  EXPECT_FALSE(plan.node_dark(NodeId(1), us(5)));
+  EXPECT_TRUE(plan.node_dark(NodeId(1), us(15)));
+  EXPECT_FALSE(plan.node_dark(NodeId(1), us(20)));
+  EXPECT_FALSE(plan.node_dark(NodeId(0), us(15)));
+}
+
+TEST(ReliableDelivery, DropsAreRetransmittedUntilDelivered) {
+  sim::Machine machine(cluster(2));
+  sim::FaultConfig fcfg;
+  fcfg.seed = 11;
+  fcfg.drop_rate = 0.3;  // drop data AND acks aggressively
+  sim::FaultPlan plan(fcfg);
+  machine.install_faults(plan);
+
+  const std::size_t kMessages = 200;
+  std::size_t delivered = 0, acked = 0, failed = 0;
+  for (std::size_t i = 0; i < kMessages; ++i) {
+    auto t = machine.reliable()->transfer(NodeId(0), NodeId(1), 256);
+    t.delivered.on_trigger([&] { ++delivered; });
+    t.acked.on_trigger([&] { ++acked; });
+    t.failed.on_trigger([&] { ++failed; });
+  }
+  machine.sim().run();
+  EXPECT_EQ(delivered, kMessages);  // every payload eventually lands
+  EXPECT_EQ(acked, kMessages);      // every sender eventually learns it
+  EXPECT_EQ(failed, 0u);
+  EXPECT_GT(machine.reliable()->stats().retransmits, 0u);
+  EXPECT_GT(plan.stats().drops, 0u);
+}
+
+TEST(ReliableDelivery, GivesUpOnPermanentlyDarkDestination) {
+  sim::Machine machine(cluster(2));
+  sim::FaultConfig fcfg;
+  fcfg.crashes.push_back({NodeId(1), us(0)});
+  sim::FaultPlan plan(fcfg);
+  machine.install_faults(plan);
+
+  bool failed = false;
+  std::vector<std::pair<NodeId, NodeId>> give_ups;
+  machine.reliable()->on_give_up(
+      [&](NodeId s, NodeId d, SimTime) { give_ups.push_back({s, d}); });
+  machine.sim().schedule(us(1), [&] {
+    auto t = machine.reliable()->transfer(NodeId(0), NodeId(1), 64);
+    t.failed.on_trigger([&] { failed = true; });
+  });
+  machine.sim().run();
+  EXPECT_TRUE(failed);
+  ASSERT_EQ(give_ups.size(), 1u);
+  EXPECT_EQ(give_ups[0].second, NodeId(1));
+  EXPECT_EQ(machine.reliable()->stats().give_ups, 1u);
+}
+
+TEST(FaultPlan, StragglerWindowStretchesProcessorWork) {
+  sim::Machine machine(cluster(1));
+  sim::FaultConfig fcfg;
+  fcfg.slowdowns.push_back({NodeId(0), us(0), us(100), 4.0});
+  sim::FaultPlan plan(fcfg);
+  machine.install_faults(plan);
+  SimTime done_at = 0;
+  machine.analysis_proc(NodeId(0))
+      .enqueue(us(10))
+      .on_trigger([&] { done_at = machine.sim().now(); });
+  machine.sim().run();
+  EXPECT_EQ(done_at, us(40));  // 4x inside the window
+}
+
+// --------------------------------------------------- crash -> detect -> recover
+
+struct FaultHarness {
+  sim::Machine machine;
+  sim::FaultPlan plan;
+  FunctionRegistry functions;
+  DcrRuntime runtime;
+
+  FaultHarness(std::size_t nodes, sim::FaultConfig fcfg, DcrConfig cfg = {})
+      : machine(cluster(nodes)), plan(std::move(fcfg)), runtime(machine, functions, [&cfg] {
+          cfg.record_task_graph = true;
+          return cfg;
+        }()) {
+    machine.install_faults(plan);
+  }
+};
+
+rt::TaskGraph stencil_reference(const StencilConfig& scfg, std::size_t nodes,
+                                SimTime* makespan = nullptr) {
+  sim::Machine machine(cluster(nodes));
+  FunctionRegistry functions;
+  const auto fns = register_stencil_functions(functions, 1.0);
+  DcrConfig cfg;
+  cfg.record_task_graph = true;
+  DcrRuntime rt(machine, functions, cfg);
+  const DcrStats stats = rt.execute(make_stencil_app(scfg, fns));
+  EXPECT_TRUE(stats.completed);
+  if (makespan) *makespan = stats.makespan;
+  return rt.realized_graph().transitive_closure();
+}
+
+TEST(FaultRecovery, StencilSurvivesDropsAndShardCrash) {
+  const StencilConfig scfg{.cells_per_tile = 100, .tiles = 8, .steps = 6};
+  const std::size_t nodes = 4;
+  SimTime fault_free_makespan = 0;
+  const rt::TaskGraph reference = stencil_reference(scfg, nodes, &fault_free_makespan);
+  ASSERT_GT(fault_free_makespan, 0u);
+
+  // 1% message drops plus one whole-shard crash mid-run (the acceptance
+  // scenario for this robustness layer).
+  sim::FaultConfig fcfg;
+  fcfg.seed = 3;
+  fcfg.drop_rate = 0.01;
+  fcfg.crashes.push_back({NodeId(1), fault_free_makespan / 2});
+  FaultHarness h(nodes, fcfg);
+  const auto fns = register_stencil_functions(h.functions, 1.0);
+  const DcrStats stats = h.runtime.execute(make_stencil_app(scfg, fns));
+
+  EXPECT_TRUE(stats.completed) << stats.abort_message;
+  EXPECT_FALSE(stats.aborted);
+  EXPECT_FALSE(stats.determinism_violation);
+  EXPECT_EQ(stats.failures_detected, 1u);
+  EXPECT_EQ(stats.recoveries, 1u);
+  ASSERT_EQ(stats.failures.size(), 1u);
+  const FailureReport& rep = stats.failures[0];
+  EXPECT_EQ(rep.node, NodeId(1));
+  EXPECT_TRUE(rep.recovered);
+  EXPECT_GT(rep.detected_at, rep.crashed_at);
+  EXPECT_GE(rep.recovered_at, rep.detected_at);
+  EXPECT_FALSE(rep.describe().empty());
+  EXPECT_GT(stats.messages_dropped, 0u);
+  EXPECT_GT(stats.retransmits, 0u);
+  // Faults cost time, never correctness: same realized partial order.
+  EXPECT_GE(stats.makespan, fault_free_makespan);
+  EXPECT_TRUE(reference.same_partial_order(h.runtime.realized_graph().transitive_closure()));
+}
+
+TEST(FaultRecovery, CircuitSurvivesShardCrash) {
+  const CircuitConfig ccfg{.nodes_per_piece = 100,
+                           .wires_per_piece = 400,
+                           .pieces = 4,
+                           .steps = 5};
+  const std::size_t nodes = 4;
+
+  SimTime fault_free_makespan = 0;
+  rt::TaskGraph reference;
+  {
+    sim::Machine machine(cluster(nodes));
+    FunctionRegistry functions;
+    const auto fns = register_circuit_functions(functions, 1.0);
+    DcrConfig cfg;
+    cfg.record_task_graph = true;
+    DcrRuntime rt(machine, functions, cfg);
+    const DcrStats stats = rt.execute(make_circuit_app(ccfg, fns));
+    ASSERT_TRUE(stats.completed);
+    fault_free_makespan = stats.makespan;
+    reference = rt.realized_graph().transitive_closure();
+  }
+
+  sim::FaultConfig fcfg;
+  fcfg.seed = 17;
+  fcfg.crashes.push_back({NodeId(2), fault_free_makespan / 2});
+  FaultHarness h(nodes, fcfg);
+  const auto fns = register_circuit_functions(h.functions, 1.0);
+  const DcrStats stats = h.runtime.execute(make_circuit_app(ccfg, fns));
+
+  EXPECT_TRUE(stats.completed) << stats.abort_message;
+  EXPECT_EQ(stats.failures_detected, 1u);
+  EXPECT_EQ(stats.recoveries, 1u);
+  EXPECT_TRUE(stats.failures.at(0).recovered);
+  EXPECT_TRUE(reference.same_partial_order(h.runtime.realized_graph().transitive_closure()));
+}
+
+TEST(FaultRecovery, RecoveredShardReportsCommittedProgress) {
+  const StencilConfig scfg{.cells_per_tile = 100, .tiles = 8, .steps = 6};
+  SimTime fault_free_makespan = 0;
+  (void)stencil_reference(scfg, 4, &fault_free_makespan);
+
+  sim::FaultConfig fcfg;
+  fcfg.crashes.push_back({NodeId(1), fault_free_makespan / 2});
+  FaultHarness h(4, fcfg);
+  const auto fns = register_stencil_functions(h.functions, 1.0);
+  const DcrStats stats = h.runtime.execute(make_stencil_app(scfg, fns));
+  ASSERT_EQ(stats.failures.size(), 1u);
+  // A mid-run crash happens after real progress: the report carries the
+  // committed frontier the replacement fast-forwarded through.
+  EXPECT_GT(stats.failures[0].committed_ops, 0u);
+  EXPECT_GT(stats.failures[0].committed_api_calls, 0u);
+}
+
+TEST(FaultRecovery, DetectionWithoutAutoRecoverAbortsGracefully) {
+  const StencilConfig scfg{.cells_per_tile = 100, .tiles = 8, .steps = 6};
+  SimTime fault_free_makespan = 0;
+  (void)stencil_reference(scfg, 4, &fault_free_makespan);
+
+  sim::FaultConfig fcfg;
+  fcfg.crashes.push_back({NodeId(1), fault_free_makespan / 2});
+  DcrConfig cfg;
+  cfg.auto_recover = false;
+  FaultHarness h(4, fcfg, cfg);
+  const auto fns = register_stencil_functions(h.functions, 1.0);
+  const DcrStats stats = h.runtime.execute(make_stencil_app(scfg, fns));
+  // The run terminates (no hang) with a structured report instead of success.
+  EXPECT_FALSE(stats.completed);
+  EXPECT_TRUE(stats.aborted);
+  EXPECT_NE(stats.abort_message.find("shard failure detected"), std::string::npos);
+  ASSERT_EQ(stats.failures.size(), 1u);
+  EXPECT_FALSE(stats.failures[0].recovered);
+}
+
+TEST(FaultRecovery, TransientOutageRidesOnRetries) {
+  const StencilConfig scfg{.cells_per_tile = 100, .tiles = 8, .steps = 6};
+  const std::size_t nodes = 4;
+  SimTime fault_free_makespan = 0;
+  const rt::TaskGraph reference = stencil_reference(scfg, nodes, &fault_free_makespan);
+
+  // A short NIC blackout, well inside the retry budget: no failure should be
+  // declared, and the graph is unchanged.
+  sim::FaultConfig fcfg;
+  fcfg.outages.push_back({NodeId(2), fault_free_makespan / 4, fault_free_makespan / 4 + us(40)});
+  FaultHarness h(nodes, fcfg);
+  const auto fns = register_stencil_functions(h.functions, 1.0);
+  const DcrStats stats = h.runtime.execute(make_stencil_app(scfg, fns));
+  EXPECT_TRUE(stats.completed) << stats.abort_message;
+  EXPECT_EQ(stats.failures_detected, 0u);
+  EXPECT_TRUE(reference.same_partial_order(h.runtime.realized_graph().transitive_closure()));
+}
+
+// ---------------------------------------------------- determinism violations
+
+TEST(FaultRecovery, DeterminismViolationUpgradesToGracefulAbort) {
+  sim::Machine machine(cluster(4));
+  FunctionRegistry functions;
+  const FunctionId a = functions.register_simple("algo0", us(1), 0.0);
+  const FunctionId b = functions.register_simple("algo1", us(1), 0.0);
+  DcrRuntime rt(machine, functions, {});
+  const DcrStats stats = rt.execute([&](Context& ctx) {
+    TaskLaunch launch;
+    launch.fn = (ctx.shard_id().value % 2 == 0) ? a : b;  // shard-dependent!
+    ctx.launch(launch);
+    ctx.execution_fence();
+  });
+  EXPECT_TRUE(stats.determinism_violation);
+  EXPECT_TRUE(stats.aborted);
+  EXPECT_FALSE(stats.completed);
+  // The abort names the first divergent API call.
+  EXPECT_NE(stats.abort_message.find("launch"), std::string::npos);
+  EXPECT_NE(stats.abort_message.find("determinism"), std::string::npos);
+}
+
+TEST(FaultRecovery, HaltOnViolationCanBeDisabled) {
+  sim::Machine machine(cluster(2));
+  FunctionRegistry functions;
+  const FunctionId fn = functions.register_simple("t", us(1), 0.0);
+  DcrConfig cfg;
+  cfg.halt_on_violation = false;
+  DcrRuntime rt(machine, functions, cfg);
+  const DcrStats stats = rt.execute([&](Context& ctx) {
+    TaskLaunch launch;
+    launch.fn = fn;
+    launch.args = {static_cast<std::int64_t>(ctx.shard_id().value)};
+    ctx.launch(launch);
+    ctx.execution_fence();
+  });
+  EXPECT_TRUE(stats.determinism_violation);
+  EXPECT_FALSE(stats.aborted);  // legacy behaviour: flag only, run completes
+  EXPECT_TRUE(stats.completed);
+}
+
+TEST(DeterminismChecker, ExposesCheckAndViolationCounts) {
+  sim::Machine machine(cluster(2));
+  FunctionRegistry functions;
+  const FunctionId fn = functions.register_simple("t", us(1), 0.0);
+  DcrConfig cfg;
+  cfg.halt_on_violation = false;
+  DcrRuntime rt(machine, functions, cfg);
+  const DcrStats stats = rt.execute([&](Context& ctx) {
+    TaskLaunch launch;
+    launch.fn = fn;
+    launch.args = {static_cast<std::int64_t>(ctx.shard_id().value)};
+    ctx.launch(launch);
+    ctx.execution_fence();
+  });
+  EXPECT_TRUE(stats.determinism_violation);
+  EXPECT_GT(stats.determinism_checks, 0u);
+}
+
+// ------------------------------------------------------- zero overhead when off
+
+TEST(FaultRecovery, NoFaultPlanMeansNoOverhead) {
+  auto run = [] {
+    sim::Machine machine(cluster(4));
+    FunctionRegistry functions;
+    const auto fns = register_stencil_functions(functions, 1.0);
+    DcrRuntime rt(machine, functions, {});
+    const DcrStats stats = rt.execute(
+        make_stencil_app({.cells_per_tile = 100, .tiles = 8, .steps = 4}, fns));
+    EXPECT_TRUE(stats.completed);
+    EXPECT_EQ(stats.retransmits, 0u);
+    EXPECT_EQ(stats.messages_dropped, 0u);
+    EXPECT_EQ(stats.failures_detected, 0u);
+    EXPECT_EQ(machine.network().stats().lost_messages, 0u);
+    return std::make_pair(stats.makespan, stats.messages);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);  // bit-identical timing without a plan
+  EXPECT_EQ(a.second, b.second);
+}
+
+// ------------------------------------------------------------------ fuzzing
+
+// Random control programs (same shape as test_fuzz_dcr.cpp, trimmed) executed
+// under random fault plans: drops + a mid-run crash must reproduce the
+// fault-free task graph.
+struct RandomProgram {
+  std::size_t tiles;
+  struct Op {
+    bool is_fill;
+    std::size_t part;   // 0: equal partition, 1: halo partition
+    std::size_t field;  // 0 or 1
+    bool reduce;
+  };
+  std::vector<Op> ops;
+};
+
+RandomProgram generate_program(Philox4x32& rng, std::size_t tiles) {
+  RandomProgram p;
+  p.tiles = tiles;
+  const std::size_t num_ops = 6 + rng.next_below(8);
+  for (std::size_t i = 0; i < num_ops; ++i) {
+    RandomProgram::Op op;
+    op.is_fill = rng.next_below(5) == 0;
+    op.part = rng.next_below(2);
+    op.field = rng.next_below(2);
+    op.reduce = rng.next_below(4) == 0;
+    p.ops.push_back(op);
+  }
+  return p;
+}
+
+ApplicationMain materialize_program(const RandomProgram& p, FunctionId fn) {
+  return [p, fn](Context& ctx) {
+    using namespace rt;
+    FieldSpaceId fs = ctx.create_field_space();
+    std::vector<FieldId> fields{ctx.allocate_field(fs, 8, "a"),
+                                ctx.allocate_field(fs, 8, "b")};
+    const RegionTreeId tree =
+        ctx.create_region(Rect::r1(0, static_cast<std::int64_t>(p.tiles) * 32 - 1), fs);
+    const IndexSpaceId root = ctx.root(tree);
+    const PartitionId equal = ctx.partition_equal(root, p.tiles);
+    const PartitionId halo = ctx.partition_with_halo(root, p.tiles, 2);
+    const Rect domain = Rect::r1(0, static_cast<std::int64_t>(p.tiles) - 1);
+    for (const auto& op : p.ops) {
+      if (op.is_fill) {
+        ctx.fill(root, {fields[op.field]});
+        continue;
+      }
+      IndexLaunch l;
+      l.fn = fn;
+      l.domain = domain;
+      l.sharding = ShardingRegistry::blocked();
+      l.requirements.push_back(rt::GroupRequirement::on_partition(
+          equal, {fields[op.field]}, rt::Privilege::ReadWrite));
+      l.requirements.push_back(rt::GroupRequirement::on_partition(
+          halo, {fields[1 - op.field]},
+          op.reduce ? rt::Privilege::Reduce : rt::Privilege::ReadOnly, op.reduce ? 1 : 0));
+      ctx.index_launch(l);
+    }
+    ctx.execution_fence();
+  };
+}
+
+class FaultFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultFuzz, RecoveredRunsMatchFaultFreeGraph) {
+  const std::uint64_t seed = GetParam();
+  Philox4x32 rng(seed, /*stream=*/21);
+  const RandomProgram program = generate_program(rng, /*tiles=*/6);
+  const std::size_t nodes = 3;
+
+  SimTime fault_free_makespan = 0;
+  rt::TaskGraph reference;
+  {
+    sim::Machine machine(cluster(nodes));
+    FunctionRegistry functions;
+    const FunctionId fn = functions.register_simple("t", us(1), 1.0);
+    DcrConfig cfg;
+    cfg.record_task_graph = true;
+    DcrRuntime rt(machine, functions, cfg);
+    const DcrStats stats = rt.execute(materialize_program(program, fn));
+    ASSERT_TRUE(stats.completed);
+    fault_free_makespan = stats.makespan;
+    reference = rt.realized_graph().transitive_closure();
+  }
+  ASSERT_TRUE(reference.is_acyclic());
+
+  // Random fault plan: seeded drops plus a crash at a seed-dependent point.
+  sim::FaultConfig fcfg;
+  fcfg.seed = seed * 2654435761u + 1;
+  fcfg.drop_rate = 0.005;
+  const NodeId victim(static_cast<std::uint32_t>(1 + seed % (nodes - 1)));
+  const SimTime crash_at = fault_free_makespan * (1 + seed % 3) / 4;
+  fcfg.crashes.push_back({victim, crash_at});
+
+  FaultHarness h(nodes, fcfg);
+  const FunctionId fn = h.functions.register_simple("t", us(1), 1.0);
+  const DcrStats stats = h.runtime.execute(materialize_program(program, fn));
+  ASSERT_TRUE(stats.completed)
+      << "seed " << seed << ": " << stats.abort_message;
+  EXPECT_FALSE(stats.determinism_violation) << "seed " << seed;
+  EXPECT_EQ(stats.failures_detected, 1u) << "seed " << seed;
+  EXPECT_EQ(stats.recoveries, 1u) << "seed " << seed;
+  ASSERT_TRUE(reference.same_partial_order(h.runtime.realized_graph().transitive_closure()))
+      << "seed " << seed << " victim " << victim.value << " crash_at " << crash_at;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultFuzz, ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace dcr::core
