@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/hash128.hpp"
+#include "spy/verify.hpp"
 
 namespace dcr::core {
 
@@ -17,6 +18,71 @@ Hash128 hash_fields(Hasher128& h, const std::vector<FieldId>& fields) {
   for (FieldId f : fields) h.value(f.value);
   return h.finish();
 }
+
+// Builds the §3 call-identity hash and, when spy trace recording is on, a
+// parallel list of the same arguments as named text — the raw material for
+// the control-determinism linter's argument-level diff (spy/verify.hpp).
+// With capture off, this is the plain Hasher128 path plus one branch per arg.
+class SigBuilder {
+ public:
+  SigBuilder(const char* name, bool capture) : capture_(capture) { h_.string(name); }
+
+  template <typename T>
+    requires std::is_integral_v<T>
+  SigBuilder& arg(const char* key, T v) {
+    h_.value(v);
+    if (capture_) args_.push_back({key, std::to_string(v)});
+    return *this;
+  }
+
+  template <typename T>
+    requires std::is_enum_v<T>
+  SigBuilder& arg(const char* key, T v) {
+    return arg(key, static_cast<std::underlying_type_t<T>>(v));
+  }
+
+  SigBuilder& arg(const char* key, const std::string& s) {
+    h_.string(s);
+    if (capture_) args_.push_back({key, s});
+    return *this;
+  }
+
+  SigBuilder& arg(const char* key, const rt::Rect& r) {
+    h_.value(r.dim).value(r.lo).value(r.hi);
+    if (capture_) {
+      std::string v = "[";
+      for (int d = 0; d < r.dim; ++d) {
+        if (d) v += ',';
+        v += std::to_string(r.lo[static_cast<std::size_t>(d)]) + ".." +
+             std::to_string(r.hi[static_cast<std::size_t>(d)]);
+      }
+      args_.push_back({key, v + "]"});
+    }
+    return *this;
+  }
+
+  SigBuilder& arg(const char* key, const std::vector<FieldId>& fields) {
+    h_.value(fields.size());
+    std::string v = "{";
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      h_.value(fields[i].value);
+      if (capture_) {
+        if (i) v += ',';
+        v += std::to_string(fields[i].value);
+      }
+    }
+    if (capture_) args_.push_back({key, v + "}"});
+    return *this;
+  }
+
+  Hash128 finish() const { return h_.finish(); }
+  std::vector<spy::CallArg> take_args() { return std::move(args_); }
+
+ private:
+  Hasher128 h_;
+  bool capture_;
+  std::vector<spy::CallArg> args_;
+};
 
 }  // namespace
 
@@ -36,9 +102,12 @@ class ShardContext final : public Context {
   // (they are in its commit log), so the replay charges only a fast-forward
   // cost and does NOT re-arrive at the determinism collectives.  The call
   // index sequence stays aligned with the live shards either way.
-  void api_call(const char* name, const Hash128& h) {
+  void api_call(const char* name, SigBuilder& sig) {
+    const Hash128 h = sig.finish();
     const bool replaying = st_.api_calls < st_.replay_calls_end;
     if (replaying) {
+      // The dead incarnation already contributed this call (and its spy
+      // trace record); a replay only fast-forwards.
       pctx_.delay(rt_.config_.replay_call_cost);
       st_.api_calls++;
       return;
@@ -48,6 +117,10 @@ class ShardContext final : public Context {
     pctx_.delay(cost);
     rt_.checker_.record(shard_, st_.api_calls, h, name);
     if (rt_.checker_.enabled()) stats().determinism_checks++;
+    if (rt_.trace_) {
+      rt_.trace_->calls[shard_.value].push_back(
+          {st_.api_calls, name, h, sig.take_args()});
+    }
     st_.commit.record_call(st_.api_calls);
     st_.api_calls++;
     st_.last_heard = pctx_.now();  // lease refresh, piggybacked on API traffic
@@ -62,6 +135,10 @@ class ShardContext final : public Context {
   }
 
   DcrStats& stats() { return rt_.stats_; }
+
+  SigBuilder sig(const char* name) const {
+    return SigBuilder(name, /*capture=*/rt_.trace_ != nullptr);
+  }
 
   // ---- replication-safe creations ----
   template <typename T, typename MakeFn>
@@ -78,69 +155,71 @@ class ShardContext final : public Context {
   }
 
   FieldSpaceId create_field_space() override {
-    Hasher128 h;
-    h.string("create_field_space");
-    api_call("create_field_space", h.finish());
+    SigBuilder sb = sig("create_field_space");
+    api_call("create_field_space", sb);
     return replicated_create<FieldSpaceId>([&] { return rt_.forest_.create_field_space(); });
   }
 
   FieldId allocate_field(FieldSpaceId fs, std::size_t bytes, std::string name) override {
-    Hasher128 h;
-    h.string("allocate_field").value(fs.value).value(bytes).string(name);
-    api_call("allocate_field", h.finish());
+    SigBuilder sb = sig("allocate_field");
+    sb.arg("field_space", fs.value).arg("bytes", bytes).arg("name", name);
+    api_call("allocate_field", sb);
     return replicated_create<FieldId>(
         [&] { return rt_.forest_.allocate_field(fs, bytes, std::move(name)); });
   }
 
   RegionTreeId create_region(const rt::Rect& bounds, FieldSpaceId fs) override {
-    Hasher128 h;
-    h.string("create_region").value(bounds.dim).value(bounds.lo).value(bounds.hi).value(fs.value);
-    api_call("create_region", h.finish());
+    SigBuilder sb = sig("create_region");
+    sb.arg("bounds", bounds).arg("field_space", fs.value);
+    api_call("create_region", sb);
     return replicated_create<RegionTreeId>([&] { return rt_.forest_.create_tree(bounds, fs); });
   }
 
   IndexSpaceId root(RegionTreeId tree) override { return rt_.forest_.root(tree); }
 
   PartitionId partition_equal(IndexSpaceId parent, std::size_t pieces, int axis) override {
-    Hasher128 h;
-    h.string("partition_equal").value(parent.value).value(pieces).value(axis);
-    api_call("partition_equal", h.finish());
+    SigBuilder sb = sig("partition_equal");
+    sb.arg("parent", parent.value).arg("pieces", pieces).arg("axis", axis);
+    api_call("partition_equal", sb);
     return replicated_create<PartitionId>(
         [&] { return rt_.forest_.partition_equal(parent, pieces, axis); });
   }
 
   PartitionId partition_with_halo(IndexSpaceId parent, std::size_t pieces,
                                   std::int64_t halo, int axis) override {
-    Hasher128 h;
-    h.string("partition_with_halo").value(parent.value).value(pieces).value(halo).value(axis);
-    api_call("partition_with_halo", h.finish());
+    SigBuilder sb = sig("partition_with_halo");
+    sb.arg("parent", parent.value).arg("pieces", pieces).arg("halo", halo).arg("axis", axis);
+    api_call("partition_with_halo", sb);
     return replicated_create<PartitionId>(
         [&] { return rt_.forest_.partition_with_halo(parent, pieces, halo, axis); });
   }
 
   PartitionId create_partition(IndexSpaceId parent, std::vector<rt::Rect> pieces,
                                bool disjoint) override {
-    Hasher128 h;
-    h.string("create_partition").value(parent.value).value(pieces.size()).value(disjoint);
-    for (const rt::Rect& r : pieces) h.value(r.lo).value(r.hi);
-    api_call("create_partition", h.finish());
+    SigBuilder sb = sig("create_partition");
+    sb.arg("parent", parent.value).arg("pieces", pieces.size()).arg("disjoint", disjoint);
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+      sb.arg(("piece" + std::to_string(i)).c_str(), pieces[i]);
+    }
+    api_call("create_partition", sb);
     return replicated_create<PartitionId>(
         [&] { return rt_.forest_.create_partition(parent, std::move(pieces), disjoint); });
   }
 
   PartitionId partition_grid(IndexSpaceId parent, std::size_t tiles_x, std::size_t tiles_y,
                              std::int64_t halo) override {
-    Hasher128 h;
-    h.string("partition_grid").value(parent.value).value(tiles_x).value(tiles_y).value(halo);
-    api_call("partition_grid", h.finish());
+    SigBuilder sb = sig("partition_grid");
+    sb.arg("parent", parent.value).arg("tiles_x", tiles_x).arg("tiles_y", tiles_y);
+    sb.arg("halo", halo);
+    api_call("partition_grid", sb);
     return replicated_create<PartitionId>(
         [&] { return rt_.forest_.partition_grid(parent, tiles_x, tiles_y, halo); });
   }
 
   void destroy_region(RegionTreeId tree) override {
-    Hasher128 h;
-    h.string("destroy_region").value(tree.value);
-    api_call("destroy_region", h.finish());
+    SigBuilder sb = sig("destroy_region");
+    sb.arg("tree", tree.value);
+    api_call("destroy_region", sb);
     rt_.issue(*this, DcrRuntime::DeletePayload{tree});
   }
 
@@ -156,21 +235,27 @@ class ShardContext final : public Context {
 
   // ---- operations ----
   void fill(IndexSpaceId region, std::vector<FieldId> fields) override {
-    Hasher128 h;
-    h.string("fill").value(region.value);
-    api_call("fill", hash_fields(h, fields));
+    SigBuilder sb = sig("fill");
+    sb.arg("region", region.value).arg("fields", fields);
+    api_call("fill", sb);
     rt_.issue(*this, DcrRuntime::FillPayload{region, std::move(fields)});
   }
 
   Future launch(const TaskLaunch& launch) override {
-    Hasher128 h;
-    h.string("launch").value(launch.fn.value).value(launch.requirements.size());
-    for (const auto& r : launch.requirements) {
-      h.value(r.region.value).value(static_cast<std::uint8_t>(r.privilege)).value(r.redop);
-      hash_fields(h, r.fields);
+    SigBuilder sb = sig("launch");
+    sb.arg("fn", launch.fn.value).arg("num_reqs", launch.requirements.size());
+    for (std::size_t i = 0; i < launch.requirements.size(); ++i) {
+      const auto& r = launch.requirements[i];
+      const std::string k = "req" + std::to_string(i);
+      sb.arg((k + ".region").c_str(), r.region.value);
+      sb.arg((k + ".privilege").c_str(), r.privilege);
+      sb.arg((k + ".redop").c_str(), r.redop);
+      sb.arg((k + ".fields").c_str(), r.fields);
     }
-    for (auto a : launch.args) h.value(a);
-    api_call("launch", h.finish());
+    for (std::size_t i = 0; i < launch.args.size(); ++i) {
+      sb.arg(("arg" + std::to_string(i)).c_str(), launch.args[i]);
+    }
+    api_call("launch", sb);
     DcrRuntime::TaskPayload p{launch, ~0ull};
     Future f;
     if (launch.wants_future) {
@@ -182,16 +267,23 @@ class ShardContext final : public Context {
   }
 
   FutureMap index_launch(const IndexLaunch& launch) override {
-    Hasher128 h;
-    h.string("index_launch").value(launch.fn.value).value(launch.domain.dim);
-    h.value(launch.domain.lo).value(launch.domain.hi).value(launch.sharding.value);
-    for (const auto& r : launch.requirements) {
-      h.value(r.partition.value).value(r.region.value).value(r.projection.value);
-      h.value(static_cast<std::uint8_t>(r.privilege)).value(r.redop);
-      hash_fields(h, r.fields);
+    SigBuilder sb = sig("index_launch");
+    sb.arg("fn", launch.fn.value).arg("domain", launch.domain);
+    sb.arg("sharding", launch.sharding.value);
+    for (std::size_t i = 0; i < launch.requirements.size(); ++i) {
+      const auto& r = launch.requirements[i];
+      const std::string k = "req" + std::to_string(i);
+      sb.arg((k + ".partition").c_str(), r.partition.value);
+      sb.arg((k + ".region").c_str(), r.region.value);
+      sb.arg((k + ".projection").c_str(), r.projection.value);
+      sb.arg((k + ".privilege").c_str(), r.privilege);
+      sb.arg((k + ".redop").c_str(), r.redop);
+      sb.arg((k + ".fields").c_str(), r.fields);
     }
-    for (auto a : launch.args) h.value(a);
-    api_call("index_launch", h.finish());
+    for (std::size_t i = 0; i < launch.args.size(); ++i) {
+      sb.arg(("arg" + std::to_string(i)).c_str(), launch.args[i]);
+    }
+    api_call("index_launch", sb);
     DcrRuntime::IndexPayload p{launch, ~0ull};
     FutureMap fm;
     if (launch.wants_futures) {
@@ -203,9 +295,9 @@ class ShardContext final : public Context {
   }
 
   Future reduce_future_map(const FutureMap& fm, ReduceOp op) override {
-    Hasher128 h;
-    h.string("reduce_future_map").value(fm.id).value(static_cast<std::uint8_t>(op));
-    api_call("reduce_future_map", h.finish());
+    SigBuilder sb = sig("reduce_future_map");
+    sb.arg("future_map", fm.id).arg("op", op);
+    api_call("reduce_future_map", sb);
     DCR_CHECK(fm.valid()) << "reducing an invalid future map";
     Future f;
     f.id = st_.next_future++;
@@ -214,9 +306,9 @@ class ShardContext final : public Context {
   }
 
   double get_future(const Future& f) override {
-    Hasher128 h;
-    h.string("get_future").value(f.id);
-    api_call("get_future", h.finish());
+    SigBuilder sb = sig("get_future");
+    sb.arg("future", f.id);
+    api_call("get_future", sb);
     DCR_CHECK(f.valid()) << "waiting on an invalid future";
     auto it = rt_.futures_.find(f.id);
     DCR_CHECK(it != rt_.futures_.end()) << "future " << f.id << " has no producer";
@@ -228,18 +320,17 @@ class ShardContext final : public Context {
     // Timing-dependent by design (Figure 5): the *call* is still hashed, but
     // the returned value may differ across shards — branching on it is the
     // control-determinism violation the checker exists to catch.
-    Hasher128 h;
-    h.string("future_is_ready").value(f.id);
-    api_call("future_is_ready", h.finish());
+    SigBuilder sb = sig("future_is_ready");
+    sb.arg("future", f.id);
+    api_call("future_is_ready", sb);
     auto it = rt_.futures_.find(f.id);
     if (it == rt_.futures_.end()) return false;
     return it->second.per_shard_event[shard_.value].has_triggered();
   }
 
   void execution_fence() override {
-    Hasher128 h;
-    h.string("execution_fence");
-    api_call("execution_fence", h.finish());
+    SigBuilder sb = sig("execution_fence");
+    api_call("execution_fence", sb);
     // A fence op forces a cross-shard pipeline barrier (its coarse decision
     // fences on the previous op), so once our fine tail drains, every
     // shard's launches for prior ops are registered with the quiescence
@@ -251,9 +342,9 @@ class ShardContext final : public Context {
 
   void attach_file(IndexSpaceId region, std::vector<FieldId> fields,
                    std::string file) override {
-    Hasher128 h;
-    h.string("attach_file").value(region.value).string(file);
-    api_call("attach_file", hash_fields(h, fields));
+    SigBuilder sb = sig("attach_file");
+    sb.arg("region", region.value).arg("file", file).arg("fields", fields);
+    api_call("attach_file", sb);
     DcrRuntime::AttachPayload p;
     p.region = region;
     p.fields = std::move(fields);
@@ -262,9 +353,9 @@ class ShardContext final : public Context {
   }
 
   void detach_file(IndexSpaceId region, std::vector<FieldId> fields) override {
-    Hasher128 h;
-    h.string("detach_file").value(region.value);
-    api_call("detach_file", hash_fields(h, fields));
+    SigBuilder sb = sig("detach_file");
+    sb.arg("region", region.value).arg("fields", fields);
+    api_call("detach_file", sb);
     DcrRuntime::AttachPayload p;
     p.region = region;
     p.fields = std::move(fields);
@@ -274,9 +365,9 @@ class ShardContext final : public Context {
 
   void attach_file_group(PartitionId partition, std::vector<FieldId> fields,
                          std::string file_basename) override {
-    Hasher128 h;
-    h.string("attach_file_group").value(partition.value).string(file_basename);
-    api_call("attach_file_group", hash_fields(h, fields));
+    SigBuilder sb = sig("attach_file_group");
+    sb.arg("partition", partition.value).arg("file", file_basename).arg("fields", fields);
+    api_call("attach_file_group", sb);
     DcrRuntime::AttachPayload p;
     p.partition = partition;
     p.fields = std::move(fields);
@@ -285,9 +376,9 @@ class ShardContext final : public Context {
   }
 
   void detach_file_group(PartitionId partition, std::vector<FieldId> fields) override {
-    Hasher128 h;
-    h.string("detach_file_group").value(partition.value);
-    api_call("detach_file_group", hash_fields(h, fields));
+    SigBuilder sb = sig("detach_file_group");
+    sb.arg("partition", partition.value).arg("fields", fields);
+    api_call("detach_file_group", sb);
     DcrRuntime::AttachPayload p;
     p.partition = partition;
     p.fields = std::move(fields);
@@ -297,9 +388,9 @@ class ShardContext final : public Context {
 
   // ---- tracing ----
   void begin_trace(TraceId id) override {
-    Hasher128 h;
-    h.string("begin_trace").value(id.value);
-    api_call("begin_trace", h.finish());
+    SigBuilder sb = sig("begin_trace");
+    sb.arg("trace", id.value);
+    api_call("begin_trace", sb);
     if (!rt_.config_.tracing_enabled) return;
     DCR_CHECK(!st_.active_trace) << "nested traces are not supported";
     st_.active_trace = id;
@@ -307,9 +398,9 @@ class ShardContext final : public Context {
   }
 
   void end_trace(TraceId id) override {
-    Hasher128 h;
-    h.string("end_trace").value(id.value);
-    api_call("end_trace", h.finish());
+    SigBuilder sb = sig("end_trace");
+    sb.arg("trace", id.value);
+    api_call("end_trace", sb);
     if (!rt_.config_.tracing_enabled) return;
     DCR_CHECK(st_.active_trace && *st_.active_trace == id) << "mismatched end_trace";
     auto& rec = st_.traces[id];
@@ -346,6 +437,13 @@ class ShardContext final : public Context {
 // ===========================================================================
 
 namespace {
+// record_trace needs the realized graph's edges, so it implies
+// record_task_graph; normalized before any member (tracker_) consumes it.
+DcrConfig normalize_config(DcrConfig config) {
+  if (config.record_trace) config.record_task_graph = true;
+  return config;
+}
+
 std::vector<NodeId> make_placement(const sim::Machine& machine, const DcrConfig& config) {
   DCR_CHECK(config.shards_per_node >= 1);
   const std::size_t shards = machine.num_nodes() * config.shards_per_node;
@@ -361,10 +459,10 @@ std::vector<NodeId> make_placement(const sim::Machine& machine, const DcrConfig&
 DcrRuntime::DcrRuntime(sim::Machine& machine, FunctionRegistry& functions, DcrConfig config)
     : machine_(machine),
       functions_(functions),
-      config_(config),
-      placement_(make_placement(machine, config)),
+      config_(normalize_config(config)),
+      placement_(make_placement(machine, config_)),
       physical_(forest_, machine.network()),
-      tracker_(/*keep_completed=*/config.record_task_graph),
+      tracker_(/*keep_completed=*/config_.record_task_graph),
       checker_(machine.sim(), machine.network(), placement_, config.determinism_checks),
       quiescence_(machine.sim()) {
   const std::size_t shards = placement_.size();
@@ -374,6 +472,11 @@ DcrRuntime::DcrRuntime(sim::Machine& machine, FunctionRegistry& functions, DcrCo
     st->node = placement_[s];
     st->rng = std::make_unique<Philox4x32>(/*seed=*/0x5eed, /*stream=*/0);  // same on all shards
     shards_.push_back(std::move(st));
+  }
+  if (config_.record_trace) {
+    trace_ = std::make_unique<spy::Trace>();
+    trace_->num_shards = shards;
+    trace_->calls.resize(shards);
   }
 }
 
@@ -497,11 +600,14 @@ const DcrRuntime::CoarseDecision& DcrRuntime::coarse_decision(const OpRecord& op
           if (forest_.structurally_disjoint(prev.req.upper_bound, r.upper_bound)) return;
           if (!forest_.regions_overlap(prev.req.upper_bound, r.upper_bound)) return;
           dec.deps++;
-          if (!config_.disable_fence_elision && dependence_is_shard_local(prev.req, r)) {
+          const bool elide =
+              !config_.disable_fence_elision && dependence_is_shard_local(prev.req, r);
+          if (elide) {
             dec.elided++;
           } else {
             sources.insert(prev.op);
           }
+          if (trace_) trace_->coarse_deps.push_back({prev.op, op.id, r.tree, f, elide});
         };
         if (fs.last_writer) consider(*fs.last_writer);
         for (const GroupUse& rd : fs.readers_since) consider(rd);
@@ -530,6 +636,19 @@ const DcrRuntime::CoarseDecision& DcrRuntime::coarse_decision(const OpRecord& op
   stats_.coarse_deps += dec.deps;
   stats_.fences_elided += dec.elided;
   if (!dec.fence_sources.empty()) stats_.fences_inserted++;
+  if (trace_) {
+    // Ops reach here exactly once, in program order (checked above).
+    const char* kind = "?";
+    if (std::holds_alternative<FillPayload>(op.payload)) kind = "fill";
+    else if (std::holds_alternative<TaskPayload>(op.payload)) kind = "task";
+    else if (std::holds_alternative<IndexPayload>(op.payload)) kind = "index_launch";
+    else if (std::holds_alternative<ReducePayload>(op.payload)) kind = "reduce_future_map";
+    else if (std::holds_alternative<AttachPayload>(op.payload)) {
+      kind = std::get<AttachPayload>(op.payload).detach ? "detach" : "attach";
+    } else if (std::holds_alternative<DeletePayload>(op.payload)) kind = "delete";
+    else if (std::holds_alternative<FencePayload>(op.payload)) kind = "fence";
+    trace_->ops.push_back({op.id, kind, op.call_index, dec.fence_sources});
+  }
   return coarse_decisions_.emplace(op.id, std::move(dec)).first->second;
 }
 
@@ -599,6 +718,8 @@ void DcrRuntime::issue(ShardContext& ctx, OpPayload payload) {
   }
 
   OpRecord op{OpId(st.next_op++), std::move(payload), false};
+  // The API call that issued this op was hashed just before issue().
+  if (st.api_calls > 0) op.call_index = st.api_calls - 1;
   stats_.ops_issued = std::max(stats_.ops_issued, st.next_op);
 
   // Mapper query: "Legion queries mappers to select a sharding function for
@@ -800,6 +921,8 @@ void DcrRuntime::execute_points(ShardId s, const OpRecord& op) {
       record_realized(tid, op.id, 0, conflicts.tasks);
       physical_.record_fill(tree, f, rect);
     }
+    spy_record_task(s, tid, op.id, 0,
+                    {{tree, rect, fill->fields, rt::Privilege::WriteDiscard, rt::kNoRedop}});
     // Fills are cheap metadata operations materialized lazily.
     const sim::Event fin = analysis_proc(s).enqueue(
         us(1), sim::merge_events(std::span<const sim::Event>(pre)),
@@ -841,6 +964,10 @@ void DcrRuntime::execute_points(ShardId s, const OpRecord& op) {
           }
         }
         record_realized(tid, op.id, color, preds);
+        spy_record_task(s, tid, op.id, color,
+                        {{tree, rect, attach->fields,
+                          attach->detach ? rt::Privilege::ReadOnly : rt::Privilege::WriteDiscard,
+                          rt::kNoRedop}});
         analysis_proc(s).enqueue(io, sim::merge_events(std::span<const sim::Event>(pre)),
                                  [this, done] { done.trigger(machine_.sim().now()); });
         quiescence_.add(done);
@@ -870,6 +997,10 @@ void DcrRuntime::execute_points(ShardId s, const OpRecord& op) {
         physical_.record_write(tree, f, rect, node, done);
       }
     }
+    spy_record_task(s, tid, op.id, 0,
+                    {{tree, rect, attach->fields,
+                      attach->detach ? rt::Privilege::ReadOnly : rt::Privilege::WriteDiscard,
+                      rt::kNoRedop}});
     analysis_proc(s).enqueue(io_time, sim::merge_events(std::span<const sim::Event>(pre)),
                              [this, done] { done.trigger(machine_.sim().now()); });
     quiescence_.add(done);
@@ -953,6 +1084,15 @@ sim::Event DcrRuntime::launch_point_task(ShardId s, const OpRecord& op, const rt
     }
   }
   record_realized(tid, op.id, point_index, conflict_tasks);
+  if (trace_) {
+    std::vector<spy::AccessRecord> accesses;
+    accesses.reserve(reqs.size());
+    for (const rt::Requirement& r : reqs) {
+      accesses.push_back({forest_.tree_of(r.region), forest_.bounds(r.region), r.fields,
+                          r.privilege, r.redop});
+    }
+    spy_record_task(s, tid, op.id, point_index, std::move(accesses));
+  }
 
   const SimTime duration = functions_.at(fn).duration(info);
   FunctionProfile& prof = profile_[fn];
@@ -1017,8 +1157,17 @@ void DcrRuntime::record_realized(TaskId tid, OpId op, std::uint64_t point_index,
     realized_tasks_.push_back(RealizedTask{tid, op, point_index});
   }
   for (TaskId p : preds) {
-    if (!realized_graph_.has_edge(p, tid)) realized_graph_.add_edge(p, tid);
+    if (!realized_graph_.has_edge(p, tid)) {
+      realized_graph_.add_edge(p, tid);
+      if (trace_) trace_->edges.push_back({p, tid});
+    }
   }
+}
+
+void DcrRuntime::spy_record_task(ShardId s, TaskId tid, OpId op, std::uint64_t point_index,
+                                 std::vector<spy::AccessRecord> accesses) {
+  if (!trace_) return;
+  trace_->tasks.push_back({tid, op, point_index, s, std::move(accesses)});
 }
 
 // ------------------------------------------------------ deferred deletions
@@ -1145,6 +1294,16 @@ DcrStats DcrRuntime::execute(const ApplicationMain& main) {
   stats_.aborted = aborted_;
   stats_.abort_message = abort_message_;
   if (aborted_) stats_.completed = false;
+  // With a spy trace on hand, upgrade the hash-only determinism-violation
+  // message to the linter's argument-level report: which call diverged, which
+  // shards disagree, and which argument differed.
+  if (trace_ && stats_.determinism_violation) {
+    const spy::LintResult lint = spy::lint_control_determinism(*trace_);
+    if (lint.divergent) {
+      stats_.violation_message = lint.message;
+      if (stats_.aborted) stats_.abort_message = lint.message;
+    }
+  }
   stats_.failures = failures_;
   stats_.failures_detected = failures_.size();
   if (const sim::FaultPlan* plan = machine_.faults()) {

@@ -42,6 +42,7 @@
 #include "runtime/physical.hpp"
 #include "runtime/region.hpp"
 #include "runtime/task_graph.hpp"
+#include "spy/trace.hpp"
 #include "sim/collective.hpp"
 #include "sim/machine.hpp"
 #include "sim/quiescence.hpp"
@@ -80,6 +81,14 @@ struct DcrConfig {
   // Record the realized point-task dependence graph (tests/validation only;
   // adds host-side cost, no virtual-time cost).
   bool record_task_graph = false;
+
+  // Record a full dcr-spy execution trace (spy/trace.hpp): every hashed API
+  // call with named arguments, every op, coarse dependence + elision
+  // decision, realized task with its concrete region accesses, and realized
+  // dependence edge.  Implies record_task_graph.  Host-side cost only; no
+  // virtual-time cost.  Read back with DcrRuntime::trace() or serialize with
+  // spy::Trace::write_jsonl for the tools/dcr-spy CLI.
+  bool record_trace = false;
 
   // Mapping policy (paper §4): per-launch sharding selection and point-task
   // processor placement.  Must be deterministic; not owned.  nullptr = the
@@ -161,6 +170,9 @@ class DcrRuntime {
   };
   const std::vector<RealizedTask>& realized_tasks() const { return realized_tasks_; }
 
+  // dcr-spy execution trace (only populated with config.record_trace).
+  const spy::Trace* trace() const { return trace_.get(); }
+
  private:
   friend class ShardContext;
 
@@ -201,6 +213,7 @@ class DcrRuntime {
     OpId id;
     OpPayload payload;
     bool traced = false;  // inside a trace replay: charge reduced costs
+    std::uint64_t call_index = ~0ull;  // issuing API call (spy trace identity)
   };
 
   // Coarse-stage requirement summary: the upper-bound view plus the launch
@@ -333,6 +346,8 @@ class DcrRuntime {
   sim::Processor& compute_proc_for(ShardId s, std::uint64_t point_index);
   void record_realized(TaskId tid, OpId op, std::uint64_t point_index,
                        const std::vector<TaskId>& preds);
+  void spy_record_task(ShardId s, TaskId tid, OpId op, std::uint64_t point_index,
+                       std::vector<spy::AccessRecord> accesses);
   void finalize_shard(class ShardContext& ctx);
 
   void start_deferred_poller();
@@ -395,6 +410,7 @@ class DcrRuntime {
   std::map<FunctionId, FunctionProfile> profile_;
   rt::TaskGraph realized_graph_;
   std::vector<RealizedTask> realized_tasks_;
+  std::unique_ptr<spy::Trace> trace_;  // non-null iff config_.record_trace
   std::uint64_t next_task_id_ = 0;
 };
 

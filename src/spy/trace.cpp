@@ -1,0 +1,444 @@
+#include "spy/trace.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace dcr::spy {
+
+// ------------------------------------------------------------------ writing
+namespace {
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_rect(std::ostream& os, const rt::Rect& r) {
+  os << "\"dim\":" << r.dim << ",\"lo\":[" << r.lo[0] << ',' << r.lo[1] << ',' << r.lo[2]
+     << "],\"hi\":[" << r.hi[0] << ',' << r.hi[1] << ',' << r.hi[2] << ']';
+}
+
+template <typename Id>
+void write_id_array(std::ostream& os, const std::vector<Id>& ids) {
+  os << '[';
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i) os << ',';
+    os << ids[i].value;
+  }
+  os << ']';
+}
+
+}  // namespace
+
+void Trace::write_jsonl(std::ostream& os) const {
+  os << "{\"type\":\"meta\",\"num_shards\":" << num_shards << "}\n";
+  for (std::size_t s = 0; s < calls.size(); ++s) {
+    for (const CallRecord& c : calls[s]) {
+      os << "{\"type\":\"call\",\"shard\":" << s << ",\"index\":" << c.index
+         << ",\"name\":";
+      write_escaped(os, c.name);
+      char hash[40];
+      std::snprintf(hash, sizeof(hash), "%016llx%016llx",
+                    static_cast<unsigned long long>(c.hash.hi),
+                    static_cast<unsigned long long>(c.hash.lo));
+      os << ",\"hash\":\"" << hash << "\",\"args\":[";
+      for (std::size_t i = 0; i < c.args.size(); ++i) {
+        if (i) os << ',';
+        os << '[';
+        write_escaped(os, c.args[i].key);
+        os << ',';
+        write_escaped(os, c.args[i].value);
+        os << ']';
+      }
+      os << "]}\n";
+    }
+  }
+  for (const OpRecord& op : ops) {
+    os << "{\"type\":\"op\",\"id\":" << op.id.value << ",\"kind\":";
+    write_escaped(os, op.kind);
+    os << ",\"call\":" << static_cast<long long>(op.call_index) << ",\"fences\":";
+    write_id_array(os, op.fence_sources);
+    os << "}\n";
+  }
+  for (const CoarseDepRecord& d : coarse_deps) {
+    os << "{\"type\":\"dep\",\"prev\":" << d.prev.value << ",\"next\":" << d.next.value
+       << ",\"tree\":" << d.tree.value << ",\"field\":" << d.field.value
+       << ",\"elided\":" << (d.elided ? "true" : "false") << "}\n";
+  }
+  for (const TaskRecord& t : tasks) {
+    os << "{\"type\":\"task\",\"id\":" << t.id.value << ",\"op\":" << t.op.value
+       << ",\"point\":" << t.point_index << ",\"shard\":" << t.shard.value << ",\"acc\":[";
+    for (std::size_t i = 0; i < t.accesses.size(); ++i) {
+      const AccessRecord& a = t.accesses[i];
+      if (i) os << ',';
+      os << "{\"tree\":" << a.tree.value << ',';
+      write_rect(os, a.rect);
+      os << ",\"fields\":";
+      write_id_array(os, a.fields);
+      os << ",\"priv\":" << static_cast<int>(a.privilege) << ",\"redop\":" << a.redop
+         << '}';
+    }
+    os << "]}\n";
+  }
+  for (const EdgeRecord& e : edges) {
+    os << "{\"type\":\"edge\",\"from\":" << e.from.value << ",\"to\":" << e.to.value
+       << "}\n";
+  }
+}
+
+std::string Trace::to_jsonl() const {
+  std::ostringstream os;
+  write_jsonl(os);
+  return os.str();
+}
+
+// ------------------------------------------------------------------ parsing
+//
+// Minimal recursive-descent JSON parser covering exactly the subset the
+// writer emits (flat objects, arrays, strings, integers, booleans).  Kept
+// local so the spy library stays dependency-free.
+namespace {
+
+struct Json;
+using JsonArray = std::vector<Json>;
+using JsonObject = std::map<std::string, Json>;
+
+struct Json {
+  enum class Kind { Null, Bool, Num, Str, Arr, Obj } kind = Kind::Null;
+  bool b = false;
+  std::int64_t num = 0;
+  std::string str;
+  std::shared_ptr<JsonArray> arr;
+  std::shared_ptr<JsonObject> obj;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Json> parse() {
+    auto v = value();
+    skip_ws();
+    if (!v || pos_ != text_.size()) return std::nullopt;
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Json> value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    const char c = text_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string();
+    if (c == 't' || c == 'f') return boolean();
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) return number();
+    return std::nullopt;
+  }
+
+  std::optional<Json> boolean() {
+    Json v;
+    v.kind = Json::Kind::Bool;
+    if (literal("true")) {
+      v.b = true;
+      return v;
+    }
+    if (literal("false")) return v;
+    return std::nullopt;
+  }
+
+  std::optional<Json> number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    Json v;
+    v.kind = Json::Kind::Num;
+    v.num = std::stoll(std::string(text_.substr(start, pos_ - start)));
+    return v;
+  }
+
+  std::optional<Json> string() {
+    if (!eat('"')) return std::nullopt;
+    Json v;
+    v.kind = Json::Kind::Str;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return std::nullopt;
+            c = static_cast<char>(
+                std::stoi(std::string(text_.substr(pos_, 4)), nullptr, 16));
+            pos_ += 4;
+            break;
+          }
+          default: c = esc;
+        }
+      }
+      v.str.push_back(c);
+    }
+    if (!eat('"')) return std::nullopt;
+    return v;
+  }
+
+  std::optional<Json> array() {
+    if (!eat('[')) return std::nullopt;
+    Json v;
+    v.kind = Json::Kind::Arr;
+    v.arr = std::make_shared<JsonArray>();
+    if (eat(']')) return v;
+    do {
+      auto item = value();
+      if (!item) return std::nullopt;
+      v.arr->push_back(std::move(*item));
+    } while (eat(','));
+    if (!eat(']')) return std::nullopt;
+    return v;
+  }
+
+  std::optional<Json> object() {
+    if (!eat('{')) return std::nullopt;
+    Json v;
+    v.kind = Json::Kind::Obj;
+    v.obj = std::make_shared<JsonObject>();
+    if (eat('}')) return v;
+    do {
+      auto key = string();
+      if (!key || !eat(':')) return std::nullopt;
+      auto val = value();
+      if (!val) return std::nullopt;
+      (*v.obj)[key->str] = std::move(*val);
+    } while (eat(','));
+    if (!eat('}')) return std::nullopt;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// Typed field accessors; every getter fails soft so the caller can emit one
+// uniform "malformed line" error.
+std::optional<std::int64_t> get_num(const JsonObject& o, const char* key) {
+  auto it = o.find(key);
+  if (it == o.end() || it->second.kind != Json::Kind::Num) return std::nullopt;
+  return it->second.num;
+}
+std::optional<std::string> get_str(const JsonObject& o, const char* key) {
+  auto it = o.find(key);
+  if (it == o.end() || it->second.kind != Json::Kind::Str) return std::nullopt;
+  return it->second.str;
+}
+std::optional<bool> get_bool(const JsonObject& o, const char* key) {
+  auto it = o.find(key);
+  if (it == o.end() || it->second.kind != Json::Kind::Bool) return std::nullopt;
+  return it->second.b;
+}
+const JsonArray* get_arr(const JsonObject& o, const char* key) {
+  auto it = o.find(key);
+  if (it == o.end() || it->second.kind != Json::Kind::Arr) return nullptr;
+  return it->second.arr.get();
+}
+
+std::optional<Hash128> parse_hash(const std::string& s) {
+  if (s.size() != 32) return std::nullopt;
+  Hash128 h;
+  h.hi = std::stoull(s.substr(0, 16), nullptr, 16);
+  h.lo = std::stoull(s.substr(16, 16), nullptr, 16);
+  return h;
+}
+
+template <typename Id>
+bool parse_id_array(const JsonArray& arr, std::vector<Id>* out) {
+  for (const Json& v : arr) {
+    if (v.kind != Json::Kind::Num) return false;
+    out->push_back(Id(static_cast<typename Id::rep_type>(v.num)));
+  }
+  return true;
+}
+
+bool parse_rect(const JsonObject& o, rt::Rect* out) {
+  const auto dim = get_num(o, "dim");
+  const JsonArray* lo = get_arr(o, "lo");
+  const JsonArray* hi = get_arr(o, "hi");
+  if (!dim || !lo || !hi || lo->size() != 3 || hi->size() != 3) return false;
+  out->dim = static_cast<int>(*dim);
+  for (std::size_t d = 0; d < 3; ++d) {
+    if ((*lo)[d].kind != Json::Kind::Num || (*hi)[d].kind != Json::Kind::Num) return false;
+    out->lo[d] = (*lo)[d].num;
+    out->hi[d] = (*hi)[d].num;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Trace::read_jsonl(std::istream& is, Trace* out, std::string* error) {
+  auto fail = [&](std::size_t line_no, const std::string& why) {
+    if (error) *error = "trace line " + std::to_string(line_no) + ": " + why;
+    return false;
+  };
+  *out = Trace{};
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto parsed = Parser(line).parse();
+    if (!parsed || parsed->kind != Json::Kind::Obj) return fail(line_no, "not a JSON object");
+    const JsonObject& o = *parsed->obj;
+    const auto type = get_str(o, "type");
+    if (!type) return fail(line_no, "missing \"type\"");
+
+    if (*type == "meta") {
+      const auto shards = get_num(o, "num_shards");
+      if (!shards || *shards < 0) return fail(line_no, "bad meta record");
+      out->num_shards = static_cast<std::size_t>(*shards);
+      out->calls.resize(out->num_shards);
+    } else if (*type == "call") {
+      const auto shard = get_num(o, "shard");
+      const auto index = get_num(o, "index");
+      const auto name = get_str(o, "name");
+      const auto hash_str = get_str(o, "hash");
+      const JsonArray* args = get_arr(o, "args");
+      if (!shard || !index || !name || !hash_str || !args ||
+          static_cast<std::size_t>(*shard) >= out->calls.size()) {
+        return fail(line_no, "bad call record");
+      }
+      const auto hash = parse_hash(*hash_str);
+      if (!hash) return fail(line_no, "bad call hash");
+      CallRecord rec;
+      rec.index = static_cast<std::uint64_t>(*index);
+      rec.name = *name;
+      rec.hash = *hash;
+      for (const Json& a : *args) {
+        if (a.kind != Json::Kind::Arr || a.arr->size() != 2 ||
+            (*a.arr)[0].kind != Json::Kind::Str || (*a.arr)[1].kind != Json::Kind::Str) {
+          return fail(line_no, "bad call argument");
+        }
+        rec.args.push_back({(*a.arr)[0].str, (*a.arr)[1].str});
+      }
+      out->calls[static_cast<std::size_t>(*shard)].push_back(std::move(rec));
+    } else if (*type == "op") {
+      const auto id = get_num(o, "id");
+      const auto kind = get_str(o, "kind");
+      const auto call = get_num(o, "call");
+      const JsonArray* fences = get_arr(o, "fences");
+      if (!id || !kind || !call || !fences) return fail(line_no, "bad op record");
+      OpRecord rec;
+      rec.id = OpId(static_cast<std::uint64_t>(*id));
+      rec.kind = *kind;
+      rec.call_index = static_cast<std::uint64_t>(*call);
+      if (!parse_id_array(*fences, &rec.fence_sources)) {
+        return fail(line_no, "bad fence list");
+      }
+      out->ops.push_back(std::move(rec));
+    } else if (*type == "dep") {
+      const auto prev = get_num(o, "prev");
+      const auto next = get_num(o, "next");
+      const auto tree = get_num(o, "tree");
+      const auto field = get_num(o, "field");
+      const auto elided = get_bool(o, "elided");
+      if (!prev || !next || !tree || !field || !elided) {
+        return fail(line_no, "bad dep record");
+      }
+      out->coarse_deps.push_back(
+          {OpId(static_cast<std::uint64_t>(*prev)), OpId(static_cast<std::uint64_t>(*next)),
+           RegionTreeId(static_cast<std::uint32_t>(*tree)),
+           FieldId(static_cast<std::uint32_t>(*field)), *elided});
+    } else if (*type == "task") {
+      const auto id = get_num(o, "id");
+      const auto op = get_num(o, "op");
+      const auto point = get_num(o, "point");
+      const auto shard = get_num(o, "shard");
+      const JsonArray* acc = get_arr(o, "acc");
+      if (!id || !op || !point || !shard || !acc) return fail(line_no, "bad task record");
+      TaskRecord rec;
+      rec.id = TaskId(static_cast<std::uint64_t>(*id));
+      rec.op = OpId(static_cast<std::uint64_t>(*op));
+      rec.point_index = static_cast<std::uint64_t>(*point);
+      rec.shard = ShardId(static_cast<std::uint32_t>(*shard));
+      for (const Json& a : *acc) {
+        if (a.kind != Json::Kind::Obj) return fail(line_no, "bad access record");
+        const JsonObject& ao = *a.obj;
+        const auto tree = get_num(ao, "tree");
+        const auto priv = get_num(ao, "priv");
+        const auto redop = get_num(ao, "redop");
+        const JsonArray* fields = get_arr(ao, "fields");
+        AccessRecord ar;
+        if (!tree || !priv || !redop || !fields || !parse_rect(ao, &ar.rect) ||
+            !parse_id_array(*fields, &ar.fields)) {
+          return fail(line_no, "bad access record");
+        }
+        ar.tree = RegionTreeId(static_cast<std::uint32_t>(*tree));
+        ar.privilege = static_cast<rt::Privilege>(*priv);
+        ar.redop = static_cast<rt::ReductionOpId>(*redop);
+        rec.accesses.push_back(std::move(ar));
+      }
+      out->tasks.push_back(std::move(rec));
+    } else if (*type == "edge") {
+      const auto from = get_num(o, "from");
+      const auto to = get_num(o, "to");
+      if (!from || !to) return fail(line_no, "bad edge record");
+      out->edges.push_back({TaskId(static_cast<std::uint64_t>(*from)),
+                            TaskId(static_cast<std::uint64_t>(*to))});
+    } else {
+      return fail(line_no, "unknown record type \"" + *type + "\"");
+    }
+  }
+  if (out->calls.size() != out->num_shards) {
+    return fail(line_no, "missing meta record");
+  }
+  return true;
+}
+
+}  // namespace dcr::spy

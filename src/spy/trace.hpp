@@ -1,0 +1,126 @@
+// dcr-spy trace model: the offline record of everything the runtime's
+// dependence analysis *actually did* for one execution.
+//
+// In the spirit of Legion Spy, the runtime (with DcrConfig::record_trace)
+// logs, per shard, every hashed API call with its named arguments, and,
+// globally, every operation, coarse dependence + fence-elision decision,
+// mapped point task with its concrete region accesses, and realized
+// dependence edge.  The trace is self-contained: the verifier
+// (spy/verify.hpp) re-derives the paper's §2 reference graph from the
+// recorded accesses alone, with no live runtime or region forest required,
+// so traces can be serialized to JSONL, shipped, and checked offline with
+// the tools/dcr-spy CLI.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/hash128.hpp"
+#include "common/types.hpp"
+#include "runtime/geometry.hpp"
+#include "runtime/privilege.hpp"
+
+namespace dcr::spy {
+
+inline constexpr std::uint64_t kNoCall = ~0ull;
+
+// One named argument of a hashed API call, rendered to text.  The linter
+// diffs these across shards to explain *which* argument diverged rather
+// than just reporting a hash mismatch.
+struct CallArg {
+  std::string key;
+  std::string value;
+
+  friend bool operator==(const CallArg&, const CallArg&) = default;
+};
+
+// One hashed API call from one shard's control stream (paper §3 call
+// identity: the same construction the determinism checker all-reduces).
+struct CallRecord {
+  std::uint64_t index = 0;  // call index within the shard's stream
+  std::string name;
+  Hash128 hash;
+  std::vector<CallArg> args;
+};
+
+// One concrete region access of a realized task: the unit the race
+// detector's happens-before check operates on.
+struct AccessRecord {
+  RegionTreeId tree;
+  rt::Rect rect;
+  std::vector<FieldId> fields;
+  rt::Privilege privilege = rt::Privilege::ReadOnly;
+  rt::ReductionOpId redop = rt::kNoRedop;
+};
+
+// One realized task (point task of an index launch, single task, fill, or
+// attach/detach piece) with the shard that analyzed and launched it.
+struct TaskRecord {
+  TaskId id;
+  OpId op;
+  std::uint64_t point_index = 0;
+  ShardId shard;
+  std::vector<AccessRecord> accesses;
+};
+
+// One coarse-stage dependence found between two operations on one
+// (tree, field), and what the runtime did about it: `elided == true` means
+// the symbolic same-(sharding, domain, partition, projection) proof fired
+// and no cross-shard fence was inserted.  The verifier checks every elided
+// record by exhibiting a shard-local witness for each point-level
+// dependence it covers.
+struct CoarseDepRecord {
+  OpId prev;
+  OpId next;
+  RegionTreeId tree;
+  FieldId field;
+  bool elided = false;
+};
+
+// One operation of the (replicated, hence shared) analysis stream.
+struct OpRecord {
+  OpId id;
+  std::string kind;                   // fill / task / index_launch / ...
+  std::uint64_t call_index = kNoCall; // issuing API call (kNoCall: deferred)
+  std::vector<OpId> fence_sources;    // cross-shard fences this op waits on
+};
+
+// One realized dependence edge of the runtime's merged task graph.
+struct EdgeRecord {
+  TaskId from;
+  TaskId to;
+};
+
+struct Trace {
+  std::size_t num_shards = 0;
+  std::vector<std::vector<CallRecord>> calls;  // indexed by shard
+  std::vector<OpRecord> ops;                   // in program (OpId) order
+  std::vector<CoarseDepRecord> coarse_deps;
+  std::vector<TaskRecord> tasks;
+  std::vector<EdgeRecord> edges;
+
+  const OpRecord* op(OpId id) const {
+    for (const OpRecord& rec : ops) {
+      if (rec.id == id) return &rec;
+    }
+    return nullptr;
+  }
+
+  std::size_t num_events() const {
+    std::size_t n = ops.size() + coarse_deps.size() + tasks.size() + edges.size();
+    for (const auto& stream : calls) n += stream.size();
+    return n;
+  }
+
+  // JSONL serialization: one self-describing JSON object per line.
+  void write_jsonl(std::ostream& os) const;
+  std::string to_jsonl() const;
+
+  // Parses a trace produced by write_jsonl.  Returns false and sets *error
+  // (if non-null) on malformed input.
+  static bool read_jsonl(std::istream& is, Trace* out, std::string* error = nullptr);
+};
+
+}  // namespace dcr::spy

@@ -1,0 +1,448 @@
+#include "spy/verify.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "analysis/semantics.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace dcr::spy {
+
+const char* to_string(FindingKind kind) {
+  switch (kind) {
+    case FindingKind::MalformedTrace: return "malformed-trace";
+    case FindingKind::IntraGroupConflict: return "intra-group-conflict";
+    case FindingKind::MissingDependence: return "missing-dependence";
+    case FindingKind::SpuriousDependence: return "spurious-dependence";
+    case FindingKind::RegionRace: return "region-race";
+    case FindingKind::UnsoundElision: return "unsound-elision";
+    case FindingKind::ControlDivergence: return "control-divergence";
+  }
+  return "?";
+}
+
+namespace {
+
+bool fields_intersect(const std::vector<FieldId>& a, const std::vector<FieldId>& b) {
+  for (FieldId fa : a) {
+    if (std::find(b.begin(), b.end(), fa) != b.end()) return true;
+  }
+  return false;
+}
+
+bool has_field(const std::vector<FieldId>& fields, FieldId f) {
+  return std::find(fields.begin(), fields.end(), f) != fields.end();
+}
+
+// The recorded-access dependence oracle: the offline analogue of the paper's
+// §4.1 three-step check (shared index points -> common field -> conflicting
+// privileges), evaluated on concrete per-point accesses so no region forest
+// is needed.  `field`, when valid, restricts the check to one field (used by
+// the per-(tree, field) elision audit).
+bool accesses_conflict(const AccessRecord& a, const AccessRecord& b,
+                       FieldId field = FieldId::invalid()) {
+  if (a.tree != b.tree) return false;
+  if (field.valid()) {
+    if (!has_field(a.fields, field) || !has_field(b.fields, field)) return false;
+  } else if (!fields_intersect(a.fields, b.fields)) {
+    return false;
+  }
+  if (!rt::privileges_conflict(a.privilege, a.redop, b.privilege, b.redop)) return false;
+  return rt::overlaps(a.rect, b.rect);
+}
+
+bool tasks_conflict(const TaskRecord& a, const TaskRecord& b,
+                    FieldId field = FieldId::invalid()) {
+  for (const AccessRecord& ra : a.accesses) {
+    for (const AccessRecord& rb : b.accesses) {
+      if (accesses_conflict(ra, rb, field)) return true;
+    }
+  }
+  return false;
+}
+
+std::string rect_str(const rt::Rect& r) {
+  std::ostringstream os;
+  os << '[';
+  for (int d = 0; d < r.dim; ++d) {
+    if (d) os << ',';
+    os << r.lo[static_cast<std::size_t>(d)] << ".." << r.hi[static_cast<std::size_t>(d)];
+  }
+  os << ']';
+  return os.str();
+}
+
+std::string access_str(const AccessRecord& a) {
+  std::ostringstream os;
+  os << rt::to_string(a.privilege);
+  if (a.privilege == rt::Privilege::Reduce) os << '(' << a.redop << ')';
+  os << " tree " << a.tree.value << ' ' << rect_str(a.rect) << " fields {";
+  for (std::size_t i = 0; i < a.fields.size(); ++i) {
+    if (i) os << ',';
+    os << a.fields[i].value;
+  }
+  os << '}';
+  return os.str();
+}
+
+class Verifier {
+ public:
+  Verifier(const Trace& trace, const VerifyOptions& options)
+      : trace_(trace), options_(options) {}
+
+  VerifyReport run() {
+    if (!index_trace()) return std::move(report_);
+    if (options_.check_graph || options_.check_races) build_graphs();
+    if (options_.check_graph) check_graph();
+    if (options_.check_races) check_races();
+    if (options_.check_elision) check_elisions();
+    if (options_.check_control) check_control();
+    return std::move(report_);
+  }
+
+ private:
+  // Description of one task for findings: its op, issuing API call, point.
+  std::string describe(const TaskRecord& t) const {
+    std::ostringstream os;
+    os << "task " << t.id.value << " (op " << t.op.value;
+    if (const OpRecord* op = op_of(t.op)) {
+      os << ' ' << op->kind;
+      if (op->call_index != kNoCall) os << " @call " << op->call_index;
+    }
+    os << ", point " << t.point_index << ", shard " << t.shard.value << ')';
+    return os.str();
+  }
+
+  const OpRecord* op_of(OpId id) const {
+    auto it = op_index_.find(id);
+    return it == op_index_.end() ? nullptr : it->second;
+  }
+
+  void add(FindingKind kind, std::size_t* count, const std::string& message) {
+    if ((*count)++ < options_.max_findings) report_.findings.push_back({kind, message});
+  }
+
+  bool index_trace() {
+    for (const OpRecord& op : trace_.ops) op_index_[op.id] = &op;
+    for (const TaskRecord& t : trace_.tasks) {
+      if (!task_index_.emplace(t.id, &t).second) {
+        report_.findings.push_back(
+            {FindingKind::MalformedTrace,
+             "task " + std::to_string(t.id.value) + " recorded twice"});
+        return false;
+      }
+      tasks_by_op_[t.op].push_back(&t);
+    }
+    report_.stats.tasks = trace_.tasks.size();
+    report_.stats.recorded_edges = trace_.edges.size();
+    return true;
+  }
+
+  // Replays the trace through the §2 machinery: one ATaskGroup per op, the
+  // oracle given by the recorded accesses, DEPseq via analyze_sequential.
+  void build_graphs() {
+    an::AProgram program;
+    for (const auto& [op, tasks] : tasks_by_op_) {  // std::map: OpId order
+      an::ATaskGroup group;
+      for (const TaskRecord* t : tasks) group.push_back({t->id, t->shard});
+      program.push_back(std::move(group));
+    }
+    const an::Oracle oracle = [this](TaskId t1, TaskId t2) {
+      return tasks_conflict(*task_index_.at(t1), *task_index_.at(t2));
+    };
+    reference_ = an::analyze_sequential(program, oracle).transitive_closure();
+    report_.stats.oracle_deps = reference_.num_edges();
+
+    rt::TaskGraph realized;
+    for (const TaskRecord& t : trace_.tasks) realized.add_task(t.id);
+    std::size_t malformed = 0;
+    for (const EdgeRecord& e : trace_.edges) {
+      if (!realized.has_task(e.from) || !realized.has_task(e.to)) {
+        add(FindingKind::MalformedTrace, &malformed,
+            "edge " + std::to_string(e.from.value) + " -> " + std::to_string(e.to.value) +
+                " references an unrecorded task");
+        continue;
+      }
+      if (!realized.has_edge(e.from, e.to)) realized.add_edge(e.from, e.to);
+    }
+    if (!realized.is_acyclic()) {
+      report_.findings.push_back(
+          {FindingKind::MalformedTrace, "recorded task graph has a cycle"});
+      realized_valid_ = false;
+      return;
+    }
+    realized_ = realized.transitive_closure();
+  }
+
+  // Theorem 1 against the production pipeline: the merged runtime graph and
+  // DEPseq must describe the same partial order (closures compared, so the
+  // runtime is free to emit any transitive reduction of it).
+  void check_graph() {
+    if (!realized_valid_) return;
+    std::size_t missing = 0;
+    std::size_t spurious = 0;
+    for (TaskId t : reference_.tasks()) {
+      for (TaskId s : reference_.successors(t)) {
+        if (!realized_.has_edge(t, s)) {
+          add(FindingKind::MissingDependence, &missing,
+              "DEPseq orders " + describe(*task_index_.at(t)) + " before " +
+                  describe(*task_index_.at(s)) + " but the runtime graph does not");
+        }
+      }
+    }
+    for (TaskId t : realized_.tasks()) {
+      for (TaskId s : realized_.successors(t)) {
+        if (!reference_.has_edge(t, s)) {
+          add(FindingKind::SpuriousDependence, &spurious,
+              "runtime graph orders " + describe(*task_index_.at(t)) + " before " +
+                  describe(*task_index_.at(s)) + " with no DEPseq dependence");
+        }
+      }
+    }
+  }
+
+  // Happens-before audit over per-point region accesses.  Pairs inside one
+  // op are required to be independent (paper §2's task-group well-formedness)
+  // and are reported separately, since no interleaving can be blamed.
+  void check_races() {
+    if (!realized_valid_) return;
+    std::size_t races = 0;
+    std::size_t intra = 0;
+    std::vector<const TaskRecord*> order;
+    for (const auto& [op, tasks] : tasks_by_op_) {
+      order.insert(order.end(), tasks.begin(), tasks.end());
+    }
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      for (std::size_t j = i + 1; j < order.size(); ++j) {
+        const TaskRecord& a = *order[i];
+        const TaskRecord& b = *order[j];
+        if (!tasks_conflict(a, b)) continue;
+        report_.stats.pairs_checked++;
+        if (a.op == b.op) {
+          add(FindingKind::IntraGroupConflict, &intra,
+              describe(a) + " and " + describe(b) +
+                  " of the same launch conflict: " + conflict_detail(a, b));
+          continue;
+        }
+        if (!realized_.has_edge(a.id, b.id) && !realized_.has_edge(b.id, a.id)) {
+          add(FindingKind::RegionRace, &races,
+              "unordered conflicting accesses: " + describe(a) + " vs " + describe(b) +
+                  "; " + conflict_detail(a, b) + "; repro: " + repro(a, b));
+        }
+      }
+    }
+  }
+
+  std::string conflict_detail(const TaskRecord& a, const TaskRecord& b) const {
+    for (const AccessRecord& ra : a.accesses) {
+      for (const AccessRecord& rb : b.accesses) {
+        if (accesses_conflict(ra, rb)) {
+          return access_str(ra) + " vs " + access_str(rb);
+        }
+      }
+    }
+    return "(no conflicting access pair?)";
+  }
+
+  // Minimal repro: the two issuing API calls plus the interleaving needed.
+  std::string repro(const TaskRecord& a, const TaskRecord& b) const {
+    const OpRecord* oa = op_of(a.op);
+    const OpRecord* ob = op_of(b.op);
+    std::ostringstream os;
+    os << "issue ";
+    if (oa && oa->call_index != kNoCall) {
+      os << oa->kind << " (API call " << oa->call_index << ")";
+    } else {
+      os << "op " << a.op.value;
+    }
+    os << " then ";
+    if (ob && ob->call_index != kNoCall) {
+      os << ob->kind << " (API call " << ob->call_index << ")";
+    } else {
+      os << "op " << b.op.value;
+    }
+    os << "; points " << a.point_index << " (shard " << a.shard.value << ") and "
+       << b.point_index << " (shard " << b.shard.value << ") may run in either order";
+    return os.str();
+  }
+
+  // Every elided coarse dependence must be shard-local at point granularity:
+  // for each conflicting point pair on the elided (tree, field), both tasks
+  // must have been analyzed by the same shard (the witness).  One cross-shard
+  // pair means the elision dropped a fence that was actually needed.
+  void check_elisions() {
+    std::size_t unsound = 0;
+    std::set<std::tuple<std::uint64_t, std::uint64_t, std::uint32_t, std::uint32_t>> seen;
+    for (const CoarseDepRecord& dep : trace_.coarse_deps) {
+      if (!dep.elided) continue;
+      if (!seen.insert({dep.prev.value, dep.next.value, dep.tree.value, dep.field.value})
+               .second) {
+        continue;
+      }
+      report_.stats.elisions_checked++;
+      auto prev_it = tasks_by_op_.find(dep.prev);
+      auto next_it = tasks_by_op_.find(dep.next);
+      if (prev_it == tasks_by_op_.end() || next_it == tasks_by_op_.end()) continue;
+      for (const TaskRecord* a : prev_it->second) {
+        for (const TaskRecord* b : next_it->second) {
+          if (!tasks_conflict(*a, *b, dep.field)) continue;
+          if (a->shard == b->shard) {
+            report_.stats.elision_witnesses++;
+          } else {
+            add(FindingKind::UnsoundElision, &unsound,
+                "coarse dependence op " + std::to_string(dep.prev.value) + " -> op " +
+                    std::to_string(dep.next.value) + " on (tree " +
+                    std::to_string(dep.tree.value) + ", field " +
+                    std::to_string(dep.field.value) + ") was elided, but " + describe(*a) +
+                    " conflicts with " + describe(*b) +
+                    " across shards — the fence was required");
+          }
+        }
+      }
+    }
+  }
+
+  void check_control() {
+    const LintResult lint = lint_control_determinism(trace_);
+    for (const auto& stream : trace_.calls) {
+      report_.stats.calls_checked = std::max(report_.stats.calls_checked, stream.size());
+    }
+    if (lint.divergent) {
+      report_.findings.push_back({FindingKind::ControlDivergence, lint.message});
+    }
+  }
+
+  const Trace& trace_;
+  VerifyOptions options_;
+  VerifyReport report_;
+
+  std::map<OpId, const OpRecord*> op_index_;
+  std::map<TaskId, const TaskRecord*> task_index_;
+  std::map<OpId, std::vector<const TaskRecord*>> tasks_by_op_;
+  rt::TaskGraph reference_;  // DEPseq, transitively closed
+  rt::TaskGraph realized_;   // runtime's merged graph, transitively closed
+  bool realized_valid_ = true;
+};
+
+}  // namespace
+
+VerifyReport verify(const Trace& trace, const VerifyOptions& options) {
+  return Verifier(trace, options).run();
+}
+
+std::string VerifyReport::summary() const {
+  std::ostringstream os;
+  os << (ok() ? "OK" : "FAIL") << ": " << stats.tasks << " tasks, "
+     << stats.recorded_edges << " recorded edges, " << stats.oracle_deps
+     << " DEPseq dependences, " << stats.pairs_checked << " conflicting pairs checked, "
+     << stats.elisions_checked << " elisions audited (" << stats.elision_witnesses
+     << " shard-local witnesses), " << stats.calls_checked << " API calls diffed";
+  if (!ok()) {
+    std::map<std::string, std::size_t> by_kind;
+    for (const Finding& f : findings) by_kind[to_string(f.kind)]++;
+    os << "; findings:";
+    for (const auto& [kind, n] : by_kind) os << ' ' << kind << "=" << n;
+  }
+  return os.str();
+}
+
+// --------------------------------------------------------------- the linter
+
+namespace {
+
+std::string shard_set_str(const std::vector<std::size_t>& shards) {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (i) os << ',';
+    os << shards[i];
+  }
+  os << '}';
+  return os.str();
+}
+
+// Argument-level diff of the same call index across two divergent shards.
+std::string explain_args(const CallRecord& a, std::size_t shard_a, const CallRecord& b,
+                         std::size_t shard_b) {
+  std::ostringstream os;
+  if (a.name != b.name) {
+    os << "shard " << shard_a << " called " << a.name << "() but shard " << shard_b
+       << " called " << b.name << "()";
+    return os.str();
+  }
+  const std::size_t n = std::min(a.args.size(), b.args.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a.args[i].key != b.args[i].key || a.args[i].value != b.args[i].value) {
+      os << "argument '" << a.args[i].key << "' = " << a.args[i].value << " on shard "
+         << shard_a << " but '" << b.args[i].key << "' = " << b.args[i].value
+         << " on shard " << shard_b;
+      return os.str();
+    }
+  }
+  if (a.args.size() != b.args.size()) {
+    os << "shard " << shard_a << " passed " << a.args.size() << " arguments but shard "
+       << shard_b << " passed " << b.args.size();
+    return os.str();
+  }
+  os << "hashes differ but recorded arguments agree (hash collision or unrecorded state)";
+  return os.str();
+}
+
+}  // namespace
+
+LintResult lint_control_determinism(const Trace& trace) {
+  LintResult result;
+  if (trace.calls.size() < 2) return result;
+  std::size_t max_len = 0;
+  for (const auto& stream : trace.calls) max_len = std::max(max_len, stream.size());
+
+  for (std::size_t idx = 0; idx < max_len; ++idx) {
+    // Group shards by the hash they recorded for this call index; a missing
+    // record (shorter stream) forms its own group.
+    std::map<std::string, std::vector<std::size_t>> groups;
+    for (std::size_t s = 0; s < trace.calls.size(); ++s) {
+      if (idx >= trace.calls[s].size()) {
+        groups["<no call>"].push_back(s);
+        continue;
+      }
+      const CallRecord& c = trace.calls[s][idx];
+      std::ostringstream key;
+      key << c.hash.hi << ':' << c.hash.lo;
+      groups[key.str()].push_back(s);
+    }
+    if (groups.size() <= 1) continue;
+
+    result.divergent = true;
+    result.call_index = idx;
+    std::ostringstream os;
+    os << "control determinism violation at API call " << idx << ": ";
+    // Representatives of the two largest groups carry the explanation.
+    std::vector<const std::vector<std::size_t>*> parts;
+    for (const auto& [key, shards] : groups) parts.push_back(&shards);
+    std::sort(parts.begin(), parts.end(),
+              [](const auto* a, const auto* b) { return a->size() > b->size(); });
+    const std::size_t sa = (*parts[0])[0];
+    const std::size_t sb = (*parts[1])[0];
+    const bool a_has = idx < trace.calls[sa].size();
+    const bool b_has = idx < trace.calls[sb].size();
+    if (!a_has || !b_has) {
+      const std::size_t done = a_has ? sb : sa;
+      const std::size_t alive = a_has ? sa : sb;
+      os << "shard " << done << " made only " << trace.calls[done].size()
+         << " API calls while shard " << alive << " issued "
+         << trace.calls[alive][idx].name << "()";
+    } else {
+      const CallRecord& ca = trace.calls[sa][idx];
+      const CallRecord& cb = trace.calls[sb][idx];
+      os << ca.name << "(): shards " << shard_set_str(*parts[0]) << " disagree with "
+         << shard_set_str(*parts[1]) << ": " << explain_args(ca, sa, cb, sb);
+    }
+    result.message = os.str();
+    return result;
+  }
+  return result;
+}
+
+}  // namespace dcr::spy

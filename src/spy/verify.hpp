@@ -1,0 +1,98 @@
+// dcr-spy offline verification (the correctness-tooling counterpart of the
+// fault-injection layer): given a recorded execution trace, independently
+// re-check the paper's central guarantees.
+//
+//  * Graph verifier — re-derives the §2 sequential reference graph DEPseq by
+//    replaying the trace's realized tasks through analysis/semantics.hpp
+//    with a dependence oracle built from the recorded concrete region
+//    accesses, then checks the runtime's merged cross-shard task graph is
+//    equivalent up to transitive reduction (Theorem 1, checked against the
+//    *production* pipeline rather than the abstract model).
+//  * Elision audit — every coarse dependence the runtime elided (no
+//    cross-shard fence) must be provably shard-local: the checker exhibits a
+//    witness for each covered point-level dependence by showing both
+//    endpoint tasks were analyzed by the same shard.
+//  * Region race detector — a happens-before check over per-point region
+//    accesses: any conflicting access pair left unordered by the recorded
+//    graph is flagged with a minimal repro (the two issuing API calls, the
+//    clashing rects/fields/privileges, and the shards involved).
+//  * Control-determinism linter — a cross-shard diff of the recorded call
+//    streams that localizes the first divergent API call with an
+//    argument-level explanation (which argument differed, which shards
+//    disagree), replacing the hash-only abort message.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spy/trace.hpp"
+
+namespace dcr::spy {
+
+enum class FindingKind {
+  MalformedTrace,      // internally inconsistent trace (dangling edge, ...)
+  IntraGroupConflict,  // two points of one op conflict: invalid §2 program
+  MissingDependence,   // DEPseq orders a pair the runtime graph does not
+  SpuriousDependence,  // runtime graph orders a pair DEPseq does not
+  RegionRace,          // conflicting accesses unordered by the runtime graph
+  UnsoundElision,      // elided fence with a cross-shard point dependence
+  ControlDivergence,   // shards' API call streams disagree
+};
+
+const char* to_string(FindingKind kind);
+
+struct Finding {
+  FindingKind kind;
+  std::string message;
+};
+
+struct VerifyOptions {
+  bool check_graph = true;
+  bool check_races = true;
+  bool check_elision = true;
+  bool check_control = true;
+  std::size_t max_findings = 16;  // per check; keeps pathological reports short
+};
+
+struct VerifyStats {
+  std::size_t tasks = 0;
+  std::size_t recorded_edges = 0;
+  std::size_t oracle_deps = 0;        // dependences DEPseq derives
+  std::size_t pairs_checked = 0;      // conflicting pairs race-checked
+  std::size_t elisions_checked = 0;   // distinct elided coarse deps audited
+  std::size_t elision_witnesses = 0;  // point-level shard-local witnesses
+  std::size_t calls_checked = 0;      // call indices diffed across shards
+};
+
+struct VerifyReport {
+  std::vector<Finding> findings;
+  VerifyStats stats;
+
+  bool ok() const { return findings.empty(); }
+  bool has(FindingKind kind) const {
+    for (const Finding& f : findings) {
+      if (f.kind == kind) return true;
+    }
+    return false;
+  }
+  std::string summary() const;
+};
+
+// Runs every enabled check over the trace.  An empty findings list is the
+// machine-checkable statement "this execution realized exactly the DEPseq
+// task graph, every elided fence was sound, no region race, and the control
+// streams were replicated verbatim".
+VerifyReport verify(const Trace& trace, const VerifyOptions& options = {});
+
+// The linter alone (also folded into verify() as ControlDivergence
+// findings).  Localizes the first divergent API call across shards.
+struct LintResult {
+  bool divergent = false;
+  std::uint64_t call_index = 0;
+  std::string message;
+};
+
+LintResult lint_control_determinism(const Trace& trace);
+
+}  // namespace dcr::spy

@@ -3,134 +3,37 @@
 // executed under DCR at several shard counts with task-graph recording; the
 // realized partial orders must be identical — the whole-system analogue of
 // Theorem 1, exercised through the real coarse/fine stages, fences, and
-// elision rather than the abstract semantics.
+// elision rather than the abstract semantics.  Every execution is also run
+// through the dcr-spy offline verifier (graph equivalence, race check,
+// elision audit) against its recorded trace.
 #include <gtest/gtest.h>
 
 #include <vector>
 
 #include "common/philox.hpp"
 #include "dcr/runtime.hpp"
+#include "dcr_fuzz_programs.hpp"
+#include "spy/verify.hpp"
 
 namespace dcr::core {
 namespace {
 
-struct RandomDcrProgram {
-  // One op in the generated program.
-  struct Op {
-    enum class Kind { Fill, Launch } kind;
-    std::size_t tree;       // which of the generated trees
-    std::size_t rw_part;    // disjoint partition index for the RW requirement
-    std::size_t rw_field;   // field index for the RW requirement
-    bool has_ro = false;
-    std::size_t ro_part;    // aliased (halo) partition index
-    std::size_t ro_field;
-    bool reduce = false;    // RED instead of RW on the aliased partition
-    ShardingId sharding;
-  };
-  std::size_t num_trees;
-  std::size_t tiles;
-  std::vector<Op> ops;
-};
-
-// Programs are non-interfering within each launch by construction: writes go
-// to a disjoint partition; aliased reads use a different field; reductions
-// share a reduction operator (commutative).
-RandomDcrProgram generate(Philox4x32& rng, std::size_t tiles) {
-  RandomDcrProgram p;
-  p.num_trees = 1 + rng.next_below(2);
-  p.tiles = tiles;
-  const std::size_t num_ops = 8 + rng.next_below(10);
-  for (std::size_t i = 0; i < num_ops; ++i) {
-    RandomDcrProgram::Op op;
-    op.kind = rng.next_below(6) == 0 ? RandomDcrProgram::Op::Kind::Fill
-                                     : RandomDcrProgram::Op::Kind::Launch;
-    op.tree = rng.next_below(p.num_trees);
-    op.rw_part = rng.next_below(2);   // two disjoint partitions per tree
-    op.rw_field = rng.next_below(2);  // two fields per tree
-    if (rng.next_below(2)) {
-      op.has_ro = true;
-      op.ro_part = 0;  // the single halo partition per tree
-      op.ro_field = 1 - op.rw_field;
-      op.reduce = rng.next_below(3) == 0;
-    }
-    op.sharding = rng.next_below(2) ? ShardingRegistry::blocked()
-                                    : ShardingRegistry::cyclic();
-    p.ops.push_back(op);
-  }
-  return p;
-}
-
-ApplicationMain materialize(const RandomDcrProgram& p, FunctionId fn) {
-  return [p, fn](Context& ctx) {
-    using namespace rt;
-    struct TreeState {
-      IndexSpaceId root;
-      std::vector<FieldId> fields;
-      std::vector<PartitionId> disjoint;  // [0]: blocked-equal, [1]: two-level grid
-      PartitionId halo;
-    };
-    std::vector<TreeState> trees;
-    for (std::size_t t = 0; t < p.num_trees; ++t) {
-      FieldSpaceId fs = ctx.create_field_space();
-      TreeState st;
-      st.fields.push_back(ctx.allocate_field(fs, 8, "a"));
-      st.fields.push_back(ctx.allocate_field(fs, 8, "b"));
-      const RegionTreeId tree =
-          ctx.create_region(Rect::r1(0, static_cast<std::int64_t>(p.tiles) * 64 - 1), fs);
-      st.root = ctx.root(tree);
-      st.disjoint.push_back(ctx.partition_equal(st.root, p.tiles));
-      // A second, offset disjoint partition (different tile boundaries).
-      std::vector<Rect> offset;
-      const std::int64_t n = static_cast<std::int64_t>(p.tiles) * 64;
-      for (std::size_t c = 0; c < p.tiles; ++c) {
-        const std::int64_t lo = static_cast<std::int64_t>(c) * n /
-                                static_cast<std::int64_t>(p.tiles);
-        const std::int64_t hi =
-            (static_cast<std::int64_t>(c) + 1) * n / static_cast<std::int64_t>(p.tiles) - 1;
-        offset.push_back(Rect::r1(std::min(lo + 7, hi), hi));
-      }
-      st.disjoint.push_back(ctx.create_partition(st.root, offset, true));
-      st.halo = ctx.partition_with_halo(st.root, p.tiles, 2);
-      trees.push_back(st);
-    }
-
-    const Rect domain = Rect::r1(0, static_cast<std::int64_t>(p.tiles) - 1);
-    for (const auto& op : p.ops) {
-      const TreeState& st = trees[op.tree];
-      if (op.kind == RandomDcrProgram::Op::Kind::Fill) {
-        ctx.fill(st.root, {st.fields[op.rw_field]});
-        continue;
-      }
-      IndexLaunch l;
-      l.fn = fn;
-      l.domain = domain;
-      l.sharding = op.sharding;
-      l.requirements.push_back(rt::GroupRequirement::on_partition(
-          st.disjoint[op.rw_part], {st.fields[op.rw_field]}, rt::Privilege::ReadWrite));
-      if (op.has_ro) {
-        l.requirements.push_back(rt::GroupRequirement::on_partition(
-            st.halo, {st.fields[op.ro_field]},
-            op.reduce ? rt::Privilege::Reduce : rt::Privilege::ReadOnly,
-            op.reduce ? 1 : 0));
-      }
-      ctx.index_launch(l);
-    }
-    ctx.execution_fence();
-  };
-}
-
-rt::TaskGraph realize(const RandomDcrProgram& p, std::size_t nodes) {
+rt::TaskGraph realize(const fuzz::RandomDcrProgram& p, std::size_t nodes) {
   sim::Machine machine({.num_nodes = nodes,
                         .compute_procs_per_node = 1,
                         .network = {.alpha = us(1), .ns_per_byte = 0.1}});
   FunctionRegistry functions;
   const FunctionId fn = functions.register_simple("t", us(1), 1.0);
   DcrConfig cfg;
-  cfg.record_task_graph = true;
+  cfg.record_trace = true;  // implies record_task_graph
   DcrRuntime rt(machine, functions, cfg);
-  const auto stats = rt.execute(materialize(p, fn));
+  const auto stats = rt.execute(fuzz::materialize(p, fn));
   EXPECT_TRUE(stats.completed);
   EXPECT_FALSE(stats.determinism_violation);
+  const spy::VerifyReport report = spy::verify(*rt.trace());
+  EXPECT_TRUE(report.ok()) << report.summary() << (report.findings.empty()
+                                                       ? ""
+                                                       : "\n  " + report.findings[0].message);
   return rt.realized_graph().transitive_closure();
 }
 
@@ -138,7 +41,7 @@ class DcrFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(DcrFuzz, RealizedPartialOrderIdenticalAcrossShardCounts) {
   Philox4x32 rng(GetParam(), /*stream=*/9);
-  const RandomDcrProgram program = generate(rng, /*tiles=*/6);
+  const fuzz::RandomDcrProgram program = fuzz::generate(rng, /*tiles=*/6);
   const rt::TaskGraph reference = realize(program, 1);
   EXPECT_TRUE(reference.is_acyclic());
   for (std::size_t nodes : {2u, 3u, 6u}) {

@@ -1,0 +1,157 @@
+// dcr-spy: offline trace verifier CLI (the Legion Spy analogue for this
+// runtime).  Subcommands:
+//
+//   dcr-spy record <stencil|circuit|pennant> [--shards N] [--out FILE]
+//                  [--disable-fence-elision]
+//       Run the named app under DCR with trace recording and write the
+//       JSONL trace (default: <app>.trace.jsonl).
+//   dcr-spy verify <trace.jsonl>
+//       Run every check: graph ≡ DEPseq, region races, elision audit,
+//       control-determinism lint.  Exit 0 if clean, 1 if findings.
+//   dcr-spy lint <trace.jsonl>
+//       Control-determinism linter only.
+//   dcr-spy dot <trace.jsonl>
+//       Dump the recorded task graph as Graphviz DOT on stdout.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "apps/circuit.hpp"
+#include "apps/pennant.hpp"
+#include "apps/stencil.hpp"
+#include "dcr/runtime.hpp"
+#include "runtime/graph_dump.hpp"
+#include "spy/trace.hpp"
+#include "spy/verify.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage:\n"
+            << "  dcr-spy record <stencil|circuit|pennant> [--shards N] [--out FILE]"
+               " [--disable-fence-elision]\n"
+            << "  dcr-spy verify <trace.jsonl>\n"
+            << "  dcr-spy lint <trace.jsonl>\n"
+            << "  dcr-spy dot <trace.jsonl>\n";
+  return 2;
+}
+
+bool load_trace(const char* path, dcr::spy::Trace* trace) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "dcr-spy: cannot open " << path << "\n";
+    return false;
+  }
+  std::string error;
+  if (!dcr::spy::Trace::read_jsonl(in, trace, &error)) {
+    std::cerr << "dcr-spy: " << path << ": " << error << "\n";
+    return false;
+  }
+  return true;
+}
+
+int cmd_record(int argc, char** argv) {
+  using namespace dcr;
+  if (argc < 1) return usage();
+  const std::string app = argv[0];
+  std::size_t shards = 4;
+  std::string out_path = app + ".trace.jsonl";
+  core::DcrConfig cfg;
+  cfg.record_trace = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--disable-fence-elision") == 0) {
+      cfg.disable_fence_elision = true;
+    } else {
+      return usage();
+    }
+  }
+
+  sim::Machine machine({.num_nodes = shards,
+                        .compute_procs_per_node = 1,
+                        .network = {.alpha = us(1), .ns_per_byte = 0.1}});
+  core::FunctionRegistry functions;
+  core::ApplicationMain main_fn;
+  if (app == "stencil") {
+    const auto fns = apps::register_stencil_functions(functions, 1.0);
+    main_fn = apps::make_stencil_app(
+        {.cells_per_tile = 128, .tiles = 2 * shards, .steps = 5}, fns);
+  } else if (app == "circuit") {
+    const auto fns = apps::register_circuit_functions(functions, 1.0);
+    main_fn = apps::make_circuit_app(
+        {.nodes_per_piece = 100, .wires_per_piece = 200, .pieces = 2 * shards, .steps = 5},
+        fns);
+  } else if (app == "pennant") {
+    const auto fns = apps::register_pennant_functions(functions, 1.0);
+    main_fn = apps::make_pennant_app(
+        {.zones_per_piece = 200, .pieces = 2 * shards, .cycles = 5}, fns);
+  } else {
+    return usage();
+  }
+
+  core::DcrRuntime rt(machine, functions, cfg);
+  const core::DcrStats stats = rt.execute(main_fn);
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "dcr-spy: cannot write " << out_path << "\n";
+    return 2;
+  }
+  rt.trace()->write_jsonl(out);
+  std::cout << "recorded " << app << " at " << shards << " shards: "
+            << rt.trace()->num_events() << " events -> " << out_path
+            << (stats.completed ? "" : " (execution did not complete)") << "\n";
+  return stats.completed ? 0 : 1;
+}
+
+int cmd_verify(const char* path) {
+  dcr::spy::Trace trace;
+  if (!load_trace(path, &trace)) return 2;
+  const dcr::spy::VerifyReport report = dcr::spy::verify(trace);
+  std::cout << report.summary() << "\n";
+  for (const auto& f : report.findings) {
+    std::cout << "  [" << dcr::spy::to_string(f.kind) << "] " << f.message << "\n";
+  }
+  return report.ok() ? 0 : 1;
+}
+
+int cmd_lint(const char* path) {
+  dcr::spy::Trace trace;
+  if (!load_trace(path, &trace)) return 2;
+  const dcr::spy::LintResult lint = dcr::spy::lint_control_determinism(trace);
+  if (!lint.divergent) {
+    std::cout << "OK: " << trace.num_shards << " shard call streams are replicated\n";
+    return 0;
+  }
+  std::cout << lint.message << "\n";
+  return 1;
+}
+
+int cmd_dot(const char* path) {
+  dcr::spy::Trace trace;
+  if (!load_trace(path, &trace)) return 2;
+  dcr::rt::TaskGraph graph;
+  for (const auto& t : trace.tasks) graph.add_task(t.id);
+  for (const auto& e : trace.edges) {
+    if (graph.has_task(e.from) && graph.has_task(e.to) && !graph.has_edge(e.from, e.to)) {
+      graph.add_edge(e.from, e.to);
+    }
+  }
+  dcr::rt::write_dot(std::cout, graph);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "record") return cmd_record(argc - 2, argv + 2);
+  if (cmd == "verify") return cmd_verify(argv[2]);
+  if (cmd == "lint") return cmd_lint(argv[2]);
+  if (cmd == "dot") return cmd_dot(argv[2]);
+  return usage();
+}
