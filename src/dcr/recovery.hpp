@@ -62,6 +62,9 @@ struct FailureReport {
   std::uint64_t committed_api_calls = 0; // determinism checks contributed
   std::uint64_t committed_epochs = 0;    // epoch fences passed
   std::uint64_t outstanding_ops = 0;     // machine-wide in-flight tasks at detection
+  // Cached dependence templates the failed shard lost; its replacement
+  // re-captures them during fast-forward replay (dcr/template.hpp).
+  std::uint64_t templates_dropped = 0;
   bool recovered = false;
   SimTime recovered_at = 0;  // replacement caught up to the failure frontier
 
@@ -71,7 +74,7 @@ struct FailureReport {
        << crashed_at << "ns (detected t=" << detected_at << "ns) after "
        << committed_ops << " ops, " << committed_api_calls << " api calls, "
        << committed_epochs << " epochs; " << outstanding_ops
-       << " tasks in flight";
+       << " tasks in flight, " << templates_dropped << " templates dropped";
     if (recovered) {
       os << "; recovered at t=" << recovered_at << "ns";
     } else {

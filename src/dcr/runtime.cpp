@@ -13,23 +13,37 @@ namespace {
 
 constexpr std::uint64_t kPointsPerOp = 1ull << 20;  // canonical TaskId packing
 
-Hash128 hash_fields(Hasher128& h, const std::vector<FieldId>& fields) {
-  h.value(fields.size());
-  for (FieldId f : fields) h.value(f.value);
-  return h.finish();
-}
-
 // Builds the §3 call-identity hash and, when spy trace recording is on, a
 // parallel list of the same arguments as named text — the raw material for
 // the control-determinism linter's argument-level diff (spy/verify.hpp).
 // With capture off, this is the plain Hasher128 path plus one branch per arg.
+//
+// A second lane accumulates the *template-identity* hash (dcr/template.hpp):
+// the same construction minus the arguments declared volatile via varg() —
+// scalar task arguments and future / future-map ids, which legitimately
+// differ across loop iterations without changing any analysis decision.  The
+// full §3 hash still covers them, so the determinism checker is unaffected.
 class SigBuilder {
  public:
-  SigBuilder(const char* name, bool capture) : capture_(capture) { h_.string(name); }
+  SigBuilder(const char* name, bool capture) : capture_(capture) {
+    h_.string(name);
+    t_.string(name);
+  }
 
   template <typename T>
     requires std::is_integral_v<T>
   SigBuilder& arg(const char* key, T v) {
+    h_.value(v);
+    t_.value(v);
+    if (capture_) args_.push_back({key, std::to_string(v)});
+    return *this;
+  }
+
+  // Volatile argument: hashed for control determinism, excluded from the
+  // template identity.
+  template <typename T>
+    requires std::is_integral_v<T>
+  SigBuilder& varg(const char* key, T v) {
     h_.value(v);
     if (capture_) args_.push_back({key, std::to_string(v)});
     return *this;
@@ -43,12 +57,14 @@ class SigBuilder {
 
   SigBuilder& arg(const char* key, const std::string& s) {
     h_.string(s);
+    t_.string(s);
     if (capture_) args_.push_back({key, s});
     return *this;
   }
 
   SigBuilder& arg(const char* key, const rt::Rect& r) {
     h_.value(r.dim).value(r.lo).value(r.hi);
+    t_.value(r.dim).value(r.lo).value(r.hi);
     if (capture_) {
       std::string v = "[";
       for (int d = 0; d < r.dim; ++d) {
@@ -63,9 +79,11 @@ class SigBuilder {
 
   SigBuilder& arg(const char* key, const std::vector<FieldId>& fields) {
     h_.value(fields.size());
+    t_.value(fields.size());
     std::string v = "{";
     for (std::size_t i = 0; i < fields.size(); ++i) {
       h_.value(fields[i].value);
+      t_.value(fields[i].value);
       if (capture_) {
         if (i) v += ',';
         v += std::to_string(fields[i].value);
@@ -76,10 +94,12 @@ class SigBuilder {
   }
 
   Hash128 finish() const { return h_.finish(); }
+  Hash128 tfinish() const { return t_.finish(); }
   std::vector<spy::CallArg> take_args() { return std::move(args_); }
 
  private:
   Hasher128 h_;
+  Hasher128 t_;
   bool capture_;
   std::vector<spy::CallArg> args_;
 };
@@ -104,12 +124,16 @@ class ShardContext final : public Context {
   // index sequence stays aligned with the live shards either way.
   void api_call(const char* name, SigBuilder& sig) {
     const Hash128 h = sig.finish();
+    st_.last_template_hash = sig.tfinish();
     const bool replaying = st_.api_calls < st_.replay_calls_end;
     if (replaying) {
       // The dead incarnation already contributed this call (and its spy
-      // trace record); a replay only fast-forwards.
+      // trace record); a replay only fast-forwards.  The template manager
+      // still sees the call so a replacement shard re-captures templates
+      // while fast-forwarding through trace windows.
       pctx_.delay(rt_.config_.replay_call_cost);
       st_.api_calls++;
+      if (rt_.config_.tracing_enabled) st_.templates.on_call(st_.last_template_hash);
       return;
     }
     SimTime cost = rt_.config_.issue_cost;
@@ -123,6 +147,7 @@ class ShardContext final : public Context {
     }
     st_.commit.record_call(st_.api_calls);
     st_.api_calls++;
+    if (rt_.config_.tracing_enabled) st_.templates.on_call(st_.last_template_hash);
     st_.last_heard = pctx_.now();  // lease refresh, piggybacked on API traffic
     if (st_.pending_report >= 0) {
       // First live (non-replayed) call: the replacement has caught up to the
@@ -253,7 +278,9 @@ class ShardContext final : public Context {
       sb.arg((k + ".fields").c_str(), r.fields);
     }
     for (std::size_t i = 0; i < launch.args.size(); ++i) {
-      sb.arg(("arg" + std::to_string(i)).c_str(), launch.args[i]);
+      // Scalar task arguments (e.g. the loop index) are volatile: they do not
+      // affect any dependence-analysis decision.
+      sb.varg(("arg" + std::to_string(i)).c_str(), launch.args[i]);
     }
     api_call("launch", sb);
     DcrRuntime::TaskPayload p{launch, ~0ull};
@@ -281,7 +308,7 @@ class ShardContext final : public Context {
       sb.arg((k + ".fields").c_str(), r.fields);
     }
     for (std::size_t i = 0; i < launch.args.size(); ++i) {
-      sb.arg(("arg" + std::to_string(i)).c_str(), launch.args[i]);
+      sb.varg(("arg" + std::to_string(i)).c_str(), launch.args[i]);
     }
     api_call("index_launch", sb);
     DcrRuntime::IndexPayload p{launch, ~0ull};
@@ -296,7 +323,8 @@ class ShardContext final : public Context {
 
   Future reduce_future_map(const FutureMap& fm, ReduceOp op) override {
     SigBuilder sb = sig("reduce_future_map");
-    sb.arg("future_map", fm.id).arg("op", op);
+    // Future-map ids increment monotonically across iterations: volatile.
+    sb.varg("future_map", fm.id).arg("op", op);
     api_call("reduce_future_map", sb);
     DCR_CHECK(fm.valid()) << "reducing an invalid future map";
     Future f;
@@ -307,7 +335,7 @@ class ShardContext final : public Context {
 
   double get_future(const Future& f) override {
     SigBuilder sb = sig("get_future");
-    sb.arg("future", f.id);
+    sb.varg("future", f.id);
     api_call("get_future", sb);
     DCR_CHECK(f.valid()) << "waiting on an invalid future";
     auto it = rt_.futures_.find(f.id);
@@ -321,7 +349,7 @@ class ShardContext final : public Context {
     // the returned value may differ across shards — branching on it is the
     // control-determinism violation the checker exists to catch.
     SigBuilder sb = sig("future_is_ready");
-    sb.arg("future", f.id);
+    sb.varg("future", f.id);
     api_call("future_is_ready", sb);
     auto it = rt_.futures_.find(f.id);
     if (it == rt_.futures_.end()) return false;
@@ -386,15 +414,18 @@ class ShardContext final : public Context {
     rt_.issue(*this, std::move(p));
   }
 
-  // ---- tracing ----
+  // ---- tracing (dependence templates, dcr/template.hpp) ----
   void begin_trace(TraceId id) override {
     SigBuilder sb = sig("begin_trace");
     sb.arg("trace", id.value);
     api_call("begin_trace", sb);
     if (!rt_.config_.tracing_enabled) return;
-    DCR_CHECK(!st_.active_trace) << "nested traces are not supported";
-    st_.active_trace = id;
-    st_.trace_pos = 0;
+    DCR_CHECK(!st_.templates.active()) << "nested traces are not supported";
+    // The window keys its validity on the forest mutation epoch, the runtime
+    // recovery epoch, and the count of consensus deletions this shard has
+    // folded in (insertions shift op ids, breaking relative dep offsets).
+    st_.templates.begin(id, rt_.forest_.mutation_epoch(), rt_.recovery_epoch_,
+                        st_.deletions_processed, rt_.config_.template_validation);
   }
 
   void end_trace(TraceId id) override {
@@ -402,18 +433,9 @@ class ShardContext final : public Context {
     sb.arg("trace", id.value);
     api_call("end_trace", sb);
     if (!rt_.config_.tracing_enabled) return;
-    DCR_CHECK(st_.active_trace && *st_.active_trace == id) << "mismatched end_trace";
-    auto& rec = st_.traces[id];
-    if (!rec.recorded) {
-      rec.recorded = true;
-    } else if (st_.trace_pos != rec.op_signatures.size()) {
-      // Replay ended short of the recording: the behaviour changed shape.
-      // Invalidate so the next occurrence re-records (Legion falls back to a
-      // fresh analysis in this case).
-      rec.recorded = false;
-      rec.op_signatures.resize(st_.trace_pos);
-    }
-    st_.active_trace.reset();
+    DCR_CHECK(st_.templates.active() && *st_.templates.active() == id)
+        << "mismatched end_trace";
+    st_.templates.end(rt_.forest_);
   }
 
   // ---- environment ----
@@ -484,7 +506,7 @@ DcrRuntime::~DcrRuntime() = default;
 
 // --------------------------------------------------------------- summaries
 
-std::vector<DcrRuntime::ReqSummary> DcrRuntime::summarize(const OpRecord& op) const {
+std::vector<ReqSummary> DcrRuntime::summarize(const OpRecord& op) const {
   std::vector<ReqSummary> out;
   const ShardId owner = single_op_owner(op.id);
   auto single = [&](IndexSpaceId region, const std::vector<FieldId>& fields,
@@ -551,19 +573,29 @@ std::vector<DcrRuntime::ReqSummary> DcrRuntime::summarize(const OpRecord& op) co
 
 bool DcrRuntime::dependence_is_shard_local(const ReqSummary& prev,
                                            const ReqSummary& next) const {
-  if (prev.is_index && next.is_index) {
-    // Paper §4.1, observation 2 (Figures 10/11): same sharding function, same
-    // launch domain, same *disjoint* partition, same projection => every
-    // point-level dependence stays on one shard.
-    return prev.sharding == next.sharding && prev.domain == next.domain &&
-           prev.partition.valid() && prev.partition == next.partition &&
-           prev.projection == next.projection && forest_.is_disjoint(prev.partition);
+  // Paper §4.1, observation 2 (Figures 10/11) — shared with the template
+  // validation audit, which must re-prove recorded elisions the same way.
+  return summaries_shard_local(forest_, prev, next);
+}
+
+void DcrRuntime::apply_epoch_update(OpId op, FieldId f, const ReqSummary& r) {
+  CoarseFieldState& fs = coarse_state_[{r.tree, f}];
+  switch (r.privilege) {
+    case rt::Privilege::ReadWrite:
+    case rt::Privilege::WriteDiscard:
+      fs.last_writer = GroupUse{op, r};
+      fs.readers_since.clear();
+      fs.reducers_since.clear();
+      break;
+    case rt::Privilege::Reduce:
+      fs.reducers_since.push_back(GroupUse{op, r});
+      break;
+    case rt::Privilege::ReadOnly:
+      fs.readers_since.push_back(GroupUse{op, r});
+      break;
+    case rt::Privilege::None:
+      break;
   }
-  if (!prev.is_index && !next.is_index) {
-    // Two single operations analyzed by the same owner shard.
-    return prev.single_owner == next.single_owner;
-  }
-  return false;  // single <-> group: conservatively cross-shard (Figure 10 fill)
 }
 
 const DcrRuntime::CoarseDecision& DcrRuntime::coarse_decision(const OpRecord& op) {
@@ -578,6 +610,15 @@ const DcrRuntime::CoarseDecision& DcrRuntime::coarse_decision(const OpRecord& op
   coarse_state_next_op_++;
 
   CoarseDecision dec;
+  if (std::holds_alternative<FillPayload>(op.payload)) dec.kind = "fill";
+  else if (std::holds_alternative<TaskPayload>(op.payload)) dec.kind = "task";
+  else if (std::holds_alternative<IndexPayload>(op.payload)) dec.kind = "index_launch";
+  else if (std::holds_alternative<ReducePayload>(op.payload)) dec.kind = "reduce_future_map";
+  else if (std::holds_alternative<AttachPayload>(op.payload)) {
+    dec.kind = std::get<AttachPayload>(op.payload).detach ? "detach" : "attach";
+  } else if (std::holds_alternative<DeletePayload>(op.payload)) dec.kind = "delete";
+  else if (std::holds_alternative<FencePayload>(op.payload)) dec.kind = "fence";
+
   std::set<OpId> sources;
 
   if (std::holds_alternative<DeletePayload>(op.payload) ||
@@ -587,7 +628,7 @@ const DcrRuntime::CoarseDecision& DcrRuntime::coarse_decision(const OpRecord& op
     if (op.id.value > 0) sources.insert(OpId(op.id.value - 1));
     dec.num_reqs = 1;
   } else {
-    const std::vector<ReqSummary> reqs = summarize(op);
+    std::vector<ReqSummary> reqs = summarize(op);
     dec.num_reqs = reqs.size();
     for (const ReqSummary& r : reqs) {
       for (FieldId f : r.fields) {
@@ -607,30 +648,15 @@ const DcrRuntime::CoarseDecision& DcrRuntime::coarse_decision(const OpRecord& op
           } else {
             sources.insert(prev.op);
           }
-          if (trace_) trace_->coarse_deps.push_back({prev.op, op.id, r.tree, f, elide});
+          dec.dep_records.push_back({prev.op, op.id, r.tree, f, elide});
         };
         if (fs.last_writer) consider(*fs.last_writer);
         for (const GroupUse& rd : fs.readers_since) consider(rd);
         for (const GroupUse& rx : fs.reducers_since) consider(rx);
-        // Epoch update.
-        switch (r.privilege) {
-          case rt::Privilege::ReadWrite:
-          case rt::Privilege::WriteDiscard:
-            fs.last_writer = GroupUse{op.id, r};
-            fs.readers_since.clear();
-            fs.reducers_since.clear();
-            break;
-          case rt::Privilege::Reduce:
-            fs.reducers_since.push_back(GroupUse{op.id, r});
-            break;
-          case rt::Privilege::ReadOnly:
-            fs.readers_since.push_back(GroupUse{op.id, r});
-            break;
-          case rt::Privilege::None:
-            break;
-        }
+        apply_epoch_update(op.id, f, r);
       }
     }
+    dec.summaries = std::move(reqs);
   }
   dec.fence_sources.assign(sources.begin(), sources.end());
   stats_.coarse_deps += dec.deps;
@@ -638,18 +664,164 @@ const DcrRuntime::CoarseDecision& DcrRuntime::coarse_decision(const OpRecord& op
   if (!dec.fence_sources.empty()) stats_.fences_inserted++;
   if (trace_) {
     // Ops reach here exactly once, in program order (checked above).
-    const char* kind = "?";
-    if (std::holds_alternative<FillPayload>(op.payload)) kind = "fill";
-    else if (std::holds_alternative<TaskPayload>(op.payload)) kind = "task";
-    else if (std::holds_alternative<IndexPayload>(op.payload)) kind = "index_launch";
-    else if (std::holds_alternative<ReducePayload>(op.payload)) kind = "reduce_future_map";
-    else if (std::holds_alternative<AttachPayload>(op.payload)) {
-      kind = std::get<AttachPayload>(op.payload).detach ? "detach" : "attach";
-    } else if (std::holds_alternative<DeletePayload>(op.payload)) kind = "delete";
-    else if (std::holds_alternative<FencePayload>(op.payload)) kind = "fence";
-    trace_->ops.push_back({op.id, kind, op.call_index, dec.fence_sources});
+    for (const spy::CoarseDepRecord& d : dec.dep_records) trace_->coarse_deps.push_back(d);
+    trace_->ops.push_back({op.id, dec.kind, op.call_index, dec.fence_sources});
   }
   return coarse_decisions_.emplace(op.id, std::move(dec)).first->second;
+}
+
+// ----------------------------------------------------- dependence templates
+
+std::shared_ptr<const PointPlanList> DcrRuntime::make_point_plan(ShardId s,
+                                                                 const IndexPayload& index) {
+  const IndexLaunch& launch = index.launch;
+  const auto& points =
+      shardings_.owned_points(launch.sharding, launch.domain, num_shards(), s);
+  auto plan = std::make_shared<PointPlanList>();
+  plan->reserve(points.size());
+  for (const rt::Point& p : points) {
+    PointPlan pp;
+    pp.point = p;
+    pp.point_index = rt::linearize(launch.domain, p);
+    pp.reqs.reserve(launch.requirements.size());
+    for (const rt::GroupRequirement& gr : launch.requirements) {
+      pp.reqs.push_back(gr.concretize(forest_, projections_, p, launch.domain));
+    }
+    plan->push_back(std::move(pp));
+  }
+  return plan;
+}
+
+void DcrRuntime::capture_template_op(ShardState& st, const OpRecord& op,
+                                     const CoarseDecision& dec) {
+  TemplateOp rec;
+  rec.payload_kind = op.payload.index();
+  rec.call_hash = op.call_hash;
+  rec.kind = dec.kind;
+  rec.num_reqs = dec.num_reqs;
+  rec.summaries = dec.summaries;
+  rec.deps.reserve(dec.dep_records.size());
+  for (const spy::CoarseDepRecord& d : dec.dep_records) {
+    if (d.prev.value >= op.id.value) {
+      st.templates.abort_window("non-causal coarse dependence during capture");
+      return;
+    }
+    rec.deps.push_back({op.id.value - d.prev.value, d.prev.value, /*absolute=*/false,
+                        d.tree, d.field, d.elided});
+  }
+  rec.fences.reserve(dec.fence_sources.size());
+  for (OpId src : dec.fence_sources) {
+    rec.fences.push_back({op.id.value - src.value, src.value, /*absolute=*/false});
+  }
+  rec.plan = op.plan;
+  st.templates.record_op(std::move(rec));
+}
+
+void DcrRuntime::validate_template_op(ShardState& st, const OpRecord& op,
+                                      const CoarseDecision& dec) {
+  TemplateOp& rec = *op.trec;
+  auto fail = [&](const char* what) {
+    st.templates.validation_failed(std::string("shadow compare mismatch at op ") +
+                                   std::to_string(op.id.value) + ": " + what);
+  };
+  if (!(rec.call_hash == op.call_hash)) return fail("API-call identity");
+  if (rec.kind != dec.kind) return fail("op kind");
+  if (rec.num_reqs != dec.num_reqs) return fail("requirement count");
+  if (rec.summaries != dec.summaries) return fail("requirement summaries");
+  if (rec.deps.size() != dec.dep_records.size()) return fail("coarse dependence count");
+  for (std::size_t i = 0; i < rec.deps.size(); ++i) {
+    const spy::CoarseDepRecord& d = dec.dep_records[i];
+    TemplateDep& rd = rec.deps[i];
+    if (rd.tree != d.tree || rd.field != d.field || rd.elided != d.elided) {
+      return fail("coarse dependences / elision verdicts");
+    }
+    // Resolve which source encoding survived an iteration: per-iteration
+    // sources keep their relative offset; fixed ops (an init fill issued
+    // before the loop) keep their absolute id.
+    if (rd.prev_offset == op.id.value - d.prev.value) {
+      rd.absolute = false;
+    } else if (rd.abs_source == d.prev.value) {
+      rd.absolute = true;
+    } else {
+      return fail("coarse dependence source");
+    }
+  }
+  if (rec.fences.size() != dec.fence_sources.size()) return fail("fence count");
+  for (std::size_t i = 0; i < rec.fences.size(); ++i) {
+    const OpId src = dec.fence_sources[i];
+    TemplateFence& rf = rec.fences[i];
+    if (rf.prev_offset == op.id.value - src.value) {
+      rf.absolute = false;
+    } else if (rf.abs_source == src.value) {
+      rf.absolute = true;
+    } else {
+      return fail("fence sources");
+    }
+  }
+  const PointPlanList empty;
+  const PointPlanList& fresh_plan = op.plan ? *op.plan : empty;
+  const PointPlanList& stored_plan = rec.plan ? *rec.plan : empty;
+  if (!(fresh_plan == stored_plan)) return fail("fine-stage point plan");
+}
+
+const DcrRuntime::CoarseDecision& DcrRuntime::install_replayed_decision(const OpRecord& op) {
+  auto it = coarse_decisions_.find(op.id);
+  if (it != coarse_decisions_.end()) return it->second;  // another shard got here first
+  const TemplateOp& rec = *op.trec;
+  DCR_CHECK(coarse_state_next_op_ == op.id.value)
+      << "template replay out of order: expected op " << coarse_state_next_op_ << " got "
+      << op.id.value;
+  coarse_state_next_op_++;
+
+  CoarseDecision dec;
+  dec.kind = rec.kind;
+  dec.num_reqs = rec.num_reqs;
+  dec.summaries = rec.summaries;
+  std::set<OpId> sources;
+  const auto source_of = [&op](std::uint64_t offset, std::uint64_t abs, bool absolute) {
+    if (absolute) {
+      DCR_CHECK(abs < op.id.value) << "corrupt template absolute source";
+      return OpId(abs);
+    }
+    DCR_CHECK(offset >= 1 && offset <= op.id.value) << "corrupt template source offset";
+    return OpId(op.id.value - offset);
+  };
+  for (const TemplateDep& d : rec.deps) {
+    const OpId prev = source_of(d.prev_offset, d.abs_source, d.absolute);
+    dec.deps++;
+    if (d.elided) {
+      dec.elided++;
+    } else {
+      sources.insert(prev);
+    }
+    dec.dep_records.push_back({prev, op.id, d.tree, d.field, d.elided});
+  }
+  for (const TemplateFence& f : rec.fences) {
+    sources.insert(source_of(f.prev_offset, f.abs_source, f.absolute));
+  }
+  dec.fence_sources.assign(sources.begin(), sources.end());
+  // Fold the recorded summaries into the shared epoch state exactly as a
+  // fresh analysis would, so ops after the window (and un-templated ops
+  // between windows) still see the correct last users.  The conflict scans
+  // against those users are what the replay skips.
+  for (const ReqSummary& r : dec.summaries) {
+    for (FieldId f : r.fields) apply_epoch_update(op.id, f, r);
+  }
+  stats_.coarse_deps += dec.deps;
+  stats_.fences_elided += dec.elided;
+  if (!dec.fence_sources.empty()) stats_.fences_inserted++;
+  if (trace_) {
+    for (const spy::CoarseDepRecord& d : dec.dep_records) trace_->coarse_deps.push_back(d);
+    trace_->ops.push_back({op.id, dec.kind, op.call_index, dec.fence_sources});
+  }
+  return coarse_decisions_.emplace(op.id, std::move(dec)).first->second;
+}
+
+bool DcrRuntime::all_fences_complete() const {
+  for (const auto& [id, rec] : fences_) {
+    if (!rec.coll->complete()) return false;
+  }
+  return true;
 }
 
 DcrRuntime::FutureRecord& DcrRuntime::ensure_future(std::uint64_t id, OpId producer,
@@ -711,6 +883,11 @@ void DcrRuntime::issue(ShardContext& ctx, OpPayload payload) {
   while (true) {
     auto it = agreed_insertions_.find(st.next_op);
     if (it == agreed_insertions_.end()) break;
+    // An insertion shifts every later op id, breaking a template's relative
+    // dependence offsets: drop any window in flight (deletions_processed is
+    // part of the template validity key, so stored templates also invalidate
+    // at their next begin).
+    st.templates.abort_window("consensus deletion inserted inside a trace window");
     OpRecord del{OpId(st.next_op), OpPayload(it->second), false};
     st.next_op++;
     st.deletions_processed++;
@@ -740,38 +917,51 @@ void DcrRuntime::issue(ShardContext& ctx, OpPayload payload) {
     ensure_reduce_future(red->future_id, red->op);
   }
 
-  // Tracing: signature-match replays charge reduced analysis costs.
-  if (st.active_trace) {
-    auto& rec = st.traces[*st.active_trace];
-    Hasher128 h;
-    h.value(op.payload.index());
-    if (const auto* task = std::get_if<TaskPayload>(&op.payload)) {
-      h.value(task->launch.fn.value);
-    } else if (const auto* index = std::get_if<IndexPayload>(&op.payload)) {
-      h.value(index->launch.fn.value).value(index->launch.domain.lo).value(
-          index->launch.domain.hi);
+  // Dependence templates (dcr/template.hpp): capture this op's decisions or
+  // replay the recorded ones, per the window's mode.
+  if (st.templates.active()) {
+    op.call_hash = st.last_template_hash;
+    switch (st.templates.mode()) {
+      case TemplateManager::Mode::Capture:
+        op.tmode = TemplateManager::Mode::Capture;
+        if (const auto* index = std::get_if<IndexPayload>(&op.payload)) {
+          op.plan = make_point_plan(ctx.shard(), *index);
+        }
+        break;
+      case TemplateManager::Mode::Validate: {
+        // Fresh analysis still drives execution; decisions are shadow-compared
+        // against the recording in validate_template_op().
+        TemplateOp* rec = st.templates.next_op();
+        if (rec == nullptr) break;  // window just aborted
+        if (rec->payload_kind != op.payload.index()) {
+          st.templates.abort_window("op payload kind diverged from the recording");
+          break;
+        }
+        op.tmode = TemplateManager::Mode::Validate;
+        op.trec = rec;
+        if (const auto* index = std::get_if<IndexPayload>(&op.payload)) {
+          op.plan = make_point_plan(ctx.shard(), *index);
+        }
+        break;
+      }
+      case TemplateManager::Mode::Replay: {
+        TemplateOp* rec = st.templates.next_op();
+        if (rec == nullptr) break;
+        if (rec->payload_kind != op.payload.index() || !(rec->call_hash == op.call_hash)) {
+          st.templates.abort_window("op identity diverged from the recording");
+          break;
+        }
+        op.tmode = TemplateManager::Mode::Replay;
+        op.trec = rec;
+        op.plan = rec->plan;
+        op.traced = true;  // charge the reduced analysis costs
+        // A replayed (recovery) op re-derives template state without re-counting.
+        if (op.id.value >= st.replay_ops_end) stats_.traced_ops++;
+        break;
+      }
+      case TemplateManager::Mode::Inactive:
+        break;
     }
-    for (const ReqSummary& r : summarize(op)) {
-      h.value(r.upper_bound.value).value(static_cast<std::uint8_t>(r.privilege));
-      h.value(r.is_index).value(r.sharding.value).value(r.partition.value);
-      hash_fields(h, r.fields);
-    }
-    const Hash128 sig = h.finish();
-    if (!rec.recorded) {
-      rec.op_signatures.push_back(sig);
-    } else if (st.trace_pos < rec.op_signatures.size() &&
-               rec.op_signatures[st.trace_pos] == sig) {
-      op.traced = true;
-      // A replayed (recovery) op re-derives the trace state without re-counting.
-      if (op.id.value >= st.replay_ops_end) stats_.traced_ops++;
-    } else {
-      // Behaviour changed: invalidate and re-record (Legion would abort the
-      // replay and fall back to a fresh analysis).
-      rec.recorded = false;
-      rec.op_signatures.resize(st.trace_pos);
-      rec.op_signatures.push_back(sig);
-    }
-    st.trace_pos++;
   }
 
   commit_op(ctx.shard(), op);
@@ -785,7 +975,27 @@ void DcrRuntime::issue(ShardContext& ctx, OpPayload payload) {
 // as the op's api_call hash, so a crash never splits a call from its op.
 void DcrRuntime::commit_op(ShardId s, const OpRecord& op) {
   ShardState& st = shard(s);
-  if (op.id.value < st.replay_ops_end) return;
+  if (op.id.value < st.replay_ops_end) {
+    // The op's external work is already done, but a replacement shard
+    // fast-forwarding through a trace window still re-captures the template:
+    // the decision is in the shared cache (the dead incarnation processed it).
+    if (op.tmode == TemplateManager::Mode::Capture ||
+        op.tmode == TemplateManager::Mode::Validate) {
+      auto it = coarse_decisions_.find(op.id);
+      if (it != coarse_decisions_.end()) {
+        if (op.tmode == TemplateManager::Mode::Validate) {
+          validate_template_op(st, op, it->second);
+        }
+        capture_template_op(st, op, it->second);
+      } else {
+        st.templates.abort_window("committed op has no cached coarse decision");
+      }
+    }
+    return;
+  }
+  if (op.tmode == TemplateManager::Mode::Replay && op.trec != nullptr) {
+    install_replayed_decision(op);
+  }
   process_op(s, op);
   st.commit.record_op(op.id.value);
   if (std::holds_alternative<FencePayload>(op.payload)) {
@@ -795,7 +1005,17 @@ void DcrRuntime::commit_op(ShardId s, const OpRecord& op) {
 
 void DcrRuntime::process_op(ShardId s, const OpRecord& op) {
   ShardState& st = shard(s);
+  // Replayed ops had their recorded decision installed by commit_op, so this
+  // lookup hits the cache and skips the conflict scans entirely.
   const CoarseDecision& dec = coarse_decision(op);
+  if (op.tmode == TemplateManager::Mode::Capture) {
+    capture_template_op(st, op, dec);
+  } else if (op.tmode == TemplateManager::Mode::Validate) {
+    validate_template_op(st, op, dec);
+    // Also feed the shadow re-recording that replaces the stored template if
+    // the compare above mismatched (record_op routes by mode).
+    capture_template_op(st, op, dec);
+  }
 
   // ---- coarse stage cost (Figure 9 top): independent of group size ----
   const SimTime coarse_cost =
@@ -822,7 +1042,11 @@ void DcrRuntime::process_op(ShardId s, const OpRecord& op) {
 
   // ---- fine stage cost (Figure 9 bottom): proportional to owned points ----
   std::uint64_t owned = 0;
-  if (const auto* index = std::get_if<IndexPayload>(&op.payload)) {
+  if (op.plan) {
+    // Captured or replayed fine-stage mapping: the owned-point set is the
+    // plan itself (no sharding-function enumeration needed on replay).
+    owned = op.plan->size();
+  } else if (const auto* index = std::get_if<IndexPayload>(&op.payload)) {
     owned = shardings_
                 .owned_points(index->launch.sharding, index->launch.domain, num_shards(), s)
                 .size();
@@ -840,6 +1064,9 @@ void DcrRuntime::process_op(ShardId s, const OpRecord& op) {
       (op.traced ? config_.traced_fine_cost_per_point : config_.fine_cost_per_point) * owned;
 
   OpRecord op_copy = op;
+  // The template record may be dropped (window abort, invalidation) before
+  // the fine stage runs; the shared_ptr plan is all execute_points needs.
+  op_copy.trec = nullptr;
   const sim::Event fine_done =
       analysis_proc(s).enqueue(fine_cost, sim::merge_events(std::span<const sim::Event>(pre)),
                                [this, s, op_copy = std::move(op_copy)] {
@@ -856,8 +1083,6 @@ void DcrRuntime::execute_points(ShardId s, const OpRecord& op) {
 
   if (const auto* index = std::get_if<IndexPayload>(&op.payload)) {
     const IndexLaunch& launch = index->launch;
-    const auto& points =
-        shardings_.owned_points(launch.sharding, launch.domain, num_shards(), s);
     // Future-map bookkeeping for this shard.
     FutureMapRecord* fm = nullptr;
     if (index->future_map_id != ~0ull) {
@@ -875,15 +1100,28 @@ void DcrRuntime::execute_points(ShardId s, const OpRecord& op) {
       }
     }
     std::vector<sim::Event> completions;
-    for (const rt::Point& p : points) {
-      std::vector<rt::Requirement> reqs;
-      reqs.reserve(launch.requirements.size());
-      for (const rt::GroupRequirement& gr : launch.requirements) {
-        reqs.push_back(gr.concretize(forest_, projections_, p, launch.domain));
+    if (op.plan) {
+      // Template path: the per-point projection results were recorded at
+      // capture, so the replay touches neither the forest nor the projection
+      // registry.
+      for (const PointPlan& pp : *op.plan) {
+        completions.push_back(launch_point_task(s, op, pp.point, pp.point_index, pp.reqs,
+                                                launch.args, launch.fn,
+                                                index->future_map_id));
       }
-      const std::uint64_t point_index = rt::linearize(launch.domain, p);
-      completions.push_back(launch_point_task(s, op, p, point_index, reqs, launch.args,
-                                              launch.fn, index->future_map_id));
+    } else {
+      const auto& points =
+          shardings_.owned_points(launch.sharding, launch.domain, num_shards(), s);
+      for (const rt::Point& p : points) {
+        std::vector<rt::Requirement> reqs;
+        reqs.reserve(launch.requirements.size());
+        for (const rt::GroupRequirement& gr : launch.requirements) {
+          reqs.push_back(gr.concretize(forest_, projections_, p, launch.domain));
+        }
+        const std::uint64_t point_index = rt::linearize(launch.domain, p);
+        completions.push_back(launch_point_task(s, op, p, point_index, reqs, launch.args,
+                                                launch.fn, index->future_map_id));
+      }
     }
     if (fm) {
       fm->shard_values_ready[s.value] = completions.empty()
@@ -1290,6 +1528,14 @@ DcrStats DcrRuntime::execute(const ApplicationMain& main) {
     stats_.analysis_busy += machine_.analysis_proc(NodeId(static_cast<std::uint32_t>(n))).busy_time();
   }
   stats_.compute_busy = machine_.total_compute_busy();
+  for (const auto& st : shards_) {
+    const TemplateManager::Counters& c = st->templates.counters();
+    stats_.templates_captured += c.captured;
+    stats_.templates_validated += c.validated;
+    stats_.template_replays += c.window_replays;
+    stats_.template_invalidations += c.invalidated;
+    stats_.template_validation_failures += c.validation_failures;
+  }
 
   stats_.aborted = aborted_;
   stats_.abort_message = abort_message_;
@@ -1455,9 +1701,12 @@ void DcrRuntime::start_recovery(ShardState& st) {
     st.next_op = 0;
     st.api_calls = 0;
     st.rng = std::make_unique<Philox4x32>(/*seed=*/0x5eed, /*stream=*/0);
-    st.active_trace.reset();
-    st.trace_pos = 0;
-    st.traces.clear();
+    // Failover drops every cached dependence template (ISSUE: templates are
+    // rebuilt from scratch by the replacement) and bumps the runtime-wide
+    // recovery epoch so live shards drop theirs at the next window begin.
+    failures_[report_idx].templates_dropped = st.templates.size();
+    st.templates.reset();
+    recovery_epoch_++;
     st.deferred_requests.clear();
     st.deletions_processed = 0;
     st.main_returned = false;

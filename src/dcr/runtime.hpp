@@ -38,6 +38,7 @@
 #include "dcr/mapper.hpp"
 #include "dcr/recovery.hpp"
 #include "dcr/sharding.hpp"
+#include "dcr/template.hpp"
 #include "dcr/user_tracker.hpp"
 #include "runtime/physical.hpp"
 #include "runtime/region.hpp"
@@ -61,13 +62,19 @@ struct DcrConfig {
   SimTime fine_cost_per_op = ns(500);      // fine stage, fixed per op
   SimTime hash_cost = ns(100);             // determinism hash per API call
 
-  // Tracing (paper §5.5): replayed ops charge these reduced costs instead.
+  // Dependence templates (dcr/template.hpp): ops replayed from a validated
+  // template skip re-analysis and charge these reduced costs instead.
   SimTime traced_coarse_cost_per_req = ns(100);
   SimTime traced_fine_cost_per_point = ns(60);
   SimTime traced_fine_cost_per_op = ns(100);
 
   bool determinism_checks = true;
   bool tracing_enabled = true;
+  // Require the capture -> validate -> replay lifecycle: a captured template
+  // is shadow-compared against one full fresh analysis (and audited against
+  // the DEPseq sequential semantics) before its first replay.  Disabling
+  // replays templates on their first recurrence, unvalidated.
+  bool template_validation = true;
   // Ablation: insert a cross-shard fence for every coarse dependence instead
   // of eliding provably shard-local ones (paper §4.1, observation 2).
   bool disable_fence_elision = false;
@@ -117,7 +124,14 @@ struct DcrStats {
   std::uint64_t fences_elided = 0;       // coarse deps proven shard-local
   std::uint64_t coarse_deps = 0;
   std::uint64_t determinism_checks = 0;
-  std::uint64_t traced_ops = 0;
+  std::uint64_t traced_ops = 0;  // ops replayed from a dependence template
+
+  // Dependence templates, summed over shards (each shard captures its own).
+  std::uint64_t templates_captured = 0;
+  std::uint64_t templates_validated = 0;
+  std::uint64_t template_replays = 0;              // whole windows replayed
+  std::uint64_t template_invalidations = 0;        // epoch/shape invalidations
+  std::uint64_t template_validation_failures = 0;  // shadow-compare re-records
   std::uint64_t bytes_moved = 0;
   std::uint64_t messages = 0;
   SimTime analysis_busy = 0;
@@ -173,6 +187,17 @@ class DcrRuntime {
   // dcr-spy execution trace (only populated with config.record_trace).
   const spy::Trace* trace() const { return trace_.get(); }
 
+  // Dependence-template observability (tests): per-shard template store and
+  // the runtime-wide recovery epoch that invalidates templates on failover.
+  TemplateManager& shard_templates(ShardId s) { return shard(s).templates; }
+  std::uint64_t recovery_epoch() const { return recovery_epoch_; }
+  // Fence observability (template/fence interaction tests): how many fence
+  // collectives exist and whether every shard arrived at each of them — a
+  // replayed window must drive exactly the fence traffic fresh analysis does,
+  // or the run could not have quiesced.
+  std::size_t num_fences() const { return fences_.size(); }
+  bool all_fences_complete() const;
+
  private:
   friend class ShardContext;
 
@@ -212,32 +237,31 @@ class DcrRuntime {
   struct OpRecord {
     OpId id;
     OpPayload payload;
-    bool traced = false;  // inside a trace replay: charge reduced costs
+    bool traced = false;  // replayed from a template: charge reduced costs
     std::uint64_t call_index = ~0ull;  // issuing API call (spy trace identity)
+    // Dependence-template plumbing, set by issue() for ops inside a trace
+    // window (transient: trec is only valid until the issuing call returns).
+    TemplateManager::Mode tmode = TemplateManager::Mode::Inactive;
+    TemplateOp* trec = nullptr;
+    Hash128 call_hash{};  // template-identity hash of the issuing API call
+    std::shared_ptr<const PointPlanList> plan{};  // fine-stage point mapping
   };
 
-  // Coarse-stage requirement summary: the upper-bound view plus the launch
-  // identity needed for the fence-elision proof.
-  struct ReqSummary {
-    RegionTreeId tree;
-    IndexSpaceId upper_bound;
-    std::vector<FieldId> fields;
-    rt::Privilege privilege;
-    rt::ReductionOpId redop;
-    // Launch identity (index launches only; single ops leave these invalid).
-    bool is_index = false;
-    ShardingId sharding;
-    rt::Rect domain;
-    PartitionId partition;       // invalid when the requirement names a region
-    ProjectionId projection;
-    ShardId single_owner;        // owner shard for single (non-index) ops
-  };
+  // ReqSummary / PointPlan live in dcr/template.hpp (same namespace): the
+  // template layer records them verbatim.
 
   struct CoarseDecision {
     std::vector<OpId> fence_sources;  // cross-shard fences to wait for
     std::uint64_t deps = 0;           // coarse dependences found (stats)
     std::uint64_t elided = 0;         // deps proven shard-local (stats)
     std::size_t num_reqs = 0;         // for cost accounting
+    // Raw material for template capture and spy trace emission: every coarse
+    // dependence with its elision verdict, this op's requirement summaries
+    // (the epoch updates it folded into the shared state), and the spy
+    // op-kind string.
+    std::vector<spy::CoarseDepRecord> dep_records;
+    std::vector<ReqSummary> summaries;
+    std::string kind = "?";
   };
 
   // Per-(tree,field) coarse users, shared by all shards (identical streams).
@@ -251,11 +275,6 @@ class DcrRuntime {
     std::vector<GroupUse> reducers_since;
   };
 
-  struct TraceRecord {
-    std::vector<Hash128> op_signatures;
-    bool recorded = false;
-  };
-
   // ------------------------------------------------------------ shard state
   struct ShardState {
     ShardId id;
@@ -267,10 +286,10 @@ class DcrRuntime {
     std::uint64_t api_calls = 0;       // determinism-check call index
     sim::Event fine_tail;              // previous fine analysis on this shard
     std::unique_ptr<Philox4x32> rng;
-    // Per-shard trace capture/replay state (paper §5.5).
-    std::optional<TraceId> active_trace;
-    std::uint64_t trace_pos = 0;
-    std::map<TraceId, TraceRecord> traces;
+    // Per-shard dependence templates (dcr/template.hpp): capture, validate,
+    // and replay of trace windows' analysis decisions.
+    TemplateManager templates;
+    Hash128 last_template_hash;  // template-identity hash of the latest call
     // Deferred deletions this shard has requested (in request order).
     std::vector<RegionTreeId> deferred_requests;
     std::uint64_t deletions_processed = 0;
@@ -327,6 +346,22 @@ class DcrRuntime {
   std::vector<ReqSummary> summarize(const OpRecord& op) const;
   const CoarseDecision& coarse_decision(const OpRecord& op);
   bool dependence_is_shard_local(const ReqSummary& prev, const ReqSummary& next) const;
+  // Folds one requirement summary into the shared per-(tree,field) coarse
+  // epoch state — used identically by fresh analysis and template replay.
+  void apply_epoch_update(OpId op, FieldId f, const ReqSummary& r);
+
+  // ---- dependence templates (dcr/template.hpp) ----
+  // Installs the recorded coarse decision for a replayed op into the shared
+  // decision cache without re-running the conflict scans.
+  const CoarseDecision& install_replayed_decision(const OpRecord& op);
+  // Capture: turn a computed decision (+ the op's fine-stage plan) into a
+  // TemplateOp on this shard's recording.
+  void capture_template_op(ShardState& st, const OpRecord& op, const CoarseDecision& dec);
+  // Validate: shadow-compare a fresh decision/plan against the recording.
+  void validate_template_op(ShardState& st, const OpRecord& op, const CoarseDecision& dec);
+  // Fine-stage mapping for this shard's owned points of an index launch
+  // (what a replay skips recomputing).
+  std::shared_ptr<const PointPlanList> make_point_plan(ShardId s, const IndexPayload& index);
   FenceRecord& fence_for(OpId dependent);
   FutureRecord& ensure_future(std::uint64_t id, OpId producer, bool broadcast);
   FutureRecord& ensure_reduce_future(std::uint64_t id, ReduceOp rop);
@@ -403,6 +438,9 @@ class DcrRuntime {
 
   ApplicationMain main_;  // kept for respawning replacement shards
   std::vector<FailureReport> failures_;
+  // Bumped once per shard failover: live shards drop their templates at the
+  // next window begin (the failover may have rewound shared analysis state).
+  std::uint64_t recovery_epoch_ = 0;
   bool aborted_ = false;
   std::string abort_message_;
 

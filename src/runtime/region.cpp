@@ -7,6 +7,7 @@ namespace dcr::rt {
 // ----------------------------------------------------------- field spaces
 
 FieldSpaceId RegionForest::create_field_space() {
+  mutation_epoch_++;
   field_spaces_.emplace_back();
   return FieldSpaceId(static_cast<std::uint32_t>(field_spaces_.size() - 1));
 }
@@ -14,6 +15,7 @@ FieldSpaceId RegionForest::create_field_space() {
 FieldId RegionForest::allocate_field(FieldSpaceId fs, std::size_t size_bytes,
                                      std::string name) {
   DCR_CHECK(fs.value < field_spaces_.size());
+  mutation_epoch_++;
   const FieldId f(static_cast<std::uint32_t>(fields_.size()));
   fields_.push_back(FieldRec{size_bytes, std::move(name), false});
   field_spaces_[fs.value].fields.push_back(f);
@@ -25,6 +27,7 @@ void RegionForest::free_field(FieldSpaceId fs, FieldId f) {
   auto& list = field_spaces_[fs.value].fields;
   auto it = std::find(list.begin(), list.end(), f);
   DCR_CHECK(it != list.end()) << "field not in field space";
+  mutation_epoch_++;
   list.erase(it);
   fields_[f.value].freed = true;
 }
@@ -63,6 +66,7 @@ IndexSpaceId RegionForest::new_region(RegionTreeId tree, const Rect& bounds,
 
 RegionTreeId RegionForest::create_tree(const Rect& bounds, FieldSpaceId fs) {
   DCR_CHECK(fs.value < field_spaces_.size());
+  mutation_epoch_++;
   const RegionTreeId tree(static_cast<std::uint32_t>(trees_.size()));
   const IndexSpaceId root =
       new_region(tree, bounds, PartitionId::invalid(), 0, /*depth=*/0);
@@ -73,6 +77,7 @@ RegionTreeId RegionForest::create_tree(const Rect& bounds, FieldSpaceId fs) {
 void RegionForest::destroy_tree(RegionTreeId tree) {
   DCR_CHECK(tree.value < trees_.size());
   DCR_CHECK(!trees_[tree.value].destroyed) << "double destroy of region tree";
+  mutation_epoch_++;
   trees_[tree.value].destroyed = true;
 }
 
@@ -110,6 +115,7 @@ PartitionId RegionForest::create_partition(IndexSpaceId parent, std::vector<Rect
     }
   }
 #endif
+  mutation_epoch_++;
   const PartitionId pid(static_cast<std::uint32_t>(partitions_.size()));
   PartitionNode node;
   node.id = pid;

@@ -89,6 +89,12 @@ class RegionForest {
   // Exact geometric overlap (dense rects, same tree required).
   bool regions_overlap(IndexSpaceId a, IndexSpaceId b) const;
 
+  // Monotone counter bumped by every structural mutation (tree/partition/
+  // field creation or destruction).  Cached analysis artifacts — dependence
+  // templates in particular — key their validity on this: a changed epoch
+  // means region/partition ids or shapes may have shifted under them.
+  std::uint64_t mutation_epoch() const { return mutation_epoch_; }
+
   // True only if the *tree structure* proves a and b disjoint: they diverge
   // below a common disjoint partition.  Conservative: returns false for
   // aliased/cross-partition pairs even when the geometry happens to be
@@ -139,6 +145,7 @@ class RegionForest {
                           std::uint64_t color, int depth);
 
   std::vector<RegionNode> regions_;
+  std::uint64_t mutation_epoch_ = 0;
   std::vector<PartitionNode> partitions_;
   std::vector<TreeRec> trees_;
   std::vector<FieldSpaceRec> field_spaces_;

@@ -28,6 +28,8 @@ struct Requirement {
   std::vector<FieldId> fields;
   Privilege privilege = Privilege::ReadOnly;
   ReductionOpId redop = kNoRedop;
+
+  friend bool operator==(const Requirement&, const Requirement&) = default;
 };
 
 // Projection functions are pure: (partition, point, launch domain) -> region.

@@ -199,6 +199,18 @@ class FenceCollective {
   Event arrive(std::size_t rank) { return impl_.arrive(rank, Unit{}); }
   std::size_t num_ranks() const { return impl_.num_ranks(); }
   bool has_arrived(std::size_t rank) const { return impl_.has_arrived(rank); }
+  // How many ranks have contributed so far.  Dependence-template tests use
+  // this to assert replayed windows drive the same fence traffic as fresh
+  // analysis: every fence a replay re-creates must still be fully arrived at
+  // by every shard before the run can quiesce.
+  std::size_t arrivals() const {
+    std::size_t n = 0;
+    for (std::size_t r = 0; r < impl_.num_ranks(); ++r) {
+      n += impl_.has_arrived(r) ? 1 : 0;
+    }
+    return n;
+  }
+  bool complete() const { return arrivals() == num_ranks(); }
 
  private:
   struct Unit {};

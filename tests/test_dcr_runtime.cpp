@@ -332,7 +332,7 @@ TEST(DcrRuntime, ChangedTraceInvalidatesAndReRecords) {
     const FieldId f = ctx.allocate_field(fs, 8, "f");
     const RegionTreeId tree = ctx.create_region(rt::Rect::r1(0, 99), fs);
     const PartitionId part = ctx.partition_equal(ctx.root(tree), 2);
-    for (int i = 0; i < 6; ++i) {
+    for (int i = 0; i < 8; ++i) {
       ctx.begin_trace(TraceId(7));
       IndexLaunch launch;
       launch.fn = (i < 3) ? fa : fb;  // shape change at iteration 3
@@ -346,9 +346,16 @@ TEST(DcrRuntime, ChangedTraceInvalidatesAndReRecords) {
   });
   EXPECT_TRUE(stats.completed);
   EXPECT_FALSE(stats.determinism_violation);
-  // Replays: iterations 1,2 (first recording) and 4,5 (re-recording after the
-  // mismatch at iteration 3), counted once per shard: 4 ops x 2 shards.
-  EXPECT_EQ(stats.traced_ops, 8u);
+  // Lifecycle per shard: iteration 0 captures; iteration 1's shadow compare
+  // mismatches (iteration 0 had no predecessor) and re-records; iteration 2
+  // validates; iteration 3 would replay but the changed function diverges the
+  // call hash, aborting the window and dropping the template; iteration 4
+  // re-captures, 5 validates, and only 6..7 replay: 2 ops x 2 shards.
+  EXPECT_EQ(stats.traced_ops, 4u);
+  EXPECT_EQ(stats.templates_captured, 4u);           // iterations 0 and 4, per shard
+  EXPECT_EQ(stats.template_invalidations, 2u);       // the iteration-3 abort, per shard
+  EXPECT_EQ(stats.template_validation_failures, 2u); // the iteration-1 re-record, per shard
+  EXPECT_EQ(stats.template_replays, 4u);             // iterations 6..7, per shard
 }
 
 // ------------------------------------------------------------- side effects

@@ -15,6 +15,7 @@
 #include "apps/stencil.hpp"
 #include "common/philox.hpp"
 #include "dcr/runtime.hpp"
+#include "dcr_fuzz_programs.hpp"
 #include "sim/fault.hpp"
 #include "sim/machine.hpp"
 #include "sim/reliable.hpp"
@@ -438,7 +439,9 @@ class FaultFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(FaultFuzz, RecoveredRunsMatchFaultFreeGraph) {
   const std::uint64_t seed = GetParam();
-  Philox4x32 rng(seed, /*stream=*/21);
+  // Label-derived seed: -L faults explores a program space disjoint from
+  // -L spy's, instead of both sweeping 0..N (see tests/README.md).
+  Philox4x32 rng(fuzz::seed_for_label("faults", seed), /*stream=*/21);
   const RandomProgram program = generate_program(rng, /*tiles=*/6);
   const std::size_t nodes = 3;
 
@@ -459,8 +462,10 @@ TEST_P(FaultFuzz, RecoveredRunsMatchFaultFreeGraph) {
   ASSERT_TRUE(reference.is_acyclic());
 
   // Random fault plan: seeded drops plus a crash at a seed-dependent point.
+  // The plan uses its own label so message fates decorrelate from the
+  // generated program.
   sim::FaultConfig fcfg;
-  fcfg.seed = seed * 2654435761u + 1;
+  fcfg.seed = fuzz::seed_for_label("faults-plan", seed);
   fcfg.drop_rate = 0.005;
   const NodeId victim(static_cast<std::uint32_t>(1 + seed % (nodes - 1)));
   const SimTime crash_at = fault_free_makespan * (1 + seed % 3) / 4;

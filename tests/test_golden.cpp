@@ -1,0 +1,190 @@
+// Golden-graph regression tests: the realized machine-wide task graph of each
+// paper workload, exported as canonical DOT (runtime/graph_dump.hpp), diffed
+// against a committed golden file.  One golden per application: dynamic
+// control replication promises the *same* realized graph at every shard
+// count, so the 2-, 8- and 32-shard runs (and the template-replayed stencil)
+// all diff against one file.  Mismatches are reported edge-by-edge.
+//
+// Regenerate after an intentional analysis change with:
+//   DCR_UPDATE_GOLDEN=1 ctest -L golden
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/circuit.hpp"
+#include "apps/pennant.hpp"
+#include "apps/stencil.hpp"
+#include "dcr/runtime.hpp"
+#include "runtime/graph_dump.hpp"
+
+#ifndef DCR_GOLDEN_DIR
+#define DCR_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace dcr {
+namespace {
+
+constexpr std::size_t kShardCounts[] = {2, 8, 32};
+
+sim::MachineConfig machine_config(std::size_t nodes) {
+  return {.num_nodes = nodes,
+          .compute_procs_per_node = 1,
+          .network = {.alpha = us(1), .ns_per_byte = 0.1, .local_latency = ns(50)}};
+}
+
+// Builds the app (registering its functions), runs it on `shards` shards with
+// task-graph recording on, and returns the canonical DOT of the realized
+// machine-wide graph.
+using AppMaker = std::function<core::ApplicationMain(core::FunctionRegistry&)>;
+
+std::string realized_dot(std::size_t shards, const AppMaker& make, const char* name) {
+  sim::Machine machine(machine_config(shards));
+  core::FunctionRegistry functions;
+  const core::ApplicationMain app = make(functions);
+  core::DcrConfig cfg;
+  cfg.record_task_graph = true;
+  core::DcrRuntime rt(machine, functions, cfg);
+  const core::DcrStats stats = rt.execute(app);
+  EXPECT_TRUE(stats.completed) << name << " at " << shards << " shards";
+  EXPECT_FALSE(stats.determinism_violation) << name << " at " << shards << " shards";
+  return rt::to_dot(rt.realized_graph(), nullptr, name);
+}
+
+std::string golden_path(const std::string& app) {
+  return std::string(DCR_GOLDEN_DIR) + "/" + app + ".dot";
+}
+
+bool update_mode() {
+  const char* e = std::getenv("DCR_UPDATE_GOLDEN");
+  return e != nullptr && std::string(e) != "" && std::string(e) != "0";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return in ? os.str() : std::string();
+}
+
+// DOT structure for edge-level diffing: node lines and "a -> b" edge lines.
+struct DotGraph {
+  std::set<std::string> nodes;
+  std::set<std::string> edges;
+};
+
+DotGraph parse_dot(const std::string& dot) {
+  DotGraph g;
+  std::istringstream in(dot);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t arrow = line.find(" -> ");
+    if (arrow != std::string::npos) {
+      std::string e = line.substr(0, line.rfind(';'));
+      // strip leading indentation
+      e.erase(0, e.find_first_not_of(" \t"));
+      g.edges.insert(e);
+    } else if (line.find("[label=") != std::string::npos) {
+      std::string n = line.substr(0, line.find(' ', 2));
+      n.erase(0, n.find_first_not_of(" \t"));
+      g.nodes.insert(n);
+    }
+  }
+  return g;
+}
+
+// Diffs `actual` against the golden DOT and fails with a readable edge-level
+// report rather than a wall of text.
+void expect_matches_golden(const std::string& app, std::size_t shards,
+                           const std::string& golden, const std::string& actual) {
+  if (golden == actual) return;
+  const DotGraph want = parse_dot(golden);
+  const DotGraph got = parse_dot(actual);
+  std::ostringstream os;
+  os << "realized graph for " << app << " at " << shards
+     << " shards diverges from " << golden_path(app) << "\n"
+     << "  golden: " << want.nodes.size() << " tasks, " << want.edges.size()
+     << " edges; actual: " << got.nodes.size() << " tasks, " << got.edges.size()
+     << " edges\n";
+  auto report = [&os](const char* what, const std::set<std::string>& a,
+                      const std::set<std::string>& b) {
+    std::vector<std::string> diff;
+    for (const std::string& e : a) {
+      if (b.find(e) == b.end()) diff.push_back(e);
+    }
+    if (diff.empty()) return;
+    os << "  " << diff.size() << " " << what << ":\n";
+    for (std::size_t i = 0; i < diff.size() && i < 20; ++i) {
+      os << "    " << diff[i] << "\n";
+    }
+    if (diff.size() > 20) os << "    ... (" << (diff.size() - 20) << " more)\n";
+  };
+  report("edges missing (in golden, not produced)", want.edges, got.edges);
+  report("edges unexpected (produced, not in golden)", got.edges, want.edges);
+  report("tasks missing", want.nodes, got.nodes);
+  report("tasks unexpected", got.nodes, want.nodes);
+  os << "  (intentional change? regenerate with DCR_UPDATE_GOLDEN=1)";
+  ADD_FAILURE() << os.str();
+}
+
+// Runs `make` at every shard count and diffs each realized graph against the
+// single committed golden — replication invariance plus regression in one.
+void check_app(const std::string& app, const AppMaker& make) {
+  const std::string path = golden_path(app);
+  if (update_mode()) {
+    const std::string dot = realized_dot(kShardCounts[0], make, app.c_str());
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << dot;
+    out.close();
+    std::printf("[golden] regenerated %s\n", path.c_str());
+  }
+  const std::string golden = read_file(path);
+  ASSERT_FALSE(golden.empty()) << "missing golden file " << path
+                               << "; generate with DCR_UPDATE_GOLDEN=1";
+  for (std::size_t shards : kShardCounts) {
+    expect_matches_golden(app, shards, golden, realized_dot(shards, make, app.c_str()));
+  }
+}
+
+TEST(Golden, Stencil) {
+  check_app("stencil", [](core::FunctionRegistry& reg) {
+    const auto fns = apps::register_stencil_functions(reg, 1.0);
+    return apps::make_stencil_app({.cells_per_tile = 4, .tiles = 8, .steps = 3}, fns);
+  });
+}
+
+TEST(Golden, StencilTraced) {
+  // Template capture/validate/replay must realize the exact graph the fresh
+  // analysis does — diffed against the same golden as the untraced run.
+  check_app("stencil", [](core::FunctionRegistry& reg) {
+    const auto fns = apps::register_stencil_functions(reg, 1.0);
+    apps::StencilConfig cfg{.cells_per_tile = 4, .tiles = 8, .steps = 3};
+    cfg.use_trace = true;
+    return apps::make_stencil_app(cfg, fns);
+  });
+}
+
+TEST(Golden, Circuit) {
+  check_app("circuit", [](core::FunctionRegistry& reg) {
+    const auto fns = apps::register_circuit_functions(reg, 1.0);
+    return apps::make_circuit_app(
+        {.nodes_per_piece = 20, .wires_per_piece = 40, .pieces = 8, .steps = 2}, fns);
+  });
+}
+
+TEST(Golden, Pennant) {
+  check_app("pennant", [](core::FunctionRegistry& reg) {
+    const auto fns = apps::register_pennant_functions(reg, 1.0);
+    return apps::make_pennant_app({.zones_per_piece = 40, .pieces = 8, .cycles = 2},
+                                  fns);
+  });
+}
+
+}  // namespace
+}  // namespace dcr
