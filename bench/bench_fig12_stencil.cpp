@@ -7,6 +7,8 @@
 //       as per-task granularity shrinks below runtime overhead; No-CR first,
 //       DCR next (~64 nodes in the paper), SCR last (~128).
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 
 #include "apps/stencil.hpp"
 #include "baselines/central.hpp"
@@ -22,14 +24,25 @@ using apps::StencilConfig;
 constexpr double kNsPerCell = 10.0;  // GPU kernel cost per cell
 constexpr std::size_t kSteps = 10;
 
+// --profile: record dcr-prof spans in the DCR runs and dump the 64-node weak
+// scaling run as Chrome trace JSON (fig12_stencil_64.prof.json, Perfetto).
+bool g_profile = false;
+
 SimTime run_dcr(std::size_t nodes, const StencilConfig& cfg, bool scr) {
   sim::Machine machine(bench::cluster(nodes));
   core::FunctionRegistry functions;
   const auto fns = apps::register_stencil_functions(functions, kNsPerCell);
-  core::DcrRuntime rt(machine, functions,
-                      scr ? baselines::scr_config() : core::DcrConfig{});
+  core::DcrConfig dcfg = scr ? baselines::scr_config() : core::DcrConfig{};
+  dcfg.profile = g_profile;
+  core::DcrRuntime rt(machine, functions, dcfg);
   const auto stats = rt.execute(apps::make_stencil_app(cfg, fns));
   DCR_CHECK(stats.completed && !stats.determinism_violation);
+  if (g_profile && !scr && nodes == 64) {
+    std::ofstream out("fig12_stencil_64.prof.json");
+    rt.profiler().write_chrome_trace(out);
+    std::printf("  [prof] 64-node DCR run: %zu spans -> fig12_stencil_64.prof.json\n",
+                rt.profiler().spans().size());
+  }
   return stats.makespan;
 }
 
@@ -45,7 +58,10 @@ SimTime run_central(std::size_t nodes, const StencilConfig& cfg) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--profile") == 0) g_profile = true;
+  }
   const std::size_t kScales[] = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512};
 
   bench::header("Figure 12a", "2-D stencil weak scaling (throughput per node, cells/s)",

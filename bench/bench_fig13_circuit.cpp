@@ -9,6 +9,10 @@
 // The graph partition (ghost spans) is computed dynamically from the
 // replicated RNG — the property that makes this app hard for static
 // approaches.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
 #include "apps/circuit.hpp"
 #include "baselines/central.hpp"
 #include "baselines/scr.hpp"
@@ -23,14 +27,25 @@ using apps::CircuitConfig;
 constexpr double kNsPerElem = 5.0;
 constexpr std::size_t kSteps = 10;
 
+// --profile: record dcr-prof spans in the DCR runs and dump the 64-node weak
+// scaling run as Chrome trace JSON (fig13_circuit_64.prof.json, Perfetto).
+bool g_profile = false;
+
 SimTime run_dcr(std::size_t nodes, const CircuitConfig& cfg, bool scr) {
   sim::Machine machine(bench::cluster(nodes));
   core::FunctionRegistry functions;
   const auto fns = apps::register_circuit_functions(functions, kNsPerElem);
-  core::DcrRuntime rt(machine, functions,
-                      scr ? baselines::scr_config() : core::DcrConfig{});
+  core::DcrConfig dcfg = scr ? baselines::scr_config() : core::DcrConfig{};
+  dcfg.profile = g_profile;
+  core::DcrRuntime rt(machine, functions, dcfg);
   const auto stats = rt.execute(apps::make_circuit_app(cfg, fns));
   DCR_CHECK(stats.completed && !stats.determinism_violation);
+  if (g_profile && !scr && nodes == 64) {
+    std::ofstream out("fig13_circuit_64.prof.json");
+    rt.profiler().write_chrome_trace(out);
+    std::printf("  [prof] 64-node DCR run: %zu spans -> fig13_circuit_64.prof.json\n",
+                rt.profiler().spans().size());
+  }
   return stats.makespan;
 }
 
@@ -46,7 +61,10 @@ SimTime run_central(std::size_t nodes, const CircuitConfig& cfg) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--profile") == 0) g_profile = true;
+  }
   const std::size_t kScales[] = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512};
 
   bench::header("Figure 13a", "circuit weak scaling (throughput per node, wires/s)",

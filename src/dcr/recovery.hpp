@@ -66,6 +66,7 @@ struct FailureReport {
   // re-captures them during fast-forward replay (dcr/template.hpp).
   std::uint64_t templates_dropped = 0;
   bool recovered = false;
+  SimTime replay_started = 0;  // replacement spawned; fast-forward replay begins
   SimTime recovered_at = 0;  // replacement caught up to the failure frontier
 
   std::string describe() const {

@@ -155,6 +155,10 @@ class ShardContext final : public Context {
       FailureReport& rep = rt_.failures_[static_cast<std::size_t>(st_.pending_report)];
       rep.recovered = true;
       rep.recovered_at = pctx_.now();
+      // Recovery lane rather than Control: the fast-forward may straddle
+      // trace-window boundaries, which would break Control-lane nesting.
+      rt_.profiler_.emit({prof::SpanKind::RecoveryFastForward, prof::Lane::Recovery,
+                          shard_.value, rep.replay_started, pctx_.now()});
       st_.pending_report = -1;
     }
   }
@@ -163,6 +167,21 @@ class ShardContext final : public Context {
 
   SigBuilder sig(const char* name) const {
     return SigBuilder(name, /*capture=*/rt_.trace_ != nullptr);
+  }
+
+  // dcr-prof accounting for a control-program block that started at
+  // `started`: always-on wait counters + histogram, plus a Control-lane span
+  // when the timeline is enabled.  Control spans nest by construction — the
+  // control program is sequential, so a wait is either disjoint from or
+  // strictly inside an enclosing window span.
+  void prof_wait(prof::Counter waits, prof::Counter wait_ns, prof::Hist hist,
+                 prof::SpanKind kind, SimTime started) {
+    prof::Counters& pc = rt_.profiler_.shard(shard_.value);
+    const SimTime waited = pctx_.now() - started;
+    pc.add(waits);
+    pc.add(wait_ns, waited);
+    pc.observe(hist, waited);
+    rt_.profiler_.emit({kind, prof::Lane::Control, shard_.value, started, pctx_.now()});
   }
 
   // ---- replication-safe creations ----
@@ -340,7 +359,10 @@ class ShardContext final : public Context {
     DCR_CHECK(f.valid()) << "waiting on an invalid future";
     auto it = rt_.futures_.find(f.id);
     DCR_CHECK(it != rt_.futures_.end()) << "future " << f.id << " has no producer";
+    const SimTime wait_start = pctx_.now();
     pctx_.wait(it->second.per_shard_event[shard_.value]);
+    prof_wait(prof::Counter::FutureWaits, prof::Counter::FutureWaitNs,
+              prof::Hist::FutureWaitNs, prof::SpanKind::FutureWait, wait_start);
     return it->second.coll->result();
   }
 
@@ -363,9 +385,13 @@ class ShardContext final : public Context {
     // fences on the previous op), so once our fine tail drains, every
     // shard's launches for prior ops are registered with the quiescence
     // tracker; then wait for all of them to complete.
+    const SimTime wait_start = pctx_.now();
     rt_.issue(*this, DcrRuntime::FencePayload{});
     pctx_.wait(st_.fine_tail);
     while (!rt_.quiescence_.idle()) pctx_.wait(rt_.quiescence_.idle_event());
+    rt_.profiler_.shard(shard_.value).add(prof::Counter::ExecutionFences);
+    rt_.profiler_.emit({prof::SpanKind::ExecutionFence, prof::Lane::Control, shard_.value,
+                        wait_start, pctx_.now()});
   }
 
   void attach_file(IndexSpaceId region, std::vector<FieldId> fields,
@@ -426,6 +452,8 @@ class ShardContext final : public Context {
     // folded in (insertions shift op ids, breaking relative dep offsets).
     st_.templates.begin(id, rt_.forest_.mutation_epoch(), rt_.recovery_epoch_,
                         st_.deletions_processed, rt_.config_.template_validation);
+    st_.windows_opened++;  // iteration tag for dcr-prof spans
+    st_.window_started = pctx_.now();
   }
 
   void end_trace(TraceId id) override {
@@ -435,7 +463,19 @@ class ShardContext final : public Context {
     if (!rt_.config_.tracing_enabled) return;
     DCR_CHECK(st_.templates.active() && *st_.templates.active() == id)
         << "mismatched end_trace";
+    // Window hit/miss accounting reads the mode before end() clears it: a
+    // window still in Replay at close was served by a validated template;
+    // anything else (capture, validation, mid-window abort) ran fresh
+    // analysis.  hits + misses == windows_closed by construction.
+    prof::Counters& pc = rt_.profiler_.shard(shard_.value);
+    pc.add(prof::Counter::WindowsClosed);
+    pc.add(st_.templates.mode() == TemplateManager::Mode::Replay
+               ? prof::Counter::TemplateWindowHits
+               : prof::Counter::TemplateWindowMisses);
     st_.templates.end(rt_.forest_);
+    rt_.profiler_.emit({prof::SpanKind::TraceWindow, prof::Lane::Control, shard_.value,
+                        st_.window_started, pctx_.now(), prof::kNoId,
+                        st_.windows_opened - 1});
   }
 
   // ---- environment ----
@@ -483,6 +523,7 @@ DcrRuntime::DcrRuntime(sim::Machine& machine, FunctionRegistry& functions, DcrCo
       functions_(functions),
       config_(normalize_config(config)),
       placement_(make_placement(machine, config_)),
+      profiler_(placement_.size(), config_.profile),
       physical_(forest_, machine.network()),
       tracker_(/*keep_completed=*/config_.record_task_graph),
       checker_(machine.sim(), machine.network(), placement_, config.determinism_checks),
@@ -662,6 +703,20 @@ const DcrRuntime::CoarseDecision& DcrRuntime::coarse_decision(const OpRecord& op
   stats_.coarse_deps += dec.deps;
   stats_.fences_elided += dec.elided;
   if (!dec.fence_sources.empty()) stats_.fences_inserted++;
+  // dcr-prof fence accounting, at dependence granularity: every coarse
+  // dependence is a fence-or-elide decision, and with elision enabled each
+  // one ran the §4.1 shard-locality proof.  fences_issued + fences_elided ==
+  // fence_decisions by construction (tests/test_prof.cpp pins this).
+  {
+    prof::Counters& g = profiler_.global();
+    g.add(prof::GlobalCounter::FenceDecisions, dec.deps);
+    g.add(prof::GlobalCounter::FencesElided, dec.elided);
+    g.add(prof::GlobalCounter::FencesIssued, dec.deps - dec.elided);
+    if (!config_.disable_fence_elision) {
+      g.add(prof::GlobalCounter::ElisionProofsAttempted, dec.deps);
+      g.add(prof::GlobalCounter::ElisionProofsSucceeded, dec.elided);
+    }
+  }
   if (trace_) {
     // Ops reach here exactly once, in program order (checked above).
     for (const spy::CoarseDepRecord& d : dec.dep_records) trace_->coarse_deps.push_back(d);
@@ -810,6 +865,15 @@ const DcrRuntime::CoarseDecision& DcrRuntime::install_replayed_decision(const Op
   stats_.coarse_deps += dec.deps;
   stats_.fences_elided += dec.elided;
   if (!dec.fence_sources.empty()) stats_.fences_inserted++;
+  // Replayed decisions still count as fence-or-elide outcomes, but the
+  // shard-locality proofs were skipped (that is the point of the template),
+  // so the proof counters stay untouched.
+  {
+    prof::Counters& g = profiler_.global();
+    g.add(prof::GlobalCounter::FenceDecisions, dec.deps);
+    g.add(prof::GlobalCounter::FencesElided, dec.elided);
+    g.add(prof::GlobalCounter::FencesIssued, dec.deps - dec.elided);
+  }
   if (trace_) {
     for (const spy::CoarseDepRecord& d : dec.dep_records) trace_->coarse_deps.push_back(d);
     trace_->ops.push_back({op.id, dec.kind, op.call_index, dec.fence_sources});
@@ -829,6 +893,8 @@ DcrRuntime::FutureRecord& DcrRuntime::ensure_future(std::uint64_t id, OpId produ
   auto [it, inserted] = futures_.try_emplace(id);
   FutureRecord& fut = it->second;
   if (!inserted) return fut;
+  profiler_.global().add(prof::GlobalCounter::FutureCollectives);
+  profiler_.global().add(prof::GlobalCounter::CollectiveRounds);
   // Single-task futures broadcast from the owner shard to all shards (§4.2):
   // the placement is rotated so the owner is the broadcast root.
   const ShardId owner = single_op_owner(producer);
@@ -857,6 +923,8 @@ DcrRuntime::FutureRecord& DcrRuntime::ensure_reduce_future(std::uint64_t id, Red
   auto [it, inserted] = futures_.try_emplace(id);
   FutureRecord& fut = it->second;
   if (!inserted) return fut;
+  profiler_.global().add(prof::GlobalCounter::FutureCollectives);
+  profiler_.global().add(prof::GlobalCounter::CollectiveRounds);
   fut.coll = std::make_shared<sim::Collective<double>>(
       machine_.sim(), machine_.network(), placement_, sim::CollectiveKind::AllReduce,
       sizeof(double), [rop](double a, double b) { return apply_reduce(rop, a, b); });
@@ -871,6 +939,8 @@ DcrRuntime::FenceRecord& DcrRuntime::fence_for(OpId dependent) {
     rec.coll = std::make_unique<sim::FenceCollective>(machine_.sim(), machine_.network(),
                                                       placement_);
     it = fences_.emplace(dependent, std::move(rec)).first;
+    profiler_.global().add(prof::GlobalCounter::FenceCollectives);
+    profiler_.global().add(prof::GlobalCounter::CollectiveRounds);
   }
   return it->second;
 }
@@ -1017,20 +1087,55 @@ void DcrRuntime::process_op(ShardId s, const OpRecord& op) {
     capture_template_op(st, op, dec);
   }
 
+  // Iteration tag for spans: the trace window this op falls into, if any.
+  const std::uint64_t prof_iter =
+      st.templates.active().has_value() ? st.windows_opened - 1 : prof::kNoId;
+  prof::Counters& pc = profiler_.shard(s.value);
+
   // ---- coarse stage cost (Figure 9 top): independent of group size ----
   const SimTime coarse_cost =
       (op.traced ? config_.traced_coarse_cost_per_req : config_.coarse_cost_per_req) *
       std::max<std::size_t>(1, dec.num_reqs);
   const sim::Event coarse_done = analysis_proc(s).enqueue(coarse_cost);
+  pc.add(op.traced ? prof::Counter::TracedCoarseOps : prof::Counter::CoarseOps);
+  pc.add(prof::Counter::CoarseAnalysisNs, coarse_cost);
+  pc.observe(prof::Hist::CoarseStageNs, coarse_cost);
+  if (profiler_.spans_enabled()) {
+    // The analysis processor is a serial FIFO, so [end - cost, end] always
+    // lies inside the true busy interval even when a straggler fault
+    // stretched the nominal cost; Analysis-lane spans stay disjoint.
+    const bool traced = op.traced;
+    const std::uint64_t opid = op.id.value;
+    const std::uint32_t shard_idx = s.value;
+    coarse_done.on_trigger([this, shard_idx, coarse_cost, traced, opid, prof_iter] {
+      const SimTime end = machine_.sim().now();
+      profiler_.emit({traced ? prof::SpanKind::CoarseReplay : prof::SpanKind::CoarseAnalysis,
+                      prof::Lane::Analysis, shard_idx, end - coarse_cost, end, opid,
+                      prof_iter});
+    });
+  }
 
   // ---- fence gating: arrive once our fine pipeline reaches this op ----
   std::vector<sim::Event> pre{coarse_done, st.fine_tail};
   if (!dec.fence_sources.empty()) {
     FenceRecord* fence = &fence_for(op.id);
     sim::UserEvent gate;
-    auto arrive = [this, fence, s, gate] {
-      fence->coll->arrive(s.value).on_trigger(
-          [this, gate] { gate.trigger(machine_.sim().now()); });
+    pc.add(prof::Counter::FenceWaits);
+    const std::uint64_t opid = op.id.value;
+    auto arrive = [this, fence, s, gate, opid, prof_iter] {
+      // Fence-wait span: from this shard's arrival to the round completing at
+      // this shard.  Waits on the Fence lane are ordered by the fine_tail
+      // chain, so per-shard spans nest trivially (they are disjoint).
+      const SimTime wait_start = machine_.sim().now();
+      fence->coll->arrive(s.value).on_trigger([this, gate, s, wait_start, opid, prof_iter] {
+        const SimTime now = machine_.sim().now();
+        prof::Counters& c = profiler_.shard(s.value);
+        c.add(prof::Counter::FenceWaitNs, now - wait_start);
+        c.observe(prof::Hist::FenceWaitNs, now - wait_start);
+        profiler_.emit({prof::SpanKind::FenceWait, prof::Lane::Fence, s.value, wait_start,
+                        now, opid, prof_iter});
+        gate.trigger(now);
+      });
     };
     if (st.fine_tail.has_triggered()) {
       arrive();
@@ -1062,16 +1167,29 @@ void DcrRuntime::process_op(ShardId s, const OpRecord& op) {
   const SimTime fine_cost =
       (op.traced ? config_.traced_fine_cost_per_op : config_.fine_cost_per_op) +
       (op.traced ? config_.traced_fine_cost_per_point : config_.fine_cost_per_point) * owned;
+  pc.add(op.traced ? prof::Counter::TracedFineOps : prof::Counter::FineOps);
+  pc.add(prof::Counter::FineAnalysisNs, fine_cost);
+  pc.add(prof::Counter::FinePoints, owned);
+  pc.observe(prof::Hist::FineStageNs, fine_cost);
+  pc.observe(prof::Hist::FinePointsPerOp, owned);
 
   OpRecord op_copy = op;
   // The template record may be dropped (window abort, invalidation) before
   // the fine stage runs; the shared_ptr plan is all execute_points needs.
   op_copy.trec = nullptr;
-  const sim::Event fine_done =
-      analysis_proc(s).enqueue(fine_cost, sim::merge_events(std::span<const sim::Event>(pre)),
-                               [this, s, op_copy = std::move(op_copy)] {
-                                 execute_points(s, op_copy);
-                               });
+  const bool traced = op.traced;
+  const std::uint64_t opid = op.id.value;
+  const sim::Event fine_done = analysis_proc(s).enqueue(
+      fine_cost, sim::merge_events(std::span<const sim::Event>(pre)),
+      [this, s, fine_cost, traced, opid, prof_iter, op_copy = std::move(op_copy)] {
+        if (profiler_.spans_enabled()) {
+          const SimTime end = machine_.sim().now();
+          profiler_.emit({traced ? prof::SpanKind::FineReplay : prof::SpanKind::FineAnalysis,
+                          prof::Lane::Analysis, s.value, end - fine_cost, end, opid,
+                          prof_iter});
+        }
+        execute_points(s, op_copy);
+      });
   st.fine_tail = fine_done;
 }
 
@@ -1422,6 +1540,8 @@ void DcrRuntime::start_deferred_poller() {
         return;
       }
       const bool progressed = check_deferred_consensus();
+      profiler_.global().add(prof::GlobalCounter::DeferredPolls);
+      profiler_.global().add(prof::GlobalCounter::CollectiveRounds);
       // One consensus poll costs a small collective among the shards.
       auto poll = std::make_shared<sim::Collective<int>>(
           machine_.sim(), machine_.network(), placement_, sim::CollectiveKind::AllReduce,
@@ -1557,6 +1677,25 @@ DcrStats DcrRuntime::execute(const ApplicationMain& main) {
   }
   if (const sim::ReliableDelivery* rel = machine_.reliable()) {
     stats_.retransmits = rel->stats().retransmits;
+  }
+
+  // Mirror the end-of-run totals into the profiler's global counter bank so a
+  // snapshot (tools/dcr-prof, golden traces) is self-contained: template
+  // health, transport retries, and fault/recovery history all live beside the
+  // fence/elision ledger that was maintained online.
+  prof::Counters& g = profiler_.global();
+  g.add(prof::GlobalCounter::TemplateShadowMismatches, stats_.template_validation_failures);
+  g.add(prof::GlobalCounter::TemplateInvalidations, stats_.template_invalidations);
+  g.add(prof::GlobalCounter::Retransmits, stats_.retransmits);
+  g.add(prof::GlobalCounter::MessagesDropped, stats_.messages_dropped);
+  g.add(prof::GlobalCounter::FailuresDetected, stats_.failures_detected);
+  g.add(prof::GlobalCounter::Recoveries, stats_.recoveries);
+  g.add(prof::GlobalCounter::RecoveryEpochs, recovery_epoch_);
+  for (const auto& [op, rec] : fences_) {
+    (void)op;
+    if (rec.coll && rec.coll->complete()) {
+      g.add(prof::GlobalCounter::CollectiveLatencyNs, rec.coll->latency());
+    }
   }
   return stats_;
 }
@@ -1711,6 +1850,7 @@ void DcrRuntime::start_recovery(ShardState& st) {
     st.deletions_processed = 0;
     st.main_returned = false;
     st.pending_report = static_cast<std::int64_t>(report_idx);
+    failures_[report_idx].replay_started = machine_.sim().now();
     if (st.replay_calls_end == 0) {
       // Crashed before the first API call: nothing to fast-forward through.
       failures_[report_idx].recovered = true;

@@ -40,6 +40,7 @@
 #include "dcr/sharding.hpp"
 #include "dcr/template.hpp"
 #include "dcr/user_tracker.hpp"
+#include "prof/profiler.hpp"
 #include "runtime/physical.hpp"
 #include "runtime/region.hpp"
 #include "runtime/task_graph.hpp"
@@ -96,6 +97,14 @@ struct DcrConfig {
   // virtual-time cost.  Read back with DcrRuntime::trace() or serialize with
   // spy::Trace::write_jsonl for the tools/dcr-spy CLI.
   bool record_trace = false;
+
+  // dcr-prof span timeline (prof/profiler.hpp).  The per-shard counter
+  // registry is always on — every run can report fence/elision/template/
+  // recovery metrics — but structured spans (analysis stages, replay, fence
+  // and future waits, trace windows) are only recorded under this knob.
+  // Host-side cost only; no virtual-time cost, so profiling never perturbs
+  // the analysis or the realized task graph.
+  bool profile = false;
 
   // Mapping policy (paper §4): per-launch sharding selection and point-task
   // processor placement.  Must be deterministic; not owned.  nullptr = the
@@ -186,6 +195,11 @@ class DcrRuntime {
 
   // dcr-spy execution trace (only populated with config.record_trace).
   const spy::Trace* trace() const { return trace_.get(); }
+
+  // dcr-prof metrics: always-on counters per shard + global; span timeline
+  // populated when config.profile is set (prof/profiler.hpp).
+  prof::Profiler& profiler() { return profiler_; }
+  const prof::Profiler& profiler() const { return profiler_; }
 
   // Dependence-template observability (tests): per-shard template store and
   // the runtime-wide recovery epoch that invalidates templates on failover.
@@ -290,6 +304,10 @@ class DcrRuntime {
     // and replay of trace windows' analysis decisions.
     TemplateManager templates;
     Hash128 last_template_hash;  // template-identity hash of the latest call
+    // dcr-prof: trace windows opened by this shard (the span iteration tag)
+    // and the virtual start time of the one currently open.
+    std::uint64_t windows_opened = 0;
+    SimTime window_started = 0;
     // Deferred deletions this shard has requested (in request order).
     std::vector<RegionTreeId> deferred_requests;
     std::uint64_t deletions_processed = 0;
@@ -405,6 +423,7 @@ class DcrRuntime {
   FunctionRegistry& functions_;
   DcrConfig config_;
   std::vector<NodeId> placement_;  // shard -> node
+  prof::Profiler profiler_;
 
   rt::RegionForest forest_;
   rt::ProjectionRegistry projections_;

@@ -1,0 +1,254 @@
+// Lock-free monotonic counters and histogram summaries for the always-on
+// profiling layer (dcr-prof).
+//
+// Every DCR run carries one Counters track per shard plus one Global track;
+// the runtime's hot paths bump them unconditionally — the registry is plain
+// atomics with relaxed ordering, so the cost is a handful of uncontended
+// fetch_adds per op and the simulated execution is never perturbed (counters
+// live host-side and charge no virtual time).  The simulator runs strictly
+// one activity at a time, so the atomics are not needed for correctness;
+// they keep the registry lock-free by construction and robust under Tsan,
+// matching the conventions in sim/simulator.hpp.
+//
+// Counter values are pure functions of the (deterministic) virtual execution:
+// two runs of the same seeded program produce identical snapshots, which is
+// what makes the golden-snapshot regression in tests/golden/ meaningful.
+// Time-valued entries are classified `is_volatile` so golden files can zero
+// them and survive cost-model retuning; structural counts are kept verbatim.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace dcr::prof {
+
+// Per-shard counters: each shard's analysis pipeline and control program bump
+// its own track (no cross-shard contention by construction).
+enum class Counter : std::size_t {
+  CoarseOps,         // coarse stages run fresh
+  TracedCoarseOps,   // coarse stages replayed from a dependence template
+  CoarseAnalysisNs,  // virtual ns charged to the coarse stage
+  FineOps,           // fine stages run fresh
+  TracedFineOps,     // fine stages replayed from a template
+  FineAnalysisNs,    // virtual ns charged to the fine stage
+  FinePoints,        // owned points enumerated across all fine stages
+  FenceWaits,        // pipeline stalls on a cross-shard fence collective
+  FenceWaitNs,       // virtual ns from fence arrival to collective completion
+  FutureWaits,       // control-program get_future blocks
+  FutureWaitNs,      // virtual ns blocked in get_future
+  ExecutionFences,   // execution_fence barriers the control program issued
+  WindowsClosed,     // trace windows closed (end_trace reached)
+  TemplateWindowHits,    // windows replayed from a validated template
+  TemplateWindowMisses,  // windows that ran fresh analysis (capture/validate/abort)
+  kCount
+};
+
+// Runtime-wide counters: charged once per op (by whichever shard computes the
+// shared coarse decision) or mirrored from subsystem stats at end of run.
+enum class GlobalCounter : std::size_t {
+  FenceDecisions,          // coarse dependences examined (fence-or-elide choices)
+  FencesIssued,            // dependences that required a cross-shard fence
+  FencesElided,            // dependences proven shard-local (§4.1 observation 2)
+  ElisionProofsAttempted,  // same-(sharding,domain,partition,projection) proofs run
+  ElisionProofsSucceeded,  // proofs that held (replays skip re-proving)
+  FenceCollectives,        // distinct fence all-gathers created
+  FutureCollectives,       // future broadcast / all-reduce collectives created
+  DeferredPolls,           // deferred-deletion consensus poll rounds
+  CollectiveRounds,        // total collective operations started
+  CollectiveLatencyNs,     // summed fence latency: first arrival -> completion
+  TemplateShadowMismatches,  // validation failures that forced a re-record
+  TemplateInvalidations,     // templates dropped on epoch/shape changes
+  Retransmits,             // reliable-transport resends (sim/reliable.hpp)
+  MessagesDropped,         // fault-plan drops + blackout losses
+  FailuresDetected,        // shards declared dead by the lease monitor
+  Recoveries,              // replacement shards spawned
+  RecoveryEpochs,          // runtime-wide template-invalidation epoch bumps
+  kCount
+};
+
+// Histogram tracks kept per shard alongside the plain counters.
+enum class Hist : std::size_t {
+  FinePointsPerOp,  // owned points per fine stage (load balance)
+  CoarseStageNs,    // coarse-stage virtual duration
+  FineStageNs,      // fine-stage virtual duration
+  FenceWaitNs,      // fence arrival -> completion
+  FutureWaitNs,     // get_future block duration
+  kCount
+};
+
+inline const char* name(Counter c) {
+  switch (c) {
+    case Counter::CoarseOps: return "coarse_ops";
+    case Counter::TracedCoarseOps: return "traced_coarse_ops";
+    case Counter::CoarseAnalysisNs: return "coarse_analysis_ns";
+    case Counter::FineOps: return "fine_ops";
+    case Counter::TracedFineOps: return "traced_fine_ops";
+    case Counter::FineAnalysisNs: return "fine_analysis_ns";
+    case Counter::FinePoints: return "fine_points";
+    case Counter::FenceWaits: return "fence_waits";
+    case Counter::FenceWaitNs: return "fence_wait_ns";
+    case Counter::FutureWaits: return "future_waits";
+    case Counter::FutureWaitNs: return "future_wait_ns";
+    case Counter::ExecutionFences: return "execution_fences";
+    case Counter::WindowsClosed: return "windows_closed";
+    case Counter::TemplateWindowHits: return "template_window_hits";
+    case Counter::TemplateWindowMisses: return "template_window_misses";
+    case Counter::kCount: break;
+  }
+  return "?";
+}
+
+inline const char* name(GlobalCounter c) {
+  switch (c) {
+    case GlobalCounter::FenceDecisions: return "fence_decisions";
+    case GlobalCounter::FencesIssued: return "fences_issued";
+    case GlobalCounter::FencesElided: return "fences_elided";
+    case GlobalCounter::ElisionProofsAttempted: return "elision_proofs_attempted";
+    case GlobalCounter::ElisionProofsSucceeded: return "elision_proofs_succeeded";
+    case GlobalCounter::FenceCollectives: return "fence_collectives";
+    case GlobalCounter::FutureCollectives: return "future_collectives";
+    case GlobalCounter::DeferredPolls: return "deferred_polls";
+    case GlobalCounter::CollectiveRounds: return "collective_rounds";
+    case GlobalCounter::CollectiveLatencyNs: return "collective_latency_ns";
+    case GlobalCounter::TemplateShadowMismatches: return "template_shadow_mismatches";
+    case GlobalCounter::TemplateInvalidations: return "template_invalidations";
+    case GlobalCounter::Retransmits: return "retransmits";
+    case GlobalCounter::MessagesDropped: return "messages_dropped";
+    case GlobalCounter::FailuresDetected: return "failures_detected";
+    case GlobalCounter::Recoveries: return "recoveries";
+    case GlobalCounter::RecoveryEpochs: return "recovery_epochs";
+    case GlobalCounter::kCount: break;
+  }
+  return "?";
+}
+
+inline const char* name(Hist h) {
+  switch (h) {
+    case Hist::FinePointsPerOp: return "fine_points_per_op";
+    case Hist::CoarseStageNs: return "coarse_stage_ns";
+    case Hist::FineStageNs: return "fine_stage_ns";
+    case Hist::FenceWaitNs: return "fence_wait_ns";
+    case Hist::FutureWaitNs: return "future_wait_ns";
+    case Hist::kCount: break;
+  }
+  return "?";
+}
+
+// Volatile entries are derived from the virtual-time cost model (or from
+// timing-dependent polling cadence); golden snapshots zero them so retuning
+// DcrConfig costs does not churn committed files.  Structural counts stay.
+inline bool is_volatile(Counter c) {
+  switch (c) {
+    case Counter::CoarseAnalysisNs:
+    case Counter::FineAnalysisNs:
+    case Counter::FenceWaitNs:
+    case Counter::FutureWaitNs:
+      return true;
+    default:
+      return false;
+  }
+}
+
+inline bool is_volatile(GlobalCounter c) {
+  switch (c) {
+    case GlobalCounter::CollectiveLatencyNs:
+    case GlobalCounter::DeferredPolls:   // poll count tracks backoff timing
+    case GlobalCounter::CollectiveRounds:  // includes the polls above
+      return true;
+    default:
+      return false;
+  }
+}
+
+inline bool is_volatile(Hist h) { return h != Hist::FinePointsPerOp; }
+
+// Monotonic histogram summary: count / sum / min / max plus power-of-two
+// buckets (bucket k counts observations with bit_width(v) == k; zero lands
+// in bucket 0).  All updates are relaxed atomics — single-writer under the
+// simulator's one-activity-at-a-time execution, lock-free regardless.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void observe(std::uint64_t v) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    atomic_min(min_, v);
+    atomic_max(max_, v);
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t min() const {
+    return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(std::size_t k) const {
+    DCR_CHECK(k < kBuckets);
+    return buckets_[k].load(std::memory_order_relaxed);
+  }
+
+  static std::size_t bucket_of(std::uint64_t v) {
+    std::size_t k = 0;
+    while (v > 1) {
+      v >>= 1;
+      ++k;
+    }
+    return k;
+  }
+
+ private:
+  static void atomic_min(std::atomic<std::uint64_t>& a, std::uint64_t v) {
+    std::uint64_t cur = a.load(std::memory_order_relaxed);
+    while (v < cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  static void atomic_max(std::atomic<std::uint64_t>& a, std::uint64_t v) {
+    std::uint64_t cur = a.load(std::memory_order_relaxed);
+    while (v > cur && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~0ull};
+  std::atomic<std::uint64_t> max_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+// One track of the registry (a shard's counters, or the global track — the
+// global track simply ignores its histogram slots).
+class Counters {
+ public:
+  void add(Counter c, std::uint64_t n = 1) {
+    counters_[static_cast<std::size_t>(c)].fetch_add(n, std::memory_order_relaxed);
+  }
+  void add(GlobalCounter c, std::uint64_t n = 1) {
+    globals_[static_cast<std::size_t>(c)].fetch_add(n, std::memory_order_relaxed);
+  }
+  void observe(Hist h, std::uint64_t v) {
+    hists_[static_cast<std::size_t>(h)].observe(v);
+  }
+
+  std::uint64_t get(Counter c) const {
+    return counters_[static_cast<std::size_t>(c)].load(std::memory_order_relaxed);
+  }
+  std::uint64_t get(GlobalCounter c) const {
+    return globals_[static_cast<std::size_t>(c)].load(std::memory_order_relaxed);
+  }
+  const Histogram& hist(Hist h) const { return hists_[static_cast<std::size_t>(h)]; }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, static_cast<std::size_t>(Counter::kCount)>
+      counters_{};
+  std::array<std::atomic<std::uint64_t>, static_cast<std::size_t>(GlobalCounter::kCount)>
+      globals_{};
+  std::array<Histogram, static_cast<std::size_t>(Hist::kCount)> hists_{};
+};
+
+}  // namespace dcr::prof

@@ -1,0 +1,235 @@
+// Minimal JSON value model and recursive-descent parser for the dcr-prof
+// tooling: Chrome-trace schema validation (validate.hpp), snapshot diffing
+// (tools/dcr-prof diff), and the golden-snapshot regression test.  Handles
+// the subset dcr-prof emits — objects, arrays, strings without exotic
+// escapes, integer/decimal numbers, booleans, null — and rejects anything
+// else with a position-stamped error.  Deliberately dependency-free (the
+// repo bakes in no JSON library) and separate from the file-local parser in
+// spy/trace.cpp, which is shaped around JSONL trace records.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dcr::prof {
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object } kind = Kind::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  // Insertion order preserved (diff output follows the file's own order).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return kind == Kind::Object; }
+  bool is_array() const { return kind == Kind::Array; }
+  bool is_number() const { return kind == Kind::Number; }
+  bool is_string() const { return kind == Kind::String; }
+
+  const JsonValue* find(const std::string& key) const {
+    if (kind != Kind::Object) return nullptr;
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+struct JsonParseResult {
+  std::optional<JsonValue> value;
+  std::string error;  // empty on success
+  bool ok() const { return value.has_value(); }
+};
+
+namespace detail {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  JsonParseResult run() {
+    JsonParseResult r;
+    JsonValue v;
+    if (!parse_value(v)) {
+      r.error = error_;
+      return r;
+    }
+    skip_ws();
+    if (pos_ != s_.size()) {
+      r.error = "trailing content at byte " + std::to_string(pos_);
+      return r;
+    }
+    r.value = std::move(v);
+    return r;
+  }
+
+ private:
+  bool fail(const std::string& msg) {
+    if (error_.empty()) error_ = msg + " at byte " + std::to_string(pos_);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ >= s_.size() || s_[pos_] != c) {
+      return fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return fail("unexpected end of input");
+    const char c = s_[pos_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') return parse_string_value(out);
+    if (c == 't' || c == 'f') return parse_bool(out);
+    if (c == 'n') return parse_null(out);
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number(out);
+    return fail("unexpected character");
+  }
+
+  bool parse_object(JsonValue& out) {
+    if (!consume('{')) return false;
+    out.kind = JsonValue::Kind::Object;
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      std::string key;
+      if (!parse_string(key)) return false;
+      if (!consume(':')) return false;
+      JsonValue v;
+      if (!parse_value(v)) return false;
+      out.object.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume('}');
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    if (!consume('[')) return false;
+    out.kind = JsonValue::Kind::Array;
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      JsonValue v;
+      if (!parse_value(v)) return false;
+      out.array.push_back(std::move(v));
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume(']');
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    skip_ws();
+    if (pos_ >= s_.size() || s_[pos_] != '"') return fail("expected string");
+    ++pos_;
+    out.clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return fail("dangling escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          default: return fail("unsupported escape");
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= s_.size()) return fail("unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool parse_string_value(JsonValue& out) {
+    out.kind = JsonValue::Kind::String;
+    return parse_string(out.string);
+  }
+
+  bool parse_bool(JsonValue& out) {
+    out.kind = JsonValue::Kind::Bool;
+    if (s_.compare(pos_, 4, "true") == 0) {
+      out.boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      out.boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    return fail("expected boolean");
+  }
+
+  bool parse_null(JsonValue& out) {
+    out.kind = JsonValue::Kind::Null;
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    return fail("expected null");
+  }
+
+  bool parse_number(JsonValue& out) {
+    out.kind = JsonValue::Kind::Number;
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() && ((s_[pos_] >= '0' && s_[pos_] <= '9') || s_[pos_] == '.' ||
+                                s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' ||
+                                s_[pos_] == '-')) {
+      ++pos_;
+    }
+    try {
+      out.number = std::stod(s_.substr(start, pos_ - start));
+    } catch (...) {
+      return fail("malformed number");
+    }
+    return pos_ > start;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace detail
+
+inline JsonParseResult parse_json(const std::string& text) {
+  return detail::JsonParser(text).run();
+}
+
+}  // namespace dcr::prof

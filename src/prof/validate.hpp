@@ -1,0 +1,73 @@
+// Chrome trace_event schema validation for dcr-prof exports.
+//
+// The exporter (profiler.cpp) and every consumer of its output share this one
+// definition of "well-formed": the document is an object whose traceEvents is
+// an array; every event is an object carrying a string name, a "ph" of "X"
+// (complete span) or "M" (track metadata), numeric pid/tid, and — for "X"
+// events — numeric ts plus a non-negative dur.  Used by tests/test_prof.cpp
+// (also under the Asan build) and by `tools/dcr-prof trace --check`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "prof/json.hpp"
+
+namespace dcr::prof {
+
+// Returns one message per violation; empty means the trace is schema-valid.
+inline std::vector<std::string> validate_chrome_trace(const std::string& text) {
+  std::vector<std::string> errors;
+  const JsonParseResult parsed = parse_json(text);
+  if (!parsed.ok()) {
+    errors.push_back("not valid JSON: " + parsed.error);
+    return errors;
+  }
+  const JsonValue& root = *parsed.value;
+  if (!root.is_object()) {
+    errors.push_back("root is not an object");
+    return errors;
+  }
+  const JsonValue* events = root.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    errors.push_back("missing traceEvents array");
+    return errors;
+  }
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& e = events->array[i];
+    const std::string at = "event " + std::to_string(i) + ": ";
+    if (!e.is_object()) {
+      errors.push_back(at + "not an object");
+      continue;
+    }
+    const JsonValue* name = e.find("name");
+    if (name == nullptr || !name->is_string() || name->string.empty()) {
+      errors.push_back(at + "missing string name");
+    }
+    const JsonValue* ph = e.find("ph");
+    if (ph == nullptr || !ph->is_string() ||
+        (ph->string != "X" && ph->string != "M")) {
+      errors.push_back(at + "ph must be \"X\" or \"M\"");
+      continue;
+    }
+    for (const char* key : {"pid", "tid"}) {
+      const JsonValue* v = e.find(key);
+      if (v == nullptr || !v->is_number()) {
+        errors.push_back(at + "missing numeric " + key);
+      }
+    }
+    if (ph->string == "X") {
+      const JsonValue* ts = e.find("ts");
+      if (ts == nullptr || !ts->is_number()) errors.push_back(at + "missing numeric ts");
+      const JsonValue* dur = e.find("dur");
+      if (dur == nullptr || !dur->is_number()) {
+        errors.push_back(at + "missing numeric dur");
+      } else if (dur->number < 0) {
+        errors.push_back(at + "negative dur");
+      }
+    }
+  }
+  return errors;
+}
+
+}  // namespace dcr::prof

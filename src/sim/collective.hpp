@@ -192,11 +192,19 @@ class Collective {
 class FenceCollective {
  public:
   FenceCollective(Simulator& sim, Network& net, std::vector<NodeId> placement)
-      : impl_(sim, net, std::move(placement), CollectiveKind::AllReduce,
+      : sim_(sim),
+        impl_(sim, net, std::move(placement), CollectiveKind::AllReduce,
               /*payload_bytes=*/0,
               [](Unit, Unit) { return Unit{}; }) {}
 
-  Event arrive(std::size_t rank) { return impl_.arrive(rank, Unit{}); }
+  Event arrive(std::size_t rank) {
+    if (first_arrival_ == kTimeNever) first_arrival_ = sim_.now();
+    Event done = impl_.arrive(rank, Unit{});
+    // Completion timestamp for latency accounting (dcr-prof): the last rank
+    // to see the combined result defines when the fence round finished.
+    done.on_trigger([this] { completed_at_ = std::max(completed_at_, sim_.now()); });
+    return done;
+  }
   std::size_t num_ranks() const { return impl_.num_ranks(); }
   bool has_arrived(std::size_t rank) const { return impl_.has_arrived(rank); }
   // How many ranks have contributed so far.  Dependence-template tests use
@@ -212,9 +220,20 @@ class FenceCollective {
   }
   bool complete() const { return arrivals() == num_ranks(); }
 
+  // Simulated round latency, first arrival -> last completion (dcr-prof's
+  // collective_latency_ns).  Zero until the round completes.
+  SimTime first_arrival() const { return first_arrival_; }
+  SimTime completed_at() const { return completed_at_; }
+  SimTime latency() const {
+    return completed_at_ >= first_arrival_ ? completed_at_ - first_arrival_ : 0;
+  }
+
  private:
   struct Unit {};
+  Simulator& sim_;
   Collective<Unit> impl_;
+  SimTime first_arrival_ = kTimeNever;
+  SimTime completed_at_ = 0;
 };
 
 }  // namespace dcr::sim
