@@ -28,6 +28,10 @@ namespace {
 
 using namespace dcr;
 
+// --profile records dcr-prof spans in the DCR runs; --scope additionally
+// turns on causal tracing.  Host-side only: makespans are unchanged.
+bench::Flags g_flags;
+
 // -------------------------------------------------------- A: fence elision
 
 void ablation_fence_elision() {
@@ -39,6 +43,7 @@ void ablation_fence_elision() {
     const auto fns = apps::register_stencil_functions(functions, 1.0);
     core::DcrConfig cfg;
     cfg.disable_fence_elision = disable;
+    bench::apply_flags(g_flags, cfg);
     core::DcrRuntime rt(machine, functions, cfg);
     const auto stats = rt.execute(apps::make_stencil_app(
         {.cells_per_tile = 2000, .tiles = 16, .steps = 30}, fns));
@@ -59,7 +64,9 @@ void ablation_sharding() {
     sim::Machine machine(bench::cluster(16));
     core::FunctionRegistry functions;
     const auto fns = apps::register_circuit_functions(functions, 2.0);
-    core::DcrRuntime rt(machine, functions);
+    core::DcrConfig dcfg;
+    bench::apply_flags(g_flags, dcfg);
+    core::DcrRuntime rt(machine, functions, dcfg);
     // 4x overdecomposition: with one piece per shard the two shardings
     // coincide; with four, blocked keeps neighbours on one node while cyclic
     // scatters them.
@@ -86,7 +93,9 @@ void ablation_group_launches() {
     sim::Machine machine(bench::cluster(16));
     core::FunctionRegistry functions;
     const auto fns = apps::register_stencil_functions(functions, 1.0);
-    core::DcrRuntime rt(machine, functions);
+    core::DcrConfig dcfg;
+    bench::apply_flags(g_flags, dcfg);
+    core::DcrRuntime rt(machine, functions, dcfg);
     const auto stats = rt.execute(apps::make_stencil_app(
         {.cells_per_tile = 2000, .tiles = tiles, .steps = steps}, fns));
     std::printf("  group launches : makespan %10.3f us, ops %4llu, analysis busy %8.3f us\n",
@@ -99,7 +108,9 @@ void ablation_group_launches() {
     sim::Machine machine(bench::cluster(16));
     core::FunctionRegistry functions;
     const auto fns = apps::register_stencil_functions(functions, 1.0);
-    core::DcrRuntime rt(machine, functions);
+    core::DcrConfig dcfg;
+    bench::apply_flags(g_flags, dcfg);
+    core::DcrRuntime rt(machine, functions, dcfg);
     const auto stats = rt.execute([&](core::Context& ctx) {
       using namespace rt;
       FieldSpaceId fs = ctx.create_field_space();
@@ -128,7 +139,8 @@ void ablation_group_launches() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_flags = bench::parse_flags(argc, argv);
   ablation_fence_elision();
   ablation_sharding();
   ablation_group_launches();

@@ -8,12 +8,45 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "dcr/runtime.hpp"
 #include "sim/machine.hpp"
 
 namespace dcr::bench {
+
+// CLI flags shared by every figure bench.  --profile records dcr-prof spans
+// in the DCR runs; --scope additionally turns on dcr-scope causal tracing
+// (which needs the prof ledger, so it implies --profile).  Both are
+// host-side only: neither perturbs virtual time, so flagged runs report the
+// same makespans as bare ones.
+struct Flags {
+  bool profile = false;
+  bool scope = false;
+};
+
+inline Flags parse_flags(int argc, char** argv) {
+  Flags f;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--profile") == 0) {
+      f.profile = true;
+    } else if (std::strcmp(argv[i], "--scope") == 0) {
+      f.scope = true;
+      f.profile = true;
+    } else {
+      std::fprintf(stderr, "%s: unknown flag %s (supported: --profile --scope)\n",
+                   argv[0], argv[i]);
+    }
+  }
+  return f;
+}
+
+inline void apply_flags(const Flags& f, core::DcrConfig& cfg) {
+  cfg.profile = cfg.profile || f.profile;
+  cfg.scope = cfg.scope || f.scope;
+}
 
 // The cluster model used by all figures: 1 us wire latency, 10 GB/s NIC
 // bandwidth (Infiniband EDR-class), 50 ns intra-node hops.

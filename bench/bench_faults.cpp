@@ -27,6 +27,10 @@ namespace {
 
 using namespace dcr;
 
+// --profile records dcr-prof spans in the DCR runs; --scope additionally
+// turns on causal tracing.  Host-side only: makespans are unchanged.
+bench::Flags g_flags;
+
 constexpr std::size_t kShardCounts[] = {16, 64, 256};
 constexpr double kDropRates[] = {0.0, 0.001, 0.005, 0.01, 0.02};
 
@@ -45,7 +49,9 @@ RunResult run(std::size_t shards, sim::FaultConfig fcfg, bool with_plan) {
   if (with_plan) machine.install_faults(plan);
   core::FunctionRegistry functions;
   const auto fns = apps::register_stencil_functions(functions, 1.0);
-  core::DcrRuntime rt(machine, functions);
+  core::DcrConfig dcfg;
+  bench::apply_flags(g_flags, dcfg);
+  core::DcrRuntime rt(machine, functions, dcfg);
   RunResult r;
   r.stats = rt.execute(apps::make_stencil_app(stencil_for(shards), fns));
   r.faults = plan.stats();
@@ -168,7 +174,8 @@ void sweep_recovery(JsonDump& json) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_flags = bench::parse_flags(argc, argv);
   JsonDump json("BENCH_faults.json");
   sweep_drop_rate(json);
   sweep_recovery(json);

@@ -10,7 +10,6 @@
 // replicated RNG — the property that makes this app hard for static
 // approaches.
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 
 #include "apps/circuit.hpp"
@@ -18,6 +17,7 @@
 #include "baselines/scr.hpp"
 #include "bench/bench_common.hpp"
 #include "dcr/runtime.hpp"
+#include "scope/report.hpp"
 
 namespace {
 
@@ -29,22 +29,33 @@ constexpr std::size_t kSteps = 10;
 
 // --profile: record dcr-prof spans in the DCR runs and dump the 64-node weak
 // scaling run as Chrome trace JSON (fig13_circuit_64.prof.json, Perfetto).
-bool g_profile = false;
+// --scope: additionally trace causality and dump that run's fence blame
+// report (fig13_circuit_64.blame.json).
+bench::Flags g_flags;
 
 SimTime run_dcr(std::size_t nodes, const CircuitConfig& cfg, bool scr) {
   sim::Machine machine(bench::cluster(nodes));
   core::FunctionRegistry functions;
   const auto fns = apps::register_circuit_functions(functions, kNsPerElem);
   core::DcrConfig dcfg = scr ? baselines::scr_config() : core::DcrConfig{};
-  dcfg.profile = g_profile;
+  bench::apply_flags(g_flags, dcfg);
   core::DcrRuntime rt(machine, functions, dcfg);
   const auto stats = rt.execute(apps::make_circuit_app(cfg, fns));
   DCR_CHECK(stats.completed && !stats.determinism_violation);
-  if (g_profile && !scr && nodes == 64) {
+  if (g_flags.profile && !scr && nodes == 64) {
     std::ofstream out("fig13_circuit_64.prof.json");
     rt.profiler().write_chrome_trace(out);
     std::printf("  [prof] 64-node DCR run: %zu spans -> fig13_circuit_64.prof.json\n",
                 rt.profiler().spans().size());
+  }
+  if (g_flags.scope && !scr && nodes == 64) {
+    const scope::BlameReport blame = scope::build_blame(*rt.scope(), rt.profiler());
+    std::ofstream out("fig13_circuit_64.blame.json");
+    scope::write_blame_json(out, blame);
+    std::printf("  [scope] 64-node DCR run: %zu fences, %s"
+                " -> fig13_circuit_64.blame.json\n",
+                blame.fences.size(),
+                blame.reconciled() ? "ledgers reconcile" : "LEDGER MISMATCH");
   }
   return stats.makespan;
 }
@@ -62,9 +73,7 @@ SimTime run_central(std::size_t nodes, const CircuitConfig& cfg) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--profile") == 0) g_profile = true;
-  }
+  g_flags = bench::parse_flags(argc, argv);
   const std::size_t kScales[] = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512};
 
   bench::header("Figure 13a", "circuit weak scaling (throughput per node, wires/s)",

@@ -17,6 +17,10 @@ namespace {
 
 using namespace dcr;
 
+// --profile records dcr-prof spans in the DCR runs; --scope additionally
+// turns on causal tracing.  Host-side only: makespans are unchanged.
+bench::Flags g_flags;
+
 constexpr std::size_t kGpusPerNode = 8;
 constexpr std::size_t kCycles = 10;
 constexpr std::int64_t kZonesPerGpu = 2'000'000;
@@ -40,7 +44,9 @@ double dcr_throughput(std::size_t nodes, bool no_cr) {
     baselines::CentralRuntime rt(machine, functions, ccfg);
     makespan = rt.execute(apps::make_pennant_app(cfg, fns)).makespan;
   } else {
-    core::DcrRuntime rt(machine, functions);  // one shard per node, as in the paper
+    core::DcrConfig dcfg;  // one shard per node, as in the paper
+    bench::apply_flags(g_flags, dcfg);
+    core::DcrRuntime rt(machine, functions, dcfg);
     const auto stats = rt.execute(apps::make_pennant_app(cfg, fns));
     DCR_CHECK(stats.completed && !stats.determinism_violation);
     makespan = stats.makespan;
@@ -61,7 +67,8 @@ double mpi_throughput(std::size_t nodes, const baselines::MpiPennantConfig& vari
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_flags = bench::parse_flags(argc, argv);
   bench::header("Figure 14", "Pennant weak scaling vs MPI (iterations/s, 8 GPUs/node)",
                 "CPU-only lowest; no-CR stops scaling; DCR > MPI+CUDA, within ~15% of "
                 "MPI+CUDA+GPUDirect; leaders dip at scale from the blocking dt collective");

@@ -15,6 +15,10 @@ namespace {
 
 using namespace dcr;
 
+// --profile records dcr-prof spans in the DCR runs; --scope additionally
+// turns on causal tracing.  Host-side only: makespans are unchanged.
+bench::Flags g_flags;
+
 constexpr std::size_t kGpusPerNode = 6;
 constexpr std::size_t kImagenet = 1'281'167;  // images per epoch
 constexpr std::size_t kBatchPerGpu = 64;
@@ -46,6 +50,7 @@ SimTime flexflow_iter(std::size_t gpus, bool no_cr) {
   } else {
     core::DcrConfig dcfg;
     dcfg.shards_per_node = procs;  // one shard per GPU
+    bench::apply_flags(g_flags, dcfg);
     core::DcrRuntime rt(machine, functions, dcfg);
     const auto stats = rt.execute(apps::make_train_app(spec, cfg, fns));
     DCR_CHECK(stats.completed && !stats.determinism_violation);
@@ -56,7 +61,8 @@ SimTime flexflow_iter(std::size_t gpus, bool no_cr) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_flags = bench::parse_flags(argc, argv);
   bench::header("Figure 15", "ResNet-50 per-epoch training time (minutes)",
                 "TF and FlexFlow+DCR nearly identical, scaling to 768 GPUs; "
                 "FlexFlow without CR stops scaling around 48 GPUs");

@@ -14,13 +14,18 @@
 namespace {
 
 using namespace dcr;
+
+// --profile records dcr-prof spans in the DCR runs; --scope additionally
+// turns on causal tracing.  Host-side only: makespans are unchanged.
+bench::Flags g_flags;
 constexpr std::size_t kGpusPerNode = 4;  // Sierra
 constexpr std::size_t kSteps = 8;
 constexpr std::int64_t kCellsPerGpu = 15000;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_flags = bench::parse_flags(argc, argv);
   bench::header("Figure 16", "Soleil-X weak scaling (10^6 cells/s)",
                 "throughput grows with GPUs at 80-95% efficiency; no SCR series exists "
                 "(dynamic partition count)");
@@ -37,7 +42,9 @@ int main() {
     core::FunctionRegistry functions;
     const auto fns = apps::register_soleil_functions(functions, 1.0);
     sim::Machine machine(bench::cluster(nodes, kGpusPerNode));
-    core::DcrRuntime rt(machine, functions);
+    core::DcrConfig dcfg;
+    bench::apply_flags(g_flags, dcfg);
+    core::DcrRuntime rt(machine, functions, dcfg);
     const auto stats = rt.execute(apps::make_soleil_app(cfg, fns));
     DCR_CHECK(stats.completed && !stats.determinism_violation);
     const double cells = static_cast<double>(kCellsPerGpu) * static_cast<double>(gpus) *

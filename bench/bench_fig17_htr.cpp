@@ -13,6 +13,10 @@ namespace {
 
 using namespace dcr;
 
+// --profile records dcr-prof spans in the DCR runs; --scope additionally
+// turns on causal tracing.  Host-side only: makespans are unchanged.
+bench::Flags g_flags;
+
 double efficiency_at(std::size_t nodes, std::size_t procs_per_node,
                      std::int64_t cells_per_piece, double ns_per_cell, double* base) {
   const std::size_t pieces = nodes * procs_per_node;
@@ -21,7 +25,9 @@ double efficiency_at(std::size_t nodes, std::size_t procs_per_node,
   core::FunctionRegistry functions;
   const auto fns = apps::register_htr_functions(functions, ns_per_cell);
   sim::Machine machine(bench::cluster(nodes, procs_per_node));
-  core::DcrRuntime rt(machine, functions);
+  core::DcrConfig dcfg;
+  bench::apply_flags(g_flags, dcfg);
+  core::DcrRuntime rt(machine, functions, dcfg);
   const auto stats = rt.execute(apps::make_htr_app(cfg, fns));
   DCR_CHECK(stats.completed && !stats.determinism_violation);
   const double cells = static_cast<double>(cells_per_piece) * static_cast<double>(pieces) *
@@ -33,7 +39,8 @@ double efficiency_at(std::size_t nodes, std::size_t procs_per_node,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_flags = bench::parse_flags(argc, argv);
   bench::header("Figure 17a", "HTR weak scaling parallel efficiency (CPU, 36 cores/node)",
                 "efficiency stays ~0.85-1.0 out to 9216 cores");
   {

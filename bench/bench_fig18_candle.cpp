@@ -16,6 +16,10 @@ namespace {
 
 using namespace dcr;
 
+// --profile records dcr-prof spans in the DCR runs; --scope additionally
+// turns on causal tracing.  Host-side only: makespans are unchanged.
+bench::Flags g_flags;
+
 constexpr std::size_t kGpusPerNode = 6;
 constexpr std::size_t kSamplesPerEpoch = 423952;  // Uno training set
 constexpr std::size_t kGlobalBatch = 4096;        // fixed global batch
@@ -41,6 +45,7 @@ SimTime flexflow_iter(std::size_t gpus) {
   sim::Machine machine(bench::cluster(nodes, procs));
   core::DcrConfig dcfg;
   dcfg.shards_per_node = procs;
+  bench::apply_flags(g_flags, dcfg);
   core::DcrRuntime rt(machine, functions, dcfg);
   const auto stats =
       rt.execute(apps::make_train_app(apps::NetworkSpec::candle_uno(), cfg, fns));
@@ -50,7 +55,8 @@ SimTime flexflow_iter(std::size_t gpus) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_flags = bench::parse_flags(argc, argv);
   bench::header("Figure 18", "CANDLE Uno MLP per-epoch training time (hours)",
                 "TF flattens (3 GB gradient all-reduce dominates); FlexFlow hybrid + DCR "
                 "keeps scaling, ~15x faster at 768 GPUs");

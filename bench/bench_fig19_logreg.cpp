@@ -13,6 +13,10 @@
 namespace {
 
 using namespace dcr;
+
+// --profile records dcr-prof spans in the DCR runs; --scope additionally
+// turns on causal tracing.  Host-side only: makespans are unchanged.
+bench::Flags g_flags;
 using apps::legate::LogisticRegressionConfig;
 
 constexpr std::size_t kIters = 10;
@@ -25,7 +29,9 @@ double legate_throughput(std::size_t sockets, double ns_per_elem) {
   core::FunctionRegistry functions;
   const auto fns = apps::legate::register_legate_functions(functions, ns_per_elem);
   sim::Machine machine(bench::cluster(sockets));
-  core::DcrRuntime rt(machine, functions);
+  core::DcrConfig dcfg;
+  bench::apply_flags(g_flags, dcfg);
+  core::DcrRuntime rt(machine, functions, dcfg);
   const auto stats = rt.execute(apps::legate::make_logistic_regression(cfg, fns));
   DCR_CHECK(stats.completed && !stats.determinism_violation);
   return bench::per_second(static_cast<double>(kIters), stats.makespan);
@@ -49,7 +55,8 @@ double dask_throughput(std::size_t sockets, double ns_per_elem) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_flags = bench::parse_flags(argc, argv);
   bench::header("Figure 19", "Legate logistic regression vs Dask (iterations/s)",
                 "Dask decays past a few sockets; Legate-CPU ~10x Dask at 32; GPU above CPU");
   bench::Table table("sockets");

@@ -12,6 +12,10 @@
 namespace {
 
 using namespace dcr;
+
+// --profile records dcr-prof spans in the DCR runs; --scope additionally
+// turns on causal tracing.  Host-side only: makespans are unchanged.
+bench::Flags g_flags;
 using apps::legate::CgConfig;
 
 constexpr std::size_t kIters = 10;
@@ -22,7 +26,9 @@ double legate_throughput(std::size_t sockets, double ns_per_elem) {
   core::FunctionRegistry functions;
   const auto fns = apps::legate::register_legate_functions(functions, ns_per_elem);
   sim::Machine machine(bench::cluster(sockets));
-  core::DcrRuntime rt(machine, functions);
+  core::DcrConfig dcfg;
+  bench::apply_flags(g_flags, dcfg);
+  core::DcrRuntime rt(machine, functions, dcfg);
   const auto stats = rt.execute(apps::legate::make_preconditioned_cg(cfg, fns));
   DCR_CHECK(stats.completed && !stats.determinism_violation);
   return bench::per_second(static_cast<double>(kIters), stats.makespan);
@@ -45,7 +51,8 @@ double dask_throughput(std::size_t sockets, double ns_per_elem) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_flags = bench::parse_flags(argc, argv);
   bench::header("Figure 20", "Legate preconditioned CG vs Dask (iterations/s)",
                 "Dask decays past a few sockets; Legate ~3x Dask at 32 sockets; GPU above CPU");
   bench::Table table("sockets");

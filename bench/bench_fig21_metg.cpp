@@ -14,6 +14,10 @@ namespace {
 
 using namespace dcr;
 
+// --profile records dcr-prof spans in the DCR runs; --scope additionally
+// turns on causal tracing.  Host-side only: makespans are unchanged.
+bench::Flags g_flags;
+
 SimTime metg(std::size_t nodes, bool trace, bool safe) {
   apps::TaskBenchConfig cfg;
   cfg.width = nodes;
@@ -26,6 +30,7 @@ SimTime metg(std::size_t nodes, bool trace, bool safe) {
     sim::Machine machine(bench::cluster(nodes));
     core::DcrConfig dcfg;
     dcfg.determinism_checks = safe;
+    bench::apply_flags(g_flags, dcfg);
     core::DcrRuntime rt(machine, functions, dcfg);
     const auto stats = rt.execute(apps::make_taskbench_app(c, fn));
     DCR_CHECK(stats.completed);
@@ -35,7 +40,8 @@ SimTime metg(std::size_t nodes, bool trace, bool safe) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_flags = bench::parse_flags(argc, argv);
   bench::header("Figure 21", "METG(50%) of Task Bench stencil x4 (microseconds; lower is better)",
                 "METG rises with node count; tracing lowers it substantially; "
                 "determinism checks (Safe) add negligible overhead in both configs");

@@ -1,22 +1,19 @@
-// dcr-prof overhead and fidelity: profiling must be effectively free.
+// dcr-scope overhead and blame fidelity: causal tracing must be cheap and
+// must never perturb the simulated execution.
 //
-// Counters are always on (relaxed atomic bumps on the host); the span
-// timeline is gated by DcrConfig::profile.  Everything is host-side
-// bookkeeping that charges no virtual time, so two invariants must hold:
+// Tracing (DcrConfig::scope) is host-side bookkeeping that charges no
+// virtual time, so two invariants must hold on the 64-shard traced stencil:
 //
-//   1. makespan(profile on) == makespan(profile off)  — bit-identical, the
-//      simulated execution cannot observe the profiler;
-//   2. wall-clock overhead of profile-on < 5% on the 64-shard stencil
-//      (min over interleaved reps, which cancels machine noise).
+//   1. makespan(scope on) == makespan(scope off) — bit-identical;
+//   2. wall-clock overhead of scope-on < 5% (min over interleaved reps).
 //
-// Plus the acceptance cross-check: the profiler's online fence/elision
-// ledger must reproduce the counts the spy trace records for the same run.
-// Results go to BENCH_prof.json; exit 1 on any violation.
+// Plus the acceptance checks: every complete fence in the blame ledger names
+// a releasing shard and span, and the per-shard wait sums reconcile exactly
+// with dcr-prof's always-on FenceWaitNs counters (issued + elided ==
+// decisions).  Results go to BENCH_scope.json; exit 1 on any violation.
 //
-// --check-baseline FILE [--threshold PCT]: after writing BENCH_prof.json,
-// run the dcr-scope regression watchdog against the committed baseline and
-// fail (exit 1) on any threshold breach, so perf regressions die loudly in
-// CI instead of silently rebasing the JSON.
+// --check-baseline FILE [--threshold PCT]: regression watchdog against the
+// committed baseline, as in bench_prof.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -29,7 +26,7 @@
 #include "bench/bench_common.hpp"
 #include "dcr/runtime.hpp"
 #include "scope/baseline.hpp"
-#include "spy/trace.hpp"
+#include "scope/report.hpp"
 
 namespace {
 
@@ -42,24 +39,22 @@ constexpr int kReps = 7;
 struct RunResult {
   core::DcrStats stats;
   double wall_ms = 0;
-  std::uint64_t fences_issued = 0;
-  std::uint64_t fences_elided = 0;
-  std::uint64_t decisions = 0;
-  std::uint64_t spans = 0;
-  std::uint64_t spy_issued = 0;
-  std::uint64_t spy_elided = 0;
+  std::size_t fences = 0;
+  std::size_t complete = 0;
+  std::size_t attributed = 0;
+  std::size_t spans = 0;
+  bool reconciled = false;
 };
 
-RunResult run(bool profile, bool record_trace) {
+RunResult run(bool scope) {
   sim::Machine machine(bench::cluster(kShards));
   core::FunctionRegistry functions;
   const auto fns = apps::register_stencil_functions(functions, 1.0);
   core::DcrConfig cfg;
-  cfg.profile = profile;
-  cfg.record_trace = record_trace;
+  cfg.scope = scope;
   core::DcrRuntime rt(machine, functions, cfg);
   apps::StencilConfig scfg{.cells_per_tile = 500, .tiles = kShards, .steps = kSteps};
-  scfg.use_trace = true;  // steady-state replay, the regime that matters
+  scfg.use_trace = true;  // steady-state template replay, the regime that matters
   const auto main_fn = apps::make_stencil_app(scfg, fns);
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -67,15 +62,17 @@ RunResult run(bool profile, bool record_trace) {
   r.stats = rt.execute(main_fn);
   const auto t1 = std::chrono::steady_clock::now();
   r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
-  const prof::Counters& g = rt.profiler().global();
-  r.fences_issued = g.get(prof::GlobalCounter::FencesIssued);
-  r.fences_elided = g.get(prof::GlobalCounter::FencesElided);
-  r.decisions = g.get(prof::GlobalCounter::FenceDecisions);
-  r.spans = rt.profiler().spans().size();
-  if (const spy::Trace* trace = rt.trace()) {
-    for (const auto& d : trace->coarse_deps) (d.elided ? r.spy_elided : r.spy_issued)++;
-  }
   DCR_CHECK(r.stats.completed && !r.stats.determinism_violation);
+  if (scope) {
+    // Counters are always on, so the blame report reconciles against them
+    // even without DcrConfig::profile.
+    const scope::BlameReport blame = scope::build_blame(*rt.scope(), rt.profiler());
+    r.fences = blame.fences.size();
+    r.complete = blame.complete_fences;
+    r.attributed = blame.attributed;
+    r.spans = rt.scope()->spans().size();
+    r.reconciled = blame.reconciled();
+  }
   return r;
 }
 
@@ -130,26 +127,26 @@ int main(int argc, char** argv) {
       threshold_pct = std::stod(argv[++i]);
     }
   }
-  JsonDump json("BENCH_prof.json");
-  bench::header("Prof", "dcr-prof overhead (stencil, 64 shards, templates on)",
-                "profile-on wall time within 5% of profile-off; identical makespan; "
-                "fence ledger matches the spy trace");
+  JsonDump json("BENCH_scope.json");
+  bench::header("Scope", "dcr-scope overhead (stencil, 64 shards, templates on)",
+                "scope-on wall time within 5% of scope-off; identical makespan; "
+                "every fence attributed; waits reconcile with dcr-prof");
   int rc = 0;
 
   // Interleave on/off reps so drift (thermal, scheduler) hits both equally.
   std::vector<double> wall_off, wall_on;
   SimTime makespan_off = 0, makespan_on = 0;
-  std::uint64_t spans = 0;
+  RunResult last_on;
   for (int rep = 0; rep < kReps; ++rep) {
-    const RunResult off = run(/*profile=*/false, /*record_trace=*/false);
-    const RunResult on = run(/*profile=*/true, /*record_trace=*/false);
+    const RunResult off = run(/*scope=*/false);
+    const RunResult on = run(/*scope=*/true);
     wall_off.push_back(off.wall_ms);
     wall_on.push_back(on.wall_ms);
     makespan_off = off.stats.makespan;
     makespan_on = on.stats.makespan;
-    spans = on.spans;
+    last_on = on;
     if (off.stats.makespan != on.stats.makespan) {
-      std::printf("  !! rep %d: makespan differs with profiling on (%llu vs %llu ns)\n",
+      std::printf("  !! rep %d: makespan differs with tracing on (%llu vs %llu ns)\n",
                   rep, static_cast<unsigned long long>(off.stats.makespan),
                   static_cast<unsigned long long>(on.stats.makespan));
       rc = 1;
@@ -167,30 +164,21 @@ int main(int argc, char** argv) {
   table.add_row(static_cast<double>(kReps),
                 {off_min, on_min, median_of(wall_off), median_of(wall_on), overhead_pct});
   table.print();
-  std::printf("  makespan %.3f ms (identical on/off: %s), %llu spans recorded\n",
+  std::printf("  makespan %.3f ms (identical on/off: %s)\n",
               static_cast<double>(makespan_on) / 1e6,
-              makespan_off == makespan_on ? "yes" : "NO",
-              static_cast<unsigned long long>(spans));
+              makespan_off == makespan_on ? "yes" : "NO");
   if (overhead_pct >= 5.0) {
-    std::printf("  !! profiling overhead %.2f%% exceeds the 5%% budget\n", overhead_pct);
+    std::printf("  !! tracing overhead %.2f%% exceeds the 5%% budget\n", overhead_pct);
     rc = 1;
   }
 
-  // Fidelity: online ledger vs the spy trace of the same (profiled) run.
-  const RunResult checked = run(/*profile=*/true, /*record_trace=*/true);
-  const bool ledger_ok = checked.fences_issued == checked.spy_issued &&
-                         checked.fences_elided == checked.spy_elided &&
-                         checked.decisions == checked.spy_issued + checked.spy_elided;
-  std::printf("  fence ledger: prof issued=%llu elided=%llu | spy issued=%llu elided=%llu"
-              " -> %s\n",
-              static_cast<unsigned long long>(checked.fences_issued),
-              static_cast<unsigned long long>(checked.fences_elided),
-              static_cast<unsigned long long>(checked.spy_issued),
-              static_cast<unsigned long long>(checked.spy_elided),
-              ledger_ok ? "OK" : "MISMATCH");
-  if (!ledger_ok) rc = 1;
+  std::printf("  blame: %zu fences (%zu complete, %zu attributed), %zu spans, "
+              "ledgers %s\n",
+              last_on.fences, last_on.complete, last_on.attributed, last_on.spans,
+              last_on.reconciled ? "reconcile" : "DO NOT RECONCILE");
+  if (!last_on.reconciled || last_on.attributed != last_on.complete) rc = 1;
 
-  json.record("prof_overhead",
+  json.record("scope_overhead",
               {{"shards", static_cast<double>(kShards)},
                {"reps", static_cast<double>(kReps)},
                {"wall_off_ms_min", off_min},
@@ -198,21 +186,19 @@ int main(int argc, char** argv) {
                {"wall_off_ms_median", median_of(wall_off)},
                {"wall_on_ms_median", median_of(wall_on)},
                {"overhead_pct", overhead_pct},
-               {"makespan_identical", makespan_off == makespan_on ? 1.0 : 0.0},
-               {"spans", static_cast<double>(spans)}});
-  json.record("prof_fidelity",
-              {{"fences_issued", static_cast<double>(checked.fences_issued)},
-               {"fences_elided", static_cast<double>(checked.fences_elided)},
-               {"fence_decisions", static_cast<double>(checked.decisions)},
-               {"spy_issued", static_cast<double>(checked.spy_issued)},
-               {"spy_elided", static_cast<double>(checked.spy_elided)},
-               {"ledger_ok", ledger_ok ? 1.0 : 0.0}});
+               {"makespan_identical", makespan_off == makespan_on ? 1.0 : 0.0}});
+  json.record("scope_fidelity",
+              {{"fences", static_cast<double>(last_on.fences)},
+               {"complete_fences", static_cast<double>(last_on.complete)},
+               {"attributed_fences", static_cast<double>(last_on.attributed)},
+               {"spans", static_cast<double>(last_on.spans)},
+               {"reconciled", last_on.reconciled ? 1.0 : 0.0}});
   json.close();
-  std::printf("\nwrote BENCH_prof.json\n");
+  std::printf("\nwrote BENCH_scope.json\n");
 
   if (!baseline_path.empty()) {
     const scope::BaselineDiff d = scope::check_baseline_files(
-        baseline_path, "BENCH_prof.json", threshold_pct);
+        baseline_path, "BENCH_scope.json", threshold_pct);
     scope::render_baseline_diff(std::cout, d, threshold_pct);
     if (!d.ok()) rc = 1;
   }

@@ -363,6 +363,12 @@ class ShardContext final : public Context {
     pctx_.wait(it->second.per_shard_event[shard_.value]);
     prof_wait(prof::Counter::FutureWaits, prof::Counter::FutureWaitNs,
               prof::Hist::FutureWaitNs, prof::SpanKind::FutureWait, wait_start);
+    if (rt_.scope_) {
+      // The collective's merged context names the contribution that released
+      // this wait last (the producing shard + span).
+      rt_.scope_->on_future_wait(shard_.value, f.id, wait_start, pctx_.now(),
+                                 it->second.coll->result_ctx());
+    }
     return it->second.coll->result();
   }
 
@@ -541,9 +547,36 @@ DcrRuntime::DcrRuntime(sim::Machine& machine, FunctionRegistry& functions, DcrCo
     trace_->num_shards = shards;
     trace_->calls.resize(shards);
   }
+  if (config_.scope) {
+    scope_ = std::make_unique<dcr::scope::Recorder>(shards);
+    // Count causal traffic per origin shard (host-side; one call per logical
+    // message, retransmissions excluded).
+    machine_.network().set_send_tap(
+        [rec = scope_.get()](NodeId, NodeId, std::uint64_t bytes,
+                             const dcr::scope::TraceCtx& ctx) {
+          rec->on_message(ctx, bytes);
+        });
+  }
 }
 
-DcrRuntime::~DcrRuntime() = default;
+DcrRuntime::~DcrRuntime() {
+  // The send tap captures the recorder; detach it before the recorder dies.
+  if (scope_) machine_.network().set_send_tap(nullptr);
+}
+
+dcr::scope::TraceCtx DcrRuntime::scope_ctx(ShardId s) const {
+  if (!scope_) return {};
+  return scope_->current_ctx(s.value, machine_.sim().now());
+}
+
+bool DcrRuntime::finished() const {
+  if (aborted_) return true;
+  if (shards_.empty()) return false;
+  for (const auto& st : shards_) {
+    if (!st->done) return false;
+  }
+  return true;
+}
 
 // --------------------------------------------------------------- summaries
 
@@ -1127,7 +1160,11 @@ void DcrRuntime::process_op(ShardId s, const OpRecord& op) {
       // this shard.  Waits on the Fence lane are ordered by the fine_tail
       // chain, so per-shard spans nest trivially (they are disjoint).
       const SimTime wait_start = machine_.sim().now();
-      fence->coll->arrive(s.value).on_trigger([this, gate, s, wait_start, opid, prof_iter] {
+      // dcr-scope: stamp this arrival with the shard's current span, so the
+      // collective's latest-merge yields the fence's releasing shard + span.
+      dcr::scope::TraceCtx ctx;
+      if (scope_) ctx = scope_->fence_arrival(opid, s.value, prof_iter, wait_start);
+      fence->coll->arrive(s.value, ctx).on_trigger([this, gate, s, wait_start, opid, prof_iter] {
         const SimTime now = machine_.sim().now();
         prof::Counters& c = profiler_.shard(s.value);
         c.add(prof::Counter::FenceWaitNs, now - wait_start);
@@ -1182,12 +1219,17 @@ void DcrRuntime::process_op(ShardId s, const OpRecord& op) {
   const sim::Event fine_done = analysis_proc(s).enqueue(
       fine_cost, sim::merge_events(std::span<const sim::Event>(pre)),
       [this, s, fine_cost, traced, opid, prof_iter, op_copy = std::move(op_copy)] {
+        const SimTime end = machine_.sim().now();
         if (profiler_.spans_enabled()) {
-          const SimTime end = machine_.sim().now();
           profiler_.emit({traced ? prof::SpanKind::FineReplay : prof::SpanKind::FineAnalysis,
                           prof::Lane::Analysis, s.value, end - fine_cost, end, opid,
                           prof_iter});
         }
+        // dcr-scope: this completed fine stage becomes the shard's current
+        // span — the causal parent of the task launches and collective
+        // contributions issued by execute_points below, and of any fence
+        // arrival chained behind this op via fine_tail.
+        if (scope_) scope_->on_fine_stage(s.value, opid, traced, end - fine_cost, end);
         execute_points(s, op_copy);
       });
   st.fine_tail = fine_done;
@@ -1378,7 +1420,9 @@ void DcrRuntime::execute_points(ShardId s, const OpRecord& op) {
         case ReduceOp::Min: partial = fmp->shard_partial_min[s.value]; break;
         case ReduceOp::Max: partial = fmp->shard_partial_max[s.value]; break;
       }
-      futp->coll->arrive(s.value, partial).on_trigger([this, gate] {
+      // dcr-scope: this contribution is caused by the shard's current span
+      // (the fine stage that produced its partial values).
+      futp->coll->arrive(s.value, partial, scope_ctx(s)).on_trigger([this, gate] {
         gate.trigger(machine_.sim().now());
       });
     };
@@ -1449,6 +1493,11 @@ sim::Event DcrRuntime::launch_point_task(ShardId s, const OpRecord& op, const rt
     }
     spy_record_task(s, tid, op.id, point_index, std::move(accesses));
   }
+  if (scope_) {
+    // Task-launch ledger: tagged with the shard's current span (the fine
+    // stage that launched this point).
+    scope_->on_task_launch(s.value, op.id.value, point_index, machine_.sim().now());
+  }
 
   const SimTime duration = functions_.at(fn).duration(info);
   FunctionProfile& prof = profile_[fn];
@@ -1485,7 +1534,7 @@ void DcrRuntime::finish_point_task(ShardId s, const PointTaskInfo& info,
     FutureRecord& fut = futures_.at(future_id);
     // Only the owner shard executes a single task; it is the broadcast root.
     const sim::UserEvent gate = fut.per_shard_event[s.value];
-    fut.coll->arrive(/*rank=*/0, v).on_trigger(
+    fut.coll->arrive(/*rank=*/0, v, scope_ctx(s)).on_trigger(
         [this, gate] { gate.trigger(machine_.sim().now()); });
   }
 }
@@ -1696,6 +1745,15 @@ DcrStats DcrRuntime::execute(const ApplicationMain& main) {
     if (rec.coll && rec.coll->complete()) {
       g.add(prof::GlobalCounter::CollectiveLatencyNs, rec.coll->latency());
     }
+  }
+
+  // dcr-scope: harvest every fence's per-rank timestamps + merged releaser
+  // into the blame ledger, in dependent-op order (fences_ is an ordered map).
+  if (scope_) {
+    for (const auto& [op, rec] : fences_) {
+      if (rec.coll) scope_->harvest_fence(op.value, *rec.coll);
+    }
+    scope_->set_run_info(stats_.makespan, recovery_epoch_);
   }
   return stats_;
 }

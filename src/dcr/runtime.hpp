@@ -42,6 +42,7 @@
 #include "dcr/user_tracker.hpp"
 #include "prof/profiler.hpp"
 #include "runtime/physical.hpp"
+#include "scope/recorder.hpp"
 #include "runtime/region.hpp"
 #include "runtime/task_graph.hpp"
 #include "spy/trace.hpp"
@@ -105,6 +106,13 @@ struct DcrConfig {
   // Host-side cost only; no virtual-time cost, so profiling never perturbs
   // the analysis or the realized task graph.
   bool profile = false;
+
+  // dcr-scope causal tracing (scope/recorder.hpp): stamp a TraceCtx onto
+  // every fence arrival, future contribution, and collective hop; record the
+  // per-fence blame ledger (per-rank arrival/completion, last-releasing
+  // shard + span) and the task-launch ledger.  Host-side cost only; no
+  // virtual-time cost, so a scope-on run is makespan-identical to scope-off.
+  bool scope = false;
 
   // Mapping policy (paper §4): per-launch sharding selection and point-task
   // processor placement.  Must be deterministic; not owned.  nullptr = the
@@ -201,6 +209,11 @@ class DcrRuntime {
   prof::Profiler& profiler() { return profiler_; }
   const prof::Profiler& profiler() const { return profiler_; }
 
+  // dcr-scope causal ledger (only populated with config.scope).  NB: fully
+  // qualified type — inside this class the name `scope` is this member
+  // function, not the namespace.
+  const dcr::scope::Recorder* scope() const { return scope_.get(); }
+
   // Dependence-template observability (tests): per-shard template store and
   // the runtime-wide recovery epoch that invalidates templates on failover.
   TemplateManager& shard_templates(ShardId s) { return shard(s).templates; }
@@ -211,6 +224,11 @@ class DcrRuntime {
   // or the run could not have quiesced.
   std::size_t num_fences() const { return fences_.size(); }
   bool all_fences_complete() const;
+  // Whether every shard's control program ran to completion (or the run
+  // aborted).  Safe to poll mid-run — the `dcr-scope watch` exposer uses it
+  // as its stop predicate so a periodic tick cannot keep the calendar alive
+  // after the run quiesces.
+  bool finished() const;
 
  private:
   friend class ShardContext;
@@ -397,6 +415,10 @@ class DcrRuntime {
   void finish_point_task(ShardId s, const PointTaskInfo& info, std::uint64_t future_map_id,
                          std::uint64_t future_id);
   sim::Processor& compute_proc_for(ShardId s, std::uint64_t point_index);
+
+  // The causal context shard `s` stamps onto a collective contribution right
+  // now; invalid (default) when config_.scope is off.
+  dcr::scope::TraceCtx scope_ctx(ShardId s) const;
   void record_realized(TaskId tid, OpId op, std::uint64_t point_index,
                        const std::vector<TaskId>& preds);
   void spy_record_task(ShardId s, TaskId tid, OpId op, std::uint64_t point_index,
@@ -468,6 +490,9 @@ class DcrRuntime {
   rt::TaskGraph realized_graph_;
   std::vector<RealizedTask> realized_tasks_;
   std::unique_ptr<spy::Trace> trace_;  // non-null iff config_.record_trace
+  // dcr-scope causal ledger; non-null iff config_.scope (type qualified: the
+  // member function scope() shadows the namespace inside this class).
+  std::unique_ptr<dcr::scope::Recorder> scope_;
   std::uint64_t next_task_id_ = 0;
 };
 

@@ -1,0 +1,65 @@
+// Counter-snapshot diffing, factored out of the dcr-prof CLI so tests (and
+// dcr-scope's watchdog) can exercise it directly.  Snapshots are the
+// {"global": {...}, "merged": {...}, "shards": [...]} objects written by
+// Profiler::write_snapshot_json.
+//
+// Tolerant of schema drift between versions: a key present on only one side
+// is reported as added/removed instead of being silently skipped (the old
+// behaviour) — a renamed or dropped counter is itself a difference worth
+// failing on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "prof/json.hpp"
+
+namespace dcr::prof {
+
+struct SnapshotDiff {
+  struct Change {
+    std::string key;  // "section.name"
+    double a = 0;
+    double b = 0;
+  };
+  std::vector<Change> changed;
+  std::vector<std::string> added;    // present only in b
+  std::vector<std::string> removed;  // present only in a
+  bool any() const { return !changed.empty() || !added.empty() || !removed.empty(); }
+};
+
+// Diff one flat {name: number} section between two snapshot objects,
+// appending into `out`.  Missing sections are tolerated (all keys of the
+// other side become added/removed).
+inline void diff_snapshot_section(const JsonValue& a, const JsonValue& b,
+                                  const std::string& section, SnapshotDiff* out) {
+  const JsonValue* oa = a.is_object() ? a.find(section) : nullptr;
+  const JsonValue* ob = b.is_object() ? b.find(section) : nullptr;
+  if (oa && oa->is_object()) {
+    for (const auto& [key, va] : oa->object) {
+      const JsonValue* vb = (ob && ob->is_object()) ? ob->find(key) : nullptr;
+      if (!vb) {
+        out->removed.push_back(section + "." + key);
+      } else if (va.number != vb->number) {
+        out->changed.push_back({section + "." + key, va.number, vb->number});
+      }
+    }
+  }
+  if (ob && ob->is_object()) {
+    for (const auto& [key, vb] : ob->object) {
+      (void)vb;
+      if (!oa || !oa->is_object() || !oa->find(key)) {
+        out->added.push_back(section + "." + key);
+      }
+    }
+  }
+}
+
+inline SnapshotDiff diff_snapshots(const JsonValue& a, const JsonValue& b) {
+  SnapshotDiff d;
+  diff_snapshot_section(a, b, "global", &d);
+  diff_snapshot_section(a, b, "merged", &d);
+  return d;
+}
+
+}  // namespace dcr::prof

@@ -1,0 +1,55 @@
+// Causal trace context for dcr-scope.
+//
+// A TraceCtx names the *cause* of a message: the trace it belongs to, the
+// span (completed fine-analysis stage) that produced it, the shard it
+// originated on, and the virtual time at which that cause happened.  The
+// runtime stamps one onto every fence arrival, future contribution, and
+// collective hop; the network and reliable transport carry it alongside the
+// payload so it survives retransmission.  Everything here is host-side
+// bookkeeping — a TraceCtx never charges virtual time, so a scope-on run is
+// makespan-identical to a scope-off run.
+//
+// The merge rule `latest` is an associative, commutative max over
+// (at, origin); folding arrival contexts up a reduction tree therefore yields
+// the globally last contributor at the root regardless of merge order — which
+// is exactly the shard (and span) a fence round was waiting on.
+//
+// This header deliberately depends only on common/types.hpp so sim/ headers
+// can include it without a library cycle (scope's compiled pieces live in
+// dcr_scope, which links *above* dcr_sim).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace dcr::scope {
+
+inline constexpr std::uint64_t kNoSpan = ~0ull;
+inline constexpr std::uint32_t kNoShard = ~0u;
+
+struct TraceCtx {
+  std::uint64_t trace = 0;        // 0 = invalid (tracing off / untraced message)
+  std::uint64_t span = kNoSpan;   // producing span id; kNoSpan = control work
+  std::uint32_t origin = kNoShard;
+  SimTime at = 0;                 // virtual time of the causing event
+
+  bool valid() const { return trace != 0; }
+
+  friend bool operator==(const TraceCtx& a, const TraceCtx& b) {
+    return a.trace == b.trace && a.span == b.span && a.origin == b.origin &&
+           a.at == b.at;
+  }
+};
+
+// Pick the later of two contexts: larger `at` wins, ties broken by larger
+// origin so the result is independent of merge order.  Invalid contexts are
+// identity elements.
+inline const TraceCtx& latest(const TraceCtx& a, const TraceCtx& b) {
+  if (!a.valid()) return b;
+  if (!b.valid()) return a;
+  if (a.at != b.at) return b.at > a.at ? b : a;
+  return b.origin > a.origin ? b : a;
+}
+
+}  // namespace dcr::scope

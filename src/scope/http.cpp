@@ -1,0 +1,99 @@
+#include "scope/http.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dcr::scope {
+
+namespace {
+
+void write_all(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, data + off, len - off);
+    if (n <= 0) return;  // client went away; nothing to salvage
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    error_ = std::strerror(errno);
+    return;
+  }
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd_, 8) < 0) {
+    error_ = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  thread_ = std::thread([this] { serve(); });
+}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+void MetricsHttpServer::set_body(std::string body) {
+  std::lock_guard<std::mutex> lock(mu_);
+  body_ = std::move(body);
+}
+
+void MetricsHttpServer::stop() {
+  if (fd_ < 0) return;
+  stop_.store(true);
+  if (thread_.joinable()) thread_.join();
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void MetricsHttpServer::serve() {
+  while (!stop_.load()) {
+    pollfd pfd{fd_, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (r <= 0) continue;  // timeout (re-check stop_) or transient error
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    // Drain the request line; we serve the same snapshot for every path.
+    char buf[1024];
+    const ssize_t n = ::read(client, buf, sizeof(buf));
+    std::string body;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      body = body_;
+    }
+    std::string resp;
+    if (n > 0) {
+      resp =
+          "HTTP/1.1 200 OK\r\n"
+          "Content-Type: text/plain; version=0.0.4\r\n"
+          "Content-Length: " +
+          std::to_string(body.size()) +
+          "\r\n"
+          "Connection: close\r\n\r\n" +
+          body;
+    } else {
+      resp = "HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n";
+    }
+    write_all(client, resp.data(), resp.size());
+    ::close(client);
+  }
+}
+
+}  // namespace dcr::scope

@@ -1,0 +1,55 @@
+// Minimal localhost HTTP exposition endpoint for dcr-scope watch.
+//
+// Serves the latest Prometheus text snapshot (set via set_body, typically
+// from the MetricsExposer's sink callback) at GET / on 127.0.0.1:port.  A
+// single background thread accepts connections, reads the request line, and
+// writes the snapshot — no keep-alive, no routing, no TLS.  Binding to the
+// loopback interface only keeps the endpoint off the network; this is a
+// debugging aid, not a production metrics server.
+//
+// Runs on a real OS thread alongside the (single-threaded, virtual-time)
+// simulator: the sim thread only touches the server through the mutex-guarded
+// set_body, so there is no interaction with simulated time.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace dcr::scope {
+
+class MetricsHttpServer {
+ public:
+  // Binds and starts the accept loop.  `port` 0 lets the OS pick; the chosen
+  // port is available via port().  On bind failure ok() is false and the
+  // server is inert.
+  explicit MetricsHttpServer(std::uint16_t port);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  bool ok() const { return fd_ >= 0; }
+  std::uint16_t port() const { return port_; }
+  const std::string& error() const { return error_; }
+
+  // Replace the snapshot served to subsequent requests.  Thread-safe.
+  void set_body(std::string body);
+
+  void stop();
+
+ private:
+  void serve();
+
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::string error_;
+  std::atomic<bool> stop_{false};
+  std::mutex mu_;
+  std::string body_;
+  std::thread thread_;
+};
+
+}  // namespace dcr::scope

@@ -1,0 +1,144 @@
+// Live metrics for dcr-scope: an online registry with Prometheus text-format
+// exposition.
+//
+// MetricsRegistry mirrors the prof conventions: insertion-ordered (so output
+// is deterministic and diffable), with time-valued entries classified
+// volatile so snapshots can zero them (`write_prometheus(os, true)`) exactly
+// like prof's golden counter snapshots.  `collect_metrics` builds a registry
+// snapshot from the always-on prof counter banks plus live simulator state —
+// fence elision rate, template hit rate, recovery epochs, per-shard queue
+// depths, collective latencies — and is what both the `dcr-scope watch`
+// exposer and the test suite call.
+//
+// The exposer runs as a simulator process *only when installed by the watch
+// CLI*: a periodic tick extends the makespan to its next boundary, so it is
+// deliberately not part of DcrConfig::scope (pure tracing must stay
+// makespan-identical).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "prof/counters.hpp"
+
+namespace dcr::prof {
+class Profiler;
+}
+namespace dcr::sim {
+class Machine;
+class Simulator;
+}
+
+namespace dcr::scope {
+
+class Recorder;
+
+class MetricsRegistry {
+ public:
+  enum class Type { Gauge, Counter, Histogram };
+
+  struct Sample {
+    std::string labels;  // rendered label set, e.g. `shard="3"` ("" = none)
+    double value = 0;
+  };
+  // One histogram series: cumulative power-of-two buckets plus sum/count.
+  struct HistSample {
+    std::string labels;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;  // le -> cumulative
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+  };
+  struct Metric {
+    std::string name;
+    std::string help;
+    Type type = Type::Gauge;
+    bool is_volatile = false;  // time-valued: zeroed under zero_volatile
+    std::vector<Sample> samples;
+    std::vector<HistSample> hist_samples;
+  };
+
+  // Set (or overwrite) one sample of a gauge/counter metric.
+  void set(const std::string& name, const std::string& help, Type type,
+           double value, const std::string& labels = "",
+           bool is_volatile = false);
+
+  // Export a prof::Histogram as one Prometheus histogram series.
+  void set_histogram(const std::string& name, const std::string& help,
+                     const prof::Histogram& h, const std::string& labels = "",
+                     bool is_volatile = true);
+  // Same, from pre-summed per-bucket counts (for cross-shard merges).
+  void set_histogram(const std::string& name, const std::string& help,
+                     const std::vector<std::uint64_t>& pow2_buckets,
+                     std::uint64_t count, std::uint64_t sum,
+                     const std::string& labels = "", bool is_volatile = true);
+
+  const std::vector<Metric>& metrics() const { return metrics_; }
+  const Metric* find(const std::string& name) const;
+  void clear();
+
+  // Prometheus text format, in insertion order.  With zero_volatile, every
+  // metric classified volatile renders as 0 (histograms render empty), so
+  // two runs differing only in the cost model produce identical text.
+  void write_prometheus(std::ostream& os, bool zero_volatile = false) const;
+  std::string prometheus_text(bool zero_volatile = false) const;
+
+ private:
+  Metric& metric(const std::string& name, const std::string& help, Type type,
+                 bool is_volatile);
+
+  std::vector<Metric> metrics_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+// Everything collect_metrics reads.  `recorder` is optional (scope-off runs
+// still expose the always-on counters); `makespan` is 0 while running.
+struct CollectInputs {
+  const prof::Profiler* prof = nullptr;
+  sim::Machine* machine = nullptr;
+  const Recorder* recorder = nullptr;
+  SimTime now = 0;
+  SimTime makespan = 0;
+};
+
+// Populate `reg` with the dcr-scope metric schema (DESIGN.md §12).
+void collect_metrics(MetricsRegistry& reg, const CollectInputs& in);
+
+// Periodic exposition driven by virtual time.  Spawned as a simulator
+// process by `dcr-scope watch`; each tick re-collects, renders, writes
+// `out_path` (if set) and calls `sink` (if set).  NB: ticking extends the
+// run's makespan to the next tick boundary — never install this in a run
+// whose makespan you are comparing against a scope-off run.
+class MetricsExposer {
+ public:
+  struct Options {
+    SimTime interval = ms(1);
+    std::string out_path;                           // "" = no file
+    std::function<void(const std::string&)> sink;   // e.g. HTTP server update
+    std::function<bool()> done;  // stop ticking once true (checked post-tick)
+  };
+
+  MetricsExposer(sim::Simulator& sim, Options opts,
+                 std::function<void(MetricsRegistry&)> collect);
+
+  // Spawn the exposer process; call once, before Simulator::run.
+  void start();
+
+  std::uint64_t ticks() const { return ticks_; }
+  const std::string& last_text() const { return last_; }
+
+ private:
+  sim::Simulator& sim_;
+  Options opts_;
+  std::function<void(MetricsRegistry&)> collect_;
+  MetricsRegistry reg_;
+  std::uint64_t ticks_ = 0;
+  std::string last_;
+};
+
+}  // namespace dcr::scope

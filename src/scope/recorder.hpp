@@ -1,0 +1,217 @@
+// dcr-scope recorder: the per-run causal ledger.
+//
+// The runtime (dcr/runtime.cpp, under DcrConfig::scope) feeds the recorder
+// from its hot paths:
+//   - on_fine_stage   when a shard finishes a fine-analysis stage (fresh or
+//                     template replay) — this becomes the shard's *current
+//                     span*, the causal parent of everything it does next;
+//   - fence_arrival   when a shard's control thread reaches a fence — returns
+//                     the context stamped onto the collective arrival;
+//   - on_future_wait  when a blocking future wait resolves, with the merged
+//                     context of the contribution that released it;
+//   - on_task_launch  when a point task is launched;
+//   - on_message      from the network send tap, once per logical message
+//                     carrying a valid context;
+//   - harvest_fence   at end of run, copying each FenceCollective's per-rank
+//                     arrival/completion timestamps and merged releaser.
+//
+// Everything is plain host-side state: no simulator events, no virtual time.
+// By construction a scope-on run has a makespan identical to scope-off, and
+// per-rank fence waits (completion - arrival) equal dcr-prof's FenceWaitNs
+// samples instant for instant, which is what lets reports reconcile the two
+// ledgers exactly.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "scope/context.hpp"
+#include "sim/collective.hpp"
+
+namespace dcr::scope {
+
+inline constexpr std::uint64_t kNoIter = ~0ull;
+
+// A completed fine-analysis stage on one shard: the unit of causal blame.
+struct SpanRec {
+  std::uint64_t id = kNoSpan;
+  std::uint32_t shard = kNoShard;
+  std::uint64_t op = 0;
+  bool replayed = false;  // produced by template replay rather than fresh analysis
+  SimTime start = 0;
+  SimTime end = 0;
+};
+
+// One rank's view of a fence round.
+struct FenceShard {
+  SimTime arrived_at = kTimeNever;    // when this shard contributed
+  SimTime completed_at = kTimeNever;  // when the combined result reached it
+  bool arrived() const { return arrived_at != kTimeNever; }
+  bool completed() const { return completed_at != kTimeNever; }
+  SimTime wait() const {
+    return completed() && arrived() ? completed_at - arrived_at : 0;
+  }
+};
+
+// The blame ledger entry for one non-elided fence.
+struct FenceRec {
+  std::uint64_t op = 0;          // dependent OpId the fence protects
+  std::uint64_t iter = kNoIter;  // loop iteration, if the program declared one
+  std::vector<FenceShard> shards;
+  TraceCtx releaser;             // merged context: last-releasing shard + span
+  std::uint32_t last_shard = kNoShard;  // raw last arriver (valid scope-off too)
+  SimTime first_arrival = kTimeNever;
+  SimTime last_arrival = kTimeNever;
+  SimTime completed_at = kTimeNever;
+  bool complete = false;
+
+  SimTime latency() const {
+    return complete && completed_at >= first_arrival
+               ? completed_at - first_arrival
+               : 0;
+  }
+  SimTime total_wait() const {
+    SimTime t = 0;
+    for (const FenceShard& s : shards) t += s.wait();
+    return t;
+  }
+};
+
+// A resolved blocking future wait on one shard.
+struct FutureRec {
+  std::uint64_t future = 0;
+  std::uint32_t shard = kNoShard;  // the waiter
+  SimTime started = 0;
+  SimTime ended = 0;
+  TraceCtx releaser;  // last contribution merged into the future's collective
+};
+
+// A point-task launch, tagged with the span that caused it.
+struct LaunchRec {
+  std::uint32_t shard = kNoShard;
+  std::uint64_t op = 0;
+  std::uint64_t point = 0;
+  std::uint64_t span = kNoSpan;
+  SimTime at = 0;
+};
+
+struct MessageStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Recorder {
+ public:
+  explicit Recorder(std::size_t num_shards, std::uint64_t trace_id = 1)
+      : trace_(trace_id),
+        current_(num_shards, kNoSpan),
+        messages_(num_shards) {
+    DCR_CHECK(trace_id != 0) << "trace id 0 means 'tracing off'";
+  }
+
+  std::uint64_t trace_id() const { return trace_; }
+  std::size_t num_shards() const { return current_.size(); }
+
+  // ---- spans -------------------------------------------------------------
+  std::uint64_t on_fine_stage(std::uint32_t shard, std::uint64_t op,
+                              bool replayed, SimTime start, SimTime end) {
+    DCR_CHECK(shard < current_.size());
+    const std::uint64_t id = spans_.size();
+    spans_.push_back(SpanRec{id, shard, op, replayed, start, end});
+    current_[shard] = id;
+    return id;
+  }
+
+  // The context a message from `shard` carries right now: the shard's last
+  // completed fine stage (kNoSpan while it is still in pure control work).
+  TraceCtx current_ctx(std::uint32_t shard, SimTime now) const {
+    DCR_CHECK(shard < current_.size());
+    return TraceCtx{trace_, current_[shard], shard, now};
+  }
+
+  const std::vector<SpanRec>& spans() const { return spans_; }
+  const SpanRec* span(std::uint64_t id) const {
+    return id < spans_.size() ? &spans_[id] : nullptr;
+  }
+
+  // ---- fences ------------------------------------------------------------
+  // Called when a shard's control thread reaches the fence for `fence_op`;
+  // notes the iteration and returns the context to stamp onto the arrival.
+  TraceCtx fence_arrival(std::uint64_t fence_op, std::uint32_t shard,
+                         std::uint64_t iter, SimTime now) {
+    auto [it, inserted] = fence_iters_.try_emplace(fence_op, iter);
+    if (!inserted && it->second == kNoIter) it->second = iter;
+    return current_ctx(shard, now);
+  }
+
+  // End-of-run: copy the collective's per-rank timestamps + merged releaser.
+  void harvest_fence(std::uint64_t fence_op, const sim::FenceCollective& coll) {
+    FenceRec rec;
+    rec.op = fence_op;
+    if (auto it = fence_iters_.find(fence_op); it != fence_iters_.end()) {
+      rec.iter = it->second;
+    }
+    rec.shards.resize(coll.num_ranks());
+    for (std::size_t r = 0; r < coll.num_ranks(); ++r) {
+      rec.shards[r].arrived_at = coll.arrival_time(r);
+      rec.shards[r].completed_at = coll.completion_time(r);
+    }
+    rec.releaser = coll.releaser();
+    rec.last_shard = coll.last_arrival_rank();
+    rec.first_arrival = coll.first_arrival();
+    rec.last_arrival = coll.last_arrival();
+    rec.completed_at = coll.completed_at();
+    rec.complete = coll.complete();
+    fences_.push_back(std::move(rec));
+  }
+
+  const std::vector<FenceRec>& fences() const { return fences_; }
+
+  // ---- futures -----------------------------------------------------------
+  void on_future_wait(std::uint32_t shard, std::uint64_t future,
+                      SimTime started, SimTime ended, TraceCtx releaser) {
+    future_waits_.push_back(FutureRec{future, shard, started, ended, releaser});
+  }
+  const std::vector<FutureRec>& future_waits() const { return future_waits_; }
+
+  // ---- task launches -----------------------------------------------------
+  void on_task_launch(std::uint32_t shard, std::uint64_t op, std::uint64_t point,
+                      SimTime at) {
+    DCR_CHECK(shard < current_.size());
+    launches_.push_back(LaunchRec{shard, op, point, current_[shard], at});
+  }
+  const std::vector<LaunchRec>& launches() const { return launches_; }
+
+  // ---- network tap -------------------------------------------------------
+  void on_message(const TraceCtx& ctx, std::uint64_t bytes) {
+    if (!ctx.valid() || ctx.origin >= messages_.size()) return;
+    messages_[ctx.origin].messages++;
+    messages_[ctx.origin].bytes += bytes;
+  }
+  const std::vector<MessageStats>& messages() const { return messages_; }
+
+  // ---- run info ----------------------------------------------------------
+  void set_run_info(SimTime makespan, std::uint64_t recovery_epochs) {
+    makespan_ = makespan;
+    recovery_epochs_ = recovery_epochs;
+  }
+  SimTime makespan() const { return makespan_; }
+  std::uint64_t recovery_epochs() const { return recovery_epochs_; }
+
+ private:
+  std::uint64_t trace_;
+  std::vector<SpanRec> spans_;
+  std::vector<std::uint64_t> current_;  // per-shard current span id
+  std::unordered_map<std::uint64_t, std::uint64_t> fence_iters_;
+  std::vector<FenceRec> fences_;
+  std::vector<FutureRec> future_waits_;
+  std::vector<LaunchRec> launches_;
+  std::vector<MessageStats> messages_;
+  SimTime makespan_ = 0;
+  std::uint64_t recovery_epochs_ = 0;
+};
+
+}  // namespace dcr::scope

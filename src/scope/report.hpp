@@ -1,0 +1,90 @@
+// Blame and skew reports over the dcr-scope causal ledger.
+//
+// The blame report names, for every non-elided fence, the last-releasing
+// shard and span, per-rank waits, and round latency — and reconciles those
+// waits against dcr-prof's always-on fence ledger: for every shard, the sum
+// of (completion - arrival) over all fences must equal the shard's
+// FenceWaitNs counter *exactly* (both are computed from the same simulator
+// instants), and the global ledger must satisfy issued + elided == decisions.
+//
+// The skew report rolls blame up into a wait-on-whom matrix
+// (waiter shard x blamed shard, summed ns), a straggler ranking, and a
+// critical shard per epoch (trace-window iteration).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "common/types.hpp"
+#include "scope/recorder.hpp"
+
+namespace dcr::prof {
+class Profiler;
+}
+
+namespace dcr::scope {
+
+struct BlameEntry {
+  std::uint64_t op = 0;          // dependent OpId the fence protects
+  std::uint64_t iter = kNoIter;
+  std::size_t arrivals = 0;
+  bool complete = false;
+  SimTime first_arrival = 0;
+  SimTime last_arrival = 0;
+  SimTime latency = 0;      // first arrival -> last completion
+  SimTime total_wait = 0;   // summed per-rank (completion - arrival)
+  std::uint32_t releaser_shard = kNoShard;
+  std::uint64_t releaser_span = kNoSpan;
+  std::uint64_t releaser_op = 0;  // op of the releasing span (valid w/ span)
+  bool releaser_replayed = false;
+};
+
+struct BlameReport {
+  std::vector<BlameEntry> fences;
+  std::vector<SimTime> shard_wait_ns;  // per waiter, summed over fences
+  SimTime total_wait_ns = 0;
+  std::size_t complete_fences = 0;
+  std::size_t attributed = 0;  // complete fences with a named releaser shard+span
+
+  // dcr-prof cross-check.
+  std::uint64_t fence_decisions = 0;
+  std::uint64_t fences_issued = 0;
+  std::uint64_t fences_elided = 0;
+  std::vector<SimTime> prof_shard_wait_ns;  // FenceWaitNs per shard
+  bool ledger_consistent = false;  // issued + elided == decisions
+  bool waits_reconcile = false;    // shard_wait_ns == prof_shard_wait_ns
+  bool reconciled() const { return ledger_consistent && waits_reconcile; }
+};
+
+BlameReport build_blame(const Recorder& rec, const prof::Profiler& prof);
+// Human-readable rendering; fences sorted by latency, capped at `top`.
+void render_blame(std::ostream& os, const BlameReport& r, const Recorder& rec,
+                  std::size_t top = 16);
+void write_blame_json(std::ostream& os, const BlameReport& r);
+
+struct SkewReport {
+  std::size_t num_shards = 0;
+  // matrix[waiter][blamed]: ns `waiter` spent in fence waits released last
+  // by `blamed`.  Unattributed waits (no valid releaser) land in column
+  // `num_shards` ("<none>").
+  std::vector<std::vector<SimTime>> matrix;
+  std::vector<SimTime> blamed_ns;  // column sums over real shards
+  std::vector<SimTime> waited_ns;  // row sums
+  std::vector<std::uint32_t> ranking;  // shards by blamed_ns descending
+
+  struct Epoch {
+    std::uint64_t iter = kNoIter;  // kNoIter = fences outside any window
+    std::uint32_t critical_shard = kNoShard;
+    SimTime critical_ns = 0;  // wait blamed on the critical shard this epoch
+    SimTime total_ns = 0;
+    std::uint64_t fences = 0;
+  };
+  std::vector<Epoch> epochs;
+};
+
+SkewReport build_skew(const Recorder& rec);
+void render_skew(std::ostream& os, const SkewReport& r);
+void write_skew_json(std::ostream& os, const SkewReport& r);
+
+}  // namespace dcr::scope

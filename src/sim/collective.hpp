@@ -23,6 +23,7 @@
 
 #include "common/check.hpp"
 #include "common/types.hpp"
+#include "scope/context.hpp"
 #include "sim/network.hpp"
 
 namespace dcr::sim {
@@ -71,7 +72,12 @@ class Collective {
   // combined result is available at rank r's node.  Each rank must arrive
   // exactly once.  (Broadcast: only rank 0's value matters; other ranks
   // still arrive to model their participation.)
-  Event arrive(std::size_t rank, T value) {
+  //
+  // `ctx` is the causal context of this contribution (dcr-scope).  Contexts
+  // merge by scope::latest at every hop, so `result_ctx()` names the
+  // globally last contributor once the round completes — the shard (and
+  // span) everyone else was waiting on.
+  Event arrive(std::size_t rank, T value, const scope::TraceCtx& ctx = {}) {
     DCR_CHECK(rank < ranks_.size());
     RankState& rs = ranks_[rank];
     DCR_CHECK(!rs.arrived) << "collective rank " << rank << " arrived twice";
@@ -81,11 +87,12 @@ class Collective {
       // flows down the tree as soon as the root arrives.
       if (rank == 0) {
         result_ = std::move(value);
+        result_ctx_ = ctx;
         broadcast_down(0);
       }
       return rs.done;
     }
-    accumulate(rank, std::move(value));
+    accumulate(rank, std::move(value), ctx);
     return rs.done;
   }
 
@@ -94,6 +101,10 @@ class Collective {
     DCR_CHECK(result_.has_value());
     return *result_;
   }
+
+  // The latest-merged causal context of all contributions so far; once the
+  // round completes this is the last contributor (invalid if tracing is off).
+  const scope::TraceCtx& result_ctx() const { return result_ctx_; }
 
   // Total bytes this collective put on the network (for stats / ablations).
   std::uint64_t bytes_sent() const { return bytes_sent_; }
@@ -105,6 +116,7 @@ class Collective {
     int children_received = 0;
     std::size_t subtree_size = 0;
     std::optional<T> partial;
+    scope::TraceCtx ctx;  // latest-merged context of contributions seen here
     UserEvent done;
   };
 
@@ -130,10 +142,11 @@ class Collective {
     }
   }
 
-  void accumulate(std::size_t rank, T value) {
+  void accumulate(std::size_t rank, T value, const scope::TraceCtx& ctx) {
     RankState& rs = ranks_[rank];
     rs.partial = rs.partial ? combine_(std::move(*rs.partial), std::move(value))
                             : std::move(value);
+    rs.ctx = scope::latest(rs.ctx, ctx);
     maybe_send_up(rank);
   }
 
@@ -142,24 +155,28 @@ class Collective {
     if (!rs.arrived || rs.children_received != rs.num_children) return;
     if (rank == 0) {
       result_ = std::move(rs.partial);
+      result_ctx_ = rs.ctx;
       broadcast_down(0);
       return;
     }
     const std::size_t parent = rank & (rank - 1);
     const std::uint64_t nbytes = up_bytes(rank);
     bytes_sent_ += nbytes;
-    net_.send(placement_[rank], placement_[parent], nbytes,
-              [this, parent, v = std::move(*rs.partial)]() mutable {
+    // The up-hop message carries this subtree's merged context, both on the
+    // wire (for the network tap) and into the parent's merge.
+    net_.send(placement_[rank], placement_[parent], nbytes, rs.ctx,
+              [this, parent, v = std::move(*rs.partial), c = rs.ctx]() mutable {
                 ranks_[parent].children_received++;
-                accumulate_from_child(parent, std::move(v));
+                accumulate_from_child(parent, std::move(v), c);
               });
     rs.partial.reset();
   }
 
-  void accumulate_from_child(std::size_t rank, T value) {
+  void accumulate_from_child(std::size_t rank, T value, const scope::TraceCtx& ctx) {
     RankState& rs = ranks_[rank];
     rs.partial = rs.partial ? combine_(std::move(*rs.partial), std::move(value))
                             : std::move(value);
+    rs.ctx = scope::latest(rs.ctx, ctx);
     maybe_send_up(rank);
   }
 
@@ -171,7 +188,7 @@ class Collective {
       const std::size_t child = rank | bit;
       const std::uint64_t nbytes = down_bytes();
       bytes_sent_ += nbytes;
-      net_.send(placement_[rank], placement_[child], nbytes,
+      net_.send(placement_[rank], placement_[child], nbytes, result_ctx_,
                 [this, child] { broadcast_down(child); });
     }
   }
@@ -184,6 +201,7 @@ class Collective {
   CombineFn combine_;
   std::vector<RankState> ranks_;
   std::optional<T> result_;
+  scope::TraceCtx result_ctx_;
   std::uint64_t bytes_sent_ = 0;
 };
 
@@ -195,14 +213,29 @@ class FenceCollective {
       : sim_(sim),
         impl_(sim, net, std::move(placement), CollectiveKind::AllReduce,
               /*payload_bytes=*/0,
-              [](Unit, Unit) { return Unit{}; }) {}
+              [](Unit, Unit) { return Unit{}; }),
+        arrived_at_(impl_.num_ranks(), kTimeNever),
+        completed_at_rank_(impl_.num_ranks(), kTimeNever) {}
 
-  Event arrive(std::size_t rank) {
+  Event arrive(std::size_t rank, const scope::TraceCtx& ctx = {}) {
     if (first_arrival_ == kTimeNever) first_arrival_ = sim_.now();
-    Event done = impl_.arrive(rank, Unit{});
+    const SimTime now = sim_.now();
+    arrived_at_[rank] = now;
+    // Track the last arriver with the same (time, rank) tie-break as
+    // scope::latest, so the raw timestamps agree with the merged releaser
+    // context even when tracing is off.
+    if (last_arrival_rank_ == scope::kNoShard || now > last_arrival_ ||
+        (now == last_arrival_ && rank > last_arrival_rank_)) {
+      last_arrival_ = now;
+      last_arrival_rank_ = static_cast<std::uint32_t>(rank);
+    }
+    Event done = impl_.arrive(rank, Unit{}, ctx);
     // Completion timestamp for latency accounting (dcr-prof): the last rank
     // to see the combined result defines when the fence round finished.
-    done.on_trigger([this] { completed_at_ = std::max(completed_at_, sim_.now()); });
+    done.on_trigger([this, rank] {
+      completed_at_rank_[rank] = sim_.now();
+      completed_at_ = std::max(completed_at_, sim_.now());
+    });
     return done;
   }
   std::size_t num_ranks() const { return impl_.num_ranks(); }
@@ -228,12 +261,27 @@ class FenceCollective {
     return completed_at_ >= first_arrival_ ? completed_at_ - first_arrival_ : 0;
   }
 
+  // ---- per-rank blame data (dcr-scope) -----------------------------------
+  // kTimeNever until the rank arrives / its completion event fires.
+  SimTime arrival_time(std::size_t rank) const { return arrived_at_[rank]; }
+  SimTime completion_time(std::size_t rank) const { return completed_at_rank_[rank]; }
+  // The last rank to contribute (kNoShard until any rank arrives), and the
+  // latest-merged causal context of all contributions — once complete, the
+  // span/shard that released the fence.
+  std::uint32_t last_arrival_rank() const { return last_arrival_rank_; }
+  SimTime last_arrival() const { return last_arrival_; }
+  const scope::TraceCtx& releaser() const { return impl_.result_ctx(); }
+
  private:
   struct Unit {};
   Simulator& sim_;
   Collective<Unit> impl_;
   SimTime first_arrival_ = kTimeNever;
   SimTime completed_at_ = 0;
+  std::vector<SimTime> arrived_at_;
+  std::vector<SimTime> completed_at_rank_;
+  SimTime last_arrival_ = 0;
+  std::uint32_t last_arrival_rank_ = scope::kNoShard;
 };
 
 }  // namespace dcr::sim

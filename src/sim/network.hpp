@@ -30,6 +30,7 @@
 
 #include "common/check.hpp"
 #include "common/types.hpp"
+#include "scope/context.hpp"
 #include "sim/fault.hpp"
 #include "sim/simulator.hpp"
 
@@ -45,7 +46,8 @@ struct NetworkStats {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
   std::uint64_t local_messages = 0;
-  std::uint64_t lost_messages = 0;  // swallowed by fault injection
+  std::uint64_t lost_messages = 0;    // swallowed by fault injection
+  std::uint64_t traced_messages = 0;  // logical sends carrying a valid TraceCtx
 };
 
 class Network {
@@ -65,15 +67,30 @@ class Network {
   FaultPlan* faults() { return faults_; }
 
   // Route remote `send` calls through a reliable transport (reliable.hpp).
-  // The override receives (src, dst, bytes) and returns the delivery event.
-  using SendOverride = std::function<Event(NodeId, NodeId, std::uint64_t)>;
+  // The override receives (src, dst, bytes, ctx) and returns the delivery
+  // event; it must carry `ctx` on every (re)transmission so causal tracing
+  // survives retransmits.
+  using SendOverride =
+      std::function<Event(NodeId, NodeId, std::uint64_t, const scope::TraceCtx&)>;
   void set_send_override(SendOverride fn) { override_ = std::move(fn); }
+
+  // Observe every *logical* send (once per message, not per retransmission)
+  // together with its causal context.  dcr-scope installs this to count
+  // causal traffic per origin shard; it is host-side only and charges no
+  // virtual time.  nullptr detaches.
+  using SendTap =
+      std::function<void(NodeId, NodeId, std::uint64_t, const scope::TraceCtx&)>;
+  void set_send_tap(SendTap fn) { tap_ = std::move(fn); }
 
   // Send `bytes` from src to dst; the returned event triggers at delivery.
   // With a reliable override installed, remote messages are retransmitted
   // until acknowledged; otherwise delivery is best-effort under faults.
-  Event send(NodeId src, NodeId dst, std::uint64_t bytes) {
-    if (override_ && src != dst) return override_(src, dst, bytes);
+  // `ctx` is the causal context of the message (invalid when tracing is off).
+  Event send(NodeId src, NodeId dst, std::uint64_t bytes,
+             const scope::TraceCtx& ctx = {}) {
+    if (ctx.valid()) ++stats_.traced_messages;
+    if (tap_) tap_(src, dst, bytes, ctx);
+    if (override_ && src != dst) return override_(src, dst, bytes, ctx);
     return raw_send(src, dst, bytes);
   }
 
@@ -123,14 +140,21 @@ class Network {
   void send(NodeId src, NodeId dst, std::uint64_t bytes, std::function<void()> fn) {
     send(src, dst, bytes).on_trigger(std::move(fn));
   }
+  void send(NodeId src, NodeId dst, std::uint64_t bytes,
+            const scope::TraceCtx& ctx, std::function<void()> fn) {
+    send(src, dst, bytes, ctx).on_trigger(std::move(fn));
+  }
 
   // A pure data transfer of `bytes` from src to dst gated on `pre`; used to
   // model region-instance copies issued by the fine analysis stage.
-  Event copy(NodeId src, NodeId dst, std::uint64_t bytes, const Event& pre) {
-    if (pre.has_triggered()) return send(src, dst, bytes);
+  Event copy(NodeId src, NodeId dst, std::uint64_t bytes, const Event& pre,
+             const scope::TraceCtx& ctx = {}) {
+    if (pre.has_triggered()) return send(src, dst, bytes, ctx);
     UserEvent done;
-    pre.on_trigger([this, src, dst, bytes, done] {
-      send(src, dst, bytes).on_trigger([this, done] { done.trigger(sim_.now()); });
+    pre.on_trigger([this, src, dst, bytes, ctx, done] {
+      send(src, dst, bytes, ctx).on_trigger([this, done] {
+        done.trigger(sim_.now());
+      });
     });
     return done;
   }
@@ -146,6 +170,7 @@ class Network {
   NetworkStats stats_;
   FaultPlan* faults_ = nullptr;
   SendOverride override_;
+  SendTap tap_;
   std::uint64_t msg_seq_ = 0;
 };
 

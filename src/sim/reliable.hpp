@@ -29,6 +29,7 @@
 
 #include "common/philox.hpp"
 #include "common/types.hpp"
+#include "scope/context.hpp"
 #include "sim/fault.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
@@ -63,6 +64,7 @@ class ReliableDelivery {
     Event delivered;
     Event acked;
     Event failed;
+    scope::TraceCtx ctx;  // the causal context every copy of this payload carries
   };
 
   ReliableDelivery(Simulator& sim, Network& net, ReliableParams params = {})
@@ -71,8 +73,9 @@ class ReliableDelivery {
 
   // Route all remote Network::send traffic through this transport.
   void install() {
-    net_.set_send_override([this](NodeId src, NodeId dst, std::uint64_t bytes) {
-      return transfer(src, dst, bytes).delivered;
+    net_.set_send_override([this](NodeId src, NodeId dst, std::uint64_t bytes,
+                                  const scope::TraceCtx& ctx) {
+      return transfer(src, dst, bytes, nullptr, ctx).delivered;
     });
   }
 
@@ -83,9 +86,11 @@ class ReliableDelivery {
 
   // Start a transfer.  `params` overrides the transport defaults for this
   // transfer only (the failure detector probes with a tighter retry budget
-  // than bulk data, so detection outruns data-transfer give-up).
+  // than bulk data, so detection outruns data-transfer give-up).  `ctx` is
+  // the causal context of the payload; every retransmitted copy carries it.
   Transfer transfer(NodeId src, NodeId dst, std::uint64_t bytes,
-                    const ReliableParams* params = nullptr) {
+                    const ReliableParams* params = nullptr,
+                    const scope::TraceCtx& ctx = {}) {
     ++stats_.transfers;
     auto st = std::make_shared<State>();
     st->id = next_id_++;
@@ -93,8 +98,9 @@ class ReliableDelivery {
     st->dst = dst;
     st->bytes = bytes;
     st->params = params ? *params : params_;
+    st->ctx = ctx;
     attempt(st, 0);
-    return Transfer{st->delivered, st->acked, st->failed};
+    return Transfer{st->delivered, st->acked, st->failed, st->ctx};
   }
 
   const ReliableStats& stats() const { return stats_; }
@@ -107,6 +113,7 @@ class ReliableDelivery {
     NodeId dst;
     std::uint64_t bytes = 0;
     ReliableParams params;
+    scope::TraceCtx ctx;  // carried on every (re)transmission
     UserEvent delivered;
     UserEvent acked;
     UserEvent failed;

@@ -14,7 +14,9 @@
 //       chrome://tracing.  The file is schema-validated before writing.
 //   dcr-prof diff <a.json> <b.json>
 //       Compare two counter snapshots written by `report --snapshot`.
-//       Prints every global/merged counter that changed; exit 1 if any did.
+//       Prints every global/merged counter that changed, plus added/removed
+//       sections for keys present on only one side (schema drift); exit 1 if
+//       anything differed.
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -25,6 +27,7 @@
 #include "apps/pennant.hpp"
 #include "apps/stencil.hpp"
 #include "dcr/runtime.hpp"
+#include "prof/diff.hpp"
 #include "prof/json.hpp"
 #include "prof/report.hpp"
 #include "prof/validate.hpp"
@@ -196,28 +199,6 @@ int cmd_trace(int argc, char** argv) {
   return stats.completed ? 0 : 1;
 }
 
-const prof::JsonValue* find_path(const prof::JsonValue& root, const std::string& a) {
-  return root.kind == prof::JsonValue::Kind::Object ? root.find(a) : nullptr;
-}
-
-// Diff one flat {name: number} object between two snapshots.
-void diff_section(const prof::JsonValue& a, const prof::JsonValue& b,
-                  const std::string& section, std::size_t* changes) {
-  const prof::JsonValue* oa = find_path(a, section);
-  const prof::JsonValue* ob = find_path(b, section);
-  if (!oa || !ob) return;
-  for (const auto& [key, va] : oa->object) {
-    const prof::JsonValue* vb = ob->find(key);
-    if (!vb) continue;
-    if (va.number != vb->number) {
-      std::cout << "  " << section << "." << key << ": " << va.number << " -> "
-                << vb->number << " (" << (vb->number >= va.number ? "+" : "")
-                << vb->number - va.number << ")\n";
-      (*changes)++;
-    }
-  }
-}
-
 int cmd_diff(const char* path_a, const char* path_b) {
   auto load = [](const char* path, prof::JsonValue* out) {
     std::ifstream in(path);
@@ -237,15 +218,26 @@ int cmd_diff(const char* path_a, const char* path_b) {
   };
   prof::JsonValue a, b;
   if (!load(path_a, &a) || !load(path_b, &b)) return 2;
-  std::size_t changes = 0;
+  const prof::SnapshotDiff d = prof::diff_snapshots(a, b);
   std::cout << "counter diff " << path_a << " -> " << path_b << ":\n";
-  diff_section(a, b, "global", &changes);
-  diff_section(a, b, "merged", &changes);
-  if (changes == 0) {
+  for (const auto& c : d.changed) {
+    std::cout << "  " << c.key << ": " << c.a << " -> " << c.b << " ("
+              << (c.b >= c.a ? "+" : "") << c.b - c.a << ")\n";
+  }
+  if (!d.added.empty()) {
+    std::cout << "added in " << path_b << ":\n";
+    for (const auto& k : d.added) std::cout << "  " << k << "\n";
+  }
+  if (!d.removed.empty()) {
+    std::cout << "removed in " << path_b << ":\n";
+    for (const auto& k : d.removed) std::cout << "  " << k << "\n";
+  }
+  if (!d.any()) {
     std::cout << "  (identical)\n";
     return 0;
   }
-  std::cout << changes << " counters changed\n";
+  std::cout << d.changed.size() << " changed, " << d.added.size() << " added, "
+            << d.removed.size() << " removed\n";
   return 1;
 }
 

@@ -1,0 +1,327 @@
+// dcr-scope: cross-shard causal tracing, skew diagnosis, and live metrics.
+// Subcommands:
+//
+//   dcr-scope blame <stencil|circuit|pennant> [--shards N] [--steps N]
+//                   [--top K] [--json FILE]
+//       Run the named app with causal tracing on and print the per-fence
+//       blame report: for every non-elided fence, the last-releasing shard
+//       and the fine-analysis span that released it, per-rank waits, and
+//       round latency.  The report is reconciled against dcr-prof's
+//       always-on fence ledger (issued + elided == decisions; per-shard
+//       wait sums equal FenceWaitNs exactly).  Exit 0 iff reconciled.
+//   dcr-scope skew <stencil|circuit|pennant> [--shards N] [--steps N]
+//                  [--straggle SHARD:FACTOR] [--json FILE]
+//       Print the shard-skew report: straggler ranking, critical shard per
+//       epoch, wait-on-whom matrix.  --straggle slows one node down for the
+//       whole run to demonstrate attribution (the slowed shard should top
+//       the ranking).
+//   dcr-scope watch <stencil|circuit|pennant> [--shards N] [--steps N]
+//                   [--interval-us U] [--out FILE] [--port P]
+//       Run with a live MetricsRegistry exposed in Prometheus text format at
+//       a fixed virtual-time cadence: written to --out (default
+//       dcr_scope_metrics.prom) each tick and, with --port, served from a
+//       minimal localhost HTTP endpoint while the run lasts.
+//   dcr-scope watch --check-baseline BASE.json --live LIVE.json
+//                   [--threshold PCT] [--include-wall]
+//       Regression watchdog: diff a live BENCH-style snapshot against a
+//       committed baseline, record-by-record; exit nonzero on any relative
+//       change beyond the threshold (default 5%).
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "apps/circuit.hpp"
+#include "apps/pennant.hpp"
+#include "apps/stencil.hpp"
+#include "dcr/runtime.hpp"
+#include "scope/baseline.hpp"
+#include "scope/http.hpp"
+#include "scope/metrics.hpp"
+#include "scope/report.hpp"
+#include "sim/fault.hpp"
+
+namespace {
+
+using namespace dcr;
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+      << "  dcr-scope blame <stencil|circuit|pennant> [--shards N] [--steps N]"
+         " [--top K] [--json FILE]\n"
+      << "  dcr-scope skew <stencil|circuit|pennant> [--shards N] [--steps N]"
+         " [--straggle SHARD:FACTOR] [--json FILE]\n"
+      << "  dcr-scope watch <stencil|circuit|pennant> [--shards N] [--steps N]"
+         " [--interval-us U] [--out FILE] [--port P]\n"
+      << "  dcr-scope watch --check-baseline BASE.json --live LIVE.json"
+         " [--threshold PCT] [--include-wall]\n";
+  return 2;
+}
+
+struct RunOptions {
+  std::string app;
+  std::size_t shards = 4;
+  std::size_t steps = 5;
+  std::size_t top_k = 16;
+  std::string json_path;
+  std::string out_path;
+  SimTime interval = us(500);
+  int port = -1;
+  std::size_t straggle_shard = ~0ull;
+  double straggle_factor = 1.0;
+  // Watchdog file-compare mode.
+  std::string baseline_path;
+  std::string live_path;
+  double threshold_pct = 5.0;
+  bool include_wall = false;
+};
+
+bool parse_run_options(int argc, char** argv, RunOptions* opt) {
+  int i = 0;
+  if (argc >= 1 && argv[0][0] != '-') opt->app = argv[i++];
+  for (; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      opt->shards = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--steps") == 0 && i + 1 < argc) {
+      opt->steps = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      opt->top_k = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      opt->json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      opt->out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--interval-us") == 0 && i + 1 < argc) {
+      opt->interval = us(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      opt->port = std::stoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--straggle") == 0 && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const std::size_t colon = spec.find(':');
+      if (colon == std::string::npos) return false;
+      opt->straggle_shard = std::stoul(spec.substr(0, colon));
+      opt->straggle_factor = std::stod(spec.substr(colon + 1));
+      if (opt->straggle_factor < 1.0) return false;
+    } else if (std::strcmp(argv[i], "--check-baseline") == 0 && i + 1 < argc) {
+      opt->baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--live") == 0 && i + 1 < argc) {
+      opt->live_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      opt->threshold_pct = std::stod(argv[++i]);
+    } else if (std::strcmp(argv[i], "--include-wall") == 0) {
+      opt->include_wall = true;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+// The stencil runs traced (dependence templates on) so blame covers replayed
+// spans too — the acceptance scenario is the 64-shard *traced* stencil.
+core::ApplicationMain make_app(const RunOptions& opt,
+                               core::FunctionRegistry& functions) {
+  if (opt.app == "stencil") {
+    const auto fns = apps::register_stencil_functions(functions, 1.0);
+    return apps::make_stencil_app({.cells_per_tile = 128,
+                                   .tiles = 2 * opt.shards,
+                                   .steps = opt.steps,
+                                   .use_trace = true},
+                                  fns);
+  }
+  if (opt.app == "circuit") {
+    const auto fns = apps::register_circuit_functions(functions, 1.0);
+    return apps::make_circuit_app({.nodes_per_piece = 100,
+                                   .wires_per_piece = 200,
+                                   .pieces = 2 * opt.shards,
+                                   .steps = opt.steps},
+                                  fns);
+  }
+  if (opt.app == "pennant") {
+    const auto fns = apps::register_pennant_functions(functions, 1.0);
+    return apps::make_pennant_app(
+        {.zones_per_piece = 200, .pieces = 2 * opt.shards, .cycles = opt.steps},
+        fns);
+  }
+  return nullptr;
+}
+
+sim::MachineConfig machine_config(const RunOptions& opt) {
+  return {.num_nodes = opt.shards,
+          .compute_procs_per_node = 1,
+          .network = {.alpha = us(1), .ns_per_byte = 0.1}};
+}
+
+int cmd_blame(int argc, char** argv) {
+  RunOptions opt;
+  if (!parse_run_options(argc, argv, &opt) || opt.app.empty()) return usage();
+
+  sim::Machine machine(machine_config(opt));
+  core::FunctionRegistry functions;
+  const core::ApplicationMain main_fn = make_app(opt, functions);
+  if (!main_fn) return usage();
+  core::DcrConfig cfg;
+  cfg.profile = true;
+  cfg.scope = true;
+  core::DcrRuntime rt(machine, functions, cfg);
+  const core::DcrStats stats = rt.execute(main_fn);
+
+  const scope::BlameReport report = scope::build_blame(*rt.scope(), rt.profiler());
+  scope::render_blame(std::cout, report, *rt.scope(), opt.top_k);
+  std::cout << "\nmakespan: " << static_cast<double>(stats.makespan) / 1e6
+            << " ms (" << opt.app << ", " << opt.shards << " shards, "
+            << opt.steps << " steps)\n";
+
+  if (!opt.json_path.empty()) {
+    std::ofstream out(opt.json_path);
+    if (!out) {
+      std::cerr << "dcr-scope: cannot write " << opt.json_path << "\n";
+      return 2;
+    }
+    scope::write_blame_json(out, report);
+    std::cout << "wrote blame report -> " << opt.json_path << "\n";
+  }
+  if (!stats.completed) {
+    std::cerr << "dcr-scope: execution did not complete\n";
+    return 1;
+  }
+  return report.reconciled() ? 0 : 1;
+}
+
+int cmd_skew(int argc, char** argv) {
+  RunOptions opt;
+  if (!parse_run_options(argc, argv, &opt) || opt.app.empty()) return usage();
+
+  sim::Machine machine(machine_config(opt));
+  sim::FaultConfig fc;
+  if (opt.straggle_shard != ~0ull) {
+    if (opt.straggle_shard >= opt.shards) {
+      std::cerr << "dcr-scope: --straggle shard out of range\n";
+      return 2;
+    }
+    fc.slowdowns.push_back({NodeId(static_cast<std::uint32_t>(opt.straggle_shard)),
+                            0, kTimeNever, opt.straggle_factor});
+  }
+  sim::FaultPlan faults(fc);
+  if (!fc.slowdowns.empty()) machine.install_faults(faults);
+  core::FunctionRegistry functions;
+  const core::ApplicationMain main_fn = make_app(opt, functions);
+  if (!main_fn) return usage();
+  core::DcrConfig cfg;
+  cfg.profile = true;
+  cfg.scope = true;
+  core::DcrRuntime rt(machine, functions, cfg);
+  const core::DcrStats stats = rt.execute(main_fn);
+
+  const scope::SkewReport report = scope::build_skew(*rt.scope());
+  scope::render_skew(std::cout, report);
+  if (opt.straggle_shard != ~0ull) {
+    std::cout << "(injected straggler: shard " << opt.straggle_shard << " at "
+              << opt.straggle_factor << "x)\n";
+  }
+  std::cout << "makespan: " << static_cast<double>(stats.makespan) / 1e6
+            << " ms\n";
+
+  if (!opt.json_path.empty()) {
+    std::ofstream out(opt.json_path);
+    if (!out) {
+      std::cerr << "dcr-scope: cannot write " << opt.json_path << "\n";
+      return 2;
+    }
+    scope::write_skew_json(out, report);
+    std::cout << "wrote skew report -> " << opt.json_path << "\n";
+  }
+  return stats.completed ? 0 : 1;
+}
+
+int cmd_watch(int argc, char** argv) {
+  RunOptions opt;
+  if (!parse_run_options(argc, argv, &opt)) return usage();
+
+  // File-compare mode: the regression watchdog.
+  if (!opt.baseline_path.empty() || !opt.live_path.empty()) {
+    if (opt.baseline_path.empty() || opt.live_path.empty()) return usage();
+    const scope::BaselineDiff d = scope::check_baseline_files(
+        opt.baseline_path, opt.live_path, opt.threshold_pct, opt.include_wall);
+    scope::render_baseline_diff(std::cout, d, opt.threshold_pct);
+    return d.ok() ? 0 : 1;
+  }
+
+  if (opt.app.empty()) return usage();
+  if (opt.out_path.empty()) opt.out_path = "dcr_scope_metrics.prom";
+
+  sim::Machine machine(machine_config(opt));
+  core::FunctionRegistry functions;
+  const core::ApplicationMain main_fn = make_app(opt, functions);
+  if (!main_fn) return usage();
+  core::DcrConfig cfg;
+  cfg.profile = true;
+  cfg.scope = true;
+  core::DcrRuntime rt(machine, functions, cfg);
+
+  std::unique_ptr<scope::MetricsHttpServer> http;
+  if (opt.port >= 0) {
+    http = std::make_unique<scope::MetricsHttpServer>(
+        static_cast<std::uint16_t>(opt.port));
+    if (!http->ok()) {
+      std::cerr << "dcr-scope: cannot bind 127.0.0.1:" << opt.port << ": "
+                << http->error() << "\n";
+      return 2;
+    }
+    std::cout << "serving metrics at http://127.0.0.1:" << http->port()
+              << "/ for the duration of the run\n";
+  }
+
+  scope::MetricsExposer::Options eopts;
+  eopts.interval = opt.interval;
+  eopts.out_path = opt.out_path;
+  if (http) {
+    eopts.sink = [&http](const std::string& text) { http->set_body(text); };
+  }
+  // Stop ticking once every shard is done, else the periodic process would
+  // keep the simulation calendar alive forever.
+  eopts.done = [&rt] { return rt.finished(); };
+  scope::MetricsExposer exposer(
+      machine.sim(), eopts, [&rt, &machine](scope::MetricsRegistry& reg) {
+        scope::collect_metrics(reg, {.prof = &rt.profiler(),
+                                     .machine = &machine,
+                                     .recorder = rt.scope(),
+                                     .now = machine.sim().now(),
+                                     .makespan = 0});
+      });
+  exposer.start();
+  const core::DcrStats stats = rt.execute(main_fn);
+
+  // Final snapshot with the makespan stamped in.
+  scope::MetricsRegistry reg;
+  scope::collect_metrics(reg, {.prof = &rt.profiler(),
+                               .machine = &machine,
+                               .recorder = rt.scope(),
+                               .now = stats.makespan,
+                               .makespan = stats.makespan});
+  std::ofstream out(opt.out_path);
+  if (!out) {
+    std::cerr << "dcr-scope: cannot write " << opt.out_path << "\n";
+    return 2;
+  }
+  reg.write_prometheus(out);
+  if (http) http->set_body(reg.prometheus_text());
+
+  std::cout << "exposed " << exposer.ticks() << " snapshots at "
+            << static_cast<double>(opt.interval) / 1e3 << " us cadence -> "
+            << opt.out_path << "\nmakespan: "
+            << static_cast<double>(stats.makespan) / 1e6 << " ms\n";
+  return stats.completed ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "blame") return cmd_blame(argc - 2, argv + 2);
+  if (cmd == "skew") return cmd_skew(argc - 2, argv + 2);
+  if (cmd == "watch") return cmd_watch(argc - 2, argv + 2);
+  return usage();
+}
