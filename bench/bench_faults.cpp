@@ -14,13 +14,20 @@
 //     plus the end-to-end makespan penalty.
 //
 // Results are printed as tables and written to BENCH_faults.json.
+//
+// --check-baseline FILE [--threshold PCT]: regression watchdog against the
+// committed baseline, as in bench_prof/bench_scope (wall-clock keys are
+// excluded; virtual-time results are deterministic and compare exactly).
 #include <cstdio>
+#include <cstring>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "apps/stencil.hpp"
 #include "bench/bench_common.hpp"
 #include "dcr/runtime.hpp"
+#include "scope/baseline.hpp"
 #include "sim/fault.hpp"
 
 namespace {
@@ -64,10 +71,12 @@ class JsonDump {
   explicit JsonDump(const char* path) : f_(std::fopen(path, "w")) {
     if (f_) std::fprintf(f_, "[\n");
   }
-  ~JsonDump() {
+  ~JsonDump() { close(); }
+  void close() {
     if (f_) {
       std::fprintf(f_, "\n]\n");
       std::fclose(f_);
+      f_ = nullptr;
     }
   }
   void record(const std::string& sweep,
@@ -114,7 +123,10 @@ void sweep_drop_rate(JsonDump& json) {
                     {makespan_us, overhead,
                      static_cast<double>(r.stats.retransmits),
                      static_cast<double>(r.stats.messages_dropped)});
-      json.record("drop_rate",
+      // Sweep names must be unique: the baseline watchdog matches records
+      // by name, so the grid parameters go into the name itself.
+      json.record("drop_rate_s" + std::to_string(shards) + "_r" +
+                      std::to_string(static_cast<int>(rate * 1000)),
                   {{"shards", static_cast<double>(shards)},
                    {"drop_rate", rate},
                    {"makespan_us", makespan_us},
@@ -159,7 +171,7 @@ void sweep_recovery(JsonDump& json) {
     table.add_row(static_cast<double>(shards),
                   {detect_us, recover_us, static_cast<double>(rep.committed_ops),
                    penalty});
-    json.record("recovery",
+    json.record("recovery_s" + std::to_string(shards),
                 {{"shards", static_cast<double>(shards)},
                  {"detect_us", detect_us},
                  {"recover_us", recover_us},
@@ -175,10 +187,30 @@ void sweep_recovery(JsonDump& json) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  g_flags = bench::parse_flags(argc, argv);
+  std::string baseline_path;
+  double threshold_pct = 5.0;
+  std::vector<char*> rest = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check-baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      threshold_pct = std::stod(argv[++i]);
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  g_flags = bench::parse_flags(static_cast<int>(rest.size()), rest.data());
   JsonDump json("BENCH_faults.json");
   sweep_drop_rate(json);
   sweep_recovery(json);
+  json.close();
   std::printf("\nwrote BENCH_faults.json\n");
+
+  if (!baseline_path.empty()) {
+    const scope::BaselineDiff d = scope::check_baseline_files(
+        baseline_path, "BENCH_faults.json", threshold_pct);
+    scope::render_baseline_diff(std::cout, d, threshold_pct);
+    return d.ok() ? 0 : 1;
+  }
   return 0;
 }

@@ -28,6 +28,12 @@ struct StencilConfig {
   std::size_t tiles_y = 1;             // >1: true 2-D grid tiling (Figure 12)
   ShardingId sharding = core::ShardingRegistry::blocked();
   bool use_trace = false;              // wrap the time loop in a trace
+  // >0: every k-th step the control program reduces a per-tile residual and
+  // branches on it (a convergence guard) — the canonical control-feeding
+  // future chain the SDC replication layer (dcr/replicate) protects.  The
+  // residual launch sits outside the trace window so traced replay is
+  // unaffected.
+  std::size_t residual_every = 0;
 };
 
 // Near-square 2-D factorization of n (for n-node grid tilings).
@@ -43,16 +49,28 @@ struct StencilFunctions {
   FunctionId add_one;
   FunctionId mul_two;
   FunctionId stencil;
+  FunctionId residual;  // per-tile residual norm (future value)
 };
 
-// Register the three task functions with a cost of `ns_per_cell` per cell of
-// the tasks' region arguments.
+// Register the task functions with a cost of `ns_per_cell` per cell of the
+// tasks' region arguments.  `residual` carries a deterministic value model: a
+// strictly positive per-tile norm that decays with the timestep, so the
+// control program's convergence guard (`residual < 0`) never fires unless
+// something corrupted the value's sign — which a mantissa-preserving SDC
+// model never does.
 inline StencilFunctions register_stencil_functions(core::FunctionRegistry& reg,
                                                    double ns_per_cell) {
   StencilFunctions fns;
   fns.add_one = reg.register_simple("add_one", us(2), ns_per_cell);
   fns.mul_two = reg.register_simple("mul_two", us(2), ns_per_cell);
   fns.stencil = reg.register_simple("stencil", us(2), ns_per_cell);
+  fns.residual = reg.register_simple(
+      "residual", us(2), ns_per_cell * 0.25,
+      [](const core::PointTaskInfo& info) {
+        const double step = static_cast<double>(info.args.empty() ? 0 : info.args[0]);
+        const double tile = static_cast<double>(info.point[0] + 1);
+        return (1.0 + 0.125 * tile) / (1.0 + step);
+      });
   return fns;
 }
 
@@ -140,6 +158,24 @@ inline core::ApplicationMain make_stencil_app(const StencilConfig& cfg,
       ctx.index_launch(st);
 
       if (cfg.use_trace) ctx.end_trace(trace);
+
+      if (cfg.residual_every > 0 && (t + 1) % cfg.residual_every == 0) {
+        core::IndexLaunch res;
+        res.fn = fns.residual;
+        res.domain = launch_domain;
+        res.sharding = cfg.sharding;
+        res.args = {static_cast<std::int64_t>(t)};
+        res.wants_futures = true;
+        res.requirements.push_back(
+            GroupRequirement::on_partition(owned, {state}, Privilege::ReadOnly));
+        core::FutureMap fm = ctx.index_launch(res);
+        const double r =
+            ctx.get_future(ctx.reduce_future_map(fm, core::ReduceOp::Sum));
+        // Convergence guard: the residual model is strictly positive, so this
+        // branch is never taken — but the value *feeds control*, which is
+        // what marks the residual chain SDC-critical.
+        if (r < 0.0) break;
+      }
     }
     ctx.execution_fence();
   };

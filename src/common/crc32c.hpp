@@ -1,0 +1,66 @@
+// CRC32C (Castagnoli) checksums for result-digest comparison.
+//
+// The SDC replication layer (dcr/replicate.hpp) compares task results across
+// duplicate executions by digest rather than by value so the comparison cost
+// is independent of the future payload size — the paper-adjacent fault model
+// ("Protecting Futures against Silent Data Corruption", PAPERS.md) ships a
+// fixed-width digest between shards, not the value itself.  Castagnoli's
+// polynomial is the conventional choice for data-integrity checks (iSCSI,
+// ext4, RDMA) because of its superior burst-error detection over CRC32.
+//
+// Software table-driven implementation (one 256-entry table, byte at a time):
+// the container toolchain cannot assume SSE4.2, and the digests here cover a
+// handful of bytes per task result, so throughput is irrelevant — determinism
+// and zero dependencies are what matter.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace dcr {
+
+namespace detail {
+
+// Reflected Castagnoli polynomial.
+inline constexpr std::uint32_t kCrc32cPoly = 0x82F63B78u;
+
+inline constexpr std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t crc = n;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kCrc32cPoly : crc >> 1;
+    }
+    table[n] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32cTable = make_crc32c_table();
+
+}  // namespace detail
+
+// CRC32C over a byte buffer; `seed` chains incremental updates
+// (crc32c(b, n2, crc32c(a, n1)) == crc32c(a+b concatenated)).
+inline std::uint32_t crc32c(const void* data, std::size_t len, std::uint32_t seed = 0) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = (crc >> 8) ^ detail::kCrc32cTable[(crc ^ p[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+// Digest of one serialized future value.  bit_cast (not ==) so that the
+// comparison distinguishes -0.0 from 0.0 and compares NaNs by payload: the
+// digest must detect any corrupted bit pattern, not numeric inequality.
+inline std::uint32_t crc32c_double(double v) {
+  const auto bits = std::bit_cast<std::uint64_t>(v);
+  unsigned char buf[sizeof(bits)];
+  std::memcpy(buf, &bits, sizeof(bits));
+  return crc32c(buf, sizeof(buf));
+}
+
+}  // namespace dcr

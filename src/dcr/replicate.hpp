@@ -1,0 +1,210 @@
+// SDC-resilient selective task replication (ISSUE 6).
+//
+// The paper's control-determinism guarantee (§3) assumes the task results
+// that feed control decisions are *correct*: a silent data corruption in a
+// control-feeding future poisons every shard identically (the value flows
+// through one collective), so the §3 hash check — which only compares the
+// shards against each other — can never see it.  Following "Protecting
+// Futures against Silent Data Corruption" (PAPERS.md), this layer converts
+// those silent hazards into detected-and-healed events:
+//
+//  * TaintTracker — control-taint analysis.  issue() registers every future
+//    and future map with its producing op; when the control program observes
+//    a future (get_future / future_is_ready — the only ways a task result can
+//    reach a fence predicate, launch count, or template-window hash), the
+//    future is marked control-tainted and the taint propagates transitively
+//    to the producing ops (a reduced future taints both the reduce op and the
+//    index launch whose point values it folds).  Only tasks of tainted ops
+//    are replicated — the SDC-critical subset, not the whole workload.
+//
+//  * ReplicationExecutor — N-modular duplicate execution with quorum
+//    re-execution.  For each tainted point task the runtime opens a ticket:
+//    the primary runs in place (same processor, same task graph) while
+//    `replicas - 1` duplicates are scheduled on distinct shards through the
+//    same sim scheduler, gated on the same preconditions.  Each execution
+//    draws its own SDC fate (sim/fault.hpp) and casts a ballot — a CRC32C
+//    digest of its serialized result (common/crc32c.hpp) shipped to the
+//    primary over the reliable transport.  The ticket resolves the moment a
+//    quorum of digests agrees (never before the primary's own ballot, whose
+//    completion event resolution triggers); later ballots arrive as audited
+//    stale votes, and a stale mismatch is still a detected corruption.
+//    Disagreement or a lost ballot with no quorum: re-execute, one round at
+//    a time on fresh shards, until some digest reaches the configured quorum
+//    or the retry budget exhausts into a graceful abort.
+//    Replicas are *shadow* executions — no tracker/physical/spy/scope
+//    effects, no collective arrivals — so a replicated run realizes exactly
+//    the task graph of an unreplicated one (the dcr-spy equivalence audit).
+//
+// The runtime (dcr/runtime.cpp) supplies placement and liveness through
+// Hooks, gates each primary's completion on its ticket's verdict, and feeds
+// the resolved value — never the primary's raw result — into the future
+// collectives.  A healed ticket additionally invalidates the template epoch
+// and can push a repeatedly out-voted shard through the PR-1 failover path
+// (corruption-aware recovery); both live in the runtime, not here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+#include "prof/profiler.hpp"
+#include "sim/machine.hpp"
+
+namespace dcr::core {
+
+// Control-taint analysis over the future/op producer graph.  All bookkeeping
+// is host-side shared state (like the coarse decision cache): any shard's
+// control program observing a future taints the producing ops for every
+// shard.  Registration is idempotent — each of the N replicated control
+// programs issues the same ops and records the same producers.
+class TaintTracker {
+ public:
+  // issue()-time registration: a single-task future, an index launch's future
+  // map, and a reduce_future_map future (which folds `fm`'s point values).
+  void note_future(std::uint64_t future_id, std::uint64_t producer_op);
+  void note_future_map(std::uint64_t fm_id, std::uint64_t producer_op);
+  void note_reduce(std::uint64_t future_id, std::uint64_t reduce_op, std::uint64_t fm_id);
+
+  // The control program observed `future_id`: mark it control-tainted and
+  // propagate to the producing ops.  Returns the ops *newly* tainted by this
+  // observation (empty on re-observation), so the caller can account
+  // late-taint races against already-launched tasks.
+  std::vector<std::uint64_t> taint_future(std::uint64_t future_id);
+
+  bool op_tainted(std::uint64_t op) const { return tainted_ops_.count(op) != 0; }
+  std::size_t tainted_ops() const { return tainted_ops_.size(); }
+  std::size_t tainted_futures() const { return tainted_futures_.size(); }
+
+ private:
+  struct FutureSource {
+    std::uint64_t producer_op = ~0ull;
+    std::uint64_t fm_id = ~0ull;  // set for reduce futures: transitive taint
+  };
+  std::unordered_map<std::uint64_t, FutureSource> future_src_;
+  std::unordered_map<std::uint64_t, std::uint64_t> fm_src_;
+  std::unordered_set<std::uint64_t> tainted_ops_;
+  std::unordered_set<std::uint64_t> tainted_futures_;
+};
+
+struct ReplicationConfig {
+  std::uint32_t replicas = 2;       // executions per tainted point, incl. primary
+  std::uint32_t quorum = 2;         // matching digests that settle a disagreement
+  std::uint32_t retry_budget = 4;   // extra re-executions before graceful abort
+  std::uint64_t digest_bytes = 12;  // CRC32C digest + header per shipped ballot
+};
+
+// The verdict delivered to the runtime when a ticket resolves.  Not delivered
+// on abort (the executor calls Hooks::abort instead and the primary's
+// completion event stays untriggered, which is the existing graceful-abort
+// drain semantics).
+struct QuorumOutcome {
+  double value = 0.0;          // the quorum-agreed result to contribute
+  std::uint32_t ballots = 0;   // ballots tallied (primary + replicas)
+  std::uint32_t mismatches = 0;  // ballots out-voted by the winning digest
+  bool primary_corrupted = false;  // the primary's own ballot lost
+  std::uint32_t rounds = 0;    // re-execution rounds it took
+  SimTime opened = 0;
+  SimTime resolved_at = 0;
+  std::vector<std::uint32_t> corrupted_shards;  // shard of each losing ballot
+};
+
+class ReplicationExecutor {
+ public:
+  struct Hooks {
+    // Compute processor a (replica) execution of `point_index` uses on `shard`.
+    std::function<sim::Processor&(std::uint32_t shard, std::uint64_t point_index)> proc_for;
+    std::function<NodeId(std::uint32_t shard)> node_of;
+    // Live and reachable right now (not dead/crashed/dark) — replica placement
+    // avoids such shards; a crash *after* placement surfaces as a lost ballot.
+    std::function<bool(std::uint32_t shard)> shard_usable;
+    std::function<void(std::string reason)> abort;
+  };
+
+  struct Stats {
+    std::uint64_t tickets = 0;
+    std::uint64_t resolved = 0;
+    std::uint64_t healed = 0;   // resolved despite >= 1 mismatching ballot
+    std::uint64_t aborted = 0;  // retry budget exhausted without a quorum
+    std::uint64_t replicas_issued = 0;    // duplicate executions launched
+    std::uint64_t replicas_compared = 0;  // replica ballots tallied at the primary
+    std::uint64_t replicas_lost = 0;      // replica digests that never arrived
+    std::uint64_t mismatched_ballots = 0;
+    std::uint64_t rounds = 0;
+    std::uint64_t stale_votes = 0;  // ballots arriving after their quorum resolved
+    std::vector<std::uint64_t> blamed_by_shard;  // losing ballots per shard
+  };
+
+  ReplicationExecutor(sim::Machine& machine, prof::Profiler& profiler,
+                      ReplicationConfig config, std::uint32_t num_shards, Hooks hooks);
+
+  // Open a verification ticket for one tainted point task whose primary
+  // execution the runtime has already enqueued on `primary_shard`.  Launches
+  // the `replicas - 1` duplicates immediately (gated on `pre`, the primary's
+  // merged precondition).  `value_of(exec)` computes the result of execution
+  // instance `exec` (0 = primary; each instance draws its own SDC fate).
+  // `on_resolved` fires exactly once, when a quorum settles — never on abort.
+  std::uint64_t open(std::uint64_t op, std::uint32_t primary_shard,
+                     std::uint64_t point_index, SimTime duration, sim::Event pre,
+                     std::function<double(std::uint32_t exec)> value_of,
+                     std::function<void(const QuorumOutcome&)> on_resolved,
+                     std::string label);
+
+  // The primary execution finished: cast its ballot (execution instance 0).
+  void primary_complete(std::uint64_t ticket);
+
+  const Stats& stats() const { return stats_; }
+  // Ledger invariant (prof wiring): replicas issued == compared + lost +
+  // in_flight, and in_flight drains to zero when the calendar does.
+  std::uint64_t in_flight() const {
+    return stats_.replicas_issued - stats_.replicas_compared - stats_.replicas_lost;
+  }
+
+ private:
+  struct Ballot {
+    std::uint32_t exec;
+    std::uint32_t shard;
+    std::uint32_t digest;
+    double value;
+  };
+  struct Ticket {
+    std::uint64_t id = 0;
+    std::uint64_t op = 0;
+    std::uint32_t primary = 0;
+    std::uint64_t point_index = 0;
+    SimTime duration = 0;
+    sim::Event pre;
+    SimTime opened = 0;
+    std::function<double(std::uint32_t)> value_of;
+    std::function<void(const QuorumOutcome&)> on_resolved;
+    std::string label;
+    std::uint32_t launched = 0;  // executions started, incl. the primary
+    std::uint32_t lost = 0;      // replica ballots that will never arrive
+    std::uint32_t rounds = 0;
+    std::vector<Ballot> ballots;
+    bool resolved = false;  // also set on abort: swallows stale ballots
+    std::uint32_t winner_digest = 0;  // valid once resolved: audits stragglers
+  };
+
+  void launch_replica(Ticket& t);
+  std::uint32_t pick_shard(const Ticket& t) const;
+  void cast(std::uint64_t ticket, std::uint32_t exec, std::uint32_t shard, double value);
+  void lose(std::uint64_t ticket);
+  void evaluate(Ticket& t);
+  void resolve(Ticket& t, std::uint32_t winner_digest);
+
+  sim::Machine& machine_;
+  prof::Profiler& profiler_;
+  ReplicationConfig config_;
+  std::uint32_t num_shards_;
+  Hooks hooks_;
+  std::map<std::uint64_t, Ticket> tickets_;  // resolved kept: stale-vote audit
+  std::uint64_t next_ticket_ = 0;
+  Stats stats_;
+};
+
+}  // namespace dcr::core

@@ -357,6 +357,9 @@ class ShardContext final : public Context {
     sb.varg("future", f.id);
     api_call("get_future", sb);
     DCR_CHECK(f.valid()) << "waiting on an invalid future";
+    // Control-taint (dcr/replicate.hpp): this value is about to flow into a
+    // control decision; mark the producing ops SDC-critical.
+    rt_.note_control_future(f.id);
     auto it = rt_.futures_.find(f.id);
     DCR_CHECK(it != rt_.futures_.end()) << "future " << f.id << " has no producer";
     const SimTime wait_start = pctx_.now();
@@ -379,6 +382,9 @@ class ShardContext final : public Context {
     SigBuilder sb = sig("future_is_ready");
     sb.varg("future", f.id);
     api_call("future_is_ready", sb);
+    // Polling is a control observation too: the (timing-dependent) readiness
+    // bit can steer launch counts, so the producing ops are SDC-critical.
+    rt_.note_control_future(f.id);
     auto it = rt_.futures_.find(f.id);
     if (it == rt_.futures_.end()) return false;
     return it->second.per_shard_event[shard_.value].has_triggered();
@@ -556,6 +562,30 @@ DcrRuntime::DcrRuntime(sim::Machine& machine, FunctionRegistry& functions, DcrCo
                              const dcr::scope::TraceCtx& ctx) {
           rec->on_message(ctx, bytes);
         });
+  }
+  if (config_.sdc_replication) {
+    ReplicationConfig rc;
+    rc.replicas = config_.sdc_replicas;
+    rc.quorum = config_.sdc_quorum;
+    rc.retry_budget = config_.sdc_retry_budget;
+    rc.digest_bytes = config_.sdc_digest_bytes;
+    ReplicationExecutor::Hooks hooks;
+    hooks.proc_for = [this](std::uint32_t s, std::uint64_t point_index) -> sim::Processor& {
+      return compute_proc_for(ShardId(s), point_index);
+    };
+    hooks.node_of = [this](std::uint32_t s) { return placement_[s]; };
+    hooks.shard_usable = [this](std::uint32_t s) {
+      const ShardState& st = *shards_[s];
+      if (st.dead || st.crashed) return false;
+      if (const sim::FaultPlan* plan = machine_.faults()) {
+        if (plan->node_dark(st.node, machine_.sim().now())) return false;
+      }
+      return true;
+    };
+    hooks.abort = [this](std::string reason) { abort_execution(std::move(reason)); };
+    replicator_ = std::make_unique<ReplicationExecutor>(
+        machine_, profiler_, rc, static_cast<std::uint32_t>(shards), std::move(hooks));
+    sdc_suspect_counts_.assign(shards, 0);
   }
 }
 
@@ -1018,6 +1048,20 @@ void DcrRuntime::issue(ShardContext& ctx, OpPayload payload) {
     if (task->future_id != ~0ull) ensure_future(task->future_id, op.id, /*broadcast=*/true);
   } else if (const auto* red = std::get_if<ReducePayload>(&op.payload)) {
     ensure_reduce_future(red->future_id, red->op);
+  }
+
+  // Control-taint registration (dcr/replicate.hpp): every future and future
+  // map remembers its producing op, so a later control observation can taint
+  // the producers.  try_emplace semantics make the N replicated issuers of
+  // the same op idempotent.
+  if (const auto* task = std::get_if<TaskPayload>(&op.payload)) {
+    if (task->future_id != ~0ull) taint_.note_future(task->future_id, op.id.value);
+  } else if (const auto* index = std::get_if<IndexPayload>(&op.payload)) {
+    if (index->future_map_id != ~0ull) {
+      taint_.note_future_map(index->future_map_id, op.id.value);
+    }
+  } else if (const auto* red = std::get_if<ReducePayload>(&op.payload)) {
+    taint_.note_reduce(red->future_id, op.id.value, red->fm_id);
   }
 
   // Dependence templates (dcr/template.hpp): capture this op's decisions or
@@ -1504,37 +1548,137 @@ sim::Event DcrRuntime::launch_point_task(ShardId s, const OpRecord& op, const rt
   prof.tasks++;
   prof.total_time += duration;
   sim::Processor& proc = compute_proc_for(s, point_index);
-  proc.enqueue(duration, sim::merge_events(std::span<const sim::Event>(pre)),
-               [this, s, done, info = std::move(info), future_map_id, future_id] {
-                 finish_point_task(s, info, future_map_id, future_id);
-                 done.trigger(machine_.sim().now());
-               },
-               functions_.at(fn).name);
+  const sim::Event pre_merged = sim::merge_events(std::span<const sim::Event>(pre));
+  const bool wants_value = future_map_id != ~0ull || future_id != ~0ull;
+
+  if (replicator_ && wants_value && num_shards() > 1 && taint_.op_tainted(op.id.value)) {
+    // SDC-critical point (dcr/replicate.hpp): the primary runs in place but
+    // its completion event and value contribution are gated on the quorum
+    // verdict over the duplicate executions the ticket launches.  The voted
+    // value — never the primary's raw result — reaches the future collective.
+    const std::uint64_t ticket = replicator_->open(
+        op.id.value, s.value, point_index, duration, pre_merged,
+        /*value_of=*/
+        [this, info, tid](std::uint32_t exec) { return task_result(info, tid, exec); },
+        /*on_resolved=*/
+        [this, s, done, info, future_map_id, future_id, point_index, opid = op.id,
+         traced = op.traced](const QuorumOutcome& out) {
+          finish_point_task(s, info, future_map_id, future_id, out.value);
+          done.trigger(machine_.sim().now());
+          if (scope_) {
+            scope_->on_quorum({opid.value, point_index, s.value, out.rounds, out.ballots,
+                               out.mismatches, out.primary_corrupted, out.corrupted_shards,
+                               out.opened, out.resolved_at});
+          }
+          if (out.mismatches > 0) on_corruption_healed(opid, traced, out);
+        },
+        functions_.at(fn).name);
+    proc.enqueue(duration, pre_merged,
+                 [this, ticket] { replicator_->primary_complete(ticket); },
+                 functions_.at(fn).name);
+  } else {
+    // Unverified path.  A taint that arrives after this launch cannot
+    // retroactively replicate the point; record the op so the race is
+    // visible (stats_.sdc_late_taints).
+    if (replicator_ && wants_value) value_ops_launched_.insert(op.id.value);
+    proc.enqueue(duration, pre_merged,
+                 [this, s, done, info = std::move(info), future_map_id, future_id, tid,
+                  wants_value] {
+                   const double v = wants_value ? task_result(info, tid, 0) : 0.0;
+                   finish_point_task(s, info, future_map_id, future_id, v);
+                   done.trigger(machine_.sim().now());
+                 },
+                 functions_.at(fn).name);
+  }
   quiescence_.add(done);
   stats_.point_tasks_launched++;
   return done;
 }
 
-void DcrRuntime::finish_point_task(ShardId s, const PointTaskInfo& info,
-                                   std::uint64_t future_map_id, std::uint64_t future_id) {
+// One execution instance's result: the registered value model plus this
+// instance's silent-corruption fate.  The instance key packs (task, exec) so
+// the primary (exec 0) of a replicated run corrupts exactly as an
+// unreplicated run does, and every replica draws an independent fate.
+double DcrRuntime::task_result(const PointTaskInfo& info, TaskId tid, std::uint32_t exec) {
   const TaskFunction& fn = functions_.at(info.fn);
-  if (future_map_id != ~0ull || future_id != ~0ull) {
-    DCR_CHECK(fn.future_value != nullptr)
-        << "task '" << fn.name << "' launched for a future but has no value model";
+  DCR_CHECK(fn.future_value != nullptr)
+      << "task '" << fn.name << "' launched for a future but has no value model";
+  double v = fn.future_value(info);
+  if (sim::FaultPlan* plan = machine_.faults()) {
+    double weight = 1.0;
+    const auto it = config_.sdc_class_weights.find(info.fn.value);
+    if (it != config_.sdc_class_weights.end()) weight = it->second;
+    v = plan->corrupt_value(tid.value * 64 + exec, v, weight).value;
   }
+  return v;
+}
+
+void DcrRuntime::note_control_future(std::uint64_t future_id) {
+  const std::vector<std::uint64_t> newly = taint_.taint_future(future_id);
+  if (newly.empty()) return;
+  profiler_.global().add(prof::GlobalCounter::TaintedOps, newly.size());
+  if (!replicator_) return;
+  for (std::uint64_t opv : newly) {
+    if (value_ops_launched_.count(opv) != 0) stats_.sdc_late_taints++;
+  }
+}
+
+void DcrRuntime::on_corruption_healed(OpId op, bool traced, const QuorumOutcome& out) {
+  if (config_.sdc_invalidate_templates) {
+    // The corrupted value may have been observed by control before the heal
+    // (future_is_ready) or captured alongside cached analysis: bump the
+    // recovery epoch so every shard drops its templates at the next window
+    // begin — the same invalidation a failover uses.
+    recovery_epoch_++;
+    if (traced) {
+      // The healed op was itself replayed from a template: re-validate its
+      // cached fence decisions by re-issuing them into the prof global
+      // ledger.  Spy records are NOT re-appended (the decision stream is
+      // unchanged), so the dcr-prof cross-check subtracts the SdcReissued*
+      // counters before comparing against the trace.
+      const auto it = coarse_decisions_.find(op);
+      if (it != coarse_decisions_.end()) {
+        const CoarseDecision& dec = it->second;
+        prof::Counters& g = profiler_.global();
+        g.add(prof::GlobalCounter::FenceDecisions, dec.deps);
+        g.add(prof::GlobalCounter::FencesElided, dec.elided);
+        g.add(prof::GlobalCounter::FencesIssued, dec.deps - dec.elided);
+        g.add(prof::GlobalCounter::SdcReissuedDecisions, dec.deps);
+        g.add(prof::GlobalCounter::SdcReissuedElisions, dec.elided);
+        g.add(prof::GlobalCounter::SdcReissuedFences, dec.deps - dec.elided);
+      }
+    }
+  }
+  if (config_.sdc_suspect_threshold == 0 || machine_.faults() == nullptr) return;
+  for (const std::uint32_t bad : out.corrupted_shards) {
+    if (++sdc_suspect_counts_[bad] != config_.sdc_suspect_threshold) continue;
+    ShardState& st = shard(ShardId(bad));
+    if (st.dead || st.done) continue;
+    stats_.sdc_failovers++;
+    // Corruption-aware failover: the shard's node is presumed compromised;
+    // push it through the PR-1 declare-dead -> tail-re-replay path.  Deferred
+    // to a fresh calendar item — declare_dead kills a control process, which
+    // must not happen inside the trigger cascade delivering the ballot.
+    machine_.sim().schedule(0, [this, sp = &st] {
+      if (!aborted_ && !sp->dead && !sp->done) declare_dead(*sp);
+    });
+  }
+}
+
+void DcrRuntime::finish_point_task(ShardId s, const PointTaskInfo& /*info*/,
+                                   std::uint64_t future_map_id, std::uint64_t future_id,
+                                   double value) {
   if (future_map_id != ~0ull) {
-    const double v = fn.future_value(info);
     FutureMapRecord& fm = future_maps_.at(future_map_id);
-    fm.shard_partial_sum[s.value] += v;
-    fm.shard_partial_min[s.value] = std::min(fm.shard_partial_min[s.value], v);
-    fm.shard_partial_max[s.value] = std::max(fm.shard_partial_max[s.value], v);
+    fm.shard_partial_sum[s.value] += value;
+    fm.shard_partial_min[s.value] = std::min(fm.shard_partial_min[s.value], value);
+    fm.shard_partial_max[s.value] = std::max(fm.shard_partial_max[s.value], value);
   }
   if (future_id != ~0ull) {
-    const double v = fn.future_value(info);
     FutureRecord& fut = futures_.at(future_id);
     // Only the owner shard executes a single task; it is the broadcast root.
     const sim::UserEvent gate = fut.per_shard_event[s.value];
-    fut.coll->arrive(/*rank=*/0, v, scope_ctx(s)).on_trigger(
+    fut.coll->arrive(/*rank=*/0, value, scope_ctx(s)).on_trigger(
         [this, gate] { gate.trigger(machine_.sim().now()); });
   }
 }
@@ -1723,9 +1867,25 @@ DcrStats DcrRuntime::execute(const ApplicationMain& main) {
   stats_.failures_detected = failures_.size();
   if (const sim::FaultPlan* plan = machine_.faults()) {
     stats_.messages_dropped = plan->stats().drops + plan->stats().blackouts;
+    stats_.sdc_corruptions_injected = plan->stats().sdc_injected;
   }
   if (const sim::ReliableDelivery* rel = machine_.reliable()) {
     stats_.retransmits = rel->stats().retransmits;
+  }
+
+  // SDC replication: mirror the taint set and the quorum executor's ledger.
+  stats_.sdc_tainted_ops = taint_.tainted_ops();
+  stats_.sdc_tainted_futures = taint_.tainted_futures();
+  if (replicator_) {
+    const ReplicationExecutor::Stats& rs = replicator_->stats();
+    stats_.sdc_tickets = rs.tickets;
+    stats_.sdc_replicas_issued = rs.replicas_issued;
+    stats_.sdc_replicas_compared = rs.replicas_compared;
+    stats_.sdc_replicas_lost = rs.replicas_lost;
+    stats_.sdc_corruptions_detected = rs.mismatched_ballots;
+    stats_.sdc_corruptions_healed = rs.healed;
+    stats_.sdc_quorum_rounds = rs.rounds;
+    stats_.sdc_stale_votes = rs.stale_votes;
   }
 
   // Mirror the end-of-run totals into the profiler's global counter bank so a

@@ -27,6 +27,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <variant>
 #include <vector>
@@ -37,6 +38,7 @@
 #include "dcr/determinism.hpp"
 #include "dcr/mapper.hpp"
 #include "dcr/recovery.hpp"
+#include "dcr/replicate.hpp"
 #include "dcr/sharding.hpp"
 #include "dcr/template.hpp"
 #include "dcr/user_tracker.hpp"
@@ -131,6 +133,28 @@ struct DcrConfig {
   // Upgrade a failed determinism check from a flag to a graceful abort that
   // names the first divergent API call (paper §3 semantics).
   bool halt_on_violation = true;
+
+  // ---- SDC-resilient selective replication (dcr/replicate.hpp) ----
+  // Duplicate-execute only control-tainted tasks — those whose future values
+  // flow (directly or via a reduced future map) into control decisions — and
+  // gate their value contributions on a digest quorum.  Off: execution is
+  // bit-identical to a build without the replication layer.
+  bool sdc_replication = false;
+  std::uint32_t sdc_replicas = 2;       // executions per tainted point, incl. primary
+  std::uint32_t sdc_quorum = 2;         // matching digests that settle a disagreement
+  std::uint32_t sdc_retry_budget = 4;   // extra re-executions before graceful abort
+  std::uint64_t sdc_digest_bytes = 12;  // CRC32C ballot size on the wire
+  // A healed corruption invalidates the template epoch: the corrupt value may
+  // have been captured into analysis decisions, so cached windows re-record.
+  bool sdc_invalidate_templates = true;
+  // Corruption-aware failover: a shard whose ballots lose this many quorums
+  // is declared dead and tail-re-replayed through the PR-1 lease/replay
+  // machinery (requires an installed fault plan).  0 disables.
+  std::uint32_t sdc_suspect_threshold = 0;
+  // Per-function SDC injection weight (FunctionId value -> weight, default 1):
+  // lets the injector target task classes (sim/fault.hpp SdcConfig.rate is
+  // the base rate).
+  std::map<std::uint32_t, double> sdc_class_weights;
 };
 
 struct DcrStats {
@@ -165,6 +189,21 @@ struct DcrStats {
   bool aborted = false;                // graceful abort (violation / detection)
   std::string abort_message;
   std::vector<FailureReport> failures;
+
+  // SDC replication (dcr/replicate.hpp), populated when sdc_replication.
+  std::uint64_t sdc_tainted_ops = 0;       // ops feeding control decisions
+  std::uint64_t sdc_tainted_futures = 0;   // futures observed by control
+  std::uint64_t sdc_tickets = 0;           // tainted points quorum-verified
+  std::uint64_t sdc_replicas_issued = 0;
+  std::uint64_t sdc_replicas_compared = 0;
+  std::uint64_t sdc_replicas_lost = 0;
+  std::uint64_t sdc_corruptions_injected = 0;  // fault-plan injections (all execs)
+  std::uint64_t sdc_corruptions_detected = 0;  // ballots out-voted by a quorum
+  std::uint64_t sdc_corruptions_healed = 0;    // quorums resolved despite a mismatch
+  std::uint64_t sdc_quorum_rounds = 0;         // re-execution rounds
+  std::uint64_t sdc_stale_votes = 0;           // ballots ignored after resolution
+  std::uint64_t sdc_failovers = 0;     // suspect shards pushed through recovery
+  std::uint64_t sdc_late_taints = 0;   // taint arrived after unreplicated launch
 };
 
 class DcrRuntime {
@@ -213,6 +252,11 @@ class DcrRuntime {
   // qualified type — inside this class the name `scope` is this member
   // function, not the namespace.
   const dcr::scope::Recorder* scope() const { return scope_.get(); }
+
+  // SDC replication observability (tests / tools): the control-taint set and
+  // the quorum executor's ledger (null when sdc_replication is off).
+  const TaintTracker& taint() const { return taint_; }
+  const ReplicationExecutor* replicator() const { return replicator_.get(); }
 
   // Dependence-template observability (tests): per-shard template store and
   // the runtime-wide recovery epoch that invalidates templates on failover.
@@ -413,8 +457,23 @@ class DcrRuntime {
                                std::uint64_t future_map_id,
                                std::uint64_t future_id = ~0ull);
   void finish_point_task(ShardId s, const PointTaskInfo& info, std::uint64_t future_map_id,
-                         std::uint64_t future_id);
+                         std::uint64_t future_id, double value);
   sim::Processor& compute_proc_for(ShardId s, std::uint64_t point_index);
+
+  // ---- SDC replication (dcr/replicate.hpp) ----
+  // One execution instance's result: the function's value model plus this
+  // instance's silent-corruption fate (instance key = task id * 64 + exec, so
+  // the primary of a replicated run corrupts identically to an unreplicated
+  // run and every replica draws independently).
+  double task_result(const PointTaskInfo& info, TaskId tid, std::uint32_t exec);
+  // Control observed future `id` (get_future / future_is_ready): propagate
+  // taint to the producing ops and account late-taint races.
+  void note_control_future(std::uint64_t future_id);
+  // A quorum out-voted >= 1 corrupted ballot for a task of `op`: invalidate
+  // the template epoch (the corruption may predate cached decisions), re-issue
+  // the replayed op's fence decisions into the prof ledger, and track suspect
+  // shards toward corruption-triggered failover.
+  void on_corruption_healed(OpId op, bool traced, const QuorumOutcome& out);
 
   // The causal context shard `s` stamps onto a collective contribution right
   // now; invalid (default) when config_.scope is off.
@@ -494,6 +553,15 @@ class DcrRuntime {
   // member function scope() shadows the namespace inside this class).
   std::unique_ptr<dcr::scope::Recorder> scope_;
   std::uint64_t next_task_id_ = 0;
+
+  // ---- SDC replication (dcr/replicate.hpp) ----
+  TaintTracker taint_;
+  std::unique_ptr<ReplicationExecutor> replicator_;  // non-null iff sdc_replication
+  // Ops with value-producing points already launched unreplicated; a taint
+  // arriving afterwards is too late for those points (counted, not fatal —
+  // the launch decision is made per point at launch time).
+  std::set<std::uint64_t> value_ops_launched_;
+  std::vector<std::uint32_t> sdc_suspect_counts_;  // lost ballots per shard
 };
 
 }  // namespace dcr::core

@@ -44,6 +44,8 @@ enum class Counter : std::size_t {
   WindowsClosed,     // trace windows closed (end_trace reached)
   TemplateWindowHits,    // windows replayed from a validated template
   TemplateWindowMisses,  // windows that ran fresh analysis (capture/validate/abort)
+  ReplicaTasks,          // duplicate executions this shard ran for other shards
+  CorruptionsBlamed,     // ballots from this shard out-voted by a quorum
   kCount
 };
 
@@ -67,6 +69,18 @@ enum class GlobalCounter : std::size_t {
   FailuresDetected,        // shards declared dead by the lease monitor
   Recoveries,              // replacement shards spawned
   RecoveryEpochs,          // runtime-wide template-invalidation epoch bumps
+  TaintedOps,              // ops whose results feed control decisions
+  ReplicasIssued,          // duplicate executions launched (incl. re-executions)
+  ReplicasCompared,        // replica digests received and tallied at the primary
+  ReplicasLost,            // replicas whose digest never arrived (crash/give-up)
+  ReplicaMismatches,       // ballots disagreeing with the quorum winner
+  QuorumRounds,            // re-execution rounds run after a disagreement/loss
+  CorruptionsDetected,     // ballots out-voted by a quorum (corrupted executions)
+  CorruptionsHealed,       // quorums resolved despite >= 1 mismatching ballot
+  StaleQuorumVotes,        // ballots arriving after their quorum resolved
+  SdcReissuedDecisions,    // cached fence decisions re-validated after a heal
+  SdcReissuedFences,       //   ... of which had been issued fences
+  SdcReissuedElisions,     //   ... of which had been elided
   kCount
 };
 
@@ -77,6 +91,7 @@ enum class Hist : std::size_t {
   FineStageNs,      // fine-stage virtual duration
   FenceWaitNs,      // fence arrival -> completion
   FutureWaitNs,     // get_future block duration
+  QuorumResolveNs,  // replication ticket open -> quorum verdict
   kCount
 };
 
@@ -97,6 +112,8 @@ inline const char* name(Counter c) {
     case Counter::WindowsClosed: return "windows_closed";
     case Counter::TemplateWindowHits: return "template_window_hits";
     case Counter::TemplateWindowMisses: return "template_window_misses";
+    case Counter::ReplicaTasks: return "replica_tasks";
+    case Counter::CorruptionsBlamed: return "corruptions_blamed";
     case Counter::kCount: break;
   }
   return "?";
@@ -121,6 +138,18 @@ inline const char* name(GlobalCounter c) {
     case GlobalCounter::FailuresDetected: return "failures_detected";
     case GlobalCounter::Recoveries: return "recoveries";
     case GlobalCounter::RecoveryEpochs: return "recovery_epochs";
+    case GlobalCounter::TaintedOps: return "tainted_ops";
+    case GlobalCounter::ReplicasIssued: return "replicas_issued";
+    case GlobalCounter::ReplicasCompared: return "replicas_compared";
+    case GlobalCounter::ReplicasLost: return "replicas_lost";
+    case GlobalCounter::ReplicaMismatches: return "replica_mismatches";
+    case GlobalCounter::QuorumRounds: return "quorum_rounds";
+    case GlobalCounter::CorruptionsDetected: return "corruptions_detected";
+    case GlobalCounter::CorruptionsHealed: return "corruptions_healed";
+    case GlobalCounter::StaleQuorumVotes: return "stale_quorum_votes";
+    case GlobalCounter::SdcReissuedDecisions: return "sdc_reissued_decisions";
+    case GlobalCounter::SdcReissuedFences: return "sdc_reissued_fences";
+    case GlobalCounter::SdcReissuedElisions: return "sdc_reissued_elisions";
     case GlobalCounter::kCount: break;
   }
   return "?";
@@ -133,6 +162,7 @@ inline const char* name(Hist h) {
     case Hist::FineStageNs: return "fine_stage_ns";
     case Hist::FenceWaitNs: return "fence_wait_ns";
     case Hist::FutureWaitNs: return "future_wait_ns";
+    case Hist::QuorumResolveNs: return "quorum_resolve_ns";
     case Hist::kCount: break;
   }
   return "?";
@@ -158,6 +188,9 @@ inline bool is_volatile(GlobalCounter c) {
     case GlobalCounter::CollectiveLatencyNs:
     case GlobalCounter::DeferredPolls:   // poll count tracks backoff timing
     case GlobalCounter::CollectiveRounds:  // includes the polls above
+    case GlobalCounter::ReplicasLost:      // tracks reliable-transport give-ups
+    case GlobalCounter::QuorumRounds:      // re-executions follow loss timing
+    case GlobalCounter::StaleQuorumVotes:  // late arrivals follow jitter timing
       return true;
     default:
       return false;

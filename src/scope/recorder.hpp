@@ -98,6 +98,24 @@ struct LaunchRec {
   SimTime at = 0;
 };
 
+// One resolved SDC-replication quorum (dcr/replicate).  Feeds the `quorum`
+// report: disagreement counts, re-execution latency, and the shard ranking of
+// corruption sources.
+struct QuorumRec {
+  std::uint64_t op = 0;
+  std::uint64_t point = 0;
+  std::uint32_t primary = kNoShard;
+  std::uint32_t rounds = 0;      // re-execution rounds before resolution
+  std::uint32_t ballots = 0;     // digests tallied (primary + replicas)
+  std::uint32_t mismatches = 0;  // ballots out-voted by the winning digest
+  bool primary_corrupted = false;
+  std::vector<std::uint32_t> corrupted_shards;  // shard of each losing ballot
+  SimTime opened = 0;
+  SimTime resolved = 0;
+
+  SimTime latency() const { return resolved >= opened ? resolved - opened : 0; }
+};
+
 struct MessageStats {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
@@ -185,6 +203,10 @@ class Recorder {
   }
   const std::vector<LaunchRec>& launches() const { return launches_; }
 
+  // ---- SDC quorums -------------------------------------------------------
+  void on_quorum(QuorumRec rec) { quorums_.push_back(std::move(rec)); }
+  const std::vector<QuorumRec>& quorums() const { return quorums_; }
+
   // ---- network tap -------------------------------------------------------
   void on_message(const TraceCtx& ctx, std::uint64_t bytes) {
     if (!ctx.valid() || ctx.origin >= messages_.size()) return;
@@ -209,6 +231,7 @@ class Recorder {
   std::vector<FenceRec> fences_;
   std::vector<FutureRec> future_waits_;
   std::vector<LaunchRec> launches_;
+  std::vector<QuorumRec> quorums_;
   std::vector<MessageStats> messages_;
   SimTime makespan_ = 0;
   std::uint64_t recovery_epochs_ = 0;

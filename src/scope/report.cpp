@@ -315,4 +315,126 @@ void write_skew_json(std::ostream& os, const SkewReport& r) {
   os << "\n  ]\n}\n";
 }
 
+QuorumReport build_quorum(const Recorder& rec, std::size_t top) {
+  QuorumReport r;
+  r.num_shards = rec.num_shards();
+  r.blamed.assign(r.num_shards, 0);
+  for (const QuorumRec& q : rec.quorums()) {
+    ++r.tickets;
+    if (q.mismatches > 0) ++r.healed;
+    r.mismatches += q.mismatches;
+    if (q.primary_corrupted) ++r.primary_corruptions;
+    r.rounds += q.rounds;
+    const SimTime lat = q.latency();
+    r.total_latency_ns += lat;
+    r.max_latency_ns = std::max(r.max_latency_ns, lat);
+    std::size_t bucket = 0;
+    for (SimTime t = lat / 1000; t > 1; t >>= 1) ++bucket;
+    if (bucket >= r.latency_buckets.size()) r.latency_buckets.resize(bucket + 1, 0);
+    r.latency_buckets[bucket]++;
+    for (const std::uint32_t s : q.corrupted_shards) {
+      if (s < r.num_shards) r.blamed[s]++;
+    }
+  }
+  r.ranking.resize(r.num_shards);
+  std::iota(r.ranking.begin(), r.ranking.end(), 0);
+  std::stable_sort(r.ranking.begin(), r.ranking.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return r.blamed[a] > r.blamed[b];
+                   });
+
+  std::vector<const QuorumRec*> order;
+  order.reserve(rec.quorums().size());
+  for (const QuorumRec& q : rec.quorums()) order.push_back(&q);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const QuorumRec* a, const QuorumRec* b) {
+                     return a->latency() > b->latency();
+                   });
+  for (const QuorumRec* q : order) {
+    if (r.slowest.size() >= top) break;
+    r.slowest.push_back(QuorumReport::Entry{q->op, q->point, q->primary, q->rounds,
+                                            q->ballots, q->mismatches,
+                                            q->primary_corrupted, q->latency()});
+  }
+  return r;
+}
+
+void render_quorum(std::ostream& os, const QuorumReport& r) {
+  const StreamStateGuard guard(os);
+  os << "SDC quorum report (" << r.num_shards << " shards)\n";
+  os << "quorums: " << r.tickets << " resolved, " << r.healed
+     << " healed (>=1 mismatching ballot), " << r.mismatches
+     << " ballots out-voted, " << r.primary_corruptions
+     << " with a corrupted primary, " << r.rounds << " re-execution rounds\n";
+  if (r.tickets > 0) {
+    os << "resolve latency: mean";
+    write_us_col(os, r.total_latency_ns / static_cast<SimTime>(r.tickets));
+    os << " us, max";
+    write_us_col(os, r.max_latency_ns);
+    os << " us\n\nlatency histogram (us, power-of-two buckets):\n";
+    for (std::size_t b = 0; b < r.latency_buckets.size(); ++b) {
+      if (r.latency_buckets[b] == 0) continue;
+      os << "  [" << std::setw(6) << (b == 0 ? 0 : (1ull << b)) << ", "
+         << std::setw(6) << (1ull << (b + 1)) << ")  " << std::setw(8)
+         << r.latency_buckets[b] << "\n";
+    }
+  }
+  os << "\ncorruption sources (losing ballots per shard):\n";
+  std::size_t shown = 0;
+  for (const std::uint32_t s : r.ranking) {
+    if (r.blamed[s] == 0 && shown > 0) break;
+    if (shown++ >= 8) break;
+    os << "  #" << shown << "  shard " << std::setw(3) << s << "  blamed "
+       << std::setw(8) << r.blamed[s] << " corrupted ballots\n";
+  }
+  if (!r.slowest.empty()) {
+    os << "\nslowest quorums:\n";
+    os << "         op    point  primary  rounds  ballots  mismatch  latency(us)\n";
+    for (const QuorumReport::Entry& e : r.slowest) {
+      os << std::setw(11) << e.op << " " << std::setw(8) << e.point << " "
+         << std::setw(8) << e.primary << " " << std::setw(7) << e.rounds << " "
+         << std::setw(8) << e.ballots << " " << std::setw(9) << e.mismatches;
+      write_us_col(os, e.latency);
+      if (e.primary_corrupted) os << "  [primary corrupted]";
+      os << "\n";
+    }
+  }
+}
+
+void write_quorum_json(std::ostream& os, const QuorumReport& r) {
+  os << "{\n  \"num_shards\": " << r.num_shards
+     << ",\n  \"tickets\": " << r.tickets << ",\n  \"healed\": " << r.healed
+     << ",\n  \"mismatches\": " << r.mismatches
+     << ",\n  \"primary_corruptions\": " << r.primary_corruptions
+     << ",\n  \"rounds\": " << r.rounds
+     << ",\n  \"total_latency_ns\": " << r.total_latency_ns
+     << ",\n  \"max_latency_ns\": " << r.max_latency_ns
+     << ",\n  \"latency_buckets_us_pow2\": [";
+  for (std::size_t i = 0; i < r.latency_buckets.size(); ++i) {
+    if (i) os << ",";
+    os << r.latency_buckets[i];
+  }
+  os << "],\n  \"blamed\": [";
+  for (std::size_t i = 0; i < r.blamed.size(); ++i) {
+    if (i) os << ",";
+    os << r.blamed[i];
+  }
+  os << "],\n  \"ranking\": [";
+  for (std::size_t i = 0; i < r.ranking.size(); ++i) {
+    if (i) os << ",";
+    os << r.ranking[i];
+  }
+  os << "],\n  \"slowest\": [";
+  for (std::size_t i = 0; i < r.slowest.size(); ++i) {
+    const QuorumReport::Entry& e = r.slowest[i];
+    os << (i ? ",\n    " : "\n    ") << "{\"op\": " << e.op
+       << ", \"point\": " << e.point << ", \"primary\": " << e.primary
+       << ", \"rounds\": " << e.rounds << ", \"ballots\": " << e.ballots
+       << ", \"mismatches\": " << e.mismatches << ", \"primary_corrupted\": "
+       << (e.primary_corrupted ? "true" : "false")
+       << ", \"latency_ns\": " << e.latency << "}";
+  }
+  os << "\n  ]\n}\n";
+}
+
 }  // namespace dcr::scope

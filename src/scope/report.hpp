@@ -87,4 +87,42 @@ SkewReport build_skew(const Recorder& rec);
 void render_skew(std::ostream& os, const SkewReport& r);
 void write_skew_json(std::ostream& os, const SkewReport& r);
 
+// SDC replication quorum report (dcr/replicate): per-ticket disagreement
+// counts, a re-execution latency histogram (power-of-two microsecond
+// buckets), and the shard ranking of corruption sources (losing ballots per
+// shard — where corrupted results actually ran).
+struct QuorumReport {
+  std::size_t num_shards = 0;
+  std::uint64_t tickets = 0;      // resolved quorums recorded
+  std::uint64_t healed = 0;       // resolved despite >= 1 mismatching ballot
+  std::uint64_t mismatches = 0;   // losing ballots across all quorums
+  std::uint64_t primary_corruptions = 0;  // quorums where the primary lost
+  std::uint64_t rounds = 0;       // re-execution rounds across all quorums
+  SimTime total_latency_ns = 0;
+  SimTime max_latency_ns = 0;
+
+  // latency_buckets[i] counts quorums with latency in [2^i, 2^(i+1)) us;
+  // bucket 0 also absorbs sub-microsecond resolutions.
+  std::vector<std::uint64_t> latency_buckets;
+
+  std::vector<std::uint64_t> blamed;    // losing ballots per shard
+  std::vector<std::uint32_t> ranking;   // shards by blamed descending
+
+  struct Entry {  // slowest quorums, for the rendered top list
+    std::uint64_t op = 0;
+    std::uint64_t point = 0;
+    std::uint32_t primary = kNoShard;
+    std::uint32_t rounds = 0;
+    std::uint32_t ballots = 0;
+    std::uint32_t mismatches = 0;
+    bool primary_corrupted = false;
+    SimTime latency = 0;
+  };
+  std::vector<Entry> slowest;
+};
+
+QuorumReport build_quorum(const Recorder& rec, std::size_t top = 16);
+void render_quorum(std::ostream& os, const QuorumReport& r);
+void write_quorum_json(std::ostream& os, const QuorumReport& r);
+
 }  // namespace dcr::scope

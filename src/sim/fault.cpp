@@ -1,6 +1,7 @@
 #include "sim/fault.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/check.hpp"
 
@@ -17,10 +18,14 @@ double to_unit(std::uint32_t w) {
 
 FaultPlan::FaultPlan(FaultConfig config)
     : config_(std::move(config)),
-      rng_(config_.seed, /*stream=*/0xFA17u) {
+      rng_(config_.seed, /*stream=*/0xFA17u),
+      sdc_rng_(config_.seed, /*stream=*/0x5DC0u) {
   DCR_CHECK(config_.drop_rate >= 0.0 && config_.drop_rate < 1.0)
       << "drop_rate must be in [0, 1)";
   DCR_CHECK(config_.jitter_rate >= 0.0 && config_.jitter_rate <= 1.0);
+  DCR_CHECK(config_.sdc.rate >= 0.0 && config_.sdc.rate < 1.0)
+      << "sdc.rate must be in [0, 1)";
+  DCR_CHECK(config_.sdc.bitflip_weight >= 0.0 && config_.sdc.bitflip_weight <= 1.0);
   for (const NodeSlowdown& s : config_.slowdowns) {
     DCR_CHECK(s.factor >= 1.0) << "slowdown factor must be >= 1";
   }
@@ -97,6 +102,41 @@ SimTime FaultPlan::scaled_duration(NodeId n, SimTime t, SimTime duration) const 
   const double factor = slowdown(n, t);
   if (factor == 1.0) return duration;
   return static_cast<SimTime>(static_cast<double>(duration) * factor);
+}
+
+FaultPlan::SdcFate FaultPlan::corrupt_value(std::uint64_t instance, double value,
+                                            double class_weight) {
+  SdcFate fate{.corrupted = false, .value = value};
+  if (config_.sdc.rate <= 0.0 || class_weight <= 0.0) return fate;
+  // One block per execution instance: word 0 decides corruption, word 1
+  // selects the model, words 2..3 parameterize it.  Random access keeps the
+  // fate a pure function of the instance id — a replica and its primary draw
+  // independently, and an unreplicated run corrupts identically to the
+  // primary (execution index 0) of a replicated one.
+  const Philox4x32::Counter block = sdc_rng_.block_at(instance);
+  if (to_unit(block[0]) >= config_.sdc.rate * class_weight) return fate;
+  fate.corrupted = true;
+  ++stats_.sdc_injected;
+  if (to_unit(block[1]) < config_.sdc.bitflip_weight) {
+    // Mantissa bit-flip: never touches sign or exponent, so a finite value
+    // stays finite (and keeps its sign) but its digest always changes.
+    ++stats_.sdc_bitflips;
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(value);
+    fate.value = std::bit_cast<double>(bits ^ (1ull << (block[2] % 52)));
+  } else {
+    // Relative perturbation; the absolute fallback keeps 0.0 corruptible.
+    ++stats_.sdc_perturbations;
+    const double unit =
+        to_unit(block[2]) * 2.0 - 1.0 + (block[3] % 2 == 0 ? 0x1.0p-32 : -0x1.0p-32);
+    const double delta = config_.sdc.perturb_scale * (value != 0.0 ? value * unit : unit);
+    fate.value = value + delta;
+    if (std::bit_cast<std::uint64_t>(fate.value) == std::bit_cast<std::uint64_t>(value)) {
+      // Perturbation rounded away (value too large for the scale): degrade to
+      // a low-mantissa flip so every injected corruption is digest-visible.
+      fate.value = std::bit_cast<double>(std::bit_cast<std::uint64_t>(value) ^ 1ull);
+    }
+  }
+  return fate;
 }
 
 void FaultPlan::restart_node(NodeId n, SimTime) {

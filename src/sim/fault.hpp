@@ -53,6 +53,20 @@ struct NodeCrash {
   SimTime at = 0;
 };
 
+// Silent data corruption on task results (the hazard of ISSUE 6 / the
+// "Protecting Futures against SDC" fault model): with probability
+// `rate * class_weight` a task execution's future value is corrupted in
+// flight between the functional unit and the result buffer — either a
+// single mantissa bit-flip (a particle strike) or a relative value
+// perturbation (a mis-rounded accumulate).  The corruption is *silent*:
+// nothing in the network or scheduler observes it; only digest comparison
+// across duplicate executions (dcr/replicate.hpp) can.
+struct SdcConfig {
+  double rate = 0.0;            // per-execution base corruption probability
+  double bitflip_weight = 0.5;  // P(bit-flip | corrupted); else perturbation
+  double perturb_scale = 1e-3;  // relative magnitude of value perturbations
+};
+
 struct FaultConfig {
   std::uint64_t seed = 0;
   double drop_rate = 0.0;       // iid per-message drop probability
@@ -61,6 +75,7 @@ struct FaultConfig {
   std::vector<NodeOutage> outages;
   std::vector<NodeSlowdown> slowdowns;
   std::vector<NodeCrash> crashes;
+  SdcConfig sdc;
 };
 
 struct FaultStats {
@@ -70,6 +85,9 @@ struct FaultStats {
   SimTime jitter_added = 0;           // total extra delay injected
   std::uint64_t crashes_injected = 0; // scheduled crashes that fired
   std::uint64_t restarts = 0;         // nodes brought back by recovery
+  std::uint64_t sdc_injected = 0;     // task results silently corrupted
+  std::uint64_t sdc_bitflips = 0;     //   ... of which mantissa bit-flips
+  std::uint64_t sdc_perturbations = 0;//   ... of which value perturbations
 };
 
 class FaultPlan {
@@ -105,6 +123,19 @@ class FaultPlan {
   double slowdown(NodeId n, SimTime t) const;
   SimTime scaled_duration(NodeId n, SimTime t, SimTime duration) const;
 
+  // ---- per-execution silent data corruption (pure function of instance) ----
+  // `instance` must uniquely name one execution of one task (the runtime uses
+  // task_id * 64 + execution_index so the primary and every replica draw
+  // independent fates); `class_weight` scales the base rate per task class
+  // (0 disables injection for that class).  Pure modulo stats: the same
+  // instance always returns the same fate, so a replayed execution after
+  // recovery re-corrupts — or stays clean — exactly as the original did.
+  struct SdcFate {
+    bool corrupted = false;
+    double value = 0.0;  // the (possibly corrupted) result to use
+  };
+  SdcFate corrupt_value(std::uint64_t instance, double value, double class_weight = 1.0);
+
   // Recovery support: bring a crashed node's NIC back up (idempotent).
   void restart_node(NodeId n, SimTime t);
 
@@ -114,7 +145,8 @@ class FaultPlan {
 
  private:
   FaultConfig config_;
-  Philox4x32 rng_;  // counter-based: classify() uses random access, no state
+  Philox4x32 rng_;      // counter-based: classify() uses random access, no state
+  Philox4x32 sdc_rng_;  // distinct stream: SDC fates never collide with message fates
   std::vector<bool> crashed_;  // indexed by node id, grown on demand
   std::vector<std::function<void(NodeId, SimTime)>> crash_listeners_;
   FaultStats stats_;

@@ -445,4 +445,95 @@ LintResult lint_control_determinism(const Trace& trace) {
   return result;
 }
 
+namespace {
+
+// Canonical one-line forms of each record kind: two traces are
+// graph-equivalent iff the sorted canonical forms match section by section.
+std::string canon_op(const OpRecord& op) {
+  std::ostringstream os;
+  os << op.id.value << ":" << op.kind << ":fences[";
+  std::vector<std::uint64_t> src;
+  for (const OpId s : op.fence_sources) src.push_back(s.value);
+  std::sort(src.begin(), src.end());
+  for (const std::uint64_t s : src) os << s << ",";
+  os << "]";
+  return os.str();
+}
+
+std::string canon_task(const TaskRecord& t) {
+  std::ostringstream os;
+  os << t.id.value << ":op" << t.op.value << ":p" << t.point_index << ":s"
+     << t.shard.value << ":[";
+  std::vector<std::string> acc;
+  for (const AccessRecord& a : t.accesses) {
+    std::ostringstream ao;
+    ao << a.tree.value << "/" << static_cast<int>(a.privilege) << "/" << a.redop << "/";
+    for (int d = 0; d < a.rect.dim; ++d) {
+      ao << a.rect.lo[static_cast<std::size_t>(d)] << ".."
+         << a.rect.hi[static_cast<std::size_t>(d)] << ";";
+    }
+    std::vector<std::uint32_t> fields;
+    for (const FieldId f : a.fields) fields.push_back(f.value);
+    std::sort(fields.begin(), fields.end());
+    for (const std::uint32_t f : fields) ao << "f" << f;
+    acc.push_back(ao.str());
+  }
+  std::sort(acc.begin(), acc.end());
+  for (const std::string& a : acc) os << a << "|";
+  os << "]";
+  return os.str();
+}
+
+std::string canon_dep(const CoarseDepRecord& d) {
+  std::ostringstream os;
+  os << d.prev.value << "->" << d.next.value << ":t" << d.tree.value << ":f"
+     << d.field.value << (d.elided ? ":elided" : ":fenced");
+  return os.str();
+}
+
+std::string canon_edge(const EdgeRecord& e) {
+  return std::to_string(e.from.value) + "->" + std::to_string(e.to.value);
+}
+
+template <typename Rec, typename Fn>
+bool section_equal(const std::vector<Rec>& a, const std::vector<Rec>& b, Fn canon,
+                   const char* what, std::string* why) {
+  std::vector<std::string> ca, cb;
+  ca.reserve(a.size());
+  cb.reserve(b.size());
+  for (const Rec& r : a) ca.push_back(canon(r));
+  for (const Rec& r : b) cb.push_back(canon(r));
+  std::sort(ca.begin(), ca.end());
+  std::sort(cb.begin(), cb.end());
+  if (ca == cb) return true;
+  if (why != nullptr) {
+    std::ostringstream os;
+    os << what << " differ: " << ca.size() << " vs " << cb.size() << " records";
+    for (std::size_t i = 0; i < ca.size() && i < cb.size(); ++i) {
+      if (ca[i] != cb[i]) {
+        os << "; first divergence \"" << ca[i] << "\" vs \"" << cb[i] << "\"";
+        break;
+      }
+    }
+    *why = os.str();
+  }
+  return false;
+}
+
+}  // namespace
+
+bool graph_equivalent(const Trace& a, const Trace& b, std::string* why) {
+  if (a.num_shards != b.num_shards) {
+    if (why != nullptr) {
+      *why = "shard counts differ: " + std::to_string(a.num_shards) + " vs " +
+             std::to_string(b.num_shards);
+    }
+    return false;
+  }
+  return section_equal(a.ops, b.ops, canon_op, "op streams", why) &&
+         section_equal(a.tasks, b.tasks, canon_task, "realized tasks", why) &&
+         section_equal(a.coarse_deps, b.coarse_deps, canon_dep, "coarse deps", why) &&
+         section_equal(a.edges, b.edges, canon_edge, "dependence edges", why);
+}
+
 }  // namespace dcr::spy

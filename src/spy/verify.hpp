@@ -95,4 +95,14 @@ struct LintResult {
 
 LintResult lint_control_determinism(const Trace& trace);
 
+// Structural equivalence of two traces' realized task graphs: same operation
+// stream (id, kind, fence sources), same realized tasks (op, point, shard,
+// concrete accesses), same coarse dependences and elision decisions, and the
+// same merged dependence edges.  Timing and call hashes are ignored.  This is
+// the SDC replication audit: a replication-on run must be graph-equivalent to
+// a replication-off run — replicas are shadow executions with no task-graph
+// footprint — even when injected corruptions were detected and healed.
+// Returns false and describes the first difference in `*why` (if non-null).
+bool graph_equivalent(const Trace& a, const Trace& b, std::string* why = nullptr);
+
 }  // namespace dcr::spy

@@ -1,0 +1,426 @@
+// SDC-resilient selective task replication (src/dcr/replicate, sim/fault SDC
+// injector, common/crc32c).
+//
+// Units: CRC32C vectors and bit-exact double digests, control-taint
+// registration/propagation, the seeded value-corruption injector
+// (determinism, rate gating, class weights, sign/finiteness preservation),
+// and the executor's configuration DCR_CHECKs.
+//
+// End-to-end on the stencil-with-residual (the control-feeding future chain):
+// selective replication scope, detection + healing ledgers, stale-quorum
+// audit, replica placement across a crashed shard, retry-budget exhaustion
+// into graceful abort, corruption-sourced failover, and spy-verified
+// task-graph equivalence between replicated and unreplicated runs.  Plus a
+// 100-seed SDC on/off fuzz sweep (labelled fuzz; the rest runs in
+// check-fast).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "apps/stencil.hpp"
+#include "common/crc32c.hpp"
+#include "dcr/replicate.hpp"
+#include "dcr/runtime.hpp"
+#include "dcr_fuzz_programs.hpp"
+#include "sim/fault.hpp"
+#include "sim/machine.hpp"
+#include "spy/verify.hpp"
+
+namespace dcr::core {
+namespace {
+
+using apps::StencilConfig;
+using apps::make_stencil_app;
+using apps::register_stencil_functions;
+
+sim::MachineConfig cluster(std::size_t nodes) {
+  return {.num_nodes = nodes,
+          .compute_procs_per_node = 1,
+          .network = {.alpha = us(1), .ns_per_byte = 0.1, .local_latency = ns(50)}};
+}
+
+constexpr std::size_t kNodes = 8;
+constexpr std::size_t kTiles = 16;
+constexpr std::size_t kSteps = 5;
+
+StencilConfig residual_stencil() {
+  return {.cells_per_tile = 128,
+          .tiles = kTiles,
+          .steps = kSteps,
+          .use_trace = true,
+          .residual_every = 1};
+}
+
+struct RunOut {
+  DcrStats stats;
+  spy::Trace trace;
+  std::uint64_t in_flight = ~0ull;
+  std::uint64_t prof_replicas_issued = 0;
+};
+
+RunOut run_residual(std::size_t nodes, DcrConfig cfg, double sdc_rate,
+                    std::uint64_t seed, bool record_trace = false,
+                    sim::FaultConfig extra = {}) {
+  sim::Machine machine(cluster(nodes));
+  extra.seed = seed;
+  extra.sdc.rate = sdc_rate;
+  sim::FaultPlan plan(extra);
+  const bool with_plan = sdc_rate > 0.0 || !extra.crashes.empty();
+  if (with_plan) machine.install_faults(plan);
+  FunctionRegistry functions;
+  const auto fns = register_stencil_functions(functions, 1.0);
+  cfg.record_trace = cfg.record_trace || record_trace;
+  DcrRuntime rt(machine, functions, cfg);
+  RunOut out;
+  out.stats = rt.execute(make_stencil_app(residual_stencil(), fns));
+  if (rt.trace() != nullptr) out.trace = *rt.trace();
+  if (rt.replicator() != nullptr) out.in_flight = rt.replicator()->in_flight();
+  out.prof_replicas_issued =
+      rt.profiler().global().get(prof::GlobalCounter::ReplicasIssued);
+  return out;
+}
+
+DcrConfig sdc_config(bool replicate) {
+  DcrConfig cfg;
+  cfg.sdc_replication = replicate;
+  return cfg;
+}
+
+// --------------------------------------------------------------- crc32c
+
+TEST(Crc32c, KnownVector) {
+  // The canonical CRC32C check value (iSCSI, RFC 3720 appendix B.4).
+  EXPECT_EQ(crc32c("123456789", 9), 0xE3069283u);
+}
+
+TEST(Crc32c, IncrementalChaining) {
+  const std::uint32_t whole = crc32c("123456789", 9);
+  const std::uint32_t part = crc32c("456789", 6, crc32c("123", 3));
+  EXPECT_EQ(whole, part);
+}
+
+TEST(Crc32c, DoubleDigestIsBitExact) {
+  EXPECT_NE(crc32c_double(0.0), crc32c_double(-0.0));
+  EXPECT_NE(crc32c_double(1.0), crc32c_double(std::nextafter(1.0, 2.0)));
+  EXPECT_EQ(crc32c_double(3.25), crc32c_double(3.25));
+  const double nan1 = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(crc32c_double(nan1), crc32c_double(nan1));
+}
+
+// ---------------------------------------------------------------- taint
+
+TEST(TaintTracker, SingleFutureTaintsProducer) {
+  TaintTracker t;
+  t.note_future(/*future=*/7, /*producer=*/3);
+  EXPECT_FALSE(t.op_tainted(3));
+  const auto newly = t.taint_future(7);
+  ASSERT_EQ(newly.size(), 1u);
+  EXPECT_EQ(newly[0], 3u);
+  EXPECT_TRUE(t.op_tainted(3));
+  // Re-observation is idempotent.
+  EXPECT_TRUE(t.taint_future(7).empty());
+  EXPECT_EQ(t.tainted_ops(), 1u);
+  EXPECT_EQ(t.tainted_futures(), 1u);
+}
+
+TEST(TaintTracker, ReduceTaintsTransitively) {
+  TaintTracker t;
+  t.note_future_map(/*fm=*/11, /*index op=*/4);
+  t.note_reduce(/*future=*/9, /*reduce op=*/5, /*fm=*/11);
+  const auto newly = t.taint_future(9);
+  // Both the reduce op and the index launch feeding it are tainted: the
+  // corruption strikes the point tasks, not the fold.
+  EXPECT_EQ(newly.size(), 2u);
+  EXPECT_TRUE(t.op_tainted(5));
+  EXPECT_TRUE(t.op_tainted(4));
+}
+
+TEST(TaintTracker, UnknownFutureTaintsNothing) {
+  TaintTracker t;
+  EXPECT_TRUE(t.taint_future(99).empty());
+  EXPECT_EQ(t.tainted_ops(), 0u);
+}
+
+// ------------------------------------------------------------- injector
+
+TEST(SdcInjector, RateZeroNeverCorrupts) {
+  sim::FaultPlan plan({.seed = 5});
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(plan.corrupt_value(i, 1.5).corrupted);
+  }
+  EXPECT_EQ(plan.stats().sdc_injected, 0u);
+}
+
+TEST(SdcInjector, DeterministicPerInstance) {
+  sim::FaultConfig fc{.seed = 17};
+  fc.sdc.rate = 0.5;
+  sim::FaultPlan a(fc), b(fc);
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    const auto fa = a.corrupt_value(i, 2.75);
+    const auto fb = b.corrupt_value(i, 2.75);
+    EXPECT_EQ(fa.corrupted, fb.corrupted) << i;
+    EXPECT_EQ(fa.value, fb.value) << i;
+  }
+}
+
+TEST(SdcInjector, EveryCorruptionIsDigestVisibleAndSignPreserving) {
+  sim::FaultConfig fc{.seed = 23};
+  fc.sdc.rate = 0.9;
+  sim::FaultPlan plan(fc);
+  std::uint64_t corrupted = 0;
+  for (std::uint64_t i = 0; i < 512; ++i) {
+    const double v = 0.125 * static_cast<double>(i + 1);
+    const auto fate = plan.corrupt_value(i, v);
+    if (!fate.corrupted) continue;
+    ++corrupted;
+    EXPECT_NE(crc32c_double(fate.value), crc32c_double(v)) << i;
+    EXPECT_TRUE(std::isfinite(fate.value)) << i;
+    EXPECT_GT(fate.value, 0.0) << i;  // mantissa-only: sign never flips
+  }
+  EXPECT_GT(corrupted, 400u);
+  EXPECT_EQ(plan.stats().sdc_injected, corrupted);
+  EXPECT_EQ(plan.stats().sdc_bitflips + plan.stats().sdc_perturbations, corrupted);
+}
+
+TEST(SdcInjector, ClassWeightZeroShieldsTaskClass) {
+  sim::FaultConfig fc{.seed = 29};
+  fc.sdc.rate = 0.9;
+  sim::FaultPlan plan(fc);
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    EXPECT_FALSE(plan.corrupt_value(i, 1.0, /*class_weight=*/0.0).corrupted);
+  }
+}
+
+// ------------------------------------------------- executor config checks
+
+using SdcConfigDeath = ::testing::Test;
+
+TEST(SdcConfigDeath, RejectsSingleExecution) {
+  DcrConfig cfg = sdc_config(true);
+  cfg.sdc_replicas = 1;
+  EXPECT_DEATH(run_residual(kNodes, cfg, 0.0, 0), "replication needs >= 2");
+}
+
+TEST(SdcConfigDeath, RejectsOneVoteQuorum) {
+  DcrConfig cfg = sdc_config(true);
+  cfg.sdc_quorum = 1;
+  EXPECT_DEATH(run_residual(kNodes, cfg, 0.0, 0), "1-vote quorum");
+}
+
+TEST(SdcConfigDeath, RejectsUnreachableQuorum) {
+  DcrConfig cfg = sdc_config(true);
+  cfg.sdc_replicas = 2;
+  cfg.sdc_quorum = 4;
+  cfg.sdc_retry_budget = 1;
+  EXPECT_DEATH(run_residual(kNodes, cfg, 0.0, 0), "unreachable");
+}
+
+// ------------------------------------------------------------ end-to-end
+
+TEST(SdcReplication, ReplicatesOnlyTheControlTaintedChain) {
+  const RunOut r = run_residual(kNodes, sdc_config(true), 0.0, 0);
+  ASSERT_TRUE(r.stats.completed) << r.stats.abort_message;
+  // Per step: the residual index launch + the reduce op are tainted; the
+  // add_one/mul_two/stencil bulk is not replicated.
+  EXPECT_EQ(r.stats.sdc_tainted_ops, 2 * kSteps);
+  EXPECT_EQ(r.stats.sdc_tainted_futures, kSteps);
+  EXPECT_EQ(r.stats.sdc_tickets, kSteps * kTiles);
+  EXPECT_EQ(r.stats.sdc_replicas_issued, kSteps * kTiles);  // replicas = 2
+  EXPECT_EQ(r.stats.sdc_corruptions_injected, 0u);
+  EXPECT_EQ(r.stats.sdc_corruptions_detected, 0u);
+  EXPECT_EQ(r.stats.sdc_corruptions_healed, 0u);
+}
+
+TEST(SdcReplication, LedgerDrainsAndMirrorsProf) {
+  const RunOut r = run_residual(kNodes, sdc_config(true), 0.03, 0xA11CE);
+  ASSERT_TRUE(r.stats.completed) << r.stats.abort_message;
+  // Replication ledger invariant: every issued replica is accounted as
+  // compared or lost, nothing in flight once the calendar drains.
+  EXPECT_EQ(r.in_flight, 0u);
+  EXPECT_EQ(r.stats.sdc_replicas_issued,
+            r.stats.sdc_replicas_compared + r.stats.sdc_replicas_lost);
+  EXPECT_EQ(r.prof_replicas_issued, r.stats.sdc_replicas_issued);
+}
+
+TEST(SdcReplication, DetectsAndHealsEveryInjectedCorruption) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const RunOut r = run_residual(kNodes, sdc_config(true), 0.05, seed);
+    ASSERT_TRUE(r.stats.completed) << "seed " << seed << ": "
+                                   << r.stats.abort_message;
+    EXPECT_FALSE(r.stats.determinism_violation) << seed;
+    EXPECT_GT(r.stats.sdc_corruptions_injected, 0u) << seed;
+    // No message loss in this plan: detection is exact, not just >= 99%.
+    EXPECT_EQ(r.stats.sdc_corruptions_detected, r.stats.sdc_corruptions_injected)
+        << seed;
+    EXPECT_GT(r.stats.sdc_corruptions_healed, 0u) << seed;
+    EXPECT_LE(r.stats.sdc_corruptions_healed, r.stats.sdc_tickets) << seed;
+  }
+}
+
+TEST(SdcReplication, UnreplicatedCorruptionIsSilentAndTimingInvisible) {
+  // Replication off + SDC plan installed: values are corrupted silently —
+  // that is the hazard.  Nothing detects them, the taint analysis (always on)
+  // still sees the control chain, and the corruption has zero timing
+  // footprint: two seeds with different corruption patterns run to the same
+  // virtual makespan.
+  const RunOut a = run_residual(kNodes, sdc_config(false), 0.05, 9);
+  const RunOut b = run_residual(kNodes, sdc_config(false), 0.05, 10);
+  ASSERT_TRUE(a.stats.completed);
+  ASSERT_TRUE(b.stats.completed);
+  EXPECT_EQ(a.stats.makespan, b.stats.makespan);
+  EXPECT_EQ(a.stats.sdc_tickets, 0u);
+  EXPECT_EQ(a.stats.sdc_tainted_ops, 2 * kSteps);
+  EXPECT_GT(a.stats.sdc_corruptions_injected, 0u);
+  EXPECT_EQ(a.stats.sdc_corruptions_detected, 0u);  // nobody watched
+}
+
+TEST(SdcReplication, StaleVotesAreAuditedNotCounted) {
+  // replicas = 3, quorum = 2: the primary plus the first replica ballot
+  // settle each ticket; the second replica's ballot lands stale.  The ledger
+  // still drains, and stale clean ballots detect nothing.
+  DcrConfig cfg = sdc_config(true);
+  cfg.sdc_replicas = 3;
+  cfg.sdc_quorum = 2;
+  const RunOut r = run_residual(kNodes, cfg, 0.0, 0);
+  ASSERT_TRUE(r.stats.completed) << r.stats.abort_message;
+  EXPECT_EQ(r.stats.sdc_replicas_issued, 2 * kSteps * kTiles);
+  EXPECT_GT(r.stats.sdc_stale_votes, 0u);
+  EXPECT_EQ(r.in_flight, 0u);
+  EXPECT_EQ(r.stats.sdc_replicas_issued,
+            r.stats.sdc_replicas_compared + r.stats.sdc_replicas_lost);
+  EXPECT_EQ(r.stats.sdc_corruptions_detected, 0u);
+}
+
+TEST(SdcReplication, ReplicaOnCrashedShardSurfacesAsLossNotHang) {
+  // Crash one node mid-run while replication is on: replicas placed on (or
+  // shipping digests through) the dead node surface as lost ballots and the
+  // quorum re-executes elsewhere; recovery restores the shard and the run
+  // completes with a drained ledger.
+  const RunOut probe = run_residual(kNodes, sdc_config(true), 0.0, 0);
+  ASSERT_TRUE(probe.stats.completed);
+  sim::FaultConfig fc;
+  fc.crashes.push_back({NodeId(1), probe.stats.makespan / 2});
+  const RunOut r =
+      run_residual(kNodes, sdc_config(true), 0.01, 0xC4A5, false, fc);
+  ASSERT_TRUE(r.stats.completed) << r.stats.abort_message;
+  ASSERT_EQ(r.stats.failures.size(), 1u);
+  EXPECT_EQ(r.in_flight, 0u);
+  EXPECT_EQ(r.stats.sdc_replicas_issued,
+            r.stats.sdc_replicas_compared + r.stats.sdc_replicas_lost);
+}
+
+TEST(SdcReplication, ExhaustedRetryBudgetAbortsGracefully) {
+  DcrConfig cfg = sdc_config(true);
+  cfg.sdc_retry_budget = 0;  // first disagreement has nowhere to go
+  const RunOut r = run_residual(kNodes, cfg, 0.5, 0xBAD);
+  EXPECT_FALSE(r.stats.completed);
+  EXPECT_NE(r.stats.abort_message.find("SDC quorum unresolved"), std::string::npos)
+      << r.stats.abort_message;
+}
+
+TEST(SdcReplication, RepeatOffenderShardFailsOver) {
+  DcrConfig cfg = sdc_config(true);
+  cfg.sdc_suspect_threshold = 2;  // two out-voted ballots condemn a shard
+  const RunOut r = run_residual(kNodes, cfg, 0.2, 0xF01D);
+  ASSERT_TRUE(r.stats.completed) << r.stats.abort_message;
+  EXPECT_GT(r.stats.sdc_failovers, 0u);
+  EXPECT_GE(r.stats.failures.size(), 1u);  // the condemned shard was restarted
+}
+
+// ------------------------------------------------------- spy equivalence
+
+TEST(SdcSpy, ReplicatedRunsRealizeTheUnreplicatedTaskGraph) {
+  const RunOut off = run_residual(kNodes, sdc_config(false), 0.0, 0, true);
+  const RunOut on_clean = run_residual(kNodes, sdc_config(true), 0.0, 0, true);
+  const RunOut on_healed = run_residual(kNodes, sdc_config(true), 0.08, 5, true);
+  ASSERT_TRUE(off.stats.completed && on_clean.stats.completed &&
+              on_healed.stats.completed);
+  ASSERT_GT(on_healed.stats.sdc_corruptions_healed, 0u);
+  std::string why;
+  EXPECT_TRUE(spy::graph_equivalent(off.trace, on_clean.trace, &why)) << why;
+  EXPECT_TRUE(spy::graph_equivalent(off.trace, on_healed.trace, &why)) << why;
+}
+
+TEST(SdcSpy, GraphEquivalenceDetectsDifferentPrograms) {
+  const RunOut a = run_residual(kNodes, sdc_config(false), 0.0, 0, true);
+  sim::Machine machine(cluster(kNodes));
+  FunctionRegistry functions;
+  const auto fns = register_stencil_functions(functions, 1.0);
+  DcrConfig cfg;
+  cfg.record_trace = true;
+  DcrRuntime rt(machine, functions, cfg);
+  StencilConfig scfg = residual_stencil();
+  scfg.steps = kSteps - 1;  // one step fewer: structurally different graph
+  const DcrStats stats = rt.execute(make_stencil_app(scfg, fns));
+  ASSERT_TRUE(stats.completed);
+  std::string why;
+  EXPECT_FALSE(spy::graph_equivalent(a.trace, *rt.trace(), &why));
+  EXPECT_FALSE(why.empty());
+}
+
+// ------------------------------------------------------ SDC on/off sweep
+
+// 100 seeded injection plans over the traced stencil-with-residual.  Each
+// seed runs replication-off (the silent-corruption hazard, untouched
+// behavior) and replication-on (corruptions detected and healed, ledger
+// drained) and proves the two realize the same task graph.
+//
+// Detection is gated at the >= 99% acceptance bar *in aggregate*, not at
+// exact equality per seed: with probability ~(rate^2)/52 per ticket two
+// executions suffer the same mantissa bit-flip, agree on the wrong value,
+// and out-vote the truth — digest voting is blind to identically-corrupted
+// quorums (the classic NMR limit; vanishingly rare for real 64-bit SDC,
+// amplified here by the injector's single-bit model).  Each such event
+// hides at most 2 corruptions, so per seed the shortfall stays tiny.
+TEST(SdcFuzz, HundredSeedOnOffSweepDetectsHealsAndPreservesTheGraph) {
+  std::uint64_t injected_total = 0, detected_total = 0, healed_total = 0;
+  for (std::uint64_t index = 0; index < 100; ++index) {
+    const std::uint64_t seed = fuzz::seed_for_label("sdc", index);
+    const double rate = 0.01 + 0.04 * static_cast<double>(index % 5);
+
+    const RunOut off = run_residual(kNodes, sdc_config(false), rate, seed, true);
+    ASSERT_TRUE(off.stats.completed) << "seed " << index << ": "
+                                     << off.stats.abort_message;
+    EXPECT_EQ(off.stats.sdc_corruptions_detected, 0u);
+
+    DcrConfig on_cfg = sdc_config(true);
+    on_cfg.sdc_retry_budget = 8;  // survive 0.17-rate pileups on one ticket
+    const RunOut on = run_residual(kNodes, on_cfg, rate, seed, true);
+    if (!on.stats.completed) {
+      // The one acceptable non-completion: every re-execution round kept
+      // disagreeing and the runtime refused the unverifiable result loudly.
+      // Detection accounting excludes aborted tickets, so skip this seed.
+      EXPECT_NE(on.stats.abort_message.find("SDC quorum unresolved"),
+                std::string::npos)
+          << "seed " << index << ": " << on.stats.abort_message;
+      continue;
+    }
+    EXPECT_FALSE(on.stats.determinism_violation) << index;
+    // No message loss in these plans: every shortfall is a same-digest
+    // collision, each hiding at most 2 corruptions.
+    EXPECT_GE(on.stats.sdc_corruptions_detected + 6,
+              on.stats.sdc_corruptions_injected)
+        << "seed " << index << " rate " << rate;
+    EXPECT_EQ(on.in_flight, 0u) << index;
+    EXPECT_EQ(on.stats.sdc_replicas_issued,
+              on.stats.sdc_replicas_compared + on.stats.sdc_replicas_lost)
+        << index;
+    injected_total += on.stats.sdc_corruptions_injected;
+    detected_total += on.stats.sdc_corruptions_detected;
+    healed_total += on.stats.sdc_corruptions_healed;
+    std::string why;
+    EXPECT_TRUE(spy::graph_equivalent(off.trace, on.trace, &why))
+        << "seed " << index << ": " << why;
+  }
+  ASSERT_GT(injected_total, 0u);
+  EXPECT_GE(static_cast<double>(detected_total),
+            0.99 * static_cast<double>(injected_total))
+      << detected_total << " / " << injected_total;
+  EXPECT_GT(healed_total, 0u);
+}
+
+}  // namespace
+}  // namespace dcr::core

@@ -115,14 +115,26 @@ bool cross_check(const core::DcrRuntime& rt, std::ostream& os) {
     (d.elided ? spy_elided : spy_issued)++;
   }
   const prof::Counters& g = rt.profiler().global();
-  const std::uint64_t issued = g.get(prof::GlobalCounter::FencesIssued);
-  const std::uint64_t elided = g.get(prof::GlobalCounter::FencesElided);
-  const std::uint64_t decisions = g.get(prof::GlobalCounter::FenceDecisions);
+  // Corruption healing re-issues a traced op's cached fence decisions into
+  // the prof ledger (the re-replayed tail re-decides them) without appending
+  // spy records — the spy trace stays the ground-truth *task graph*, which a
+  // heal by design does not change.  Subtract the re-issued share before
+  // comparing, and surface it so a reconciliation under SDC is auditable.
+  const std::uint64_t reissued_f = g.get(prof::GlobalCounter::SdcReissuedFences);
+  const std::uint64_t reissued_e = g.get(prof::GlobalCounter::SdcReissuedElisions);
+  const std::uint64_t reissued_d = g.get(prof::GlobalCounter::SdcReissuedDecisions);
+  const std::uint64_t issued = g.get(prof::GlobalCounter::FencesIssued) - reissued_f;
+  const std::uint64_t elided = g.get(prof::GlobalCounter::FencesElided) - reissued_e;
+  const std::uint64_t decisions = g.get(prof::GlobalCounter::FenceDecisions) - reissued_d;
   const bool ok = issued == spy_issued && elided == spy_elided &&
                   decisions == spy_issued + spy_elided;
   os << "cross-check vs dcr-spy trace: prof issued=" << issued << " elided=" << elided
      << " decisions=" << decisions << " | spy issued=" << spy_issued
      << " elided=" << spy_elided << " -> " << (ok ? "OK" : "MISMATCH") << "\n";
+  if (reissued_d > 0) {
+    os << "  (excluded " << reissued_d << " decisions re-issued by SDC healing: "
+       << reissued_f << " fences, " << reissued_e << " elisions)\n";
+  }
   return ok;
 }
 

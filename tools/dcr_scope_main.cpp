@@ -26,6 +26,15 @@
 //       Regression watchdog: diff a live BENCH-style snapshot against a
 //       committed baseline, record-by-record; exit nonzero on any relative
 //       change beyond the threshold (default 5%).
+//   dcr-scope quorum [--shards N] [--steps N] [--rate R] [--seed S]
+//                    [--replicas K] [--quorum Q] [--top K] [--json FILE]
+//       Run the traced stencil with a periodic control-feeding residual
+//       reduction, SDC injection at rate R on residual tasks, and selective
+//       task replication on — then print the quorum report: replica
+//       disagreement counts, the re-execution latency histogram, and the
+//       shard ranking of corruption sources.  Exit 0 iff the run completes
+//       and every injected corruption on the control-feeding chain was
+//       detected and healed.
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -56,7 +65,9 @@ int usage() {
       << "  dcr-scope watch <stencil|circuit|pennant> [--shards N] [--steps N]"
          " [--interval-us U] [--out FILE] [--port P]\n"
       << "  dcr-scope watch --check-baseline BASE.json --live LIVE.json"
-         " [--threshold PCT] [--include-wall]\n";
+         " [--threshold PCT] [--include-wall]\n"
+      << "  dcr-scope quorum [--shards N] [--steps N] [--rate R] [--seed S]"
+         " [--replicas K] [--quorum Q] [--top K] [--json FILE]\n";
   return 2;
 }
 
@@ -76,6 +87,11 @@ struct RunOptions {
   std::string live_path;
   double threshold_pct = 5.0;
   bool include_wall = false;
+  // Quorum mode (SDC replication).
+  double sdc_rate = 0.05;
+  std::uint64_t seed = 42;
+  std::uint32_t replicas = 2;
+  std::uint32_t quorum = 2;
 };
 
 bool parse_run_options(int argc, char** argv, RunOptions* opt) {
@@ -111,6 +127,14 @@ bool parse_run_options(int argc, char** argv, RunOptions* opt) {
       opt->threshold_pct = std::stod(argv[++i]);
     } else if (std::strcmp(argv[i], "--include-wall") == 0) {
       opt->include_wall = true;
+    } else if (std::strcmp(argv[i], "--rate") == 0 && i + 1 < argc) {
+      opt->sdc_rate = std::stod(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      opt->seed = std::stoull(argv[++i]);
+    } else if (std::strcmp(argv[i], "--replicas") == 0 && i + 1 < argc) {
+      opt->replicas = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--quorum") == 0 && i + 1 < argc) {
+      opt->quorum = static_cast<std::uint32_t>(std::stoul(argv[++i]));
     } else {
       return false;
     }
@@ -315,6 +339,70 @@ int cmd_watch(int argc, char** argv) {
   return stats.completed ? 0 : 1;
 }
 
+// The acceptance scenario: the traced stencil with a per-step control-feeding
+// residual reduction, SDC injection on the residual tasks, and selective
+// replication verifying every control-feeding value by quorum.
+int cmd_quorum(int argc, char** argv) {
+  RunOptions opt;
+  if (!parse_run_options(argc, argv, &opt)) return usage();
+  if (!opt.app.empty() && opt.app != "stencil") {
+    std::cerr << "dcr-scope: quorum runs the stencil only\n";
+    return 2;
+  }
+
+  sim::Machine machine(machine_config(opt));
+  sim::FaultConfig fc;
+  fc.seed = opt.seed;
+  fc.sdc.rate = opt.sdc_rate;
+  sim::FaultPlan faults(fc);
+  machine.install_faults(faults);
+
+  core::FunctionRegistry functions;
+  const auto fns = apps::register_stencil_functions(functions, 1.0);
+  const core::ApplicationMain main_fn =
+      apps::make_stencil_app({.cells_per_tile = 128,
+                              .tiles = 2 * opt.shards,
+                              .steps = opt.steps,
+                              .use_trace = true,
+                              .residual_every = 1},
+                             fns);
+
+  core::DcrConfig cfg;
+  cfg.profile = true;
+  cfg.scope = true;
+  cfg.sdc_replication = true;
+  cfg.sdc_replicas = opt.replicas;
+  cfg.sdc_quorum = opt.quorum;
+  core::DcrRuntime rt(machine, functions, cfg);
+  const core::DcrStats stats = rt.execute(main_fn);
+
+  const scope::QuorumReport report = scope::build_quorum(*rt.scope(), opt.top_k);
+  scope::render_quorum(std::cout, report);
+  std::cout << "\ninjection: rate " << opt.sdc_rate << ", seed " << opt.seed
+            << " -> " << stats.sdc_corruptions_injected << " injected, "
+            << stats.sdc_corruptions_detected << " detected, "
+            << stats.sdc_corruptions_healed << " quorums healed\n"
+            << "replication: " << stats.sdc_tainted_ops << " tainted ops, "
+            << stats.sdc_tickets << " tickets, " << stats.sdc_replicas_issued
+            << " replicas issued\nmakespan: "
+            << static_cast<double>(stats.makespan) / 1e6 << " ms\n";
+
+  if (!opt.json_path.empty()) {
+    std::ofstream out(opt.json_path);
+    if (!out) {
+      std::cerr << "dcr-scope: cannot write " << opt.json_path << "\n";
+      return 2;
+    }
+    scope::write_quorum_json(out, report);
+    std::cout << "wrote quorum report -> " << opt.json_path << "\n";
+  }
+  if (!stats.completed) {
+    std::cerr << "dcr-scope: execution did not complete\n";
+    return 1;
+  }
+  return stats.sdc_corruptions_detected == stats.sdc_corruptions_injected ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -323,5 +411,6 @@ int main(int argc, char** argv) {
   if (cmd == "blame") return cmd_blame(argc - 2, argv + 2);
   if (cmd == "skew") return cmd_skew(argc - 2, argv + 2);
   if (cmd == "watch") return cmd_watch(argc - 2, argv + 2);
+  if (cmd == "quorum") return cmd_quorum(argc - 2, argv + 2);
   return usage();
 }
