@@ -682,6 +682,23 @@ bool DcrRuntime::dependence_is_shard_local(const ReqSummary& prev,
   return summaries_shard_local(forest_, prev, next);
 }
 
+namespace {
+
+// Adapter into the static prover's layer-neutral launch view.
+statics::LaunchReq to_launch_req(const ReqSummary& r) {
+  statics::LaunchReq q;
+  q.is_index = r.is_index;
+  q.partition = r.partition;
+  q.projection = r.projection;
+  q.domain = r.domain;
+  q.sharding = r.sharding;
+  q.privilege = r.privilege;
+  q.redop = r.redop;
+  return q;
+}
+
+}  // namespace
+
 void DcrRuntime::apply_epoch_update(OpId op, FieldId f, const ReqSummary& r) {
   CoarseFieldState& fs = coarse_state_[{r.tree, f}];
   switch (r.privilege) {
@@ -734,6 +751,27 @@ const DcrRuntime::CoarseDecision& DcrRuntime::coarse_decision(const OpRecord& op
   } else {
     std::vector<ReqSummary> reqs = summarize(op);
     dec.num_reqs = reqs.size();
+    // Static interference analysis (src/statics): resolve every requirement
+    // and classify every discovered dependence.  The verdicts never alter a
+    // dependence/fence decision below — a fully proven launch only licenses
+    // the fine stage to skip per-point enumeration (process_op), so runs are
+    // decision- and graph-identical statics on/off.
+    const bool statics_candidate =
+        config_.static_analysis && std::holds_alternative<IndexPayload>(op.payload);
+    bool static_ok = statics_candidate;
+    for (const ReqSummary& r : reqs) {
+      if (!static_ok) break;
+      if (statics_prover_.resolve(to_launch_req(r)) == statics::Verdict::Unknown) {
+        static_ok = false;
+      }
+    }
+    if (config_.static_analysis) {
+      // Launch-site ledger for the offline lint (`dcr-spy statics`).
+      for (const ReqSummary& r : reqs) {
+        if (!r.is_index || !r.partition.valid()) continue;
+        statics_ledger_.note(r.partition, r.projection, r.domain, r.privilege, r.redop);
+      }
+    }
     for (const ReqSummary& r : reqs) {
       for (FieldId f : r.fields) {
         CoarseFieldState& fs = coarse_state_[{r.tree, f}];
@@ -753,6 +791,11 @@ const DcrRuntime::CoarseDecision& DcrRuntime::coarse_decision(const OpRecord& op
             sources.insert(prev.op);
           }
           dec.dep_records.push_back({prev.op, op.id, r.tree, f, elide});
+          if (static_ok && statics_prover_.classify(to_launch_req(prev.req),
+                                                    to_launch_req(r)) ==
+                               statics::Verdict::Unknown) {
+            static_ok = false;
+          }
         };
         if (fs.last_writer) consider(*fs.last_writer);
         for (const GroupUse& rd : fs.readers_since) consider(rd);
@@ -761,6 +804,17 @@ const DcrRuntime::CoarseDecision& DcrRuntime::coarse_decision(const OpRecord& op
       }
     }
     dec.summaries = std::move(reqs);
+    dec.static_skip = static_ok;
+    if (statics_candidate) {
+      profiler_.global().add(static_ok ? prof::GlobalCounter::StaticLaunchesResolved
+                                       : prof::GlobalCounter::StaticLaunchesUnresolved);
+    }
+    if (dec.static_skip && config_.statics_check) {
+      // Debug oracle: re-derive every proof by concrete point enumeration.
+      for (const ReqSummary& r : dec.summaries) {
+        statics_prover_.oracle_check_launch(to_launch_req(r));
+      }
+    }
   }
   dec.fence_sources.assign(sources.begin(), sources.end());
   stats_.coarse_deps += dec.deps;
@@ -924,6 +978,15 @@ const DcrRuntime::CoarseDecision& DcrRuntime::install_replayed_decision(const Op
   // against those users are what the replay skips.
   for (const ReqSummary& r : dec.summaries) {
     for (FieldId f : r.fields) apply_epoch_update(op.id, f, r);
+  }
+  // Replayed ops already charge the reduced traced costs; a static skip on
+  // top would double-discount, so replays never set it (dec.static_skip stays
+  // false).  The lint ledger still sees the launch sites.
+  if (config_.static_analysis) {
+    for (const ReqSummary& r : dec.summaries) {
+      if (!r.is_index || !r.partition.valid()) continue;
+      statics_ledger_.note(r.partition, r.projection, r.domain, r.privilege, r.redop);
+    }
   }
   stats_.coarse_deps += dec.deps;
   stats_.fences_elided += dec.elided;
@@ -1245,12 +1308,25 @@ void DcrRuntime::process_op(ShardId s, const OpRecord& op) {
              !std::holds_alternative<FencePayload>(op.payload)) {
     owned = (single_op_owner(op.id) == s) ? 1 : 0;
   }
+  // Static skip (src/statics): a launch whose interference the prover fully
+  // resolved needs no per-point fine-stage discrimination — the affine forms
+  // predetermine every point's outcome — so the per-point charge collapses to
+  // zero and the fine stage is O(1).  Replayed ops never carry static_skip
+  // (they already charge the reduced traced costs).
+  const SimTime per_point_cost =
+      op.traced ? config_.traced_fine_cost_per_point : config_.fine_cost_per_point;
+  const bool static_skip = dec.static_skip && !op.traced;
   const SimTime fine_cost =
       (op.traced ? config_.traced_fine_cost_per_op : config_.fine_cost_per_op) +
-      (op.traced ? config_.traced_fine_cost_per_point : config_.fine_cost_per_point) * owned;
+      (static_skip ? 0 : per_point_cost * owned);
   pc.add(op.traced ? prof::Counter::TracedFineOps : prof::Counter::FineOps);
   pc.add(prof::Counter::FineAnalysisNs, fine_cost);
   pc.add(prof::Counter::FinePoints, owned);
+  if (static_skip) {
+    pc.add(prof::Counter::StaticSkipOps);
+    pc.add(prof::Counter::StaticSkipPoints, owned);
+    pc.add(prof::Counter::StaticSkipSavedNs, per_point_cost * owned);
+  }
   pc.observe(prof::Hist::FineStageNs, fine_cost);
   pc.observe(prof::Hist::FinePointsPerOp, owned);
 
@@ -1886,6 +1962,23 @@ DcrStats DcrRuntime::execute(const ApplicationMain& main) {
     stats_.sdc_corruptions_healed = rs.healed;
     stats_.sdc_quorum_rounds = rs.rounds;
     stats_.sdc_stale_votes = rs.stale_votes;
+  }
+
+  // Static interference analysis: mirror the prover's verdict ledger.  The
+  // resolved/unresolved split was charged online in coarse_decision; cache
+  // hits come from the prover itself.
+  {
+    const statics::InterferenceProver::Stats& ps = statics_prover_.stats();
+    stats_.statics_cache_hits = ps.cache_hits;
+    profiler_.global().add(prof::GlobalCounter::StaticProofCacheHits, ps.cache_hits);
+    stats_.statics_resolved_ops =
+        profiler_.global().get(prof::GlobalCounter::StaticLaunchesResolved);
+    stats_.statics_unresolved_ops =
+        profiler_.global().get(prof::GlobalCounter::StaticLaunchesUnresolved);
+    for (std::size_t sh = 0; sh < num_shards(); ++sh) {
+      stats_.statics_skipped_points +=
+          profiler_.shard(static_cast<std::uint32_t>(sh)).get(prof::Counter::StaticSkipPoints);
+    }
   }
 
   // Mirror the end-of-run totals into the profiler's global counter bank so a

@@ -45,6 +45,8 @@
 #include "prof/profiler.hpp"
 #include "runtime/physical.hpp"
 #include "scope/recorder.hpp"
+#include "statics/lint.hpp"
+#include "statics/prover.hpp"
 #include "runtime/region.hpp"
 #include "runtime/task_graph.hpp"
 #include "spy/trace.hpp"
@@ -82,6 +84,17 @@ struct DcrConfig {
   // Ablation: insert a cross-shard fence for every coarse dependence instead
   // of eliding provably shard-local ones (paper §4.1, observation 2).
   bool disable_fence_elision = false;
+
+  // Static interference analysis (src/statics): an index launch whose
+  // requirements all carry affine symbolic projections, and whose coarse
+  // dependences all classify above Unknown, charges O(1) fine-stage cost
+  // instead of enumerating owned points — the dependence decisions themselves
+  // are untouched, so runs are decision- and graph-identical on/off.
+  bool static_analysis = true;
+  // Debug oracle: cross-check every static verdict against the enumerated
+  // per-point computation (DCR_CHECK aborts on disagreement).  Host-side
+  // only; used by tests and the fuzz sweeps.
+  bool statics_check = false;
 
   // Deferred-deletion consensus polling (paper §4.3).
   SimTime deferred_poll_initial = us(10);
@@ -204,6 +217,12 @@ struct DcrStats {
   std::uint64_t sdc_stale_votes = 0;           // ballots ignored after resolution
   std::uint64_t sdc_failovers = 0;     // suspect shards pushed through recovery
   std::uint64_t sdc_late_taints = 0;   // taint arrived after unreplicated launch
+
+  // Static interference analysis (src/statics), populated when static_analysis.
+  std::uint64_t statics_resolved_ops = 0;    // index launches fully proven
+  std::uint64_t statics_unresolved_ops = 0;  // launches with >= 1 Unknown verdict
+  std::uint64_t statics_skipped_points = 0;  // owned points never enumerated (all shards)
+  std::uint64_t statics_cache_hits = 0;      // prover verdicts served from cache
 };
 
 class DcrRuntime {
@@ -222,6 +241,9 @@ class DcrRuntime {
   rt::RegionForest& forest() { return forest_; }
   ShardingRegistry& shardings() { return shardings_; }
   rt::ProjectionRegistry& projections() { return projections_; }
+  // Static interference analysis observability (tests, dcr-spy statics).
+  const statics::InterferenceProver& statics_prover() const { return statics_prover_; }
+  const statics::LaunchLedger& statics_ledger() const { return statics_ledger_; }
 
   // Per-function execution profile: task count and total virtual busy time.
   struct FunctionProfile {
@@ -338,6 +360,10 @@ class DcrRuntime {
     std::vector<spy::CoarseDepRecord> dep_records;
     std::vector<ReqSummary> summaries;
     std::string kind = "?";
+    // Every requirement resolved and every coarse dependence classified by
+    // the static prover: the fine stage charges O(1) instead of O(points).
+    // Never set on replayed ops (those already charge traced costs).
+    bool static_skip = false;
   };
 
   // Per-(tree,field) coarse users, shared by all shards (identical streams).
@@ -509,6 +535,11 @@ class DcrRuntime {
   rt::RegionForest forest_;
   rt::ProjectionRegistry projections_;
   ShardingRegistry shardings_;
+  // Verdict cache keys on forest_.mutation_epoch(), so static proofs survive
+  // template/recovery epoch bumps (they depend only on region geometry).
+  statics::InterferenceProver statics_prover_{forest_, projections_,
+                                              config_.statics_check};
+  statics::LaunchLedger statics_ledger_;
   rt::PhysicalState physical_;
   UserTracker tracker_;
   DeterminismChecker checker_;

@@ -46,6 +46,9 @@ enum class Counter : std::size_t {
   TemplateWindowMisses,  // windows that ran fresh analysis (capture/validate/abort)
   ReplicaTasks,          // duplicate executions this shard ran for other shards
   CorruptionsBlamed,     // ballots from this shard out-voted by a quorum
+  StaticSkipOps,         // fine stages satisfied by a static verdict (O(1) cost)
+  StaticSkipPoints,      // owned points those stages did not enumerate
+  StaticSkipSavedNs,     // per-point fine cost the static verdicts avoided
   kCount
 };
 
@@ -81,6 +84,9 @@ enum class GlobalCounter : std::size_t {
   SdcReissuedDecisions,    // cached fence decisions re-validated after a heal
   SdcReissuedFences,       //   ... of which had been issued fences
   SdcReissuedElisions,     //   ... of which had been elided
+  StaticLaunchesResolved,    // index launches fully proven by the static prover
+  StaticLaunchesUnresolved,  // index launches with >= 1 Unknown verdict
+  StaticProofCacheHits,      // prover verdicts answered from the epoch cache
   kCount
 };
 
@@ -114,6 +120,9 @@ inline const char* name(Counter c) {
     case Counter::TemplateWindowMisses: return "template_window_misses";
     case Counter::ReplicaTasks: return "replica_tasks";
     case Counter::CorruptionsBlamed: return "corruptions_blamed";
+    case Counter::StaticSkipOps: return "static_skip_ops";
+    case Counter::StaticSkipPoints: return "static_skip_points";
+    case Counter::StaticSkipSavedNs: return "static_skip_saved_ns";
     case Counter::kCount: break;
   }
   return "?";
@@ -150,6 +159,9 @@ inline const char* name(GlobalCounter c) {
     case GlobalCounter::SdcReissuedDecisions: return "sdc_reissued_decisions";
     case GlobalCounter::SdcReissuedFences: return "sdc_reissued_fences";
     case GlobalCounter::SdcReissuedElisions: return "sdc_reissued_elisions";
+    case GlobalCounter::StaticLaunchesResolved: return "static_launches_resolved";
+    case GlobalCounter::StaticLaunchesUnresolved: return "static_launches_unresolved";
+    case GlobalCounter::StaticProofCacheHits: return "static_proof_cache_hits";
     case GlobalCounter::kCount: break;
   }
   return "?";
@@ -177,6 +189,7 @@ inline bool is_volatile(Counter c) {
     case Counter::FineAnalysisNs:
     case Counter::FenceWaitNs:
     case Counter::FutureWaitNs:
+    case Counter::StaticSkipSavedNs:  // scales with the tuned per-point cost
       return true;
     default:
       return false;

@@ -69,6 +69,10 @@ class RegionForest {
                              std::int64_t halo = 0);
 
   std::size_t num_subregions(PartitionId p) const;
+  // Total partitions ever created; partition ids are dense below this.  Lets
+  // offline passes (the statics lint) enumerate partitions a program never
+  // launched on.
+  std::size_t num_partitions() const { return partitions_.size(); }
   IndexSpaceId subregion(PartitionId p, std::uint64_t color) const;
   bool is_disjoint(PartitionId p) const;
   IndexSpaceId parent_region(PartitionId p) const;

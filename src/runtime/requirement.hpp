@@ -12,7 +12,9 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "common/check.hpp"
@@ -20,6 +22,7 @@
 #include "runtime/geometry.hpp"
 #include "runtime/privilege.hpp"
 #include "runtime/region.hpp"
+#include "statics/affine.hpp"
 
 namespace dcr::rt {
 
@@ -40,18 +43,41 @@ class ProjectionRegistry {
  public:
   using ProjectionFn =
       std::function<IndexSpaceId(const RegionForest&, PartitionId, const Point&, const Rect&)>;
+  // Declarative form: (point, launch domain) -> color of the target partition.
+  // A projection registered this way gets an opaque fn synthesized from it,
+  // so the symbolic and the opaque forms agree by construction on the colors
+  // the ColorFn produces.
+  using ColorFn = std::function<std::uint64_t(const Point&, const Rect&)>;
 
   ProjectionRegistry() {
     // Projection 0: identity — point i maps to the subregion colored by the
     // linearization of i in the launch domain (the `owned[id(.)]` form).
-    register_projection([](const RegionForest& forest, PartitionId part, const Point& p,
-                           const Rect& domain) {
-      return forest.subregion(part, linearize(domain, p));
-    });
+    // Registered with its symbolic (affine) form, validated at construction.
+    register_projection([](const Point& p, const Rect& domain) { return linearize(domain, p); },
+                        statics::AffineProjection::identity());
   }
 
+  // Opaque registration: no symbolic form, the static prover answers Unknown
+  // for every launch using it and the runtime falls back to per-point fine
+  // analysis.  Always sound.
   ProjectionId register_projection(ProjectionFn fn) {
     fns_.push_back(std::move(fn));
+    syms_.push_back(std::nullopt);
+    return ProjectionId(static_cast<std::uint32_t>(fns_.size() - 1));
+  }
+
+  // Symbolic registration: the affine form is validated against the concrete
+  // color fn by exhaustive comparison over the fixed sample-domain suite; any
+  // mismatch aborts loudly (a wrong symbolic form would let the prover skip
+  // fine analysis that was actually needed).
+  ProjectionId register_projection(ColorFn color, const statics::AffineProjection& sym) {
+    validate_symbolic(color, sym);
+    ColorFn shared = std::move(color);
+    fns_.push_back([shared](const RegionForest& forest, PartitionId part, const Point& p,
+                            const Rect& domain) {
+      return forest.subregion(part, shared(p, domain));
+    });
+    syms_.push_back(sym);
     return ProjectionId(static_cast<std::uint32_t>(fns_.size() - 1));
   }
 
@@ -61,10 +87,37 @@ class ProjectionRegistry {
     return fns_[id.value](forest, part, p, domain);
   }
 
+  // Symbolic form, or nullptr for opaque projections.
+  const statics::AffineProjection* symbolic(ProjectionId id) const {
+    DCR_CHECK(id.value < syms_.size()) << "unknown projection function";
+    return syms_[id.value].has_value() ? &*syms_[id.value] : nullptr;
+  }
+
   static ProjectionId identity() { return ProjectionId(0); }
 
  private:
+  static void validate_symbolic(const ColorFn& color, const statics::AffineProjection& sym) {
+    std::uint64_t compared = 0;
+    for (const Rect& domain : statics::sample_domains()) {
+      for (std::uint64_t idx = 0; idx < domain.volume(); ++idx) {
+        const Point p = delinearize(domain, idx);
+        const auto symbolic_color = statics::eval_color(sym, domain, p);
+        if (!symbolic_color.has_value()) continue;  // sym undefined here: no claim
+        DCR_CHECK(*symbolic_color == color(p, domain))
+            << "symbolic projection mismatch: " << statics::to_string(sym, domain.dim)
+            << " claims color " << *symbolic_color << " but the concrete fn returns "
+            << color(p, domain) << " at linear point " << idx << " of a " << domain.dim
+            << "-d sample domain";
+        ++compared;
+      }
+    }
+    DCR_CHECK(compared > 0)
+        << "symbolic projection " << statics::to_string(sym)
+        << " is undefined on every sample domain; refusing a vacuous registration";
+  }
+
   std::vector<ProjectionFn> fns_;
+  std::vector<std::optional<statics::AffineProjection>> syms_;
 };
 
 struct GroupRequirement {
@@ -118,8 +171,33 @@ struct GroupRequirement {
   }
 };
 
+// On the per-point fine path, so the common cases must not be O(n·m): field
+// ids are small dense integers in practice, so a 64-bit occupancy mask
+// resolves both hit and miss in O(n+m); only ids >= 64 (none today) fall back
+// to the quadratic scan, and then only for the unmasked ids.
 inline bool fields_intersect(const std::vector<FieldId>& a, const std::vector<FieldId>& b) {
+  if (a.empty() || b.empty()) return false;
+  if (a.size() == 1 && b.size() == 1) return a[0] == b[0];
+  std::uint64_t mask_a = 0, mask_b = 0;
+  bool all_small = true;
   for (FieldId fa : a) {
+    if (fa.value < 64) {
+      mask_a |= std::uint64_t{1} << fa.value;
+    } else {
+      all_small = false;
+    }
+  }
+  for (FieldId fb : b) {
+    if (fb.value < 64) {
+      mask_b |= std::uint64_t{1} << fb.value;
+    } else {
+      all_small = false;
+    }
+  }
+  if ((mask_a & mask_b) != 0) return true;
+  if (all_small) return false;
+  for (FieldId fa : a) {
+    if (fa.value < 64) continue;  // misses in the mask are exact
     if (std::find(b.begin(), b.end(), fa) != b.end()) return true;
   }
   return false;

@@ -1,0 +1,302 @@
+// Affine projection IR: closed-form point -> color maps (paper §4 exploits
+// that projection functions are pure; here we additionally give the common
+// ones a *symbolic* form so interference can be proven per launch instead of
+// per point).
+//
+// A symbolic projection maps a launch point p inside a launch domain D to a
+// color of the target partition.  The color grid has the shape of D (the
+// convention the identity projection already uses: color = linearize(D, p)).
+// Per output axis k:
+//
+//     q[k] = wrap_k( scale[k] * (p[source[k]] - D.lo[source[k]]) + shift[k] )
+//
+// where wrap_k reduces modulo extent_k(D) when `wrap` is set (torus neighbor
+// exchange), and otherwise the map is undefined (nullopt) when q[k] falls
+// outside [0, extent_k).  color = linearize over the normalized grid.  This
+// grammar covers the identity, constant shifts (stencil ghost exchanges),
+// transposes (permuted sources), and strided/interleaved maps.
+//
+// Every analysis below is *conservative*: "true" answers are proofs, "false"
+// answers mean "no proof" and the caller must fall back to the dynamic path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstdlib>
+#include <numeric>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "runtime/geometry.hpp"
+
+namespace dcr::statics {
+
+// One output axis of the affine map.
+struct AffineAxis {
+  int source = 0;          // input axis of the launch point
+  std::int64_t scale = 1;  // multiplier on the normalized input coordinate
+  std::int64_t shift = 0;  // additive offset in color-grid coordinates
+  bool wrap = false;       // reduce modulo the color-grid extent (torus)
+
+  friend bool operator==(const AffineAxis&, const AffineAxis&) = default;
+};
+
+struct AffineProjection {
+  std::array<AffineAxis, rt::kMaxDim> axes{};
+
+  friend bool operator==(const AffineProjection&, const AffineProjection&) = default;
+
+  static AffineProjection identity() {
+    AffineProjection a;
+    for (int k = 0; k < rt::kMaxDim; ++k) a.axes[static_cast<std::size_t>(k)].source = k;
+    return a;
+  }
+
+  // p -> p + delta on axis 0 (modular when wrap: ring/torus neighbor).
+  static AffineProjection shift1d(std::int64_t delta, bool wrap = true) {
+    AffineProjection a = identity();
+    a.axes[0].shift = delta;
+    a.axes[0].wrap = wrap;
+    return a;
+  }
+
+  // Per-axis shifts; all axes share the wrap flag.
+  static AffineProjection shifted(const std::array<std::int64_t, rt::kMaxDim>& deltas,
+                                  bool wrap = true) {
+    AffineProjection a = identity();
+    for (std::size_t k = 0; k < rt::kMaxDim; ++k) {
+      a.axes[k].shift = deltas[k];
+      a.axes[k].wrap = wrap;
+    }
+    return a;
+  }
+
+  // (i, j) -> (j, i): only meaningful on 2-D square domains.
+  static AffineProjection transpose2d() {
+    AffineProjection a = identity();
+    a.axes[0].source = 1;
+    a.axes[1].source = 0;
+    return a;
+  }
+
+  // p -> scale*p + shift on axis 0 (interleavings; wrap for modular stride).
+  static AffineProjection strided1d(std::int64_t scale, std::int64_t shift = 0,
+                                    bool wrap = true) {
+    AffineProjection a = identity();
+    a.axes[0].scale = scale;
+    a.axes[0].shift = shift;
+    a.axes[0].wrap = wrap;
+    return a;
+  }
+};
+
+// Evaluate the map at one point.  nullopt when undefined (source axis out of
+// range, or a non-wrapped coordinate escaping the color grid).
+inline std::optional<std::uint64_t> eval_color(const AffineProjection& a,
+                                               const rt::Rect& domain,
+                                               const rt::Point& p) {
+  rt::Point q;
+  q.dim = domain.dim;
+  rt::Rect grid;
+  grid.dim = domain.dim;
+  for (int k = 0; k < domain.dim; ++k) {
+    const auto ik = static_cast<std::size_t>(k);
+    const AffineAxis& ax = a.axes[ik];
+    if (ax.source < 0 || ax.source >= domain.dim) return std::nullopt;
+    const auto is = static_cast<std::size_t>(ax.source);
+    const std::int64_t ext = domain.extent(k);
+    const std::int64_t rel = p.c[is] - domain.lo[is];
+    std::int64_t v = ax.scale * rel + ax.shift;
+    if (ax.wrap) {
+      v %= ext;
+      if (v < 0) v += ext;
+    } else if (v < 0 || v >= ext) {
+      return std::nullopt;
+    }
+    q.c[ik] = v;
+    grid.lo[ik] = 0;
+    grid.hi[ik] = ext - 1;
+  }
+  return rt::linearize(grid, q);
+}
+
+namespace detail {
+
+// Cycle length of x -> scale*x (mod m): m / gcd(scale, m).  gcd(0, m) = m, so
+// a degenerate scale (everything collapses onto `shift`) yields 1.
+inline std::int64_t wrap_cycle(std::int64_t scale, std::int64_t m) {
+  const std::int64_t g = std::gcd(std::abs(scale) % m, m);
+  return m / g;
+}
+
+inline std::int64_t positive_mod(std::int64_t v, std::int64_t m) {
+  v %= m;
+  return v < 0 ? v + m : v;
+}
+
+}  // namespace detail
+
+// Proof that distinct points in `domain` get distinct colors.  Requires the
+// sources to be a permutation of the used axes, then per-axis injectivity:
+// non-wrapped axes need scale != 0; wrapped axes need the input extent to fit
+// inside one cycle of x -> scale*x (mod extent).
+inline bool injective(const AffineProjection& a, const rt::Rect& domain) {
+  if (domain.is_empty() || domain.volume() <= 1) return true;
+  std::array<bool, rt::kMaxDim> used{};
+  for (int k = 0; k < domain.dim; ++k) {
+    const int s = a.axes[static_cast<std::size_t>(k)].source;
+    if (s < 0 || s >= domain.dim || used[static_cast<std::size_t>(s)]) return false;
+    used[static_cast<std::size_t>(s)] = true;
+  }
+  for (int k = 0; k < domain.dim; ++k) {
+    const AffineAxis& ax = a.axes[static_cast<std::size_t>(k)];
+    const std::int64_t ext_src = domain.extent(ax.source);
+    if (ext_src <= 1) continue;  // a single input value is trivially injective
+    if (ax.wrap) {
+      if (ext_src > detail::wrap_cycle(ax.scale, domain.extent(k))) return false;
+    } else {
+      if (ax.scale == 0) return false;
+    }
+  }
+  return true;
+}
+
+// Proof that the map is total on `domain` and lands inside [0, colors): every
+// axis defined everywhere (wrap always is; non-wrapped endpoints in range) and
+// the linearized grid fits the partition's color space.
+inline bool range_ok(const AffineProjection& a, const rt::Rect& domain,
+                     std::uint64_t colors) {
+  if (domain.is_empty()) return true;
+  for (int k = 0; k < domain.dim; ++k) {
+    const AffineAxis& ax = a.axes[static_cast<std::size_t>(k)];
+    if (ax.source < 0 || ax.source >= domain.dim) return false;
+    if (ax.wrap) continue;
+    const std::int64_t ext_k = domain.extent(k);
+    const std::int64_t e0 = ax.shift;
+    const std::int64_t e1 = ax.scale * (domain.extent(ax.source) - 1) + ax.shift;
+    if (std::min(e0, e1) < 0 || std::max(e0, e1) >= ext_k) return false;
+  }
+  return domain.volume() <= colors;
+}
+
+// Number of distinct colors the launch touches (exact per axis when sources
+// form a permutation; used by the dead-partition / over-claim lint).
+inline std::uint64_t colors_covered(const AffineProjection& a, const rt::Rect& domain) {
+  if (domain.is_empty()) return 0;
+  std::uint64_t covered = 1;
+  for (int k = 0; k < domain.dim; ++k) {
+    const AffineAxis& ax = a.axes[static_cast<std::size_t>(k)];
+    if (ax.source < 0 || ax.source >= domain.dim) return 0;
+    const std::int64_t ext_src = domain.extent(ax.source);
+    std::int64_t distinct = 1;
+    if (ax.wrap) {
+      distinct = std::min(ext_src, detail::wrap_cycle(ax.scale, domain.extent(k)));
+    } else {
+      distinct = ax.scale == 0 ? 1 : ext_src;
+    }
+    covered *= static_cast<std::uint64_t>(distinct);
+  }
+  return covered;
+}
+
+// Proof that two launches over the SAME partition touch disjoint color sets.
+// Sound on a shared color grid only, so the domains must agree per-axis in
+// extent (shape), though not in offset.  An axis proves the pair disjoint if
+// its two value sets cannot intersect — by interval separation (non-wrapped)
+// or by residue separation: each side's values lie in shift + r*Z where r is
+// |scale| (non-wrapped) or gcd(|scale|, extent) (wrapped, which also absorbs
+// the modulus), so incompatible residues mod gcd(r_a, r_b) are disjoint.
+// This is what proves red/black-style modular interleavings apart.
+inline bool ranges_disjoint(const AffineProjection& a, const rt::Rect& dom_a,
+                            const AffineProjection& b, const rt::Rect& dom_b) {
+  if (dom_a.is_empty() || dom_b.is_empty()) return true;
+  if (dom_a.dim != dom_b.dim) return false;
+  for (int k = 0; k < dom_a.dim; ++k) {
+    if (dom_a.extent(k) != dom_b.extent(k)) return false;  // grids not comparable
+  }
+  for (int k = 0; k < dom_a.dim; ++k) {
+    const AffineAxis& xa = a.axes[static_cast<std::size_t>(k)];
+    const AffineAxis& xb = b.axes[static_cast<std::size_t>(k)];
+    if (xa.source < 0 || xa.source >= dom_a.dim) return false;
+    if (xb.source < 0 || xb.source >= dom_b.dim) return false;
+    const std::int64_t m = dom_a.extent(k);
+    // Interval separation (only meaningful when neither side wraps).
+    if (!xa.wrap && !xb.wrap) {
+      const std::int64_t a0 = xa.shift;
+      const std::int64_t a1 = xa.scale * (dom_a.extent(xa.source) - 1) + xa.shift;
+      const std::int64_t b0 = xb.shift;
+      const std::int64_t b1 = xb.scale * (dom_b.extent(xb.source) - 1) + xb.shift;
+      if (std::max(a0, a1) < std::min(b0, b1) || std::max(b0, b1) < std::min(a0, a1)) {
+        return true;
+      }
+    }
+    // Residue separation.
+    const std::int64_t ra = xa.wrap ? std::gcd(std::abs(xa.scale), m) : std::abs(xa.scale);
+    const std::int64_t rb = xb.wrap ? std::gcd(std::abs(xb.scale), m) : std::abs(xb.scale);
+    if (ra == 0 && rb == 0) {
+      if (xa.shift != xb.shift) return true;
+      continue;
+    }
+    const std::int64_t g = std::gcd(ra, rb);  // gcd(0, x) == x
+    if (g > 0 && detail::positive_mod(xa.shift - xb.shift, g) != 0) return true;
+  }
+  return false;
+}
+
+// Proof that two maps agree pointwise on a shared domain (same color for the
+// same launch point).  Wrapped axes compare modulo the extent.
+inline bool equivalent(const AffineProjection& a, const AffineProjection& b,
+                       const rt::Rect& domain) {
+  if (domain.is_empty()) return true;
+  for (int k = 0; k < domain.dim; ++k) {
+    const AffineAxis& xa = a.axes[static_cast<std::size_t>(k)];
+    const AffineAxis& xb = b.axes[static_cast<std::size_t>(k)];
+    if (xa.source != xb.source) return false;
+    if (xa.wrap != xb.wrap) return false;
+    if (xa.wrap) {
+      const std::int64_t m = domain.extent(k);
+      if (detail::positive_mod(xa.scale, m) != detail::positive_mod(xb.scale, m) ||
+          detail::positive_mod(xa.shift, m) != detail::positive_mod(xb.shift, m)) {
+        return false;
+      }
+    } else if (xa.scale != xb.scale || xa.shift != xb.shift) {
+      return false;
+    }
+  }
+  return true;
+}
+
+inline std::string to_string(const AffineProjection& a, int dim = rt::kMaxDim) {
+  std::string s = "[";
+  for (int k = 0; k < dim; ++k) {
+    const AffineAxis& ax = a.axes[static_cast<std::size_t>(k)];
+    if (k > 0) s += ", ";
+    s += "q" + std::to_string(k) + "=" + std::to_string(ax.scale) + "*p" +
+         std::to_string(ax.source);
+    if (ax.shift != 0) {
+      s += (ax.shift > 0 ? "+" : "") + std::to_string(ax.shift);
+    }
+    if (ax.wrap) s += " mod ext";
+  }
+  s += "]";
+  return s;
+}
+
+// Fixed validation suite: every registered symbolic form is compared against
+// its concrete color fn over these domains (~600 points across 1-/2-/3-D,
+// varied offsets and extents, prime and composite sizes).
+inline const std::vector<rt::Rect>& sample_domains() {
+  static const std::vector<rt::Rect> kDomains = {
+      rt::Rect::r1(0, 0),          rt::Rect::r1(0, 1),
+      rt::Rect::r1(0, 6),          rt::Rect::r1(0, 15),
+      rt::Rect::r1(-3, 4),         rt::Rect::r1(5, 16),
+      rt::Rect::r2(0, 3, 0, 3),    rt::Rect::r2(0, 5, 0, 2),
+      rt::Rect::r2(-2, 1, 3, 6),   rt::Rect::r3(0, 2, 0, 2, 0, 2),
+      rt::Rect::r3(0, 3, 0, 1, 0, 1)};
+  return kDomains;
+}
+
+}  // namespace dcr::statics

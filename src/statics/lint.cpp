@@ -1,0 +1,95 @@
+#include "statics/lint.hpp"
+
+#include <set>
+
+namespace dcr::statics {
+
+const char* to_string(LintKind k) {
+  switch (k) {
+    case LintKind::NonInjectiveWrite: return "non_injective_write";
+    case LintKind::AliasedWrite: return "aliased_write";
+    case LintKind::DeadPartition: return "dead_partition";
+    case LintKind::PrivilegeOverClaim: return "privilege_over_claim";
+    case LintKind::OpaqueHotProjection: return "opaque_hot_projection";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string site_prefix(const LaunchSite& s) {
+  return "partition " + std::to_string(s.partition.value) + ", projection " +
+         std::to_string(s.projection.value) + ", " +
+         std::string(rt::to_string(s.privilege)) + " launch over " +
+         std::to_string(s.domain.is_empty() ? 0 : s.domain.volume()) + " points (x" +
+         std::to_string(s.launches) + "): ";
+}
+
+}  // namespace
+
+std::vector<LintFinding> lint(const rt::RegionForest& forest,
+                              const rt::ProjectionRegistry& projs,
+                              const LaunchLedger& ledger, std::uint64_t hot_threshold) {
+  std::vector<LintFinding> findings;
+  std::set<std::uint32_t> used_partitions;
+
+  for (const LaunchSite& s : ledger.sites()) {
+    if (!s.partition.valid()) continue;
+    used_partitions.insert(s.partition.value);
+    if (s.domain.is_empty()) continue;
+    const std::uint64_t points = s.domain.volume();
+    const std::uint64_t colors = forest.num_subregions(s.partition);
+    const AffineProjection* sym = projs.symbolic(s.projection);
+    const bool writes = rt::is_writer(s.privilege);
+
+    if (sym == nullptr) {
+      if (s.launches >= hot_threshold) {
+        findings.push_back(
+            {LintKind::OpaqueHotProjection, s.partition, s.projection,
+             site_prefix(s) +
+                 "projection has no symbolic form; every launch pays per-point "
+                 "fine analysis"});
+      }
+      continue;  // nothing further is provable about an opaque site
+    }
+    if (!range_ok(*sym, s.domain, colors)) continue;  // prover says Unknown: no claim
+
+    if (writes && s.privilege != rt::Privilege::Reduce && points > 1) {
+      if (!injective(*sym, s.domain)) {
+        findings.push_back(
+            {LintKind::NonInjectiveWrite, s.partition, s.projection,
+             site_prefix(s) + "write projection " + to_string(*sym, s.domain.dim) +
+                 " maps two launch points onto one subregion — aliasing-write race"});
+      } else if (!forest.is_disjoint(s.partition)) {
+        findings.push_back(
+            {LintKind::AliasedWrite, s.partition, s.projection,
+             site_prefix(s) +
+                 "injective write onto an ALIASED partition; sibling subregions "
+                 "overlap, so distinct points still race"});
+      }
+    }
+    if (writes && forest.is_disjoint(s.partition)) {
+      const std::uint64_t covered = colors_covered(*sym, s.domain);
+      if (covered > 0 && covered * 2 <= colors) {
+        findings.push_back(
+            {LintKind::PrivilegeOverClaim, s.partition, s.projection,
+             site_prefix(s) + "claims write privilege on a partition of " +
+                 std::to_string(colors) + " subregions but touches only " +
+                 std::to_string(covered) +
+                 " — the coarse stage serializes against the whole partition"});
+      }
+    }
+  }
+
+  for (std::uint32_t p = 0; p < forest.num_partitions(); ++p) {
+    if (used_partitions.count(p) == 0) {
+      findings.push_back({LintKind::DeadPartition, PartitionId(p),
+                          rt::ProjectionRegistry::identity(),
+                          "partition " + std::to_string(p) +
+                              " is never named by any index launch"});
+    }
+  }
+  return findings;
+}
+
+}  // namespace dcr::statics

@@ -1,0 +1,100 @@
+// Offline lint over a control program's launch sites: the runtime feeds every
+// index-launch requirement into a LaunchLedger, and lint() runs the static
+// prover's tests over the aggregated sites to flag declaration-level bugs a
+// dynamic run may never trip on — non-injective write projections (an
+// aliasing-write race class), partitions no launch ever uses, write launches
+// claiming far more of a partition than they touch, and hot launches whose
+// projection has no symbolic form (paying per-point fine analysis forever).
+// Surfaced via `dcr-spy statics <app>`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/types.hpp"
+#include "runtime/geometry.hpp"
+#include "runtime/privilege.hpp"
+#include "runtime/region.hpp"
+#include "runtime/requirement.hpp"
+#include "statics/affine.hpp"
+
+namespace dcr::statics {
+
+// One aggregated launch site: everything the prover keys verdicts on, plus
+// how often the program hit it.
+struct LaunchSite {
+  PartitionId partition = PartitionId::invalid();
+  ProjectionId projection = rt::ProjectionRegistry::identity();
+  rt::Rect domain = rt::Rect::empty();
+  rt::Privilege privilege = rt::Privilege::ReadOnly;
+  rt::ReductionOpId redop = rt::kNoRedop;
+  std::uint64_t launches = 0;
+};
+
+class LaunchLedger {
+ public:
+  void note(PartitionId partition, ProjectionId projection, const rt::Rect& domain,
+            rt::Privilege privilege, rt::ReductionOpId redop) {
+    const Key key{partition.valid() ? partition.value : ~0u, projection.value,
+                  static_cast<std::uint8_t>(privilege), redop,
+                  domain.dim, domain.lo[0], domain.hi[0], domain.lo[1],
+                  domain.hi[1], domain.lo[2], domain.hi[2]};
+    auto [it, fresh] = sites_.try_emplace(key);
+    if (fresh) {
+      it->second = {partition, projection, domain, privilege, redop, 0};
+    }
+    ++it->second.launches;
+  }
+
+  std::vector<LaunchSite> sites() const {
+    std::vector<LaunchSite> out;
+    out.reserve(sites_.size());
+    for (const auto& [key, site] : sites_) out.push_back(site);
+    return out;
+  }
+
+  std::uint64_t total_launch_reqs() const {
+    std::uint64_t n = 0;
+    for (const auto& [key, site] : sites_) n += site.launches;
+    return n;
+  }
+
+ private:
+  using Key = std::tuple<std::uint32_t, std::uint32_t, std::uint8_t, std::uint16_t, int,
+                         std::int64_t, std::int64_t, std::int64_t, std::int64_t,
+                         std::int64_t, std::int64_t>;
+  std::map<Key, LaunchSite> sites_;
+};
+
+enum class LintKind : std::uint8_t {
+  NonInjectiveWrite,    // write projection maps two points onto one color: race
+  AliasedWrite,         // injective map but the partition itself is aliased
+  DeadPartition,        // partition created but never named by any launch
+  PrivilegeOverClaim,   // write launch touches a small fraction of the partition
+  OpaqueHotProjection,  // hot launch site with no symbolic form
+};
+
+const char* to_string(LintKind k);
+
+// NonInjectiveWrite and AliasedWrite describe a real race class; the rest are
+// performance/hygiene findings.
+inline bool is_race_class(LintKind k) {
+  return k == LintKind::NonInjectiveWrite || k == LintKind::AliasedWrite;
+}
+
+struct LintFinding {
+  LintKind kind;
+  PartitionId partition = PartitionId::invalid();
+  ProjectionId projection = rt::ProjectionRegistry::identity();
+  std::string message;
+};
+
+std::vector<LintFinding> lint(const rt::RegionForest& forest,
+                              const rt::ProjectionRegistry& projs,
+                              const LaunchLedger& ledger,
+                              std::uint64_t hot_threshold = 8);
+
+}  // namespace dcr::statics

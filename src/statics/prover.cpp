@@ -1,0 +1,205 @@
+#include "statics/prover.hpp"
+
+#include <set>
+#include <vector>
+
+namespace dcr::statics {
+
+const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::Unknown: return "unknown";
+    case Verdict::ReadOnlyBroadcast: return "read_only_broadcast";
+    case Verdict::CommutingReduction: return "commuting_reduction";
+    case Verdict::PointDisjointWrites: return "point_disjoint_writes";
+    case Verdict::CrossLaunchDisjoint: return "cross_launch_disjoint";
+    case Verdict::PointwiseAligned: return "pointwise_aligned";
+    case Verdict::CoarseOrdered: return "coarse_ordered";
+  }
+  return "?";
+}
+
+InterferenceProver::CacheKey InterferenceProver::key_of(const LaunchReq& r) {
+  return {r.partition.valid() ? r.partition.value : ~0u,
+          r.projection.value,
+          static_cast<std::uint8_t>(r.privilege),
+          r.redop,
+          r.domain.dim,
+          r.domain.lo[0],
+          r.domain.hi[0],
+          r.domain.lo[1],
+          r.domain.hi[1],
+          r.domain.lo[2],
+          r.domain.hi[2]};
+}
+
+void InterferenceProver::refresh_epoch() {
+  const std::uint64_t epoch = forest_.mutation_epoch();
+  if (epoch != cache_epoch_) {
+    cache_epoch_ = epoch;
+    if (!cache_.empty()) {
+      cache_.clear();
+      ++stats_.cache_flushes;
+    }
+  }
+}
+
+Verdict InterferenceProver::resolve(const LaunchReq& r) {
+  refresh_epoch();
+  ++stats_.queries;
+  const CacheKey key = key_of(r);
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    ++stats_.cache_hits;
+    return it->second;
+  }
+  const Verdict v = resolve_uncached(r);
+  cache_.emplace(key, v);
+  if (v == Verdict::Unknown) {
+    ++stats_.unknown;
+  } else {
+    ++stats_.resolved;
+  }
+  return v;
+}
+
+Verdict InterferenceProver::resolve_uncached(const LaunchReq& r) const {
+  if (!r.is_index) return Verdict::Unknown;  // singles carry no projection form
+  const std::uint64_t points = r.domain.is_empty() ? 0 : r.domain.volume();
+  const bool writes = rt::is_writer(r.privilege) && r.privilege != rt::Privilege::Reduce;
+
+  if (!r.partition.valid()) {
+    // Every point shares the one named region.
+    if (r.privilege == rt::Privilege::ReadOnly || r.privilege == rt::Privilege::None) {
+      return Verdict::ReadOnlyBroadcast;
+    }
+    if (r.privilege == rt::Privilege::Reduce) return Verdict::CommutingReduction;
+    return points <= 1 ? Verdict::PointDisjointWrites : Verdict::Unknown;
+  }
+
+  const AffineProjection* sym = projs_.symbolic(r.projection);
+  if (sym == nullptr) return Verdict::Unknown;  // opaque: no symbolic claim
+  if (points == 0) {
+    // Vacuous launch: no point exists to race.
+    return writes ? Verdict::PointDisjointWrites : Verdict::ReadOnlyBroadcast;
+  }
+  if (!range_ok(*sym, r.domain, forest_.num_subregions(r.partition))) {
+    return Verdict::Unknown;  // the map escapes the color space: no claim
+  }
+  if (r.privilege == rt::Privilege::ReadOnly || r.privilege == rt::Privilege::None) {
+    return Verdict::ReadOnlyBroadcast;
+  }
+  if (r.privilege == rt::Privilege::Reduce) {
+    // Same operator at every point: reductions commute regardless of aliasing.
+    return Verdict::CommutingReduction;
+  }
+  if (points <= 1) return Verdict::PointDisjointWrites;
+  if (injective(*sym, r.domain) && forest_.is_disjoint(r.partition)) {
+    return Verdict::PointDisjointWrites;
+  }
+  return Verdict::Unknown;
+}
+
+Verdict InterferenceProver::classify(const LaunchReq& prev, const LaunchReq& next) {
+  ++stats_.pair_queries;
+  const Verdict vp = resolve(prev);
+  const Verdict vn = resolve(next);
+  if (vp == Verdict::Unknown || vn == Verdict::Unknown) return Verdict::Unknown;
+
+  Verdict out = Verdict::CoarseOrdered;
+  if (prev.partition.valid() && prev.partition == next.partition) {
+    const AffineProjection* sp = projs_.symbolic(prev.projection);
+    const AffineProjection* sn = projs_.symbolic(next.projection);
+    if (sp != nullptr && sn != nullptr && forest_.is_disjoint(prev.partition)) {
+      if (ranges_disjoint(*sp, prev.domain, *sn, next.domain)) {
+        out = Verdict::CrossLaunchDisjoint;
+      } else if (prev.domain == next.domain && prev.sharding == next.sharding &&
+                 injective(*sp, prev.domain) && injective(*sn, next.domain) &&
+                 equivalent(*sp, *sn, prev.domain)) {
+        out = Verdict::PointwiseAligned;
+      }
+    }
+  }
+  if (out != Verdict::Unknown) ++stats_.pair_proven;
+  if (paranoid_) oracle_check_pair(prev, next, out);
+  return out;
+}
+
+namespace {
+
+// Concrete color set of a partition-form launch, via the opaque projection.
+std::set<std::uint64_t> enumerate_colors(const rt::RegionForest& forest,
+                                         const rt::ProjectionRegistry& projs,
+                                         const LaunchReq& r) {
+  std::set<std::uint64_t> colors;
+  if (!r.partition.valid() || r.domain.is_empty()) return colors;
+  const std::size_t n = forest.num_subregions(r.partition);
+  for (std::uint64_t idx = 0; idx < r.domain.volume(); ++idx) {
+    const rt::Point p = rt::delinearize(r.domain, idx);
+    const IndexSpaceId sub = projs.apply(r.projection, forest, r.partition, p, r.domain);
+    for (std::uint64_t c = 0; c < n; ++c) {
+      if (forest.subregion(r.partition, c) == sub) {
+        colors.insert(c);
+        break;
+      }
+    }
+  }
+  return colors;
+}
+
+}  // namespace
+
+void InterferenceProver::oracle_check_launch(const LaunchReq& r) {
+  ++stats_.oracle_checks;
+  if (!r.is_index || !r.partition.valid() || r.domain.is_empty()) return;
+  const AffineProjection* sym = projs_.symbolic(r.projection);
+  if (sym == nullptr) return;
+  std::set<std::uint64_t> seen;
+  const bool writes = rt::is_writer(r.privilege) && r.privilege != rt::Privilege::Reduce;
+  for (std::uint64_t idx = 0; idx < r.domain.volume(); ++idx) {
+    const rt::Point p = rt::delinearize(r.domain, idx);
+    const auto color = eval_color(*sym, r.domain, p);
+    DCR_CHECK(color.has_value())
+        << "statics oracle: symbolic form " << to_string(*sym, r.domain.dim)
+        << " undefined at a point of a launch the prover resolved";
+    DCR_CHECK(*color < forest_.num_subregions(r.partition))
+        << "statics oracle: color " << *color << " out of range";
+    const IndexSpaceId via_sym = forest_.subregion(r.partition, *color);
+    const IndexSpaceId via_fn =
+        projs_.apply(r.projection, forest_, r.partition, p, r.domain);
+    DCR_CHECK(via_sym == via_fn)
+        << "statics oracle: symbolic and opaque projections disagree at linear point "
+        << idx;
+    if (writes && resolve(r) == Verdict::PointDisjointWrites) {
+      DCR_CHECK(seen.insert(*color).second)
+          << "statics oracle: PointDisjointWrites verdict but color " << *color
+          << " is written by two points";
+    }
+  }
+}
+
+void InterferenceProver::oracle_check_pair(const LaunchReq& prev, const LaunchReq& next,
+                                           Verdict v) {
+  ++stats_.oracle_checks;
+  if (v == Verdict::CrossLaunchDisjoint) {
+    const auto a = enumerate_colors(forest_, projs_, prev);
+    const auto b = enumerate_colors(forest_, projs_, next);
+    for (const std::uint64_t c : a) {
+      DCR_CHECK(b.find(c) == b.end())
+          << "statics oracle: CrossLaunchDisjoint verdict but color " << c
+          << " appears in both launches";
+    }
+  } else if (v == Verdict::PointwiseAligned) {
+    const AffineProjection* sp = projs_.symbolic(prev.projection);
+    const AffineProjection* sn = projs_.symbolic(next.projection);
+    DCR_CHECK(sp != nullptr && sn != nullptr);
+    for (std::uint64_t idx = 0; idx < prev.domain.volume(); ++idx) {
+      const rt::Point p = rt::delinearize(prev.domain, idx);
+      const auto ca = eval_color(*sp, prev.domain, p);
+      const auto cb = eval_color(*sn, next.domain, p);
+      DCR_CHECK(ca.has_value() && cb.has_value() && *ca == *cb)
+          << "statics oracle: PointwiseAligned verdict but colors differ at linear point "
+          << idx;
+    }
+  }
+}
+
+}  // namespace dcr::statics

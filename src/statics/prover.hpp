@@ -1,0 +1,112 @@
+// Static interference prover: launch-level verdicts from the affine
+// projection IR, so the runtime can charge O(1) fine-stage analysis instead
+// of enumerating every owned point (the ROADMAP's per-point fine-analysis
+// bottleneck at 1k-4k shards).
+//
+// Verdict lattice (DESIGN.md §14): Unknown is the bottom element and always
+// safe — every other verdict is a *proof* obligation discharged by the
+// injectivity/range/residue tests in affine.hpp plus forest disjointness.
+// The prover never changes a dependence decision; a verdict only licenses
+// skipping the per-point enumeration whose outcome the proof predetermines.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "runtime/geometry.hpp"
+#include "runtime/privilege.hpp"
+#include "runtime/region.hpp"
+#include "runtime/requirement.hpp"
+#include "statics/affine.hpp"
+
+namespace dcr::statics {
+
+enum class Verdict : std::uint8_t {
+  Unknown,              // no proof; fall back to per-point fine analysis
+  ReadOnlyBroadcast,    // read-only (or no-access) launch: points never race
+  CommutingReduction,   // all points reduce with one operator: order-free
+  PointDisjointWrites,  // injective map onto a disjoint partition
+  CrossLaunchDisjoint,  // two launches touch provably disjoint color sets
+  PointwiseAligned,     // same domain, equivalent injective maps: p_i -> p_i only
+  CoarseOrdered,        // both sides closed-form; the coarse fence/elision verdict
+                        // already orders the pair, no per-point discrimination left
+};
+
+const char* to_string(Verdict v);
+
+// The prover's view of one side of a launch: a mirror of the runtime's
+// ReqSummary kept here so runtime/ and dcr/ need not depend on each other
+// through this layer.
+struct LaunchReq {
+  bool is_index = false;
+  PartitionId partition = PartitionId::invalid();  // invalid => single region
+  ProjectionId projection = rt::ProjectionRegistry::identity();
+  rt::Rect domain = rt::Rect::empty();
+  ShardingId sharding = ShardingId::invalid();
+  rt::Privilege privilege = rt::Privilege::ReadOnly;
+  rt::ReductionOpId redop = rt::kNoRedop;
+};
+
+class InterferenceProver {
+ public:
+  struct Stats {
+    std::uint64_t queries = 0;      // resolve() calls
+    std::uint64_t cache_hits = 0;   // resolve() answered from the verdict cache
+    std::uint64_t resolved = 0;     // fresh resolves proving a non-Unknown verdict
+    std::uint64_t unknown = 0;      // fresh resolves falling back to Unknown
+    std::uint64_t pair_queries = 0; // classify() calls
+    std::uint64_t pair_proven = 0;  // classify() results above Unknown
+    std::uint64_t cache_flushes = 0;  // forest mutations invalidating the cache
+    std::uint64_t oracle_checks = 0;  // paranoid enumerated cross-checks run
+  };
+
+  // `paranoid` cross-checks every verdict against the enumerated oracle
+  // (DCR_CHECK-guarded); wired to DcrConfig::statics_check.
+  InterferenceProver(const rt::RegionForest& forest, const rt::ProjectionRegistry& projs,
+                     bool paranoid = false)
+      : forest_(forest), projs_(projs), paranoid_(paranoid) {}
+
+  // Launch-level verdict for one requirement.  Cached; the cache is keyed on
+  // the forest's mutation epoch only, so verdicts survive template/recovery
+  // epoch invalidation by construction (region geometry is what they depend
+  // on) and are dropped the moment the forest changes shape.
+  Verdict resolve(const LaunchReq& r);
+
+  // Pair verdict for a coarse dependence (prev -> next).  Non-Unknown means
+  // the pair needs no per-point discrimination: either the color sets are
+  // provably disjoint / pointwise-aligned, or both sides are closed-form and
+  // the coarse stage's own fence/elision verdict fully orders them.
+  Verdict classify(const LaunchReq& prev, const LaunchReq& next);
+
+  // Enumerated oracle for a whole launch (debug mode): recomputes every
+  // point's color concretely, checks it against the symbolic form, and for
+  // multi-point writes re-proves pairwise distinctness.  Aborts via DCR_CHECK
+  // on any disagreement.
+  void oracle_check_launch(const LaunchReq& r);
+
+  const Stats& stats() const { return stats_; }
+  bool paranoid() const { return paranoid_; }
+
+ private:
+  // partition, projection, privilege, redop, domain (dim + bounds).
+  using CacheKey = std::tuple<std::uint32_t, std::uint32_t, std::uint8_t, std::uint16_t,
+                              int, std::int64_t, std::int64_t, std::int64_t, std::int64_t,
+                              std::int64_t, std::int64_t>;
+  static CacheKey key_of(const LaunchReq& r);
+
+  void refresh_epoch();
+  Verdict resolve_uncached(const LaunchReq& r) const;
+  void oracle_check_pair(const LaunchReq& prev, const LaunchReq& next, Verdict v);
+
+  const rt::RegionForest& forest_;
+  const rt::ProjectionRegistry& projs_;
+  bool paranoid_;
+  std::uint64_t cache_epoch_ = 0;
+  std::map<CacheKey, Verdict> cache_;
+  Stats stats_;
+};
+
+}  // namespace dcr::statics

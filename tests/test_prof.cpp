@@ -372,7 +372,7 @@ TEST(ProfGolden, StencilCounterSnapshot) {
 // coverage; keep this list in sync with tests/README.md.
 TEST(SeedAudit, AllSuiteLabelsProduceDistinctSeeds) {
   const char* labels[] = {"spy", "faults", "faults-plan", "template", "prof",
-                          "prof-plan", "scope", "scope-plan", "sdc"};
+                          "prof-plan", "scope", "scope-plan", "sdc", "statics"};
   constexpr std::uint64_t kIndices = 256;  // superset of every suite's range
   std::set<std::uint64_t> seen;
   for (const char* label : labels) {

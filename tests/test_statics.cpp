@@ -1,0 +1,721 @@
+// Static interference analysis (src/statics): affine projection IR units,
+// prover verdicts + verdict cache, registration-time symbolic validation
+// (including the abort-on-mismatch death test), the launch-site lint, and
+// runtime integration — statics on/off must realize the same task graph with
+// a strictly cheaper fine stage, verdicts must survive crash recovery, and a
+// 100-seed statics-on/off fuzz sweep (labelled fuzz) is spy-verified for
+// graph equivalence with the enumerated oracle armed.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/stencil.hpp"
+#include "common/philox.hpp"
+#include "dcr/runtime.hpp"
+#include "dcr_fuzz_programs.hpp"
+#include "prof/counters.hpp"
+#include "sim/fault.hpp"
+#include "sim/machine.hpp"
+#include "spy/trace.hpp"
+#include "spy/verify.hpp"
+#include "statics/affine.hpp"
+#include "statics/lint.hpp"
+#include "statics/prover.hpp"
+
+namespace dcr::core {
+namespace {
+
+using apps::StencilConfig;
+using apps::make_stencil_app;
+using apps::register_stencil_functions;
+using statics::AffineProjection;
+using statics::InterferenceProver;
+using statics::LaunchReq;
+using statics::Verdict;
+
+sim::MachineConfig cluster(std::size_t nodes) {
+  return {.num_nodes = nodes,
+          .compute_procs_per_node = 1,
+          .network = {.alpha = us(1), .ns_per_byte = 0.1, .local_latency = ns(50)}};
+}
+
+// A ColorFn that evaluates the symbolic form concretely — the honest way to
+// register a projection whose closed form IS its definition.  Only valid for
+// maps total on every domain (all-wrap axes).
+rt::ProjectionRegistry::ColorFn color_of(const AffineProjection& sym) {
+  return [sym](const rt::Point& p, const rt::Rect& domain) {
+    const auto c = statics::eval_color(sym, domain, p);
+    DCR_CHECK(c.has_value());
+    return *c;
+  };
+}
+
+// ------------------------------------------------------------ affine IR units
+
+TEST(Affine, IdentityMatchesLinearizeEverywhere) {
+  const AffineProjection id = AffineProjection::identity();
+  for (const rt::Rect& d : statics::sample_domains()) {
+    for (std::uint64_t i = 0; i < d.volume(); ++i) {
+      const rt::Point p = rt::delinearize(d, i);
+      const auto c = statics::eval_color(id, d, p);
+      ASSERT_TRUE(c.has_value());
+      EXPECT_EQ(*c, rt::linearize(d, p));
+    }
+  }
+}
+
+TEST(Affine, WrappedShiftIsARing) {
+  const AffineProjection s = AffineProjection::shift1d(1);
+  const rt::Rect d = rt::Rect::r1(0, 7);
+  for (std::int64_t i = 0; i < 8; ++i) {
+    rt::Point p = rt::Point::p1(i);
+    EXPECT_EQ(statics::eval_color(s, d, p), static_cast<std::uint64_t>((i + 1) % 8));
+  }
+  // Offset domains normalize before shifting.
+  const rt::Rect off = rt::Rect::r1(-3, 4);
+  EXPECT_EQ(statics::eval_color(s, off, rt::Point::p1(4)), 0u);
+}
+
+TEST(Affine, UnwrappedShiftUndefinedAtTheEdge) {
+  const AffineProjection s = AffineProjection::shift1d(1, /*wrap=*/false);
+  const rt::Rect d = rt::Rect::r1(0, 7);
+  EXPECT_EQ(statics::eval_color(s, d, rt::Point::p1(3)), 4u);
+  EXPECT_FALSE(statics::eval_color(s, d, rt::Point::p1(7)).has_value());
+  EXPECT_FALSE(statics::range_ok(s, d, 8));  // partial maps are never range_ok
+}
+
+TEST(Affine, TransposeSwapsAxes) {
+  const AffineProjection t = AffineProjection::transpose2d();
+  const rt::Rect d = rt::Rect::r2(0, 3, 0, 3);
+  const rt::Point p = rt::Point::p2(1, 2);
+  const rt::Point swapped = rt::Point::p2(2, 1);
+  EXPECT_EQ(statics::eval_color(t, d, p), rt::linearize(d, swapped));
+  EXPECT_TRUE(statics::injective(t, d));
+  EXPECT_TRUE(statics::range_ok(t, d, 16));
+}
+
+TEST(Affine, WrapCycleArithmetic) {
+  EXPECT_EQ(statics::detail::wrap_cycle(1, 8), 8);
+  EXPECT_EQ(statics::detail::wrap_cycle(2, 8), 4);
+  EXPECT_EQ(statics::detail::wrap_cycle(3, 8), 8);   // coprime: full cycle
+  EXPECT_EQ(statics::detail::wrap_cycle(6, 8), 4);   // gcd(6,8)=2
+  EXPECT_EQ(statics::detail::wrap_cycle(0, 8), 1);   // constant map
+  EXPECT_EQ(statics::detail::wrap_cycle(8, 8), 1);   // scale == modulus
+  EXPECT_EQ(statics::detail::positive_mod(-3, 8), 5);
+}
+
+TEST(Affine, InjectivityRespectsWrapCycles) {
+  const rt::Rect d8 = rt::Rect::r1(0, 7);
+  EXPECT_TRUE(statics::injective(AffineProjection::identity(), d8));
+  EXPECT_TRUE(statics::injective(AffineProjection::shift1d(5), d8));
+  // Coprime stride visits all 8 residues; even stride collapses 0 and 4.
+  EXPECT_TRUE(statics::injective(AffineProjection::strided1d(3), d8));
+  EXPECT_FALSE(statics::injective(AffineProjection::strided1d(2), d8));
+  EXPECT_FALSE(statics::injective(AffineProjection::strided1d(0), d8));
+  // Non-wrapped zero scale is constant, any other scale is injective.
+  EXPECT_FALSE(statics::injective(AffineProjection::strided1d(0, 0, false), d8));
+  // Repeated sources are not a permutation: (i, j) -> (i, i).
+  AffineProjection dup = AffineProjection::identity();
+  dup.axes[1].source = 0;
+  EXPECT_FALSE(statics::injective(dup, rt::Rect::r2(0, 3, 0, 3)));
+}
+
+TEST(Affine, EmptyAndSinglePointDomainsAreTriviallyFine) {
+  const rt::Rect empty = rt::Rect::empty();
+  const rt::Rect one = rt::Rect::r1(3, 3);
+  const AffineProjection collapse = AffineProjection::strided1d(0);
+  EXPECT_TRUE(statics::injective(collapse, empty));
+  EXPECT_TRUE(statics::injective(collapse, one));  // one point cannot collide
+  EXPECT_TRUE(statics::range_ok(collapse, empty, 0));
+  EXPECT_EQ(statics::colors_covered(collapse, empty), 0u);
+  EXPECT_EQ(statics::colors_covered(collapse, one), 1u);
+  EXPECT_TRUE(statics::ranges_disjoint(collapse, empty, collapse, empty));
+}
+
+TEST(Affine, ColorsCoveredCountsDistinctImages) {
+  const rt::Rect d8 = rt::Rect::r1(0, 7);
+  EXPECT_EQ(statics::colors_covered(AffineProjection::identity(), d8), 8u);
+  EXPECT_EQ(statics::colors_covered(AffineProjection::strided1d(0), d8), 1u);
+  EXPECT_EQ(statics::colors_covered(AffineProjection::strided1d(2), d8), 4u);
+  EXPECT_EQ(statics::colors_covered(AffineProjection::transpose2d(),
+                                    rt::Rect::r2(0, 3, 0, 1)),
+            8u);
+}
+
+// The satellite case: modular wraps that *look* shifted apart may still
+// overlap — shift1d(+1) and shift1d(-7) are the same map on an 8-ring, and
+// residue separation must refuse to call them disjoint.
+TEST(Affine, ModularWrapOverlapIsNotDisjoint) {
+  const rt::Rect d8 = rt::Rect::r1(0, 7);
+  const AffineProjection plus1 = AffineProjection::shift1d(1);
+  const AffineProjection minus7 = AffineProjection::shift1d(-7);
+  EXPECT_TRUE(statics::equivalent(plus1, minus7, d8));
+  EXPECT_FALSE(statics::ranges_disjoint(plus1, d8, minus7, d8));
+  // Unit strides cover every residue: no shifted pair is ever disjoint.
+  EXPECT_FALSE(
+      statics::ranges_disjoint(plus1, d8, AffineProjection::shift1d(5), d8));
+}
+
+TEST(Affine, ResidueSeparationProvesInterleavingsApart) {
+  const rt::Rect d8 = rt::Rect::r1(0, 7);
+  // Red/black: even targets vs odd targets, stride 2 on an 8-ring.
+  const AffineProjection even = AffineProjection::strided1d(2, 0);
+  const AffineProjection odd = AffineProjection::strided1d(2, 1);
+  EXPECT_TRUE(statics::ranges_disjoint(even, d8, odd, d8));
+  EXPECT_FALSE(statics::ranges_disjoint(even, d8, even, d8));
+  // Constant maps onto different colors.
+  EXPECT_TRUE(statics::ranges_disjoint(AffineProjection::strided1d(0, 2), d8,
+                                       AffineProjection::strided1d(0, 5), d8));
+  // Non-wrapped constants separate by interval.
+  EXPECT_TRUE(statics::ranges_disjoint(AffineProjection::strided1d(0, 2, false), d8,
+                                       AffineProjection::strided1d(0, 5, false), d8));
+  // Mismatched grids are never comparable.
+  EXPECT_FALSE(statics::ranges_disjoint(even, d8, odd, rt::Rect::r1(0, 5)));
+}
+
+TEST(Affine, EquivalenceComparesModuloTheExtent) {
+  const rt::Rect d8 = rt::Rect::r1(0, 7);
+  EXPECT_TRUE(statics::equivalent(AffineProjection::shift1d(1),
+                                  AffineProjection::shift1d(9), d8));
+  EXPECT_FALSE(statics::equivalent(AffineProjection::shift1d(1),
+                                   AffineProjection::shift1d(2), d8));
+  EXPECT_FALSE(statics::equivalent(AffineProjection::shift1d(1, false),
+                                   AffineProjection::shift1d(1, true), d8));
+  EXPECT_TRUE(statics::equivalent(AffineProjection::identity(),
+                                  AffineProjection::identity(), rt::Rect::empty()));
+}
+
+// ------------------------------------------------------- fields_intersect
+
+TEST(FieldsIntersect, MaskFastPathAndEdgeCases) {
+  const auto f = [](std::initializer_list<std::uint32_t> ids) {
+    std::vector<FieldId> v;
+    for (auto i : ids) v.push_back(FieldId(i));
+    return v;
+  };
+  EXPECT_FALSE(rt::fields_intersect(f({}), f({1, 2})));
+  EXPECT_FALSE(rt::fields_intersect(f({1, 2}), f({})));
+  EXPECT_TRUE(rt::fields_intersect(f({3}), f({3})));
+  EXPECT_FALSE(rt::fields_intersect(f({3}), f({4})));
+  EXPECT_TRUE(rt::fields_intersect(f({1, 2, 3}), f({3, 4})));
+  EXPECT_FALSE(rt::fields_intersect(f({1, 2}), f({3, 4})));
+  EXPECT_TRUE(rt::fields_intersect(f({0, 63}), f({63})) );
+}
+
+TEST(FieldsIntersect, LargeIdsFallBackToExactScan) {
+  const auto f = [](std::initializer_list<std::uint32_t> ids) {
+    std::vector<FieldId> v;
+    for (auto i : ids) v.push_back(FieldId(i));
+    return v;
+  };
+  EXPECT_TRUE(rt::fields_intersect(f({70, 1}), f({2, 70})));
+  EXPECT_FALSE(rt::fields_intersect(f({70, 1}), f({2, 65})));
+  EXPECT_TRUE(rt::fields_intersect(f({70, 3}), f({3, 65})));  // mask still hits
+  EXPECT_FALSE(rt::fields_intersect(f({64, 100}), f({65, 101})));
+}
+
+// ----------------------------------------------- registration-time validation
+
+TEST(ProjectionRegistry, SymbolicRegistrationRoundTrips) {
+  rt::RegionForest forest;
+  const FieldSpaceId fs = forest.create_field_space();
+  forest.allocate_field(fs, 8, "f");
+  const RegionTreeId tree = forest.create_tree(rt::Rect::r1(0, 63), fs);
+  const PartitionId part = forest.partition_equal(forest.root(tree), 8);
+
+  rt::ProjectionRegistry projs;
+  const AffineProjection sym = AffineProjection::shift1d(1);
+  const ProjectionId id = projs.register_projection(color_of(sym), sym);
+  ASSERT_NE(projs.symbolic(id), nullptr);
+  EXPECT_EQ(*projs.symbolic(id), sym);
+  EXPECT_EQ(projs.symbolic(rt::ProjectionRegistry::identity()) != nullptr, true);
+
+  // The synthesized opaque fn agrees with the closed form.
+  const rt::Rect d = rt::Rect::r1(0, 7);
+  EXPECT_EQ(projs.apply(id, forest, part, rt::Point::p1(7), d),
+            forest.subregion(part, 0));
+  EXPECT_EQ(projs.apply(id, forest, part, rt::Point::p1(2), d),
+            forest.subregion(part, 3));
+}
+
+TEST(ProjectionRegistryDeathTest, MismatchedSymbolicFormAbortsLoudly) {
+  rt::ProjectionRegistry projs;
+  // Claim "shift by one" symbolically while the concrete fn is the identity:
+  // registration must refuse the lie before any launch can trust it.
+  EXPECT_DEATH(projs.register_projection(
+                   [](const rt::Point& p, const rt::Rect& domain) {
+                     return rt::linearize(domain, p);
+                   },
+                   AffineProjection::shift1d(1)),
+               "symbolic projection mismatch");
+}
+
+// ------------------------------------------------------------ prover verdicts
+
+// 64 cells, 8 disjoint tiles, plus a halo (aliased) partition — the stencil
+// shape the paper's Figure 8 uses.
+struct ProverFixture {
+  rt::RegionForest forest;
+  rt::ProjectionRegistry projs;
+  IndexSpaceId cells;
+  PartitionId owned, ghost;
+  ProjectionId shift, interleave_even, interleave_odd, collapse;
+
+  ProverFixture() {
+    const FieldSpaceId fs = forest.create_field_space();
+    forest.allocate_field(fs, 8, "f");
+    const RegionTreeId tree = forest.create_tree(rt::Rect::r1(0, 63), fs);
+    cells = forest.root(tree);
+    owned = forest.partition_equal(cells, 8);
+    ghost = forest.partition_with_halo(cells, 8, 1);
+    shift = projs.register_projection(color_of(AffineProjection::shift1d(1)),
+                                      AffineProjection::shift1d(1));
+    interleave_even =
+        projs.register_projection(color_of(AffineProjection::strided1d(0, 0)),
+                                  AffineProjection::strided1d(0, 0));
+    interleave_odd =
+        projs.register_projection(color_of(AffineProjection::strided1d(0, 1)),
+                                  AffineProjection::strided1d(0, 1));
+    collapse = projs.register_projection(color_of(AffineProjection::strided1d(0)),
+                                         AffineProjection::strided1d(0));
+  }
+
+  LaunchReq req(PartitionId part, ProjectionId proj, const rt::Rect& domain,
+                rt::Privilege priv, rt::ReductionOpId redop = rt::kNoRedop) const {
+    LaunchReq r;
+    r.is_index = true;
+    r.partition = part;
+    r.projection = proj;
+    r.domain = domain;
+    r.sharding = ShardingId(0);
+    r.privilege = priv;
+    r.redop = redop;
+    return r;
+  }
+};
+
+TEST(Prover, LaunchVerdictsAcrossThePrivilegeLattice) {
+  ProverFixture fx;
+  InterferenceProver prover(fx.forest, fx.projs);
+  const rt::Rect d = rt::Rect::r1(0, 7);
+  const ProjectionId ident = rt::ProjectionRegistry::identity();
+
+  EXPECT_EQ(prover.resolve(fx.req(fx.owned, ident, d, rt::Privilege::ReadOnly)),
+            Verdict::ReadOnlyBroadcast);
+  EXPECT_EQ(prover.resolve(fx.req(fx.owned, ident, d, rt::Privilege::ReadWrite)),
+            Verdict::PointDisjointWrites);
+  EXPECT_EQ(prover.resolve(fx.req(fx.owned, fx.shift, d, rt::Privilege::WriteDiscard)),
+            Verdict::PointDisjointWrites);
+  // Reductions commute even through an aliasing map.
+  EXPECT_EQ(prover.resolve(fx.req(fx.owned, fx.collapse, d, rt::Privilege::Reduce, 1)),
+            Verdict::CommutingReduction);
+  // A non-injective write map earns no proof.
+  EXPECT_EQ(prover.resolve(fx.req(fx.owned, fx.collapse, d, rt::Privilege::ReadWrite)),
+            Verdict::Unknown);
+  // An aliased partition defeats per-point disjointness.
+  EXPECT_EQ(prover.resolve(fx.req(fx.ghost, ident, d, rt::Privilege::ReadWrite)),
+            Verdict::Unknown);
+  // ...but reading ghosts is still a broadcast.
+  EXPECT_EQ(prover.resolve(fx.req(fx.ghost, ident, d, rt::Privilege::ReadOnly)),
+            Verdict::ReadOnlyBroadcast);
+}
+
+TEST(Prover, EmptyAndSinglePointLaunchesAreVacuouslyProven) {
+  ProverFixture fx;
+  InterferenceProver prover(fx.forest, fx.projs);
+  EXPECT_EQ(prover.resolve(fx.req(fx.owned, fx.collapse, rt::Rect::empty(),
+                                  rt::Privilege::ReadWrite)),
+            Verdict::PointDisjointWrites);
+  EXPECT_EQ(prover.resolve(fx.req(fx.owned, fx.collapse, rt::Rect::empty(),
+                                  rt::Privilege::ReadOnly)),
+            Verdict::ReadOnlyBroadcast);
+  // One point cannot race with itself, even through a collapsing map.
+  EXPECT_EQ(prover.resolve(fx.req(fx.owned, fx.collapse, rt::Rect::r1(3, 3),
+                                  rt::Privilege::ReadWrite)),
+            Verdict::PointDisjointWrites);
+}
+
+TEST(Prover, RegionFormAndSingleTasks) {
+  ProverFixture fx;
+  InterferenceProver prover(fx.forest, fx.projs);
+  LaunchReq region;  // partition invalid: every point names the same region
+  region.is_index = true;
+  region.domain = rt::Rect::r1(0, 7);
+  region.privilege = rt::Privilege::ReadOnly;
+  EXPECT_EQ(prover.resolve(region), Verdict::ReadOnlyBroadcast);
+  region.privilege = rt::Privilege::Reduce;
+  region.redop = 1;
+  EXPECT_EQ(prover.resolve(region), Verdict::CommutingReduction);
+  region.privilege = rt::Privilege::ReadWrite;
+  EXPECT_EQ(prover.resolve(region), Verdict::Unknown);  // 8 writers, one region
+
+  LaunchReq single;  // a non-index task carries no projection form
+  single.is_index = false;
+  EXPECT_EQ(prover.resolve(single), Verdict::Unknown);
+}
+
+TEST(Prover, RangeEscapeWithholdsTheProof) {
+  ProverFixture fx;
+  const AffineProjection part_shift = AffineProjection::shift1d(1, /*wrap=*/false);
+  // Registration only compares where the symbolic form is defined, so a
+  // partial (non-wrapped) shift validates; the prover must then refuse it on
+  // a full-width domain because the edge point escapes the color grid.
+  const ProjectionId id = fx.projs.register_projection(
+      [part_shift](const rt::Point& p, const rt::Rect& domain) {
+        return statics::eval_color(part_shift, domain, p).value_or(0);
+      },
+      part_shift);
+  InterferenceProver prover(fx.forest, fx.projs);
+  EXPECT_EQ(prover.resolve(fx.req(fx.owned, id, rt::Rect::r1(0, 7),
+                                  rt::Privilege::ReadOnly)),
+            Verdict::Unknown);
+}
+
+TEST(Prover, PairClassification) {
+  ProverFixture fx;
+  InterferenceProver prover(fx.forest, fx.projs);
+  const rt::Rect d = rt::Rect::r1(0, 7);
+  const ProjectionId ident = rt::ProjectionRegistry::identity();
+
+  // Same domain, same injective map: points only meet themselves.
+  EXPECT_EQ(prover.classify(fx.req(fx.owned, ident, d, rt::Privilege::ReadWrite),
+                            fx.req(fx.owned, ident, d, rt::Privilege::ReadWrite)),
+            Verdict::PointwiseAligned);
+  // Identity vs ring shift: both proven, not aligned, not disjoint — the
+  // coarse fence/elision verdict carries the pair.
+  EXPECT_EQ(prover.classify(fx.req(fx.owned, ident, d, rt::Privilege::ReadWrite),
+                            fx.req(fx.owned, fx.shift, d, rt::Privilege::ReadOnly)),
+            Verdict::CoarseOrdered);
+  // Any Unknown side poisons the pair.
+  EXPECT_EQ(prover.classify(fx.req(fx.ghost, ident, d, rt::Privilege::ReadWrite),
+                            fx.req(fx.owned, ident, d, rt::Privilege::ReadOnly)),
+            Verdict::Unknown);
+}
+
+TEST(Prover, CrossLaunchDisjointUpgrade) {
+  ProverFixture fx;
+  InterferenceProver prover(fx.forest, fx.projs);
+  const rt::Rect d = rt::Rect::r1(0, 7);
+  // Even/odd constant interleave: residue separation proves the color sets
+  // apart, for broadcasts and commuting reductions alike.
+  EXPECT_EQ(prover.classify(
+                fx.req(fx.owned, fx.interleave_even, d, rt::Privilege::ReadOnly),
+                fx.req(fx.owned, fx.interleave_odd, d, rt::Privilege::ReadOnly)),
+            Verdict::CrossLaunchDisjoint);
+  EXPECT_EQ(prover.classify(
+                fx.req(fx.owned, fx.interleave_even, d, rt::Privilege::Reduce, 1),
+                fx.req(fx.owned, fx.interleave_odd, d, rt::Privilege::Reduce, 1)),
+            Verdict::CrossLaunchDisjoint);
+  // Vacuous launches are disjoint from everything, even as writers.
+  EXPECT_EQ(prover.classify(fx.req(fx.owned, fx.shift, rt::Rect::empty(),
+                                   rt::Privilege::ReadWrite),
+                            fx.req(fx.owned, fx.shift, rt::Rect::empty(),
+                                   rt::Privilege::ReadWrite)),
+            Verdict::CrossLaunchDisjoint);
+  // On a 1-point grid every wrapped map collapses to color 0: the two
+  // "different" constants become equivalent, not disjoint.
+  const rt::Rect one = rt::Rect::r1(0, 0);
+  EXPECT_EQ(
+      prover.classify(fx.req(fx.owned, fx.interleave_even, one, rt::Privilege::ReadWrite),
+                      fx.req(fx.owned, fx.interleave_odd, one, rt::Privilege::ReadWrite)),
+      Verdict::PointwiseAligned);
+}
+
+TEST(Prover, VerdictCacheFlushesOnForestMutationOnly) {
+  ProverFixture fx;
+  InterferenceProver prover(fx.forest, fx.projs);
+  const LaunchReq r = fx.req(fx.owned, rt::ProjectionRegistry::identity(),
+                             rt::Rect::r1(0, 7), rt::Privilege::ReadWrite);
+  EXPECT_EQ(prover.resolve(r), Verdict::PointDisjointWrites);
+  EXPECT_EQ(prover.resolve(r), Verdict::PointDisjointWrites);
+  EXPECT_EQ(prover.stats().cache_hits, 1u);
+  EXPECT_EQ(prover.stats().cache_flushes, 0u);
+
+  // Reshaping the forest invalidates every verdict...
+  fx.forest.partition_equal(fx.cells, 4);
+  EXPECT_EQ(prover.resolve(r), Verdict::PointDisjointWrites);
+  EXPECT_EQ(prover.stats().cache_flushes, 1u);
+  EXPECT_EQ(prover.stats().cache_hits, 1u);  // re-proved, not served stale
+}
+
+TEST(Prover, ParanoidOracleAcceptsSoundVerdicts) {
+  ProverFixture fx;
+  InterferenceProver prover(fx.forest, fx.projs, /*paranoid=*/true);
+  const rt::Rect d = rt::Rect::r1(0, 7);
+  const LaunchReq w = fx.req(fx.owned, fx.shift, d, rt::Privilege::ReadWrite);
+  EXPECT_EQ(prover.resolve(w), Verdict::PointDisjointWrites);
+  prover.oracle_check_launch(w);  // enumerates all 8 points, must agree
+  EXPECT_EQ(prover.classify(w, w), Verdict::PointwiseAligned);
+  EXPECT_GT(prover.stats().oracle_checks, 0u);
+}
+
+// ------------------------------------------------------------------- lint
+
+TEST(Lint, FlagsTheSeededNonInjectiveWriteRace) {
+  ProverFixture fx;
+  statics::LaunchLedger ledger;
+  ledger.note(fx.owned, fx.collapse, rt::Rect::r1(0, 7), rt::Privilege::ReadWrite,
+              rt::kNoRedop);
+  const auto findings = statics::lint(fx.forest, fx.projs, ledger);
+  bool seen = false;
+  for (const auto& f : findings) {
+    if (f.kind == statics::LintKind::NonInjectiveWrite) {
+      seen = true;
+      EXPECT_TRUE(statics::is_race_class(f.kind));
+      EXPECT_EQ(f.partition, fx.owned);
+      EXPECT_NE(f.message.find("race"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(seen) << "lint missed the seeded non-injective write";
+}
+
+TEST(Lint, FlagsWritesThroughAliasedPartitions) {
+  ProverFixture fx;
+  statics::LaunchLedger ledger;
+  ledger.note(fx.ghost, rt::ProjectionRegistry::identity(), rt::Rect::r1(0, 7),
+              rt::Privilege::ReadWrite, rt::kNoRedop);
+  ledger.note(fx.owned, rt::ProjectionRegistry::identity(), rt::Rect::r1(0, 7),
+              rt::Privilege::ReadWrite, rt::kNoRedop);
+  const auto findings = statics::lint(fx.forest, fx.projs, ledger);
+  bool aliased = false;
+  for (const auto& f : findings) {
+    aliased |= f.kind == statics::LintKind::AliasedWrite && f.partition == fx.ghost;
+    EXPECT_NE(f.kind, statics::LintKind::NonInjectiveWrite);
+  }
+  EXPECT_TRUE(aliased);
+}
+
+TEST(Lint, FlagsDeadPartitionsAndOverClaims) {
+  ProverFixture fx;
+  statics::LaunchLedger ledger;
+  // Write through the identity over a quarter of the partition: over-claim.
+  ledger.note(fx.owned, rt::ProjectionRegistry::identity(), rt::Rect::r1(0, 1),
+              rt::Privilege::ReadWrite, rt::kNoRedop);
+  const auto findings = statics::lint(fx.forest, fx.projs, ledger);
+  bool over = false, dead_ghost = false;
+  for (const auto& f : findings) {
+    over |= f.kind == statics::LintKind::PrivilegeOverClaim && f.partition == fx.owned;
+    dead_ghost |=
+        f.kind == statics::LintKind::DeadPartition && f.partition == fx.ghost;
+  }
+  EXPECT_TRUE(over);
+  EXPECT_TRUE(dead_ghost) << "ghost partition is never launched on";
+}
+
+TEST(Lint, FlagsHotOpaqueProjectionsOnlyPastTheThreshold) {
+  ProverFixture fx;
+  const ProjectionId opaque = fx.projs.register_projection(
+      [](const rt::RegionForest& forest, PartitionId part, const rt::Point& p,
+         const rt::Rect& domain) {
+        return forest.subregion(part, rt::linearize(domain, p));
+      });
+  statics::LaunchLedger cold, hot;
+  for (int i = 0; i < 3; ++i) {
+    cold.note(fx.owned, opaque, rt::Rect::r1(0, 7), rt::Privilege::ReadOnly,
+              rt::kNoRedop);
+  }
+  for (int i = 0; i < 8; ++i) {
+    hot.note(fx.owned, opaque, rt::Rect::r1(0, 7), rt::Privilege::ReadOnly,
+             rt::kNoRedop);
+  }
+  const auto quiet = statics::lint(fx.forest, fx.projs, cold);
+  const auto loud = statics::lint(fx.forest, fx.projs, hot);
+  const auto count = [](const std::vector<statics::LintFinding>& fs,
+                        statics::LintKind k) {
+    std::size_t n = 0;
+    for (const auto& f : fs) n += f.kind == k;
+    return n;
+  };
+  EXPECT_EQ(count(quiet, statics::LintKind::OpaqueHotProjection), 0u);
+  EXPECT_EQ(count(loud, statics::LintKind::OpaqueHotProjection), 1u);
+  EXPECT_EQ(hot.total_launch_reqs(), 8u);
+  EXPECT_EQ(hot.sites().size(), 1u);
+}
+
+// --------------------------------------------------------- runtime integration
+
+struct StencilRun {
+  DcrStats stats;
+  spy::Trace trace;
+  rt::TaskGraph graph;
+  std::uint64_t skip_ops = 0, skip_points = 0;
+  std::uint64_t fine_ns = 0, fine_points = 0, fine_ops = 0;
+};
+
+StencilRun run_stencil(bool statics_on, bool check, bool use_trace,
+                       std::size_t nodes = 8, std::size_t tiles = 32,
+                       sim::FaultConfig faults = {}, DcrStats* reference = nullptr) {
+  sim::Machine machine(cluster(nodes));
+  const bool with_faults = !faults.crashes.empty() || faults.drop_rate > 0.0;
+  sim::FaultPlan plan(std::move(faults));
+  if (with_faults) machine.install_faults(plan);
+  FunctionRegistry functions;
+  const auto fns = register_stencil_functions(functions, 1.0);
+  DcrConfig cfg;
+  cfg.static_analysis = statics_on;
+  cfg.statics_check = check;
+  cfg.record_trace = true;
+  cfg.record_task_graph = true;
+  DcrRuntime rt(machine, functions, cfg);
+  const StencilConfig scfg{
+      .cells_per_tile = 64, .tiles = tiles, .steps = 6, .use_trace = use_trace};
+  StencilRun out;
+  out.stats = rt.execute(make_stencil_app(scfg, fns));
+  out.trace = *rt.trace();
+  out.graph = rt.realized_graph().transitive_closure();
+  const prof::Profiler& prof = rt.profiler();
+  out.skip_ops = prof.total(prof::Counter::StaticSkipOps);
+  out.skip_points = prof.total(prof::Counter::StaticSkipPoints);
+  out.fine_ns = prof.total(prof::Counter::FineAnalysisNs);
+  out.fine_points = prof.total(prof::Counter::FinePoints);
+  out.fine_ops = prof.total(prof::Counter::FineOps);
+  (void)reference;
+  return out;
+}
+
+TEST(StaticsRuntime, SkipCountersFireAndStayWithinTheFineLedger) {
+  const StencilRun on = run_stencil(true, false, /*use_trace=*/false);
+  ASSERT_TRUE(on.stats.completed);
+  EXPECT_GT(on.skip_ops, 0u);
+  EXPECT_GT(on.skip_points, 0u);
+  EXPECT_LE(on.skip_ops, on.fine_ops);
+  // Skipped points are points the fine stage still *owns* but never walked.
+  EXPECT_EQ(on.skip_points, on.stats.statics_skipped_points);
+  EXPECT_GT(on.stats.statics_resolved_ops, 0u);
+  EXPECT_GT(on.stats.statics_cache_hits, 0u);  // steady-state launches repeat
+}
+
+TEST(StaticsRuntime, DisabledStaticsLeaveNoTrace) {
+  const StencilRun off = run_stencil(false, false, /*use_trace=*/false);
+  ASSERT_TRUE(off.stats.completed);
+  EXPECT_EQ(off.skip_ops, 0u);
+  EXPECT_EQ(off.skip_points, 0u);
+  EXPECT_EQ(off.stats.statics_resolved_ops, 0u);
+  EXPECT_EQ(off.stats.statics_unresolved_ops, 0u);
+  EXPECT_EQ(off.stats.statics_skipped_points, 0u);
+}
+
+// The acceptance property: identical decisions, cheaper analysis.  The graph,
+// fence counts, and task counts match exactly; the fine-stage virtual cost
+// drops by at least 2x on the untraced stencil.
+TEST(StaticsRuntime, OnOffIdenticalGraphAtHalfTheFineCost) {
+  const StencilRun on = run_stencil(true, false, /*use_trace=*/false);
+  const StencilRun off = run_stencil(false, false, /*use_trace=*/false);
+  ASSERT_TRUE(on.stats.completed);
+  ASSERT_TRUE(off.stats.completed);
+  EXPECT_TRUE(on.graph.same_partial_order(off.graph));
+  std::string why;
+  EXPECT_TRUE(spy::graph_equivalent(off.trace, on.trace, &why)) << why;
+  EXPECT_EQ(on.stats.fences_inserted, off.stats.fences_inserted);
+  EXPECT_EQ(on.stats.fences_elided, off.stats.fences_elided);
+  EXPECT_EQ(on.stats.point_tasks_launched, off.stats.point_tasks_launched);
+  // FinePoints tracks owned points whether or not they were enumerated; the
+  // skip ledger must stay inside it.
+  EXPECT_EQ(on.fine_points, off.fine_points);
+  EXPECT_LE(on.skip_points, on.fine_points);
+  ASSERT_GT(on.fine_ns, 0u);
+  EXPECT_GE(off.fine_ns, 2 * on.fine_ns) << "static skip saved too little";
+  EXPECT_LE(on.stats.makespan, off.stats.makespan);
+  const spy::VerifyReport report = spy::verify(on.trace);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(StaticsRuntime, ParanoidOracleModeCompletesCleanly) {
+  const StencilRun checked = run_stencil(true, /*check=*/true, /*use_trace=*/false,
+                                         /*nodes=*/4, /*tiles=*/8);
+  ASSERT_TRUE(checked.stats.completed);
+  EXPECT_GT(checked.skip_ops, 0u);  // verdicts survived the enumerated oracle
+}
+
+// Traced replays already charge the reduced template costs; the static skip
+// must not stack a second discount on top of them.
+TEST(StaticsRuntime, TracedReplaysNeverDoubleDiscount) {
+  const StencilRun on = run_stencil(true, false, /*use_trace=*/true);
+  const StencilRun off = run_stencil(false, false, /*use_trace=*/true);
+  ASSERT_TRUE(on.stats.completed);
+  ASSERT_TRUE(off.stats.completed);
+  EXPECT_GT(on.stats.template_replays, 0u);
+  EXPECT_GT(on.skip_ops, 0u);             // fresh (untraced) launches still skip
+  EXPECT_LE(on.skip_ops, on.fine_ops);    // never counted against replayed ops
+  EXPECT_TRUE(on.graph.same_partial_order(off.graph));
+}
+
+// Crash recovery bumps the template/recovery epoch but not region geometry:
+// static verdicts stay valid across the failover and the healed run still
+// realizes the fault-free graph.
+TEST(StaticsRuntime, VerdictsSurviveCrashRecovery) {
+  const StencilRun clean = run_stencil(true, false, /*use_trace=*/true,
+                                       /*nodes=*/4, /*tiles=*/8);
+  ASSERT_TRUE(clean.stats.completed);
+  sim::FaultConfig fcfg;
+  fcfg.seed = 7;
+  fcfg.crashes.push_back({NodeId(1), clean.stats.makespan / 2});
+  const StencilRun crashed = run_stencil(true, false, /*use_trace=*/true,
+                                         /*nodes=*/4, /*tiles=*/8, fcfg);
+  ASSERT_TRUE(crashed.stats.completed) << crashed.stats.abort_message;
+  EXPECT_EQ(crashed.stats.recoveries, 1u);
+  EXPECT_GT(crashed.skip_ops, 0u);  // statics kept firing after the failover
+  EXPECT_TRUE(crashed.graph.same_partial_order(clean.graph));
+}
+
+TEST(StaticsRuntime, LedgerAndLintAreCleanOnTheStencil) {
+  sim::Machine machine(cluster(4));
+  FunctionRegistry functions;
+  const auto fns = register_stencil_functions(functions, 1.0);
+  DcrConfig cfg;
+  DcrRuntime rt(machine, functions, cfg);
+  const StencilConfig scfg{.cells_per_tile = 64, .tiles = 8, .steps = 4};
+  ASSERT_TRUE(rt.execute(make_stencil_app(scfg, fns)).completed);
+  EXPECT_GT(rt.statics_ledger().total_launch_reqs(), 0u);
+  const auto findings =
+      statics::lint(rt.forest(), rt.projections(), rt.statics_ledger());
+  for (const auto& f : findings) {
+    EXPECT_FALSE(statics::is_race_class(f.kind)) << f.message;
+  }
+}
+
+// ------------------------------------------------- statics on/off fuzz sweep
+
+// 100 fuzzed loop programs: statics must be invisible in the realized partial
+// order, pass the spy verifier, and — with the enumerated oracle armed on the
+// on-run — every static verdict is cross-checked point by point.
+TEST(StaticsFuzz, HundredSeedOnOffSweepPreservesTheGraph) {
+  for (std::uint64_t index = 0; index < 100; ++index) {
+    const std::uint64_t seed = fuzz::seed_for_label("statics", index);
+    Philox4x32 rng(seed, /*stream=*/17);
+    const fuzz::LoopDcrProgram program = fuzz::generate_loop(rng, /*tiles=*/6);
+
+    auto run = [&](bool statics_on) {
+      sim::Machine machine(cluster(4));
+      FunctionRegistry functions;
+      const FunctionId fn = functions.register_simple("t", us(1), 1.0);
+      DcrConfig cfg;
+      cfg.static_analysis = statics_on;
+      cfg.statics_check = statics_on;  // arm the enumerated oracle
+      cfg.record_trace = true;
+      cfg.record_task_graph = true;
+      DcrRuntime rt(machine, functions, cfg);
+      StencilRun out;
+      out.stats = rt.execute(fuzz::materialize_loop(program, fn, /*use_trace=*/false));
+      out.trace = *rt.trace();
+      out.graph = rt.realized_graph().transitive_closure();
+      return out;
+    };
+    const StencilRun on = run(true);
+    const StencilRun off = run(false);
+    ASSERT_TRUE(on.stats.completed) << "seed " << index;
+    ASSERT_TRUE(off.stats.completed) << "seed " << index;
+    EXPECT_TRUE(on.graph.same_partial_order(off.graph)) << "seed " << index;
+    EXPECT_EQ(on.stats.fences_inserted, off.stats.fences_inserted) << index;
+    EXPECT_EQ(on.stats.fences_elided, off.stats.fences_elided) << index;
+    std::string why;
+    EXPECT_TRUE(spy::graph_equivalent(off.trace, on.trace, &why))
+        << "seed " << index << ": " << why;
+    const spy::VerifyReport report = spy::verify(on.trace);
+    EXPECT_TRUE(report.ok()) << "seed " << index << ": " << report.summary();
+  }
+}
+
+}  // namespace
+}  // namespace dcr::core

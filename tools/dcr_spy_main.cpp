@@ -12,6 +12,11 @@
 //       Control-determinism linter only.
 //   dcr-spy dot <trace.jsonl>
 //       Dump the recorded task graph as Graphviz DOT on stdout.
+//   dcr-spy statics <stencil|circuit|pennant> [--shards N] [--hot N]
+//       Run the named app with static interference analysis on, then lint the
+//       launch-site ledger: non-injective write projections, aliased writes,
+//       dead partitions, privilege over-claims, opaque hot projections.
+//       Exit 1 on race-class findings (non-injective/aliased writes).
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -22,6 +27,7 @@
 #include "apps/stencil.hpp"
 #include "dcr/runtime.hpp"
 #include "runtime/graph_dump.hpp"
+#include "statics/lint.hpp"
 #include "spy/trace.hpp"
 #include "spy/verify.hpp"
 
@@ -33,7 +39,8 @@ int usage() {
                " [--disable-fence-elision]\n"
             << "  dcr-spy verify <trace.jsonl>\n"
             << "  dcr-spy lint <trace.jsonl>\n"
-            << "  dcr-spy dot <trace.jsonl>\n";
+            << "  dcr-spy dot <trace.jsonl>\n"
+            << "  dcr-spy statics <stencil|circuit|pennant> [--shards N] [--hot N]\n";
   return 2;
 }
 
@@ -144,6 +151,70 @@ int cmd_dot(const char* path) {
   return 0;
 }
 
+int cmd_statics(int argc, char** argv) {
+  using namespace dcr;
+  if (argc < 1) return usage();
+  const std::string app = argv[0];
+  std::size_t shards = 4;
+  std::uint64_t hot = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--hot") == 0 && i + 1 < argc) {
+      hot = std::stoull(argv[++i]);
+    } else {
+      return usage();
+    }
+  }
+
+  sim::Machine machine({.num_nodes = shards,
+                        .compute_procs_per_node = 1,
+                        .network = {.alpha = us(1), .ns_per_byte = 0.1}});
+  core::FunctionRegistry functions;
+  core::ApplicationMain main_fn;
+  core::DcrConfig cfg;
+  cfg.static_analysis = true;
+  if (app == "stencil") {
+    const auto fns = apps::register_stencil_functions(functions, 1.0);
+    main_fn = apps::make_stencil_app(
+        {.cells_per_tile = 128, .tiles = 2 * shards, .steps = 5}, fns);
+  } else if (app == "circuit") {
+    const auto fns = apps::register_circuit_functions(functions, 1.0);
+    main_fn = apps::make_circuit_app(
+        {.nodes_per_piece = 100, .wires_per_piece = 200, .pieces = 2 * shards, .steps = 5},
+        fns);
+  } else if (app == "pennant") {
+    const auto fns = apps::register_pennant_functions(functions, 1.0);
+    main_fn = apps::make_pennant_app(
+        {.zones_per_piece = 200, .pieces = 2 * shards, .cycles = 5}, fns);
+  } else {
+    return usage();
+  }
+
+  core::DcrRuntime rt(machine, functions, cfg);
+  const core::DcrStats stats = rt.execute(main_fn);
+  if (!stats.completed) {
+    std::cerr << "dcr-spy: " << app << " did not complete: " << stats.abort_message
+              << "\n";
+    return 2;
+  }
+  std::cout << app << " at " << shards << " shards: "
+            << rt.statics_ledger().total_launch_reqs() << " launch requirements over "
+            << rt.statics_ledger().sites().size() << " sites; "
+            << stats.statics_resolved_ops << " launches statically resolved, "
+            << stats.statics_unresolved_ops << " unresolved, "
+            << stats.statics_skipped_points << " points skipped\n";
+  const auto findings =
+      dcr::statics::lint(rt.forest(), rt.projections(), rt.statics_ledger(), hot);
+  bool race = false;
+  for (const auto& f : findings) {
+    std::cout << "  [" << dcr::statics::to_string(f.kind) << "] " << f.message << "\n";
+    race = race || dcr::statics::is_race_class(f.kind);
+  }
+  if (findings.empty()) std::cout << "  no findings\n";
+  return race ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -153,5 +224,6 @@ int main(int argc, char** argv) {
   if (cmd == "verify") return cmd_verify(argv[2]);
   if (cmd == "lint") return cmd_lint(argv[2]);
   if (cmd == "dot") return cmd_dot(argv[2]);
+  if (cmd == "statics") return cmd_statics(argc - 2, argv + 2);
   return usage();
 }
