@@ -21,10 +21,15 @@ namespace dcr::bench {
 // in the DCR runs; --scope additionally turns on dcr-scope causal tracing
 // (which needs the prof ledger, so it implies --profile).  Both are
 // host-side only: neither perturbs virtual time, so flagged runs report the
-// same makespans as bare ones.
+// same makespans as bare ones.  --backend=sim|threads selects the execution
+// backend for the DCR series where the bench supports it: `sim` (default)
+// runs the discrete-event simulator in virtual time; `threads` runs each
+// shard as a real OS thread (exec::ThreadRuntime) and reports wall-clock
+// nanoseconds instead of modeled time.
 struct Flags {
   bool profile = false;
   bool scope = false;
+  std::string backend = "sim";
 };
 
 inline Flags parse_flags(int argc, char** argv) {
@@ -35,8 +40,17 @@ inline Flags parse_flags(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--scope") == 0) {
       f.scope = true;
       f.profile = true;
+    } else if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+      f.backend = argv[i] + 10;
+      if (f.backend != "sim" && f.backend != "threads") {
+        std::fprintf(stderr, "%s: unknown backend '%s' (supported: sim threads)\n",
+                     argv[0], f.backend.c_str());
+        f.backend = "sim";
+      }
     } else {
-      std::fprintf(stderr, "%s: unknown flag %s (supported: --profile --scope)\n",
+      std::fprintf(stderr,
+                   "%s: unknown flag %s (supported: --profile --scope"
+                   " --backend=sim|threads)\n",
                    argv[0], argv[i]);
     }
   }

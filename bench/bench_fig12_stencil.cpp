@@ -14,6 +14,7 @@
 #include "baselines/scr.hpp"
 #include "bench/bench_common.hpp"
 #include "dcr/runtime.hpp"
+#include "exec/thread_runtime.hpp"
 #include "scope/report.hpp"
 
 namespace {
@@ -28,9 +29,25 @@ constexpr std::size_t kSteps = 10;
 // scaling run as Chrome trace JSON (fig12_stencil_64.prof.json, Perfetto).
 // --scope: additionally trace causality and dump that run's fence blame
 // report (fig12_stencil_64.blame.json).
+// --backend=threads: run the DCR series on exec::ThreadRuntime (one OS
+// thread per shard, wall-clock makespans); the No-CR and SCR baselines are
+// simulator cost models and always run on the simulator.
 bench::Flags g_flags;
 
+SimTime run_dcr_threads(std::size_t nodes, const StencilConfig& cfg) {
+  core::FunctionRegistry functions;
+  const auto fns = apps::register_stencil_functions(functions, kNsPerCell);
+  exec::ThreadConfig tcfg;
+  tcfg.num_shards = nodes;
+  tcfg.profile = g_flags.profile;
+  exec::ThreadRuntime rt(functions, tcfg);
+  const auto stats = rt.execute(apps::make_stencil_app(cfg, fns));
+  DCR_CHECK(stats.completed && !stats.determinism_violation);
+  return stats.makespan;  // wall-clock ns, not modeled time
+}
+
 SimTime run_dcr(std::size_t nodes, const StencilConfig& cfg, bool scr) {
+  if (!scr && g_flags.backend == "threads") return run_dcr_threads(nodes, cfg);
   sim::Machine machine(bench::cluster(nodes));
   core::FunctionRegistry functions;
   const auto fns = apps::register_stencil_functions(functions, kNsPerCell);
@@ -71,7 +88,14 @@ SimTime run_central(std::size_t nodes, const StencilConfig& cfg) {
 
 int main(int argc, char** argv) {
   g_flags = bench::parse_flags(argc, argv);
-  const std::size_t kScales[] = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512};
+  std::vector<std::size_t> kScales = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512};
+  if (g_flags.backend == "threads") {
+    // Each shard is a real OS thread here; stop the sweep at 64 so a laptop
+    // run stays bounded (and 512 threads tells you nothing a 64 doesn't).
+    kScales.resize(7);
+    std::printf("backend=threads: DCR series on exec::ThreadRuntime, "
+                "wall-clock makespans, scales capped at 64\n");
+  }
 
   bench::header("Figure 12a", "2-D stencil weak scaling (throughput per node, cells/s)",
                 "No-CR decays with node count; SCR and DCR flat, DCR within ~2x of SCR");

@@ -1,0 +1,109 @@
+// The backend-neutral op model of the replicated control program.
+//
+// One OpRecord per operation the control program issues, in program order
+// (identical on every shard by control determinism).  CoarseDecision is the
+// output of the coarse dependence stage for one op: its fence sources, its
+// coarse dependences with their elision verdicts, and the requirement
+// summaries that were folded into the shared epoch state.  Both execution
+// backends — the discrete-event simulator (dcr/runtime.cpp) and the
+// real-threads backend (exec/thread_runtime.cpp) — share these types and the
+// CoarseAnalyzer (dcr/coarse.hpp) that produces the decisions, which is what
+// makes their analysis streams comparable record-for-record.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/hash128.hpp"
+#include "common/types.hpp"
+#include "dcr/api.hpp"
+#include "dcr/template.hpp"
+#include "spy/trace.hpp"
+
+namespace dcr::core {
+
+// Canonical TaskId packing: task = op.id * kPointsPerOp + point_index.
+inline constexpr std::uint64_t kPointsPerOp = 1ull << 20;
+
+struct FillPayload {
+  IndexSpaceId region;
+  std::vector<FieldId> fields;
+};
+struct TaskPayload {
+  TaskLaunch launch;
+  std::uint64_t future_id = ~0ull;
+};
+struct IndexPayload {
+  IndexLaunch launch;
+  std::uint64_t future_map_id = ~0ull;
+};
+struct ReducePayload {  // reduce_future_map
+  std::uint64_t fm_id;
+  ReduceOp op;
+  std::uint64_t future_id;
+};
+struct AttachPayload {
+  IndexSpaceId region;                             // single variant
+  PartitionId partition = PartitionId::invalid();  // group variant
+  std::vector<FieldId> fields;
+  std::string file;
+  bool detach = false;
+};
+struct DeletePayload {
+  RegionTreeId tree;
+};
+struct FencePayload {};  // execution fence: full pipeline barrier
+using OpPayload =
+    std::variant<FillPayload, TaskPayload, IndexPayload, ReducePayload, AttachPayload,
+                 DeletePayload, FencePayload>;
+
+struct OpRecord {
+  OpId id;
+  OpPayload payload;
+  bool traced = false;  // replayed from a template: charge reduced costs
+  std::uint64_t call_index = ~0ull;  // issuing API call (spy trace identity)
+  // Dependence-template plumbing, set by issue() for ops inside a trace
+  // window (transient: trec is only valid until the issuing call returns).
+  TemplateManager::Mode tmode = TemplateManager::Mode::Inactive;
+  TemplateOp* trec = nullptr;
+  Hash128 call_hash{};  // template-identity hash of the issuing API call
+  std::shared_ptr<const PointPlanList> plan{};  // fine-stage point mapping
+};
+
+// ReqSummary / PointPlan live in dcr/template.hpp (same namespace): the
+// template layer records them verbatim.
+
+struct CoarseDecision {
+  std::vector<OpId> fence_sources;  // cross-shard fences to wait for
+  std::uint64_t deps = 0;           // coarse dependences found (stats)
+  std::uint64_t elided = 0;         // deps proven shard-local (stats)
+  std::size_t num_reqs = 0;         // for cost accounting
+  // Raw material for template capture and spy trace emission: every coarse
+  // dependence with its elision verdict, this op's requirement summaries
+  // (the epoch updates it folded into the shared state), and the spy
+  // op-kind string.
+  std::vector<spy::CoarseDepRecord> dep_records;
+  std::vector<ReqSummary> summaries;
+  std::string kind = "?";
+  // Every requirement resolved and every coarse dependence classified by
+  // the static prover: the fine stage charges O(1) instead of O(points).
+  // Never set on replayed ops (those already charge traced costs).
+  bool static_skip = false;
+};
+
+// Per-(tree,field) coarse users, shared by all shards (identical streams).
+struct GroupUse {
+  OpId op;
+  ReqSummary req;
+};
+struct CoarseFieldState {
+  std::optional<GroupUse> last_writer;
+  std::vector<GroupUse> readers_since;
+  std::vector<GroupUse> reducers_since;
+};
+
+}  // namespace dcr::core

@@ -5,106 +5,14 @@
 #include <set>
 
 #include "common/hash128.hpp"
+#include "dcr/sig.hpp"
 #include "spy/verify.hpp"
 
 namespace dcr::core {
 
-namespace {
-
-constexpr std::uint64_t kPointsPerOp = 1ull << 20;  // canonical TaskId packing
-
-// Builds the §3 call-identity hash and, when spy trace recording is on, a
-// parallel list of the same arguments as named text — the raw material for
-// the control-determinism linter's argument-level diff (spy/verify.hpp).
-// With capture off, this is the plain Hasher128 path plus one branch per arg.
-//
-// A second lane accumulates the *template-identity* hash (dcr/template.hpp):
-// the same construction minus the arguments declared volatile via varg() —
-// scalar task arguments and future / future-map ids, which legitimately
-// differ across loop iterations without changing any analysis decision.  The
-// full §3 hash still covers them, so the determinism checker is unaffected.
-class SigBuilder {
- public:
-  SigBuilder(const char* name, bool capture) : capture_(capture) {
-    h_.string(name);
-    t_.string(name);
-  }
-
-  template <typename T>
-    requires std::is_integral_v<T>
-  SigBuilder& arg(const char* key, T v) {
-    h_.value(v);
-    t_.value(v);
-    if (capture_) args_.push_back({key, std::to_string(v)});
-    return *this;
-  }
-
-  // Volatile argument: hashed for control determinism, excluded from the
-  // template identity.
-  template <typename T>
-    requires std::is_integral_v<T>
-  SigBuilder& varg(const char* key, T v) {
-    h_.value(v);
-    if (capture_) args_.push_back({key, std::to_string(v)});
-    return *this;
-  }
-
-  template <typename T>
-    requires std::is_enum_v<T>
-  SigBuilder& arg(const char* key, T v) {
-    return arg(key, static_cast<std::underlying_type_t<T>>(v));
-  }
-
-  SigBuilder& arg(const char* key, const std::string& s) {
-    h_.string(s);
-    t_.string(s);
-    if (capture_) args_.push_back({key, s});
-    return *this;
-  }
-
-  SigBuilder& arg(const char* key, const rt::Rect& r) {
-    h_.value(r.dim).value(r.lo).value(r.hi);
-    t_.value(r.dim).value(r.lo).value(r.hi);
-    if (capture_) {
-      std::string v = "[";
-      for (int d = 0; d < r.dim; ++d) {
-        if (d) v += ',';
-        v += std::to_string(r.lo[static_cast<std::size_t>(d)]) + ".." +
-             std::to_string(r.hi[static_cast<std::size_t>(d)]);
-      }
-      args_.push_back({key, v + "]"});
-    }
-    return *this;
-  }
-
-  SigBuilder& arg(const char* key, const std::vector<FieldId>& fields) {
-    h_.value(fields.size());
-    t_.value(fields.size());
-    std::string v = "{";
-    for (std::size_t i = 0; i < fields.size(); ++i) {
-      h_.value(fields[i].value);
-      t_.value(fields[i].value);
-      if (capture_) {
-        if (i) v += ',';
-        v += std::to_string(fields[i].value);
-      }
-    }
-    if (capture_) args_.push_back({key, v + "}"});
-    return *this;
-  }
-
-  Hash128 finish() const { return h_.finish(); }
-  Hash128 tfinish() const { return t_.finish(); }
-  std::vector<spy::CallArg> take_args() { return std::move(args_); }
-
- private:
-  Hasher128 h_;
-  Hasher128 t_;
-  bool capture_;
-  std::vector<spy::CallArg> args_;
-};
-
-}  // namespace
+// SigBuilder and the per-API sig_* encoders live in dcr/sig.hpp, and the op
+// model (kPointsPerOp, payloads, CoarseDecision) in dcr/ops.hpp — shared with
+// the real-threads backend so both produce identical §3 hash streams.
 
 // ===========================================================================
 // ShardContext: the per-shard implementation of the application API.
@@ -158,16 +66,15 @@ class ShardContext final : public Context {
       // Recovery lane rather than Control: the fast-forward may straddle
       // trace-window boundaries, which would break Control-lane nesting.
       rt_.profiler_.emit({prof::SpanKind::RecoveryFastForward, prof::Lane::Recovery,
-                          shard_.value, rep.replay_started, pctx_.now()});
+                          shard_.value, rep.replay_started, rt_.clock_.now()});
       st_.pending_report = -1;
     }
   }
 
   DcrStats& stats() { return rt_.stats_; }
 
-  SigBuilder sig(const char* name) const {
-    return SigBuilder(name, /*capture=*/rt_.trace_ != nullptr);
-  }
+  // Whether sig_* encoders should capture named arguments for the spy trace.
+  bool cap() const { return rt_.trace_ != nullptr; }
 
   // dcr-prof accounting for a control-program block that started at
   // `started`: always-on wait counters + histogram, plus a Control-lane span
@@ -177,11 +84,11 @@ class ShardContext final : public Context {
   void prof_wait(prof::Counter waits, prof::Counter wait_ns, prof::Hist hist,
                  prof::SpanKind kind, SimTime started) {
     prof::Counters& pc = rt_.profiler_.shard(shard_.value);
-    const SimTime waited = pctx_.now() - started;
+    const SimTime waited = rt_.clock_.now() - started;
     pc.add(waits);
     pc.add(wait_ns, waited);
     pc.observe(hist, waited);
-    rt_.profiler_.emit({kind, prof::Lane::Control, shard_.value, started, pctx_.now()});
+    rt_.profiler_.emit({kind, prof::Lane::Control, shard_.value, started, rt_.clock_.now()});
   }
 
   // ---- replication-safe creations ----
@@ -199,22 +106,20 @@ class ShardContext final : public Context {
   }
 
   FieldSpaceId create_field_space() override {
-    SigBuilder sb = sig("create_field_space");
+    SigBuilder sb = sig_create_field_space(cap());
     api_call("create_field_space", sb);
     return replicated_create<FieldSpaceId>([&] { return rt_.forest_.create_field_space(); });
   }
 
   FieldId allocate_field(FieldSpaceId fs, std::size_t bytes, std::string name) override {
-    SigBuilder sb = sig("allocate_field");
-    sb.arg("field_space", fs.value).arg("bytes", bytes).arg("name", name);
+    SigBuilder sb = sig_allocate_field(cap(), fs, bytes, name);
     api_call("allocate_field", sb);
     return replicated_create<FieldId>(
         [&] { return rt_.forest_.allocate_field(fs, bytes, std::move(name)); });
   }
 
   RegionTreeId create_region(const rt::Rect& bounds, FieldSpaceId fs) override {
-    SigBuilder sb = sig("create_region");
-    sb.arg("bounds", bounds).arg("field_space", fs.value);
+    SigBuilder sb = sig_create_region(cap(), bounds, fs);
     api_call("create_region", sb);
     return replicated_create<RegionTreeId>([&] { return rt_.forest_.create_tree(bounds, fs); });
   }
@@ -222,8 +127,7 @@ class ShardContext final : public Context {
   IndexSpaceId root(RegionTreeId tree) override { return rt_.forest_.root(tree); }
 
   PartitionId partition_equal(IndexSpaceId parent, std::size_t pieces, int axis) override {
-    SigBuilder sb = sig("partition_equal");
-    sb.arg("parent", parent.value).arg("pieces", pieces).arg("axis", axis);
+    SigBuilder sb = sig_partition_equal(cap(), parent, pieces, axis);
     api_call("partition_equal", sb);
     return replicated_create<PartitionId>(
         [&] { return rt_.forest_.partition_equal(parent, pieces, axis); });
@@ -231,8 +135,7 @@ class ShardContext final : public Context {
 
   PartitionId partition_with_halo(IndexSpaceId parent, std::size_t pieces,
                                   std::int64_t halo, int axis) override {
-    SigBuilder sb = sig("partition_with_halo");
-    sb.arg("parent", parent.value).arg("pieces", pieces).arg("halo", halo).arg("axis", axis);
+    SigBuilder sb = sig_partition_with_halo(cap(), parent, pieces, halo, axis);
     api_call("partition_with_halo", sb);
     return replicated_create<PartitionId>(
         [&] { return rt_.forest_.partition_with_halo(parent, pieces, halo, axis); });
@@ -240,11 +143,7 @@ class ShardContext final : public Context {
 
   PartitionId create_partition(IndexSpaceId parent, std::vector<rt::Rect> pieces,
                                bool disjoint) override {
-    SigBuilder sb = sig("create_partition");
-    sb.arg("parent", parent.value).arg("pieces", pieces.size()).arg("disjoint", disjoint);
-    for (std::size_t i = 0; i < pieces.size(); ++i) {
-      sb.arg(("piece" + std::to_string(i)).c_str(), pieces[i]);
-    }
+    SigBuilder sb = sig_create_partition(cap(), parent, pieces, disjoint);
     api_call("create_partition", sb);
     return replicated_create<PartitionId>(
         [&] { return rt_.forest_.create_partition(parent, std::move(pieces), disjoint); });
@@ -252,19 +151,16 @@ class ShardContext final : public Context {
 
   PartitionId partition_grid(IndexSpaceId parent, std::size_t tiles_x, std::size_t tiles_y,
                              std::int64_t halo) override {
-    SigBuilder sb = sig("partition_grid");
-    sb.arg("parent", parent.value).arg("tiles_x", tiles_x).arg("tiles_y", tiles_y);
-    sb.arg("halo", halo);
+    SigBuilder sb = sig_partition_grid(cap(), parent, tiles_x, tiles_y, halo);
     api_call("partition_grid", sb);
     return replicated_create<PartitionId>(
         [&] { return rt_.forest_.partition_grid(parent, tiles_x, tiles_y, halo); });
   }
 
   void destroy_region(RegionTreeId tree) override {
-    SigBuilder sb = sig("destroy_region");
-    sb.arg("tree", tree.value);
+    SigBuilder sb = sig_destroy_region(cap(), tree);
     api_call("destroy_region", sb);
-    rt_.issue(*this, DcrRuntime::DeletePayload{tree});
+    rt_.issue(*this, DeletePayload{tree});
   }
 
   void destroy_region_deferred(RegionTreeId tree) override {
@@ -279,30 +175,15 @@ class ShardContext final : public Context {
 
   // ---- operations ----
   void fill(IndexSpaceId region, std::vector<FieldId> fields) override {
-    SigBuilder sb = sig("fill");
-    sb.arg("region", region.value).arg("fields", fields);
+    SigBuilder sb = sig_fill(cap(), region, fields);
     api_call("fill", sb);
-    rt_.issue(*this, DcrRuntime::FillPayload{region, std::move(fields)});
+    rt_.issue(*this, FillPayload{region, std::move(fields)});
   }
 
   Future launch(const TaskLaunch& launch) override {
-    SigBuilder sb = sig("launch");
-    sb.arg("fn", launch.fn.value).arg("num_reqs", launch.requirements.size());
-    for (std::size_t i = 0; i < launch.requirements.size(); ++i) {
-      const auto& r = launch.requirements[i];
-      const std::string k = "req" + std::to_string(i);
-      sb.arg((k + ".region").c_str(), r.region.value);
-      sb.arg((k + ".privilege").c_str(), r.privilege);
-      sb.arg((k + ".redop").c_str(), r.redop);
-      sb.arg((k + ".fields").c_str(), r.fields);
-    }
-    for (std::size_t i = 0; i < launch.args.size(); ++i) {
-      // Scalar task arguments (e.g. the loop index) are volatile: they do not
-      // affect any dependence-analysis decision.
-      sb.varg(("arg" + std::to_string(i)).c_str(), launch.args[i]);
-    }
+    SigBuilder sb = sig_launch(cap(), launch);
     api_call("launch", sb);
-    DcrRuntime::TaskPayload p{launch, ~0ull};
+    TaskPayload p{launch, ~0ull};
     Future f;
     if (launch.wants_future) {
       f.id = st_.next_future++;
@@ -313,24 +194,9 @@ class ShardContext final : public Context {
   }
 
   FutureMap index_launch(const IndexLaunch& launch) override {
-    SigBuilder sb = sig("index_launch");
-    sb.arg("fn", launch.fn.value).arg("domain", launch.domain);
-    sb.arg("sharding", launch.sharding.value);
-    for (std::size_t i = 0; i < launch.requirements.size(); ++i) {
-      const auto& r = launch.requirements[i];
-      const std::string k = "req" + std::to_string(i);
-      sb.arg((k + ".partition").c_str(), r.partition.value);
-      sb.arg((k + ".region").c_str(), r.region.value);
-      sb.arg((k + ".projection").c_str(), r.projection.value);
-      sb.arg((k + ".privilege").c_str(), r.privilege);
-      sb.arg((k + ".redop").c_str(), r.redop);
-      sb.arg((k + ".fields").c_str(), r.fields);
-    }
-    for (std::size_t i = 0; i < launch.args.size(); ++i) {
-      sb.varg(("arg" + std::to_string(i)).c_str(), launch.args[i]);
-    }
+    SigBuilder sb = sig_index_launch(cap(), launch);
     api_call("index_launch", sb);
-    DcrRuntime::IndexPayload p{launch, ~0ull};
+    IndexPayload p{launch, ~0ull};
     FutureMap fm;
     if (launch.wants_futures) {
       fm.id = st_.next_future_map++;
@@ -341,20 +207,17 @@ class ShardContext final : public Context {
   }
 
   Future reduce_future_map(const FutureMap& fm, ReduceOp op) override {
-    SigBuilder sb = sig("reduce_future_map");
-    // Future-map ids increment monotonically across iterations: volatile.
-    sb.varg("future_map", fm.id).arg("op", op);
+    SigBuilder sb = sig_reduce_future_map(cap(), fm, op);
     api_call("reduce_future_map", sb);
     DCR_CHECK(fm.valid()) << "reducing an invalid future map";
     Future f;
     f.id = st_.next_future++;
-    rt_.issue(*this, DcrRuntime::ReducePayload{fm.id, op, f.id});
+    rt_.issue(*this, ReducePayload{fm.id, op, f.id});
     return f;
   }
 
   double get_future(const Future& f) override {
-    SigBuilder sb = sig("get_future");
-    sb.varg("future", f.id);
+    SigBuilder sb = sig_get_future(cap(), f);
     api_call("get_future", sb);
     DCR_CHECK(f.valid()) << "waiting on an invalid future";
     // Control-taint (dcr/replicate.hpp): this value is about to flow into a
@@ -362,14 +225,14 @@ class ShardContext final : public Context {
     rt_.note_control_future(f.id);
     auto it = rt_.futures_.find(f.id);
     DCR_CHECK(it != rt_.futures_.end()) << "future " << f.id << " has no producer";
-    const SimTime wait_start = pctx_.now();
+    const SimTime wait_start = rt_.clock_.now();
     pctx_.wait(it->second.per_shard_event[shard_.value]);
     prof_wait(prof::Counter::FutureWaits, prof::Counter::FutureWaitNs,
               prof::Hist::FutureWaitNs, prof::SpanKind::FutureWait, wait_start);
     if (rt_.scope_) {
       // The collective's merged context names the contribution that released
       // this wait last (the producing shard + span).
-      rt_.scope_->on_future_wait(shard_.value, f.id, wait_start, pctx_.now(),
+      rt_.scope_->on_future_wait(shard_.value, f.id, wait_start, rt_.clock_.now(),
                                  it->second.coll->result_ctx());
     }
     return it->second.coll->result();
@@ -379,8 +242,7 @@ class ShardContext final : public Context {
     // Timing-dependent by design (Figure 5): the *call* is still hashed, but
     // the returned value may differ across shards — branching on it is the
     // control-determinism violation the checker exists to catch.
-    SigBuilder sb = sig("future_is_ready");
-    sb.varg("future", f.id);
+    SigBuilder sb = sig_future_is_ready(cap(), f);
     api_call("future_is_ready", sb);
     // Polling is a control observation too: the (timing-dependent) readiness
     // bit can steer launch counts, so the producing ops are SDC-critical.
@@ -391,27 +253,26 @@ class ShardContext final : public Context {
   }
 
   void execution_fence() override {
-    SigBuilder sb = sig("execution_fence");
+    SigBuilder sb = sig_execution_fence(cap());
     api_call("execution_fence", sb);
     // A fence op forces a cross-shard pipeline barrier (its coarse decision
     // fences on the previous op), so once our fine tail drains, every
     // shard's launches for prior ops are registered with the quiescence
     // tracker; then wait for all of them to complete.
-    const SimTime wait_start = pctx_.now();
-    rt_.issue(*this, DcrRuntime::FencePayload{});
+    const SimTime wait_start = rt_.clock_.now();
+    rt_.issue(*this, FencePayload{});
     pctx_.wait(st_.fine_tail);
     while (!rt_.quiescence_.idle()) pctx_.wait(rt_.quiescence_.idle_event());
     rt_.profiler_.shard(shard_.value).add(prof::Counter::ExecutionFences);
     rt_.profiler_.emit({prof::SpanKind::ExecutionFence, prof::Lane::Control, shard_.value,
-                        wait_start, pctx_.now()});
+                        wait_start, rt_.clock_.now()});
   }
 
   void attach_file(IndexSpaceId region, std::vector<FieldId> fields,
                    std::string file) override {
-    SigBuilder sb = sig("attach_file");
-    sb.arg("region", region.value).arg("file", file).arg("fields", fields);
+    SigBuilder sb = sig_attach_file(cap(), region, fields, file);
     api_call("attach_file", sb);
-    DcrRuntime::AttachPayload p;
+    AttachPayload p;
     p.region = region;
     p.fields = std::move(fields);
     p.file = std::move(file);
@@ -419,10 +280,9 @@ class ShardContext final : public Context {
   }
 
   void detach_file(IndexSpaceId region, std::vector<FieldId> fields) override {
-    SigBuilder sb = sig("detach_file");
-    sb.arg("region", region.value).arg("fields", fields);
+    SigBuilder sb = sig_detach_file(cap(), region, fields);
     api_call("detach_file", sb);
-    DcrRuntime::AttachPayload p;
+    AttachPayload p;
     p.region = region;
     p.fields = std::move(fields);
     p.detach = true;
@@ -431,10 +291,9 @@ class ShardContext final : public Context {
 
   void attach_file_group(PartitionId partition, std::vector<FieldId> fields,
                          std::string file_basename) override {
-    SigBuilder sb = sig("attach_file_group");
-    sb.arg("partition", partition.value).arg("file", file_basename).arg("fields", fields);
+    SigBuilder sb = sig_attach_file_group(cap(), partition, fields, file_basename);
     api_call("attach_file_group", sb);
-    DcrRuntime::AttachPayload p;
+    AttachPayload p;
     p.partition = partition;
     p.fields = std::move(fields);
     p.file = std::move(file_basename);
@@ -442,10 +301,9 @@ class ShardContext final : public Context {
   }
 
   void detach_file_group(PartitionId partition, std::vector<FieldId> fields) override {
-    SigBuilder sb = sig("detach_file_group");
-    sb.arg("partition", partition.value).arg("fields", fields);
+    SigBuilder sb = sig_detach_file_group(cap(), partition, fields);
     api_call("detach_file_group", sb);
-    DcrRuntime::AttachPayload p;
+    AttachPayload p;
     p.partition = partition;
     p.fields = std::move(fields);
     p.detach = true;
@@ -454,8 +312,7 @@ class ShardContext final : public Context {
 
   // ---- tracing (dependence templates, dcr/template.hpp) ----
   void begin_trace(TraceId id) override {
-    SigBuilder sb = sig("begin_trace");
-    sb.arg("trace", id.value);
+    SigBuilder sb = sig_begin_trace(cap(), id);
     api_call("begin_trace", sb);
     if (!rt_.config_.tracing_enabled) return;
     DCR_CHECK(!st_.templates.active()) << "nested traces are not supported";
@@ -465,12 +322,11 @@ class ShardContext final : public Context {
     st_.templates.begin(id, rt_.forest_.mutation_epoch(), rt_.recovery_epoch_,
                         st_.deletions_processed, rt_.config_.template_validation);
     st_.windows_opened++;  // iteration tag for dcr-prof spans
-    st_.window_started = pctx_.now();
+    st_.window_started = rt_.clock_.now();
   }
 
   void end_trace(TraceId id) override {
-    SigBuilder sb = sig("end_trace");
-    sb.arg("trace", id.value);
+    SigBuilder sb = sig_end_trace(cap(), id);
     api_call("end_trace", sb);
     if (!rt_.config_.tracing_enabled) return;
     DCR_CHECK(st_.templates.active() && *st_.templates.active() == id)
@@ -486,7 +342,7 @@ class ShardContext final : public Context {
                : prof::Counter::TemplateWindowMisses);
     st_.templates.end(rt_.forest_);
     rt_.profiler_.emit({prof::SpanKind::TraceWindow, prof::Lane::Control, shard_.value,
-                        st_.window_started, pctx_.now(), prof::kNoId,
+                        st_.window_started, rt_.clock_.now(), prof::kNoId,
                         st_.windows_opened - 1});
   }
 
@@ -596,7 +452,7 @@ DcrRuntime::~DcrRuntime() {
 
 dcr::scope::TraceCtx DcrRuntime::scope_ctx(ShardId s) const {
   if (!scope_) return {};
-  return scope_->current_ctx(s.value, machine_.sim().now());
+  return scope_->current_ctx(s.value, clock_.now());
 }
 
 bool DcrRuntime::finished() const {
@@ -608,238 +464,29 @@ bool DcrRuntime::finished() const {
   return true;
 }
 
-// --------------------------------------------------------------- summaries
+// ----------------------------------------------------------- coarse stage
+//
+// The analysis itself lives in dcr/coarse.hpp (shared with the threads
+// backend); these wrappers mirror DcrStats and emit the spy trace records
+// exactly once per op — gated on the analyzer's `fresh` out-param.
 
-std::vector<ReqSummary> DcrRuntime::summarize(const OpRecord& op) const {
-  std::vector<ReqSummary> out;
-  const ShardId owner = single_op_owner(op.id);
-  auto single = [&](IndexSpaceId region, const std::vector<FieldId>& fields,
-                    rt::Privilege priv, rt::ReductionOpId redop) {
-    ReqSummary r;
-    r.tree = forest_.tree_of(region);
-    r.upper_bound = region;
-    r.fields = fields;
-    r.privilege = priv;
-    r.redop = redop;
-    r.is_index = false;
-    r.single_owner = owner;
-    out.push_back(std::move(r));
-  };
-
-  if (const auto* fill = std::get_if<FillPayload>(&op.payload)) {
-    single(fill->region, fill->fields, rt::Privilege::WriteDiscard, rt::kNoRedop);
-  } else if (const auto* task = std::get_if<TaskPayload>(&op.payload)) {
-    for (const auto& req : task->launch.requirements) {
-      single(req.region, req.fields, req.privilege, req.redop);
-    }
-  } else if (const auto* attach = std::get_if<AttachPayload>(&op.payload)) {
-    if (attach->partition.valid()) {
-      // Group variant: an index-launch-shaped upper-bound view so the fence
-      // elision proof applies to back-to-back group I/O.
-      ReqSummary r;
-      r.upper_bound = forest_.parent_region(attach->partition);
-      r.tree = forest_.tree_of(r.upper_bound);
-      r.fields = attach->fields;
-      r.privilege = attach->detach ? rt::Privilege::ReadOnly : rt::Privilege::WriteDiscard;
-      r.redop = rt::kNoRedop;
-      r.is_index = true;
-      r.sharding = ShardingRegistry::blocked();
-      r.domain = rt::Rect::r1(
-          0, static_cast<std::int64_t>(forest_.num_subregions(attach->partition)) - 1);
-      r.partition = attach->partition;
-      r.projection = rt::ProjectionRegistry::identity();
-      out.push_back(std::move(r));
-    } else {
-      single(attach->region, attach->fields,
-             attach->detach ? rt::Privilege::ReadOnly : rt::Privilege::WriteDiscard,
-             rt::kNoRedop);
-    }
-  } else if (const auto* index = std::get_if<IndexPayload>(&op.payload)) {
-    for (const auto& req : index->launch.requirements) {
-      ReqSummary r;
-      r.upper_bound = req.upper_bound(forest_);
-      r.tree = forest_.tree_of(r.upper_bound);
-      r.fields = req.fields;
-      r.privilege = req.privilege;
-      r.redop = req.redop;
-      r.is_index = true;
-      r.sharding = index->launch.sharding;
-      r.domain = index->launch.domain;
-      r.partition = req.partition;
-      r.projection = req.projection;
-      out.push_back(std::move(r));
-    }
-  }
-  // ReducePayload and DeletePayload carry no region requirements here;
-  // deletions are handled as pipeline barriers in coarse_decision().
-  return out;
-}
-
-bool DcrRuntime::dependence_is_shard_local(const ReqSummary& prev,
-                                           const ReqSummary& next) const {
-  // Paper §4.1, observation 2 (Figures 10/11) — shared with the template
-  // validation audit, which must re-prove recorded elisions the same way.
-  return summaries_shard_local(forest_, prev, next);
-}
-
-namespace {
-
-// Adapter into the static prover's layer-neutral launch view.
-statics::LaunchReq to_launch_req(const ReqSummary& r) {
-  statics::LaunchReq q;
-  q.is_index = r.is_index;
-  q.partition = r.partition;
-  q.projection = r.projection;
-  q.domain = r.domain;
-  q.sharding = r.sharding;
-  q.privilege = r.privilege;
-  q.redop = r.redop;
-  return q;
-}
-
-}  // namespace
-
-void DcrRuntime::apply_epoch_update(OpId op, FieldId f, const ReqSummary& r) {
-  CoarseFieldState& fs = coarse_state_[{r.tree, f}];
-  switch (r.privilege) {
-    case rt::Privilege::ReadWrite:
-    case rt::Privilege::WriteDiscard:
-      fs.last_writer = GroupUse{op, r};
-      fs.readers_since.clear();
-      fs.reducers_since.clear();
-      break;
-    case rt::Privilege::Reduce:
-      fs.reducers_since.push_back(GroupUse{op, r});
-      break;
-    case rt::Privilege::ReadOnly:
-      fs.readers_since.push_back(GroupUse{op, r});
-      break;
-    case rt::Privilege::None:
-      break;
-  }
-}
-
-const DcrRuntime::CoarseDecision& DcrRuntime::coarse_decision(const OpRecord& op) {
-  auto it = coarse_decisions_.find(op.id);
-  if (it != coarse_decisions_.end()) return it->second;
-  // The first shard to reach this op computes the (shared, deterministic)
-  // decision; shards process ops in program order, so the shared coarse
-  // state has folded in exactly the ops before this one.
-  DCR_CHECK(coarse_state_next_op_ == op.id.value)
-      << "coarse analysis out of order: expected op " << coarse_state_next_op_
-      << " got " << op.id.value;
-  coarse_state_next_op_++;
-
-  CoarseDecision dec;
-  if (std::holds_alternative<FillPayload>(op.payload)) dec.kind = "fill";
-  else if (std::holds_alternative<TaskPayload>(op.payload)) dec.kind = "task";
-  else if (std::holds_alternative<IndexPayload>(op.payload)) dec.kind = "index_launch";
-  else if (std::holds_alternative<ReducePayload>(op.payload)) dec.kind = "reduce_future_map";
-  else if (std::holds_alternative<AttachPayload>(op.payload)) {
-    dec.kind = std::get<AttachPayload>(op.payload).detach ? "detach" : "attach";
-  } else if (std::holds_alternative<DeletePayload>(op.payload)) dec.kind = "delete";
-  else if (std::holds_alternative<FencePayload>(op.payload)) dec.kind = "fence";
-
-  std::set<OpId> sources;
-
-  if (std::holds_alternative<DeletePayload>(op.payload) ||
-      std::holds_alternative<FencePayload>(op.payload)) {
-    // Deletions and execution fences order against everything before them:
-    // full pipeline barrier.
-    if (op.id.value > 0) sources.insert(OpId(op.id.value - 1));
-    dec.num_reqs = 1;
-  } else {
-    std::vector<ReqSummary> reqs = summarize(op);
-    dec.num_reqs = reqs.size();
-    // Static interference analysis (src/statics): resolve every requirement
-    // and classify every discovered dependence.  The verdicts never alter a
-    // dependence/fence decision below — a fully proven launch only licenses
-    // the fine stage to skip per-point enumeration (process_op), so runs are
-    // decision- and graph-identical statics on/off.
-    const bool statics_candidate =
-        config_.static_analysis && std::holds_alternative<IndexPayload>(op.payload);
-    bool static_ok = statics_candidate;
-    for (const ReqSummary& r : reqs) {
-      if (!static_ok) break;
-      if (statics_prover_.resolve(to_launch_req(r)) == statics::Verdict::Unknown) {
-        static_ok = false;
-      }
-    }
-    if (config_.static_analysis) {
-      // Launch-site ledger for the offline lint (`dcr-spy statics`).
-      for (const ReqSummary& r : reqs) {
-        if (!r.is_index || !r.partition.valid()) continue;
-        statics_ledger_.note(r.partition, r.projection, r.domain, r.privilege, r.redop);
-      }
-    }
-    for (const ReqSummary& r : reqs) {
-      for (FieldId f : r.fields) {
-        CoarseFieldState& fs = coarse_state_[{r.tree, f}];
-        auto consider = [&](const GroupUse& prev) {
-          if (!rt::privileges_conflict(prev.req.privilege, prev.req.redop, r.privilege,
-                                       r.redop)) {
-            return;
-          }
-          if (forest_.structurally_disjoint(prev.req.upper_bound, r.upper_bound)) return;
-          if (!forest_.regions_overlap(prev.req.upper_bound, r.upper_bound)) return;
-          dec.deps++;
-          const bool elide =
-              !config_.disable_fence_elision && dependence_is_shard_local(prev.req, r);
-          if (elide) {
-            dec.elided++;
-          } else {
-            sources.insert(prev.op);
-          }
-          dec.dep_records.push_back({prev.op, op.id, r.tree, f, elide});
-          if (static_ok && statics_prover_.classify(to_launch_req(prev.req),
-                                                    to_launch_req(r)) ==
-                               statics::Verdict::Unknown) {
-            static_ok = false;
-          }
-        };
-        if (fs.last_writer) consider(*fs.last_writer);
-        for (const GroupUse& rd : fs.readers_since) consider(rd);
-        for (const GroupUse& rx : fs.reducers_since) consider(rx);
-        apply_epoch_update(op.id, f, r);
-      }
-    }
-    dec.summaries = std::move(reqs);
-    dec.static_skip = static_ok;
-    if (statics_candidate) {
-      profiler_.global().add(static_ok ? prof::GlobalCounter::StaticLaunchesResolved
-                                       : prof::GlobalCounter::StaticLaunchesUnresolved);
-    }
-    if (dec.static_skip && config_.statics_check) {
-      // Debug oracle: re-derive every proof by concrete point enumeration.
-      for (const ReqSummary& r : dec.summaries) {
-        statics_prover_.oracle_check_launch(to_launch_req(r));
-      }
-    }
-  }
-  dec.fence_sources.assign(sources.begin(), sources.end());
+void DcrRuntime::emit_coarse_decision(const OpRecord& op, const CoarseDecision& dec) {
   stats_.coarse_deps += dec.deps;
   stats_.fences_elided += dec.elided;
   if (!dec.fence_sources.empty()) stats_.fences_inserted++;
-  // dcr-prof fence accounting, at dependence granularity: every coarse
-  // dependence is a fence-or-elide decision, and with elision enabled each
-  // one ran the §4.1 shard-locality proof.  fences_issued + fences_elided ==
-  // fence_decisions by construction (tests/test_prof.cpp pins this).
-  {
-    prof::Counters& g = profiler_.global();
-    g.add(prof::GlobalCounter::FenceDecisions, dec.deps);
-    g.add(prof::GlobalCounter::FencesElided, dec.elided);
-    g.add(prof::GlobalCounter::FencesIssued, dec.deps - dec.elided);
-    if (!config_.disable_fence_elision) {
-      g.add(prof::GlobalCounter::ElisionProofsAttempted, dec.deps);
-      g.add(prof::GlobalCounter::ElisionProofsSucceeded, dec.elided);
-    }
-  }
   if (trace_) {
-    // Ops reach here exactly once, in program order (checked above).
+    // Ops reach here exactly once, in program order (analyzer-checked).
     for (const spy::CoarseDepRecord& d : dec.dep_records) trace_->coarse_deps.push_back(d);
     trace_->ops.push_back({op.id, dec.kind, op.call_index, dec.fence_sources});
   }
-  return coarse_decisions_.emplace(op.id, std::move(dec)).first->second;
+}
+
+const CoarseDecision& DcrRuntime::coarse_decision(const OpRecord& op) {
+  bool fresh = false;
+  const CoarseDecision& dec = coarse_.decide(op, forest_, statics_prover_, statics_ledger_,
+                                             single_op_owner(op.id), &fresh);
+  if (fresh) emit_coarse_decision(op, dec);
+  return dec;
 }
 
 // ----------------------------------------------------- dependence templates
@@ -936,75 +583,11 @@ void DcrRuntime::validate_template_op(ShardState& st, const OpRecord& op,
   if (!(fresh_plan == stored_plan)) return fail("fine-stage point plan");
 }
 
-const DcrRuntime::CoarseDecision& DcrRuntime::install_replayed_decision(const OpRecord& op) {
-  auto it = coarse_decisions_.find(op.id);
-  if (it != coarse_decisions_.end()) return it->second;  // another shard got here first
-  const TemplateOp& rec = *op.trec;
-  DCR_CHECK(coarse_state_next_op_ == op.id.value)
-      << "template replay out of order: expected op " << coarse_state_next_op_ << " got "
-      << op.id.value;
-  coarse_state_next_op_++;
-
-  CoarseDecision dec;
-  dec.kind = rec.kind;
-  dec.num_reqs = rec.num_reqs;
-  dec.summaries = rec.summaries;
-  std::set<OpId> sources;
-  const auto source_of = [&op](std::uint64_t offset, std::uint64_t abs, bool absolute) {
-    if (absolute) {
-      DCR_CHECK(abs < op.id.value) << "corrupt template absolute source";
-      return OpId(abs);
-    }
-    DCR_CHECK(offset >= 1 && offset <= op.id.value) << "corrupt template source offset";
-    return OpId(op.id.value - offset);
-  };
-  for (const TemplateDep& d : rec.deps) {
-    const OpId prev = source_of(d.prev_offset, d.abs_source, d.absolute);
-    dec.deps++;
-    if (d.elided) {
-      dec.elided++;
-    } else {
-      sources.insert(prev);
-    }
-    dec.dep_records.push_back({prev, op.id, d.tree, d.field, d.elided});
-  }
-  for (const TemplateFence& f : rec.fences) {
-    sources.insert(source_of(f.prev_offset, f.abs_source, f.absolute));
-  }
-  dec.fence_sources.assign(sources.begin(), sources.end());
-  // Fold the recorded summaries into the shared epoch state exactly as a
-  // fresh analysis would, so ops after the window (and un-templated ops
-  // between windows) still see the correct last users.  The conflict scans
-  // against those users are what the replay skips.
-  for (const ReqSummary& r : dec.summaries) {
-    for (FieldId f : r.fields) apply_epoch_update(op.id, f, r);
-  }
-  // Replayed ops already charge the reduced traced costs; a static skip on
-  // top would double-discount, so replays never set it (dec.static_skip stays
-  // false).  The lint ledger still sees the launch sites.
-  if (config_.static_analysis) {
-    for (const ReqSummary& r : dec.summaries) {
-      if (!r.is_index || !r.partition.valid()) continue;
-      statics_ledger_.note(r.partition, r.projection, r.domain, r.privilege, r.redop);
-    }
-  }
-  stats_.coarse_deps += dec.deps;
-  stats_.fences_elided += dec.elided;
-  if (!dec.fence_sources.empty()) stats_.fences_inserted++;
-  // Replayed decisions still count as fence-or-elide outcomes, but the
-  // shard-locality proofs were skipped (that is the point of the template),
-  // so the proof counters stay untouched.
-  {
-    prof::Counters& g = profiler_.global();
-    g.add(prof::GlobalCounter::FenceDecisions, dec.deps);
-    g.add(prof::GlobalCounter::FencesElided, dec.elided);
-    g.add(prof::GlobalCounter::FencesIssued, dec.deps - dec.elided);
-  }
-  if (trace_) {
-    for (const spy::CoarseDepRecord& d : dec.dep_records) trace_->coarse_deps.push_back(d);
-    trace_->ops.push_back({op.id, dec.kind, op.call_index, dec.fence_sources});
-  }
-  return coarse_decisions_.emplace(op.id, std::move(dec)).first->second;
+const CoarseDecision& DcrRuntime::install_replayed_decision(const OpRecord& op) {
+  bool fresh = false;
+  const CoarseDecision& dec = coarse_.install_replayed(op, statics_ledger_, &fresh);
+  if (fresh) emit_coarse_decision(op, dec);
+  return dec;
 }
 
 bool DcrRuntime::all_fences_complete() const {
@@ -1191,12 +774,11 @@ void DcrRuntime::commit_op(ShardId s, const OpRecord& op) {
     // the decision is in the shared cache (the dead incarnation processed it).
     if (op.tmode == TemplateManager::Mode::Capture ||
         op.tmode == TemplateManager::Mode::Validate) {
-      auto it = coarse_decisions_.find(op.id);
-      if (it != coarse_decisions_.end()) {
+      if (const CoarseDecision* dec = coarse_.find(op.id)) {
         if (op.tmode == TemplateManager::Mode::Validate) {
-          validate_template_op(st, op, it->second);
+          validate_template_op(st, op, *dec);
         }
-        capture_template_op(st, op, it->second);
+        capture_template_op(st, op, *dec);
       } else {
         st.templates.abort_window("committed op has no cached coarse decision");
       }
@@ -1248,7 +830,7 @@ void DcrRuntime::process_op(ShardId s, const OpRecord& op) {
     const std::uint64_t opid = op.id.value;
     const std::uint32_t shard_idx = s.value;
     coarse_done.on_trigger([this, shard_idx, coarse_cost, traced, opid, prof_iter] {
-      const SimTime end = machine_.sim().now();
+      const SimTime end = clock_.now();
       profiler_.emit({traced ? prof::SpanKind::CoarseReplay : prof::SpanKind::CoarseAnalysis,
                       prof::Lane::Analysis, shard_idx, end - coarse_cost, end, opid,
                       prof_iter});
@@ -1266,13 +848,13 @@ void DcrRuntime::process_op(ShardId s, const OpRecord& op) {
       // Fence-wait span: from this shard's arrival to the round completing at
       // this shard.  Waits on the Fence lane are ordered by the fine_tail
       // chain, so per-shard spans nest trivially (they are disjoint).
-      const SimTime wait_start = machine_.sim().now();
+      const SimTime wait_start = clock_.now();
       // dcr-scope: stamp this arrival with the shard's current span, so the
       // collective's latest-merge yields the fence's releasing shard + span.
       dcr::scope::TraceCtx ctx;
       if (scope_) ctx = scope_->fence_arrival(opid, s.value, prof_iter, wait_start);
       fence->coll->arrive(s.value, ctx).on_trigger([this, gate, s, wait_start, opid, prof_iter] {
-        const SimTime now = machine_.sim().now();
+        const SimTime now = clock_.now();
         prof::Counters& c = profiler_.shard(s.value);
         c.add(prof::Counter::FenceWaitNs, now - wait_start);
         c.observe(prof::Hist::FenceWaitNs, now - wait_start);
@@ -1339,7 +921,7 @@ void DcrRuntime::process_op(ShardId s, const OpRecord& op) {
   const sim::Event fine_done = analysis_proc(s).enqueue(
       fine_cost, sim::merge_events(std::span<const sim::Event>(pre)),
       [this, s, fine_cost, traced, opid, prof_iter, op_copy = std::move(op_copy)] {
-        const SimTime end = machine_.sim().now();
+        const SimTime end = clock_.now();
         if (profiler_.spans_enabled()) {
           profiler_.emit({traced ? prof::SpanKind::FineReplay : prof::SpanKind::FineAnalysis,
                           prof::Lane::Analysis, s.value, end - fine_cost, end, opid,
@@ -1616,7 +1198,7 @@ sim::Event DcrRuntime::launch_point_task(ShardId s, const OpRecord& op, const rt
   if (scope_) {
     // Task-launch ledger: tagged with the shard's current span (the fine
     // stage that launched this point).
-    scope_->on_task_launch(s.value, op.id.value, point_index, machine_.sim().now());
+    scope_->on_task_launch(s.value, op.id.value, point_index, clock_.now());
   }
 
   const SimTime duration = functions_.at(fn).duration(info);
@@ -1712,9 +1294,8 @@ void DcrRuntime::on_corruption_healed(OpId op, bool traced, const QuorumOutcome&
       // ledger.  Spy records are NOT re-appended (the decision stream is
       // unchanged), so the dcr-prof cross-check subtracts the SdcReissued*
       // counters before comparing against the trace.
-      const auto it = coarse_decisions_.find(op);
-      if (it != coarse_decisions_.end()) {
-        const CoarseDecision& dec = it->second;
+      if (const CoarseDecision* found = coarse_.find(op)) {
+        const CoarseDecision& dec = *found;
         prof::Counters& g = profiler_.global();
         g.add(prof::GlobalCounter::FenceDecisions, dec.deps);
         g.add(prof::GlobalCounter::FencesElided, dec.elided);

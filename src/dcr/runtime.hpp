@@ -35,7 +35,9 @@
 #include "common/philox.hpp"
 #include "common/types.hpp"
 #include "dcr/api.hpp"
+#include "dcr/coarse.hpp"
 #include "dcr/determinism.hpp"
+#include "dcr/ops.hpp"
 #include "dcr/mapper.hpp"
 #include "dcr/recovery.hpp"
 #include "dcr/replicate.hpp"
@@ -50,6 +52,7 @@
 #include "runtime/region.hpp"
 #include "runtime/task_graph.hpp"
 #include "spy/trace.hpp"
+#include "sim/clock.hpp"
 #include "sim/collective.hpp"
 #include "sim/machine.hpp"
 #include "sim/quiescence.hpp"
@@ -269,6 +272,7 @@ class DcrRuntime {
   // populated when config.profile is set (prof/profiler.hpp).
   prof::Profiler& profiler() { return profiler_; }
   const prof::Profiler& profiler() const { return profiler_; }
+  const Clock& clock() const { return clock_; }
 
   // dcr-scope causal ledger (only populated with config.scope).  NB: fully
   // qualified type — inside this class the name `scope` is this member
@@ -299,83 +303,9 @@ class DcrRuntime {
  private:
   friend class ShardContext;
 
-  // ------------------------------------------------------------- op model
-  struct FillPayload {
-    IndexSpaceId region;
-    std::vector<FieldId> fields;
-  };
-  struct TaskPayload {
-    TaskLaunch launch;
-    std::uint64_t future_id = ~0ull;
-  };
-  struct IndexPayload {
-    IndexLaunch launch;
-    std::uint64_t future_map_id = ~0ull;
-  };
-  struct ReducePayload {  // reduce_future_map
-    std::uint64_t fm_id;
-    ReduceOp op;
-    std::uint64_t future_id;
-  };
-  struct AttachPayload {
-    IndexSpaceId region;                         // single variant
-    PartitionId partition = PartitionId::invalid();  // group variant
-    std::vector<FieldId> fields;
-    std::string file;
-    bool detach = false;
-  };
-  struct DeletePayload {
-    RegionTreeId tree;
-  };
-  struct FencePayload {};  // execution fence: full pipeline barrier
-  using OpPayload =
-      std::variant<FillPayload, TaskPayload, IndexPayload, ReducePayload, AttachPayload,
-                   DeletePayload, FencePayload>;
-
-  struct OpRecord {
-    OpId id;
-    OpPayload payload;
-    bool traced = false;  // replayed from a template: charge reduced costs
-    std::uint64_t call_index = ~0ull;  // issuing API call (spy trace identity)
-    // Dependence-template plumbing, set by issue() for ops inside a trace
-    // window (transient: trec is only valid until the issuing call returns).
-    TemplateManager::Mode tmode = TemplateManager::Mode::Inactive;
-    TemplateOp* trec = nullptr;
-    Hash128 call_hash{};  // template-identity hash of the issuing API call
-    std::shared_ptr<const PointPlanList> plan{};  // fine-stage point mapping
-  };
-
-  // ReqSummary / PointPlan live in dcr/template.hpp (same namespace): the
-  // template layer records them verbatim.
-
-  struct CoarseDecision {
-    std::vector<OpId> fence_sources;  // cross-shard fences to wait for
-    std::uint64_t deps = 0;           // coarse dependences found (stats)
-    std::uint64_t elided = 0;         // deps proven shard-local (stats)
-    std::size_t num_reqs = 0;         // for cost accounting
-    // Raw material for template capture and spy trace emission: every coarse
-    // dependence with its elision verdict, this op's requirement summaries
-    // (the epoch updates it folded into the shared state), and the spy
-    // op-kind string.
-    std::vector<spy::CoarseDepRecord> dep_records;
-    std::vector<ReqSummary> summaries;
-    std::string kind = "?";
-    // Every requirement resolved and every coarse dependence classified by
-    // the static prover: the fine stage charges O(1) instead of O(points).
-    // Never set on replayed ops (those already charge traced costs).
-    bool static_skip = false;
-  };
-
-  // Per-(tree,field) coarse users, shared by all shards (identical streams).
-  struct GroupUse {
-    OpId op;
-    ReqSummary req;
-  };
-  struct CoarseFieldState {
-    std::optional<GroupUse> last_writer;
-    std::vector<GroupUse> readers_since;
-    std::vector<GroupUse> reducers_since;
-  };
+  // The op model (OpRecord, payloads, CoarseDecision) lives in dcr/ops.hpp,
+  // and the coarse dependence stage in dcr/coarse.hpp — both shared with the
+  // real-threads backend (src/exec/).
 
   // ------------------------------------------------------------ shard state
   struct ShardState {
@@ -449,17 +379,14 @@ class DcrRuntime {
     return ShardId(static_cast<std::uint32_t>(op.value % placement_.size()));
   }
 
-  std::vector<ReqSummary> summarize(const OpRecord& op) const;
+  // Coarse-stage front door: runs coarse_.decide() / coarse_.install_replayed()
+  // and, when this call computed the decision, mirrors DcrStats and emits the
+  // spy trace records (dependences then the op record) exactly once.
   const CoarseDecision& coarse_decision(const OpRecord& op);
-  bool dependence_is_shard_local(const ReqSummary& prev, const ReqSummary& next) const;
-  // Folds one requirement summary into the shared per-(tree,field) coarse
-  // epoch state — used identically by fresh analysis and template replay.
-  void apply_epoch_update(OpId op, FieldId f, const ReqSummary& r);
+  const CoarseDecision& install_replayed_decision(const OpRecord& op);
+  void emit_coarse_decision(const OpRecord& op, const CoarseDecision& dec);
 
   // ---- dependence templates (dcr/template.hpp) ----
-  // Installs the recorded coarse decision for a replayed op into the shared
-  // decision cache without re-running the conflict scans.
-  const CoarseDecision& install_replayed_decision(const OpRecord& op);
   // Capture: turn a computed decision (+ the op's fine-stage plan) into a
   // TemplateOp on this shard's recording.
   void capture_template_op(ShardState& st, const OpRecord& op, const CoarseDecision& dec);
@@ -531,6 +458,11 @@ class DcrRuntime {
   DcrConfig config_;
   std::vector<NodeId> placement_;  // shard -> node
   prof::Profiler profiler_;
+  // Time source for prof/scope span timestamps (common/clock.hpp): virtual
+  // nanoseconds here, wall nanoseconds on the threads backend.  Timestamp
+  // reads go through this; functional reads (event triggers, fault leases,
+  // lease expiry) stay on the simulator calendar directly.
+  sim::SimClock clock_{machine_.sim()};
 
   rt::RegionForest forest_;
   rt::ProjectionRegistry projections_;
@@ -551,9 +483,12 @@ class DcrRuntime {
   std::vector<Creation> creations_;
 
   std::vector<std::unique_ptr<ShardState>> shards_;
-  std::map<OpId, CoarseDecision> coarse_decisions_;
-  std::map<std::pair<RegionTreeId, FieldId>, CoarseFieldState> coarse_state_;
-  std::uint64_t coarse_state_next_op_ = 0;  // ops folded into coarse_state_
+  // Shared coarse dependence stage (dcr/coarse.hpp): decisions, epoch state,
+  // program-order guard.  Also used verbatim by the threads backend.
+  CoarseAnalyzer coarse_{
+      CoarseAnalyzer::Options{config_.disable_fence_elision, config_.static_analysis,
+                              config_.statics_check},
+      profiler_};
 
   std::map<std::uint64_t, FutureRecord> futures_;
   std::map<std::uint64_t, FutureMapRecord> future_maps_;

@@ -1,0 +1,283 @@
+// §3 call-identity hashing, shared by every execution backend.
+//
+// SigBuilder builds the control-determinism hash (and, when spy trace
+// recording is on, the named-argument capture) for one API call.  The
+// per-API sig_* helpers below encode the exact argument sequence of each
+// call once, so the simulator backend (dcr/runtime.cpp) and the real-threads
+// backend (exec/thread_runtime.cpp) produce identical §3 hashes and identical
+// template-identity hashes *by construction* — the differential-determinism
+// contract in tests/test_exec.cpp leans on this.
+#pragma once
+
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/hash128.hpp"
+#include "common/types.hpp"
+#include "dcr/api.hpp"
+#include "runtime/geometry.hpp"
+#include "spy/trace.hpp"
+
+namespace dcr::core {
+
+// Builds the §3 call-identity hash and, when spy trace recording is on, a
+// parallel list of the same arguments as named text — the raw material for
+// the control-determinism linter's argument-level diff (spy/verify.hpp).
+// With capture off, this is the plain Hasher128 path plus one branch per arg.
+//
+// A second lane accumulates the *template-identity* hash (dcr/template.hpp):
+// the same construction minus the arguments declared volatile via varg() —
+// scalar task arguments and future / future-map ids, which legitimately
+// differ across loop iterations without changing any analysis decision.  The
+// full §3 hash still covers them, so the determinism checker is unaffected.
+class SigBuilder {
+ public:
+  SigBuilder(const char* name, bool capture) : capture_(capture) {
+    h_.string(name);
+    t_.string(name);
+  }
+
+  template <typename T>
+    requires std::is_integral_v<T>
+  SigBuilder& arg(const char* key, T v) {
+    h_.value(v);
+    t_.value(v);
+    if (capture_) args_.push_back({key, std::to_string(v)});
+    return *this;
+  }
+
+  // Volatile argument: hashed for control determinism, excluded from the
+  // template identity.
+  template <typename T>
+    requires std::is_integral_v<T>
+  SigBuilder& varg(const char* key, T v) {
+    h_.value(v);
+    if (capture_) args_.push_back({key, std::to_string(v)});
+    return *this;
+  }
+
+  template <typename T>
+    requires std::is_enum_v<T>
+  SigBuilder& arg(const char* key, T v) {
+    return arg(key, static_cast<std::underlying_type_t<T>>(v));
+  }
+
+  SigBuilder& arg(const char* key, const std::string& s) {
+    h_.string(s);
+    t_.string(s);
+    if (capture_) args_.push_back({key, s});
+    return *this;
+  }
+
+  SigBuilder& arg(const char* key, const rt::Rect& r) {
+    h_.value(r.dim).value(r.lo).value(r.hi);
+    t_.value(r.dim).value(r.lo).value(r.hi);
+    if (capture_) {
+      std::string v = "[";
+      for (int d = 0; d < r.dim; ++d) {
+        if (d) v += ',';
+        v += std::to_string(r.lo[static_cast<std::size_t>(d)]) + ".." +
+             std::to_string(r.hi[static_cast<std::size_t>(d)]);
+      }
+      args_.push_back({key, v + "]"});
+    }
+    return *this;
+  }
+
+  SigBuilder& arg(const char* key, const std::vector<FieldId>& fields) {
+    h_.value(fields.size());
+    t_.value(fields.size());
+    std::string v = "{";
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      h_.value(fields[i].value);
+      t_.value(fields[i].value);
+      if (capture_) {
+        if (i) v += ',';
+        v += std::to_string(fields[i].value);
+      }
+    }
+    if (capture_) args_.push_back({key, v + "}"});
+    return *this;
+  }
+
+  Hash128 finish() const { return h_.finish(); }
+  Hash128 tfinish() const { return t_.finish(); }
+  std::vector<spy::CallArg> take_args() { return std::move(args_); }
+
+ private:
+  Hasher128 h_;
+  Hasher128 t_;
+  bool capture_;
+  std::vector<spy::CallArg> args_;
+};
+
+// ---- per-API signature encoders (one definition of each call's identity) ----
+
+inline SigBuilder sig_create_field_space(bool capture) {
+  return SigBuilder("create_field_space", capture);
+}
+
+inline SigBuilder sig_allocate_field(bool capture, FieldSpaceId fs, std::size_t bytes,
+                                     const std::string& name) {
+  SigBuilder sb("allocate_field", capture);
+  sb.arg("field_space", fs.value).arg("bytes", bytes).arg("name", name);
+  return sb;
+}
+
+inline SigBuilder sig_create_region(bool capture, const rt::Rect& bounds, FieldSpaceId fs) {
+  SigBuilder sb("create_region", capture);
+  sb.arg("bounds", bounds).arg("field_space", fs.value);
+  return sb;
+}
+
+inline SigBuilder sig_partition_equal(bool capture, IndexSpaceId parent, std::size_t pieces,
+                                      int axis) {
+  SigBuilder sb("partition_equal", capture);
+  sb.arg("parent", parent.value).arg("pieces", pieces).arg("axis", axis);
+  return sb;
+}
+
+inline SigBuilder sig_partition_with_halo(bool capture, IndexSpaceId parent,
+                                          std::size_t pieces, std::int64_t halo, int axis) {
+  SigBuilder sb("partition_with_halo", capture);
+  sb.arg("parent", parent.value).arg("pieces", pieces).arg("halo", halo).arg("axis", axis);
+  return sb;
+}
+
+inline SigBuilder sig_create_partition(bool capture, IndexSpaceId parent,
+                                       const std::vector<rt::Rect>& pieces, bool disjoint) {
+  SigBuilder sb("create_partition", capture);
+  sb.arg("parent", parent.value).arg("pieces", pieces.size()).arg("disjoint", disjoint);
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    sb.arg(("piece" + std::to_string(i)).c_str(), pieces[i]);
+  }
+  return sb;
+}
+
+inline SigBuilder sig_partition_grid(bool capture, IndexSpaceId parent, std::size_t tiles_x,
+                                     std::size_t tiles_y, std::int64_t halo) {
+  SigBuilder sb("partition_grid", capture);
+  sb.arg("parent", parent.value).arg("tiles_x", tiles_x).arg("tiles_y", tiles_y);
+  sb.arg("halo", halo);
+  return sb;
+}
+
+inline SigBuilder sig_destroy_region(bool capture, RegionTreeId tree) {
+  SigBuilder sb("destroy_region", capture);
+  sb.arg("tree", tree.value);
+  return sb;
+}
+
+inline SigBuilder sig_fill(bool capture, IndexSpaceId region,
+                           const std::vector<FieldId>& fields) {
+  SigBuilder sb("fill", capture);
+  sb.arg("region", region.value).arg("fields", fields);
+  return sb;
+}
+
+inline SigBuilder sig_launch(bool capture, const TaskLaunch& launch) {
+  SigBuilder sb("launch", capture);
+  sb.arg("fn", launch.fn.value).arg("num_reqs", launch.requirements.size());
+  for (std::size_t i = 0; i < launch.requirements.size(); ++i) {
+    const auto& r = launch.requirements[i];
+    const std::string k = "req" + std::to_string(i);
+    sb.arg((k + ".region").c_str(), r.region.value);
+    sb.arg((k + ".privilege").c_str(), r.privilege);
+    sb.arg((k + ".redop").c_str(), r.redop);
+    sb.arg((k + ".fields").c_str(), r.fields);
+  }
+  for (std::size_t i = 0; i < launch.args.size(); ++i) {
+    // Scalar task arguments (e.g. the loop index) are volatile: they do not
+    // affect any dependence-analysis decision.
+    sb.varg(("arg" + std::to_string(i)).c_str(), launch.args[i]);
+  }
+  return sb;
+}
+
+inline SigBuilder sig_index_launch(bool capture, const IndexLaunch& launch) {
+  SigBuilder sb("index_launch", capture);
+  sb.arg("fn", launch.fn.value).arg("domain", launch.domain);
+  sb.arg("sharding", launch.sharding.value);
+  for (std::size_t i = 0; i < launch.requirements.size(); ++i) {
+    const auto& r = launch.requirements[i];
+    const std::string k = "req" + std::to_string(i);
+    sb.arg((k + ".partition").c_str(), r.partition.value);
+    sb.arg((k + ".region").c_str(), r.region.value);
+    sb.arg((k + ".projection").c_str(), r.projection.value);
+    sb.arg((k + ".privilege").c_str(), r.privilege);
+    sb.arg((k + ".redop").c_str(), r.redop);
+    sb.arg((k + ".fields").c_str(), r.fields);
+  }
+  for (std::size_t i = 0; i < launch.args.size(); ++i) {
+    sb.varg(("arg" + std::to_string(i)).c_str(), launch.args[i]);
+  }
+  return sb;
+}
+
+inline SigBuilder sig_reduce_future_map(bool capture, const FutureMap& fm, ReduceOp op) {
+  SigBuilder sb("reduce_future_map", capture);
+  // Future-map ids increment monotonically across iterations: volatile.
+  sb.varg("future_map", fm.id).arg("op", op);
+  return sb;
+}
+
+inline SigBuilder sig_get_future(bool capture, const Future& f) {
+  SigBuilder sb("get_future", capture);
+  sb.varg("future", f.id);
+  return sb;
+}
+
+inline SigBuilder sig_future_is_ready(bool capture, const Future& f) {
+  SigBuilder sb("future_is_ready", capture);
+  sb.varg("future", f.id);
+  return sb;
+}
+
+inline SigBuilder sig_execution_fence(bool capture) {
+  return SigBuilder("execution_fence", capture);
+}
+
+inline SigBuilder sig_attach_file(bool capture, IndexSpaceId region,
+                                  const std::vector<FieldId>& fields,
+                                  const std::string& file) {
+  SigBuilder sb("attach_file", capture);
+  sb.arg("region", region.value).arg("file", file).arg("fields", fields);
+  return sb;
+}
+
+inline SigBuilder sig_detach_file(bool capture, IndexSpaceId region,
+                                  const std::vector<FieldId>& fields) {
+  SigBuilder sb("detach_file", capture);
+  sb.arg("region", region.value).arg("fields", fields);
+  return sb;
+}
+
+inline SigBuilder sig_attach_file_group(bool capture, PartitionId partition,
+                                        const std::vector<FieldId>& fields,
+                                        const std::string& file_basename) {
+  SigBuilder sb("attach_file_group", capture);
+  sb.arg("partition", partition.value).arg("file", file_basename).arg("fields", fields);
+  return sb;
+}
+
+inline SigBuilder sig_detach_file_group(bool capture, PartitionId partition,
+                                        const std::vector<FieldId>& fields) {
+  SigBuilder sb("detach_file_group", capture);
+  sb.arg("partition", partition.value).arg("fields", fields);
+  return sb;
+}
+
+inline SigBuilder sig_begin_trace(bool capture, TraceId id) {
+  SigBuilder sb("begin_trace", capture);
+  sb.arg("trace", id.value);
+  return sb;
+}
+
+inline SigBuilder sig_end_trace(bool capture, TraceId id) {
+  SigBuilder sb("end_trace", capture);
+  sb.arg("trace", id.value);
+  return sb;
+}
+
+}  // namespace dcr::core

@@ -1,0 +1,26 @@
+// WallClock: the threads backend's Clock — real nanoseconds from
+// std::chrono::steady_clock, zeroed at construction so span timestamps start
+// near 0 like the simulator's virtual clock (common/clock.hpp).
+#pragma once
+
+#include <chrono>
+
+#include "common/clock.hpp"
+
+namespace dcr::exec {
+
+class WallClock final : public Clock {
+ public:
+  WallClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+  SimTime now() const override {
+    const auto d = std::chrono::steady_clock::now() - epoch_;
+    return static_cast<SimTime>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace dcr::exec

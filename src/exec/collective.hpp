@@ -1,0 +1,147 @@
+// Wall-clock collectives for the real-threads backend.
+//
+// FenceCollective: the cross-shard fence of paper §4.1/§4.2 as a reusable
+// N-thread barrier — atomic arrival counter plus futex-style parking via
+// C++20 atomic wait/notify (no mutex, no condvar).  Sense-reversing by
+// generation so the same object serves every fence epoch.
+//
+// ValueCollective: the future all-reduce/broadcast — every shard pushes its
+// (rank, value) contribution through an MPMC fan-in queue; the last arriver
+// drains the queue, combines in deterministic rank order, and publishes the
+// result for everyone.  Rank-order combination makes the result independent
+// of arrival order, so repeated runs (and the differential tests) see one
+// value stream.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/check.hpp"
+#include "exec/queue.hpp"
+
+namespace dcr::exec {
+
+class FenceCollective {
+ public:
+  explicit FenceCollective(std::uint32_t ranks) : ranks_(ranks) {
+    DCR_CHECK(ranks >= 1);
+  }
+
+  FenceCollective(const FenceCollective&) = delete;
+  FenceCollective& operator=(const FenceCollective&) = delete;
+
+  std::uint32_t ranks() const { return ranks_; }
+  std::uint64_t generation() const { return generation_.load(std::memory_order_acquire); }
+
+  // Arrive and block until all ranks of this generation have arrived.  The
+  // last arriver bumps the generation and wakes the parked ranks.
+  void arrive_and_wait() {
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == ranks_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      generation_.fetch_add(1, std::memory_order_acq_rel);
+      generation_.notify_all();
+      return;
+    }
+    while (generation_.load(std::memory_order_acquire) == gen) {
+      generation_.wait(gen, std::memory_order_acquire);
+    }
+  }
+
+ private:
+  const std::uint32_t ranks_;
+  alignas(kCacheLine) std::atomic<std::uint32_t> arrived_{0};
+  alignas(kCacheLine) std::atomic<std::uint64_t> generation_{0};
+};
+
+// One-shot all-reduce of doubles across N ranks.  Contributions fan in
+// through an MPMC queue (multi-producer: every shard thread pushes); the
+// rank that completes the set combines in ascending rank order and publishes.
+class ValueCollective {
+ public:
+  using CombineFn = std::function<double(double, double)>;
+
+  ValueCollective(std::uint32_t ranks, double init, CombineFn combine)
+      : ranks_(ranks), init_(init), combine_(std::move(combine)), fanin_(ranks) {
+    DCR_CHECK(ranks >= 1);
+    slots_.assign(ranks_, 0.0);
+    slot_set_.assign(ranks_, 0);
+  }
+
+  ValueCollective(const ValueCollective&) = delete;
+  ValueCollective& operator=(const ValueCollective&) = delete;
+
+  // Contribute rank `r`'s value; each rank contributes exactly once.
+  void arrive(std::uint32_t r, double value) {
+    DCR_CHECK(r < ranks_);
+    const bool pushed = fanin_.try_push(Contribution{r, value});
+    DCR_CHECK(pushed) << "value-collective fan-in overflow (duplicate arrival?)";
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == ranks_) {
+      // Last arriver: drain the fan-in, combine in rank order, publish.
+      while (auto c = fanin_.try_pop()) {
+        DCR_CHECK(!slot_set_[c->rank]) << "duplicate value-collective arrival";
+        slot_set_[c->rank] = 1;
+        slots_[c->rank] = c->value;
+      }
+      double acc = init_;
+      for (std::uint32_t i = 0; i < ranks_; ++i) {
+        DCR_CHECK(slot_set_[i]) << "value-collective missing rank " << i;
+        acc = combine_(acc, slots_[i]);
+      }
+      result_bits_.store(bits_of(acc), std::memory_order_relaxed);
+      ready_.store(true, std::memory_order_release);
+      ready_.notify_all();
+    }
+  }
+
+  bool ready() const { return ready_.load(std::memory_order_acquire); }
+
+  // Block until the combined value is published.
+  double wait() const {
+    while (!ready_.load(std::memory_order_acquire)) {
+      ready_.wait(false, std::memory_order_acquire);
+    }
+    return value_of(result_bits_.load(std::memory_order_relaxed));
+  }
+
+  double result() const {
+    DCR_CHECK(ready()) << "value collective not complete";
+    return value_of(result_bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  struct Contribution {
+    std::uint32_t rank = 0;
+    double value = 0.0;
+  };
+
+  static std::uint64_t bits_of(double d) {
+    std::uint64_t b;
+    static_assert(sizeof(b) == sizeof(d));
+    __builtin_memcpy(&b, &d, sizeof(b));
+    return b;
+  }
+  static double value_of(std::uint64_t b) {
+    double d;
+    __builtin_memcpy(&d, &b, sizeof(d));
+    return d;
+  }
+
+  const std::uint32_t ranks_;
+  const double init_;
+  CombineFn combine_;
+  MpmcQueue<Contribution> fanin_;
+  // Slot arrays are written only by the single draining thread (the last
+  // arriver) and read after the ready_ release/acquire edge.
+  std::vector<double> slots_;
+  std::vector<std::uint8_t> slot_set_;
+  alignas(kCacheLine) std::atomic<std::uint32_t> arrived_{0};
+  alignas(kCacheLine) std::atomic<std::uint64_t> result_bits_{0};
+  alignas(kCacheLine) std::atomic<bool> ready_{false};
+};
+
+}  // namespace dcr::exec

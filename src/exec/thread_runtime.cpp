@@ -1,0 +1,1115 @@
+#include "exec/thread_runtime.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <thread>
+
+#include "common/hash128.hpp"
+#include "dcr/sig.hpp"
+#include "spy/verify.hpp"
+
+namespace dcr::exec {
+
+using core::AttachPayload;
+using core::CoarseDecision;
+using core::DeletePayload;
+using core::FencePayload;
+using core::FillPayload;
+using core::IndexPayload;
+using core::OpPayload;
+using core::OpRecord;
+using core::PointPlan;
+using core::PointPlanList;
+using core::ReducePayload;
+using core::SigBuilder;
+using core::TaskPayload;
+using core::TemplateDep;
+using core::TemplateFence;
+using core::TemplateManager;
+using core::TemplateOp;
+
+// ===========================================================================
+// ThreadShardContext: the per-thread implementation of the application API.
+// Mirrors the simulator's ShardContext (dcr/runtime.cpp) call for call —
+// same sig_* hashing, same issue points, same prof accounting — minus the
+// simulator-only machinery (virtual-time charging, replay fast-forwarding,
+// control taint, dcr-scope).
+// ===========================================================================
+class ThreadShardContext final : public core::Context {
+ public:
+  ThreadShardContext(ThreadRuntime& rt, ThreadRuntime::ThreadShard& st)
+      : rt_(rt), st_(st) {}
+
+  // Each API call hashes its identity and arguments (paper §3).  Instead of
+  // the simulator's per-call collective check, each thread folds its hash
+  // stream into a running 128-bit digest compared across shards at join —
+  // same detection guarantee, no cross-thread traffic on the hot path.
+  void api_call(const char* name, SigBuilder& sig) {
+    const Hash128 h = sig.finish();
+    st_.last_template_hash = sig.tfinish();
+    if (rt_.checks_enabled()) {
+      rt_.determinism_checks_.fetch_add(1, std::memory_order_relaxed);
+      Hasher128 fold;
+      fold.value(st_.call_fold.lo).value(st_.call_fold.hi).value(h.lo).value(h.hi);
+      st_.call_fold = fold.finish();
+    }
+    if (rt_.trace_) {
+      rt_.trace_->calls[st_.id.value].push_back({st_.api_calls, name, h, sig.take_args()});
+    }
+    st_.api_calls++;
+    if (rt_.config_.tracing_enabled) st_.templates.on_call(st_.last_template_hash);
+  }
+
+  // Whether sig_* encoders should capture named arguments for the spy trace.
+  bool cap() const { return rt_.trace_ != nullptr; }
+
+  // ---- data model: every shard replays creations on its own forest replica;
+  //      the handles agree across shards by control determinism ----
+  FieldSpaceId create_field_space() override {
+    SigBuilder sb = core::sig_create_field_space(cap());
+    api_call("create_field_space", sb);
+    return st_.forest.create_field_space();
+  }
+
+  FieldId allocate_field(FieldSpaceId fs, std::size_t bytes, std::string name) override {
+    SigBuilder sb = core::sig_allocate_field(cap(), fs, bytes, name);
+    api_call("allocate_field", sb);
+    return st_.forest.allocate_field(fs, bytes, std::move(name));
+  }
+
+  RegionTreeId create_region(const rt::Rect& bounds, FieldSpaceId fs) override {
+    SigBuilder sb = core::sig_create_region(cap(), bounds, fs);
+    api_call("create_region", sb);
+    return st_.forest.create_tree(bounds, fs);
+  }
+
+  IndexSpaceId root(RegionTreeId tree) override { return st_.forest.root(tree); }
+
+  PartitionId partition_equal(IndexSpaceId parent, std::size_t pieces, int axis) override {
+    SigBuilder sb = core::sig_partition_equal(cap(), parent, pieces, axis);
+    api_call("partition_equal", sb);
+    return st_.forest.partition_equal(parent, pieces, axis);
+  }
+
+  PartitionId partition_with_halo(IndexSpaceId parent, std::size_t pieces,
+                                  std::int64_t halo, int axis) override {
+    SigBuilder sb = core::sig_partition_with_halo(cap(), parent, pieces, halo, axis);
+    api_call("partition_with_halo", sb);
+    return st_.forest.partition_with_halo(parent, pieces, halo, axis);
+  }
+
+  PartitionId create_partition(IndexSpaceId parent, std::vector<rt::Rect> pieces,
+                               bool disjoint) override {
+    SigBuilder sb = core::sig_create_partition(cap(), parent, pieces, disjoint);
+    api_call("create_partition", sb);
+    return st_.forest.create_partition(parent, std::move(pieces), disjoint);
+  }
+
+  PartitionId partition_grid(IndexSpaceId parent, std::size_t tiles_x, std::size_t tiles_y,
+                             std::int64_t halo) override {
+    SigBuilder sb = core::sig_partition_grid(cap(), parent, tiles_x, tiles_y, halo);
+    api_call("partition_grid", sb);
+    return st_.forest.partition_grid(parent, tiles_x, tiles_y, halo);
+  }
+
+  void destroy_region(RegionTreeId tree) override {
+    SigBuilder sb = core::sig_destroy_region(cap(), tree);
+    api_call("destroy_region", sb);
+    rt_.issue(st_, DeletePayload{tree});
+  }
+
+  void destroy_region_deferred(RegionTreeId tree) override {
+    (void)tree;
+    DCR_CHECK(false) << "destroy_region_deferred is not supported on the threads backend "
+                        "(no deferred-deletion consensus poller); use destroy_region";
+  }
+
+  const rt::RegionForest& forest() const override { return st_.forest; }
+
+  // ---- operations ----
+  void fill(IndexSpaceId region, std::vector<FieldId> fields) override {
+    SigBuilder sb = core::sig_fill(cap(), region, fields);
+    api_call("fill", sb);
+    rt_.issue(st_, FillPayload{region, std::move(fields)});
+  }
+
+  core::Future launch(const core::TaskLaunch& launch) override {
+    SigBuilder sb = core::sig_launch(cap(), launch);
+    api_call("launch", sb);
+    TaskPayload p{launch, ~0ull};
+    core::Future f;
+    if (launch.wants_future) {
+      f.id = st_.next_future++;
+      p.future_id = f.id;
+    }
+    rt_.issue(st_, std::move(p));
+    return f;
+  }
+
+  core::FutureMap index_launch(const core::IndexLaunch& launch) override {
+    SigBuilder sb = core::sig_index_launch(cap(), launch);
+    api_call("index_launch", sb);
+    IndexPayload p{launch, ~0ull};
+    core::FutureMap fm;
+    if (launch.wants_futures) {
+      fm.id = st_.next_future_map++;
+      p.future_map_id = fm.id;
+    }
+    rt_.issue(st_, std::move(p));
+    return fm;
+  }
+
+  core::Future reduce_future_map(const core::FutureMap& fm, core::ReduceOp op) override {
+    SigBuilder sb = core::sig_reduce_future_map(cap(), fm, op);
+    api_call("reduce_future_map", sb);
+    DCR_CHECK(fm.valid()) << "reducing an invalid future map";
+    core::Future f;
+    f.id = st_.next_future++;
+    rt_.issue(st_, ReducePayload{fm.id, op, f.id});
+    return f;
+  }
+
+  double get_future(const core::Future& f) override {
+    SigBuilder sb = core::sig_get_future(cap(), f);
+    api_call("get_future", sb);
+    DCR_CHECK(f.valid()) << "waiting on an invalid future";
+    ThreadRuntime::FutureEntry entry;
+    {
+      std::lock_guard<std::mutex> lk(rt_.futures_mu_);
+      auto it = rt_.futures_.find(f.id);
+      DCR_CHECK(it != rt_.futures_.end()) << "future " << f.id << " has no producer";
+      entry = it->second;
+    }
+    const SimTime wait_start = rt_.clock_.now();
+    double v;
+    if (entry.reduce) {
+      v = entry.coll->wait();
+    } else {
+      v = rt_.wait_broadcast(st_, f.id);
+    }
+    const SimTime now = rt_.clock_.now();
+    prof::Counters& pc = rt_.profiler_.shard(st_.id.value);
+    pc.add(prof::Counter::FutureWaits);
+    pc.add(prof::Counter::FutureWaitNs, now - wait_start);
+    pc.observe(prof::Hist::FutureWaitNs, now - wait_start);
+    rt_.profiler_.emit(
+        {prof::SpanKind::FutureWait, prof::Lane::Control, st_.id.value, wait_start, now});
+    return v;
+  }
+
+  bool future_is_ready(const core::Future& f) override {
+    // Timing-dependent by design (Figure 5): the *call* is still hashed, but
+    // the returned value may differ across shards — here genuinely racy wall
+    // clock rather than simulated divergence.
+    SigBuilder sb = core::sig_future_is_ready(cap(), f);
+    api_call("future_is_ready", sb);
+    ThreadRuntime::FutureEntry entry;
+    {
+      std::lock_guard<std::mutex> lk(rt_.futures_mu_);
+      auto it = rt_.futures_.find(f.id);
+      if (it == rt_.futures_.end()) return false;
+      entry = it->second;
+    }
+    if (entry.reduce) return entry.coll->ready();
+    rt_.drain_inbox(st_);
+    return st_.future_cache.count(f.id) != 0;
+  }
+
+  void execution_fence() override {
+    SigBuilder sb = core::sig_execution_fence(cap());
+    api_call("execution_fence", sb);
+    // The fence op's coarse decision is a pipeline barrier (it fences on the
+    // previous op), and processing is inline, so once issue() returns every
+    // shard has finished executing every prior op's owned points.
+    const SimTime wait_start = rt_.clock_.now();
+    rt_.issue(st_, FencePayload{});
+    rt_.profiler_.shard(st_.id.value).add(prof::Counter::ExecutionFences);
+    rt_.profiler_.emit({prof::SpanKind::ExecutionFence, prof::Lane::Control, st_.id.value,
+                        wait_start, rt_.clock_.now()});
+  }
+
+  void attach_file(IndexSpaceId region, std::vector<FieldId> fields,
+                   std::string file) override {
+    SigBuilder sb = core::sig_attach_file(cap(), region, fields, file);
+    api_call("attach_file", sb);
+    AttachPayload p;
+    p.region = region;
+    p.fields = std::move(fields);
+    p.file = std::move(file);
+    rt_.issue(st_, std::move(p));
+  }
+
+  void detach_file(IndexSpaceId region, std::vector<FieldId> fields) override {
+    SigBuilder sb = core::sig_detach_file(cap(), region, fields);
+    api_call("detach_file", sb);
+    AttachPayload p;
+    p.region = region;
+    p.fields = std::move(fields);
+    p.detach = true;
+    rt_.issue(st_, std::move(p));
+  }
+
+  void attach_file_group(PartitionId partition, std::vector<FieldId> fields,
+                         std::string file_basename) override {
+    SigBuilder sb = core::sig_attach_file_group(cap(), partition, fields, file_basename);
+    api_call("attach_file_group", sb);
+    AttachPayload p;
+    p.partition = partition;
+    p.fields = std::move(fields);
+    p.file = std::move(file_basename);
+    rt_.issue(st_, std::move(p));
+  }
+
+  void detach_file_group(PartitionId partition, std::vector<FieldId> fields) override {
+    SigBuilder sb = core::sig_detach_file_group(cap(), partition, fields);
+    api_call("detach_file_group", sb);
+    AttachPayload p;
+    p.partition = partition;
+    p.fields = std::move(fields);
+    p.detach = true;
+    rt_.issue(st_, std::move(p));
+  }
+
+  // ---- tracing (dependence templates, dcr/template.hpp) ----
+  void begin_trace(TraceId id) override {
+    SigBuilder sb = core::sig_begin_trace(cap(), id);
+    api_call("begin_trace", sb);
+    if (!rt_.config_.tracing_enabled) return;
+    DCR_CHECK(!st_.templates.active()) << "nested traces are not supported";
+    // No recovery or deferred-deletion epochs on this backend; the forest
+    // mutation epoch is the only validity key that can move.
+    st_.templates.begin(id, st_.forest.mutation_epoch(), /*recovery_epoch=*/0,
+                        /*deletion_epoch=*/0, rt_.config_.template_validation);
+    st_.windows_opened++;
+    st_.window_started = rt_.clock_.now();
+  }
+
+  void end_trace(TraceId id) override {
+    SigBuilder sb = core::sig_end_trace(cap(), id);
+    api_call("end_trace", sb);
+    if (!rt_.config_.tracing_enabled) return;
+    DCR_CHECK(st_.templates.active() && *st_.templates.active() == id)
+        << "mismatched end_trace";
+    prof::Counters& pc = rt_.profiler_.shard(st_.id.value);
+    pc.add(prof::Counter::WindowsClosed);
+    pc.add(st_.templates.mode() == TemplateManager::Mode::Replay
+               ? prof::Counter::TemplateWindowHits
+               : prof::Counter::TemplateWindowMisses);
+    st_.templates.end(st_.forest);
+    rt_.profiler_.emit({prof::SpanKind::TraceWindow, prof::Lane::Control, st_.id.value,
+                        st_.window_started, rt_.clock_.now(), prof::kNoId,
+                        st_.windows_opened - 1});
+  }
+
+  // ---- environment ----
+  std::size_t num_shards() const override { return rt_.num_shards(); }
+  ShardId shard_id() const override { return st_.id; }
+  Philox4x32& rng() override { return *st_.rng; }
+  SimTime now() const override { return rt_.clock_.now(); }
+
+ private:
+  ThreadRuntime& rt_;
+  ThreadRuntime::ThreadShard& st_;
+};
+
+// ===========================================================================
+// ThreadRuntime
+// ===========================================================================
+
+namespace {
+// record_trace needs the realized graph's edges, so it implies
+// record_task_graph; normalized before any member (tracker_) consumes it.
+ThreadConfig normalize_config(ThreadConfig config) {
+  if (config.record_trace) config.record_task_graph = true;
+  if (config.num_shards == 0) config.num_shards = 1;
+  return config;
+}
+}  // namespace
+
+ThreadRuntime::ThreadRuntime(core::FunctionRegistry& functions, ThreadConfig config)
+    : functions_(functions),
+      config_(normalize_config(std::move(config))),
+      profiler_(config_.num_shards, config_.profile),
+      tracker_(/*keep_completed=*/config_.record_task_graph) {
+  shards_.reserve(config_.num_shards);
+  for (std::size_t s = 0; s < config_.num_shards; ++s) {
+    auto st = std::make_unique<ThreadShard>();
+    st->id = ShardId(static_cast<std::uint32_t>(s));
+    st->prover = std::make_unique<statics::InterferenceProver>(st->forest, projections_,
+                                                               config_.statics_check);
+    st->rng = std::make_unique<Philox4x32>(/*seed=*/0x5eed, /*stream=*/0);
+    st->inbox.reserve(config_.num_shards);
+    for (std::size_t p = 0; p < config_.num_shards; ++p) {
+      st->inbox.push_back(p == s ? nullptr
+                                 : std::make_unique<SpscQueue<FutureMsg>>(
+                                       config_.mailbox_capacity));
+    }
+    shards_.push_back(std::move(st));
+  }
+  if (config_.record_trace) {
+    trace_ = std::make_unique<spy::Trace>();
+    trace_->num_shards = config_.num_shards;
+    trace_->calls.resize(config_.num_shards);
+  }
+}
+
+ThreadRuntime::~ThreadRuntime() = default;
+
+bool ThreadRuntime::checks_enabled() const {
+  // Matches the simulator's DeterminismChecker::enabled(): the per-call count
+  // is charged whenever checking is on, even single-shard (where the join
+  // comparison below is vacuous) — keeps DcrStats parity exact.
+  return config_.determinism_checks;
+}
+
+ShardingId ThreadRuntime::register_sharding(core::ShardingRegistry::ShardingFn fn) {
+  DCR_CHECK(!executed_) << "register shardings before execute()";
+  ShardingId id = ShardingId::invalid();
+  for (auto& st : shards_) {
+    const ShardingId got = st->shardings.register_sharding(fn);
+    if (!id.valid()) id = got;
+    DCR_CHECK(got.value == id.value) << "sharding registries diverged";
+  }
+  return id;
+}
+
+core::TemplateManager& ThreadRuntime::shard_templates(ShardId s) {
+  return shard(s).templates;
+}
+
+// ----------------------------------------------------------- coarse stage
+
+void ThreadRuntime::emit_coarse_decision_locked(const OpRecord& op,
+                                                const CoarseDecision& dec) {
+  coarse_deps_ += dec.deps;
+  fences_elided_ += dec.elided;
+  if (!dec.fence_sources.empty()) fences_inserted_++;
+  if (trace_) {
+    // Ops reach here exactly once, in program order (analyzer-checked).
+    for (const spy::CoarseDepRecord& d : dec.dep_records) trace_->coarse_deps.push_back(d);
+    trace_->ops.push_back({op.id, dec.kind, op.call_index, dec.fence_sources});
+  }
+}
+
+CoarseDecision ThreadRuntime::coarse_decision(ThreadShard& st, const OpRecord& op) {
+  std::lock_guard<std::mutex> lk(analysis_mu_);
+  bool fresh = false;
+  // The calling shard's forest/prover stand in for the simulator's shared
+  // ones: every replica is at the same program point when its shard first
+  // reaches this op, so whichever shard computes the decision sees identical
+  // region state (control determinism).  Later shards hit the cache.
+  const CoarseDecision& dec = coarse_.decide(op, st.forest, *st.prover, statics_ledger_,
+                                             single_op_owner(op.id), &fresh);
+  if (fresh) emit_coarse_decision_locked(op, dec);
+  return dec;  // copy: the cache must not be read outside the lock
+}
+
+CoarseDecision ThreadRuntime::install_replayed_decision(const OpRecord& op) {
+  std::lock_guard<std::mutex> lk(analysis_mu_);
+  bool fresh = false;
+  const CoarseDecision& dec = coarse_.install_replayed(op, statics_ledger_, &fresh);
+  if (fresh) emit_coarse_decision_locked(op, dec);
+  return dec;
+}
+
+// ----------------------------------------------------- dependence templates
+// Same logic as DcrRuntime's capture/validate, operating on this shard's
+// template store (dcr/runtime.cpp is the reference).
+
+std::shared_ptr<const PointPlanList> ThreadRuntime::make_point_plan(
+    ThreadShard& st, const IndexPayload& index) {
+  const core::IndexLaunch& launch = index.launch;
+  const auto& points =
+      st.shardings.owned_points(launch.sharding, launch.domain, num_shards(), st.id);
+  auto plan = std::make_shared<PointPlanList>();
+  plan->reserve(points.size());
+  for (const rt::Point& p : points) {
+    PointPlan pp;
+    pp.point = p;
+    pp.point_index = rt::linearize(launch.domain, p);
+    pp.reqs.reserve(launch.requirements.size());
+    for (const rt::GroupRequirement& gr : launch.requirements) {
+      pp.reqs.push_back(gr.concretize(st.forest, projections_, p, launch.domain));
+    }
+    plan->push_back(std::move(pp));
+  }
+  return plan;
+}
+
+void ThreadRuntime::capture_template_op(ThreadShard& st, const OpRecord& op,
+                                        const CoarseDecision& dec) {
+  TemplateOp rec;
+  rec.payload_kind = op.payload.index();
+  rec.call_hash = op.call_hash;
+  rec.kind = dec.kind;
+  rec.num_reqs = dec.num_reqs;
+  rec.summaries = dec.summaries;
+  rec.deps.reserve(dec.dep_records.size());
+  for (const spy::CoarseDepRecord& d : dec.dep_records) {
+    if (d.prev.value >= op.id.value) {
+      st.templates.abort_window("non-causal coarse dependence during capture");
+      return;
+    }
+    rec.deps.push_back({op.id.value - d.prev.value, d.prev.value, /*absolute=*/false,
+                        d.tree, d.field, d.elided});
+  }
+  rec.fences.reserve(dec.fence_sources.size());
+  for (OpId src : dec.fence_sources) {
+    rec.fences.push_back({op.id.value - src.value, src.value, /*absolute=*/false});
+  }
+  rec.plan = op.plan;
+  st.templates.record_op(std::move(rec));
+}
+
+void ThreadRuntime::validate_template_op(ThreadShard& st, const OpRecord& op,
+                                         const CoarseDecision& dec) {
+  TemplateOp& rec = *op.trec;
+  auto fail = [&](const char* what) {
+    st.templates.validation_failed(std::string("shadow compare mismatch at op ") +
+                                   std::to_string(op.id.value) + ": " + what);
+  };
+  if (!(rec.call_hash == op.call_hash)) return fail("API-call identity");
+  if (rec.kind != dec.kind) return fail("op kind");
+  if (rec.num_reqs != dec.num_reqs) return fail("requirement count");
+  if (rec.summaries != dec.summaries) return fail("requirement summaries");
+  if (rec.deps.size() != dec.dep_records.size()) return fail("coarse dependence count");
+  for (std::size_t i = 0; i < rec.deps.size(); ++i) {
+    const spy::CoarseDepRecord& d = dec.dep_records[i];
+    TemplateDep& rd = rec.deps[i];
+    if (rd.tree != d.tree || rd.field != d.field || rd.elided != d.elided) {
+      return fail("coarse dependences / elision verdicts");
+    }
+    if (rd.prev_offset == op.id.value - d.prev.value) {
+      rd.absolute = false;
+    } else if (rd.abs_source == d.prev.value) {
+      rd.absolute = true;
+    } else {
+      return fail("coarse dependence source");
+    }
+  }
+  if (rec.fences.size() != dec.fence_sources.size()) return fail("fence count");
+  for (std::size_t i = 0; i < rec.fences.size(); ++i) {
+    const OpId src = dec.fence_sources[i];
+    TemplateFence& rf = rec.fences[i];
+    if (rf.prev_offset == op.id.value - src.value) {
+      rf.absolute = false;
+    } else if (rf.abs_source == src.value) {
+      rf.absolute = true;
+    } else {
+      return fail("fence sources");
+    }
+  }
+  const PointPlanList empty;
+  const PointPlanList& fresh_plan = op.plan ? *op.plan : empty;
+  const PointPlanList& stored_plan = rec.plan ? *rec.plan : empty;
+  if (!(fresh_plan == stored_plan)) return fail("fine-stage point plan");
+}
+
+// ------------------------------------------------------------- collectives
+
+std::shared_ptr<FenceCollective> ThreadRuntime::fence_for(OpId dependent) {
+  std::lock_guard<std::mutex> lk(fences_mu_);
+  auto it = fences_.find(dependent.value);
+  if (it == fences_.end()) {
+    it = fences_
+             .emplace(dependent.value, std::make_shared<FenceCollective>(
+                                           static_cast<std::uint32_t>(num_shards())))
+             .first;
+    profiler_.global().add(prof::GlobalCounter::FenceCollectives);
+    profiler_.global().add(prof::GlobalCounter::CollectiveRounds);
+  }
+  return it->second;
+}
+
+void ThreadRuntime::ensure_future(std::uint64_t id, OpId producer) {
+  std::lock_guard<std::mutex> lk(futures_mu_);
+  auto [it, inserted] = futures_.try_emplace(id);
+  if (!inserted) return;
+  profiler_.global().add(prof::GlobalCounter::FutureCollectives);
+  profiler_.global().add(prof::GlobalCounter::CollectiveRounds);
+  // Single-task futures broadcast from the owner shard (§4.2); delivery is
+  // the SPSC mailbox fabric, so no collective object is needed.
+  it->second.reduce = false;
+  it->second.owner = single_op_owner(producer);
+}
+
+void ThreadRuntime::ensure_reduce_future(std::uint64_t id, core::ReduceOp rop) {
+  std::lock_guard<std::mutex> lk(futures_mu_);
+  auto [it, inserted] = futures_.try_emplace(id);
+  if (!inserted) return;
+  profiler_.global().add(prof::GlobalCounter::FutureCollectives);
+  profiler_.global().add(prof::GlobalCounter::CollectiveRounds);
+  double init = 0.0;
+  switch (rop) {
+    case core::ReduceOp::Sum: init = 0.0; break;
+    case core::ReduceOp::Min: init = std::numeric_limits<double>::infinity(); break;
+    case core::ReduceOp::Max: init = -std::numeric_limits<double>::infinity(); break;
+  }
+  it->second.reduce = true;
+  it->second.owner = ShardId(0);
+  it->second.coll = std::make_shared<ValueCollective>(
+      static_cast<std::uint32_t>(num_shards()), init,
+      [rop](double a, double b) { return core::apply_reduce(rop, a, b); });
+}
+
+void ThreadRuntime::publish_future(ThreadShard& st, std::uint64_t id, double value) {
+  st.future_cache[id] = value;
+  for (auto& tp : shards_) {
+    ThreadShard& peer = *tp;
+    if (peer.id.value == st.id.value) continue;
+    // try_push then overflow: the producer must never block on a slow
+    // consumer — the consumer may be parked at a fence that needs this
+    // producer's arrival to complete.
+    if (!peer.inbox[st.id.value]->try_push(FutureMsg{id, value})) {
+      std::lock_guard<std::mutex> lk(peer.overflow_mu);
+      peer.overflow.push_back(FutureMsg{id, value});
+    }
+    peer.doorbell.fetch_add(1, std::memory_order_release);
+    peer.doorbell.notify_all();
+  }
+}
+
+void ThreadRuntime::drain_inbox(ThreadShard& st) {
+  for (auto& q : st.inbox) {
+    if (!q) continue;
+    while (auto m = q->try_pop()) st.future_cache[m->id] = m->value;
+  }
+  std::vector<FutureMsg> spill;
+  {
+    std::lock_guard<std::mutex> lk(st.overflow_mu);
+    spill.swap(st.overflow);
+  }
+  for (const FutureMsg& m : spill) st.future_cache[m.id] = m.value;
+}
+
+double ThreadRuntime::wait_broadcast(ThreadShard& st, std::uint64_t id) {
+  for (;;) {
+    auto it = st.future_cache.find(id);
+    if (it != st.future_cache.end()) return it->second;
+    // Doorbell generation loaded BEFORE the drain: a publish racing with the
+    // drain bumps the generation, so the wait below returns immediately.
+    const std::uint64_t gen = st.doorbell.load(std::memory_order_acquire);
+    drain_inbox(st);
+    auto it2 = st.future_cache.find(id);
+    if (it2 != st.future_cache.end()) return it2->second;
+    st.doorbell.wait(gen, std::memory_order_acquire);
+  }
+}
+
+// ----------------------------------------------------------------- issuing
+
+void ThreadRuntime::issue(ThreadShard& st, OpPayload payload) {
+  OpRecord op{OpId(st.next_op++), std::move(payload), false};
+  // The API call that issued this op was hashed just before issue().
+  if (st.api_calls > 0) op.call_index = st.api_calls - 1;
+
+  // Mapper query (§4): deterministic, so every shard rewrites identically.
+  if (config_.mapper) {
+    if (auto* index = std::get_if<IndexPayload>(&op.payload)) {
+      index->launch.sharding = config_.mapper->select_sharding(index->launch, num_shards());
+    }
+  }
+
+  // Futures are created eagerly at issue so the control program can wait on
+  // them before any shard's execution has reached the producing op.
+  if (const auto* task = std::get_if<TaskPayload>(&op.payload)) {
+    if (task->future_id != ~0ull) ensure_future(task->future_id, op.id);
+  } else if (const auto* red = std::get_if<ReducePayload>(&op.payload)) {
+    ensure_reduce_future(red->future_id, red->op);
+  }
+
+  // Dependence templates: capture this op's decisions or replay the recorded
+  // ones, per the window's mode (same dispatch as the simulator backend).
+  if (st.templates.active()) {
+    op.call_hash = st.last_template_hash;
+    switch (st.templates.mode()) {
+      case TemplateManager::Mode::Capture:
+        op.tmode = TemplateManager::Mode::Capture;
+        if (const auto* index = std::get_if<IndexPayload>(&op.payload)) {
+          op.plan = make_point_plan(st, *index);
+        }
+        break;
+      case TemplateManager::Mode::Validate: {
+        TemplateOp* rec = st.templates.next_op();
+        if (rec == nullptr) break;  // window just aborted
+        if (rec->payload_kind != op.payload.index()) {
+          st.templates.abort_window("op payload kind diverged from the recording");
+          break;
+        }
+        op.tmode = TemplateManager::Mode::Validate;
+        op.trec = rec;
+        if (const auto* index = std::get_if<IndexPayload>(&op.payload)) {
+          op.plan = make_point_plan(st, *index);
+        }
+        break;
+      }
+      case TemplateManager::Mode::Replay: {
+        TemplateOp* rec = st.templates.next_op();
+        if (rec == nullptr) break;
+        if (rec->payload_kind != op.payload.index() || !(rec->call_hash == op.call_hash)) {
+          st.templates.abort_window("op identity diverged from the recording");
+          break;
+        }
+        op.tmode = TemplateManager::Mode::Replay;
+        op.trec = rec;
+        op.plan = rec->plan;
+        op.traced = true;  // reduced analysis cost accounting
+        traced_ops_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      case TemplateManager::Mode::Inactive:
+        break;
+    }
+  }
+
+  if (op.tmode == TemplateManager::Mode::Replay && op.trec != nullptr) {
+    install_replayed_decision(op);
+  }
+  process_op(st, op);
+}
+
+void ThreadRuntime::process_op(ThreadShard& st, const OpRecord& op) {
+  // ---- coarse stage: the shared analyzer; replayed ops hit the cache ----
+  const SimTime c0 = clock_.now();
+  const CoarseDecision dec = coarse_decision(st, op);
+  if (op.tmode == TemplateManager::Mode::Capture) {
+    capture_template_op(st, op, dec);
+  } else if (op.tmode == TemplateManager::Mode::Validate) {
+    validate_template_op(st, op, dec);
+    // Also feed the shadow re-recording that replaces the stored template if
+    // the compare above mismatched (record_op routes by mode).
+    capture_template_op(st, op, dec);
+  }
+
+  const std::uint64_t prof_iter =
+      st.templates.active().has_value() ? st.windows_opened - 1 : prof::kNoId;
+  prof::Counters& pc = profiler_.shard(st.id.value);
+  const SimTime c1 = clock_.now();
+  pc.add(op.traced ? prof::Counter::TracedCoarseOps : prof::Counter::CoarseOps);
+  pc.add(prof::Counter::CoarseAnalysisNs, c1 - c0);  // real wall ns here
+  pc.observe(prof::Hist::CoarseStageNs, c1 - c0);
+  profiler_.emit({op.traced ? prof::SpanKind::CoarseReplay : prof::SpanKind::CoarseAnalysis,
+                  prof::Lane::Analysis, st.id.value, c0, c1, op.id.value, prof_iter});
+
+  // ---- fence gating: every shard processes every op, so every shard
+  //      arrives; identical decision streams make the barrier order safe ----
+  if (!dec.fence_sources.empty()) {
+    pc.add(prof::Counter::FenceWaits);
+    const SimTime w0 = clock_.now();
+    fence_for(op.id)->arrive_and_wait();
+    const SimTime w1 = clock_.now();
+    pc.add(prof::Counter::FenceWaitNs, w1 - w0);
+    pc.observe(prof::Hist::FenceWaitNs, w1 - w0);
+    profiler_.emit({prof::SpanKind::FenceWait, prof::Lane::Fence, st.id.value, w0, w1,
+                    op.id.value, prof_iter});
+  }
+
+  // ---- fine stage: owned-point accounting mirrors the simulator ----
+  std::uint64_t owned = 0;
+  if (op.plan) {
+    owned = op.plan->size();
+  } else if (const auto* index = std::get_if<IndexPayload>(&op.payload)) {
+    owned = st.shardings
+                .owned_points(index->launch.sharding, index->launch.domain, num_shards(),
+                              st.id)
+                .size();
+  } else if (const auto* attach = std::get_if<AttachPayload>(&op.payload);
+             attach && attach->partition.valid()) {
+    const rt::Rect dom = rt::Rect::r1(
+        0, static_cast<std::int64_t>(st.forest.num_subregions(attach->partition)) - 1);
+    owned = st.shardings
+                .owned_points(core::ShardingRegistry::blocked(), dom, num_shards(), st.id)
+                .size();
+  } else if (!std::holds_alternative<ReducePayload>(op.payload) &&
+             !std::holds_alternative<FencePayload>(op.payload)) {
+    owned = (single_op_owner(op.id) == st.id) ? 1 : 0;
+  }
+  const bool static_skip = dec.static_skip && !op.traced;
+  const SimTime f0 = clock_.now();
+  pc.add(op.traced ? prof::Counter::TracedFineOps : prof::Counter::FineOps);
+  pc.add(prof::Counter::FinePoints, owned);
+  if (static_skip) {
+    pc.add(prof::Counter::StaticSkipOps);
+    pc.add(prof::Counter::StaticSkipPoints, owned);
+    // No virtual cost model here, so no SavedNs estimate is charged.
+  }
+  execute_points(st, op, dec);
+  const SimTime f1 = clock_.now();
+  pc.add(prof::Counter::FineAnalysisNs, f1 - f0);
+  pc.observe(prof::Hist::FineStageNs, f1 - f0);
+  pc.observe(prof::Hist::FinePointsPerOp, owned);
+  profiler_.emit({op.traced ? prof::SpanKind::FineReplay : prof::SpanKind::FineAnalysis,
+                  prof::Lane::Analysis, st.id.value, f0, f1, op.id.value, prof_iter});
+}
+
+// --------------------------------------------------------------- execution
+
+void ThreadRuntime::execute_points(ThreadShard& st, const OpRecord& op,
+                                   const CoarseDecision& dec) {
+  (void)dec;
+
+  if (const auto* index = std::get_if<IndexPayload>(&op.payload)) {
+    const core::IndexLaunch& launch = index->launch;
+    if (index->future_map_id != ~0ull) {
+      st.fm_partials.try_emplace(index->future_map_id);  // identity partials
+    }
+    if (op.plan) {
+      // Template path: per-point projection results were recorded at capture,
+      // so the replay touches neither the forest nor the projection registry.
+      for (const PointPlan& pp : *op.plan) {
+        launch_point_task(st, op, pp.point, pp.point_index, pp.reqs, launch.args,
+                          launch.fn, index->future_map_id);
+      }
+    } else {
+      const auto& points =
+          st.shardings.owned_points(launch.sharding, launch.domain, num_shards(), st.id);
+      for (const rt::Point& p : points) {
+        std::vector<rt::Requirement> reqs;
+        reqs.reserve(launch.requirements.size());
+        for (const rt::GroupRequirement& gr : launch.requirements) {
+          reqs.push_back(gr.concretize(st.forest, projections_, p, launch.domain));
+        }
+        const std::uint64_t point_index = rt::linearize(launch.domain, p);
+        launch_point_task(st, op, p, point_index, reqs, launch.args, launch.fn,
+                          index->future_map_id);
+      }
+    }
+    return;
+  }
+
+  if (const auto* task = std::get_if<TaskPayload>(&op.payload)) {
+    if (single_op_owner(op.id) == st.id) {
+      rt::Point p;
+      p.dim = 1;
+      launch_point_task(st, op, p, 0, task->launch.requirements, task->launch.args,
+                        task->launch.fn, ~0ull, task->future_id);
+    }
+    return;
+  }
+
+  if (const auto* fill = std::get_if<FillPayload>(&op.payload)) {
+    if (single_op_owner(op.id) != st.id) return;
+    const rt::Rect rect = st.forest.bounds(fill->region);
+    const RegionTreeId tree = st.forest.tree_of(fill->region);
+    const TaskId tid(op.id.value * core::kPointsPerOp);
+    if (config_.record_task_graph) {
+      std::lock_guard<std::mutex> lk(graph_mu_);
+      for (FieldId f : fill->fields) {
+        auto conflicts = tracker_.record_use(tree, f, rect, rt::Privilege::WriteDiscard,
+                                             rt::kNoRedop, tid, sim::Event::no_event());
+        record_realized_locked(tid, op.id, 0, conflicts.tasks);
+      }
+      if (trace_) {
+        trace_->tasks.push_back(
+            {tid, op.id, 0, st.id,
+             {{tree, rect, fill->fields, rt::Privilege::WriteDiscard, rt::kNoRedop}}});
+      }
+    }
+    return;
+  }
+
+  if (const auto* attach = std::get_if<AttachPayload>(&op.payload)) {
+    const auto priv =
+        attach->detach ? rt::Privilege::ReadOnly : rt::Privilege::WriteDiscard;
+    if (attach->partition.valid()) {
+      // Parallel file I/O: every shard attaches/flushes the pieces it owns.
+      const RegionTreeId tree = st.forest.tree_of_partition(attach->partition);
+      const rt::Rect dom = rt::Rect::r1(
+          0, static_cast<std::int64_t>(st.forest.num_subregions(attach->partition)) - 1);
+      const auto& points =
+          st.shardings.owned_points(core::ShardingRegistry::blocked(), dom, num_shards(),
+                                    st.id);
+      for (const rt::Point& p : points) {
+        const std::uint64_t color = rt::linearize(dom, p);
+        const rt::Rect rect = st.forest.bounds(st.forest.subregion(attach->partition, color));
+        const TaskId tid(op.id.value * core::kPointsPerOp + color);
+        if (config_.record_task_graph) {
+          std::lock_guard<std::mutex> lk(graph_mu_);
+          std::vector<TaskId> preds;
+          for (FieldId f : attach->fields) {
+            auto conflicts = tracker_.record_use(tree, f, rect, priv, rt::kNoRedop, tid,
+                                                 sim::Event::no_event());
+            preds.insert(preds.end(), conflicts.tasks.begin(), conflicts.tasks.end());
+          }
+          record_realized_locked(tid, op.id, color, preds);
+          if (trace_) {
+            trace_->tasks.push_back(
+                {tid, op.id, color, st.id, {{tree, rect, attach->fields, priv, rt::kNoRedop}}});
+          }
+        }
+      }
+      return;
+    }
+    if (single_op_owner(op.id) != st.id) return;
+    const rt::Rect rect = st.forest.bounds(attach->region);
+    const RegionTreeId tree = st.forest.tree_of(attach->region);
+    const TaskId tid(op.id.value * core::kPointsPerOp);
+    if (config_.record_task_graph) {
+      std::lock_guard<std::mutex> lk(graph_mu_);
+      for (FieldId f : attach->fields) {
+        auto conflicts = tracker_.record_use(tree, f, rect, priv, rt::kNoRedop, tid,
+                                             sim::Event::no_event());
+        record_realized_locked(tid, op.id, 0, conflicts.tasks);
+      }
+      if (trace_) {
+        trace_->tasks.push_back(
+            {tid, op.id, 0, st.id, {{tree, rect, attach->fields, priv, rt::kNoRedop}}});
+      }
+    }
+    return;
+  }
+
+  if (const auto* red = std::get_if<ReducePayload>(&op.payload)) {
+    auto fit = st.fm_partials.find(red->fm_id);
+    DCR_CHECK(fit != st.fm_partials.end()) << "reduce of unknown future map";
+    double partial = 0.0;
+    switch (red->op) {
+      case core::ReduceOp::Sum: partial = fit->second.sum; break;
+      case core::ReduceOp::Min: partial = fit->second.min; break;
+      case core::ReduceOp::Max: partial = fit->second.max; break;
+    }
+    std::shared_ptr<ValueCollective> coll;
+    {
+      std::lock_guard<std::mutex> lk(futures_mu_);
+      coll = futures_.at(red->future_id).coll;  // created at issue
+    }
+    // Inline execution: this shard's owned points of the producing launch
+    // completed during that op's process_op, so the partial is final.
+    coll->arrive(st.id.value, partial);
+    return;
+  }
+
+  if (const auto* del = std::get_if<DeletePayload>(&op.payload)) {
+    // Each shard destroys its own replica at the same program point, so the
+    // forests (and their mutation epochs) stay in lockstep.
+    if (!st.forest.tree_destroyed(del->tree)) st.forest.destroy_tree(del->tree);
+    return;
+  }
+}
+
+void ThreadRuntime::launch_point_task(ThreadShard& st, const OpRecord& op,
+                                      const rt::Point& point, std::uint64_t point_index,
+                                      const std::vector<rt::Requirement>& reqs,
+                                      const std::vector<std::int64_t>& args, FunctionId fn,
+                                      std::uint64_t future_map_id, std::uint64_t future_id) {
+  const TaskId tid(op.id.value * core::kPointsPerOp + point_index);
+
+  core::PointTaskInfo info;
+  info.fn = fn;
+  info.point = point;
+  if (const auto* index = std::get_if<IndexPayload>(&op.payload)) {
+    info.domain = index->launch.domain;
+  }
+  info.requirements = reqs;
+  info.args = args;
+  for (const rt::Requirement& r : reqs) {
+    info.volume += st.forest.bounds(r.region).volume();
+  }
+
+  if (config_.record_task_graph) {
+    // One point task's dependence recording is atomic under graph_mu_.  The
+    // edge set is still deterministic across interleavings: cross-shard
+    // conflicting uses are ordered by a fence (their coarse dependence was
+    // not elided), and elided dependences are provably same-shard.
+    std::lock_guard<std::mutex> lk(graph_mu_);
+    std::vector<TaskId> conflict_tasks;
+    for (const rt::Requirement& r : reqs) {
+      const rt::Rect rect = st.forest.bounds(r.region);
+      const RegionTreeId tree = st.forest.tree_of(r.region);
+      for (FieldId f : r.fields) {
+        auto conflicts = tracker_.record_use(tree, f, rect, r.privilege, r.redop, tid,
+                                             sim::Event::no_event());
+        conflict_tasks.insert(conflict_tasks.end(), conflicts.tasks.begin(),
+                              conflicts.tasks.end());
+      }
+    }
+    record_realized_locked(tid, op.id, point_index, conflict_tasks);
+    if (trace_) {
+      std::vector<spy::AccessRecord> accesses;
+      accesses.reserve(reqs.size());
+      for (const rt::Requirement& r : reqs) {
+        accesses.push_back({st.forest.tree_of(r.region), st.forest.bounds(r.region),
+                            r.fields, r.privilege, r.redop});
+      }
+      trace_->tasks.push_back({tid, op.id, point_index, st.id, std::move(accesses)});
+    }
+  }
+
+  const SimTime duration = functions_.at(fn).duration(info);
+  FunctionProfile& fp = st.profile[fn];
+  fp.tasks++;
+  fp.total_time += duration;
+
+  // Work model (benchmarks): occupy a compute slot in proportion to the
+  // task's modeled duration — spinning (host compute) or sleeping (host
+  // blocked on an offloaded kernel; overlaps regardless of core count).
+  if (config_.work_scale > 0.0) {
+    const auto wall_ns =
+        static_cast<SimTime>(static_cast<double>(duration) * config_.work_scale);
+    gate_.acquire();
+    if (config_.work_sleep) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(wall_ns));
+    } else {
+      busy_spin(wall_ns);
+    }
+    gate_.release();
+  }
+
+  const bool wants_value = future_map_id != ~0ull || future_id != ~0ull;
+  double value = 0.0;
+  if (wants_value) {
+    const core::TaskFunction& f = functions_.at(fn);
+    DCR_CHECK(f.future_value != nullptr)
+        << "task '" << f.name << "' launched for a future but has no value model";
+    value = f.future_value(info);
+  }
+  if (future_map_id != ~0ull) {
+    FmPartial& p = st.fm_partials.at(future_map_id);
+    p.sum += value;
+    p.min = std::min(p.min, value);
+    p.max = std::max(p.max, value);
+  }
+  if (future_id != ~0ull) {
+    // Only the owner shard executes a single task; it is the broadcast root.
+    publish_future(st, future_id, value);
+  }
+  point_tasks_launched_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ThreadRuntime::record_realized_locked(TaskId tid, OpId op, std::uint64_t point_index,
+                                           const std::vector<TaskId>& preds) {
+  if (!config_.record_task_graph) return;
+  if (!realized_graph_.has_task(tid)) {
+    realized_graph_.add_task(tid);
+    realized_tasks_.push_back(RealizedTask{tid, op, point_index});
+  }
+  for (TaskId p : preds) {
+    if (!realized_graph_.has_edge(p, tid)) {
+      realized_graph_.add_edge(p, tid);
+      if (trace_) trace_->edges.push_back({p, tid});
+    }
+  }
+}
+
+void ThreadRuntime::busy_spin(SimTime wall_ns) {
+  const SimTime until = clock_.now() + wall_ns;
+  while (clock_.now() < until) {
+    // Busy wait: this models compute occupancy, so yielding would defeat it.
+  }
+}
+
+// ----------------------------------------------------------------- execute
+
+void ThreadRuntime::shard_main(ThreadShard& st, const core::ApplicationMain& main) {
+  try {
+    ThreadShardContext ctx(*this, st);
+    main(ctx);
+    // Final barrier so the call/op streams match the simulator's
+    // finalize_shard, and every shard's work is done before join.
+    ctx.execution_fence();
+  } catch (const std::exception& e) {
+    st.error = e.what();
+  } catch (...) {
+    st.error = "unknown exception in shard control program";
+  }
+}
+
+core::DcrStats ThreadRuntime::execute(const core::ApplicationMain& main) {
+  DCR_CHECK(!executed_) << "ThreadRuntime::execute may only run once";
+  executed_ = true;
+  const SimTime started = clock_.now();
+
+  std::vector<std::thread> threads;
+  threads.reserve(shards_.size());
+  for (auto& st : shards_) {
+    threads.emplace_back([this, &main, sp = st.get()] { shard_main(*sp, main); });
+  }
+  for (std::thread& t : threads) t.join();
+
+  core::DcrStats stats;
+  stats.makespan = clock_.now() - started;  // real wall-clock nanoseconds
+  stats.completed = true;
+  for (const auto& st : shards_) {
+    if (!st->error.empty()) {
+      stats.completed = false;
+      stats.aborted = true;
+      if (stats.abort_message.empty()) stats.abort_message = st->error;
+    }
+  }
+
+  for (const auto& st : shards_) {
+    stats.ops_issued = std::max(stats.ops_issued, st->next_op);
+  }
+  stats.point_tasks_launched = point_tasks_launched_.load(std::memory_order_relaxed);
+  stats.fences_inserted = fences_inserted_;
+  stats.fences_elided = fences_elided_;
+  stats.coarse_deps = coarse_deps_;
+  stats.determinism_checks = determinism_checks_.load(std::memory_order_relaxed);
+  stats.traced_ops = traced_ops_.load(std::memory_order_relaxed);
+
+  // Join-time control-determinism verification: the per-shard folded call
+  // digests must agree (paper §3; the simulator checks per call instead).
+  if (checks_enabled()) {
+    for (std::size_t s = 1; s < shards_.size(); ++s) {
+      if (shards_[s]->api_calls != shards_[0]->api_calls ||
+          !(shards_[s]->call_fold == shards_[0]->call_fold)) {
+        stats.determinism_violation = true;
+        stats.violation_message = "control determinism violation: shard " +
+                                  std::to_string(s) +
+                                  " call stream diverged from shard 0";
+        break;
+      }
+    }
+    if (trace_ && stats.determinism_violation) {
+      // With a spy trace on hand, upgrade to the linter's argument-level
+      // report: which call diverged and which argument differed.
+      const spy::LintResult lint = spy::lint_control_determinism(*trace_);
+      if (lint.divergent) stats.violation_message = lint.message;
+    }
+    if (stats.determinism_violation) stats.completed = false;
+  }
+
+  for (const auto& st : shards_) {
+    const TemplateManager::Counters& c = st->templates.counters();
+    stats.templates_captured += c.captured;
+    stats.templates_validated += c.validated;
+    stats.template_replays += c.window_replays;
+    stats.template_invalidations += c.invalidated;
+    stats.template_validation_failures += c.validation_failures;
+    for (const auto& [fn, fp] : st->profile) {
+      FunctionProfile& merged = profile_[fn];
+      merged.tasks += fp.tasks;
+      merged.total_time += fp.total_time;
+    }
+  }
+
+  // Static interference analysis: resolved/unresolved were charged online by
+  // the shared analyzer; cache hits come from the per-shard prover replicas
+  // (their sum depends on which shard analyzed first, unlike the simulator's
+  // single prover — excluded from differential parity for that reason).
+  {
+    std::uint64_t cache_hits = 0;
+    for (const auto& st : shards_) cache_hits += st->prover->stats().cache_hits;
+    stats.statics_cache_hits = cache_hits;
+    profiler_.global().add(prof::GlobalCounter::StaticProofCacheHits, cache_hits);
+    stats.statics_resolved_ops =
+        profiler_.global().get(prof::GlobalCounter::StaticLaunchesResolved);
+    stats.statics_unresolved_ops =
+        profiler_.global().get(prof::GlobalCounter::StaticLaunchesUnresolved);
+    for (std::size_t sh = 0; sh < num_shards(); ++sh) {
+      stats.statics_skipped_points +=
+          profiler_.shard(static_cast<std::uint32_t>(sh)).get(prof::Counter::StaticSkipPoints);
+    }
+  }
+
+  // Mirror end-of-run totals into the global counter bank, as the simulator
+  // backend does, so prof snapshots are self-contained on both backends.
+  prof::Counters& g = profiler_.global();
+  g.add(prof::GlobalCounter::TemplateShadowMismatches, stats.template_validation_failures);
+  g.add(prof::GlobalCounter::TemplateInvalidations, stats.template_invalidations);
+
+  return stats;
+}
+
+}  // namespace dcr::exec

@@ -1,0 +1,281 @@
+// Real-threads execution backend: every shard of the control-replicated
+// program runs as an OS thread, behind the same application API (Context) and
+// observable surface (DcrStats, spy::Trace, prof::Profiler, realized task
+// graph) as the discrete-event simulator backend (dcr/runtime.hpp).
+//
+// The load-bearing property is differential determinism: the same program
+// produces a spy-identical task graph — identical §3 call-hash streams,
+// identical op/coarse-dependence/elision records, identical realized tasks
+// and edges, identical template window hits and statics verdicts — on both
+// backends.  That is not an accident of testing but of construction:
+//
+//  * the §3 call hashing (dcr/sig.hpp), the op model (dcr/ops.hpp), and the
+//    whole coarse dependence stage (dcr/coarse.hpp) are the *same code* on
+//    both backends; the threads backend calls the shared CoarseAnalyzer
+//    under a mutex where the simulator calls it from its event loop;
+//  * per-shard state that the simulator replicates logically (region forest,
+//    sharding memoization, template store, RNG) is replicated physically —
+//    one instance per thread, no sharing, no locks;
+//  * cross-shard coordination uses wall-clock primitives with the same
+//    semantics as the simulated collectives: FenceCollective (sense-
+//    reversing barrier) for pipeline fences, ValueCollective (MPMC fan-in,
+//    rank-ordered combine) for future all-reduce, and bounded lock-free
+//    SPSC mailboxes for broadcast future-value delivery.
+//
+// tests/test_exec.cpp enforces the property by running every fuzz program
+// through both backends and diffing with spy::graph_equivalent.
+//
+// Deliberate non-goals (simulator-only features): fault injection and
+// recovery, SDC replication, dcr-scope causal tracing, the physical data-
+// movement model (bytes_moved / messages report 0), and deferred deletions
+// (destroy_region_deferred aborts — there is no consensus poller).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/philox.hpp"
+#include "common/types.hpp"
+#include "dcr/api.hpp"
+#include "dcr/coarse.hpp"
+#include "dcr/mapper.hpp"
+#include "dcr/ops.hpp"
+#include "dcr/runtime.hpp"
+#include "dcr/sharding.hpp"
+#include "dcr/template.hpp"
+#include "dcr/user_tracker.hpp"
+#include "exec/clock.hpp"
+#include "exec/collective.hpp"
+#include "exec/gate.hpp"
+#include "exec/queue.hpp"
+#include "prof/profiler.hpp"
+#include "runtime/region.hpp"
+#include "runtime/requirement.hpp"
+#include "runtime/task_graph.hpp"
+#include "spy/trace.hpp"
+#include "statics/lint.hpp"
+#include "statics/prover.hpp"
+
+namespace dcr::exec {
+
+struct ThreadConfig {
+  std::size_t num_shards = 2;
+
+  // Concurrency cap for point-task execution (the stand-in for "P compute
+  // cores"); 0 = uncapped.  Analysis always runs one thread per shard.
+  std::uint32_t compute_slots = 0;
+
+  // Each point task occupies a compute slot for (virtual duration ×
+  // work_scale) wall nanoseconds, so the ConcurrencyGate yields measurable
+  // strong scaling (bench/bench_exec.cpp).  0 = tasks are pure bookkeeping
+  // (the differential tests).
+  double work_scale = 0.0;
+
+  // How the slot is occupied: busy-spin (models host-side compute — needs as
+  // many cores as slots to actually scale) or a timed sleep (models the host
+  // thread blocked on an offloaded accelerator kernel — sleeps overlap even
+  // on a single core, so this is what bench_exec uses).
+  bool work_sleep = false;
+
+  // Per-(producer, consumer) SPSC future-value mailbox capacity.  The lock-
+  // free ring covers the common case; overflow spills to a small mutexed
+  // side buffer so a producer never blocks on a slow consumer (which could
+  // deadlock against a fence).
+  std::size_t mailbox_capacity = 256;
+
+  // Analysis knobs, mirroring DcrConfig (dcr/runtime.hpp).
+  bool determinism_checks = true;
+  bool tracing_enabled = true;
+  bool template_validation = true;
+  bool disable_fence_elision = false;
+  bool static_analysis = true;
+  bool statics_check = false;
+  bool record_task_graph = false;
+  bool record_trace = false;  // implies record_task_graph
+  bool profile = false;       // wall-clock prof spans via exec::WallClock
+
+  // Deterministic mapping policy; must also be thread-safe (it is queried
+  // concurrently from every shard thread).  nullptr = default policies.
+  core::Mapper* mapper = nullptr;
+};
+
+class ThreadRuntime {
+ public:
+  ThreadRuntime(core::FunctionRegistry& functions, ThreadConfig config = {});
+  ~ThreadRuntime();
+
+  ThreadRuntime(const ThreadRuntime&) = delete;
+  ThreadRuntime& operator=(const ThreadRuntime&) = delete;
+
+  // Runs `main` replicated across num_shards OS threads; returns once every
+  // thread joins.  DcrStats::makespan is wall-clock nanoseconds; the
+  // simulator-only fields (bytes_moved, messages, analysis_busy,
+  // compute_busy, fault/SDC counters) are 0.
+  core::DcrStats execute(const core::ApplicationMain& main);
+
+  std::size_t num_shards() const { return config_.num_shards; }
+
+  // Registration (before execute only): shardings are replicated into every
+  // shard's registry; the projection registry is shared and read-only during
+  // execution.
+  ShardingId register_sharding(core::ShardingRegistry::ShardingFn fn);
+  rt::ProjectionRegistry& projections() { return projections_; }
+
+  // Observability, mirroring DcrRuntime.
+  const spy::Trace* trace() const { return trace_.get(); }
+  prof::Profiler& profiler() { return profiler_; }
+  const prof::Profiler& profiler() const { return profiler_; }
+  const rt::TaskGraph& realized_graph() const { return realized_graph_; }
+  struct RealizedTask {
+    TaskId id;
+    OpId op;
+    std::uint64_t point_index;
+  };
+  const std::vector<RealizedTask>& realized_tasks() const { return realized_tasks_; }
+  const statics::LaunchLedger& statics_ledger() const { return statics_ledger_; }
+  struct FunctionProfile {
+    std::uint64_t tasks = 0;
+    SimTime total_time = 0;  // summed virtual durations (cost model, not wall)
+  };
+  const std::map<FunctionId, FunctionProfile>& profile() const { return profile_; }
+  core::TemplateManager& shard_templates(ShardId s);
+  const Clock& clock() const { return clock_; }
+
+ private:
+  friend class ThreadShardContext;
+
+  struct FmPartial {
+    double sum = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
+
+  struct FutureMsg {
+    std::uint64_t id = 0;
+    double value = 0.0;
+  };
+
+  // State owned by exactly one shard thread — the physical replica of what
+  // the simulator backend replicates logically.
+  struct ThreadShard {
+    ShardId id;
+    rt::RegionForest forest;
+    core::ShardingRegistry shardings;
+    std::unique_ptr<statics::InterferenceProver> prover;  // over this forest
+    std::unique_ptr<Philox4x32> rng;
+    core::TemplateManager templates;
+    Hash128 last_template_hash{};
+    Hash128 call_fold{};  // running fold of §3 call hashes, compared at join
+    std::uint64_t next_future = 0;
+    std::uint64_t next_future_map = 0;
+    std::uint64_t next_op = 0;
+    std::uint64_t api_calls = 0;
+    std::uint64_t windows_opened = 0;
+    SimTime window_started = 0;
+    std::map<std::uint64_t, double> future_cache;   // delivered broadcast values
+    std::map<std::uint64_t, FmPartial> fm_partials; // own partials per future map
+    std::map<FunctionId, FunctionProfile> profile;  // merged into profile_ at join
+    // Inbound future-value transport: one SPSC ring per producer shard plus
+    // a mutexed overflow so producers never block (see ThreadConfig).
+    std::vector<std::unique_ptr<SpscQueue<FutureMsg>>> inbox;
+    std::mutex overflow_mu;
+    std::vector<FutureMsg> overflow;
+    alignas(kCacheLine) std::atomic<std::uint64_t> doorbell{0};
+    std::string error;  // first failure on this thread, surfaced at join
+  };
+
+  struct FutureEntry {
+    bool reduce = false;
+    ShardId owner;                          // broadcast root (single-task owner)
+    std::shared_ptr<ValueCollective> coll;  // non-null iff reduce
+  };
+
+  ThreadShard& shard(ShardId s) { return *shards_[s.value]; }
+  ShardId single_op_owner(OpId op) const {
+    return ShardId(static_cast<std::uint32_t>(op.value % config_.num_shards));
+  }
+
+  // Coarse-stage front door: the shared analyzer under analysis_mu_, stats
+  // mirroring + spy emission gated on `fresh` (exactly once, program order).
+  // Returns a copy so callers never touch the cache without the lock.
+  core::CoarseDecision coarse_decision(ThreadShard& st, const core::OpRecord& op);
+  core::CoarseDecision install_replayed_decision(const core::OpRecord& op);
+  void emit_coarse_decision_locked(const core::OpRecord& op, const core::CoarseDecision& dec);
+
+  // Dependence templates (same logic as DcrRuntime's, on this shard's store).
+  void capture_template_op(ThreadShard& st, const core::OpRecord& op,
+                           const core::CoarseDecision& dec);
+  void validate_template_op(ThreadShard& st, const core::OpRecord& op,
+                            const core::CoarseDecision& dec);
+  std::shared_ptr<const core::PointPlanList> make_point_plan(ThreadShard& st,
+                                                             const core::IndexPayload& index);
+
+  std::shared_ptr<FenceCollective> fence_for(OpId dependent);
+  void ensure_future(std::uint64_t id, OpId producer);
+  void ensure_reduce_future(std::uint64_t id, core::ReduceOp rop);
+  void publish_future(ThreadShard& st, std::uint64_t id, double value);
+  void drain_inbox(ThreadShard& st);
+  double wait_broadcast(ThreadShard& st, std::uint64_t id);
+  bool checks_enabled() const;
+
+  void issue(ThreadShard& st, core::OpPayload payload);
+  void process_op(ThreadShard& st, const core::OpRecord& op);
+  void execute_points(ThreadShard& st, const core::OpRecord& op,
+                      const core::CoarseDecision& dec);
+  void launch_point_task(ThreadShard& st, const core::OpRecord& op, const rt::Point& point,
+                         std::uint64_t point_index, const std::vector<rt::Requirement>& reqs,
+                         const std::vector<std::int64_t>& args, FunctionId fn,
+                         std::uint64_t future_map_id, std::uint64_t future_id = ~0ull);
+  void record_realized_locked(TaskId tid, OpId op, std::uint64_t point_index,
+                              const std::vector<TaskId>& preds);
+  void shard_main(ThreadShard& st, const core::ApplicationMain& main);
+  void busy_spin(SimTime wall_ns);
+
+  core::FunctionRegistry& functions_;
+  ThreadConfig config_;
+  prof::Profiler profiler_;
+  WallClock clock_;
+  rt::ProjectionRegistry projections_;
+  statics::LaunchLedger statics_ledger_;
+  core::UserTracker tracker_;
+  core::CoarseAnalyzer coarse_{
+      core::CoarseAnalyzer::Options{config_.disable_fence_elision, config_.static_analysis,
+                                    config_.statics_check},
+      profiler_};
+  ConcurrencyGate gate_{config_.compute_slots};
+
+  std::vector<std::unique_ptr<ThreadShard>> shards_;
+
+  // analysis_mu_ guards the shared analyzer, the statics ledger, the DcrStats
+  // mirrors below, and spy op/coarse-dep emission (program-order streams).
+  std::mutex analysis_mu_;
+  std::uint64_t coarse_deps_ = 0;
+  std::uint64_t fences_elided_ = 0;
+  std::uint64_t fences_inserted_ = 0;
+
+  // graph_mu_ guards the user tracker, realized graph/tasks, spy task/edge
+  // records, and the per-function profile.
+  std::mutex graph_mu_;
+  rt::TaskGraph realized_graph_;
+  std::vector<RealizedTask> realized_tasks_;
+  std::map<FunctionId, FunctionProfile> profile_;
+
+  std::mutex futures_mu_;
+  std::map<std::uint64_t, FutureEntry> futures_;
+  std::mutex fences_mu_;
+  std::map<std::uint64_t, std::shared_ptr<FenceCollective>> fences_;
+
+  std::atomic<std::uint64_t> point_tasks_launched_{0};
+  std::atomic<std::uint64_t> determinism_checks_{0};
+  std::atomic<std::uint64_t> traced_ops_{0};
+
+  std::unique_ptr<spy::Trace> trace_;  // non-null iff config_.record_trace
+  bool executed_ = false;
+};
+
+}  // namespace dcr::exec

@@ -23,11 +23,12 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "common/types.hpp"
 #include "prof/counters.hpp"
-#include "sim/simulator.hpp"
 
 namespace dcr::prof {
 
@@ -113,11 +114,15 @@ class Profiler {
     return n;
   }
 
+  // Thread-safe: the simulator backend emits from its single event loop, the
+  // threads backend from every shard thread (counters are already atomic).
   void emit(const Span& s) {
     if (!spans_enabled_) return;
     DCR_CHECK(s.end >= s.start) << "negative-duration span " << name(s.kind);
+    std::lock_guard<std::mutex> lk(spans_mu_);
     spans_.push_back(s);
   }
+  // Only safe once emitting threads have been joined.
   const std::vector<Span>& spans() const { return spans_; }
 
   // Chrome trace_event JSON: pid = shard, tid = lane, complete ("X") events
@@ -134,23 +139,25 @@ class Profiler {
   bool spans_enabled_;
   std::unique_ptr<Counters[]> shards_;
   Counters global_;
+  std::mutex spans_mu_;
   std::vector<Span> spans_;
 };
 
-// RAII span over a region of a shard's control program: records the virtual
-// start time at construction and emits on destruction (or explicit close()).
-// A no-op when span recording is disabled.
+// RAII span over a region of a shard's control program: records the clock at
+// construction and emits on destruction (or explicit close()).  The Clock
+// (common/clock.hpp) decides whether timestamps are virtual ticks (sim) or
+// wall nanoseconds (threads).  A no-op when span recording is disabled.
 class Scope {
  public:
-  Scope(Profiler& p, const sim::Simulator& sim, std::uint32_t shard, Lane lane,
+  Scope(Profiler& p, const Clock& clock, std::uint32_t shard, Lane lane,
         SpanKind kind, std::uint64_t op = kNoId, std::uint64_t iter = kNoId)
-      : p_(p), sim_(sim) {
+      : p_(p), clock_(clock) {
     span_.kind = kind;
     span_.lane = lane;
     span_.shard = shard;
     span_.op = op;
     span_.iter = iter;
-    span_.start = sim.now();
+    span_.start = clock.now();
   }
 
   Scope(const Scope&) = delete;
@@ -159,7 +166,7 @@ class Scope {
   void close() {
     if (closed_) return;
     closed_ = true;
-    span_.end = sim_.now();
+    span_.end = clock_.now();
     p_.emit(span_);
   }
 
@@ -167,7 +174,7 @@ class Scope {
 
  private:
   Profiler& p_;
-  const sim::Simulator& sim_;
+  const Clock& clock_;
   Span span_{};
   bool closed_ = false;
 };

@@ -1,0 +1,19 @@
+// SimClock: the simulator backend's Clock — virtual nanoseconds from the
+// discrete-event calendar (common/clock.hpp for the abstraction).
+#pragma once
+
+#include "common/clock.hpp"
+#include "sim/simulator.hpp"
+
+namespace dcr::sim {
+
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(const Simulator& sim) : sim_(sim) {}
+  SimTime now() const override { return sim_.now(); }
+
+ private:
+  const Simulator& sim_;
+};
+
+}  // namespace dcr::sim

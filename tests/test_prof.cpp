@@ -371,8 +371,10 @@ TEST(ProfGolden, StencilCounterSnapshot) {
 // would make two suites sweep the same program space and silently halve
 // coverage; keep this list in sync with tests/README.md.
 TEST(SeedAudit, AllSuiteLabelsProduceDistinctSeeds) {
-  const char* labels[] = {"spy", "faults", "faults-plan", "template", "prof",
-                          "prof-plan", "scope", "scope-plan", "sdc", "statics"};
+  const char* labels[] = {"spy",        "faults", "faults-plan", "template",
+                          "prof",       "prof-plan", "scope",    "scope-plan",
+                          "sdc",        "statics", "exec",       "exec-loop",
+                          "exec-noelide", "exec-ledger"};
   constexpr std::uint64_t kIndices = 256;  // superset of every suite's range
   std::set<std::uint64_t> seen;
   for (const char* label : labels) {
