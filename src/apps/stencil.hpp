@@ -34,6 +34,15 @@ struct StencilConfig {
   // residual launch sits outside the trace window so traced replay is
   // unaffected.
   std::size_t residual_every = 0;
+  // >0: alternate between two loop-body shapes every `phase_every` steps —
+  // the odd phases run an extra smoothing launch, so the task stream's period
+  // changes (3 launches/step vs 4).  This is the phase-changing workload the
+  // automatic trace identifier (dcr/trace_id.hpp) is measured on.  Hand
+  // windowing (use_trace) keys each phase with its own TraceId plus a
+  // distinct id for each phase-entry step (whose cross-phase boundary deps
+  // sit at different relative offsets), the best an author can do without
+  // merging loops.
+  std::size_t phase_every = 0;
 };
 
 // Near-square 2-D factorization of n (for n-node grid tilings).
@@ -127,8 +136,16 @@ inline core::ApplicationMain make_stencil_app(const StencilConfig& cfg,
         grid2d ? Rect::r2(0, static_cast<std::int64_t>(cfg.tiles) - 1, 0,
                           static_cast<std::int64_t>(cfg.tiles_y) - 1)
                : Rect::r1(0, static_cast<std::int64_t>(cfg.tiles) - 1);
-    const TraceId trace(1);
     for (std::size_t t = 0; t < cfg.steps; ++t) {
+      const bool smooth_phase =
+          cfg.phase_every > 0 && (t / cfg.phase_every) % 2 == 1;
+      // The first step of a returning phase depends on the *other* phase's
+      // last launch, so its relative dep offsets differ from a mid-phase
+      // step; it needs its own template or replay would serve stale edges.
+      const bool phase_entry =
+          cfg.phase_every > 0 && t > 0 && t % cfg.phase_every == 0;
+      const TraceId trace(smooth_phase ? (phase_entry ? 4 : 2)
+                                       : (phase_entry ? 3 : 1));
       if (cfg.use_trace) ctx.begin_trace(trace);
 
       core::IndexLaunch add;
@@ -156,6 +173,18 @@ inline core::ApplicationMain make_stencil_app(const StencilConfig& cfg,
       st.requirements.push_back(
           GroupRequirement::on_partition(ghost, {state}, Privilege::ReadOnly));
       ctx.index_launch(st);
+
+      if (smooth_phase) {
+        // Extra smoothing pass: folds the flux back into the state over the
+        // owned partition, making the odd phases' period 4 launches.
+        core::IndexLaunch sm;
+        sm.fn = fns.add_one;
+        sm.domain = launch_domain;
+        sm.sharding = cfg.sharding;
+        sm.requirements.push_back(
+            GroupRequirement::on_partition(owned, {state, flux}, Privilege::ReadWrite));
+        ctx.index_launch(sm);
+      }
 
       if (cfg.use_trace) ctx.end_trace(trace);
 

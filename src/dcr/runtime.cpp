@@ -41,6 +41,7 @@ class ShardContext final : public Context {
       // while fast-forwarding through trace windows.
       pctx_.delay(rt_.config_.replay_call_cost);
       st_.api_calls++;
+      auto_trace_observe();
       if (rt_.config_.tracing_enabled) st_.templates.on_call(st_.last_template_hash);
       return;
     }
@@ -55,6 +56,7 @@ class ShardContext final : public Context {
     }
     st_.commit.record_call(st_.api_calls);
     st_.api_calls++;
+    auto_trace_observe();
     if (rt_.config_.tracing_enabled) st_.templates.on_call(st_.last_template_hash);
     st_.last_heard = pctx_.now();  // lease refresh, piggybacked on API traffic
     if (st_.pending_report >= 0) {
@@ -315,6 +317,14 @@ class ShardContext final : public Context {
     SigBuilder sb = sig_begin_trace(cap(), id);
     api_call("begin_trace", sb);
     if (!rt_.config_.tracing_enabled) return;
+    if (st_.auto_open) {
+      // An auto-detected window is open: the explicit window wins.  The tap
+      // in api_call usually aborted it already (the begin_trace signature
+      // breaks the repeat); this handles a begin_trace that happens to land
+      // on a matching token.
+      rt_.retire_auto_window(st_, shard_.value,
+                             "explicit begin_trace inside an auto window");
+    }
     DCR_CHECK(!st_.templates.active()) << "nested traces are not supported";
     // The window keys its validity on the forest mutation epoch, the runtime
     // recovery epoch, and the count of consensus deletions this shard has
@@ -331,19 +341,63 @@ class ShardContext final : public Context {
     if (!rt_.config_.tracing_enabled) return;
     DCR_CHECK(st_.templates.active() && *st_.templates.active() == id)
         << "mismatched end_trace";
-    // Window hit/miss accounting reads the mode before end() clears it: a
-    // window still in Replay at close was served by a validated template;
-    // anything else (capture, validation, mid-window abort) ran fresh
-    // analysis.  hits + misses == windows_closed by construction.
-    prof::Counters& pc = rt_.profiler_.shard(shard_.value);
-    pc.add(prof::Counter::WindowsClosed);
-    pc.add(st_.templates.mode() == TemplateManager::Mode::Replay
-               ? prof::Counter::TemplateWindowHits
-               : prof::Counter::TemplateWindowMisses);
-    st_.templates.end(rt_.forest_);
-    rt_.profiler_.emit({prof::SpanKind::TraceWindow, prof::Lane::Control, shard_.value,
-                        st_.window_started, rt_.clock_.now(), prof::kNoId,
-                        st_.windows_opened - 1});
+    close_window_accounting();
+  }
+
+  // Window hit/miss accounting + close, shared by explicit end_trace and
+  // auto-detected windows.
+  void close_window_accounting() { rt_.close_template_window(st_, shard_.value); }
+
+  // ---- automatic trace identification (dcr/trace_id.hpp) ----
+  // Per-call tap, run BEFORE the template manager records the call: on Open
+  // the window must exist so this call becomes its first op, and on
+  // Close/CloseOpen the previous window must not absorb this call.  The tap
+  // issues no API calls of its own, so auto windows are invisible to the §3
+  // determinism checker — window placement only affects per-shard analysis
+  // caching, never the decision stream.
+  void auto_trace_observe() {
+    const DcrConfig& cfg = rt_.config_;
+    if (!cfg.auto_trace.enabled || !cfg.tracing_enabled || st_.auto_stop) return;
+    // Suppress promotions while an explicit (app-keyed) window is active; the
+    // detector keeps tracking so the auto trace resumes after end_trace.
+    const bool explicit_open = st_.templates.active() && !st_.auto_open;
+    const TraceIdentifier::Result r =
+        st_.auto_tracer.observe(st_.last_template_hash, explicit_open);
+    if (explicit_open) return;  // suppressed: no actions can fire
+    switch (r.action) {
+      case TraceIdentifier::Action::None:
+        break;
+      case TraceIdentifier::Action::Open:
+        if (!st_.templates.active()) auto_open_window(r.trace);
+        break;
+      case TraceIdentifier::Action::Close:
+        auto_close_window();
+        break;
+      case TraceIdentifier::Action::CloseOpen:
+        auto_close_window();
+        auto_open_window(r.trace);
+        break;
+      case TraceIdentifier::Action::AbortClose:
+        // The repeat broke mid-period: discard the half-recorded capture so
+        // it can never validate or replay.
+        rt_.retire_auto_window(st_, shard_.value, "auto trace broke mid-period");
+        break;
+    }
+  }
+
+  void auto_open_window(TraceId id) {
+    st_.templates.begin(id, rt_.forest_.mutation_epoch(), rt_.recovery_epoch_,
+                        st_.deletions_processed, rt_.config_.template_validation);
+    st_.windows_opened++;
+    st_.window_started = rt_.clock_.now();
+    st_.auto_open = true;
+  }
+
+  void auto_close_window() {
+    // The window can already be gone (consensus deletion aborts underneath
+    // us, SDC healing invalidates mid-window): skip the accounting then.
+    if (st_.templates.active()) close_window_accounting();
+    st_.auto_open = false;
   }
 
   // ---- environment ----
@@ -1281,6 +1335,28 @@ void DcrRuntime::note_control_future(std::uint64_t future_id) {
   }
 }
 
+void DcrRuntime::close_template_window(ShardState& st, std::size_t shard_idx) {
+  prof::Counters& pc = profiler_.shard(shard_idx);
+  pc.add(prof::Counter::WindowsClosed);
+  pc.add(st.templates.mode() == TemplateManager::Mode::Replay
+             ? prof::Counter::TemplateWindowHits
+             : prof::Counter::TemplateWindowMisses);
+  st.templates.end(forest_);
+  profiler_.emit({prof::SpanKind::TraceWindow, prof::Lane::Control, shard_idx,
+                  st.window_started, clock_.now(), prof::kNoId,
+                  st.windows_opened - 1});
+}
+
+void DcrRuntime::retire_auto_window(ShardState& st, std::size_t shard_idx,
+                                    const char* reason) {
+  if (st.templates.active()) {
+    st.templates.abort_window(reason);  // no-op if already aborted underneath
+    close_template_window(st, shard_idx);
+  }
+  st.auto_open = false;
+  st.auto_tracer.interrupt();
+}
+
 void DcrRuntime::on_corruption_healed(OpId op, bool traced, const QuorumOutcome& out) {
   if (config_.sdc_invalidate_templates) {
     // The corrupted value may have been observed by control before the heal
@@ -1288,6 +1364,23 @@ void DcrRuntime::on_corruption_healed(OpId op, bool traced, const QuorumOutcome&
     // recovery epoch so every shard drops its templates at the next window
     // begin — the same invalidation a failover uses.
     recovery_epoch_++;
+    // The epoch bump only takes effect at the NEXT window begin; a window
+    // that is open right now was keyed on the stale epoch.  A mid-capture
+    // window may have folded the corrupt value into its recording (and a
+    // mid-replay window is serving decisions derived from it), so abort it
+    // here — otherwise the half-recorded trace reaches Recorded state and a
+    // later occurrence (explicit or auto-promoted) could validate against
+    // poisoned decisions.
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      ShardState& st = *shards_[i];
+      if (st.auto_open) {
+        retire_auto_window(st, i,
+                           "SDC heal invalidated the template epoch mid-window");
+      } else if (st.templates.active()) {
+        // Explicit window: the abort leaves the slot for its end_trace.
+        st.templates.abort_window("SDC heal invalidated the template epoch mid-window");
+      }
+    }
     if (traced) {
       // The healed op was itself replayed from a template: re-validate its
       // cached fence decisions by re-issuing them into the prof global
@@ -1451,6 +1544,14 @@ bool DcrRuntime::check_deferred_consensus() {
 void DcrRuntime::finalize_shard(ShardContext& ctx) {
   ShardState& st = shard(ctx.shard());
   st.main_returned = true;
+  // The control program is over: an open auto-detected window can never
+  // complete its period, so discard its capture, and gate the detector off so
+  // the finalization fence below cannot open a fresh window.
+  if (st.auto_open) {
+    retire_auto_window(st, ctx.shard().value,
+                       "control program ended inside an auto window");
+  }
+  st.auto_stop = true;
   // Drain: wait until deferred consensus settles (poller observes all shards
   // done), then process any agreed insertions this shard has not reached.
   while (poller_active_ && !deferred_drained_) {
@@ -1505,6 +1606,22 @@ DcrStats DcrRuntime::execute(const ApplicationMain& main) {
     stats_.template_replays += c.window_replays;
     stats_.template_invalidations += c.invalidated;
     stats_.template_validation_failures += c.validation_failures;
+  }
+  for (const auto& st : shards_) {
+    const TraceIdentifier::Counters& a = st->auto_tracer.counters();
+    stats_.auto_trace_detections += a.detections;
+    stats_.auto_trace_promotions += a.promotions;
+    stats_.auto_trace_demotions += a.demotions;
+    stats_.auto_trace_windows += a.windows;
+    stats_.auto_trace_aborts += a.aborts;
+    stats_.auto_trace_collisions += a.collisions;
+    prof::Counters& pc = profiler_.shard(st->id.value);
+    pc.add(prof::Counter::AutoTraceDetections, a.detections);
+    pc.add(prof::Counter::AutoTracePromotions, a.promotions);
+    pc.add(prof::Counter::AutoTraceDemotions, a.demotions);
+    pc.add(prof::Counter::AutoTraceWindows, a.windows);
+    pc.add(prof::Counter::AutoTraceAborts, a.aborts);
+    pc.add(prof::Counter::AutoTraceCollisions, a.collisions);
   }
 
   stats_.aborted = aborted_;
@@ -1737,6 +1854,12 @@ void DcrRuntime::start_recovery(ShardState& st) {
     // recovery epoch so live shards drop theirs at the next window begin.
     failures_[report_idx].templates_dropped = st.templates.size();
     st.templates.reset();
+    // The replayed call stream deterministically rebuilds the auto tracer's
+    // state from the top; starting from anything else would diverge from what
+    // the dead incarnation did at the same call indices.
+    st.auto_tracer.reset();
+    st.auto_open = false;
+    st.auto_stop = false;
     recovery_epoch_++;
     st.deferred_requests.clear();
     st.deletions_processed = 0;

@@ -43,6 +43,7 @@
 #include "dcr/replicate.hpp"
 #include "dcr/sharding.hpp"
 #include "dcr/template.hpp"
+#include "dcr/trace_id.hpp"
 #include "dcr/user_tracker.hpp"
 #include "prof/profiler.hpp"
 #include "runtime/physical.hpp"
@@ -84,6 +85,11 @@ struct DcrConfig {
   // the DEPseq sequential semantics) before its first replay.  Disabling
   // replays templates on their first recurrence, unvalidated.
   bool template_validation = true;
+  // Automatic repeated-trace identification (dcr/trace_id.hpp): detect
+  // repeating task-launch windows online and open template windows for them
+  // without explicit begin/end_trace calls.  Off by default; requires
+  // tracing_enabled.
+  TraceIdConfig auto_trace;
   // Ablation: insert a cross-shard fence for every coarse dependence instead
   // of eliding provably shard-local ones (paper §4.1, observation 2).
   bool disable_fence_elision = false;
@@ -189,6 +195,14 @@ struct DcrStats {
   std::uint64_t template_replays = 0;              // whole windows replayed
   std::uint64_t template_invalidations = 0;        // epoch/shape invalidations
   std::uint64_t template_validation_failures = 0;  // shadow-compare re-records
+
+  // Automatic trace identification (dcr/trace_id.hpp), summed over shards.
+  std::uint64_t auto_trace_detections = 0;  // verified repeats found
+  std::uint64_t auto_trace_promotions = 0;  // candidates promoted to traces
+  std::uint64_t auto_trace_demotions = 0;   // traces dropped by hysteresis
+  std::uint64_t auto_trace_windows = 0;     // auto template windows opened
+  std::uint64_t auto_trace_aborts = 0;      // auto windows aborted mid-period
+  std::uint64_t auto_trace_collisions = 0;  // fingerprint hits failing verify
   std::uint64_t bytes_moved = 0;
   std::uint64_t messages = 0;
   SimTime analysis_busy = 0;
@@ -287,6 +301,8 @@ class DcrRuntime {
   // Dependence-template observability (tests): per-shard template store and
   // the runtime-wide recovery epoch that invalidates templates on failover.
   TemplateManager& shard_templates(ShardId s) { return shard(s).templates; }
+  // Per-shard automatic trace detector (tests: promotion logs and counters).
+  const TraceIdentifier& shard_auto_tracer(ShardId s) { return shard(s).auto_tracer; }
   std::uint64_t recovery_epoch() const { return recovery_epoch_; }
   // Fence observability (template/fence interaction tests): how many fence
   // collectives exist and whether every shard arrived at each of them — a
@@ -322,6 +338,13 @@ class DcrRuntime {
     // and replay of trace windows' analysis decisions.
     TemplateManager templates;
     Hash128 last_template_hash;  // template-identity hash of the latest call
+    // Automatic trace identification (dcr/trace_id.hpp): the per-shard
+    // repeated-trace detector, whether the currently open template window was
+    // opened by it (vs an explicit begin_trace), and the end-of-program gate
+    // that stops it from opening windows during finalization.
+    TraceIdentifier auto_tracer;
+    bool auto_open = false;
+    bool auto_stop = false;
     // dcr-prof: trace windows opened by this shard (the span iteration tag)
     // and the virtual start time of the one currently open.
     std::uint64_t windows_opened = 0;
@@ -436,6 +459,18 @@ class DcrRuntime {
   void spy_record_task(ShardId s, TaskId tid, OpId op, std::uint64_t point_index,
                        std::vector<spy::AccessRecord> accesses);
   void finalize_shard(class ShardContext& ctx);
+
+  // Template window close + hit/miss accounting, shared by explicit end_trace
+  // and auto-detected windows.  Reads the mode before end() clears it: a
+  // window still in Replay at close was served by a validated template;
+  // anything else (capture, validation, mid-window abort) ran fresh analysis.
+  // hits + misses == windows_closed by construction.
+  void close_template_window(ShardState& st, std::size_t shard_idx);
+  // Abort AND retire an auto-detected window.  An explicit window's abort
+  // deliberately leaves the active slot occupied for its matching end_trace;
+  // an auto window has no end_trace, so the close accounting must run here or
+  // the stale slot blocks every later begin (explicit or auto).
+  void retire_auto_window(ShardState& st, std::size_t shard_idx, const char* reason);
 
   void start_deferred_poller();
   bool check_deferred_consensus();

@@ -1,0 +1,158 @@
+// Automatic repeated-trace identification for dependence templates (DESIGN.md
+// §16, after "Automatic Tracing in Task-Based Runtime Systems", PAPERS.md).
+//
+// Each shard taps its own task-launch signature stream (the per-call template
+// identity hash, dcr/template.hpp) and feeds it to a TraceIdentifier.  The
+// identifier keeps a rolling CRC32C fingerprint over the last `probe` call
+// tokens and a fingerprint table mapping fingerprints to the stream position
+// where they last occurred.  A table hit at distance d means the last `probe`
+// calls *may* equal the `probe` calls ending d positions earlier — a repeat of
+// period d.  Because the fingerprint is only 32 bits (and tests can shrink it
+// further with `fp_mask_bits` to force collisions), every hit is verified
+// against the actual token history before it is believed.
+//
+// A verified repeat arms a candidate period; once the repeat has persisted for
+// `promote_periods` full periods, the candidate is promoted: the identifier
+// derives a stable TraceId from the repeating token window and asks the
+// runtime to open a template capture window (dcr/template.hpp) — from there
+// the existing capture -> validate -> replay machinery applies unchanged,
+// including epoch invalidation and shadow validation.  Hysteresis: when the
+// stream stops repeating, completed windows close cleanly, half-recorded
+// windows abort, and `demote_strikes` consecutive broken periods demote the
+// trace back to scanning — a phase change costs at most
+// (demote_strikes + 1) * period calls before the dead trace is dropped.
+//
+// Determinism: the identifier is a pure function of the observed token stream
+// (plus the deterministic suppress/interrupt events issued by the replicated
+// control program), and the token stream is identical on every shard by
+// control replication (§3).  Hence all shards promote the same TraceId at the
+// same launch index, at any shard count, on both the sim and threads backends.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/crc32c.hpp"
+#include "common/hash128.hpp"
+#include "common/types.hpp"
+
+namespace dcr::core {
+
+struct TraceIdConfig {
+  bool enabled = false;         // master switch (DcrConfig::auto_trace.enabled)
+  std::uint64_t min_period = 3;    // shortest repeat worth a template, in calls
+  std::uint64_t max_period = 512;  // longest repeat tracked, in calls
+  std::uint64_t probe = 8;         // rolling-fingerprint window length, in calls
+  std::uint64_t promote_periods = 2;  // stable periods required before capture
+  std::uint64_t demote_strikes = 2;   // broken periods tolerated before demotion
+  // Test hook: when nonzero, fingerprint-table keys are masked to the low
+  // `fp_mask_bits` bits, forcing table collisions so the verification path is
+  // exercised deterministically.  0 = full 32-bit keys.
+  std::uint32_t fp_mask_bits = 0;
+};
+
+// Online repeated-trace identifier.  One instance per shard; see file comment.
+class TraceIdentifier {
+ public:
+  // What the runtime should do with the template window for this call.  The
+  // call that produced the action has NOT been fed to the template manager
+  // yet: on Open (and the open half of CloseOpen) the runtime first begins the
+  // window, then records this call as its first op.
+  enum class Action : std::uint8_t {
+    None,       // nothing to do
+    Open,       // begin a capture/validate/replay window keyed by trace()
+    Close,      // the previous window completed a full period: end it
+    CloseOpen,  // close the completed window and immediately open the next
+    AbortClose, // the open window broke mid-period: abort it (discard capture)
+  };
+
+  struct Result {
+    Action action = Action::None;
+    TraceId trace = TraceId::invalid();
+  };
+
+  struct Counters {
+    std::uint64_t detections = 0;  // verified repeats found while scanning
+    std::uint64_t promotions = 0;  // candidates promoted to live traces
+    std::uint64_t demotions = 0;   // live traces dropped by hysteresis
+    std::uint64_t windows = 0;     // auto windows opened
+    std::uint64_t aborts = 0;      // auto windows aborted mid-period
+    std::uint64_t collisions = 0;  // fingerprint hits rejected by verification
+  };
+
+  TraceIdentifier() { configure(TraceIdConfig{}); }
+  explicit TraceIdentifier(const TraceIdConfig& cfg) { configure(cfg); }
+
+  void configure(const TraceIdConfig& cfg);
+
+  // Feed the next task-launch signature.  `suppress` defers any Open while an
+  // explicit (app-keyed) trace window is active; candidate tracking still
+  // advances so the auto trace resumes once the explicit window ends.
+  Result observe(const Hash128& sig, bool suppress);
+
+  // The runtime aborted our open window underneath us (explicit begin_trace,
+  // end-of-program flush).  Keeps the candidate armed; no strike.
+  void interrupt();
+
+  // Recovery replay-from-start: forget everything (the replayed stream will
+  // deterministically rebuild the same state).
+  void reset();
+
+  bool window_open() const { return in_window_; }
+  std::uint64_t period() const { return period_; }
+  TraceId trace() const { return trace_; }
+  const Counters& counters() const { return counters_; }
+  // Every promotion as (launch index, trace id) — the determinism tests
+  // compare these logs verbatim across shards and shard counts.
+  const std::vector<std::pair<std::uint64_t, std::uint32_t>>& promotion_log() const {
+    return promotion_log_;
+  }
+
+  // --- fingerprint primitives, exposed for the property tests -------------
+  // Raw CRC32C (init 0, no final xor) over the 4-byte little-endian encodings
+  // of `n` tokens: the from-scratch reference the rolling update must match.
+  static std::uint32_t window_fingerprint(const std::uint32_t* tokens, std::size_t n);
+  // 32-bit token for one call signature.
+  static std::uint32_t signature_token(const Hash128& sig);
+  std::uint32_t fingerprint() const { return fp_; }  // current rolling value
+
+ private:
+  enum class State : std::uint8_t { Scanning, Armed, Tracing };
+
+  std::uint32_t ring_at(std::uint64_t p) const {
+    return ring_[p % ring_.size()];
+  }
+  void advance(std::uint32_t tok);          // ring + rolling fp + table upkeep
+  bool verify_repeat(std::uint64_t d) const;
+  void arm(std::uint64_t d);
+  Result promote();                          // Armed -> Tracing, returns Open
+  void demote();
+  std::uint32_t table_key() const;
+  TraceId derive_trace_id() const;           // CRC32C over one period of tokens
+
+  TraceIdConfig cfg_;
+  State state_ = State::Scanning;
+  std::uint64_t pos_ = 0;   // tokens observed so far (next token's index)
+  std::vector<std::uint32_t> ring_;  // last (max_period + probe) tokens
+  std::uint32_t fp_ = 0;    // raw CRC32C of the last min(pos, probe) tokens
+  // Z^{4(probe-1)} as four 256-entry tables: shifts a 32-bit CRC state past
+  // (probe-1) zero tokens in four lookups (GF(2) linearity of CRC).
+  std::array<std::array<std::uint32_t, 256>, 4> shift_out_{};
+  std::unordered_map<std::uint32_t, std::uint64_t> table_;  // fp key -> last end pos
+
+  std::uint64_t period_ = 0;      // armed/promoted candidate period d
+  std::uint64_t match_run_ = 0;   // consecutive tok[p] == tok[p-d]
+  TraceId trace_ = TraceId::invalid();
+  bool in_window_ = false;
+  std::uint64_t calls_in_window_ = 0;
+  std::uint64_t strikes_ = 0;       // broken periods since last clean close
+  std::uint64_t resume_run_ = 0;    // paused: consecutive matches toward reopen
+  std::uint64_t mismatch_run_ = 0;  // paused: consecutive mismatches toward strike
+  Counters counters_;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> promotion_log_;
+};
+
+}  // namespace dcr::core

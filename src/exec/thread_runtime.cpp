@@ -58,6 +58,7 @@ class ThreadShardContext final : public core::Context {
       rt_.trace_->calls[st_.id.value].push_back({st_.api_calls, name, h, sig.take_args()});
     }
     st_.api_calls++;
+    auto_trace_observe();
     if (rt_.config_.tracing_enabled) st_.templates.on_call(st_.last_template_hash);
   }
 
@@ -276,6 +277,12 @@ class ThreadShardContext final : public core::Context {
     SigBuilder sb = core::sig_begin_trace(cap(), id);
     api_call("begin_trace", sb);
     if (!rt_.config_.tracing_enabled) return;
+    if (st_.auto_open) {
+      // An auto-detected window is open: the explicit window wins (the tap in
+      // api_call usually aborted it already when the begin_trace signature
+      // broke the repeat).
+      rt_.retire_auto_window(st_, "explicit begin_trace inside an auto window");
+    }
     DCR_CHECK(!st_.templates.active()) << "nested traces are not supported";
     // No recovery or deferred-deletion epochs on this backend; the forest
     // mutation epoch is the only validity key that can move.
@@ -291,15 +298,56 @@ class ThreadShardContext final : public core::Context {
     if (!rt_.config_.tracing_enabled) return;
     DCR_CHECK(st_.templates.active() && *st_.templates.active() == id)
         << "mismatched end_trace";
-    prof::Counters& pc = rt_.profiler_.shard(st_.id.value);
-    pc.add(prof::Counter::WindowsClosed);
-    pc.add(st_.templates.mode() == TemplateManager::Mode::Replay
-               ? prof::Counter::TemplateWindowHits
-               : prof::Counter::TemplateWindowMisses);
-    st_.templates.end(st_.forest);
-    rt_.profiler_.emit({prof::SpanKind::TraceWindow, prof::Lane::Control, st_.id.value,
-                        st_.window_started, rt_.clock_.now(), prof::kNoId,
-                        st_.windows_opened - 1});
+    close_window_accounting();
+  }
+
+  // Window close + hit/miss accounting shared by explicit end_trace and
+  // auto-detected windows (mirrors the simulator backend).
+  void close_window_accounting() { rt_.close_template_window(st_); }
+
+  // ---- automatic trace identification (dcr/trace_id.hpp) ----
+  // Same tap as the simulator backend's ShardContext::auto_trace_observe:
+  // runs before templates.on_call so Open windows receive the current call as
+  // their first op.  The detector is a pure function of the call-hash stream,
+  // which is identical across backends, so both promote the same traces at
+  // the same call indices.
+  void auto_trace_observe() {
+    const ThreadConfig& cfg = rt_.config_;
+    if (!cfg.auto_trace.enabled || !cfg.tracing_enabled || st_.auto_stop) return;
+    const bool explicit_open = st_.templates.active() && !st_.auto_open;
+    const core::TraceIdentifier::Result r =
+        st_.auto_tracer.observe(st_.last_template_hash, explicit_open);
+    if (explicit_open) return;  // suppressed: no actions can fire
+    switch (r.action) {
+      case core::TraceIdentifier::Action::None:
+        break;
+      case core::TraceIdentifier::Action::Open:
+        if (!st_.templates.active()) auto_open_window(r.trace);
+        break;
+      case core::TraceIdentifier::Action::Close:
+        auto_close_window();
+        break;
+      case core::TraceIdentifier::Action::CloseOpen:
+        auto_close_window();
+        auto_open_window(r.trace);
+        break;
+      case core::TraceIdentifier::Action::AbortClose:
+        rt_.retire_auto_window(st_, "auto trace broke mid-period");
+        break;
+    }
+  }
+
+  void auto_open_window(TraceId id) {
+    st_.templates.begin(id, st_.forest.mutation_epoch(), /*recovery_epoch=*/0,
+                        /*deletion_epoch=*/0, rt_.config_.template_validation);
+    st_.windows_opened++;
+    st_.window_started = rt_.clock_.now();
+    st_.auto_open = true;
+  }
+
+  void auto_close_window() {
+    if (st_.templates.active()) close_window_accounting();
+    st_.auto_open = false;
   }
 
   // ---- environment ----
@@ -376,6 +424,10 @@ ShardingId ThreadRuntime::register_sharding(core::ShardingRegistry::ShardingFn f
 
 core::TemplateManager& ThreadRuntime::shard_templates(ShardId s) {
   return shard(s).templates;
+}
+
+const core::TraceIdentifier& ThreadRuntime::shard_auto_tracer(ShardId s) {
+  return shard(s).auto_tracer;
 }
 
 // ----------------------------------------------------------- coarse stage
@@ -1001,10 +1053,38 @@ void ThreadRuntime::busy_spin(SimTime wall_ns) {
 
 // ----------------------------------------------------------------- execute
 
+void ThreadRuntime::close_template_window(ThreadShard& st) {
+  prof::Counters& pc = profiler_.shard(st.id.value);
+  pc.add(prof::Counter::WindowsClosed);
+  pc.add(st.templates.mode() == TemplateManager::Mode::Replay
+             ? prof::Counter::TemplateWindowHits
+             : prof::Counter::TemplateWindowMisses);
+  st.templates.end(st.forest);
+  profiler_.emit({prof::SpanKind::TraceWindow, prof::Lane::Control, st.id.value,
+                  st.window_started, clock_.now(), prof::kNoId,
+                  st.windows_opened - 1});
+}
+
+void ThreadRuntime::retire_auto_window(ThreadShard& st, const char* reason) {
+  if (st.templates.active()) {
+    st.templates.abort_window(reason);  // no-op if already aborted underneath
+    close_template_window(st);
+  }
+  st.auto_open = false;
+  st.auto_tracer.interrupt();
+}
+
 void ThreadRuntime::shard_main(ThreadShard& st, const core::ApplicationMain& main) {
   try {
     ThreadShardContext ctx(*this, st);
     main(ctx);
+    // The control program is over: discard any open auto window (it can never
+    // complete its period) and stop the detector before the final barrier, so
+    // the finalization fence matches the simulator's finalize_shard behavior.
+    if (st.auto_open) {
+      retire_auto_window(st, "control program ended inside an auto window");
+    }
+    st.auto_stop = true;
     // Final barrier so the call/op streams match the simulator's
     // finalize_shard, and every shard's work is done before join.
     ctx.execution_fence();
@@ -1077,6 +1157,20 @@ core::DcrStats ThreadRuntime::execute(const core::ApplicationMain& main) {
     stats.template_replays += c.window_replays;
     stats.template_invalidations += c.invalidated;
     stats.template_validation_failures += c.validation_failures;
+    const core::TraceIdentifier::Counters& a = st->auto_tracer.counters();
+    stats.auto_trace_detections += a.detections;
+    stats.auto_trace_promotions += a.promotions;
+    stats.auto_trace_demotions += a.demotions;
+    stats.auto_trace_windows += a.windows;
+    stats.auto_trace_aborts += a.aborts;
+    stats.auto_trace_collisions += a.collisions;
+    prof::Counters& apc = profiler_.shard(st->id.value);
+    apc.add(prof::Counter::AutoTraceDetections, a.detections);
+    apc.add(prof::Counter::AutoTracePromotions, a.promotions);
+    apc.add(prof::Counter::AutoTraceDemotions, a.demotions);
+    apc.add(prof::Counter::AutoTraceWindows, a.windows);
+    apc.add(prof::Counter::AutoTraceAborts, a.aborts);
+    apc.add(prof::Counter::AutoTraceCollisions, a.collisions);
     for (const auto& [fn, fp] : st->profile) {
       FunctionProfile& merged = profile_[fn];
       merged.tasks += fp.tasks;

@@ -48,6 +48,7 @@
 #include "dcr/runtime.hpp"
 #include "dcr/sharding.hpp"
 #include "dcr/template.hpp"
+#include "dcr/trace_id.hpp"
 #include "dcr/user_tracker.hpp"
 #include "exec/clock.hpp"
 #include "exec/collective.hpp"
@@ -92,6 +93,9 @@ struct ThreadConfig {
   bool determinism_checks = true;
   bool tracing_enabled = true;
   bool template_validation = true;
+  // Automatic repeated-trace identification (dcr/trace_id.hpp): same detector
+  // as the simulator backend, one instance per shard thread.
+  core::TraceIdConfig auto_trace;
   bool disable_fence_elision = false;
   bool static_analysis = true;
   bool statics_check = false;
@@ -144,6 +148,7 @@ class ThreadRuntime {
   };
   const std::map<FunctionId, FunctionProfile>& profile() const { return profile_; }
   core::TemplateManager& shard_templates(ShardId s);
+  const core::TraceIdentifier& shard_auto_tracer(ShardId s);
   const Clock& clock() const { return clock_; }
 
  private:
@@ -170,6 +175,11 @@ class ThreadRuntime {
     std::unique_ptr<Philox4x32> rng;
     core::TemplateManager templates;
     Hash128 last_template_hash{};
+    // Automatic trace identification (dcr/trace_id.hpp): per-shard detector,
+    // whether the open window is auto-opened, and the end-of-program gate.
+    core::TraceIdentifier auto_tracer;
+    bool auto_open = false;
+    bool auto_stop = false;
     Hash128 call_fold{};  // running fold of §3 call hashes, compared at join
     std::uint64_t next_future = 0;
     std::uint64_t next_future_map = 0;
@@ -235,6 +245,14 @@ class ThreadRuntime {
                               const std::vector<TaskId>& preds);
   void shard_main(ThreadShard& st, const core::ApplicationMain& main);
   void busy_spin(SimTime wall_ns);
+  // Template window close + hit/miss accounting (mirrors
+  // DcrRuntime::close_template_window).
+  void close_template_window(ThreadShard& st);
+  // Abort AND retire an auto-detected window: unlike an explicit window's
+  // abort (which leaves the slot for its matching end_trace), an auto window
+  // has no end_trace, so it must be closed here (mirrors
+  // DcrRuntime::retire_auto_window).
+  void retire_auto_window(ThreadShard& st, const char* reason);
 
   core::FunctionRegistry& functions_;
   ThreadConfig config_;

@@ -49,6 +49,12 @@ enum class Counter : std::size_t {
   StaticSkipOps,         // fine stages satisfied by a static verdict (O(1) cost)
   StaticSkipPoints,      // owned points those stages did not enumerate
   StaticSkipSavedNs,     // per-point fine cost the static verdicts avoided
+  AutoTraceDetections,   // verified repeats found by the trace identifier
+  AutoTracePromotions,   // repeats promoted into auto template windows
+  AutoTraceDemotions,    // auto traces dropped by hysteresis (phase change)
+  AutoTraceWindows,      // auto template windows opened
+  AutoTraceAborts,       // auto windows aborted mid-period
+  AutoTraceCollisions,   // fingerprint hits rejected by token verification
   kCount
 };
 
@@ -123,6 +129,12 @@ inline const char* name(Counter c) {
     case Counter::StaticSkipOps: return "static_skip_ops";
     case Counter::StaticSkipPoints: return "static_skip_points";
     case Counter::StaticSkipSavedNs: return "static_skip_saved_ns";
+    case Counter::AutoTraceDetections: return "auto_trace_detections";
+    case Counter::AutoTracePromotions: return "auto_trace_promotions";
+    case Counter::AutoTraceDemotions: return "auto_trace_demotions";
+    case Counter::AutoTraceWindows: return "auto_trace_windows";
+    case Counter::AutoTraceAborts: return "auto_trace_aborts";
+    case Counter::AutoTraceCollisions: return "auto_trace_collisions";
     case Counter::kCount: break;
   }
   return "?";

@@ -437,4 +437,105 @@ void write_quorum_json(std::ostream& os, const QuorumReport& r) {
   os << "\n  ]\n}\n";
 }
 
+// ------------------------------------------------- automatic trace identification
+
+TraceIdReport build_trace_id(const prof::Profiler& prof) {
+  TraceIdReport r;
+  r.num_shards = prof.num_shards();
+  r.shards.resize(r.num_shards);
+  r.consistent = true;
+  for (std::size_t s = 0; s < r.num_shards; ++s) {
+    const prof::Counters& pc = prof.shard(static_cast<std::uint32_t>(s));
+    TraceIdReport::Shard& sh = r.shards[s];
+    sh.detections = pc.get(prof::Counter::AutoTraceDetections);
+    sh.promotions = pc.get(prof::Counter::AutoTracePromotions);
+    sh.demotions = pc.get(prof::Counter::AutoTraceDemotions);
+    sh.windows = pc.get(prof::Counter::AutoTraceWindows);
+    sh.aborts = pc.get(prof::Counter::AutoTraceAborts);
+    sh.collisions = pc.get(prof::Counter::AutoTraceCollisions);
+    sh.windows_closed = pc.get(prof::Counter::WindowsClosed);
+    sh.window_hits = pc.get(prof::Counter::TemplateWindowHits);
+    sh.window_misses = pc.get(prof::Counter::TemplateWindowMisses);
+    r.total.detections += sh.detections;
+    r.total.promotions += sh.promotions;
+    r.total.demotions += sh.demotions;
+    r.total.windows += sh.windows;
+    r.total.aborts += sh.aborts;
+    r.total.collisions += sh.collisions;
+    r.total.windows_closed += sh.windows_closed;
+    r.total.window_hits += sh.window_hits;
+    r.total.window_misses += sh.window_misses;
+    if (sh.window_hits + sh.window_misses != sh.windows_closed) r.consistent = false;
+    if (sh.detections < sh.promotions || sh.promotions < sh.demotions) {
+      r.consistent = false;
+    }
+  }
+  if (r.total.windows_closed > 0) {
+    r.hit_rate = static_cast<double>(r.total.window_hits) /
+                 static_cast<double>(r.total.windows_closed);
+  }
+  return r;
+}
+
+void render_trace_id(std::ostream& os, const TraceIdReport& r) {
+  const StreamStateGuard guard(os);
+  os << "automatic trace identification (" << r.num_shards << " shards)\n";
+  os << "detections: " << r.total.detections << ", promotions: "
+     << r.total.promotions << ", demotions: " << r.total.demotions
+     << ", fingerprint collisions: " << r.total.collisions << "\n";
+  os << "auto windows: " << r.total.windows << " opened, " << r.total.aborts
+     << " aborted mid-period\n";
+  os << "window ledger: " << r.total.windows_closed << " closed, "
+     << r.total.window_hits << " replay hits, " << r.total.window_misses
+     << " misses -> hit rate " << std::fixed << std::setprecision(1)
+     << (100.0 * r.hit_rate) << "%\n";
+  os << "ledger invariants: " << (r.consistent ? "ok" : "VIOLATED") << "\n";
+  // Per-shard rows only when shards disagree (they rarely should: detection
+  // is control-deterministic, so skew indicates recovery or SDC interrupts).
+  bool uniform = true;
+  for (const TraceIdReport::Shard& sh : r.shards) {
+    uniform = uniform && sh.promotions == r.shards[0].promotions &&
+              sh.windows == r.shards[0].windows &&
+              sh.window_hits == r.shards[0].window_hits;
+  }
+  if (!uniform) {
+    os << "per-shard (non-uniform):\n";
+    os << "  shard  detect  promote  demote  windows  aborts  hits  misses\n";
+    for (std::size_t s = 0; s < r.shards.size(); ++s) {
+      const TraceIdReport::Shard& sh = r.shards[s];
+      os << "  " << std::setw(5) << s << " " << std::setw(7) << sh.detections
+         << " " << std::setw(8) << sh.promotions << " " << std::setw(7)
+         << sh.demotions << " " << std::setw(8) << sh.windows << " "
+         << std::setw(7) << sh.aborts << " " << std::setw(5) << sh.window_hits
+         << " " << std::setw(7) << sh.window_misses << "\n";
+    }
+  }
+}
+
+void write_trace_id_json(std::ostream& os, const TraceIdReport& r) {
+  os << "{\n  \"num_shards\": " << r.num_shards
+     << ",\n  \"detections\": " << r.total.detections
+     << ",\n  \"promotions\": " << r.total.promotions
+     << ",\n  \"demotions\": " << r.total.demotions
+     << ",\n  \"windows\": " << r.total.windows
+     << ",\n  \"aborts\": " << r.total.aborts
+     << ",\n  \"collisions\": " << r.total.collisions
+     << ",\n  \"windows_closed\": " << r.total.windows_closed
+     << ",\n  \"window_hits\": " << r.total.window_hits
+     << ",\n  \"window_misses\": " << r.total.window_misses
+     << ",\n  \"hit_rate\": " << r.hit_rate
+     << ",\n  \"consistent\": " << (r.consistent ? "true" : "false")
+     << ",\n  \"shards\": [";
+  for (std::size_t s = 0; s < r.shards.size(); ++s) {
+    const TraceIdReport::Shard& sh = r.shards[s];
+    os << (s ? ",\n    " : "\n    ") << "{\"detections\": " << sh.detections
+       << ", \"promotions\": " << sh.promotions << ", \"demotions\": "
+       << sh.demotions << ", \"windows\": " << sh.windows << ", \"aborts\": "
+       << sh.aborts << ", \"collisions\": " << sh.collisions
+       << ", \"window_hits\": " << sh.window_hits << ", \"window_misses\": "
+       << sh.window_misses << "}";
+  }
+  os << "\n  ]\n}\n";
+}
+
 }  // namespace dcr::scope

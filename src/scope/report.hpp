@@ -125,4 +125,34 @@ QuorumReport build_quorum(const Recorder& rec, std::size_t top = 16);
 void render_quorum(std::ostream& os, const QuorumReport& r);
 void write_quorum_json(std::ostream& os, const QuorumReport& r);
 
+// Automatic trace identification report (dcr/trace_id): per-shard detector
+// health read from the dcr-prof counter bank — repeats detected, traces
+// promoted/demoted, windows opened/aborted, fingerprint collisions — plus the
+// template window hit/miss ledger and the derived replay hit rate.
+struct TraceIdReport {
+  struct Shard {
+    std::uint64_t detections = 0;
+    std::uint64_t promotions = 0;
+    std::uint64_t demotions = 0;
+    std::uint64_t windows = 0;        // auto windows opened
+    std::uint64_t aborts = 0;         // auto windows aborted mid-period
+    std::uint64_t collisions = 0;     // fingerprint hits failing verification
+    std::uint64_t windows_closed = 0; // all windows closed (auto + explicit)
+    std::uint64_t window_hits = 0;    // closed windows served by replay
+    std::uint64_t window_misses = 0;  // closed windows that ran fresh analysis
+  };
+  std::size_t num_shards = 0;
+  std::vector<Shard> shards;
+  Shard total;
+  double hit_rate = 0.0;  // hits / closed windows, summed over shards
+  // Ledger invariants: hits + misses == windows closed on every shard, and
+  // detections >= promotions >= demotions (a trace must be detected before it
+  // is promoted and promoted before it can demote).
+  bool consistent = false;
+};
+
+TraceIdReport build_trace_id(const prof::Profiler& prof);
+void render_trace_id(std::ostream& os, const TraceIdReport& r);
+void write_trace_id_json(std::ostream& os, const TraceIdReport& r);
+
 }  // namespace dcr::scope

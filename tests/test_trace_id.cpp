@@ -1,0 +1,740 @@
+// Automatic repeated-trace identification (dcr/trace_id.hpp): property tests
+// for the rolling CRC32C fingerprint, unit tests for the detect -> arm ->
+// promote -> demote state machine (including the forced-collision stub and
+// the hysteresis bound), promotion-determinism checks across shard counts and
+// backends, a golden regression of the promoted-trace set on the
+// phase-changing stencil, the SDC-heal/mid-capture interleaving regression,
+// and the 200-seed differential fuzz sweep: auto detection on/off must
+// realize spy-verified equivalent task graphs, with and without faults, on
+// both the sim and threads backends.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/stencil.hpp"
+#include "common/philox.hpp"
+#include "dcr/runtime.hpp"
+#include "dcr/trace_id.hpp"
+#include "dcr_fuzz_programs.hpp"
+#include "exec/thread_runtime.hpp"
+#include "sim/fault.hpp"
+#include "sim/machine.hpp"
+#include "spy/trace.hpp"
+#include "spy/verify.hpp"
+
+#ifndef DCR_GOLDEN_DIR
+#define DCR_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace dcr::core {
+namespace {
+
+sim::MachineConfig cluster(std::size_t nodes) {
+  return {.num_nodes = nodes,
+          .compute_procs_per_node = 1,
+          .network = {.alpha = us(1), .ns_per_byte = 0.1, .local_latency = ns(50)}};
+}
+
+// Synthetic call signatures: distinct 128-bit hashes per symbol, so a token
+// stream can be scripted as a string ("abcabc...") with one symbol per call.
+Hash128 sig_for(char symbol) {
+  Hash128 h;
+  h.lo = 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(symbol) + 1);
+  h.hi = ~h.lo * 0x2545f4914f6cdd1dull;
+  return h;
+}
+
+struct Step {
+  TraceIdentifier::Action action;
+  std::uint64_t pos;  // call index (0-based) that produced the action
+};
+
+// Feeds `stream` and returns every non-None action with its call index.
+std::vector<Step> feed(TraceIdentifier& id, const std::string& stream,
+                       std::uint64_t start = 0) {
+  std::vector<Step> out;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const TraceIdentifier::Result r = id.observe(sig_for(stream[i]), false);
+    if (r.action != TraceIdentifier::Action::None) {
+      out.push_back({r.action, start + i});
+    }
+  }
+  return out;
+}
+
+std::string repeat(const std::string& unit, std::size_t times) {
+  std::string s;
+  for (std::size_t i = 0; i < times; ++i) s += unit;
+  return s;
+}
+
+// ------------------------------------------------ rolling fingerprint math
+
+// The rolling fingerprint after every observe() must equal the from-scratch
+// CRC32C of the last min(pos, probe) tokens, for several probe lengths.
+TEST(TraceIdFingerprint, SlideMatchesFromScratch) {
+  for (const std::uint64_t probe : {2ull, 3ull, 8ull, 16ull}) {
+    TraceIdConfig cfg;
+    cfg.probe = probe;
+    cfg.min_period = 1u << 20;  // never arm: this test is pure fp math
+    TraceIdentifier id(cfg);
+    Philox4x32 rng(fuzz::seed_for_label("trace_id", probe), /*stream=*/3);
+    std::vector<std::uint32_t> tokens;
+    for (int i = 0; i < 300; ++i) {
+      Hash128 sig;
+      sig.lo = rng.next_u64();
+      sig.hi = rng.next_u64();
+      tokens.push_back(TraceIdentifier::signature_token(sig));
+      id.observe(sig, false);
+      const std::size_t n = std::min<std::size_t>(tokens.size(), probe);
+      const std::uint32_t want = TraceIdentifier::window_fingerprint(
+          tokens.data() + (tokens.size() - n), n);
+      ASSERT_EQ(id.fingerprint(), want)
+          << "probe " << probe << " after " << tokens.size() << " tokens";
+    }
+  }
+}
+
+TEST(TraceIdFingerprint, TokenizerSeparatesSignatures) {
+  // Distinct signatures must map to distinct tokens (for these inputs), and
+  // the token must depend on both hash lanes.
+  EXPECT_NE(TraceIdentifier::signature_token(sig_for('a')),
+            TraceIdentifier::signature_token(sig_for('b')));
+  Hash128 a = sig_for('a');
+  Hash128 b = a;
+  b.hi ^= 1;
+  EXPECT_NE(TraceIdentifier::signature_token(a),
+            TraceIdentifier::signature_token(b));
+}
+
+// ------------------------------------------------------ detector lifecycle
+
+TraceIdConfig small_config() {
+  TraceIdConfig cfg;
+  cfg.enabled = true;
+  cfg.min_period = 2;
+  cfg.max_period = 64;
+  cfg.probe = 4;
+  cfg.promote_periods = 2;
+  cfg.demote_strikes = 2;
+  return cfg;
+}
+
+TEST(TraceIdDetector, PeriodicStreamPromotesOnceAndKeepsReplaying) {
+  TraceIdentifier id(small_config());
+  const std::vector<Step> steps = feed(id, repeat("abcd", 12));
+  ASSERT_FALSE(steps.empty());
+  // Exactly one Open (the promotion); every later boundary is CloseOpen.
+  EXPECT_EQ(steps[0].action, TraceIdentifier::Action::Open);
+  for (std::size_t i = 1; i < steps.size(); ++i) {
+    EXPECT_EQ(steps[i].action, TraceIdentifier::Action::CloseOpen) << i;
+    EXPECT_EQ(steps[i].pos - steps[i - 1].pos, 4u) << "period-4 boundaries";
+  }
+  EXPECT_EQ(id.period(), 4u);
+  EXPECT_TRUE(id.window_open());
+  const TraceIdentifier::Counters& c = id.counters();
+  EXPECT_EQ(c.promotions, 1u);
+  EXPECT_GE(c.detections, 1u);
+  EXPECT_EQ(c.demotions, 0u);
+  EXPECT_EQ(c.aborts, 0u);
+  EXPECT_EQ(c.windows, steps.size());
+  // Auto trace ids carry the high bit so they cannot collide with small
+  // app-chosen TraceIds, and are never TraceId::invalid().
+  EXPECT_NE(id.trace().value & 0x80000000u, 0u);
+  EXPECT_TRUE(id.trace().valid());
+  ASSERT_EQ(id.promotion_log().size(), 1u);
+}
+
+TEST(TraceIdDetector, DerivedIdIsStableAcrossRuns) {
+  // Same repeating unit -> same TraceId, independent of how much aperiodic
+  // prefix preceded it; different unit -> different id.
+  auto promote_id = [](const std::string& prefix, const std::string& unit) {
+    TraceIdentifier id(small_config());
+    feed(id, prefix + repeat(unit, 12));
+    EXPECT_EQ(id.counters().promotions, 1u) << prefix << "+" << unit;
+    return id.trace().value;
+  };
+  const std::uint32_t base = promote_id("", "abcd");
+  EXPECT_EQ(promote_id("xyzw", "abcd"), base);
+  EXPECT_NE(promote_id("", "abce"), base);
+}
+
+TEST(TraceIdDetector, MinPeriodGateRejectsShortRepeats) {
+  TraceIdConfig cfg = small_config();
+  cfg.min_period = 5;
+  TraceIdentifier id(cfg);
+  feed(id, repeat("abcd", 16));  // period 4 < min_period
+  EXPECT_EQ(id.counters().promotions, 0u);
+  // ...but period 6 passes the gate.
+  TraceIdentifier id6(cfg);
+  feed(id6, repeat("abcdef", 12));
+  EXPECT_EQ(id6.counters().promotions, 1u);
+  EXPECT_EQ(id6.period(), 6u);
+}
+
+TEST(TraceIdDetector, SuppressDefersPromotionUntilReleased) {
+  // With suppress held (an explicit app window is active), a fully stable
+  // repeat must not open an auto window; releasing suppress promotes.
+  TraceIdentifier id(small_config());
+  const std::string stream = repeat("abcd", 12);
+  for (char ch : stream) {
+    const auto r = id.observe(sig_for(ch), /*suppress=*/true);
+    EXPECT_EQ(r.action, TraceIdentifier::Action::None);
+  }
+  EXPECT_EQ(id.counters().promotions, 0u);
+  bool opened = false;
+  for (int i = 0; i < 16 && !opened; ++i) {
+    opened = id.observe(sig_for("abcd"[i % 4]), false).action ==
+             TraceIdentifier::Action::Open;
+  }
+  EXPECT_TRUE(opened);
+  EXPECT_EQ(id.counters().promotions, 1u);
+}
+
+TEST(TraceIdDetector, InterruptClosesWindowWithoutStrike) {
+  TraceIdentifier id(small_config());
+  feed(id, repeat("abcd", 8));
+  ASSERT_TRUE(id.window_open());
+  const std::uint64_t aborts_before = id.counters().aborts;
+  id.interrupt();
+  EXPECT_FALSE(id.window_open());
+  EXPECT_EQ(id.counters().aborts, aborts_before + 1);
+  // The stream keeps repeating: the trace reopens (no demotion happened).
+  const std::vector<Step> steps = feed(id, repeat("abcd", 4), 32);
+  EXPECT_EQ(id.counters().demotions, 0u);
+  bool reopened = false;
+  for (const Step& s : steps) {
+    reopened |= s.action == TraceIdentifier::Action::Open;
+  }
+  EXPECT_TRUE(reopened);
+}
+
+TEST(TraceIdDetector, ResetClearsStreamStateButKeepsCounters) {
+  TraceIdentifier id(small_config());
+  feed(id, repeat("abcd", 12));
+  ASSERT_EQ(id.counters().promotions, 1u);
+  id.reset();
+  EXPECT_FALSE(id.window_open());
+  EXPECT_EQ(id.period(), 0u);
+  EXPECT_EQ(id.counters().promotions, 1u) << "counters survive recovery resets";
+  // The replayed stream rebuilds the same trace deterministically.
+  feed(id, repeat("abcd", 12));
+  EXPECT_EQ(id.counters().promotions, 2u);
+  ASSERT_EQ(id.promotion_log().size(), 2u);
+  EXPECT_EQ(id.promotion_log()[0].second, id.promotion_log()[1].second);
+}
+
+// ---------------------------------------------- forced-collision stub path
+
+TEST(TraceIdDetector, ForcedCollisionsAreVerifiedAndRejected) {
+  // A 1-bit fingerprint table on a random (aperiodic) stream: nearly every
+  // lookup hits, verification rejects each one, and nothing ever promotes.
+  TraceIdConfig cfg = small_config();
+  cfg.fp_mask_bits = 1;
+  TraceIdentifier id(cfg);
+  Philox4x32 rng(fuzz::seed_for_label("trace_id", 77), /*stream=*/7);
+  for (int i = 0; i < 400; ++i) {
+    Hash128 sig;
+    sig.lo = rng.next_u64();
+    sig.hi = rng.next_u64();
+    const auto r = id.observe(sig, false);
+    EXPECT_EQ(r.action, TraceIdentifier::Action::None);
+  }
+  EXPECT_GT(id.counters().collisions, 0u);
+  EXPECT_EQ(id.counters().detections, 0u);
+  EXPECT_EQ(id.counters().promotions, 0u);
+}
+
+TEST(TraceIdDetector, DetectionSurvivesCollisionsOnMaskedTable) {
+  // With a 12-bit table the periodic stream still promotes the same trace at
+  // the same index as the full-width table: collisions only cost verification
+  // work, never correctness.
+  TraceIdentifier full(small_config());
+  TraceIdConfig masked_cfg = small_config();
+  masked_cfg.fp_mask_bits = 12;
+  TraceIdentifier masked(masked_cfg);
+  const std::string stream = repeat("abcd", 12);
+  feed(full, stream);
+  feed(masked, stream);
+  ASSERT_EQ(full.counters().promotions, 1u);
+  EXPECT_EQ(masked.promotion_log(), full.promotion_log());
+}
+
+// -------------------------------------------------------- hysteresis bound
+
+// ISSUE satellite: a mutated stream must demote within the documented bound
+// of (demote_strikes + 1) * period calls after the last matching call.
+TEST(TraceIdDetector, MutatedStreamDemotesWithinHysteresisBound) {
+  for (const std::uint64_t strikes : {1ull, 2ull, 3ull}) {
+    TraceIdConfig cfg = small_config();
+    cfg.demote_strikes = strikes;
+    TraceIdentifier id(cfg);
+    feed(id, repeat("abcd", 12));
+    ASSERT_EQ(id.counters().promotions, 1u) << "strikes " << strikes;
+    ASSERT_TRUE(id.window_open());
+    // Phase change: the stream stops repeating (no 'a'..'d' ever again).
+    std::uint64_t calls = 0;
+    Philox4x32 rng(fuzz::seed_for_label("trace_id", strikes), /*stream=*/9);
+    while (id.counters().demotions == 0) {
+      Hash128 sig;
+      sig.lo = 0x1000 + rng.next_u64();
+      sig.hi = rng.next_u64();
+      id.observe(sig, false);
+      calls++;
+      ASSERT_LE(calls, (strikes + 1) * id.counters().promotions * 4 + 4)
+          << "hysteresis bound blown at demote_strikes=" << strikes;
+    }
+    EXPECT_LE(calls, (strikes + 1) * 4) << "demote_strikes=" << strikes;
+    EXPECT_FALSE(id.window_open());
+    // Post-demotion the detector is scanning again: a fresh repeat re-promotes.
+    feed(id, repeat("efgh", 12));
+    EXPECT_EQ(id.counters().promotions, 2u) << "strikes " << strikes;
+  }
+}
+
+TEST(TraceIdDetector, PhaseChangeToNewRepeatMigratesTrace) {
+  // A -> B phase change: the old trace demotes, the new one promotes, and the
+  // two derived ids differ.
+  TraceIdentifier id(small_config());
+  feed(id, repeat("abcd", 10));
+  ASSERT_EQ(id.counters().promotions, 1u);
+  const std::uint32_t first = id.trace().value;
+  feed(id, repeat("wxyz", 12), 40);
+  EXPECT_EQ(id.counters().demotions, 1u);
+  EXPECT_EQ(id.counters().promotions, 2u);
+  EXPECT_NE(id.trace().value, first);
+}
+
+// ------------------------------------------- end-to-end runs (sim backend)
+
+struct AutoRun {
+  DcrStats stats;
+  spy::Trace trace;
+  rt::TaskGraph graph;
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint32_t>>> logs;
+};
+
+TraceIdConfig stencil_auto_config() {
+  // The dcr-scope/bench tuning: period-3/4 loop bodies, fast promotion.
+  TraceIdConfig cfg;
+  cfg.enabled = true;
+  cfg.min_period = 2;
+  cfg.probe = 6;
+  cfg.promote_periods = 1;
+  return cfg;
+}
+
+AutoRun run_auto_sim(const ApplicationMain& app, FunctionRegistry& functions,
+                     std::size_t shards, bool auto_on,
+                     sim::FaultConfig fcfg = {}, bool profile = false) {
+  sim::Machine machine(cluster(shards));
+  sim::FaultPlan plan(fcfg);
+  if (!fcfg.crashes.empty() || fcfg.sdc.rate > 0.0) machine.install_faults(plan);
+  DcrConfig cfg;
+  cfg.record_trace = true;
+  cfg.record_task_graph = true;
+  cfg.profile = profile;
+  if (auto_on) cfg.auto_trace = stencil_auto_config();
+  DcrRuntime rt(machine, functions, cfg);
+  AutoRun out;
+  out.stats = rt.execute(app);
+  out.trace = *rt.trace();
+  out.graph = rt.realized_graph().transitive_closure();
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    out.logs.push_back(rt.shard_auto_tracer(ShardId(s)).promotion_log());
+  }
+  return out;
+}
+
+ApplicationMain phase_stencil(FunctionRegistry& functions, std::size_t tiles,
+                              std::size_t steps, std::size_t phase_every,
+                              bool use_trace = false) {
+  const auto fns = apps::register_stencil_functions(functions, 1.0);
+  apps::StencilConfig cfg{.cells_per_tile = 32, .tiles = tiles, .steps = steps};
+  cfg.phase_every = phase_every;
+  cfg.use_trace = use_trace;
+  return apps::make_stencil_app(cfg, fns);
+}
+
+void expect_clean(const AutoRun& run, const std::string& what) {
+  ASSERT_TRUE(run.stats.completed) << what << ": " << run.stats.abort_message;
+  EXPECT_FALSE(run.stats.determinism_violation) << what;
+  const spy::VerifyReport report = spy::verify(run.trace);
+  EXPECT_TRUE(report.ok()) << what << ": " << report.summary()
+                           << (report.findings.empty()
+                                   ? ""
+                                   : "\n  " + report.findings[0].message);
+}
+
+// The headline end-to-end property on the phase-changing stencil: detection
+// finds the per-phase loops, replays them, and the realized partial order is
+// untouched.
+TEST(TraceIdEndToEnd, PhaseChangingStencilReplaysWithIdenticalGraph) {
+  FunctionRegistry f_on, f_off;
+  const ApplicationMain on_app = phase_stencil(f_on, 8, 32, 8);
+  const ApplicationMain off_app = phase_stencil(f_off, 8, 32, 8);
+  const AutoRun on = run_auto_sim(on_app, f_on, 4, /*auto_on=*/true);
+  const AutoRun off = run_auto_sim(off_app, f_off, 4, /*auto_on=*/false);
+  expect_clean(on, "auto on");
+  expect_clean(off, "auto off");
+  EXPECT_TRUE(on.graph.same_partial_order(off.graph));
+  EXPECT_EQ(on.stats.point_tasks_launched, off.stats.point_tasks_launched);
+  // The detector actually did something: promotions happened, windows
+  // replayed, and the off run touched none of the machinery.
+  EXPECT_GT(on.stats.auto_trace_promotions, 0u);
+  EXPECT_GT(on.stats.template_replays, 0u);
+  EXPECT_GT(on.stats.traced_ops, 0u);
+  EXPECT_EQ(off.stats.auto_trace_promotions, 0u);
+  EXPECT_EQ(off.stats.template_replays, 0u);
+}
+
+// Promotion determinism (ISSUE satellite): all shards promote the same trace
+// at the same launch index, at shard counts 1, 8, and 64 — the control
+// stream is identical (tiles fixed at 64), so the logs must be verbatim
+// equal across every shard of every run.
+TEST(TraceIdEndToEnd, PromotionDeterminismAcrossShardCounts) {
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> reference;
+  bool have_reference = false;
+  for (const std::size_t shards : {1u, 8u, 64u}) {
+    FunctionRegistry functions;
+    // tiles == 64 keeps the control stream identical at every shard count;
+    // 12 steps (A, B, A at phase_every=4) is the shortest run that covers
+    // promotion in both phases plus a re-entry, keeping the 64-shard sim
+    // affordable.
+    const ApplicationMain app = phase_stencil(functions, 64, 12, 4);
+    const AutoRun run = run_auto_sim(app, functions, shards, /*auto_on=*/true);
+    ASSERT_TRUE(run.stats.completed) << shards << " shards";
+    ASSERT_EQ(run.logs.size(), shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      EXPECT_EQ(run.logs[s], run.logs[0])
+          << "shard " << s << " of " << shards << " diverged";
+    }
+    ASSERT_FALSE(run.logs[0].empty()) << shards << " shards: nothing promoted";
+    if (!have_reference) {
+      reference = run.logs[0];
+      have_reference = true;
+    } else {
+      EXPECT_EQ(run.logs[0], reference)
+          << shards << " shards promoted differently than 1 shard";
+    }
+  }
+}
+
+// Same property on the real-threads backend, cross-checked against the sim.
+TEST(TraceIdEndToEnd, PromotionDeterminismOnThreadsBackend) {
+  FunctionRegistry sim_fns;
+  const ApplicationMain sim_app = phase_stencil(sim_fns, 16, 24, 6);
+  const AutoRun sim_run = run_auto_sim(sim_app, sim_fns, 8, /*auto_on=*/true);
+  ASSERT_TRUE(sim_run.stats.completed);
+  ASSERT_FALSE(sim_run.logs[0].empty());
+
+  FunctionRegistry thr_fns;
+  const ApplicationMain thr_app = phase_stencil(thr_fns, 16, 24, 6);
+  exec::ThreadConfig cfg;
+  cfg.num_shards = 8;
+  cfg.record_trace = true;
+  cfg.auto_trace = stencil_auto_config();
+  exec::ThreadRuntime rt(thr_fns, cfg);
+  const DcrStats stats = rt.execute(thr_app);
+  ASSERT_TRUE(stats.completed) << stats.abort_message;
+  EXPECT_EQ(stats.auto_trace_promotions, sim_run.stats.auto_trace_promotions);
+  EXPECT_EQ(stats.template_replays, sim_run.stats.template_replays);
+  for (std::uint32_t s = 0; s < 8; ++s) {
+    EXPECT_EQ(rt.shard_auto_tracer(ShardId(s)).promotion_log(), sim_run.logs[0])
+        << "threads shard " << s;
+  }
+  std::string why;
+  EXPECT_TRUE(spy::graph_equivalent(sim_run.trace, *rt.trace(), &why)) << why;
+}
+
+// Explicit windows win: with use_trace AND auto detection on, the app's
+// begin/end_trace keeps its windows and the auto tracer only fills the gaps —
+// the graph still matches the fully untraced reference.
+TEST(TraceIdEndToEnd, ExplicitWindowsTakePrecedence) {
+  FunctionRegistry f_both, f_off;
+  const ApplicationMain both_app = phase_stencil(f_both, 8, 24, 6, /*use_trace=*/true);
+  const ApplicationMain off_app = phase_stencil(f_off, 8, 24, 6);
+  const AutoRun both = run_auto_sim(both_app, f_both, 4, /*auto_on=*/true);
+  const AutoRun off = run_auto_sim(off_app, f_off, 4, /*auto_on=*/false);
+  expect_clean(both, "explicit + auto");
+  expect_clean(off, "untraced");
+  EXPECT_TRUE(both.graph.same_partial_order(off.graph));
+  EXPECT_GT(both.stats.template_replays, 0u);
+}
+
+// --------------------------------------------------- SDC heal interleaving
+
+// ISSUE satellite: a template invalidated by SDC healing mid-capture must not
+// leave a half-recorded trace behind.  The heal path aborts open windows (auto
+// and explicit) when it bumps the template epoch; with the residual chain
+// under replication and corruption injected at a healthy rate, auto windows
+// are routinely open at heal time.  The realized graph must match the
+// fault-free unreplicated run, and the healed run must still reach replay.
+TEST(TraceIdSdc, HealMidCaptureCannotPromoteHalfRecordedTrace) {
+  auto residual_app = [](FunctionRegistry& functions) {
+    const auto fns = apps::register_stencil_functions(functions, 1.0);
+    apps::StencilConfig cfg{.cells_per_tile = 64, .tiles = 16, .steps = 8};
+    cfg.residual_every = 1;
+    cfg.phase_every = 3;
+    return apps::make_stencil_app(cfg, fns);
+  };
+  FunctionRegistry f_ref;
+  const ApplicationMain ref_app = residual_app(f_ref);
+  const AutoRun ref = run_auto_sim(ref_app, f_ref, 8, /*auto_on=*/false);
+  expect_clean(ref, "reference");
+
+  std::uint64_t healed_total = 0, aborted_total = 0;
+  for (const std::uint64_t seed : {3ull, 5ull, 11ull}) {
+    FunctionRegistry functions;
+    const ApplicationMain app = residual_app(functions);
+    sim::Machine machine(cluster(8));
+    sim::FaultConfig fcfg;
+    fcfg.seed = seed;
+    fcfg.sdc.rate = 0.15;
+    sim::FaultPlan plan(fcfg);
+    machine.install_faults(plan);
+    DcrConfig cfg;
+    cfg.record_trace = true;
+    cfg.record_task_graph = true;
+    cfg.auto_trace = stencil_auto_config();
+    cfg.sdc_replication = true;
+    DcrRuntime rt(machine, functions, cfg);
+    const DcrStats stats = rt.execute(app);
+    ASSERT_TRUE(stats.completed) << "seed " << seed << ": " << stats.abort_message;
+    EXPECT_FALSE(stats.determinism_violation) << "seed " << seed;
+    healed_total += stats.sdc_corruptions_healed;
+    aborted_total += stats.auto_trace_aborts;
+    // The corrupt-epoch invalidation must not poison later replays: whatever
+    // was promoted after healing realizes the reference partial order.
+    std::string why;
+    EXPECT_TRUE(spy::graph_equivalent(ref.trace, *rt.trace(), &why))
+        << "seed " << seed << ": " << why;
+    EXPECT_GT(stats.auto_trace_promotions, 0u) << "seed " << seed;
+  }
+  EXPECT_GT(healed_total, 0u) << "SDC rate too low to exercise the heal path";
+}
+
+// Crash recovery: the detector state is rebuilt deterministically from the
+// replayed stream, survivors' auto windows abort at the epoch bump, and the
+// realized graph still matches the fault-free auto-off reference.
+TEST(TraceIdRecovery, CrashMidRunRebuildsDetectorDeterministically) {
+  FunctionRegistry f_ref;
+  const auto ref_fns = apps::register_stencil_functions(f_ref, 1.0);
+  // Residual reductions keep the control program in lockstep with execution,
+  // so a mid-run crash lands while windows are still being opened.  Every
+  // step carries a residual so the per-step period repeats within a phase
+  // (with a sparser residual the repeating unit spans two steps and a 4-step
+  // phase ends before the detector can confirm it).
+  apps::StencilConfig scfg{.cells_per_tile = 64, .tiles = 8, .steps = 16};
+  scfg.residual_every = 1;
+  scfg.phase_every = 4;
+  const ApplicationMain ref_app = apps::make_stencil_app(scfg, ref_fns);
+  const AutoRun ref = run_auto_sim(ref_app, f_ref, 4, /*auto_on=*/false);
+  expect_clean(ref, "fault-free reference");
+  FunctionRegistry f_probe;
+  const auto probe_fns = apps::register_stencil_functions(f_probe, 1.0);
+  const AutoRun probe =
+      run_auto_sim(apps::make_stencil_app(scfg, probe_fns), f_probe, 4, true);
+  ASSERT_TRUE(probe.stats.completed);
+  ASSERT_GT(probe.stats.auto_trace_promotions, 0u);
+
+  sim::FaultConfig fcfg;
+  fcfg.seed = fuzz::seed_for_label("trace_id", 500);
+  fcfg.crashes.push_back({NodeId(2), probe.stats.makespan * 3 / 5});
+  FunctionRegistry functions;
+  const auto fns = apps::register_stencil_functions(functions, 1.0);
+  const AutoRun run = run_auto_sim(apps::make_stencil_app(scfg, fns), functions,
+                                   4, /*auto_on=*/true, fcfg);
+  ASSERT_TRUE(run.stats.completed) << run.stats.abort_message;
+  EXPECT_FALSE(run.stats.determinism_violation);
+  ASSERT_EQ(run.stats.failures.size(), 1u);
+  EXPECT_TRUE(run.stats.failures[0].recovered);
+  EXPECT_GT(run.stats.auto_trace_promotions, 0u);
+  EXPECT_TRUE(ref.graph.same_partial_order(run.graph));
+}
+
+// ------------------------------------------------- differential fuzz sweep
+
+// 200 fuzzed loop programs with NO explicit windows: auto detection on/off
+// must realize the same partial order and pass the offline verifier.  This is
+// the `-L trace_id` fuzz entry check-hardened runs under sanitizers.
+class TraceIdFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraceIdFuzz, AutoOnOffGraphsMatch) {
+  const std::uint64_t seed = GetParam();
+  Philox4x32 rng(fuzz::seed_for_label("trace_id", seed), /*stream=*/21);
+  fuzz::LoopDcrProgram program = fuzz::generate_loop(rng, /*tiles=*/6);
+  program.iterations += 6;  // enough occurrences for detection to engage
+  FunctionRegistry functions;
+  const FunctionId fn = functions.register_simple("t", us(1), 1.0);
+  const ApplicationMain app = fuzz::materialize_loop(program, fn, /*use_trace=*/false);
+  const AutoRun on = run_auto_sim(app, functions, 4, /*auto_on=*/true);
+  const AutoRun off = run_auto_sim(app, functions, 4, /*auto_on=*/false);
+  expect_clean(on, "auto on, seed " + std::to_string(seed));
+  expect_clean(off, "auto off, seed " + std::to_string(seed));
+  EXPECT_TRUE(on.graph.same_partial_order(off.graph)) << "seed " << seed;
+  EXPECT_EQ(on.stats.point_tasks_launched, off.stats.point_tasks_launched)
+      << "seed " << seed;
+  EXPECT_EQ(off.stats.auto_trace_promotions, 0u);
+  for (std::size_t s = 1; s < on.logs.size(); ++s) {
+    EXPECT_EQ(on.logs[s], on.logs[0]) << "seed " << seed << " shard " << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceIdFuzz, ::testing::Range<std::uint64_t>(0, 200));
+
+// Faults + recovery variant: a crash mid-run with auto detection on must
+// still realize the fault-free auto-off graph (sim backend; the threads
+// backend has no fault injection by design).
+class TraceIdFaultFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraceIdFaultFuzz, CrashRecoveryPreservesAutoOnOffEquivalence) {
+  const std::uint64_t seed = GetParam();
+  Philox4x32 rng(fuzz::seed_for_label("trace_id-faults", seed), /*stream=*/23);
+  fuzz::LoopDcrProgram program = fuzz::generate_loop(rng, /*tiles=*/6);
+  program.iterations += 8;
+  FunctionRegistry functions;
+  const FunctionId fn = functions.register_simple("t", us(3), 1.0);
+  // Fences per iteration keep control in lockstep so the crash is mid-stream.
+  const ApplicationMain app = [&program, fn](Context& ctx) {
+    const std::vector<fuzz::FuzzTreeState> trees = fuzz::build_trees(ctx, program.body);
+    for (std::size_t i = 0; i < program.iterations; ++i) {
+      fuzz::emit_ops(ctx, program.body, trees, fn);
+      ctx.execution_fence();
+    }
+  };
+  const AutoRun off = run_auto_sim(app, functions, 4, /*auto_on=*/false);
+  expect_clean(off, "fault-free reference, seed " + std::to_string(seed));
+
+  sim::FaultConfig fcfg;
+  fcfg.seed = fuzz::seed_for_label("trace_id-faults", seed);
+  const std::uint64_t frac = 2 + seed % 6;  // crash at 2/8 .. 7/8 of makespan
+  fcfg.crashes.push_back(
+      {NodeId(1 + seed % 3), off.stats.makespan * frac / 8});
+  const AutoRun on = run_auto_sim(app, functions, 4, /*auto_on=*/true, fcfg);
+  ASSERT_TRUE(on.stats.completed)
+      << "seed " << seed << ": " << on.stats.abort_message;
+  EXPECT_FALSE(on.stats.determinism_violation) << "seed " << seed;
+  EXPECT_TRUE(on.graph.same_partial_order(off.graph)) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceIdFaultFuzz,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+// Threads-backend variant: auto on/off spy-equivalent graphs on real threads,
+// and the threads auto run agrees with the sim auto run call-for-call.
+class TraceIdThreadsFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraceIdThreadsFuzz, AutoOnOffGraphsMatchOnThreads) {
+  const std::uint64_t seed = GetParam();
+  Philox4x32 rng(fuzz::seed_for_label("trace_id-threads", seed), /*stream=*/25);
+  fuzz::LoopDcrProgram program = fuzz::generate_loop(rng, /*tiles=*/6);
+  program.iterations += 6;
+  FunctionRegistry functions;
+  const FunctionId fn = functions.register_simple("t", us(1), 1.0);
+  const ApplicationMain app = fuzz::materialize_loop(program, fn, /*use_trace=*/false);
+
+  auto run_threads = [&](bool auto_on) {
+    exec::ThreadConfig cfg;
+    cfg.num_shards = 4;
+    cfg.record_trace = true;
+    if (auto_on) cfg.auto_trace = stencil_auto_config();
+    exec::ThreadRuntime rt(functions, cfg);
+    std::pair<DcrStats, spy::Trace> out;
+    out.first = rt.execute(app);
+    out.second = *rt.trace();
+    return out;
+  };
+  const auto on = run_threads(true);
+  const auto off = run_threads(false);
+  ASSERT_TRUE(on.first.completed) << "seed " << seed << ": " << on.first.abort_message;
+  ASSERT_TRUE(off.first.completed) << "seed " << seed;
+  std::string why;
+  EXPECT_TRUE(spy::graph_equivalent(on.second, off.second, &why))
+      << "seed " << seed << ": " << why;
+  const spy::VerifyReport report = spy::verify(on.second);
+  EXPECT_TRUE(report.ok()) << "seed " << seed << ": " << report.summary();
+  // Cross-backend: the sim's auto run must match the threads auto run.
+  const AutoRun sim_on = run_auto_sim(app, functions, 4, /*auto_on=*/true);
+  EXPECT_EQ(sim_on.stats.auto_trace_promotions, on.first.auto_trace_promotions)
+      << "seed " << seed;
+  EXPECT_EQ(sim_on.stats.template_replays, on.first.template_replays)
+      << "seed " << seed;
+  EXPECT_TRUE(spy::graph_equivalent(sim_on.trace, on.second, &why))
+      << "seed " << seed << ": " << why;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceIdThreadsFuzz,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+// ------------------------------------------------------- golden regression
+
+std::string golden_path() {
+  return std::string(DCR_GOLDEN_DIR) + "/trace_id.txt";
+}
+
+bool update_mode() {
+  const char* e = std::getenv("DCR_UPDATE_GOLDEN");
+  return e != nullptr && std::string(e) != "" && std::string(e) != "0";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return in ? os.str() : std::string();
+}
+
+// The promoted-trace set and detector/hit counters of the phase-changing
+// stencil, committed as tests/golden/trace_id.txt.  Promotion indices and
+// derived ids are deterministic (shard-invariant), so one snapshot covers
+// every shard.  Regenerate after an intentional detector change with
+// DCR_UPDATE_GOLDEN=1.
+TEST(TraceIdGolden, PhaseChangingStencilPromotionsAndHitCounters) {
+  FunctionRegistry functions;
+  const ApplicationMain app = phase_stencil(functions, 8, 32, 8);
+  const AutoRun run =
+      run_auto_sim(app, functions, 4, /*auto_on=*/true, {}, /*profile=*/true);
+  ASSERT_TRUE(run.stats.completed);
+  for (std::size_t s = 1; s < run.logs.size(); ++s) {
+    ASSERT_EQ(run.logs[s], run.logs[0]) << "shard " << s;
+  }
+
+  std::ostringstream os;
+  os << "# auto trace identification: phase-changing stencil, 4 shards,\n"
+     << "# tiles=8 steps=32 phase_every=8; min_period=2 probe=6 promote=1\n";
+  for (const auto& [idx, id] : run.logs[0]) {
+    os << "promote call=" << idx << " trace=0x" << std::hex << id << std::dec
+       << "\n";
+  }
+  os << "detections=" << run.stats.auto_trace_detections << "\n"
+     << "promotions=" << run.stats.auto_trace_promotions << "\n"
+     << "demotions=" << run.stats.auto_trace_demotions << "\n"
+     << "windows=" << run.stats.auto_trace_windows << "\n"
+     << "aborts=" << run.stats.auto_trace_aborts << "\n"
+     << "collisions=" << run.stats.auto_trace_collisions << "\n"
+     << "replays=" << run.stats.template_replays << "\n"
+     << "traced_ops=" << run.stats.traced_ops << "\n";
+  const std::string actual = os.str();
+
+  const std::string path = golden_path();
+  if (update_mode()) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    std::printf("[golden] regenerated %s\n", path.c_str());
+  }
+  const std::string golden = read_file(path);
+  ASSERT_FALSE(golden.empty()) << "missing golden file " << path
+                               << "; generate with DCR_UPDATE_GOLDEN=1";
+  EXPECT_EQ(golden, actual)
+      << "promoted-trace set diverged (intentional detector change? "
+         "regenerate with DCR_UPDATE_GOLDEN=1)";
+}
+
+}  // namespace
+}  // namespace dcr::core

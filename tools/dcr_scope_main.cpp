@@ -35,6 +35,13 @@
 //       shard ranking of corruption sources.  Exit 0 iff the run completes
 //       and every injected corruption on the control-feeding chain was
 //       detected and healed.
+//   dcr-scope trace [--shards N] [--steps N] [--phase-every K] [--json FILE]
+//       Run the phase-changing stencil with the automatic trace identifier
+//       on (and no explicit begin/end_trace anywhere) and print the detector
+//       health report: repeats detected, traces promoted/demoted, windows
+//       opened/aborted, fingerprint collisions, and the template window hit
+//       rate.  Exit 0 iff the run completes, the counter ledger is
+//       consistent, and at least one auto window replayed.
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -67,7 +74,9 @@ int usage() {
       << "  dcr-scope watch --check-baseline BASE.json --live LIVE.json"
          " [--threshold PCT] [--include-wall]\n"
       << "  dcr-scope quorum [--shards N] [--steps N] [--rate R] [--seed S]"
-         " [--replicas K] [--quorum Q] [--top K] [--json FILE]\n";
+         " [--replicas K] [--quorum Q] [--top K] [--json FILE]\n"
+      << "  dcr-scope trace [--shards N] [--steps N] [--phase-every K]"
+         " [--json FILE]\n";
   return 2;
 }
 
@@ -92,6 +101,8 @@ struct RunOptions {
   std::uint64_t seed = 42;
   std::uint32_t replicas = 2;
   std::uint32_t quorum = 2;
+  // Trace mode (automatic trace identification).
+  std::size_t phase_every = 8;
 };
 
 bool parse_run_options(int argc, char** argv, RunOptions* opt) {
@@ -135,6 +146,8 @@ bool parse_run_options(int argc, char** argv, RunOptions* opt) {
       opt->replicas = static_cast<std::uint32_t>(std::stoul(argv[++i]));
     } else if (std::strcmp(argv[i], "--quorum") == 0 && i + 1 < argc) {
       opt->quorum = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--phase-every") == 0 && i + 1 < argc) {
+      opt->phase_every = static_cast<std::size_t>(std::stoul(argv[++i]));
     } else {
       return false;
     }
@@ -403,6 +416,60 @@ int cmd_quorum(int argc, char** argv) {
   return stats.sdc_corruptions_detected == stats.sdc_corruptions_injected ? 0 : 1;
 }
 
+// Automatic trace identification report: run the phase-changing stencil with
+// the detector on (no explicit begin/end_trace anywhere) and print per-shard
+// detector health + the template window hit rate.  Exit 0 iff the run
+// completes, the ledger invariants hold, and at least one window replayed.
+int cmd_trace(int argc, char** argv) {
+  RunOptions opt;
+  opt.steps = 48;
+  if (!parse_run_options(argc, argv, &opt)) return usage();
+  if (!opt.app.empty() && opt.app != "stencil") {
+    std::cerr << "dcr-scope: trace runs the stencil only\n";
+    return 2;
+  }
+
+  sim::Machine machine(machine_config(opt));
+  core::FunctionRegistry functions;
+  const auto fns = apps::register_stencil_functions(functions, 1.0);
+  apps::StencilConfig scfg{.cells_per_tile = 128, .tiles = opt.shards,
+                           .steps = opt.steps};
+  scfg.phase_every = opt.phase_every;
+  const core::ApplicationMain main_fn = apps::make_stencil_app(scfg, fns);
+
+  core::DcrConfig cfg;
+  cfg.profile = true;
+  cfg.scope = true;
+  cfg.auto_trace.enabled = true;
+  cfg.auto_trace.min_period = 2;
+  cfg.auto_trace.probe = 6;
+  cfg.auto_trace.promote_periods = 1;
+  core::DcrRuntime rt(machine, functions, cfg);
+  const core::DcrStats stats = rt.execute(main_fn);
+
+  const scope::TraceIdReport report = scope::build_trace_id(rt.profiler());
+  scope::render_trace_id(std::cout, report);
+  std::cout << "\nphase change every " << opt.phase_every << " steps, "
+            << stats.ops_issued << " ops/shard, " << stats.traced_ops
+            << " ops replayed from templates\nmakespan: "
+            << static_cast<double>(stats.makespan) / 1e6 << " ms\n";
+
+  if (!opt.json_path.empty()) {
+    std::ofstream out(opt.json_path);
+    if (!out) {
+      std::cerr << "dcr-scope: cannot write " << opt.json_path << "\n";
+      return 2;
+    }
+    scope::write_trace_id_json(out, report);
+    std::cout << "wrote trace report -> " << opt.json_path << "\n";
+  }
+  if (!stats.completed) {
+    std::cerr << "dcr-scope: execution did not complete\n";
+    return 1;
+  }
+  return (report.consistent && report.total.window_hits > 0) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -412,5 +479,6 @@ int main(int argc, char** argv) {
   if (cmd == "skew") return cmd_skew(argc - 2, argv + 2);
   if (cmd == "watch") return cmd_watch(argc - 2, argv + 2);
   if (cmd == "quorum") return cmd_quorum(argc - 2, argv + 2);
+  if (cmd == "trace") return cmd_trace(argc - 2, argv + 2);
   return usage();
 }
