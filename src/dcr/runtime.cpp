@@ -465,6 +465,17 @@ DcrRuntime::DcrRuntime(sim::Machine& machine, FunctionRegistry& functions, DcrCo
   }
   if (config_.scope) {
     scope_ = std::make_unique<dcr::scope::Recorder>(shards);
+    if (config_.flight_capacity > 0) {
+      flight_ = std::make_unique<dcr::scope::FlightRecorder>(
+          shards, config_.flight_capacity);
+      scope_->set_flight(flight_.get());
+      // Fatal-signal hook, mirroring the threads backend: crashes that never
+      // reach abort_execution still leave a post-mortem dump.
+      if (!config_.flight_path.empty()) {
+        dcr::scope::FlightRecorder::arm_signal_dump(
+            flight_.get(), config_.flight_path, &profiler_);
+      }
+    }
     // Count causal traffic per origin shard (host-side; one call per logical
     // message, retransmissions excluded).
     machine_.network().set_send_tap(
@@ -502,6 +513,9 @@ DcrRuntime::DcrRuntime(sim::Machine& machine, FunctionRegistry& functions, DcrCo
 DcrRuntime::~DcrRuntime() {
   // The send tap captures the recorder; detach it before the recorder dies.
   if (scope_) machine_.network().set_send_tap(nullptr);
+  if (flight_ && !config_.flight_path.empty()) {
+    dcr::scope::FlightRecorder::arm_signal_dump(nullptr, {}, nullptr);
+  }
 }
 
 dcr::scope::TraceCtx DcrRuntime::scope_ctx(ShardId s) const {
@@ -914,6 +928,7 @@ void DcrRuntime::process_op(ShardId s, const OpRecord& op) {
         c.observe(prof::Hist::FenceWaitNs, now - wait_start);
         profiler_.emit({prof::SpanKind::FenceWait, prof::Lane::Fence, s.value, wait_start,
                         now, opid, prof_iter});
+        if (scope_) scope_->on_fence_wait(s.value, opid, wait_start, now);
         gate.trigger(now);
       });
     };
@@ -1637,6 +1652,14 @@ DcrStats DcrRuntime::execute(const ApplicationMain& main) {
       if (stats_.aborted) stats_.abort_message = lint.message;
     }
   }
+  // A determinism violation without halt_on_violation never reached
+  // abort_execution; the flight rings are just as useful there.
+  if (flight_ && !flight_dumped_ && !config_.flight_path.empty() &&
+      stats_.determinism_violation) {
+    flight_dumped_ = true;
+    flight_->dump(config_.flight_path, stats_.violation_message.c_str(),
+                  &profiler_);
+  }
   stats_.failures = failures_;
   stats_.failures_detected = failures_.size();
   if (const sim::FaultPlan* plan = machine_.faults()) {
@@ -1885,6 +1908,13 @@ void DcrRuntime::abort_execution(std::string reason) {
   if (aborted_) return;
   aborted_ = true;
   abort_message_ = std::move(reason);
+  // Crash flight recorder: dump the per-shard rings at the abort point —
+  // determinism violations, "SDC quorum unresolved", shard-failure aborts —
+  // so post-mortem triage needs no re-run.
+  if (flight_ && !flight_dumped_ && !config_.flight_path.empty()) {
+    flight_dumped_ = true;
+    flight_->dump(config_.flight_path, abort_message_.c_str(), &profiler_);
+  }
   machine_.sim().schedule(0, [this] {
     for (auto& st : shards_) {
       if (st->process && !st->process->finished()) st->process->kill();

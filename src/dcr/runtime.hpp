@@ -138,6 +138,15 @@ struct DcrConfig {
   // virtual-time cost, so a scope-on run is makespan-identical to scope-off.
   bool scope = false;
 
+  // Crash flight recorder (scope/flight.hpp): with scope on, keep a bounded
+  // per-shard ring of recent scope events and dump it to flight_path as
+  // Perfetto-loadable JSON (plus a blame summary) when the run aborts — a
+  // determinism violation, an "SDC quorum unresolved" abort, or any other
+  // abort_execution.  "" = ring stays in memory only (readable via
+  // DcrRuntime::flight()).
+  std::size_t flight_capacity = 256;
+  std::string flight_path;
+
   // Mapping policy (paper §4): per-launch sharding selection and point-task
   // processor placement.  Must be deterministic; not owned.  nullptr = the
   // default policies.
@@ -292,6 +301,8 @@ class DcrRuntime {
   // qualified type — inside this class the name `scope` is this member
   // function, not the namespace.
   const dcr::scope::Recorder* scope() const { return scope_.get(); }
+  // Crash flight recorder; non-null iff config.scope with flight_capacity > 0.
+  const dcr::scope::FlightRecorder* flight() const { return flight_.get(); }
 
   // SDC replication observability (tests / tools): the control-taint set and
   // the quorum executor's ledger (null when sdc_replication is off).
@@ -553,6 +564,8 @@ class DcrRuntime {
   // dcr-scope causal ledger; non-null iff config_.scope (type qualified: the
   // member function scope() shadows the namespace inside this class).
   std::unique_ptr<dcr::scope::Recorder> scope_;
+  std::unique_ptr<dcr::scope::FlightRecorder> flight_;
+  bool flight_dumped_ = false;  // first abort wins; never dump twice
   std::uint64_t next_task_id_ = 0;
 
   // ---- SDC replication (dcr/replicate.hpp) ----

@@ -11,6 +11,17 @@
 // result for everyone.  Rank-order combination makes the result independent
 // of arrival order, so repeated runs (and the differential tests) see one
 // value stream.
+//
+// dcr-scope blame (ThreadConfig::scope): the stamped arrival paths mirror the
+// simulated collectives' blame surface (sim/collective.hpp) on wall-clock
+// time — per-rank arrival/completion timestamps plus the associative
+// latest-merge of the arriving TraceCtxs, read back at end-of-run by
+// Recorder::harvest_fence / ValueCollective::result_ctx.  Each rank writes
+// only its own slot before its acq_rel fetch_add; the RMW chain makes every
+// slot visible to the last arriver, which folds the merged blame before
+// releasing the round.  The stamped FenceCollective path supports exactly one
+// round per object (the threads backend keys collectives by dependent op id,
+// so every fence object serves one round).
 #pragma once
 
 #include <array>
@@ -21,13 +32,15 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/types.hpp"
 #include "exec/queue.hpp"
+#include "scope/context.hpp"
 
 namespace dcr::exec {
 
 class FenceCollective {
  public:
-  explicit FenceCollective(std::uint32_t ranks) : ranks_(ranks) {
+  explicit FenceCollective(std::uint32_t ranks) : ranks_(ranks), blame_(ranks) {
     DCR_CHECK(ranks >= 1);
   }
 
@@ -52,8 +65,85 @@ class FenceCollective {
     }
   }
 
+  // Blame-stamped arrival (single round per object): record this rank's
+  // wall-clock arrival time and causal context, then barrier as above.  The
+  // last arriver folds the merged releaser/arrival summary before waking the
+  // parked ranks.  After this returns, the caller stamps its wake time with
+  // complete_rank — the same clock reads it charges to prof FenceWaitNs, so
+  // the two ledgers reconcile exactly by construction.
+  void arrive_and_wait(std::uint32_t rank, SimTime now,
+                       const scope::TraceCtx& ctx) {
+    DCR_CHECK(rank < ranks_);
+    BlameSlot& slot = blame_[rank];
+    DCR_CHECK(slot.arrived_at == kTimeNever)
+        << "stamped fence collectives serve exactly one round";
+    slot.arrived_at = now;
+    slot.ctx = ctx;
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == ranks_) {
+      finalize_blame(now);
+      arrived_.store(0, std::memory_order_relaxed);
+      generation_.fetch_add(1, std::memory_order_acq_rel);
+      generation_.notify_all();
+      return;
+    }
+    while (generation_.load(std::memory_order_acquire) == gen) {
+      generation_.wait(gen, std::memory_order_acquire);
+    }
+  }
+
+  // Stamp this rank's wake time (own-slot write; read after threads join).
+  void complete_rank(std::uint32_t rank, SimTime now) {
+    DCR_CHECK(rank < ranks_);
+    blame_[rank].completed_at = now;
+  }
+
+  // ---- blame surface, mirroring sim::FenceCollective ----------------------
+  // Valid once the round completed and the participating threads joined (or
+  // otherwise synchronized with the caller).
+  std::size_t num_ranks() const { return ranks_; }
+  SimTime arrival_time(std::size_t r) const { return blame_[r].arrived_at; }
+  SimTime completion_time(std::size_t r) const { return blame_[r].completed_at; }
+  const scope::TraceCtx& releaser() const { return releaser_; }
+  std::uint32_t last_arrival_rank() const { return last_arrival_rank_; }
+  SimTime first_arrival() const { return first_arrival_; }
+  SimTime last_arrival() const { return last_arrival_; }
+  SimTime completed_at() const { return completed_at_; }
+  bool complete() const { return complete_.load(std::memory_order_acquire); }
+
  private:
+  struct BlameSlot {
+    SimTime arrived_at = kTimeNever;
+    SimTime completed_at = kTimeNever;
+    scope::TraceCtx ctx;
+  };
+
+  // Last arriver only; every slot write happens-before via the arrived_ RMW
+  // chain.  Ties broken exactly like sim::FenceCollective: later time wins,
+  // equal times go to the larger rank.
+  void finalize_blame(SimTime now) {
+    for (std::uint32_t r = 0; r < ranks_; ++r) {
+      const BlameSlot& s = blame_[r];
+      if (s.arrived_at < first_arrival_) first_arrival_ = s.arrived_at;
+      if (last_arrival_rank_ == ~0u || s.arrived_at > last_arrival_ ||
+          (s.arrived_at == last_arrival_ && r > last_arrival_rank_)) {
+        last_arrival_ = s.arrived_at;
+        last_arrival_rank_ = r;
+      }
+      releaser_ = scope::latest(releaser_, s.ctx);
+    }
+    completed_at_ = now;
+    complete_.store(true, std::memory_order_release);
+  }
+
   const std::uint32_t ranks_;
+  std::vector<BlameSlot> blame_;
+  scope::TraceCtx releaser_;
+  std::uint32_t last_arrival_rank_ = ~0u;
+  SimTime first_arrival_ = kTimeNever;
+  SimTime last_arrival_ = 0;
+  SimTime completed_at_ = kTimeNever;
+  std::atomic<bool> complete_{false};
   alignas(kCacheLine) std::atomic<std::uint32_t> arrived_{0};
   alignas(kCacheLine) std::atomic<std::uint64_t> generation_{0};
 };
@@ -75,10 +165,14 @@ class ValueCollective {
   ValueCollective(const ValueCollective&) = delete;
   ValueCollective& operator=(const ValueCollective&) = delete;
 
-  // Contribute rank `r`'s value; each rank contributes exactly once.
-  void arrive(std::uint32_t r, double value) {
+  // Contribute rank `r`'s value; each rank contributes exactly once.  The
+  // optional TraceCtx is the contributor's causal context (ThreadConfig::
+  // scope); the last arriver folds them with scope::latest so result_ctx()
+  // names the globally last contributor, exactly like the simulated
+  // collective's fan-in merge.
+  void arrive(std::uint32_t r, double value, scope::TraceCtx ctx = {}) {
     DCR_CHECK(r < ranks_);
-    const bool pushed = fanin_.try_push(Contribution{r, value});
+    const bool pushed = fanin_.try_push(Contribution{r, value, ctx});
     DCR_CHECK(pushed) << "value-collective fan-in overflow (duplicate arrival?)";
     if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == ranks_) {
       // Last arriver: drain the fan-in, combine in rank order, publish.
@@ -86,6 +180,7 @@ class ValueCollective {
         DCR_CHECK(!slot_set_[c->rank]) << "duplicate value-collective arrival";
         slot_set_[c->rank] = 1;
         slots_[c->rank] = c->value;
+        result_ctx_ = scope::latest(result_ctx_, c->ctx);
       }
       double acc = init_;
       for (std::uint32_t i = 0; i < ranks_; ++i) {
@@ -113,10 +208,18 @@ class ValueCollective {
     return value_of(result_bits_.load(std::memory_order_relaxed));
   }
 
+  // Merged causal context of the contributions; valid once ready() (written
+  // by the draining thread before the ready_ release, read after acquire).
+  const scope::TraceCtx& result_ctx() const {
+    DCR_CHECK(ready()) << "value collective not complete";
+    return result_ctx_;
+  }
+
  private:
   struct Contribution {
     std::uint32_t rank = 0;
     double value = 0.0;
+    scope::TraceCtx ctx;
   };
 
   static std::uint64_t bits_of(double d) {
@@ -135,10 +238,12 @@ class ValueCollective {
   const double init_;
   CombineFn combine_;
   MpmcQueue<Contribution> fanin_;
-  // Slot arrays are written only by the single draining thread (the last
-  // arriver) and read after the ready_ release/acquire edge.
+  // Slot arrays and the merged context are written only by the single
+  // draining thread (the last arriver) and read after the ready_
+  // release/acquire edge.
   std::vector<double> slots_;
   std::vector<std::uint8_t> slot_set_;
+  scope::TraceCtx result_ctx_;
   alignas(kCacheLine) std::atomic<std::uint32_t> arrived_{0};
   alignas(kCacheLine) std::atomic<std::uint64_t> result_bits_{0};
   alignas(kCacheLine) std::atomic<bool> ready_{false};

@@ -184,10 +184,15 @@ class ThreadShardContext final : public core::Context {
     }
     const SimTime wait_start = rt_.clock_.now();
     double v;
+    dcr::scope::TraceCtx releaser;
     if (entry.reduce) {
       v = entry.coll->wait();
+      // Merged context of the fan-in: the globally last contributor.
+      if (rt_.scope_) releaser = entry.coll->result_ctx();
     } else {
-      v = rt_.wait_broadcast(st_, f.id);
+      const ThreadRuntime::CachedFuture cf = rt_.wait_broadcast(st_, f.id);
+      v = cf.value;
+      releaser = cf.ctx;
     }
     const SimTime now = rt_.clock_.now();
     prof::Counters& pc = rt_.profiler_.shard(st_.id.value);
@@ -196,6 +201,9 @@ class ThreadShardContext final : public core::Context {
     pc.observe(prof::Hist::FutureWaitNs, now - wait_start);
     rt_.profiler_.emit(
         {prof::SpanKind::FutureWait, prof::Lane::Control, st_.id.value, wait_start, now});
+    if (rt_.scope_) {
+      rt_.scope_->on_future_wait(st_.id.value, f.id, wait_start, now, releaser);
+    }
     return v;
   }
 
@@ -400,9 +408,27 @@ ThreadRuntime::ThreadRuntime(core::FunctionRegistry& functions, ThreadConfig con
     trace_->num_shards = config_.num_shards;
     trace_->calls.resize(config_.num_shards);
   }
+  if (config_.scope) {
+    scope_ = std::make_unique<dcr::scope::Recorder>(config_.num_shards);
+    if (config_.flight_capacity > 0) {
+      flight_ = std::make_unique<dcr::scope::FlightRecorder>(
+          config_.num_shards, config_.flight_capacity);
+      scope_->set_flight(flight_.get());
+      // Fatal-signal hook: a wedged or crashing fleet (SIGSEGV/SIGABRT/
+      // SIGBUS/SIGFPE on any shard thread) still leaves a post-mortem dump.
+      if (!config_.flight_path.empty()) {
+        dcr::scope::FlightRecorder::arm_signal_dump(
+            flight_.get(), config_.flight_path, &profiler_);
+      }
+    }
+  }
 }
 
-ThreadRuntime::~ThreadRuntime() = default;
+ThreadRuntime::~ThreadRuntime() {
+  if (flight_ && !config_.flight_path.empty()) {
+    dcr::scope::FlightRecorder::arm_signal_dump(nullptr, {}, nullptr);
+  }
+}
 
 bool ThreadRuntime::checks_enabled() const {
   // Matches the simulator's DeterminismChecker::enabled(): the per-call count
@@ -605,37 +631,49 @@ void ThreadRuntime::ensure_reduce_future(std::uint64_t id, core::ReduceOp rop) {
       [rop](double a, double b) { return core::apply_reduce(rop, a, b); });
 }
 
+dcr::scope::TraceCtx ThreadRuntime::scope_ctx(const ThreadShard& st) const {
+  if (!scope_) return {};
+  return scope_->current_ctx(st.id.value, clock_.now());
+}
+
 void ThreadRuntime::publish_future(ThreadShard& st, std::uint64_t id, double value) {
-  st.future_cache[id] = value;
+  // The producer's current span rides the mailbox payload so a waiter can
+  // name the span that released it (the threads analogue of the simulator's
+  // network-carried TraceCtx).
+  const dcr::scope::TraceCtx ctx = scope_ctx(st);
+  st.future_cache[id] = CachedFuture{value, ctx};
   for (auto& tp : shards_) {
     ThreadShard& peer = *tp;
     if (peer.id.value == st.id.value) continue;
     // try_push then overflow: the producer must never block on a slow
     // consumer — the consumer may be parked at a fence that needs this
     // producer's arrival to complete.
-    if (!peer.inbox[st.id.value]->try_push(FutureMsg{id, value})) {
+    if (!peer.inbox[st.id.value]->try_push(FutureMsg{id, value, ctx})) {
       std::lock_guard<std::mutex> lk(peer.overflow_mu);
-      peer.overflow.push_back(FutureMsg{id, value});
+      peer.overflow.push_back(FutureMsg{id, value, ctx});
     }
     peer.doorbell.fetch_add(1, std::memory_order_release);
     peer.doorbell.notify_all();
+    // One logical message per peer delivery, counted against the origin.
+    if (scope_) scope_->on_message(ctx, sizeof(FutureMsg));
   }
 }
 
 void ThreadRuntime::drain_inbox(ThreadShard& st) {
   for (auto& q : st.inbox) {
     if (!q) continue;
-    while (auto m = q->try_pop()) st.future_cache[m->id] = m->value;
+    while (auto m = q->try_pop()) st.future_cache[m->id] = CachedFuture{m->value, m->ctx};
   }
   std::vector<FutureMsg> spill;
   {
     std::lock_guard<std::mutex> lk(st.overflow_mu);
     spill.swap(st.overflow);
   }
-  for (const FutureMsg& m : spill) st.future_cache[m.id] = m.value;
+  for (const FutureMsg& m : spill) st.future_cache[m.id] = CachedFuture{m.value, m.ctx};
 }
 
-double ThreadRuntime::wait_broadcast(ThreadShard& st, std::uint64_t id) {
+ThreadRuntime::CachedFuture ThreadRuntime::wait_broadcast(ThreadShard& st,
+                                                          std::uint64_t id) {
   for (;;) {
     auto it = st.future_cache.find(id);
     if (it != st.future_cache.end()) return it->second;
@@ -748,9 +786,23 @@ void ThreadRuntime::process_op(ThreadShard& st, const OpRecord& op) {
   //      arrives; identical decision streams make the barrier order safe ----
   if (!dec.fence_sources.empty()) {
     pc.add(prof::Counter::FenceWaits);
+    std::shared_ptr<FenceCollective> coll = fence_for(op.id);
     const SimTime w0 = clock_.now();
-    fence_for(op.id)->arrive_and_wait();
+    if (scope_) {
+      // Blame stamping: the SAME w0/w1 clock reads feed both the prof
+      // FenceWaitNs charge below and the collective's per-rank blame slots,
+      // so the two ledgers reconcile exactly by construction.
+      const dcr::scope::TraceCtx ctx =
+          scope_->fence_arrival(op.id.value, st.id.value, prof_iter, w0);
+      coll->arrive_and_wait(st.id.value, w0, ctx);
+    } else {
+      coll->arrive_and_wait();
+    }
     const SimTime w1 = clock_.now();
+    if (scope_) {
+      coll->complete_rank(st.id.value, w1);
+      scope_->on_fence_wait(st.id.value, op.id.value, w0, w1);
+    }
     pc.add(prof::Counter::FenceWaitNs, w1 - w0);
     pc.observe(prof::Hist::FenceWaitNs, w1 - w0);
     profiler_.emit({prof::SpanKind::FenceWait, prof::Lane::Fence, st.id.value, w0, w1,
@@ -793,6 +845,11 @@ void ThreadRuntime::process_op(ThreadShard& st, const OpRecord& op) {
   pc.observe(prof::Hist::FinePointsPerOp, owned);
   profiler_.emit({op.traced ? prof::SpanKind::FineReplay : prof::SpanKind::FineAnalysis,
                   prof::Lane::Analysis, st.id.value, f0, f1, op.id.value, prof_iter});
+  if (scope_) {
+    // The completed fine stage becomes this shard's current span — the
+    // causal parent of every launch/arrival/publish it does next.
+    scope_->on_fine_stage(st.id.value, op.id.value, op.traced, f0, f1);
+  }
 }
 
 // --------------------------------------------------------------- execution
@@ -928,7 +985,7 @@ void ThreadRuntime::execute_points(ThreadShard& st, const OpRecord& op,
     }
     // Inline execution: this shard's owned points of the producing launch
     // completed during that op's process_op, so the partial is final.
-    coll->arrive(st.id.value, partial);
+    coll->arrive(st.id.value, partial, scope_ctx(st));
     return;
   }
 
@@ -1027,6 +1084,9 @@ void ThreadRuntime::launch_point_task(ThreadShard& st, const OpRecord& op,
     publish_future(st, future_id, value);
   }
   point_tasks_launched_.fetch_add(1, std::memory_order_relaxed);
+  if (scope_) {
+    scope_->on_task_launch(st.id.value, op.id.value, point_index, clock_.now());
+  }
 }
 
 void ThreadRuntime::record_realized_locked(TaskId tid, OpId op, std::uint64_t point_index,
@@ -1202,6 +1262,29 @@ core::DcrStats ThreadRuntime::execute(const core::ApplicationMain& main) {
   prof::Counters& g = profiler_.global();
   g.add(prof::GlobalCounter::TemplateShadowMismatches, stats.template_validation_failures);
   g.add(prof::GlobalCounter::TemplateInvalidations, stats.template_invalidations);
+
+  // dcr-scope: the shards have quiesced (joined), so harvest every fence's
+  // per-rank wall-clock timestamps + merged releaser into the blame ledger,
+  // in dependent-op order (fences_ is an ordered map) — same drain point as
+  // the simulator backend's end of execute.
+  if (scope_) {
+    std::lock_guard<std::mutex> lk(fences_mu_);
+    for (const auto& [op, coll] : fences_) {
+      if (coll) scope_->harvest_fence(op, *coll);
+    }
+    scope_->set_run_info(stats.makespan, /*recovery_epochs=*/0);
+  }
+
+  // Crash flight recorder: a determinism violation (or a shard thread dying
+  // on an exception) aborts post-mortem triage to the ring dump — no re-run
+  // needed to see what each shard was doing last.
+  if (flight_ && !config_.flight_path.empty() &&
+      (stats.determinism_violation || stats.aborted)) {
+    const std::string& why = stats.determinism_violation
+                                 ? stats.violation_message
+                                 : stats.abort_message;
+    flight_->dump(config_.flight_path, why.c_str(), &profiler_);
+  }
 
   return stats;
 }

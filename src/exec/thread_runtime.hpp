@@ -25,10 +25,20 @@
 // tests/test_exec.cpp enforces the property by running every fuzz program
 // through both backends and diffing with spy::graph_equivalent.
 //
+// dcr-scope on threads (ThreadConfig::scope): the full causal-tracing stack
+// runs on wall-clock time — TraceCtx rides the SPSC mailbox payloads, the
+// exec collectives stamp per-rank arrival/completion blame timestamps, and
+// the thread-safe Recorder ledgers (per-shard single-writer appends, merged
+// at join) reconcile exactly against prof FenceWaitNs because the *same two
+// clock reads* feed both ledgers.  A bounded per-shard flight-recorder ring
+// (scope/flight.hpp) is dumped on determinism-violation aborts for
+// post-mortem triage without a re-run.
+//
 // Deliberate non-goals (simulator-only features): fault injection and
-// recovery, SDC replication, dcr-scope causal tracing, the physical data-
-// movement model (bytes_moved / messages report 0), and deferred deletions
-// (destroy_region_deferred aborts — there is no consensus poller).
+// recovery, SDC replication, the physical data-movement model (bytes_moved
+// reports 0; messages counts mailbox publishes only under scope), and
+// deferred deletions (destroy_region_deferred aborts — there is no consensus
+// poller).
 #pragma once
 
 #include <atomic>
@@ -55,6 +65,7 @@
 #include "exec/gate.hpp"
 #include "exec/queue.hpp"
 #include "prof/profiler.hpp"
+#include "scope/recorder.hpp"
 #include "runtime/region.hpp"
 #include "runtime/requirement.hpp"
 #include "runtime/task_graph.hpp"
@@ -103,6 +114,18 @@ struct ThreadConfig {
   bool record_trace = false;  // implies record_task_graph
   bool profile = false;       // wall-clock prof spans via exec::WallClock
 
+  // dcr-scope causal tracing (scope/recorder.hpp): thread-safe per-shard
+  // ledgers on wall-clock time.  TraceCtx rides the mailbox payloads and the
+  // collective arrivals; blame reports reconcile exactly against prof
+  // FenceWaitNs (the same clock reads feed both).
+  bool scope = false;
+  // Crash flight recorder (scope/flight.hpp): ring of the most recent scope
+  // events per shard, dumped to flight_path as Perfetto-loadable JSON when a
+  // determinism violation aborts the run.  Requires scope; "" = keep the ring
+  // in memory only (still dumpable via flight()).
+  std::size_t flight_capacity = 256;
+  std::string flight_path;
+
   // Deterministic mapping policy; must also be thread-safe (it is queried
   // concurrently from every shard thread).  nullptr = default policies.
   core::Mapper* mapper = nullptr;
@@ -150,6 +173,11 @@ class ThreadRuntime {
   core::TemplateManager& shard_templates(ShardId s);
   const core::TraceIdentifier& shard_auto_tracer(ShardId s);
   const Clock& clock() const { return clock_; }
+  // dcr-scope causal ledger; non-null iff config.scope (name shadows the
+  // namespace inside this class, hence the qualified type — same convention
+  // as DcrRuntime::scope()).
+  const dcr::scope::Recorder* scope() const { return scope_.get(); }
+  const dcr::scope::FlightRecorder* flight() const { return flight_.get(); }
 
  private:
   friend class ThreadShardContext;
@@ -163,6 +191,14 @@ class ThreadRuntime {
   struct FutureMsg {
     std::uint64_t id = 0;
     double value = 0.0;
+    // Causal context of the publish (ThreadConfig::scope): rides the SPSC
+    // mailbox so the waiter can name the span that released its future wait.
+    dcr::scope::TraceCtx ctx;
+  };
+
+  struct CachedFuture {
+    double value = 0.0;
+    dcr::scope::TraceCtx ctx;  // context the value was delivered with
   };
 
   // State owned by exactly one shard thread — the physical replica of what
@@ -187,7 +223,7 @@ class ThreadRuntime {
     std::uint64_t api_calls = 0;
     std::uint64_t windows_opened = 0;
     SimTime window_started = 0;
-    std::map<std::uint64_t, double> future_cache;   // delivered broadcast values
+    std::map<std::uint64_t, CachedFuture> future_cache;  // delivered broadcast values
     std::map<std::uint64_t, FmPartial> fm_partials; // own partials per future map
     std::map<FunctionId, FunctionProfile> profile;  // merged into profile_ at join
     // Inbound future-value transport: one SPSC ring per producer shard plus
@@ -230,7 +266,9 @@ class ThreadRuntime {
   void ensure_reduce_future(std::uint64_t id, core::ReduceOp rop);
   void publish_future(ThreadShard& st, std::uint64_t id, double value);
   void drain_inbox(ThreadShard& st);
-  double wait_broadcast(ThreadShard& st, std::uint64_t id);
+  CachedFuture wait_broadcast(ThreadShard& st, std::uint64_t id);
+  // The calling shard's current causal context; invalid when scope is off.
+  dcr::scope::TraceCtx scope_ctx(const ThreadShard& st) const;
   bool checks_enabled() const;
 
   void issue(ThreadShard& st, core::OpPayload payload);
@@ -293,6 +331,9 @@ class ThreadRuntime {
   std::atomic<std::uint64_t> traced_ops_{0};
 
   std::unique_ptr<spy::Trace> trace_;  // non-null iff config_.record_trace
+  // dcr-scope ledgers + crash flight recorder; non-null iff config_.scope.
+  std::unique_ptr<dcr::scope::Recorder> scope_;
+  std::unique_ptr<dcr::scope::FlightRecorder> flight_;
   bool executed_ = false;
 };
 

@@ -70,24 +70,50 @@ void MetricsHttpServer::serve() {
     if (r <= 0) continue;  // timeout (re-check stop_) or transient error
     const int client = ::accept(fd_, nullptr, nullptr);
     if (client < 0) continue;
-    // Drain the request line; we serve the same snapshot for every path.
+    // Parse the request line: the snapshot is served at "/" and "/metrics";
+    // any other path gets a 404 with a proper Content-Length so well-behaved
+    // clients (and curl) terminate cleanly.
     char buf[1024];
-    const ssize_t n = ::read(client, buf, sizeof(buf));
-    std::string body;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      body = body_;
-    }
+    const ssize_t n = ::read(client, buf, sizeof(buf) - 1);
     std::string resp;
     if (n > 0) {
-      resp =
-          "HTTP/1.1 200 OK\r\n"
-          "Content-Type: text/plain; version=0.0.4\r\n"
-          "Content-Length: " +
-          std::to_string(body.size()) +
-          "\r\n"
-          "Connection: close\r\n\r\n" +
-          body;
+      buf[n] = '\0';
+      std::string path;
+      const std::string req(buf);
+      const std::size_t sp0 = req.find(' ');
+      if (sp0 != std::string::npos) {
+        const std::size_t sp1 = req.find(' ', sp0 + 1);
+        if (sp1 != std::string::npos) path = req.substr(sp0 + 1, sp1 - sp0 - 1);
+      }
+      // Ignore any query string; HTTP/0.9-style lines with no version still
+      // route by prefix.
+      const std::size_t q = path.find('?');
+      if (q != std::string::npos) path.resize(q);
+      if (path.empty() || path == "/" || path == "/metrics") {
+        std::string body;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          body = body_;
+        }
+        resp =
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/plain; version=0.0.4\r\n"
+            "Content-Length: " +
+            std::to_string(body.size()) +
+            "\r\n"
+            "Connection: close\r\n\r\n" +
+            body;
+      } else {
+        const std::string body = "not found\n";
+        resp =
+            "HTTP/1.1 404 Not Found\r\n"
+            "Content-Type: text/plain\r\n"
+            "Content-Length: " +
+            std::to_string(body.size()) +
+            "\r\n"
+            "Connection: close\r\n\r\n" +
+            body;
+      }
     } else {
       resp = "HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n";
     }

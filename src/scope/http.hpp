@@ -1,11 +1,12 @@
 // Minimal localhost HTTP exposition endpoint for dcr-scope watch.
 //
 // Serves the latest Prometheus text snapshot (set via set_body, typically
-// from the MetricsExposer's sink callback) at GET / on 127.0.0.1:port.  A
-// single background thread accepts connections, reads the request line, and
-// writes the snapshot — no keep-alive, no routing, no TLS.  Binding to the
-// loopback interface only keeps the endpoint off the network; this is a
-// debugging aid, not a production metrics server.
+// from the MetricsExposer's or WallMetricsRefresher's sink callback) at
+// GET / and GET /metrics on 127.0.0.1:port; other paths get a 404 with a
+// proper Content-Length.  A single background thread accepts connections,
+// reads the request line, and writes the snapshot — no keep-alive, no TLS.
+// Binding to the loopback interface only keeps the endpoint off the network;
+// this is a debugging aid, not a production metrics server.
 //
 // Runs on a real OS thread alongside the (single-threaded, virtual-time)
 // simulator: the sim thread only touches the server through the mutex-guarded

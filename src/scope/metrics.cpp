@@ -1,5 +1,6 @@
 #include "scope/metrics.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -245,13 +246,17 @@ void collect_metrics(MetricsRegistry& reg, const CollectInputs& in) {
   }
 
   if (in.recorder != nullptr) {
+    // Atomic live counters, NOT the merged ledger views: collect_metrics may
+    // run concurrently with shard threads (the wall-clock refresher), and the
+    // merged views are only legal once the shards have quiesced.  After
+    // quiesce the counts equal the merged sizes exactly.
     const Recorder& rec = *in.recorder;
     reg.set("dcr_scope_spans_total", "Completed fine-stage spans recorded",
-            Type::Counter, static_cast<double>(rec.spans().size()));
+            Type::Counter, static_cast<double>(rec.spans_recorded()));
     reg.set("dcr_scope_fences_recorded", "Fences harvested into the blame ledger",
-            Type::Counter, static_cast<double>(rec.fences().size()));
+            Type::Counter, static_cast<double>(rec.fences_recorded()));
     reg.set("dcr_scope_task_launches_total", "Point-task launches recorded",
-            Type::Counter, static_cast<double>(rec.launches().size()));
+            Type::Counter, static_cast<double>(rec.launches_recorded()));
   }
 
   if (in.makespan > 0) {
@@ -268,6 +273,66 @@ MetricsExposer::MetricsExposer(sim::Simulator& sim, Options opts,
     : sim_(sim), opts_(std::move(opts)), collect_(std::move(collect)) {
   DCR_CHECK(opts_.interval > 0);
   DCR_CHECK(collect_ != nullptr);
+}
+
+WallMetricsRefresher::WallMetricsRefresher(
+    Options opts, std::function<void(MetricsRegistry&)> collect)
+    : opts_(std::move(opts)), collect_(std::move(collect)) {
+  DCR_CHECK(opts_.interval_ns > 0);
+  DCR_CHECK(collect_ != nullptr);
+}
+
+WallMetricsRefresher::~WallMetricsRefresher() { stop(); }
+
+void WallMetricsRefresher::tick() {
+  reg_.clear();
+  collect_(reg_);
+  std::string text = reg_.prometheus_text();
+  if (!opts_.out_path.empty()) {
+    std::ofstream out(opts_.out_path, std::ios::trunc);
+    out << text;
+  }
+  if (opts_.sink) opts_.sink(text);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    last_ = std::move(text);
+  }
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void WallMetricsRefresher::start() {
+  DCR_CHECK(!thread_.joinable()) << "refresher already started";
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lk(mu_);
+    while (!stopping_) {
+      lk.unlock();
+      tick();
+      lk.lock();
+      cv_.wait_for(lk, std::chrono::nanoseconds(opts_.interval_ns),
+                   [this] { return stopping_; });
+    }
+  });
+}
+
+void WallMetricsRefresher::stop() {
+  bool was_running = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    was_running = thread_.joinable();
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (was_running) {
+    thread_.join();
+    // Final collection after the fleet quiesced, so the last served snapshot
+    // covers the whole run.
+    tick();
+  }
+}
+
+std::string WallMetricsRefresher::last_text() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return last_;
 }
 
 void MetricsExposer::start() {

@@ -16,10 +16,14 @@
 // makespan-identical).
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <ostream>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -139,6 +143,53 @@ class MetricsExposer {
   MetricsRegistry reg_;
   std::uint64_t ticks_ = 0;
   std::string last_;
+};
+
+// Wall-clock sibling of MetricsExposer for the real-threads backend: a
+// background OS thread re-collects every `interval_ns` wall nanoseconds while
+// the shard threads execute, renders the Prometheus text, writes `out_path`
+// (if set) and calls `sink` (if set).  The collect callback must only read
+// state that is safe concurrently with running shards — the always-on prof
+// counter banks and the Recorder's *_recorded() atomic counters qualify; the
+// merged ledger views do not.  Unlike the virtual-time exposer, ticking never
+// perturbs the run's makespan (it steals no simulated time and runs on its
+// own core).
+class WallMetricsRefresher {
+ public:
+  struct Options {
+    SimTime interval_ns = ms(100);
+    std::string out_path;                          // "" = no file
+    std::function<void(const std::string&)> sink;  // e.g. HTTP server update
+  };
+
+  WallMetricsRefresher(Options opts, std::function<void(MetricsRegistry&)> collect);
+  ~WallMetricsRefresher();
+
+  WallMetricsRefresher(const WallMetricsRefresher&) = delete;
+  WallMetricsRefresher& operator=(const WallMetricsRefresher&) = delete;
+
+  // Start the refresher thread; call before the shard fleet executes.
+  void start();
+  // Stop and join; performs one final collection so the served snapshot
+  // reflects the completed run.  Idempotent.
+  void stop();
+
+  std::uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+  // Latest rendered snapshot (mutex-copied; safe while running).
+  std::string last_text() const;
+
+ private:
+  void tick();
+
+  Options opts_;
+  std::function<void(MetricsRegistry&)> collect_;
+  MetricsRegistry reg_;  // refresher thread only (and stop() after join)
+  std::atomic<std::uint64_t> ticks_{0};
+  mutable std::mutex mu_;  // guards last_ and stop/cv handshake
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::string last_;
+  std::thread thread_;
 };
 
 }  // namespace dcr::scope

@@ -1,35 +1,52 @@
 // dcr-scope recorder: the per-run causal ledger.
 //
-// The runtime (dcr/runtime.cpp, under DcrConfig::scope) feeds the recorder
-// from its hot paths:
+// The runtime (dcr/runtime.cpp under DcrConfig::scope, or the real-threads
+// backend exec/thread_runtime.cpp under ThreadConfig::scope) feeds the
+// recorder from its hot paths:
 //   - on_fine_stage   when a shard finishes a fine-analysis stage (fresh or
 //                     template replay) — this becomes the shard's *current
 //                     span*, the causal parent of everything it does next;
 //   - fence_arrival   when a shard's control thread reaches a fence — returns
 //                     the context stamped onto the collective arrival;
+//   - on_fence_wait   when a shard's fence wait resolves (flight-recorder
+//                     feed; the ledger itself is built by harvest_fence);
 //   - on_future_wait  when a blocking future wait resolves, with the merged
 //                     context of the contribution that released it;
 //   - on_task_launch  when a point task is launched;
-//   - on_message      from the network send tap, once per logical message
-//                     carrying a valid context;
+//   - on_message      from the network send tap (sim) or the mailbox publish
+//                     path (threads), once per logical message carrying a
+//                     valid context;
 //   - harvest_fence   at end of run, copying each FenceCollective's per-rank
 //                     arrival/completion timestamps and merged releaser.
 //
+// Thread-safety model (DESIGN.md §17): every hot-path hook writes only the
+// calling shard's *single-writer* append ledger — no locks, no shared
+// mutation.  Span ids come from one relaxed atomic counter so they are dense
+// and globally unique on both backends.  The merged read-side views
+// (spans(), launches(), ...) lazily splice the per-shard ledgers together and
+// are only legal once the shards have quiesced (end of run on the threads
+// backend; always on the single-threaded simulator).  Live observers — the
+// wall-clock metrics refresher — must instead use the *_recorded() atomic
+// counters, which are safe to read concurrently with writers.
+//
 // Everything is plain host-side state: no simulator events, no virtual time.
-// By construction a scope-on run has a makespan identical to scope-off, and
-// per-rank fence waits (completion - arrival) equal dcr-prof's FenceWaitNs
-// samples instant for instant, which is what lets reports reconcile the two
-// ledgers exactly.
+// By construction a scope-on run has a makespan identical to scope-off under
+// the simulator, and per-rank fence waits (completion - arrival) equal
+// dcr-prof's FenceWaitNs samples instant for instant — on the threads backend
+// the *same two clock reads* feed both ledgers — which is what lets reports
+// reconcile the two ledgers exactly.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "common/check.hpp"
 #include "common/types.hpp"
 #include "scope/context.hpp"
-#include "sim/collective.hpp"
+#include "scope/flight.hpp"
 
 namespace dcr::scope {
 
@@ -124,35 +141,45 @@ struct MessageStats {
 class Recorder {
  public:
   explicit Recorder(std::size_t num_shards, std::uint64_t trace_id = 1)
-      : trace_(trace_id),
-        current_(num_shards, kNoSpan),
-        messages_(num_shards) {
+      : trace_(trace_id) {
     DCR_CHECK(trace_id != 0) << "trace id 0 means 'tracing off'";
+    shards_.reserve(num_shards);
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      shards_.push_back(std::make_unique<ShardLedger>());
+    }
   }
 
   std::uint64_t trace_id() const { return trace_; }
-  std::size_t num_shards() const { return current_.size(); }
+  std::size_t num_shards() const { return shards_.size(); }
+
+  // Attach a crash flight recorder (scope/flight.hpp): every hot-path hook
+  // also appends a bounded-ring event, so a post-mortem dump needs no re-run.
+  // Must be set before shard threads start; may be null.
+  void set_flight(FlightRecorder* flight) { flight_ = flight; }
+  FlightRecorder* flight() const { return flight_; }
 
   // ---- spans -------------------------------------------------------------
+  // Called by the owning shard thread only.  Ids are dense across shards
+  // (one atomic allocator), so after a quiesced merge spans()[i].id == i.
   std::uint64_t on_fine_stage(std::uint32_t shard, std::uint64_t op,
                               bool replayed, SimTime start, SimTime end) {
-    DCR_CHECK(shard < current_.size());
-    const std::uint64_t id = spans_.size();
-    spans_.push_back(SpanRec{id, shard, op, replayed, start, end});
-    current_[shard] = id;
+    ShardLedger& led = ledger(shard);
+    const std::uint64_t id = next_span_.fetch_add(1, std::memory_order_relaxed);
+    led.spans.push_back(SpanRec{id, shard, op, replayed, start, end});
+    led.current = id;
+    if (flight_ != nullptr) {
+      flight_->record(shard, FlightEvent{FlightEvent::Kind::Span, shard, op,
+                                         /*aux=*/id, start, end});
+    }
     return id;
   }
 
   // The context a message from `shard` carries right now: the shard's last
   // completed fine stage (kNoSpan while it is still in pure control work).
+  // Only the owning shard thread may call this (it reads the single-writer
+  // current-span cell).
   TraceCtx current_ctx(std::uint32_t shard, SimTime now) const {
-    DCR_CHECK(shard < current_.size());
-    return TraceCtx{trace_, current_[shard], shard, now};
-  }
-
-  const std::vector<SpanRec>& spans() const { return spans_; }
-  const SpanRec* span(std::uint64_t id) const {
-    return id < spans_.size() ? &spans_[id] : nullptr;
+    return TraceCtx{trace_, ledger(shard).current, shard, now};
   }
 
   // ---- fences ------------------------------------------------------------
@@ -160,18 +187,30 @@ class Recorder {
   // notes the iteration and returns the context to stamp onto the arrival.
   TraceCtx fence_arrival(std::uint64_t fence_op, std::uint32_t shard,
                          std::uint64_t iter, SimTime now) {
-    auto [it, inserted] = fence_iters_.try_emplace(fence_op, iter);
-    if (!inserted && it->second == kNoIter) it->second = iter;
+    ledger(shard).fence_iters.emplace_back(fence_op, iter);
     return current_ctx(shard, now);
   }
 
-  // End-of-run: copy the collective's per-rank timestamps + merged releaser.
-  void harvest_fence(std::uint64_t fence_op, const sim::FenceCollective& coll) {
+  // A shard's fence wait resolved: [started, ended) is exactly the interval
+  // prof charged to FenceWaitNs.  Feeds the flight recorder only — the blame
+  // ledger itself is rebuilt from the collective at harvest_fence.
+  void on_fence_wait(std::uint32_t shard, std::uint64_t fence_op,
+                     SimTime started, SimTime ended) {
+    if (flight_ != nullptr) {
+      flight_->record(shard, FlightEvent{FlightEvent::Kind::FenceWait, shard,
+                                         fence_op, /*aux=*/0, started, ended});
+    }
+  }
+
+  // End-of-run (quiesced): copy the collective's per-rank timestamps + merged
+  // releaser.  Templated so both sim::FenceCollective (virtual time) and
+  // exec::FenceCollective (wall clock) harvest through the same code — the
+  // two expose the same blame surface.
+  template <typename Collective>
+  void harvest_fence(std::uint64_t fence_op, const Collective& coll) {
     FenceRec rec;
     rec.op = fence_op;
-    if (auto it = fence_iters_.find(fence_op); it != fence_iters_.end()) {
-      rec.iter = it->second;
-    }
+    rec.iter = lookup_fence_iter(fence_op);
     rec.shards.resize(coll.num_ranks());
     for (std::size_t r = 0; r < coll.num_ranks(); ++r) {
       rec.shards[r].arrived_at = coll.arrival_time(r);
@@ -184,6 +223,7 @@ class Recorder {
     rec.completed_at = coll.completed_at();
     rec.complete = coll.complete();
     fences_.push_back(std::move(rec));
+    fences_count_.store(fences_.size(), std::memory_order_relaxed);
   }
 
   const std::vector<FenceRec>& fences() const { return fences_; }
@@ -191,29 +231,108 @@ class Recorder {
   // ---- futures -----------------------------------------------------------
   void on_future_wait(std::uint32_t shard, std::uint64_t future,
                       SimTime started, SimTime ended, TraceCtx releaser) {
-    future_waits_.push_back(FutureRec{future, shard, started, ended, releaser});
+    ledger(shard).future_waits.push_back(
+        FutureRec{future, shard, started, ended, releaser});
+    future_waits_count_.fetch_add(1, std::memory_order_relaxed);
+    if (flight_ != nullptr) {
+      flight_->record(shard, FlightEvent{FlightEvent::Kind::FutureWait, shard,
+                                         future, /*aux=*/releaser.origin,
+                                         started, ended});
+    }
   }
-  const std::vector<FutureRec>& future_waits() const { return future_waits_; }
 
   // ---- task launches -----------------------------------------------------
   void on_task_launch(std::uint32_t shard, std::uint64_t op, std::uint64_t point,
                       SimTime at) {
-    DCR_CHECK(shard < current_.size());
-    launches_.push_back(LaunchRec{shard, op, point, current_[shard], at});
+    ShardLedger& led = ledger(shard);
+    led.launches.push_back(LaunchRec{shard, op, point, led.current, at});
+    launches_count_.fetch_add(1, std::memory_order_relaxed);
+    if (flight_ != nullptr) {
+      flight_->record(shard, FlightEvent{FlightEvent::Kind::Launch, shard, op,
+                                         /*aux=*/point, at, at});
+    }
   }
-  const std::vector<LaunchRec>& launches() const { return launches_; }
 
-  // ---- SDC quorums -------------------------------------------------------
+  // ---- SDC quorums (simulator-only callers; quiesced or single-threaded) --
   void on_quorum(QuorumRec rec) { quorums_.push_back(std::move(rec)); }
   const std::vector<QuorumRec>& quorums() const { return quorums_; }
 
   // ---- network tap -------------------------------------------------------
+  // Atomic per-origin counters: safe from any thread (the sim network tap and
+  // the threads backend's mailbox publish path both report the *origin*).
   void on_message(const TraceCtx& ctx, std::uint64_t bytes) {
-    if (!ctx.valid() || ctx.origin >= messages_.size()) return;
-    messages_[ctx.origin].messages++;
-    messages_[ctx.origin].bytes += bytes;
+    if (!ctx.valid() || ctx.origin >= shards_.size()) return;
+    ShardLedger& led = *shards_[ctx.origin];
+    led.messages.fetch_add(1, std::memory_order_relaxed);
+    led.bytes.fetch_add(bytes, std::memory_order_relaxed);
   }
-  const std::vector<MessageStats>& messages() const { return messages_; }
+
+  // ---- live counters (safe concurrently with writers) --------------------
+  std::uint64_t spans_recorded() const {
+    return next_span_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t launches_recorded() const {
+    return launches_count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t future_waits_recorded() const {
+    return future_waits_count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t fences_recorded() const {
+    return fences_count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t messages_recorded() const {
+    std::uint64_t n = 0;
+    for (const auto& led : shards_) {
+      n += led->messages.load(std::memory_order_relaxed);
+    }
+    return n;
+  }
+
+  // ---- merged read-side views (quiesced shards only) ---------------------
+  // Spans sorted by their dense ids, so spans()[i].id == i.
+  const std::vector<SpanRec>& spans() const {
+    merge_spans();
+    return merged_spans_;
+  }
+  const SpanRec* span(std::uint64_t id) const {
+    merge_spans();
+    return id < merged_spans_.size() ? &merged_spans_[id] : nullptr;
+  }
+  const std::vector<FutureRec>& future_waits() const {
+    const std::uint64_t want = future_waits_count_.load(std::memory_order_relaxed);
+    if (merged_future_waits_.size() != want) {
+      merged_future_waits_.clear();
+      merged_future_waits_.reserve(want);
+      for (const auto& led : shards_) {
+        merged_future_waits_.insert(merged_future_waits_.end(),
+                                    led->future_waits.begin(),
+                                    led->future_waits.end());
+      }
+    }
+    return merged_future_waits_;
+  }
+  const std::vector<LaunchRec>& launches() const {
+    const std::uint64_t want = launches_count_.load(std::memory_order_relaxed);
+    if (merged_launches_.size() != want) {
+      merged_launches_.clear();
+      merged_launches_.reserve(want);
+      for (const auto& led : shards_) {
+        merged_launches_.insert(merged_launches_.end(), led->launches.begin(),
+                                led->launches.end());
+      }
+    }
+    return merged_launches_;
+  }
+  const std::vector<MessageStats>& messages() const {
+    merged_messages_.resize(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      merged_messages_[s].messages =
+          shards_[s]->messages.load(std::memory_order_relaxed);
+      merged_messages_[s].bytes =
+          shards_[s]->bytes.load(std::memory_order_relaxed);
+    }
+    return merged_messages_;
+  }
 
   // ---- run info ----------------------------------------------------------
   void set_run_info(SimTime makespan, std::uint64_t recovery_epochs) {
@@ -224,17 +343,79 @@ class Recorder {
   std::uint64_t recovery_epochs() const { return recovery_epochs_; }
 
  private:
+  // Single-writer per-shard ledger; only the owning shard thread appends.
+  // Heap-allocated so the atomics never share a cache line across shards.
+  struct ShardLedger {
+    std::vector<SpanRec> spans;
+    std::vector<FutureRec> future_waits;
+    std::vector<LaunchRec> launches;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> fence_iters;
+    std::uint64_t current = kNoSpan;  // current span (owner thread only)
+    alignas(64) std::atomic<std::uint64_t> messages{0};  // own cache line
+    std::atomic<std::uint64_t> bytes{0};
+  };
+
+  ShardLedger& ledger(std::uint32_t shard) {
+    DCR_CHECK(shard < shards_.size());
+    return *shards_[shard];
+  }
+  const ShardLedger& ledger(std::uint32_t shard) const {
+    DCR_CHECK(shard < shards_.size());
+    return *shards_[shard];
+  }
+
+  // Iteration label for a fence, merged across shards: the first non-kNoIter
+  // report wins (every shard of a deterministic program reports the same
+  // label, so the merge order cannot change the value).
+  std::uint64_t lookup_fence_iter(std::uint64_t fence_op) const {
+    std::uint64_t iter = kNoIter;
+    bool seen = false;
+    for (const auto& led : shards_) {
+      for (const auto& [op, it] : led->fence_iters) {
+        if (op != fence_op) continue;
+        seen = true;
+        if (it != kNoIter && iter == kNoIter) iter = it;
+      }
+    }
+    return seen ? iter : kNoIter;
+  }
+
+  void merge_spans() const {
+    const std::uint64_t want = next_span_.load(std::memory_order_relaxed);
+    if (merged_spans_.size() == want) return;
+    merged_spans_.clear();
+    merged_spans_.reserve(want);
+    for (const auto& led : shards_) {
+      merged_spans_.insert(merged_spans_.end(), led->spans.begin(),
+                           led->spans.end());
+    }
+    // Dense ids: position by id so spans()[i].id == i on both backends.
+    std::vector<SpanRec> by_id(merged_spans_.size());
+    for (SpanRec& sp : merged_spans_) {
+      DCR_CHECK(sp.id < by_id.size()) << "span ids must be dense";
+      by_id[sp.id] = sp;
+    }
+    merged_spans_ = std::move(by_id);
+  }
+
   std::uint64_t trace_;
-  std::vector<SpanRec> spans_;
-  std::vector<std::uint64_t> current_;  // per-shard current span id
-  std::unordered_map<std::uint64_t, std::uint64_t> fence_iters_;
-  std::vector<FenceRec> fences_;
-  std::vector<FutureRec> future_waits_;
-  std::vector<LaunchRec> launches_;
+  std::vector<std::unique_ptr<ShardLedger>> shards_;
+  std::atomic<std::uint64_t> next_span_{0};
+  std::atomic<std::uint64_t> launches_count_{0};
+  std::atomic<std::uint64_t> future_waits_count_{0};
+  std::atomic<std::uint64_t> fences_count_{0};
+  std::vector<FenceRec> fences_;   // harvest-time only (quiesced)
   std::vector<QuorumRec> quorums_;
-  std::vector<MessageStats> messages_;
+  FlightRecorder* flight_ = nullptr;
   SimTime makespan_ = 0;
   std::uint64_t recovery_epochs_ = 0;
+
+  // Lazy merged views; rebuilt when the atomic counts outgrow them.  Only
+  // touched from quiesced contexts (see header comment), so plain mutables.
+  mutable std::vector<SpanRec> merged_spans_;
+  mutable std::vector<FutureRec> merged_future_waits_;
+  mutable std::vector<LaunchRec> merged_launches_;
+  mutable std::vector<MessageStats> merged_messages_;
 };
 
 }  // namespace dcr::scope

@@ -373,9 +373,9 @@ TEST(ProfGolden, StencilCounterSnapshot) {
 TEST(SeedAudit, AllSuiteLabelsProduceDistinctSeeds) {
   const char* labels[] = {"spy",        "faults", "faults-plan", "template",
                           "prof",       "prof-plan", "scope",    "scope-plan",
-                          "sdc",        "statics", "exec",       "exec-loop",
-                          "exec-noelide", "exec-ledger", "trace_id",
-                          "trace_id-faults", "trace_id-threads"};
+                          "scope-threads", "sdc",  "statics", "exec",
+                          "exec-loop",  "exec-noelide", "exec-ledger",
+                          "trace_id",   "trace_id-faults", "trace_id-threads"};
   constexpr std::uint64_t kIndices = 256;  // superset of every suite's range
   std::set<std::uint64_t> seen;
   for (const char* label : labels) {

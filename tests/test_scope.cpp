@@ -18,19 +18,26 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/stencil.hpp"
 #include "common/philox.hpp"
 #include "dcr/runtime.hpp"
 #include "dcr_fuzz_programs.hpp"
+#include "exec/thread_runtime.hpp"
 #include "prof/diff.hpp"
 #include "prof/json.hpp"
 #include "scope/baseline.hpp"
 #include "scope/context.hpp"
+#include "scope/flight.hpp"
 #include "scope/http.hpp"
 #include "scope/metrics.hpp"
 #include "scope/report.hpp"
@@ -490,7 +497,7 @@ TEST(ScopeMetrics, ExposerTicksUntilRuntimeFinishes) {
 // ------------------------------------------------------------ HTTP endpoint
 
 // One GET against the loopback endpoint; returns the full raw response.
-std::string http_get(std::uint16_t port) {
+std::string http_get(std::uint16_t port, const std::string& path = "/") {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return "";
   sockaddr_in addr{};
@@ -501,7 +508,7 @@ std::string http_get(std::uint16_t port) {
     ::close(fd);
     return "";
   }
-  const std::string req = "GET / HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  const std::string req = "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
   std::size_t off = 0;
   while (off < req.size()) {
     const ssize_t n = ::write(fd, req.data() + off, req.size() - off);
@@ -728,6 +735,437 @@ TEST_P(ScopeFuzz, TracingNeverPerturbsExecution) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ScopeFuzz, ::testing::Range<std::uint64_t>(0, 100));
+
+// ===========================================================================
+// Real-threads backend: wall-clock blame/skew, flight recorder, live metrics
+// ===========================================================================
+
+exec::ThreadConfig threads_scope_config(std::size_t shards) {
+  exec::ThreadConfig cfg;
+  cfg.num_shards = shards;
+  cfg.profile = true;
+  cfg.scope = true;
+  return cfg;
+}
+
+// The tentpole acceptance criterion on real threads: every time in the blame
+// report is wall-clock nanoseconds, and the recorder's per-rank waits still
+// reconcile *exactly* with dcr-prof's FenceWaitNs counters — the same
+// Clock::now() reads feed both ledgers, so the identity is by construction,
+// not within-epsilon.
+TEST(ScopeThreads, BlameReconcilesOnWallClock) {
+  FunctionRegistry functions;
+  const auto fns = register_stencil_functions(functions, 1.0);
+  StencilConfig scfg{.cells_per_tile = 64, .tiles = 16, .steps = 4};
+  scfg.use_trace = true;
+  exec::ThreadRuntime rt(functions, threads_scope_config(8));
+  const DcrStats stats = rt.execute(make_stencil_app(scfg, fns));
+  ASSERT_TRUE(stats.completed) << stats.abort_message;
+  ASSERT_NE(rt.scope(), nullptr);
+  const dcr::scope::Recorder& rec = *rt.scope();
+
+  const dcr::scope::BlameReport r = dcr::scope::build_blame(rec, rt.profiler());
+  EXPECT_TRUE(r.ledger_consistent);
+  EXPECT_TRUE(r.waits_reconcile);
+  EXPECT_TRUE(r.reconciled());
+  EXPECT_EQ(r.fences_issued + r.fences_elided, r.fence_decisions);
+
+  ASSERT_GT(r.fences.size(), 0u);
+  EXPECT_EQ(r.complete_fences, r.fences.size());
+  EXPECT_EQ(r.attributed, r.complete_fences);
+  for (const dcr::scope::BlameEntry& e : r.fences) {
+    ASSERT_TRUE(e.complete);
+    EXPECT_NE(e.releaser_shard, dcr::scope::kNoShard);
+    EXPECT_NE(e.releaser_span, dcr::scope::kNoSpan);
+    const dcr::scope::SpanRec* sp = rec.span(e.releaser_span);
+    ASSERT_NE(sp, nullptr);
+    EXPECT_EQ(sp->shard, e.releaser_shard);
+    EXPECT_GE(e.last_arrival, e.first_arrival);
+  }
+
+  // The exact cross-ledger identity on the wall clock.
+  ASSERT_EQ(r.shard_wait_ns.size(), r.prof_shard_wait_ns.size());
+  SimTime total = 0;
+  for (std::size_t s = 0; s < r.shard_wait_ns.size(); ++s) {
+    EXPECT_EQ(r.shard_wait_ns[s], r.prof_shard_wait_ns[s]) << "shard " << s;
+    EXPECT_EQ(r.prof_shard_wait_ns[s],
+              rt.profiler().shard(static_cast<std::uint32_t>(s))
+                  .get(prof::Counter::FenceWaitNs))
+        << "shard " << s;
+    total += r.shard_wait_ns[s];
+  }
+  EXPECT_EQ(r.total_wait_ns, total);
+
+  // Per-shard single-writer ledgers merged into the dense global span order:
+  // ids stay dense and every span/launch names its owning shard.
+  ASSERT_GT(rec.spans().size(), 0u);
+  for (std::size_t i = 0; i < rec.spans().size(); ++i) {
+    const dcr::scope::SpanRec& sp = rec.spans()[i];
+    EXPECT_EQ(sp.id, i);
+    EXPECT_LT(sp.shard, rec.num_shards());
+    EXPECT_GE(sp.end, sp.start);
+  }
+  ASSERT_GT(rec.launches().size(), 0u);
+  for (const dcr::scope::LaunchRec& l : rec.launches()) {
+    if (l.span == dcr::scope::kNoSpan) continue;
+    const dcr::scope::SpanRec* sp = rec.span(l.span);
+    ASSERT_NE(sp, nullptr);
+    EXPECT_EQ(sp->shard, l.shard);
+  }
+  EXPECT_EQ(rec.messages().size(), rec.num_shards());
+  EXPECT_EQ(rec.makespan(), stats.makespan);
+}
+
+// Skew rollup conservation holds unchanged on wall-clock inputs.
+TEST(ScopeThreads, SkewRollupConservesWallClockBlame) {
+  FunctionRegistry functions;
+  const auto fns = register_stencil_functions(functions, 1.0);
+  StencilConfig scfg{.cells_per_tile = 64, .tiles = 16, .steps = 4};
+  scfg.use_trace = true;
+  exec::ThreadRuntime rt(functions, threads_scope_config(8));
+  ASSERT_TRUE(rt.execute(make_stencil_app(scfg, fns)).completed);
+  ASSERT_NE(rt.scope(), nullptr);
+
+  const dcr::scope::BlameReport blame =
+      dcr::scope::build_blame(*rt.scope(), rt.profiler());
+  const dcr::scope::SkewReport skew = dcr::scope::build_skew(*rt.scope());
+  ASSERT_EQ(skew.num_shards, rt.scope()->num_shards());
+  ASSERT_EQ(skew.matrix.size(), skew.num_shards);
+  SimTime matrix_total = 0;
+  for (std::size_t w = 0; w < skew.num_shards; ++w) {
+    SimTime row = 0;
+    for (const SimTime v : skew.matrix[w]) row += v;
+    EXPECT_EQ(row, skew.waited_ns[w]) << "waiter " << w;
+    EXPECT_EQ(row, blame.shard_wait_ns[w]) << "waiter " << w;
+    matrix_total += row;
+  }
+  EXPECT_EQ(matrix_total, blame.total_wait_ns);
+  ASSERT_EQ(skew.ranking.size(), skew.num_shards);
+  for (std::size_t i = 1; i < skew.ranking.size(); ++i) {
+    EXPECT_GE(skew.blamed_ns[skew.ranking[i - 1]],
+              skew.blamed_ns[skew.ranking[i]]);
+  }
+}
+
+// ------------------------------------------------------- flight recorder
+
+// The ring keeps only the most recent `capacity` events per shard, and the
+// dump is Chrome trace_event JSON our own parser can load (Perfetto's format
+// tolerates the extra top-level metadata key).
+TEST(ScopeFlight, RingIsBoundedAndDumpParses) {
+  dcr::scope::FlightRecorder fr(/*num_shards=*/2, /*capacity=*/8);
+  using Kind = dcr::scope::FlightEvent::Kind;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    fr.record(0, {Kind::Span, /*shard=*/0, /*op=*/i, /*aux=*/i,
+                  /*start=*/i * 10, /*end=*/i * 10 + 5});
+  }
+  fr.record(1, {Kind::FenceWait, 1, 7, 0, 3, 9});
+  EXPECT_EQ(fr.recorded(0), 20u);
+  EXPECT_EQ(fr.recorded(1), 1u);
+
+  const std::string path = ::testing::TempDir() + "dcr_flight_unit.json";
+  std::remove(path.c_str());
+  ASSERT_TRUE(fr.dump(path, "unit \"quoted\" reason", /*prof=*/nullptr));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const prof::JsonValue v = parsed(ss.str());
+  const prof::JsonValue* events = v.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  // Shard 0 retains the last 8 of 20, shard 1 has its single event.
+  EXPECT_EQ(events->array.size(), 9u);
+  for (const prof::JsonValue& e : events->array) {
+    const prof::JsonValue* ph = e.find("ph");
+    ASSERT_NE(ph, nullptr);
+    EXPECT_EQ(ph->string, "X");  // complete events: ts + dur
+    EXPECT_NE(e.find("ts"), nullptr);
+    EXPECT_NE(e.find("dur"), nullptr);
+    EXPECT_NE(e.find("tid"), nullptr);
+  }
+  const prof::JsonValue* meta = v.find("metadata");
+  ASSERT_NE(meta, nullptr);
+  const prof::JsonValue* reason = meta->find("reason");
+  ASSERT_NE(reason, nullptr);
+  // Quotes are sanitized out (the dump path never escapes, it replaces).
+  EXPECT_EQ(reason->string.find('"'), std::string::npos);
+  EXPECT_NE(reason->string.find("quoted"), std::string::npos);
+  const prof::JsonValue* recorded = meta->find("flight_recorded");
+  ASSERT_NE(recorded, nullptr);
+  ASSERT_EQ(recorded->array.size(), 2u);
+  EXPECT_EQ(recorded->array[0].number, 20.0);
+  EXPECT_EQ(recorded->array[1].number, 1.0);
+  std::remove(path.c_str());
+}
+
+// Forcing a §3 control-determinism violation on the threads backend must
+// leave a loadable post-mortem dump behind: recent spans/launches per shard
+// plus the abort reason and the per-shard blame summary.
+TEST(ScopeThreads, FlightRecorderDumpsOnDeterminismAbort) {
+  const std::string path = ::testing::TempDir() + "dcr_flight_abort.json";
+  std::remove(path.c_str());
+  FunctionRegistry functions;
+  const FunctionId fn = functions.register_simple("t", us(1), 1.0);
+  exec::ThreadConfig cfg = threads_scope_config(4);
+  cfg.flight_path = path;
+  exec::ThreadRuntime rt(functions, cfg);
+  const DcrStats stats = rt.execute([fn](Context& ctx) {
+    const FieldSpaceId fs = ctx.create_field_space();
+    const FieldId f = ctx.allocate_field(fs, 8, "x");
+    const RegionTreeId tree = ctx.create_region(rt::Rect::r1(0, 63), fs);
+    const IndexSpaceId root = ctx.root(tree);
+    const PartitionId part = ctx.partition_equal(root, 4);
+    ctx.fill(root, {f});
+    IndexLaunch l;
+    l.fn = fn;
+    l.domain = rt::Rect::r1(0, 3);
+    l.requirements.push_back(
+        rt::GroupRequirement::on_partition(part, {f}, rt::Privilege::ReadWrite));
+    ctx.index_launch(l);
+    // Shard-dependent argument: the §3 violation the folded digests flag.
+    ctx.allocate_field(fs, 8 + ctx.shard_id().value, "diverge");
+  });
+  EXPECT_TRUE(stats.determinism_violation);
+  EXPECT_FALSE(stats.completed);
+  ASSERT_NE(rt.flight(), nullptr);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "no flight dump at " << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const prof::JsonValue v = parsed(ss.str());
+  const prof::JsonValue* events = v.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  EXPECT_GT(events->array.size(), 0u) << "abort dump recorded no events";
+  const prof::JsonValue* meta = v.find("metadata");
+  ASSERT_NE(meta, nullptr);
+  const prof::JsonValue* reason = meta->find("reason");
+  ASSERT_NE(reason, nullptr);
+  EXPECT_NE(reason->string.find("determinism"), std::string::npos)
+      << reason->string;
+  const prof::JsonValue* recorded = meta->find("flight_recorded");
+  ASSERT_NE(recorded, nullptr);
+  EXPECT_EQ(recorded->array.size(), 4u);
+  const prof::JsonValue* waits = meta->find("shard_fence_wait_ns");
+  ASSERT_NE(waits, nullptr);
+  EXPECT_EQ(waits->array.size(), 4u);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------- wall-clock refresher
+
+// The wall-clock sibling of the exposer: ticks on its own OS thread at a
+// real-time cadence and performs one final collection at stop() so the last
+// snapshot covers the whole run.
+TEST(ScopeMetrics, WallRefresherTicksAndFinalSnapshot) {
+  std::atomic<std::uint64_t> collected{0};
+  dcr::scope::WallMetricsRefresher::Options opts;
+  opts.interval_ns = ms(2);
+  std::atomic<std::uint64_t> sink_calls{0};
+  opts.sink = [&sink_calls](const std::string& text) {
+    EXPECT_NE(text.find("scope_refresher_collections"), std::string::npos);
+    sink_calls.fetch_add(1);
+  };
+  dcr::scope::WallMetricsRefresher refresher(
+      opts, [&collected](dcr::scope::MetricsRegistry& reg) {
+        using Type = dcr::scope::MetricsRegistry::Type;
+        reg.set("scope_refresher_collections", "collect() invocations",
+                Type::Counter, static_cast<double>(collected.fetch_add(1) + 1));
+      });
+  refresher.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  refresher.stop();
+  const std::uint64_t after_stop = refresher.ticks();
+  EXPECT_GT(after_stop, 0u);
+  EXPECT_EQ(after_stop, sink_calls.load());
+  EXPECT_EQ(after_stop, collected.load());
+  EXPECT_NE(refresher.last_text().find("scope_refresher_collections"),
+            std::string::npos);
+  // Idempotent: a second stop neither ticks nor deadlocks.
+  refresher.stop();
+  EXPECT_EQ(refresher.ticks(), after_stop);
+}
+
+// Live collection during a real thread-fleet run: the refresher reads only
+// the always-on prof counter banks and the recorder's atomic tallies, so it
+// is safe (and Tsan-clean) concurrently with the executing shards.
+TEST(ScopeThreads, LiveMetricsDuringThreadFleetRun) {
+  FunctionRegistry functions;
+  const auto fns = register_stencil_functions(functions, 1.0);
+  StencilConfig scfg{.cells_per_tile = 64, .tiles = 16, .steps = 6};
+  scfg.use_trace = true;
+  exec::ThreadRuntime rt(functions, threads_scope_config(8));
+
+  dcr::scope::WallMetricsRefresher::Options opts;
+  opts.interval_ns = us(200);
+  dcr::scope::WallMetricsRefresher refresher(
+      opts, [&rt](dcr::scope::MetricsRegistry& reg) {
+        dcr::scope::collect_metrics(reg, {.prof = &rt.profiler(),
+                                          .machine = nullptr,
+                                          .recorder = rt.scope(),
+                                          .now = 0,
+                                          .makespan = 0});
+      });
+  refresher.start();
+  const DcrStats stats = rt.execute(make_stencil_app(scfg, fns));
+  refresher.stop();
+  ASSERT_TRUE(stats.completed) << stats.abort_message;
+  EXPECT_GT(refresher.ticks(), 0u);
+  // The final (post-join) snapshot agrees with the quiesced merged ledgers.
+  const std::string text = refresher.last_text();
+  EXPECT_NE(text.find("dcr_fence_decisions_total"), std::string::npos);
+  EXPECT_NE(text.find("dcr_scope_spans_total"), std::string::npos);
+  std::ostringstream want;
+  want << "dcr_scope_spans_total " << rt.scope()->spans().size();
+  EXPECT_NE(text.find(want.str()), std::string::npos)
+      << "final snapshot disagrees with the merged ledger:\n"
+      << text;
+}
+
+// -------------------------------------------------- HTTP endpoint, threads
+
+// Unknown paths 404 with an exact Content-Length so well-behaved clients
+// terminate cleanly (ISSUE satellite: the 404 path previously dropped the
+// header).
+TEST(ScopeHttp, NotFoundCarriesContentLength) {
+  dcr::scope::MetricsHttpServer srv(/*port=*/0);
+  ASSERT_TRUE(srv.ok()) << srv.error();
+  srv.set_body("dcr_up 1\n");
+  const std::string resp = http_get(srv.port(), "/nope");
+  EXPECT_NE(resp.find("HTTP/1.1 404 Not Found"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("Content-Length: 10"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("\r\n\r\nnot found\n"), std::string::npos) << resp;
+  // /metrics serves the snapshot, query strings are ignored.
+  const std::string metrics = http_get(srv.port(), "/metrics?x=1");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("\r\n\r\ndcr_up 1\n"), std::string::npos) << metrics;
+  srv.stop();
+}
+
+// Tsan regression (ISSUE satellite): concurrent GETs racing set_body must be
+// data-race-free, and every response must be a complete snapshot (never a
+// torn mix of old and new bodies).
+TEST(ScopeHttp, ConcurrentRequestsRaceSetBody) {
+  dcr::scope::MetricsHttpServer srv(/*port=*/0);
+  ASSERT_TRUE(srv.ok()) << srv.error();
+  srv.set_body("snapshot 0 end\n");
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> bad{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&srv, &bad, c] {
+      for (int i = 0; i < 25; ++i) {
+        const std::string resp =
+            http_get(srv.port(), (c % 2) ? "/metrics" : "/");
+        if (resp.find("HTTP/1.1 200 OK") == std::string::npos) bad.fetch_add(1);
+        const std::size_t body = resp.find("\r\n\r\n");
+        if (body == std::string::npos ||
+            resp.compare(body + 4, 9, "snapshot ") != 0 ||
+            resp.find(" end\n", body) == std::string::npos) {
+          bad.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread writer([&srv, &done] {
+    for (std::uint64_t i = 1; !done.load(); ++i) {
+      srv.set_body("snapshot " + std::to_string(i) + " end\n");
+      std::this_thread::yield();
+    }
+  });
+  for (auto& t : clients) t.join();
+  done.store(true);
+  writer.join();
+  EXPECT_EQ(bad.load(), 0u);
+  srv.stop();
+}
+
+// ------------------------------------------- scope+exec combined fuzz sweep
+
+// ISSUE satellite: 25 fuzzed loop programs through the threads backend with
+// tracing off and on.  Both runs must realize the simulator reference's
+// task graph (spy-verified), and the scope-on run's wall-clock ledgers must
+// hold every invariant the simulator ledgers do.  Rides the scope+exec fuzz
+// labels and the Tsan tree in check-hardened.
+class ScopeThreadsFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScopeThreadsFuzz, WallClockLedgersHoldOnThreads) {
+  const std::uint64_t seed = GetParam();
+  Philox4x32 rng(fuzz::seed_for_label("scope-threads", seed), /*stream=*/17);
+  const fuzz::LoopDcrProgram program = fuzz::generate_loop(rng, /*tiles=*/6);
+  const std::size_t shards = 3;
+
+  // Simulator reference: spy-verified trace and realized graph.
+  spy::Trace reference;
+  {
+    sim::Machine machine(cluster(shards));
+    FunctionRegistry functions;
+    DcrConfig cfg;
+    cfg.record_trace = true;
+    DcrRuntime rt(machine, functions, cfg);
+    const FunctionId fn = functions.register_simple("t", us(1), 1.0);
+    const DcrStats stats =
+        rt.execute(fuzz::materialize_loop(program, fn, /*use_trace=*/true));
+    ASSERT_TRUE(stats.completed) << "seed " << seed << ": " << stats.abort_message;
+    const spy::VerifyReport vr = spy::verify(*rt.trace());
+    ASSERT_TRUE(vr.ok()) << "seed " << seed << ": " << vr.summary();
+    reference = *rt.trace();
+  }
+
+  auto run_threads = [&](bool scope) {
+    exec::ThreadConfig cfg;
+    cfg.num_shards = shards;
+    cfg.record_trace = true;
+    cfg.profile = true;
+    cfg.scope = scope;
+    FunctionRegistry functions;
+    exec::ThreadRuntime rt(functions, cfg);
+    const FunctionId fn = functions.register_simple("t", us(1), 1.0);
+    const DcrStats stats =
+        rt.execute(fuzz::materialize_loop(program, fn, /*use_trace=*/true));
+    ASSERT_TRUE(stats.completed)
+        << "seed " << seed << " scope=" << scope << ": " << stats.abort_message;
+    EXPECT_FALSE(stats.determinism_violation)
+        << "seed " << seed << ": " << stats.violation_message;
+    std::string why;
+    EXPECT_TRUE(spy::graph_equivalent(reference, *rt.trace(), &why))
+        << "seed " << seed << " scope=" << scope << ": " << why;
+
+    const prof::Counters& g = rt.profiler().global();
+    EXPECT_EQ(g.get(prof::GlobalCounter::FencesIssued) +
+                  g.get(prof::GlobalCounter::FencesElided),
+              g.get(prof::GlobalCounter::FenceDecisions))
+        << "seed " << seed;
+    if (!scope) {
+      EXPECT_EQ(rt.scope(), nullptr);
+      return;
+    }
+    // Wall-clock ledger invariants, exactly as on the simulator.
+    ASSERT_NE(rt.scope(), nullptr);
+    const dcr::scope::Recorder& rec = *rt.scope();
+    const dcr::scope::BlameReport blame =
+        dcr::scope::build_blame(rec, rt.profiler());
+    EXPECT_TRUE(blame.reconciled()) << "seed " << seed;
+    EXPECT_EQ(blame.attributed, blame.complete_fences) << "seed " << seed;
+    for (std::size_t i = 0; i < rec.spans().size(); ++i) {
+      ASSERT_EQ(rec.spans()[i].id, i) << "seed " << seed;
+    }
+    for (const dcr::scope::LaunchRec& l : rec.launches()) {
+      if (l.span == dcr::scope::kNoSpan) continue;
+      const dcr::scope::SpanRec* sp = rec.span(l.span);
+      ASSERT_NE(sp, nullptr) << "seed " << seed;
+      EXPECT_EQ(sp->shard, l.shard) << "seed " << seed;
+    }
+  };
+  run_threads(/*scope=*/false);
+  run_threads(/*scope=*/true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScopeThreadsFuzz,
+                         ::testing::Range<std::uint64_t>(0, 25));
 
 }  // namespace
 }  // namespace dcr::core

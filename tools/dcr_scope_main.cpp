@@ -2,25 +2,36 @@
 // Subcommands:
 //
 //   dcr-scope blame <stencil|circuit|pennant> [--shards N] [--steps N]
-//                   [--top K] [--json FILE]
+//                   [--top K] [--json FILE] [--backend sim|threads]
+//                   [--flight FILE]
 //       Run the named app with causal tracing on and print the per-fence
 //       blame report: for every non-elided fence, the last-releasing shard
 //       and the fine-analysis span that released it, per-rank waits, and
 //       round latency.  The report is reconciled against dcr-prof's
 //       always-on fence ledger (issued + elided == decisions; per-shard
 //       wait sums equal FenceWaitNs exactly).  Exit 0 iff reconciled.
+//       With --backend threads the app runs on real OS threads
+//       (exec::ThreadRuntime) and every time in the report is wall-clock
+//       nanoseconds — the reconciliation is still exact because the same
+//       clock reads feed both ledgers.  --flight arms the crash flight
+//       recorder (a dump is only written on an aborted run).
 //   dcr-scope skew <stencil|circuit|pennant> [--shards N] [--steps N]
 //                  [--straggle SHARD:FACTOR] [--json FILE]
+//                  [--backend sim|threads]
 //       Print the shard-skew report: straggler ranking, critical shard per
 //       epoch, wait-on-whom matrix.  --straggle slows one node down for the
 //       whole run to demonstrate attribution (the slowed shard should top
-//       the ranking).
+//       the ranking); it is simulator-only (thread skew is real, not
+//       injected, under --backend threads).
 //   dcr-scope watch <stencil|circuit|pennant> [--shards N] [--steps N]
 //                   [--interval-us U] [--out FILE] [--port P]
-//       Run with a live MetricsRegistry exposed in Prometheus text format at
-//       a fixed virtual-time cadence: written to --out (default
-//       dcr_scope_metrics.prom) each tick and, with --port, served from a
-//       minimal localhost HTTP endpoint while the run lasts.
+//                   [--backend sim|threads]
+//       Run with a live MetricsRegistry exposed in Prometheus text format:
+//       written to --out (default dcr_scope_metrics.prom) each tick and,
+//       with --port, served from a minimal localhost HTTP endpoint while
+//       the run lasts.  The cadence is virtual time on the simulator and
+//       real wall-clock time (WallMetricsRefresher) under --backend
+//       threads.
 //   dcr-scope watch --check-baseline BASE.json --live LIVE.json
 //                   [--threshold PCT] [--include-wall]
 //       Regression watchdog: diff a live BENCH-style snapshot against a
@@ -52,6 +63,7 @@
 #include "apps/pennant.hpp"
 #include "apps/stencil.hpp"
 #include "dcr/runtime.hpp"
+#include "exec/thread_runtime.hpp"
 #include "scope/baseline.hpp"
 #include "scope/http.hpp"
 #include "scope/metrics.hpp"
@@ -66,11 +78,11 @@ int usage() {
   std::cerr
       << "usage:\n"
       << "  dcr-scope blame <stencil|circuit|pennant> [--shards N] [--steps N]"
-         " [--top K] [--json FILE]\n"
+         " [--top K] [--json FILE] [--backend sim|threads] [--flight FILE]\n"
       << "  dcr-scope skew <stencil|circuit|pennant> [--shards N] [--steps N]"
-         " [--straggle SHARD:FACTOR] [--json FILE]\n"
+         " [--straggle SHARD:FACTOR] [--json FILE] [--backend sim|threads]\n"
       << "  dcr-scope watch <stencil|circuit|pennant> [--shards N] [--steps N]"
-         " [--interval-us U] [--out FILE] [--port P]\n"
+         " [--interval-us U] [--out FILE] [--port P] [--backend sim|threads]\n"
       << "  dcr-scope watch --check-baseline BASE.json --live LIVE.json"
          " [--threshold PCT] [--include-wall]\n"
       << "  dcr-scope quorum [--shards N] [--steps N] [--rate R] [--seed S]"
@@ -103,6 +115,11 @@ struct RunOptions {
   std::uint32_t quorum = 2;
   // Trace mode (automatic trace identification).
   std::size_t phase_every = 8;
+  // Execution backend: the virtual-time simulator or real OS threads.
+  std::string backend = "sim";
+  // Crash flight recorder dump path (threads backend only; dump written
+  // only when the run aborts).
+  std::string flight_path;
 };
 
 bool parse_run_options(int argc, char** argv, RunOptions* opt) {
@@ -148,6 +165,11 @@ bool parse_run_options(int argc, char** argv, RunOptions* opt) {
       opt->quorum = static_cast<std::uint32_t>(std::stoul(argv[++i]));
     } else if (std::strcmp(argv[i], "--phase-every") == 0 && i + 1 < argc) {
       opt->phase_every = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      opt->backend = argv[++i];
+      if (opt->backend != "sim" && opt->backend != "threads") return false;
+    } else if (std::strcmp(argv[i], "--flight") == 0 && i + 1 < argc) {
+      opt->flight_path = argv[++i];
     } else {
       return false;
     }
@@ -190,25 +212,23 @@ sim::MachineConfig machine_config(const RunOptions& opt) {
           .network = {.alpha = us(1), .ns_per_byte = 0.1}};
 }
 
-int cmd_blame(int argc, char** argv) {
-  RunOptions opt;
-  if (!parse_run_options(argc, argv, &opt) || opt.app.empty()) return usage();
-
-  sim::Machine machine(machine_config(opt));
-  core::FunctionRegistry functions;
-  const core::ApplicationMain main_fn = make_app(opt, functions);
-  if (!main_fn) return usage();
-  core::DcrConfig cfg;
+exec::ThreadConfig thread_config(const RunOptions& opt) {
+  exec::ThreadConfig cfg;
+  cfg.num_shards = opt.shards;
   cfg.profile = true;
   cfg.scope = true;
-  core::DcrRuntime rt(machine, functions, cfg);
-  const core::DcrStats stats = rt.execute(main_fn);
+  cfg.flight_path = opt.flight_path;
+  return cfg;
+}
 
-  const scope::BlameReport report = scope::build_blame(*rt.scope(), rt.profiler());
-  scope::render_blame(std::cout, report, *rt.scope(), opt.top_k);
+int finish_blame(const RunOptions& opt, const scope::Recorder& rec,
+                 const prof::Profiler& prof, const core::DcrStats& stats) {
+  const scope::BlameReport report = scope::build_blame(rec, prof);
+  scope::render_blame(std::cout, report, rec, opt.top_k);
   std::cout << "\nmakespan: " << static_cast<double>(stats.makespan) / 1e6
-            << " ms (" << opt.app << ", " << opt.shards << " shards, "
-            << opt.steps << " steps)\n";
+            << (opt.backend == "threads" ? " ms wall (" : " ms (") << opt.app
+            << ", " << opt.shards << " shards, " << opt.steps << " steps, "
+            << opt.backend << " backend)\n";
 
   if (!opt.json_path.empty()) {
     std::ofstream out(opt.json_path);
@@ -226,9 +246,62 @@ int cmd_blame(int argc, char** argv) {
   return report.reconciled() ? 0 : 1;
 }
 
+int cmd_blame(int argc, char** argv) {
+  RunOptions opt;
+  if (!parse_run_options(argc, argv, &opt) || opt.app.empty()) return usage();
+
+  if (opt.backend == "threads") {
+    core::FunctionRegistry functions;
+    const core::ApplicationMain main_fn = make_app(opt, functions);
+    if (!main_fn) return usage();
+    exec::ThreadRuntime rt(functions, thread_config(opt));
+    const core::DcrStats stats = rt.execute(main_fn);
+    return finish_blame(opt, *rt.scope(), rt.profiler(), stats);
+  }
+
+  sim::Machine machine(machine_config(opt));
+  core::FunctionRegistry functions;
+  const core::ApplicationMain main_fn = make_app(opt, functions);
+  if (!main_fn) return usage();
+  core::DcrConfig cfg;
+  cfg.profile = true;
+  cfg.scope = true;
+  core::DcrRuntime rt(machine, functions, cfg);
+  const core::DcrStats stats = rt.execute(main_fn);
+  return finish_blame(opt, *rt.scope(), rt.profiler(), stats);
+}
+
 int cmd_skew(int argc, char** argv) {
   RunOptions opt;
   if (!parse_run_options(argc, argv, &opt) || opt.app.empty()) return usage();
+
+  if (opt.backend == "threads") {
+    if (opt.straggle_shard != ~0ull) {
+      std::cerr << "dcr-scope: --straggle is simulator-only (thread skew is"
+                   " real, not injected)\n";
+      return 2;
+    }
+    core::FunctionRegistry functions;
+    const core::ApplicationMain main_fn = make_app(opt, functions);
+    if (!main_fn) return usage();
+    exec::ThreadRuntime rt(functions, thread_config(opt));
+    const core::DcrStats stats = rt.execute(main_fn);
+
+    const scope::SkewReport report = scope::build_skew(*rt.scope());
+    scope::render_skew(std::cout, report);
+    std::cout << "makespan: " << static_cast<double>(stats.makespan) / 1e6
+              << " ms wall (threads backend)\n";
+    if (!opt.json_path.empty()) {
+      std::ofstream out(opt.json_path);
+      if (!out) {
+        std::cerr << "dcr-scope: cannot write " << opt.json_path << "\n";
+        return 2;
+      }
+      scope::write_skew_json(out, report);
+      std::cout << "wrote skew report -> " << opt.json_path << "\n";
+    }
+    return stats.completed ? 0 : 1;
+  }
 
   sim::Machine machine(machine_config(opt));
   sim::FaultConfig fc;
@@ -287,6 +360,69 @@ int cmd_watch(int argc, char** argv) {
 
   if (opt.app.empty()) return usage();
   if (opt.out_path.empty()) opt.out_path = "dcr_scope_metrics.prom";
+
+  if (opt.backend == "threads") {
+    core::FunctionRegistry functions;
+    const core::ApplicationMain main_fn = make_app(opt, functions);
+    if (!main_fn) return usage();
+    exec::ThreadRuntime rt(functions, thread_config(opt));
+
+    std::unique_ptr<scope::MetricsHttpServer> http;
+    if (opt.port >= 0) {
+      http = std::make_unique<scope::MetricsHttpServer>(
+          static_cast<std::uint16_t>(opt.port));
+      if (!http->ok()) {
+        std::cerr << "dcr-scope: cannot bind 127.0.0.1:" << opt.port << ": "
+                  << http->error() << "\n";
+        return 2;
+      }
+      std::cout << "serving metrics at http://127.0.0.1:" << http->port()
+                << "/ for the duration of the run\n";
+    }
+
+    scope::WallMetricsRefresher::Options ropts;
+    ropts.interval_ns = opt.interval;
+    ropts.out_path = opt.out_path;
+    if (http) {
+      ropts.sink = [&http](const std::string& text) { http->set_body(text); };
+    }
+    // Live collection: prof counter banks and the Recorder's atomic counts
+    // are safe concurrently with the running shard fleet; merged ledger
+    // views are not (collect_metrics only touches the former).
+    scope::WallMetricsRefresher refresher(
+        ropts, [&rt](scope::MetricsRegistry& reg) {
+          scope::collect_metrics(reg, {.prof = &rt.profiler(),
+                                       .machine = nullptr,
+                                       .recorder = rt.scope(),
+                                       .now = 0,
+                                       .makespan = 0});
+        });
+    refresher.start();
+    const core::DcrStats stats = rt.execute(main_fn);
+    refresher.stop();  // joins, then one final tick covering the whole run
+
+    // Final snapshot with the makespan stamped in.
+    scope::MetricsRegistry reg;
+    scope::collect_metrics(reg, {.prof = &rt.profiler(),
+                                 .machine = nullptr,
+                                 .recorder = rt.scope(),
+                                 .now = stats.makespan,
+                                 .makespan = stats.makespan});
+    std::ofstream out(opt.out_path);
+    if (!out) {
+      std::cerr << "dcr-scope: cannot write " << opt.out_path << "\n";
+      return 2;
+    }
+    reg.write_prometheus(out);
+    if (http) http->set_body(reg.prometheus_text());
+
+    std::cout << "exposed " << refresher.ticks() << " snapshots at "
+              << static_cast<double>(opt.interval) / 1e3
+              << " us wall cadence -> " << opt.out_path << "\nmakespan: "
+              << static_cast<double>(stats.makespan) / 1e6
+              << " ms wall (threads backend)\n";
+    return stats.completed ? 0 : 1;
+  }
 
   sim::Machine machine(machine_config(opt));
   core::FunctionRegistry functions;
